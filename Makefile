@@ -1,0 +1,32 @@
+# Convenience targets for the GEBE reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples quicktest clean
+
+install:
+	pip install -e . || { \
+	  echo "editable install failed (offline?); falling back to a .pth link"; \
+	  echo $(CURDIR)/src > $$($(PYTHON) -c 'import site; print(site.getsitepackages()[0])')/repro-editable.pth; \
+	}
+
+test:
+	$(PYTHON) -m pytest tests/
+
+quicktest:
+	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -k "not learning"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/theory_verification.py
+	$(PYTHON) examples/movie_recommendation.py
+	$(PYTHON) examples/link_prediction.py
+	$(PYTHON) examples/attributed_embedding.py
+	$(PYTHON) examples/scalability_study.py
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,112 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  Datasets and
+task splits are generated once per session and cached; method runs use
+``benchmark.pedantic(..., rounds=1)`` because a single training run IS the
+measurement the paper reports (its Figure 2 times one embedding
+construction, not a statistical distribution).
+
+Collected quality scores are accumulated in module-level registries and
+printed as paper-style tables at session end, so the benchmark output can
+be compared against the published tables line by line.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+import pytest
+
+from repro.datasets import DATASETS
+from repro.tasks import LinkPredictionTask, RecommendationTask
+
+#: Embedding dimension for all benchmarks.  The paper uses 128 on graphs
+#: 10-1000x larger; 32 keeps the k << min(|U|, |V|) regime at our scale and
+#: bounds the full-suite wall clock (method costs are ~linear in k).
+BENCH_DIMENSION = 32
+BENCH_SEED = 0
+#: k-core threshold for recommendation workloads (paper uses 10 on graphs
+#: with much higher average degree).
+BENCH_CORE = 5
+
+_GRAPH_CACHE: Dict[str, object] = {}
+_REC_TASK_CACHE: Dict[str, RecommendationTask] = {}
+_LP_TASK_CACHE: Dict[str, LinkPredictionTask] = {}
+
+#: (table_name, metric) -> {method: {dataset: value}}
+SCOREBOARD: Dict[str, dict] = defaultdict(lambda: defaultdict(dict))
+
+
+def load_graph(name: str):
+    """Session-cached dataset stand-in."""
+    if name not in _GRAPH_CACHE:
+        _GRAPH_CACHE[name] = DATASETS[name].load(BENCH_SEED)
+    return _GRAPH_CACHE[name]
+
+
+def recommendation_task(name: str) -> RecommendationTask:
+    """Session-cached Table 4 workload (same split for every method)."""
+    if name not in _REC_TASK_CACHE:
+        _REC_TASK_CACHE[name] = RecommendationTask(
+            load_graph(name), n=10, core=BENCH_CORE, seed=BENCH_SEED
+        )
+    return _REC_TASK_CACHE[name]
+
+
+def link_prediction_task(name: str) -> LinkPredictionTask:
+    """Session-cached Table 5 workload."""
+    if name not in _LP_TASK_CACHE:
+        _LP_TASK_CACHE[name] = LinkPredictionTask(
+            load_graph(name), seed=BENCH_SEED
+        )
+    return _LP_TASK_CACHE[name]
+
+
+def record_score(table: str, metric: str, method: str, dataset: str, value) -> None:
+    """Accumulate one scoreboard cell for the end-of-session printout."""
+    SCOREBOARD[f"{table}:{metric}"][method][dataset] = value
+
+
+def _render_scoreboard() -> str:
+    lines = []
+    for key in sorted(SCOREBOARD):
+        board = SCOREBOARD[key]
+        datasets = sorted({ds for row in board.values() for ds in row})
+        width = max(12, max(len(d) for d in datasets) + 2)
+        lines.append("")
+        lines.append(f"=== {key} ===")
+        header = "method".ljust(22) + "".join(d.rjust(width) for d in datasets)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for method, row in board.items():
+            cells = []
+            for dataset in datasets:
+                value = row.get(dataset)
+                if value is None:
+                    cells.append("-".rjust(width))
+                elif isinstance(value, float):
+                    cells.append(f"{value:.3f}".rjust(width))
+                else:
+                    cells.append(str(value).rjust(width))
+            lines.append(method.ljust(22) + "".join(cells))
+    return "\n".join(lines)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if SCOREBOARD:
+        print("\n" + "=" * 70)
+        print("PAPER-STYLE RESULT TABLES (quality scores per benchmark)")
+        print(_render_scoreboard())
+        print("=" * 70)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,82 @@
+"""Figure 3 reproduction: scalability on bipartite Erdős–Rényi graphs.
+
+The paper's protocol, scaled to laptop sizes: generate synthetic bipartite
+ER graphs, time GEBE and GEBE^p while (a) growing the node count at fixed
+edges and (b) growing the edge count at fixed nodes.
+
+Expected shape: running time grows near-linearly along both sweeps
+(validating the complexity analyses of Sections 4.2 / 5.2), and GEBE^p
+stays a constant factor below GEBE.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GEBEPoisson, gebe_poisson
+from repro.datasets import erdos_renyi_bipartite
+
+from conftest import BENCH_SEED, record_score
+
+NODE_GRID = [10_000, 20_000, 30_000, 40_000, 50_000]
+EDGE_GRID = [100_000, 200_000, 300_000, 400_000, 500_000]
+FIXED_EDGES = 200_000
+FIXED_NODES = 40_000
+DIMENSION = 32
+
+_er_cache = {}
+
+
+def er_graph(num_nodes: int, num_edges: int):
+    key = (num_nodes, num_edges)
+    if key not in _er_cache:
+        num_u = num_nodes // 2
+        _er_cache[key] = erdos_renyi_bipartite(
+            num_u, num_nodes - num_u, num_edges, seed=BENCH_SEED
+        )
+    return _er_cache[key]
+
+
+def methods():
+    # GEBE's KSI budget is capped: Figure 3 measures the per-size slope,
+    # which is independent of the (size-independent) iteration count.
+    return {
+        "GEBE^p": GEBEPoisson(DIMENSION, seed=BENCH_SEED),
+        "GEBE (Poisson)": gebe_poisson(
+            DIMENSION, seed=BENCH_SEED, max_iterations=15
+        ),
+    }
+
+
+@pytest.mark.parametrize("num_nodes", NODE_GRID)
+@pytest.mark.parametrize("method_name", ["GEBE^p", "GEBE (Poisson)"])
+def test_fig3a_vary_nodes(method_name, num_nodes, bench_once):
+    graph = er_graph(num_nodes, FIXED_EDGES)
+    result = bench_once(methods()[method_name].fit, graph)
+    record_score(
+        "fig3a", "seconds", method_name, f"n={num_nodes}", result.elapsed_seconds
+    )
+
+
+@pytest.mark.parametrize("num_edges", EDGE_GRID)
+@pytest.mark.parametrize("method_name", ["GEBE^p", "GEBE (Poisson)"])
+def test_fig3b_vary_edges(method_name, num_edges, bench_once):
+    graph = er_graph(FIXED_NODES, num_edges)
+    result = bench_once(methods()[method_name].fit, graph)
+    record_score(
+        "fig3b", "seconds", method_name, f"m={num_edges}", result.elapsed_seconds
+    )
+
+
+def test_growth_is_subquadratic(bench_once):
+    """The linear-complexity claim: 5x size -> well under 25x time."""
+    bench_once(lambda: None)  # participate in --benchmark-only runs
+    from conftest import SCOREBOARD
+
+    board = SCOREBOARD["fig3b:seconds"]
+    for method_name, cells in board.items():
+        if len(cells) < 2:
+            continue
+        times = [cells[f"m={m}"] for m in EDGE_GRID if f"m={m}" in cells]
+        if len(times) == len(EDGE_GRID):
+            ratio = times[-1] / max(times[0], 1e-9)
+            assert ratio < 12.0, (method_name, times)  # linear would be ~5x

@@ -1,0 +1,107 @@
+"""Figure 5 reproduction: link prediction quality vs lambda, epsilon, tau.
+
+The Section 6.5 sweeps on link-prediction workloads:
+
+* Fig. 5(a): GEBE^p AUC-ROC as ``lambda`` varies — published shape: stable;
+* Fig. 5(b): GEBE^p AUC-ROC as ``epsilon`` varies — published shape:
+  decreasing as the SVD loosens;
+* Fig. 5(c): GEBE (Poisson) AUC-ROC as ``tau`` varies — published shape:
+  roughly flat ("does not vary significantly").
+"""
+
+import pytest
+
+from repro.core import GEBEPoisson, gebe_poisson
+
+from conftest import (
+    BENCH_DIMENSION,
+    BENCH_SEED,
+    link_prediction_task,
+    record_score,
+)
+
+DATASETS = ["wikipedia", "pinterest"]
+LAMBDA_GRID = [1.0, 2.0, 3.0, 4.0, 5.0]
+EPSILON_GRID = [0.1, 0.3, 0.5, 0.7, 0.9]
+TAU_GRID = [1, 2, 5, 10, 20]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("lam", LAMBDA_GRID)
+def test_fig5a_lambda(dataset, lam, bench_once):
+    task = link_prediction_task(dataset)
+    report = bench_once(
+        task.run, GEBEPoisson(BENCH_DIMENSION, lam=lam, seed=BENCH_SEED)
+    )
+    record_score("fig5a", "auc_roc", f"lambda={lam:g}", dataset, report.auc_roc)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("epsilon", EPSILON_GRID)
+def test_fig5b_epsilon(dataset, epsilon, bench_once):
+    task = link_prediction_task(dataset)
+    report = bench_once(
+        task.run,
+        GEBEPoisson(BENCH_DIMENSION, epsilon=epsilon, seed=BENCH_SEED),
+    )
+    record_score("fig5b", "auc_roc", f"epsilon={epsilon:g}", dataset, report.auc_roc)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("tau", TAU_GRID)
+def test_fig5c_tau(dataset, tau, bench_once):
+    task = link_prediction_task(dataset)
+    report = bench_once(
+        task.run,
+        gebe_poisson(
+            BENCH_DIMENSION, tau=tau, seed=BENCH_SEED, max_iterations=40
+        ),
+    )
+    record_score("fig5c", "auc_roc", f"tau={tau}", dataset, report.auc_roc)
+
+
+class TestPublishedShape:
+    def test_lambda_stable(self, bench_once):
+        bench_once(lambda: None)  # participate in --benchmark-only runs
+        from conftest import SCOREBOARD
+
+        board = SCOREBOARD["fig5a:auc_roc"]
+        if not board:
+            pytest.skip("run the sweep first")
+        for dataset in DATASETS:
+            values = [
+                board[f"lambda={lam:g}"][dataset]
+                for lam in LAMBDA_GRID
+                if dataset in board.get(f"lambda={lam:g}", {})
+            ]
+            if len(values) == len(LAMBDA_GRID):
+                assert max(values) - min(values) < 0.03, dataset
+
+    def test_epsilon_not_increasing(self, bench_once):
+        bench_once(lambda: None)  # participate in --benchmark-only runs
+        from conftest import SCOREBOARD
+
+        board = SCOREBOARD["fig5b:auc_roc"]
+        if not board:
+            pytest.skip("run the sweep first")
+        for dataset in DATASETS:
+            tight = board.get("epsilon=0.1", {}).get(dataset)
+            loose = board.get("epsilon=0.9", {}).get(dataset)
+            if tight is not None and loose is not None:
+                assert tight >= loose - 0.01, dataset
+
+    def test_tau_flat(self, bench_once):
+        bench_once(lambda: None)  # participate in --benchmark-only runs
+        from conftest import SCOREBOARD
+
+        board = SCOREBOARD["fig5c:auc_roc"]
+        if not board:
+            pytest.skip("run the sweep first")
+        for dataset in DATASETS:
+            values = [
+                board[f"tau={tau}"][dataset]
+                for tau in TAU_GRID
+                if dataset in board.get(f"tau={tau}", {})
+            ]
+            if len(values) == len(TAU_GRID):
+                assert max(values) - min(values) < 0.05, dataset

@@ -1,0 +1,72 @@
+"""Attributed bipartite embedding — the paper's future-work extension.
+
+The paper's conclusion proposes handling *attributed* bipartite graphs "by
+augmenting the network embeddings with raw/processed attributes".  This
+example builds a sparse interaction graph whose nodes carry (noisy)
+category attributes, and shows that :class:`repro.AttributedGEBE` —
+GEBE^p plus graph-smoothed, SVD-compressed attributes — improves link
+prediction exactly where topology alone is weakest.
+
+Run:  python examples/attributed_embedding.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AttributedGEBE, GEBEPoisson
+from repro.datasets import BlockModel, stochastic_block_bipartite
+from repro.tasks import LinkPredictionTask
+
+
+def main() -> None:
+    # A *sparse* block graph: few edges per node, so pure topology has
+    # little signal to work with.
+    model = BlockModel(
+        num_u=1_200, num_v=900, num_blocks=6, num_edges=5_000, in_out_ratio=9.0
+    )
+    graph, blocks_u, blocks_v = stochastic_block_bipartite(
+        model, seed=0, return_blocks=True
+    )
+    print(f"graph: {graph} (avg degree ~{2 * graph.num_edges / graph.num_nodes:.1f})")
+
+    # Node attributes: a noisy one-hot encoding of each node's category —
+    # think article topics, user interest tags, product departments.
+    rng = np.random.default_rng(1)
+    eye = np.eye(model.num_blocks)
+    x_u = eye[blocks_u] + 0.4 * rng.standard_normal((graph.num_u, model.num_blocks))
+    x_v = eye[blocks_v] + 0.4 * rng.standard_normal((graph.num_v, model.num_blocks))
+
+    task = LinkPredictionTask(graph, seed=0)
+    print(f"link prediction on {task.data.test_labels.size} held-out pairs\n")
+
+    print(f"{'method':<32}{'AUC-ROC':>10}{'AUC-PR':>10}")
+    print("-" * 52)
+    configurations = [
+        ("GEBE^p (topology only)", GEBEPoisson(dimension=32, seed=0)),
+        (
+            "attributes only",
+            AttributedGEBE(x_u, x_v, dimension=32, topology_fraction=0.0, seed=0),
+        ),
+        (
+            "AttributedGEBE (75/25 split)",
+            AttributedGEBE(x_u, x_v, dimension=32, topology_fraction=0.75, seed=0),
+        ),
+        (
+            "AttributedGEBE (50/50 split)",
+            AttributedGEBE(x_u, x_v, dimension=32, topology_fraction=0.5, seed=0),
+        ),
+    ]
+    for label, method in configurations:
+        report = task.run(method)
+        print(f"{label:<32}{report.auc_roc:>10.3f}{report.auc_pr:>10.3f}")
+
+    print(
+        "\nOn sparse graphs the attribute channel adds information the"
+        "\ntopology cannot see; the mixed configurations should match or"
+        "\nbeat both single-channel baselines."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Link prediction on a Wikipedia-style unweighted interaction graph.
+
+Reproduces the paper's Table 5 protocol end to end on the Wikipedia
+stand-in (a community-structured unweighted bipartite graph):
+
+1. remove 40% of the edges (they become the positive test pairs),
+2. sample an equal number of non-edges as negatives,
+3. train embeddings on the residual graph,
+4. train a from-scratch logistic regression on concatenated edge features,
+5. report AUC-ROC and AUC-PR.
+
+Run:  python examples/link_prediction.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import make_method
+from repro.datasets import load_dataset
+from repro.tasks import LinkPredictionTask
+
+METHODS = [
+    "GEBE^p",
+    "GEBE (Poisson)",
+    "MHP-BNE",
+    "MHS-BNE",
+    "LINE",
+    "NRP",
+    "BPR",
+]
+
+
+def main() -> None:
+    print("generating the Wikipedia stand-in (block-structured graph)...")
+    graph = load_dataset("wikipedia", seed=0)
+    print(f"  {graph}")
+
+    task = LinkPredictionTask(graph, holdout_fraction=0.4, seed=0)
+    print(
+        f"  residual training graph: {task.data.train}, "
+        f"test pairs: {task.data.test_labels.size}\n"
+    )
+
+    print(f"{'method':<18}{'AUC-ROC':>10}{'AUC-PR':>10}{'time':>10}")
+    print("-" * 48)
+    for name in METHODS:
+        report = task.run(make_method(name, dimension=64, seed=0))
+        print(
+            f"{name:<18}{report.auc_roc:>10.3f}{report.auc_pr:>10.3f}"
+            f"{report.elapsed_seconds:>9.1f}s"
+        )
+
+    print(
+        "\nExpected shape (paper Table 5): the GEBE family leads, with"
+        "\nMHS-BNE competitive (similarity information carries link"
+        "\nprediction) and homogeneous methods trailing."
+    )
+
+
+if __name__ == "__main__":
+    main()

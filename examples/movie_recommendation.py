@@ -1,0 +1,62 @@
+"""Top-N recommendation on a MovieLens-style weighted rating graph.
+
+Reproduces the paper's Table 4 protocol end to end on a synthetic
+latent-factor rating graph (the MovieLens stand-in from the dataset zoo):
+
+1. apply the k-core setting and split edges 60/40,
+2. train several embedding methods on the training graph,
+3. rank unseen items per user by the embedding dot product,
+4. report F1 / NDCG / MRR at N = 10.
+
+Run:  python examples/movie_recommendation.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import make_method
+from repro.datasets import load_dataset
+from repro.tasks import RecommendationTask
+
+#: A representative method subset: the paper's solvers + its ablations +
+#: one competitor per family (matrix, CF-SGD, GNN).
+METHODS = [
+    "GEBE^p",
+    "GEBE (Poisson)",
+    "GEBE (Uniform)",
+    "MHP-BNE",
+    "MHS-BNE",
+    "NRP",
+    "BPR",
+    "LightGCN",
+]
+
+
+def main() -> None:
+    print("generating the MovieLens stand-in (latent-factor rating graph)...")
+    graph = load_dataset("movielens", seed=0)
+    print(f"  {graph}")
+
+    task = RecommendationTask(graph, n=10, core=5, seed=0)
+    print(
+        f"  after 5-core + 60/40 split: train {task.split.train}, "
+        f"{task.split.num_test_edges} held-out edges\n"
+    )
+
+    print(f"{'method':<18}{'F1@10':>9}{'NDCG@10':>9}{'MRR@10':>9}{'time':>10}")
+    print("-" * 55)
+    for name in METHODS:
+        report = task.run(make_method(name, dimension=64, seed=0))
+        print(
+            f"{name:<18}{report.f1:>9.3f}{report.ndcg:>9.3f}"
+            f"{report.mrr:>9.3f}{report.elapsed_seconds:>9.1f}s"
+        )
+
+    print(
+        "\nExpected shape (paper Table 4): GEBE^p leads, the Poisson"
+        "\ninstantiation matches it closely, MHS-BNE trails on ranking"
+        "\nquality, and GEBE^p is the fastest of the GEBE family."
+    )
+
+
+if __name__ == "__main__":
+    main()

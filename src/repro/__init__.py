@@ -1,0 +1,71 @@
+"""repro — a reproduction of "Scalable and Effective Bipartite Network Embedding".
+
+The package implements GEBE and GEBE^p (Yang, Shi, Huang, Xiao; SIGMOD 2022)
+together with every substrate they are evaluated against: the bipartite
+graph data structure, a matrix-free linear algebra layer, the fifteen
+competitor embedding methods, synthetic dataset generators standing in for
+the paper's ten real datasets, and the top-N recommendation / link
+prediction evaluation tasks.
+
+Quickstart
+----------
+>>> from repro import BipartiteGraph, GEBEPoisson
+>>> graph = BipartiteGraph.from_edges([("alice", "matrix"), ("bob", "matrix")])
+>>> result = GEBEPoisson(dimension=2, seed=0).fit(graph)
+>>> result.score(graph.u_id("alice"), graph.v_id("matrix")) > 0
+True
+"""
+
+from .core import (
+    GEBE,
+    AttributedGEBE,
+    BipartiteEmbedder,
+    EmbeddingResult,
+    GEBEPoisson,
+    GeometricPMF,
+    MHPOnlyBNE,
+    MHSOnlyBNE,
+    PathLengthPMF,
+    PoissonPMF,
+    UniformPMF,
+    evaluate_objective,
+    gebe_geometric,
+    gebe_poisson,
+    gebe_uniform,
+    h_matrix,
+    make_pmf,
+    mhp_matrix,
+    mhs_matrix,
+)
+from .graph import BipartiteGraph, k_core, load_npz, read_edge_list, save_npz, write_edge_list
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BipartiteGraph",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "k_core",
+    "BipartiteEmbedder",
+    "EmbeddingResult",
+    "GEBE",
+    "AttributedGEBE",
+    "GEBEPoisson",
+    "MHPOnlyBNE",
+    "MHSOnlyBNE",
+    "gebe_uniform",
+    "gebe_geometric",
+    "gebe_poisson",
+    "PathLengthPMF",
+    "UniformPMF",
+    "GeometricPMF",
+    "PoissonPMF",
+    "make_pmf",
+    "h_matrix",
+    "mhs_matrix",
+    "mhp_matrix",
+    "evaluate_objective",
+]

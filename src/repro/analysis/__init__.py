@@ -1,0 +1,28 @@
+"""Analysis utilities: theorem-bound checks and spectral diagnostics."""
+
+from .bounds import (
+    Theorem31Check,
+    Theorem51Check,
+    check_theorem_3_1,
+    check_theorem_5_1,
+)
+from .convergence import (
+    ConvergenceTrace,
+    iterations_to_tolerance,
+    trace_subspace_iteration,
+)
+from .spectra import captured_energy, effective_rank, loss_curve, singular_profile
+
+__all__ = [
+    "Theorem31Check",
+    "Theorem51Check",
+    "check_theorem_3_1",
+    "check_theorem_5_1",
+    "ConvergenceTrace",
+    "trace_subspace_iteration",
+    "iterations_to_tolerance",
+    "singular_profile",
+    "captured_energy",
+    "effective_rank",
+    "loss_curve",
+]

@@ -1,0 +1,41 @@
+"""The fifteen competitor methods from the paper's evaluation (Section 6.1)."""
+
+from .bigi import BiGI
+from .bine import BiNE
+from .bpr import BPR
+from .cse import CSE
+from .deepwalk import DeepWalk
+from .gnn import GCMC, LCFN, NGCF, SCF, LRGCCF, LightGCN, PropagationCF
+from .line import LINE
+from .ncf import NCF
+from .neural import MLP, Adam, DenseLayer
+from .node2vec import Node2Vec
+from .nrp import NRP
+from .registry import COMPETITORS, METHODS, PROPOSED, make_method, method_names
+
+__all__ = [
+    "BiNE",
+    "BiGI",
+    "DeepWalk",
+    "Node2Vec",
+    "LINE",
+    "NRP",
+    "BPR",
+    "NCF",
+    "GCMC",
+    "NGCF",
+    "LightGCN",
+    "LRGCCF",
+    "SCF",
+    "LCFN",
+    "CSE",
+    "PropagationCF",
+    "MLP",
+    "Adam",
+    "DenseLayer",
+    "METHODS",
+    "PROPOSED",
+    "COMPETITORS",
+    "make_method",
+    "method_names",
+]

@@ -1,0 +1,36 @@
+"""Shared helpers for the baseline implementations.
+
+Most homogeneous baselines treat the bipartite graph as one big graph with
+``|U| + |V|`` nodes (U first, V after — the layout produced by
+:meth:`repro.graph.BipartiteGraph.adjacency`) and embed all nodes jointly;
+these helpers split such joint embeddings back into per-side matrices and
+provide the degree-based noise counts used for negative sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..graph import BipartiteGraph
+
+__all__ = ["split_embedding", "homogeneous_degrees"]
+
+
+def split_embedding(
+    joint: np.ndarray, graph: BipartiteGraph
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a ``(|U|+|V|) x k`` joint embedding into U and V matrices."""
+    if joint.shape[0] != graph.num_nodes:
+        raise ValueError(
+            f"joint embedding has {joint.shape[0]} rows, expected {graph.num_nodes}"
+        )
+    return joint[: graph.num_u], joint[graph.num_u :]
+
+
+def homogeneous_degrees(graph: BipartiteGraph, weighted: bool = True) -> np.ndarray:
+    """Degrees of all ``|U| + |V|`` nodes in the homogeneous view."""
+    return np.concatenate(
+        [graph.u_degrees(weighted=weighted), graph.v_degrees(weighted=weighted)]
+    ).astype(np.float64)

@@ -1,0 +1,116 @@
+"""CSE baseline [Chen et al., WWW 2019].
+
+Collaborative Similarity Embedding trains one embedding space with two
+coupled objectives: *direct* user-item relations (edges) and *high-order*
+neighborhood proximity sampled with k-order random walks.  Both reduce to
+SGNS terms, so the implementation combines:
+
+1. LINE-style positive pairs from weighted edge sampling (the direct term),
+2. window pairs from random walks on the bipartite graph — even-offset
+   pairs couple same-side nodes, odd-offset pairs couple cross-side nodes
+   (the k-order neighborhood term).
+
+CSE is the strongest CF competitor in the paper (it even edges out GEBE^p
+on Last.fm F1) but costs hours where GEBE^p costs seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.base import BipartiteEmbedder
+from ..graph import BipartiteGraph
+from ..walks import (
+    AliasTable,
+    SkipGramConfig,
+    SkipGramTrainer,
+    WalkSampler,
+    extract_window_pairs,
+)
+from .common import homogeneous_degrees, split_embedding
+
+__all__ = ["CSE"]
+
+
+class CSE(BipartiteEmbedder):
+    """Joint direct + k-order similarity embedding.
+
+    Parameters
+    ----------
+    walks_per_node, walk_length, window:
+        Schedule of the k-order neighborhood sampling (window = the ``k``).
+    direct_samples_per_edge:
+        Positive samples per edge for the direct term.
+    negatives, epochs, learning_rate:
+        SGNS hyper-parameters (shared by both terms).
+    """
+
+    name = "CSE"
+
+    def __init__(
+        self,
+        dimension: int = 128,
+        *,
+        walks_per_node: int = 8,
+        walk_length: int = 20,
+        window: int = 4,
+        direct_samples_per_edge: int = 10,
+        negatives: int = 5,
+        epochs: int = 1,
+        learning_rate: float = 0.025,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(dimension=dimension, seed=seed)
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.window = window
+        self.direct_samples_per_edge = direct_samples_per_edge
+        self.negatives = negatives
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+
+    def _embed(
+        self, graph: BipartiteGraph
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        rng = self._rng()
+        sampler = WalkSampler(graph.adjacency())
+        walks = sampler.first_order_walks(
+            self.walks_per_node, self.walk_length, rng=rng
+        )
+        walk_centers, walk_contexts = extract_window_pairs(walks, self.window)
+
+        # Direct term: weighted edge samples, both orientations.
+        u_idx, v_idx, weights = graph.edge_array()
+        table = AliasTable(weights)
+        count = self.direct_samples_per_edge * u_idx.size
+        picks = table.sample(count, rng=rng)
+        heads = u_idx[picks]
+        tails = v_idx[picks] + graph.num_u
+        direct_centers = np.concatenate([heads, tails])
+        direct_contexts = np.concatenate([tails, heads])
+
+        centers = np.concatenate([walk_centers, direct_centers])
+        contexts = np.concatenate([walk_contexts, direct_contexts])
+        trainer = SkipGramTrainer(
+            SkipGramConfig(
+                dimension=self.dimension,
+                negatives=self.negatives,
+                epochs=self.epochs,
+                learning_rate=self.learning_rate,
+            )
+        )
+        noise = homogeneous_degrees(graph, weighted=True)
+        w_in, w_out = trainer.fit(
+            centers, contexts, graph.num_nodes, rng=rng, noise_counts=noise
+        )
+        # Direct relations tie input and output roles; average the tables so
+        # cross-side dot products reflect the direct term.
+        joint = 0.5 * (w_in + w_out)
+        u, v = split_embedding(joint, graph)
+        metadata = {
+            "walk_pairs": int(walk_centers.size),
+            "direct_pairs": int(direct_centers.size),
+        }
+        return u, v, metadata

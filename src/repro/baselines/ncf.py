@@ -1,0 +1,153 @@
+"""NCF baseline [He et al., WWW 2017].
+
+Neural Collaborative Filtering (the NeuMF variant): user/item embedding
+tables feed both a GMF branch (element-wise product) and an MLP branch
+(concatenation through dense layers); a final linear layer combines the two
+into a logit trained with binary cross-entropy against sampled negatives.
+
+For the common embedding interface the GMF branch weights are folded into
+the user table at the end, so ``U[u] . V[v]`` reproduces the trained GMF
+score — the component of NCF that a dot-product evaluation protocol can see.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.base import BipartiteEmbedder
+from ..graph import BipartiteGraph
+from ..walks import AliasTable
+from .bpr import sigmoid
+from .neural import MLP, Adam
+
+__all__ = ["NCF"]
+
+
+class NCF(BipartiteEmbedder):
+    """NeuMF-style neural collaborative filtering.
+
+    Parameters
+    ----------
+    dimension:
+        Size of each embedding table (GMF and MLP branches share tables
+        here, halving parameters — a standard simplification).
+    hidden:
+        Widths of the MLP branch's hidden layers.
+    epochs, batch_size, learning_rate:
+        Training schedule; each positive edge is paired with
+        ``negatives_per_positive`` sampled negatives per epoch.
+        ``learning_rate`` drives the Adam optimizer of the MLP branch;
+        ``table_learning_rate`` is the per-sample SGD step of the embedding
+        tables (plain SGD sees raw per-sample gradients, unlike Adam which
+        normalizes batch-averaged ones).
+    """
+
+    name = "NCF"
+
+    def __init__(
+        self,
+        dimension: int = 128,
+        *,
+        hidden: Tuple[int, ...] = (64, 32),
+        epochs: int = 10,
+        batch_size: int = 2048,
+        learning_rate: float = 1e-3,
+        table_learning_rate: float = 0.05,
+        negatives_per_positive: int = 4,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(dimension=dimension, seed=seed)
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.table_learning_rate = table_learning_rate
+        self.negatives_per_positive = negatives_per_positive
+
+    def _embed(
+        self, graph: BipartiteGraph
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        rng = self._rng()
+        k = self.dimension
+        scale = 0.01
+        p = rng.normal(0.0, scale, size=(graph.num_u, k))
+        q = rng.normal(0.0, scale, size=(graph.num_v, k))
+        h_gmf = np.ones(k) / k  # GMF combination weights
+
+        mlp = MLP([2 * k, *self.hidden, 1], rng=rng)
+        optimizer = Adam(
+            mlp.parameters() + [h_gmf], learning_rate=self.learning_rate
+        )
+
+        u_idx, v_idx, weights = graph.edge_array()
+        edge_table = AliasTable(weights)
+        samples_per_epoch = graph.num_edges
+
+        for _ in range(self.epochs):
+            for start in range(0, samples_per_epoch, self.batch_size):
+                count = min(self.batch_size, samples_per_epoch - start)
+                picks = edge_table.sample(count, rng=rng)
+                users = np.concatenate(
+                    [u_idx[picks]]
+                    + [u_idx[picks]] * self.negatives_per_positive
+                )
+                items = np.concatenate(
+                    [v_idx[picks]]
+                    + [
+                        rng.integers(0, graph.num_v, size=count)
+                        for _ in range(self.negatives_per_positive)
+                    ]
+                )
+                labels = np.concatenate(
+                    [np.ones(count)]
+                    + [np.zeros(count)] * self.negatives_per_positive
+                )
+                self._train_batch(
+                    p, q, h_gmf, mlp, optimizer, users, items, labels
+                )
+        # Fold GMF weights into the user table so dot products equal the
+        # trained GMF score; clip tiny magnitudes for numerical neatness.
+        u = p * h_gmf[np.newaxis, :]
+        metadata = {"epochs": self.epochs, "hidden": self.hidden}
+        return u, q, metadata
+
+    def _train_batch(
+        self,
+        p: np.ndarray,
+        q: np.ndarray,
+        h_gmf: np.ndarray,
+        mlp: MLP,
+        optimizer: Adam,
+        users: np.ndarray,
+        items: np.ndarray,
+        labels: np.ndarray,
+    ) -> None:
+        pu = p[users]
+        qi = q[items]
+        gmf = pu * qi
+        mlp_in = np.hstack([pu, qi])
+        mlp_out = mlp.forward(mlp_in).ravel()
+        logits = gmf @ h_gmf + mlp_out
+        probs = sigmoid(logits)
+        # Per-sample BCE gradient w.r.t. logits; the MLP/Adam path uses the
+        # batch mean (Adam is scale-free), the tables use the raw values
+        # (plain SGD needs per-sample magnitudes to actually move).
+        grad_per_sample = probs - labels
+        grad_logits = grad_per_sample / labels.size
+
+        # MLP branch (batch-averaged for Adam).
+        grad_mlp_in = mlp.backward(grad_logits[:, None]) * labels.size
+        # GMF branch.
+        grad_h = gmf.T @ grad_logits
+        grad_gmf = grad_per_sample[:, None] * h_gmf[np.newaxis, :]
+
+        # Embedding-table gradients from both branches (per-sample SGD).
+        k = p.shape[1]
+        grad_pu = grad_gmf * qi + grad_mlp_in[:, :k]
+        grad_qi = grad_gmf * pu + grad_mlp_in[:, k:]
+        lr_tables = self.table_learning_rate
+        np.add.at(p, users, -lr_tables * grad_pu)
+        np.add.at(q, items, -lr_tables * grad_qi)
+        optimizer.step(mlp.gradients() + [grad_h])

@@ -1,0 +1,175 @@
+"""Minimal neural-network substrate (dense layers, backprop, Adam).
+
+The paper's neural competitors (NCF, BiGI) train multilayer perceptrons.
+PyTorch is not available here, so this module provides a small but real MLP
+implementation from scratch: dense layers with ReLU/sigmoid/tanh/identity
+activations, reverse-mode gradients, and an Adam optimizer.  It is
+intentionally simple — enough to reproduce the *computational structure*
+(and therefore the cost profile) of MLP-based BNE training.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DenseLayer", "MLP", "Adam", "ACTIVATIONS"]
+
+
+def _relu(z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    out = np.maximum(z, 0.0)
+    return out, (z > 0).astype(np.float64)
+
+
+def _sigmoid(z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out, out * (1.0 - out)
+
+
+def _tanh(z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    out = np.tanh(z)
+    return out, 1.0 - out ** 2
+
+
+def _identity(z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    return z, np.ones_like(z)
+
+
+#: name -> activation returning (value, elementwise derivative)
+ACTIVATIONS: Dict[str, Callable] = {
+    "relu": _relu,
+    "sigmoid": _sigmoid,
+    "tanh": _tanh,
+    "identity": _identity,
+}
+
+
+class DenseLayer:
+    """A fully connected layer ``y = act(x W + b)`` with cached backprop."""
+
+    def __init__(
+        self,
+        fan_in: int,
+        fan_out: int,
+        activation: str = "relu",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        rng = np.random.default_rng() if rng is None else rng
+        limit = np.sqrt(6.0 / (fan_in + fan_out))  # Glorot uniform
+        self.w = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+        self.b = np.zeros(fan_out)
+        self.activation = activation
+        self._x: Optional[np.ndarray] = None
+        self._act_grad: Optional[np.ndarray] = None
+        self.grad_w = np.zeros_like(self.w)
+        self.grad_b = np.zeros_like(self.b)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        z = x @ self.w + self.b
+        out, self._act_grad = ACTIVATIONS[self.activation](z)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return gradient w.r.t. the input."""
+        if self._x is None or self._act_grad is None:
+            raise RuntimeError("backward called before forward")
+        grad_z = grad_out * self._act_grad
+        self.grad_w = self._x.T @ grad_z
+        self.grad_b = grad_z.sum(axis=0)
+        return grad_z @ self.w.T
+
+    def parameters(self) -> List[np.ndarray]:
+        return [self.w, self.b]
+
+    def gradients(self) -> List[np.ndarray]:
+        return [self.grad_w, self.grad_b]
+
+
+class MLP:
+    """A stack of dense layers with joint forward/backward passes.
+
+    Parameters
+    ----------
+    sizes:
+        Layer widths including input and output, e.g. ``[256, 64, 1]``.
+    activations:
+        One activation name per layer (defaults to ReLU hidden layers and an
+        identity output).
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        activations: Optional[Sequence[str]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if len(sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if activations is None:
+            activations = ["relu"] * (len(sizes) - 2) + ["identity"]
+        if len(activations) != len(sizes) - 1:
+            raise ValueError("one activation per layer required")
+        rng = np.random.default_rng() if rng is None else rng
+        self.layers = [
+            DenseLayer(sizes[i], sizes[i + 1], activations[i], rng=rng)
+            for i in range(len(sizes) - 1)
+        ]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> List[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def gradients(self) -> List[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients()]
+
+
+class Adam:
+    """Adam optimizer over a fixed list of parameter arrays (updated in place)."""
+
+    def __init__(
+        self,
+        parameters: List[np.ndarray],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._t = 0
+
+    def step(self, gradients: List[np.ndarray]) -> None:
+        """Apply one Adam update given gradients aligned with parameters."""
+        if len(gradients) != len(self.parameters):
+            raise ValueError("gradient list does not match parameters")
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, g, m, v in zip(self.parameters, gradients, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            p -= self.learning_rate * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

@@ -1,0 +1,96 @@
+"""node2vec baseline [Grover & Leskovec, KDD 2016].
+
+Like DeepWalk but with second-order biased walks: the return parameter ``p``
+and in-out parameter ``q`` interpolate between breadth-first and depth-first
+exploration.  On a bipartite graph the "triangle" case of the bias never
+fires (neighbors of the previous node are on the same side as the current
+node), so the walk effectively trades off returning (``1/p``) against
+exploring (``1/q``) — still blind to the two-mode structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.base import BipartiteEmbedder
+from ..graph import BipartiteGraph
+from ..walks import SkipGramConfig, SkipGramTrainer, WalkSampler, extract_window_pairs
+from .common import split_embedding
+
+__all__ = ["Node2Vec"]
+
+
+class Node2Vec(BipartiteEmbedder):
+    """Second-order biased walks + SGNS on the homogeneous view.
+
+    Parameters
+    ----------
+    p:
+        Return parameter; larger discourages revisiting the previous node.
+    q:
+        In-out parameter; smaller encourages outward (DFS-like) exploration.
+    Other parameters as in :class:`~repro.baselines.deepwalk.DeepWalk`.
+    """
+
+    name = "node2vec"
+
+    def __init__(
+        self,
+        dimension: int = 128,
+        *,
+        p: float = 1.0,
+        q: float = 0.5,
+        walks_per_node: int = 10,
+        walk_length: int = 40,
+        window: int = 5,
+        negatives: int = 5,
+        epochs: int = 1,
+        learning_rate: float = 0.025,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(dimension=dimension, seed=seed)
+        if p <= 0 or q <= 0:
+            raise ValueError("p and q must be positive")
+        self.p = p
+        self.q = q
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.window = window
+        self.negatives = negatives
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+
+    def _embed(
+        self, graph: BipartiteGraph
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        rng = self._rng()
+        adjacency = graph.adjacency()
+        adjacency.data = np.ones_like(adjacency.data)
+        sampler = WalkSampler(adjacency)
+        walks = sampler.node2vec_walks(
+            self.walks_per_node,
+            self.walk_length,
+            p=self.p,
+            q=self.q,
+            rng=rng,
+        )
+        centers, contexts = extract_window_pairs(walks, self.window)
+        trainer = SkipGramTrainer(
+            SkipGramConfig(
+                dimension=self.dimension,
+                negatives=self.negatives,
+                epochs=self.epochs,
+                learning_rate=self.learning_rate,
+            )
+        )
+        w_in, _ = trainer.fit(centers, contexts, graph.num_nodes, rng=rng)
+        u, v = split_embedding(w_in, graph)
+        metadata = {
+            "p": self.p,
+            "q": self.q,
+            "num_walks": int(walks.shape[0]),
+            "num_pairs": int(centers.size),
+        }
+        return u, v, metadata

@@ -1,0 +1,94 @@
+"""Method registry: every embedder in the paper's comparison, by name.
+
+The experiment harness (Figures 2-5, Tables 4-5) looks methods up here.
+Constructors take ``(dimension, seed)`` and apply laptop-scaled defaults;
+hyper-parameters follow each method's reference settings where feasible.
+
+Method groups, as in Section 6.1:
+
+* proposed: GEBE^p, GEBE (Poisson/Geometric/Uniform), MHP-BNE, MHS-BNE
+* BNE competitors: BiNE, BiGI
+* homogeneous NE competitors: DeepWalk, node2vec, LINE, NRP
+* collaborative filtering competitors: BPR, NCF, NGCF, LightGCN, GCMC,
+  CSE, LCFN, LR-GCCF, SCF
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..core import (
+    GEBEPoisson,
+    MHPOnlyBNE,
+    MHSOnlyBNE,
+    gebe_geometric,
+    gebe_poisson,
+    gebe_uniform,
+)
+from ..core.base import BipartiteEmbedder
+from .bigi import BiGI
+from .bine import BiNE
+from .bpr import BPR
+from .cse import CSE
+from .deepwalk import DeepWalk
+from .gnn import GCMC, LCFN, NGCF, SCF, LRGCCF, LightGCN
+from .line import LINE
+from .ncf import NCF
+from .node2vec import Node2Vec
+from .nrp import NRP
+
+__all__ = ["METHODS", "PROPOSED", "COMPETITORS", "make_method", "method_names"]
+
+MethodFactory = Callable[[int, Optional[int]], BipartiteEmbedder]
+
+#: Methods introduced by the paper (plus its two ablations).
+PROPOSED: Dict[str, MethodFactory] = {
+    "GEBE^p": lambda dim, seed: GEBEPoisson(dim, seed=seed),
+    "GEBE (Poisson)": lambda dim, seed: gebe_poisson(dim, seed=seed),
+    "GEBE (Geometric)": lambda dim, seed: gebe_geometric(dim, seed=seed),
+    "GEBE (Uniform)": lambda dim, seed: gebe_uniform(dim, seed=seed),
+    "MHP-BNE": lambda dim, seed: MHPOnlyBNE(dim, seed=seed),
+    "MHS-BNE": lambda dim, seed: MHSOnlyBNE(dim, seed=seed),
+}
+
+#: The fifteen competitors of Section 6.1.
+COMPETITORS: Dict[str, MethodFactory] = {
+    "BiNE": lambda dim, seed: BiNE(dim, seed=seed),
+    "BiGI": lambda dim, seed: BiGI(dim, seed=seed),
+    "DeepWalk": lambda dim, seed: DeepWalk(dim, seed=seed),
+    "node2vec": lambda dim, seed: Node2Vec(dim, seed=seed),
+    "LINE": lambda dim, seed: LINE(dim, seed=seed),
+    "NRP": lambda dim, seed: NRP(dim, seed=seed),
+    "BPR": lambda dim, seed: BPR(dim, seed=seed),
+    "NCF": lambda dim, seed: NCF(dim, seed=seed),
+    "NGCF": lambda dim, seed: NGCF(dim, seed=seed),
+    "LightGCN": lambda dim, seed: LightGCN(dim, seed=seed),
+    "GCMC": lambda dim, seed: GCMC(dim, seed=seed),
+    "CSE": lambda dim, seed: CSE(dim, seed=seed),
+    "LCFN": lambda dim, seed: LCFN(dim, seed=seed),
+    "LR-GCCF": lambda dim, seed: LRGCCF(dim, seed=seed),
+    "SCF": lambda dim, seed: SCF(dim, seed=seed),
+}
+
+#: Everything, in the row order of the paper's tables.
+METHODS: Dict[str, MethodFactory] = {**PROPOSED, **COMPETITORS}
+
+
+def method_names(group: Optional[str] = None) -> List[str]:
+    """Registered method names, optionally one group (``proposed``/``competitors``)."""
+    if group is None:
+        return list(METHODS)
+    if group == "proposed":
+        return list(PROPOSED)
+    if group == "competitors":
+        return list(COMPETITORS)
+    raise ValueError(f"unknown group: {group!r}")
+
+
+def make_method(
+    name: str, dimension: int = 128, seed: Optional[int] = None
+) -> BipartiteEmbedder:
+    """Instantiate a registered method by its table name."""
+    if name not in METHODS:
+        raise KeyError(f"unknown method {name!r}; choices: {sorted(METHODS)}")
+    return METHODS[name](dimension, seed)

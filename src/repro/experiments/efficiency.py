@@ -1,0 +1,86 @@
+"""Figure 2 reproduction: embedding-construction running time.
+
+For every dataset stand-in and every method within its cost budget, measure
+the wall-clock time of :meth:`BipartiteEmbedder.fit` (training only — data
+loading and output are excluded, as in Section 6.2) and render the
+method x dataset timing table that Figure 2 plots in log scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from ..baselines import make_method
+from ..datasets import DATASETS
+from .runner import ResultTable, should_run
+
+__all__ = ["run_efficiency", "EFFICIENCY_METHODS"]
+
+#: Figure 2's method set (all proposed + all competitors able to train
+#: unsupervised embeddings on any bipartite graph).
+EFFICIENCY_METHODS = [
+    "GEBE^p",
+    "GEBE (Poisson)",
+    "GEBE (Geometric)",
+    "GEBE (Uniform)",
+    "BiNE",
+    "BiGI",
+    "DeepWalk",
+    "node2vec",
+    "LINE",
+    "NRP",
+    "BPR",
+    "NCF",
+    "NGCF",
+    "LightGCN",
+    "GCMC",
+    "CSE",
+    "LCFN",
+    "LR-GCCF",
+    "SCF",
+]
+
+
+def run_efficiency(
+    dataset_names: Optional[Sequence[str]] = None,
+    method_names: Optional[Iterable[str]] = None,
+    *,
+    dimension: int = 64,
+    seed: int = 0,
+    budgets: Optional[Dict[str, int]] = None,
+) -> ResultTable:
+    """Measure training time of each method on each dataset stand-in.
+
+    Parameters
+    ----------
+    dataset_names:
+        Datasets to include (default: the full zoo, Table 3 order).
+    method_names:
+        Methods to include (default: Figure 2's set).
+    dimension:
+        Embedding dimension (the paper uses 128; 64 is the laptop default).
+    seed:
+        Shared seed for dataset generation and methods.
+    budgets:
+        Optional tier budget override (see :mod:`repro.experiments.runner`).
+
+    Returns
+    -------
+    ResultTable
+        Seconds per cell; ``None`` where the method exceeded its budget.
+    """
+    datasets = list(dataset_names) if dataset_names is not None else list(DATASETS)
+    methods = list(method_names) if method_names is not None else EFFICIENCY_METHODS
+    table = ResultTable(
+        title=f"Figure 2: embedding time (seconds), k={dimension}",
+        columns=datasets,
+    )
+    for dataset in datasets:
+        graph = DATASETS[dataset].load(seed)
+        for name in methods:
+            if not should_run(name, graph, budgets):
+                table.set(name, dataset, None)
+                continue
+            result = make_method(name, dimension=dimension, seed=seed).fit(graph)
+            table.set(name, dataset, result.elapsed_seconds)
+    return table

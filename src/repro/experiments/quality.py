@@ -1,0 +1,105 @@
+"""Tables 4 and 5 reproduction: top-N recommendation and link prediction.
+
+Runs every method within budget on every dataset of the matching task and
+assembles the paper-style score tables:
+
+* Table 4 — F1 / NDCG / MRR at N=10 on the weighted datasets,
+* Table 5 — AUC-ROC / AUC-PR on the unweighted datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..baselines import make_method, method_names
+from ..datasets import DATASETS, dataset_names
+from ..tasks import LinkPredictionTask, RecommendationTask
+from .runner import ResultTable, should_run
+
+__all__ = ["run_recommendation_table", "run_link_prediction_table", "TABLE_METHODS"]
+
+#: Row order of Tables 4-5.
+TABLE_METHODS: List[str] = method_names()
+
+
+def run_recommendation_table(
+    datasets: Optional[Sequence[str]] = None,
+    methods: Optional[Iterable[str]] = None,
+    *,
+    n: int = 10,
+    dimension: int = 64,
+    core: int = 5,
+    seed: int = 0,
+    budgets: Optional[Dict[str, int]] = None,
+) -> Dict[str, ResultTable]:
+    """Reproduce Table 4: one ResultTable per metric (f1, ndcg, mrr).
+
+    Parameters
+    ----------
+    datasets:
+        Weighted dataset names (default: all recommendation datasets).
+    methods:
+        Method names (default: full Table 4 roster).
+    n:
+        Recommendation list length (paper reports N=10 in the main table).
+    dimension, core, seed:
+        Embedding size, k-core threshold, and shared split/method seed.
+    """
+    chosen_datasets = (
+        list(datasets) if datasets is not None else dataset_names("recommendation")
+    )
+    chosen_methods = list(methods) if methods is not None else TABLE_METHODS
+    tables = {
+        metric: ResultTable(
+            title=f"Table 4 ({metric.upper()}), top-{n} recommendation, k={dimension}",
+            columns=chosen_datasets,
+        )
+        for metric in ("f1", "ndcg", "mrr")
+    }
+    for dataset in chosen_datasets:
+        graph = DATASETS[dataset].load(seed)
+        task = RecommendationTask(graph, n=n, core=core, seed=seed)
+        for name in chosen_methods:
+            if not should_run(name, task.split.train, budgets):
+                for table in tables.values():
+                    table.set(name, dataset, None)
+                continue
+            report = task.run(make_method(name, dimension=dimension, seed=seed))
+            tables["f1"].set(name, dataset, report.f1)
+            tables["ndcg"].set(name, dataset, report.ndcg)
+            tables["mrr"].set(name, dataset, report.mrr)
+    return tables
+
+
+def run_link_prediction_table(
+    datasets: Optional[Sequence[str]] = None,
+    methods: Optional[Iterable[str]] = None,
+    *,
+    dimension: int = 64,
+    seed: int = 0,
+    budgets: Optional[Dict[str, int]] = None,
+) -> Dict[str, ResultTable]:
+    """Reproduce Table 5: one ResultTable per metric (auc_roc, auc_pr)."""
+    chosen_datasets = (
+        list(datasets) if datasets is not None else dataset_names("link_prediction")
+    )
+    chosen_methods = list(methods) if methods is not None else TABLE_METHODS
+    tables = {
+        metric: ResultTable(
+            title=f"Table 5 ({metric}), link prediction, k={dimension}",
+            columns=chosen_datasets,
+        )
+        for metric in ("auc_roc", "auc_pr")
+    }
+    for dataset in chosen_datasets:
+        graph = DATASETS[dataset].load(seed)
+        task = LinkPredictionTask(graph, seed=seed)
+        for name in chosen_methods:
+            if not should_run(name, task.data.train, budgets):
+                for table in tables.values():
+                    table.set(name, dataset, None)
+                continue
+            report = task.run(make_method(name, dimension=dimension, seed=seed))
+            tables["auc_roc"].set(name, dataset, report.auc_roc)
+            tables["auc_pr"].set(name, dataset, report.auc_pr)
+    return tables

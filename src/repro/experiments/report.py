@@ -1,0 +1,110 @@
+"""Markdown report rendering for experiment results.
+
+Turns :class:`~repro.experiments.runner.ResultTable` objects and raw
+scoreboards (``{method: {dataset: value}}`` nests) into GitHub-flavored
+markdown tables — the format used by EXPERIMENTS.md — with the same
+dash-for-skipped convention as the paper's tables, and optional bolding of
+the per-column leader like the paper's highlighting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .runner import ResultTable
+
+__all__ = ["markdown_table", "result_table_to_markdown", "comparison_block"]
+
+
+def _format_cell(value, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def markdown_table(
+    board: Dict[str, Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    row_header: str = "method",
+    precision: int = 3,
+    bold_best: bool = False,
+) -> str:
+    """Render a ``{row: {column: value}}`` nest as a markdown table.
+
+    Parameters
+    ----------
+    board:
+        The scoreboard; missing cells render as dashes.
+    columns:
+        Column order (default: sorted union of all row keys).
+    row_header:
+        Header of the leading column.
+    precision:
+        Decimals for float cells.
+    bold_best:
+        Bold the largest numeric value in each column (the paper bolds the
+        per-dataset winner).
+    """
+    if columns is None:
+        columns = sorted({column for row in board.values() for column in row})
+    columns = list(columns)
+
+    best: Dict[str, object] = {}
+    if bold_best:
+        for column in columns:
+            numeric = [
+                row[column]
+                for row in board.values()
+                if isinstance(row.get(column), (int, float))
+            ]
+            if numeric:
+                best[column] = max(numeric)
+
+    lines = ["| " + row_header + " | " + " | ".join(columns) + " |"]
+    lines.append("|" + "---|" * (len(columns) + 1))
+    for name, row in board.items():
+        cells = []
+        for column in columns:
+            text = _format_cell(row.get(column), precision)
+            if bold_best and column in best and row.get(column) == best[column]:
+                text = f"**{text}**"
+            cells.append(text)
+        lines.append("| " + name + " | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def result_table_to_markdown(
+    table: ResultTable, *, precision: int = 3, bold_best: bool = False
+) -> str:
+    """Markdown rendering of a :class:`ResultTable`, title as a heading."""
+    body = markdown_table(
+        {method: dict(cells) for method, cells in table.rows.items()},
+        columns=table.columns,
+        precision=precision,
+        bold_best=bold_best,
+    )
+    return f"### {table.title}\n\n{body}"
+
+
+def comparison_block(
+    paper: Dict[str, float],
+    measured: Dict[str, float],
+    *,
+    label_paper: str = "paper",
+    label_measured: str = "measured",
+    precision: int = 3,
+) -> str:
+    """Two-row markdown block comparing published and measured values."""
+    keys: List[str] = list(paper)
+    for key in measured:
+        if key not in paper:
+            keys.append(key)
+    board = {
+        label_paper: {key: paper.get(key) for key in keys},
+        label_measured: {key: measured.get(key) for key in keys},
+    }
+    return markdown_table(board, columns=keys, row_header="source",
+                          precision=precision)

@@ -1,0 +1,147 @@
+"""Shared experiment infrastructure: method scheduling and result tables.
+
+The paper's protocol (Section 6.2) excludes a method from a dataset when it
+cannot finish within three days or runs out of memory; the published tables
+show dashes for those cells.  This harness mirrors that with *cost tiers*:
+each method belongs to a tier, and each tier has an edge-count budget above
+which the method is skipped (reported as ``None`` / a dash).  Matrix
+methods run everywhere; SGD/walk methods only on graphs they can finish in
+a laptop-scale benchmark session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.base import BipartiteEmbedder
+from ..graph import BipartiteGraph
+
+__all__ = [
+    "COST_TIERS",
+    "TIER_EDGE_BUDGETS",
+    "method_tier",
+    "should_run",
+    "ResultTable",
+]
+
+#: method name -> cost tier.  "fast": closed-form / one-factorization
+#: methods; "medium": vectorized-SGD methods with a few passes; "slow":
+#: walk-corpus or MLP methods (the ones the paper's timeout eliminates).
+COST_TIERS: Dict[str, str] = {
+    "GEBE^p": "fast",
+    "GEBE (Poisson)": "fast",
+    "GEBE (Geometric)": "fast",
+    "GEBE (Uniform)": "fast",
+    "MHP-BNE": "fast",
+    "MHS-BNE": "fast",
+    "NRP": "fast",
+    "LINE": "medium",
+    "BPR": "medium",
+    "NGCF": "medium",
+    "LightGCN": "medium",
+    "GCMC": "medium",
+    "LCFN": "medium",
+    "LR-GCCF": "medium",
+    "SCF": "medium",
+    "CSE": "slow",
+    "BiNE": "slow",
+    "BiGI": "slow",
+    "NCF": "slow",
+    "DeepWalk": "slow",
+    "node2vec": "slow",
+}
+
+#: tier -> maximum edge count a method of that tier is attempted on.  These
+#: play the role of the paper's three-day timeout at laptop scale.
+TIER_EDGE_BUDGETS: Dict[str, int] = {
+    "fast": 10 ** 9,
+    "medium": 300_000,
+    "slow": 80_000,
+}
+
+
+def method_tier(name: str) -> str:
+    """The cost tier of a registered method (unknown names are "slow")."""
+    return COST_TIERS.get(name, "slow")
+
+
+def should_run(
+    name: str,
+    graph: BipartiteGraph,
+    budgets: Optional[Dict[str, int]] = None,
+) -> bool:
+    """Whether ``name`` fits its tier budget on ``graph``."""
+    budgets = TIER_EDGE_BUDGETS if budgets is None else budgets
+    return graph.num_edges <= budgets[method_tier(name)]
+
+
+@dataclass
+class ResultTable:
+    """A paper-style results table: methods x datasets, any cell payload.
+
+    ``None`` cells print as dashes (method skipped / did not finish),
+    mirroring the paper's tables.
+    """
+
+    title: str
+    columns: List[str]
+    rows: Dict[str, Dict[str, Optional[object]]] = field(default_factory=dict)
+
+    def set(self, method: str, column: str, value: Optional[object]) -> None:
+        """Record one cell."""
+        self.rows.setdefault(method, {})[column] = value
+
+    def get(self, method: str, column: str) -> Optional[object]:
+        """Read one cell (missing cells read as ``None``)."""
+        return self.rows.get(method, {}).get(column)
+
+    def render(self, cell_format: str = "{:.3f}", width: int = 12) -> str:
+        """Format the table as aligned text."""
+        method_width = max([len("Method")] + [len(m) for m in self.rows]) + 2
+        lines = [self.title]
+        header = "Method".ljust(method_width) + "".join(
+            column.rjust(width) for column in self.columns
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for method, cells in self.rows.items():
+            parts = [method.ljust(method_width)]
+            for column in self.columns:
+                value = cells.get(column)
+                if value is None:
+                    parts.append("-".rjust(width))
+                elif isinstance(value, str):
+                    parts.append(value.rjust(width))
+                else:
+                    parts.append(cell_format.format(value).rjust(width))
+            lines.append("".join(parts))
+        return "\n".join(lines)
+
+    def best_method(self, column: str) -> Optional[str]:
+        """Name of the method with the highest numeric value in ``column``."""
+        best_name = None
+        best_value = None
+        for method, cells in self.rows.items():
+            value = cells.get(column)
+            if isinstance(value, (int, float)) and (
+                best_value is None or value > best_value
+            ):
+                best_value = value
+                best_name = method
+        return best_name
+
+
+def run_methods(
+    methods: Sequence[BipartiteEmbedder],
+    graph: BipartiteGraph,
+) -> Dict[str, float]:
+    """Fit each method on ``graph``; return name -> training seconds."""
+    timings: Dict[str, float] = {}
+    for method in methods:
+        result = method.fit(graph)
+        timings[result.method] = result.elapsed_seconds
+    return timings
+
+
+__all__.append("run_methods")

@@ -1,0 +1,123 @@
+"""Figure 3 reproduction: scalability on bipartite Erdős–Rényi graphs.
+
+The paper generates synthetic bipartite ER graphs, then reports GEBE and
+GEBE^p training time (a) varying node count at fixed edge count and
+(b) varying edge count at fixed node count, observing near-linear growth in
+both.  The same protocol is reproduced here at laptop scale (the paper's
+grids — up to 10^6 nodes / 10^8 edges — are divided by a constant factor;
+the linear *shape* is the reproduction target, not absolute sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core import GEBEPoisson, gebe_poisson
+from ..core.base import BipartiteEmbedder
+from ..datasets import erdos_renyi_bipartite
+
+__all__ = [
+    "ScalabilityPoint",
+    "run_node_scalability",
+    "run_edge_scalability",
+    "DEFAULT_NODE_GRID",
+    "DEFAULT_EDGE_GRID",
+]
+
+#: Paper grid {2,4,6,8,10} x 10^5 nodes, scaled by 1/10.
+DEFAULT_NODE_GRID = (20_000, 40_000, 60_000, 80_000, 100_000)
+#: Paper grid {2,4,6,8,10} x 10^7 edges, scaled by 1/100.
+DEFAULT_EDGE_GRID = (200_000, 400_000, 600_000, 800_000, 1_000_000)
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """One measurement: graph size and per-method training seconds."""
+
+    num_nodes: int
+    num_edges: int
+    seconds: dict
+
+
+def _default_methods(dimension: int, seed: int) -> List[BipartiteEmbedder]:
+    # GEBE's KSI budget is capped for the sweep: the runtime-vs-size slope,
+    # not the (size-independent) iteration count, is what Figure 3 measures.
+    return [
+        GEBEPoisson(dimension, seed=seed),
+        gebe_poisson(dimension, seed=seed, max_iterations=20),
+    ]
+
+
+def _measure(
+    num_u: int,
+    num_v: int,
+    num_edges: int,
+    methods: Optional[List[BipartiteEmbedder]],
+    dimension: int,
+    seed: int,
+) -> ScalabilityPoint:
+    graph = erdos_renyi_bipartite(num_u, num_v, num_edges, seed=seed)
+    chosen = methods if methods is not None else _default_methods(dimension, seed)
+    seconds = {}
+    for method in chosen:
+        result = method.fit(graph)
+        seconds[result.method] = result.elapsed_seconds
+    return ScalabilityPoint(
+        num_nodes=num_u + num_v, num_edges=num_edges, seconds=seconds
+    )
+
+
+def run_node_scalability(
+    node_grid: Sequence[int] = DEFAULT_NODE_GRID,
+    *,
+    num_edges: int = 500_000,
+    dimension: int = 32,
+    seed: int = 0,
+    methods: Optional[List[BipartiteEmbedder]] = None,
+) -> List[ScalabilityPoint]:
+    """Figure 3(a): vary total node count at a fixed edge count.
+
+    Nodes are split evenly between the two sides, as the ER protocol has no
+    preferred aspect ratio.
+    """
+    points = []
+    for total_nodes in node_grid:
+        num_u = total_nodes // 2
+        num_v = total_nodes - num_u
+        points.append(_measure(num_u, num_v, num_edges, methods, dimension, seed))
+    return points
+
+
+def run_edge_scalability(
+    edge_grid: Sequence[int] = DEFAULT_EDGE_GRID,
+    *,
+    num_nodes: int = 100_000,
+    dimension: int = 32,
+    seed: int = 0,
+    methods: Optional[List[BipartiteEmbedder]] = None,
+) -> List[ScalabilityPoint]:
+    """Figure 3(b): vary edge count at a fixed node count."""
+    points = []
+    num_u = num_nodes // 2
+    num_v = num_nodes - num_u
+    for num_edges in edge_grid:
+        points.append(_measure(num_u, num_v, num_edges, methods, dimension, seed))
+    return points
+
+
+def render_points(points: List[ScalabilityPoint], axis: str) -> str:
+    """Format a sweep as aligned text (axis: ``"nodes"`` or ``"edges"``)."""
+    if not points:
+        return "(no points)"
+    methods = list(points[0].seconds)
+    header = axis.rjust(12) + "".join(m.rjust(18) for m in methods)
+    lines = [header, "-" * len(header)]
+    for point in points:
+        size = point.num_nodes if axis == "nodes" else point.num_edges
+        cells = "".join(f"{point.seconds[m]:.2f}s".rjust(18) for m in methods)
+        lines.append(f"{size:>12,}" + cells)
+    return "\n".join(lines)
+
+
+__all__.append("render_points")

@@ -1,0 +1,103 @@
+"""Grid search over method hyper-parameters against a task.
+
+Small, explicit utility used for the parameter studies and for calibrating
+defaults (e.g. the Poisson ``lambda`` scale in DESIGN.md §6).  Given a
+method factory, a parameter grid, and a task, it evaluates every
+combination and reports the scored grid plus the best configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.base import BipartiteEmbedder
+
+__all__ = ["GridSearchResult", "grid_search"]
+
+MethodFactory = Callable[..., BipartiteEmbedder]
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of :func:`grid_search`.
+
+    Attributes
+    ----------
+    scores:
+        One ``(params, score)`` pair per grid point, in evaluation order.
+    metric:
+        Name of the metric that was maximized.
+    """
+
+    scores: List[Tuple[Dict[str, object], float]] = field(default_factory=list)
+    metric: str = "score"
+
+    @property
+    def best_params(self) -> Dict[str, object]:
+        if not self.scores:
+            raise ValueError("empty grid search")
+        return max(self.scores, key=lambda pair: pair[1])[0]
+
+    @property
+    def best_score(self) -> float:
+        if not self.scores:
+            raise ValueError("empty grid search")
+        return max(score for _, score in self.scores)
+
+    def render(self) -> str:
+        """Aligned text summary, best configuration last."""
+        lines = [f"grid search ({self.metric}), {len(self.scores)} points:"]
+        for params, score in self.scores:
+            rendered = ", ".join(f"{k}={v}" for k, v in params.items())
+            lines.append(f"  {score:.4f}  {rendered}")
+        best = ", ".join(f"{k}={v}" for k, v in self.best_params.items())
+        lines.append(f"best: {self.best_score:.4f} at {best}")
+        return "\n".join(lines)
+
+
+def grid_search(
+    factory: MethodFactory,
+    grid: Dict[str, Sequence],
+    task,
+    *,
+    metric: str = "f1",
+) -> GridSearchResult:
+    """Exhaustively evaluate ``factory(**params)`` over the parameter grid.
+
+    Parameters
+    ----------
+    factory:
+        Callable building a :class:`BipartiteEmbedder` from keyword
+        parameters (e.g. ``lambda lam: GEBEPoisson(64, lam=lam, seed=0)``
+        wrapped to accept ``**params``).
+    grid:
+        ``{parameter: candidate values}``; the full cross product is tried.
+    task:
+        A :class:`~repro.tasks.recommendation.RecommendationTask` or
+        :class:`~repro.tasks.link_prediction.LinkPredictionTask` — anything
+        with ``run(method) -> report``.
+    metric:
+        Report attribute to maximize (``"f1"``, ``"ndcg"``, ``"mrr"``,
+        ``"auc_roc"``, ``"auc_pr"``).
+
+    Returns
+    -------
+    GridSearchResult
+        All scored points plus the best configuration.
+    """
+    if not grid:
+        raise ValueError("grid must contain at least one parameter")
+    names = list(grid)
+    scores: List[Tuple[Dict[str, object], float]] = []
+    for values in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, values))
+        method = factory(**params)
+        report = task.run(method)
+        if not hasattr(report, metric):
+            raise AttributeError(
+                f"report of type {type(report).__name__} has no metric {metric!r}"
+            )
+        scores.append((params, float(getattr(report, metric))))
+    return GridSearchResult(scores=scores, metric=metric)

@@ -1,0 +1,32 @@
+"""Bipartite graph substrate: data structure, IO, and k-core filtering."""
+
+from .bipartite import BipartiteGraph, Edge
+from .io import load_npz, read_edge_list, save_npz, write_edge_list
+from .kcore import k_core, k_core_indices
+from .stats import (
+    DegreeSummary,
+    connected_components,
+    count_butterflies,
+    degree_summary,
+    giant_component_fraction,
+    gini_coefficient,
+    graph_summary,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "Edge",
+    "read_edge_list",
+    "write_edge_list",
+    "save_npz",
+    "load_npz",
+    "k_core",
+    "k_core_indices",
+    "DegreeSummary",
+    "degree_summary",
+    "gini_coefficient",
+    "connected_components",
+    "giant_component_fraction",
+    "count_butterflies",
+    "graph_summary",
+]

@@ -1,0 +1,27 @@
+"""Linear algebra substrate: matrix-free operators, KSI, randomized SVD."""
+
+from .krylov import EigenResult, subspace_distance, subspace_iteration
+from .ops import MatrixFreeOperator, gram_apply, pmf_weighted_apply
+from .qr import is_semi_unitary, random_semi_unitary, thin_qr
+from .randomized_svd import (
+    SVDResult,
+    exact_svd,
+    krylov_iteration_count,
+    randomized_svd,
+)
+
+__all__ = [
+    "MatrixFreeOperator",
+    "gram_apply",
+    "pmf_weighted_apply",
+    "thin_qr",
+    "random_semi_unitary",
+    "is_semi_unitary",
+    "EigenResult",
+    "subspace_iteration",
+    "subspace_distance",
+    "SVDResult",
+    "randomized_svd",
+    "exact_svd",
+    "krylov_iteration_count",
+]

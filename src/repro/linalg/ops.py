@@ -1,0 +1,155 @@
+"""Matrix-free linear operators used throughout GEBE.
+
+GEBE never materializes the ``|U| x |U|`` matrix ``H``; every algorithm only
+needs products ``H @ Z`` against tall-skinny blocks.  The operators here
+implement those products with the re-association trick from Algorithm 1:
+``(W W^T) Q`` is evaluated as ``W @ (W.T @ Q)`` which costs ``O(|E| k)``
+instead of ``O(|U|^2 k)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "gram_apply",
+    "pmf_weighted_apply",
+    "MatrixFreeOperator",
+    "ProximityOperator",
+]
+
+
+def gram_apply(w: sp.spmatrix, block: np.ndarray) -> np.ndarray:
+    """Compute ``(W @ W.T) @ block`` without forming ``W @ W.T``.
+
+    Parameters
+    ----------
+    w:
+        Sparse ``|U| x |V|`` weight matrix.
+    block:
+        Dense ``|U| x k`` block.
+    """
+    return w @ (w.T @ block)
+
+
+def pmf_weighted_apply(
+    w: sp.spmatrix, block: np.ndarray, weights: Sequence[float]
+) -> np.ndarray:
+    """Compute ``H @ block`` where ``H = sum_l weights[l] * (W W^T)^l``.
+
+    This is the power-iteration inner loop of Algorithm 1 (Lines 3-6): it
+    maintains ``Q_l = (W W^T)^l @ block`` and accumulates
+    ``Q = sum_l weights[l] * Q_l``.  ``weights[l]`` is ``omega(l)`` for the
+    chosen PMF truncated at ``tau = len(weights) - 1``.
+
+    Time: ``O(tau * |E| * k)``.  Space: two extra ``|U| x k`` blocks.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("weights must be a non-empty 1-D sequence")
+    q_ell = np.array(block, dtype=np.float64, copy=True)
+    acc = weights[0] * q_ell
+    for omega_ell in weights[1:]:
+        q_ell = gram_apply(w, q_ell)
+        acc += omega_ell * q_ell
+    return acc
+
+
+class MatrixFreeOperator:
+    """A symmetric PSD operator ``x -> H x`` defined by ``W`` and PMF weights.
+
+    Wraps :func:`pmf_weighted_apply` with a fixed ``W`` and weight vector so
+    it can be handed to the Krylov eigensolver.  The operator represents
+    ``H = sum_{l=0}^{tau} omega(l) (W W^T)^l`` (paper Eq. 3) restricted to the
+    first ``tau + 1`` terms.
+    """
+
+    def __init__(self, w: sp.spmatrix, weights: Sequence[float]):
+        self.w = sp.csr_matrix(w, dtype=np.float64)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if self.weights.ndim != 1 or self.weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+
+    @property
+    def shape(self) -> tuple:
+        n = self.w.shape[0]
+        return (n, n)
+
+    def matmat(self, block: np.ndarray) -> np.ndarray:
+        """Apply the operator to a dense ``|U| x k`` block."""
+        block = np.atleast_2d(np.asarray(block, dtype=np.float64))
+        if block.shape[0] != self.w.shape[0]:
+            raise ValueError(
+                f"block has {block.shape[0]} rows, operator expects {self.w.shape[0]}"
+            )
+        return pmf_weighted_apply(self.w, block, self.weights)
+
+    def matvec(self, vector: np.ndarray) -> np.ndarray:
+        """Apply the operator to a single vector."""
+        return self.matmat(np.asarray(vector).reshape(-1, 1)).ravel()
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize ``H`` densely (reference/testing only)."""
+        return self.matmat(np.eye(self.w.shape[0]))
+
+    __call__: Callable[[np.ndarray], np.ndarray] = matmat
+
+
+class ProximityOperator:
+    """Matrix-free MHP operator ``P = H W`` (paper Eq. 5).
+
+    Behaves enough like a ``|U| x |V|`` matrix — supporting ``shape``,
+    ``P @ block`` and ``P.T @ block`` — to be fed straight into the
+    randomized SVD, enabling a best rank-k factorization of the truncated
+    proximity matrix without materializing it (the MHP-BNE ablation).
+
+    ``P @ x``   is evaluated as ``H (W x)``       — cost ``O((tau+1) |E| k)``.
+    ``P.T @ y`` is evaluated as ``W^T (H y)``      — same cost, using that
+    ``H`` is symmetric.
+    """
+
+    # Make `ndarray @ operator` defer to our __rmatmul__ instead of numpy
+    # trying to treat the operator as a 0-d array.
+    __array_ufunc__ = None
+
+    def __init__(self, w: sp.spmatrix, weights: Sequence[float]):
+        self._h = MatrixFreeOperator(w, weights)
+        self._w = self._h.w
+
+    @property
+    def shape(self) -> tuple:
+        return self._w.shape
+
+    def __matmul__(self, block: np.ndarray) -> np.ndarray:
+        return self._h.matmat(np.asarray(self._w @ block))
+
+    def __rmatmul__(self, block: np.ndarray) -> np.ndarray:
+        # block @ P  ==  (P.T @ block.T).T; needed for the Rayleigh-Ritz
+        # projection step of the randomized SVD.
+        return (self.T @ np.asarray(block).T).T
+
+    @property
+    def T(self) -> "_TransposedProximity":
+        return _TransposedProximity(self)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize ``P`` densely (reference/testing only)."""
+        return self @ np.eye(self._w.shape[1])
+
+
+class _TransposedProximity:
+    """The ``P.T`` view used by the randomized SVD's normal-equation steps."""
+
+    def __init__(self, parent: ProximityOperator):
+        self._parent = parent
+
+    @property
+    def shape(self) -> tuple:
+        m, n = self._parent.shape
+        return (n, m)
+
+    def __matmul__(self, block: np.ndarray) -> np.ndarray:
+        return self._parent._w.T @ self._parent._h.matmat(np.asarray(block))

@@ -1,0 +1,58 @@
+"""QR utilities: orthonormalization and random semi-unitary starts.
+
+Krylov subspace iteration (Algorithm 1, Line 7) repeatedly re-orthonormalizes
+the iterate block with a thin QR decomposition.  These helpers centralize the
+numerical conventions: economic QR with a sign fix so that factorizations are
+deterministic, plus the random semi-unitary initializer from Line 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["thin_qr", "random_semi_unitary", "is_semi_unitary"]
+
+
+def thin_qr(block: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Economic QR with a deterministic sign convention.
+
+    LAPACK's QR leaves the signs of the ``R`` diagonal arbitrary; we flip
+    columns of ``Q`` (and rows of ``R``) so every diagonal entry of ``R`` is
+    non-negative.  This makes repeated factorizations stable targets for
+    convergence checks and makes the extracted Ritz values (``R`` diagonal,
+    Algorithm 1 Lines 8-10) non-negative as the paper assumes.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2:
+        raise ValueError("thin_qr expects a 2-D array")
+    q, r = np.linalg.qr(block, mode="reduced")
+    diag = np.diagonal(r).copy()
+    signs = np.where(diag < 0, -1.0, 1.0)
+    q = q * signs[np.newaxis, :]
+    r = r * signs[:, np.newaxis]
+    return q, r
+
+
+def random_semi_unitary(
+    n: int, k: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """A random ``n x k`` matrix ``Z`` with ``Z.T @ Z = I`` (Algorithm 1 Line 1).
+
+    Drawn by orthonormalizing a Gaussian block, which yields a sample from
+    the Haar measure on the Stiefel manifold.
+    """
+    if not 0 < k <= n:
+        raise ValueError(f"need 0 < k <= n, got n={n}, k={k}")
+    rng = np.random.default_rng() if rng is None else rng
+    gaussian = rng.standard_normal((n, k))
+    q, _ = thin_qr(gaussian)
+    return q
+
+
+def is_semi_unitary(block: np.ndarray, tol: float = 1e-8) -> bool:
+    """Whether ``block.T @ block`` is the identity, within ``tol``."""
+    block = np.asarray(block, dtype=np.float64)
+    gram = block.T @ block
+    return bool(np.allclose(gram, np.eye(block.shape[1]), atol=tol))

@@ -1,0 +1,37 @@
+"""Evaluation metrics: ranking (top-N) and binary classification (LP)."""
+
+from .classification import (
+    accuracy,
+    average_precision,
+    classification_summary,
+    log_loss,
+    precision_recall_curve,
+    roc_auc,
+    roc_curve,
+)
+from .ranking import (
+    RankingScores,
+    f1_at_n,
+    ndcg_at_n,
+    precision_at_n,
+    recall_at_n,
+    reciprocal_rank,
+    score_rankings,
+)
+
+__all__ = [
+    "precision_at_n",
+    "recall_at_n",
+    "f1_at_n",
+    "ndcg_at_n",
+    "reciprocal_rank",
+    "RankingScores",
+    "score_rankings",
+    "roc_auc",
+    "roc_curve",
+    "precision_recall_curve",
+    "average_precision",
+    "accuracy",
+    "log_loss",
+    "classification_summary",
+]

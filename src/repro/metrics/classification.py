@@ -1,0 +1,129 @@
+"""Binary classification metrics for link prediction (paper Section 6.4).
+
+The paper reports the area under the ROC curve (AUC-ROC) and under the
+Precision-Recall curve (AUC-PR).  Both are implemented from scratch:
+
+* AUC-ROC uses the rank-statistic (Mann-Whitney U) formulation with midrank
+  tie handling — exact and ``O(n log n)``.
+* AUC-PR uses average precision, the standard step-wise interpolation of
+  the PR curve (what scikit-learn's ``average_precision_score`` computes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "roc_auc",
+    "average_precision",
+    "roc_curve",
+    "precision_recall_curve",
+    "accuracy",
+    "log_loss",
+    "classification_summary",
+]
+
+
+def _validate(labels: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have equal length")
+    if labels.size == 0:
+        raise ValueError("empty input")
+    unique = np.unique(labels)
+    if not np.isin(unique, (0.0, 1.0)).all():
+        raise ValueError("labels must be binary (0/1)")
+    return labels, scores
+
+
+def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Exact AUC-ROC via midranks (ties averaged).
+
+    Equals the probability that a random positive outranks a random
+    negative, with ties counting half.
+    """
+    labels, scores = _validate(labels, scores)
+    num_pos = float(labels.sum())
+    num_neg = float(labels.size - num_pos)
+    if num_pos == 0 or num_neg == 0:
+        raise ValueError("need at least one positive and one negative")
+    order = np.argsort(scores, kind="mergesort")
+    sorted_scores = scores[order]
+    ranks = np.empty(labels.size, dtype=np.float64)
+    # Midranks: equal scores share the average of their 1-based positions.
+    i = 0
+    while i < sorted_scores.size:
+        j = i
+        while j + 1 < sorted_scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum_pos = float(ranks[labels == 1].sum())
+    u_statistic = rank_sum_pos - num_pos * (num_pos + 1) / 2.0
+    return u_statistic / (num_pos * num_neg)
+
+
+def roc_curve(labels: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """ROC points ``(fpr, tpr)`` at every distinct threshold, descending."""
+    labels, scores = _validate(labels, scores)
+    order = np.argsort(-scores, kind="mergesort")
+    labels = labels[order]
+    scores = scores[order]
+    distinct = np.r_[np.flatnonzero(np.diff(scores)), labels.size - 1]
+    tps = np.cumsum(labels)[distinct]
+    fps = (distinct + 1) - tps
+    num_pos = labels.sum()
+    num_neg = labels.size - num_pos
+    tpr = np.r_[0.0, tps / max(num_pos, 1)]
+    fpr = np.r_[0.0, fps / max(num_neg, 1)]
+    return fpr, tpr
+
+
+def precision_recall_curve(
+    labels: np.ndarray, scores: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """PR points ``(recall, precision)`` at every distinct threshold."""
+    labels, scores = _validate(labels, scores)
+    order = np.argsort(-scores, kind="mergesort")
+    labels = labels[order]
+    scores = scores[order]
+    distinct = np.r_[np.flatnonzero(np.diff(scores)), labels.size - 1]
+    tps = np.cumsum(labels)[distinct]
+    predicted = distinct + 1
+    precision = tps / predicted
+    num_pos = labels.sum()
+    recall = tps / max(num_pos, 1)
+    return recall, precision
+
+
+def average_precision(labels: np.ndarray, scores: np.ndarray) -> float:
+    """AUC-PR as average precision: ``sum_k (R_k - R_{k-1}) P_k``."""
+    recall, precision = precision_recall_curve(labels, scores)
+    recall = np.r_[0.0, recall]
+    return float(np.sum(np.diff(recall) * precision))
+
+
+def accuracy(labels: np.ndarray, scores: np.ndarray, threshold: float = 0.5) -> float:
+    """Fraction of correct predictions at the given score threshold."""
+    labels, scores = _validate(labels, scores)
+    predictions = (scores >= threshold).astype(np.float64)
+    return float((predictions == labels).mean())
+
+
+def log_loss(labels: np.ndarray, probabilities: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean binary cross-entropy of predicted probabilities."""
+    labels, probabilities = _validate(labels, probabilities)
+    clipped = np.clip(probabilities, eps, 1.0 - eps)
+    losses = -(labels * np.log(clipped) + (1 - labels) * np.log(1 - clipped))
+    return float(losses.mean())
+
+
+def classification_summary(labels: np.ndarray, scores: np.ndarray) -> Dict[str, float]:
+    """The paper's link-prediction pair: ``auc_roc`` and ``auc_pr``."""
+    return {
+        "auc_roc": roc_auc(labels, scores),
+        "auc_pr": average_precision(labels, scores),
+    }

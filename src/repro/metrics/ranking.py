@@ -1,0 +1,141 @@
+"""Ranking metrics for top-N recommendation (paper Section 6.3).
+
+The paper scores a recommended list against a per-user ground-truth list
+with three metrics: F1, Normalized Discounted Cumulative Gain (NDCG), and
+Mean Reciprocal Rank (MRR), each averaged over users.  All three are
+implemented here from scratch on plain sequences so they can be unit-tested
+against hand-computed values.
+
+Conventions (matching common top-N evaluation practice and the paper's
+description):
+
+* ``recommended`` is an ordered list of item ids (best first), already cut
+  to length N by the caller.
+* ``ground_truth`` is the ordered relevant list (used as a set for hits;
+  the ordering matters only through its length for the NDCG ideal).
+* Users with empty ground truth are skipped by the aggregators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "precision_at_n",
+    "recall_at_n",
+    "f1_at_n",
+    "ndcg_at_n",
+    "reciprocal_rank",
+    "RankingScores",
+    "score_rankings",
+]
+
+
+def precision_at_n(recommended: Sequence, ground_truth: Iterable) -> float:
+    """Fraction of recommended items that are relevant."""
+    if len(recommended) == 0:
+        return 0.0
+    truth = set(ground_truth)
+    hits = sum(1 for item in recommended if item in truth)
+    return hits / len(recommended)
+
+
+def recall_at_n(recommended: Sequence, ground_truth: Iterable) -> float:
+    """Fraction of relevant items that were recommended."""
+    truth = set(ground_truth)
+    if not truth:
+        return 0.0
+    hits = sum(1 for item in recommended if item in truth)
+    return hits / len(truth)
+
+
+def f1_at_n(recommended: Sequence, ground_truth: Iterable) -> float:
+    """Harmonic mean of precision@N and recall@N (0 when both are 0)."""
+    precision = precision_at_n(recommended, ground_truth)
+    recall = recall_at_n(recommended, ground_truth)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def ndcg_at_n(recommended: Sequence, ground_truth: Sequence) -> float:
+    """Normalized discounted cumulative gain with binary relevance.
+
+    ``DCG = sum_i rel_i / log2(i + 1)`` over recommendation positions
+    (1-based); the ideal DCG places all ``min(N, |truth|)`` hits first.
+    """
+    truth = set(ground_truth)
+    if not truth or len(recommended) == 0:
+        return 0.0
+    gains = np.array(
+        [1.0 if item in truth else 0.0 for item in recommended], dtype=np.float64
+    )
+    discounts = 1.0 / np.log2(np.arange(2, gains.size + 2, dtype=np.float64))
+    dcg = float(gains @ discounts)
+    ideal_hits = min(len(truth), len(recommended))
+    idcg = float(discounts[:ideal_hits].sum())
+    return dcg / idcg if idcg > 0 else 0.0
+
+
+def reciprocal_rank(recommended: Sequence, ground_truth: Iterable) -> float:
+    """``1 / rank`` of the first relevant recommendation (0 when none hit)."""
+    truth = set(ground_truth)
+    for position, item in enumerate(recommended, start=1):
+        if item in truth:
+            return 1.0 / position
+    return 0.0
+
+
+class RankingScores:
+    """Streaming aggregator of per-user ranking metrics.
+
+    Feed per-user ``(recommended, ground_truth)`` pairs with :meth:`update`;
+    read macro-averages with :meth:`summary`.  Users with empty ground truth
+    are ignored, matching the paper's per-user averaging.
+    """
+
+    def __init__(self) -> None:
+        self._f1: list = []
+        self._ndcg: list = []
+        self._mrr: list = []
+        self._precision: list = []
+        self._recall: list = []
+
+    def update(self, recommended: Sequence, ground_truth: Sequence) -> None:
+        """Record one user's scores (skipped when ground truth is empty)."""
+        if len(ground_truth) == 0:
+            return
+        self._precision.append(precision_at_n(recommended, ground_truth))
+        self._recall.append(recall_at_n(recommended, ground_truth))
+        self._f1.append(f1_at_n(recommended, ground_truth))
+        self._ndcg.append(ndcg_at_n(recommended, ground_truth))
+        self._mrr.append(reciprocal_rank(recommended, ground_truth))
+
+    @property
+    def num_users(self) -> int:
+        """How many users contributed to the averages."""
+        return len(self._f1)
+
+    def summary(self) -> Dict[str, float]:
+        """Macro-averaged ``precision``, ``recall``, ``f1``, ``ndcg``, ``mrr``."""
+        if not self._f1:
+            return {"precision": 0.0, "recall": 0.0, "f1": 0.0, "ndcg": 0.0, "mrr": 0.0}
+        return {
+            "precision": float(np.mean(self._precision)),
+            "recall": float(np.mean(self._recall)),
+            "f1": float(np.mean(self._f1)),
+            "ndcg": float(np.mean(self._ndcg)),
+            "mrr": float(np.mean(self._mrr)),
+        }
+
+
+def score_rankings(
+    per_user: Iterable, ground_truths: Iterable
+) -> Dict[str, float]:
+    """Convenience wrapper: aggregate metrics over aligned user sequences."""
+    scores = RankingScores()
+    for recommended, truth in zip(per_user, ground_truths):
+        scores.update(recommended, truth)
+    return scores.summary()

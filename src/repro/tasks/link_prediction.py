@@ -1,0 +1,106 @@
+"""Link prediction evaluation (paper Section 6.4).
+
+Protocol, mirrored from the paper:
+
+1. Remove 40% of the edges; the residual graph is the training input.
+2. Fit an embedding method on the residual graph.
+3. Build length-2k features by concatenating ``U[u_i]`` and ``V[v_j]`` for
+   each candidate pair, train a binary logistic regression on the training
+   edges (positives) plus sampled non-edges (negatives).
+4. Score the held-out test set — removed edges vs. an equal number of
+   sampled non-edges — with AUC-ROC and AUC-PR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import BipartiteEmbedder, EmbeddingResult
+from ..graph import BipartiteGraph
+from ..metrics import average_precision, roc_auc
+from .logistic import LogisticRegression
+from .splits import LinkPredictionData, link_prediction_split
+
+__all__ = ["LinkPredictionTask", "LinkPredictionReport", "evaluate_link_prediction"]
+
+
+@dataclass(frozen=True)
+class LinkPredictionReport:
+    """Scores of one method on one link-prediction workload."""
+
+    method: str
+    auc_roc: float
+    auc_pr: float
+    num_test: int
+    elapsed_seconds: float
+
+    def row(self) -> str:
+        """A Table-5-style text row."""
+        return (
+            f"{self.method:<22} AUC-ROC={self.auc_roc:.3f}  "
+            f"AUC-PR={self.auc_pr:.3f}  ({self.elapsed_seconds:.2f}s)"
+        )
+
+
+def evaluate_link_prediction(
+    result: EmbeddingResult,
+    data: LinkPredictionData,
+    *,
+    l2: float = 1.0,
+) -> LinkPredictionReport:
+    """Train the edge classifier on ``data`` and score the test pairs."""
+    train_u = np.concatenate([data.train_pos_u, data.train_neg_u])
+    train_v = np.concatenate([data.train_pos_v, data.train_neg_v])
+    train_labels = np.concatenate(
+        [np.ones(data.train_pos_u.size), np.zeros(data.train_neg_u.size)]
+    )
+    classifier = LogisticRegression(l2=l2).fit(
+        result.edge_features(train_u, train_v), train_labels
+    )
+    scores = classifier.decision_function(
+        result.edge_features(data.test_u, data.test_v)
+    )
+    return LinkPredictionReport(
+        method=result.method,
+        auc_roc=roc_auc(data.test_labels, scores),
+        auc_pr=average_precision(data.test_labels, scores),
+        num_test=data.test_labels.size,
+        elapsed_seconds=result.elapsed_seconds,
+    )
+
+
+class LinkPredictionTask:
+    """A reusable link-prediction workload: split once, reuse per method.
+
+    Parameters
+    ----------
+    graph:
+        The full unweighted interaction graph.
+    holdout_fraction:
+        Fraction of edges removed for testing (paper uses 0.4).
+    seed:
+        Controls the split and the negative samples; fixed per task so every
+        method faces identical data.
+    l2:
+        Regularization of the downstream logistic classifier.
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        *,
+        holdout_fraction: float = 0.4,
+        seed: Optional[int] = 0,
+        l2: float = 1.0,
+    ):
+        self.graph = graph
+        self.l2 = l2
+        self.data = link_prediction_split(graph, holdout_fraction, seed=seed)
+
+    def run(self, method: BipartiteEmbedder) -> LinkPredictionReport:
+        """Fit ``method`` on the residual graph and evaluate AUCs."""
+        result = method.fit(self.data.train)
+        return evaluate_link_prediction(result, self.data, l2=self.l2)

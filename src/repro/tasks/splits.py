@@ -1,0 +1,192 @@
+"""Train/test edge splitting and negative sampling.
+
+Implements the paper's two evaluation protocols:
+
+* **Recommendation split** (Section 6.3) — 60% of edges for training, 40%
+  held out as ground truth, after 10-core filtering.
+* **Link-prediction split** (Section 6.4) — remove 40% of the edges to form
+  a residual training graph, and pair the removed edges with an equal number
+  of sampled non-edges as negatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import BipartiteGraph
+
+__all__ = ["EdgeSplit", "split_edges", "sample_negative_edges", "LinkPredictionData", "link_prediction_split"]
+
+
+@dataclass(frozen=True)
+class EdgeSplit:
+    """A train/test partition of a graph's edges.
+
+    Attributes
+    ----------
+    train:
+        Residual graph containing only the training edges (same node sets).
+    test_u, test_v, test_w:
+        Parallel arrays describing the held-out edges.
+    """
+
+    train: BipartiteGraph
+    test_u: np.ndarray
+    test_v: np.ndarray
+    test_w: np.ndarray
+
+    @property
+    def num_test_edges(self) -> int:
+        return self.test_u.size
+
+
+def split_edges(
+    graph: BipartiteGraph,
+    train_fraction: float = 0.6,
+    *,
+    seed: Optional[int] = None,
+) -> EdgeSplit:
+    """Randomly partition edges into train/test (paper uses 60/40).
+
+    The node sets are unchanged — test edges are zeroed out of the weight
+    matrix, so nodes can become isolated in the training graph (as in the
+    paper's protocol, embeddings must still be produced for them).
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    u_idx, v_idx, weights = graph.edge_array()
+    order = rng.permutation(u_idx.size)
+    num_train = int(round(train_fraction * u_idx.size))
+    train_sel = order[:num_train]
+    test_sel = order[num_train:]
+
+    train_w = sp.coo_matrix(
+        (weights[train_sel], (u_idx[train_sel], v_idx[train_sel])),
+        shape=graph.w.shape,
+    ).tocsr()
+    train = BipartiteGraph(train_w, u_labels=graph.u_labels, v_labels=graph.v_labels)
+    return EdgeSplit(
+        train=train,
+        test_u=u_idx[test_sel],
+        test_v=v_idx[test_sel],
+        test_w=weights[test_sel],
+    )
+
+
+def sample_negative_edges(
+    graph: BipartiteGraph,
+    count: int,
+    *,
+    seed: Optional[int] = None,
+    exclude: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` distinct node pairs that are NOT edges of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The *full* graph (train + test edges) whose non-edges are sampled.
+    count:
+        Number of negatives; must leave room given the graph density.
+    exclude:
+        Extra ``(u_idx, v_idx)`` pairs to avoid (e.g. already-sampled sets).
+
+    Returns
+    -------
+    (u_idx, v_idx):
+        Parallel arrays of the sampled non-edges.
+    """
+    possible = graph.num_u * graph.num_v - graph.num_edges
+    if count > possible:
+        raise ValueError(f"cannot sample {count} negatives; only {possible} non-edges")
+    rng = np.random.default_rng(seed)
+    forbidden = set(zip(*graph.edge_array()[:2]))
+    if exclude is not None:
+        forbidden |= set(zip(np.asarray(exclude[0]), np.asarray(exclude[1])))
+
+    out_u: list = []
+    out_v: list = []
+    seen: set = set()
+    while len(out_u) < count:
+        batch = max(256, int((count - len(out_u)) * 1.5))
+        cand_u = rng.integers(0, graph.num_u, size=batch)
+        cand_v = rng.integers(0, graph.num_v, size=batch)
+        for i, j in zip(cand_u, cand_v):
+            key = (int(i), int(j))
+            if key in forbidden or key in seen:
+                continue
+            seen.add(key)
+            out_u.append(key[0])
+            out_v.append(key[1])
+            if len(out_u) == count:
+                break
+    return np.asarray(out_u, dtype=np.int64), np.asarray(out_v, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class LinkPredictionData:
+    """Everything needed to run the paper's link-prediction protocol.
+
+    ``train`` is the residual graph methods are fit on.  The test set mixes
+    the removed edges (label 1) with an equal number of non-edges (label 0).
+    ``train_pos_u/v`` are the surviving training edges, used with sampled
+    training negatives to fit the downstream classifier.
+    """
+
+    train: BipartiteGraph
+    test_u: np.ndarray
+    test_v: np.ndarray
+    test_labels: np.ndarray
+    train_pos_u: np.ndarray
+    train_pos_v: np.ndarray
+    train_neg_u: np.ndarray
+    train_neg_v: np.ndarray
+
+
+def link_prediction_split(
+    graph: BipartiteGraph,
+    holdout_fraction: float = 0.4,
+    *,
+    seed: Optional[int] = None,
+) -> LinkPredictionData:
+    """Build the Section 6.4 link-prediction split.
+
+    Removes ``holdout_fraction`` of the edges, samples the same number of
+    negative test pairs, and also samples training negatives (one per
+    surviving positive edge) for classifier fitting.  All sampled negative
+    sets are disjoint from the full edge set and from each other.
+    """
+    rng = np.random.default_rng(seed)
+    split = split_edges(graph, 1.0 - holdout_fraction, seed=int(rng.integers(2**31)))
+    num_test = split.num_test_edges
+    neg_u, neg_v = sample_negative_edges(
+        graph, num_test, seed=int(rng.integers(2**31))
+    )
+    test_u = np.concatenate([split.test_u, neg_u])
+    test_v = np.concatenate([split.test_v, neg_v])
+    test_labels = np.concatenate(
+        [np.ones(num_test), np.zeros(num_test)]
+    )
+
+    train_pos_u, train_pos_v, _ = split.train.edge_array()
+    train_neg_u, train_neg_v = sample_negative_edges(
+        graph,
+        train_pos_u.size,
+        seed=int(rng.integers(2**31)),
+        exclude=(neg_u, neg_v),
+    )
+    return LinkPredictionData(
+        train=split.train,
+        test_u=test_u,
+        test_v=test_v,
+        test_labels=test_labels,
+        train_pos_u=train_pos_u,
+        train_pos_v=train_pos_v,
+        train_neg_u=train_neg_u,
+        train_neg_v=train_neg_v,
+    )

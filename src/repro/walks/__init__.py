@@ -1,0 +1,14 @@
+"""Random-walk substrate: alias sampling, walk corpora, SGNS training."""
+
+from .alias import AliasTable
+from .corpus import WalkSampler, walks_to_sentences
+from .skipgram import SkipGramConfig, SkipGramTrainer, extract_window_pairs
+
+__all__ = [
+    "AliasTable",
+    "WalkSampler",
+    "walks_to_sentences",
+    "SkipGramConfig",
+    "SkipGramTrainer",
+    "extract_window_pairs",
+]

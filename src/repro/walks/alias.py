@@ -1,0 +1,85 @@
+"""Alias method for O(1) sampling from discrete distributions.
+
+Random-walk baselines (DeepWalk, node2vec, LINE, BiNE, CSE) draw billions of
+weighted neighbor/negative samples; the alias method [Walker 1977] gives
+constant-time draws after linear-time setup, and is the standard trick in
+all of those systems' reference implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["AliasTable"]
+
+
+class AliasTable:
+    """Preprocessed discrete distribution supporting O(1) sampling.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative, not-all-zero weights; normalized internally.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> table = AliasTable([1.0, 3.0])
+    >>> draws = table.sample(10_000, rng=np.random.default_rng(0))
+    >>> 0.70 < (draws == 1).mean() < 0.80
+    True
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+
+        n = weights.size
+        scaled = weights * (n / total)
+        self.probability = np.zeros(n, dtype=np.float64)
+        self.alias = np.zeros(n, dtype=np.int64)
+
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        scaled = scaled.copy()
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self.probability[s] = scaled[s]
+            self.alias[s] = l
+            scaled[l] = scaled[l] - (1.0 - scaled[s])
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for leftover in large + small:
+            self.probability[leftover] = 1.0
+            self.alias[leftover] = leftover
+
+    def __len__(self) -> int:
+        return self.probability.size
+
+    def sample(
+        self, count: int = 1, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Draw ``count`` indices according to the stored distribution."""
+        rng = np.random.default_rng() if rng is None else rng
+        columns = rng.integers(0, len(self), size=count)
+        coins = rng.random(count)
+        use_alias = coins >= self.probability[columns]
+        return np.where(use_alias, self.alias[columns], columns)
+
+    def sample_one(self, rng: np.random.Generator) -> int:
+        """Draw a single index (convenience for scalar walk loops)."""
+        column = int(rng.integers(0, len(self)))
+        if rng.random() < self.probability[column]:
+            return column
+        return int(self.alias[column])

@@ -1,0 +1,210 @@
+"""Random-walk corpus generation over (bipartite or homogeneous) graphs.
+
+Generates the walk corpora consumed by the skip-gram trainer.  Two walk
+families cover all the walk-based baselines:
+
+* **first-order walks** (DeepWalk, BiNE, CSE) — the next node is drawn from
+  the current node's weighted neighbor distribution; all walks advance one
+  step per vectorized operation, using flattened per-node alias tables.
+* **second-order walks** (node2vec) — the proposal comes from the
+  first-order distribution and is accepted with probability proportional to
+  the node2vec bias (``1/p`` return, ``1`` triangle, ``1/q`` explore), i.e.
+  rejection sampling, the standard trick for avoiding per-edge alias tables.
+
+Walks operate on a homogeneous CSR adjacency; for bipartite graphs use
+:meth:`repro.graph.BipartiteGraph.adjacency`, which places U-nodes at
+``0..|U|-1`` and V-nodes after them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .alias import AliasTable
+
+__all__ = ["WalkSampler"]
+
+
+class WalkSampler:
+    """Pre-processed graph supporting vectorized random-walk generation.
+
+    Parameters
+    ----------
+    adjacency:
+        Square CSR adjacency with non-negative weights.  Rows with no
+        neighbors terminate walks early.
+    """
+
+    def __init__(self, adjacency: sp.spmatrix):
+        adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+        if adjacency.shape[0] != adjacency.shape[1]:
+            raise ValueError("adjacency must be square")
+        self.adjacency = adjacency
+        self.num_nodes = adjacency.shape[0]
+        self.degrees = np.diff(adjacency.indptr)
+
+        # Flattened alias tables: probability/alias arrays aligned with the
+        # CSR data layout, so one gather per step samples every walk at once.
+        self._prob = np.ones(adjacency.nnz, dtype=np.float64)
+        self._alias = np.zeros(adjacency.nnz, dtype=np.int64)
+        indptr = adjacency.indptr
+        for node in range(self.num_nodes):
+            start, stop = indptr[node], indptr[node + 1]
+            if stop == start:
+                continue
+            table = AliasTable(adjacency.data[start:stop])
+            self._prob[start:stop] = table.probability
+            self._alias[start:stop] = start + table.alias  # absolute offsets
+
+        # Edge set for O(1) membership checks in the node2vec bias.
+        self._edge_keys = set(
+            (adjacency.indices + adjacency.shape[0] * np.repeat(
+                np.arange(self.num_nodes), self.degrees
+            )).tolist()
+        )
+
+    # ------------------------------------------------------------------
+    # Stepping primitives
+    # ------------------------------------------------------------------
+    def _step(self, current: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """One first-order step for every walk; dead ends return -1."""
+        next_nodes = np.full(current.size, -1, dtype=np.int64)
+        alive = (current >= 0) & (self.degrees[np.clip(current, 0, None)] > 0)
+        if not alive.any():
+            return next_nodes
+        cur = current[alive]
+        offsets = self.adjacency.indptr[cur] + rng.integers(
+            0, self.degrees[cur], size=cur.size
+        )
+        coins = rng.random(cur.size)
+        chosen = np.where(coins < self._prob[offsets], offsets, self._alias[offsets])
+        next_nodes[alive] = self.adjacency.indices[chosen]
+        return next_nodes
+
+    def _has_edge(self, u: int, v: int) -> bool:
+        return u * self.num_nodes + v in self._edge_keys
+
+    # ------------------------------------------------------------------
+    # Walk generation
+    # ------------------------------------------------------------------
+    def first_order_walks(
+        self,
+        walks_per_node: int,
+        walk_length: int,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        starts: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Generate weighted first-order walks (DeepWalk-style).
+
+        Parameters
+        ----------
+        walks_per_node:
+            Number of walks started from each node (ignored when ``starts``
+            is given).
+        walk_length:
+            Number of *steps* per walk; rows have ``walk_length + 1`` nodes.
+        starts:
+            Explicit start nodes overriding the per-node schedule.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``num_walks x (walk_length + 1)`` array of node ids; ``-1``
+            marks early termination at a dead end.
+        """
+        if walk_length < 1:
+            raise ValueError("walk_length must be at least 1")
+        rng = np.random.default_rng() if rng is None else rng
+        if starts is None:
+            starts = np.repeat(np.arange(self.num_nodes), walks_per_node)
+            rng.shuffle(starts)
+        walks = np.full((starts.size, walk_length + 1), -1, dtype=np.int64)
+        walks[:, 0] = starts
+        current = starts.copy()
+        for step in range(1, walk_length + 1):
+            current = self._step(current, rng)
+            walks[:, step] = current
+        return walks
+
+    def node2vec_walks(
+        self,
+        walks_per_node: int,
+        walk_length: int,
+        *,
+        p: float = 1.0,
+        q: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+        max_rejections: int = 16,
+    ) -> np.ndarray:
+        """Generate second-order node2vec walks via rejection sampling.
+
+        The bias of moving ``prev -> current -> next`` is ``1/p`` when
+        ``next == prev``, ``1`` when ``next`` neighbors ``prev``, and
+        ``1/q`` otherwise.  Proposals from the first-order distribution are
+        accepted with probability ``bias / max_bias``; after
+        ``max_rejections`` failed proposals the last proposal is taken
+        (bias truncation, negligible in practice).
+        """
+        if p <= 0 or q <= 0:
+            raise ValueError("p and q must be positive")
+        rng = np.random.default_rng() if rng is None else rng
+        starts = np.repeat(np.arange(self.num_nodes), walks_per_node)
+        rng.shuffle(starts)
+        walks = np.full((starts.size, walk_length + 1), -1, dtype=np.int64)
+        walks[:, 0] = starts
+
+        max_bias = max(1.0, 1.0 / p, 1.0 / q)
+        current = starts.copy()
+        previous = np.full(starts.size, -1, dtype=np.int64)
+        for step in range(1, walk_length + 1):
+            proposal = self._step(current, rng)
+            if step > 1:
+                pending = np.flatnonzero(proposal >= 0)
+                coins = rng.random(pending.size)
+                for which, walk_id in enumerate(pending):
+                    prev = int(previous[walk_id])
+                    nxt = int(proposal[walk_id])
+                    cur = int(current[walk_id])
+                    for _ in range(max_rejections):
+                        if nxt == prev:
+                            bias = 1.0 / p
+                        elif self._has_edge(prev, nxt):
+                            bias = 1.0
+                        else:
+                            bias = 1.0 / q
+                        if coins[which] < bias / max_bias:
+                            break
+                        nxt = self._sample_neighbor(cur, rng)
+                        coins[which] = rng.random()
+                    proposal[walk_id] = nxt
+            walks[:, step] = proposal
+            previous = current
+            current = proposal.copy()
+        return walks
+
+    def _sample_neighbor(self, node: int, rng: np.random.Generator) -> int:
+        start = self.adjacency.indptr[node]
+        degree = self.degrees[node]
+        offset = start + int(rng.integers(0, degree))
+        if rng.random() < self._prob[offset]:
+            chosen = offset
+        else:
+            chosen = self._alias[offset]
+        return int(self.adjacency.indices[chosen])
+
+
+def walks_to_sentences(walks: np.ndarray) -> List[np.ndarray]:
+    """Strip ``-1`` padding, returning one id array per (non-trivial) walk."""
+    sentences = []
+    for row in walks:
+        valid = row[row >= 0]
+        if valid.size >= 2:
+            sentences.append(valid)
+    return sentences
+
+
+__all__.append("walks_to_sentences")

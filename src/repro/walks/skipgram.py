@@ -1,0 +1,190 @@
+"""Skip-gram with negative sampling (SGNS), trained with vectorized SGD.
+
+This is the embedding learner behind DeepWalk, node2vec, LINE, BiNE and CSE
+(all are SGNS over different pair distributions).  Implemented from scratch
+on numpy: pairs are extracted from walk windows (or supplied directly, as
+LINE does with edges), negatives are drawn from the unigram^0.75 noise
+distribution, and updates are applied in minibatches with scatter-adds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .alias import AliasTable
+
+__all__ = ["SkipGramConfig", "SkipGramTrainer", "extract_window_pairs"]
+
+
+def extract_window_pairs(walks: np.ndarray, window: int) -> Tuple[np.ndarray, np.ndarray]:
+    """All (center, context) pairs within ``window`` positions in each walk.
+
+    ``-1`` entries (padding after early-terminated walks) never pair.
+    Both directions are produced, as in word2vec.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    centers = []
+    contexts = []
+    length = walks.shape[1]
+    for offset in range(1, window + 1):
+        if offset >= length:
+            break
+        left = walks[:, :-offset].ravel()
+        right = walks[:, offset:].ravel()
+        valid = (left >= 0) & (right >= 0)
+        left = left[valid]
+        right = right[valid]
+        centers.append(left)
+        contexts.append(right)
+        centers.append(right)
+        contexts.append(left)
+    if not centers:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(centers), np.concatenate(contexts)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+@dataclass(frozen=True)
+class SkipGramConfig:
+    """Hyper-parameters of the SGNS trainer.
+
+    Attributes
+    ----------
+    dimension:
+        Embedding size.
+    negatives:
+        Negative samples per positive pair (word2vec default 5).
+    learning_rate:
+        Initial SGD step size, decayed linearly to 10% over training.
+    epochs:
+        Passes over the pair set.
+    batch_size:
+        Pairs per minibatch.
+    noise_exponent:
+        Exponent of the unigram noise distribution (word2vec uses 0.75).
+    """
+
+    dimension: int = 128
+    negatives: int = 5
+    learning_rate: float = 0.025
+    epochs: int = 1
+    batch_size: int = 4096
+    noise_exponent: float = 0.75
+
+
+class SkipGramTrainer:
+    """Trains input/output embedding tables from (center, context) pairs."""
+
+    def __init__(self, config: SkipGramConfig = SkipGramConfig()):
+        self.config = config
+
+    def fit(
+        self,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        vocab_size: int,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        noise_counts: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run SGNS over the given positive pairs.
+
+        Parameters
+        ----------
+        centers, contexts:
+            Parallel int arrays of positive pairs.
+        vocab_size:
+            Number of distinct ids (embedding table height).
+        rng:
+            Random generator for init, shuffling, and negatives.
+        noise_counts:
+            Occurrence counts defining the noise distribution; defaults to
+            the contexts' empirical counts.
+
+        Returns
+        -------
+        (w_in, w_out):
+            The input (used as embeddings) and output tables.
+        """
+        if centers.shape != contexts.shape:
+            raise ValueError("centers and contexts must be parallel arrays")
+        cfg = self.config
+        rng = np.random.default_rng() if rng is None else rng
+
+        w_in = (rng.random((vocab_size, cfg.dimension)) - 0.5) / cfg.dimension
+        w_out = np.zeros((vocab_size, cfg.dimension))
+        if centers.size == 0:
+            return w_in, w_out
+
+        if noise_counts is None:
+            noise_counts = np.bincount(contexts, minlength=vocab_size).astype(float)
+        noise_weights = np.power(np.clip(noise_counts, 0.0, None), cfg.noise_exponent)
+        if noise_weights.sum() == 0:
+            noise_weights = np.ones(vocab_size)
+        noise = AliasTable(noise_weights)
+
+        total_batches = cfg.epochs * max(1, int(np.ceil(centers.size / cfg.batch_size)))
+        batch_counter = 0
+        for _ in range(cfg.epochs):
+            order = rng.permutation(centers.size)
+            for start in range(0, centers.size, cfg.batch_size):
+                batch = order[start : start + cfg.batch_size]
+                progress = batch_counter / total_batches
+                lr = cfg.learning_rate * max(0.1, 1.0 - progress)
+                self._sgd_step(
+                    w_in, w_out, centers[batch], contexts[batch], noise, lr, rng
+                )
+                batch_counter += 1
+        return w_in, w_out
+
+    def _sgd_step(
+        self,
+        w_in: np.ndarray,
+        w_out: np.ndarray,
+        centers: np.ndarray,
+        positives: np.ndarray,
+        noise: AliasTable,
+        lr: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """One minibatch update: positives pulled together, negatives pushed."""
+        cfg = self.config
+        batch = centers.size
+        center_vecs = w_in[centers]  # B x d (copies)
+
+        grads_center = np.zeros_like(center_vecs)
+
+        # Positive pairs: label 1.
+        pos_vecs = w_out[positives]
+        pos_scores = _sigmoid(np.einsum("bd,bd->b", center_vecs, pos_vecs))
+        pos_coeff = (pos_scores - 1.0)[:, None]  # d loss / d score
+        grads_center += pos_coeff * pos_vecs
+        np.add.at(w_out, positives, -lr * pos_coeff * center_vecs)
+
+        # Negative samples: label 0.
+        negatives = noise.sample(batch * cfg.negatives, rng=rng).reshape(
+            batch, cfg.negatives
+        )
+        neg_vecs = w_out[negatives]  # B x neg x d
+        neg_scores = _sigmoid(np.einsum("bd,bnd->bn", center_vecs, neg_vecs))
+        neg_coeff = neg_scores[:, :, None]
+        grads_center += np.einsum("bnd->bd", neg_coeff * neg_vecs)
+        flat_negatives = negatives.ravel()
+        flat_updates = (-lr * neg_coeff * center_vecs[:, None, :]).reshape(
+            -1, cfg.dimension
+        )
+        np.add.at(w_out, flat_negatives, flat_updates)
+
+        np.add.at(w_in, centers, -lr * grads_center)

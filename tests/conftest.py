@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BlockModel,
+    RatingModel,
+    erdos_renyi_bipartite,
+    figure1_graph,
+    latent_factor_ratings,
+    stochastic_block_bipartite,
+)
+from repro.graph import BipartiteGraph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def figure1():
+    """The paper's Figure 1 running-example graph."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def tiny_graph():
+    """A 3x3 weighted graph small enough for hand calculation."""
+    return BipartiteGraph.from_dense(
+        [
+            [1.0, 2.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 3.0],
+        ]
+    )
+
+
+@pytest.fixture
+def random_graph():
+    """A moderate random bipartite graph for numerical comparisons."""
+    return erdos_renyi_bipartite(40, 25, 180, weighted=True, seed=7)
+
+
+@pytest.fixture
+def rating_graph():
+    """A small latent-factor rating graph (for task-level tests)."""
+    model = RatingModel(
+        num_users=120,
+        num_items=60,
+        edges_per_user=12,
+        num_factors=8,
+        num_communities=4,
+        noise=0.2,
+    )
+    return latent_factor_ratings(model, seed=3)
+
+
+@pytest.fixture
+def block_graph():
+    """A small community-structured unweighted graph (for LP tests)."""
+    model = BlockModel(
+        num_u=150, num_v=120, num_blocks=4, num_edges=1800, in_out_ratio=9.0
+    )
+    return stochastic_block_bipartite(model, seed=5)

@@ -1,0 +1,86 @@
+"""Unit tests for the MHP-BNE and MHS-BNE ablations."""
+
+import numpy as np
+import pytest
+
+from repro.core import MHPOnlyBNE, MHSOnlyBNE, PoissonPMF, mhp_matrix
+from repro.core.preprocess import normalize_weights
+from repro.graph import BipartiteGraph
+
+
+class TestMHPOnly:
+    def test_factorizes_truncated_p(self, random_graph):
+        lam, tau, k = 1.0, 8, 6
+        method = MHPOnlyBNE(
+            dimension=k, lam=lam, tau=tau, epsilon=0.01,
+            normalization="none", seed=0,
+        )
+        result = method.fit(random_graph)
+        p = mhp_matrix(random_graph, PoissonPMF(lam=lam), tau)
+        # U V^T must be (close to) the best rank-k approximation of P.
+        u_svd, s_svd, vt_svd = np.linalg.svd(p, full_matrices=False)
+        best = (u_svd[:, :k] * s_svd[:k]) @ vt_svd[:k]
+        np.testing.assert_allclose(result.u @ result.v.T, best, atol=1e-5)
+
+    def test_symmetric_scale_split(self, random_graph):
+        result = MHPOnlyBNE(dimension=4, seed=0).fit(random_graph)
+        u_norms = np.linalg.norm(result.u, axis=0)
+        v_norms = np.linalg.norm(result.v, axis=0)
+        # Both factors carry sqrt(sigma): per-column norms match.
+        np.testing.assert_allclose(u_norms, v_norms, rtol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MHPOnlyBNE(lam=0.0)
+        with pytest.raises(ValueError):
+            MHPOnlyBNE(tau=-1)
+
+    def test_metadata(self, random_graph):
+        result = MHPOnlyBNE(dimension=4, seed=0).fit(random_graph)
+        assert result.method == "MHP-BNE"
+        assert result.metadata["tau"] == 20
+
+
+class TestMHSOnly:
+    def test_rows_approximately_unit(self, random_graph):
+        result = MHSOnlyBNE(dimension=10, epsilon=0.01, seed=0).fit(random_graph)
+        u_norms = np.linalg.norm(result.u, axis=1)
+        # Norms are <= 1 (tail correction) and close to 1 for well-captured
+        # nodes.
+        assert (u_norms <= 1.0 + 1e-8).all()
+        assert np.median(u_norms) > 0.5
+
+    def test_preserves_u_side_similarity_ordering(self, figure1):
+        result = MHSOnlyBNE(
+            dimension=4, epsilon=0.01, normalization="none", seed=0
+        ).fit(figure1)
+        # u1/u2 share all neighbors; u2/u4 share only two: the normalized
+        # embedding cosine must rank them accordingly (running example).
+        cos_12 = result.u[0] @ result.u[1]
+        cos_24 = result.u[1] @ result.u[3]
+        assert cos_12 > cos_24
+
+    def test_both_sides_embedded(self, random_graph):
+        result = MHSOnlyBNE(dimension=5, seed=0).fit(random_graph)
+        assert result.u.shape == (random_graph.num_u, 5)
+        assert result.v.shape == (random_graph.num_v, 5)
+
+    def test_v_side_tracks_shared_neighborhoods(self, figure1):
+        result = MHSOnlyBNE(
+            dimension=4, epsilon=0.01, normalization="none", seed=0
+        ).fit(figure1)
+        # v2, v3 share 3 neighbors; v1, v5 share none.
+        cos_23 = result.v[1] @ result.v[2]
+        cos_15 = result.v[0] @ result.v[4]
+        assert cos_23 > cos_15
+
+    def test_metadata(self, random_graph):
+        result = MHSOnlyBNE(dimension=4, seed=0).fit(random_graph)
+        assert result.method == "MHS-BNE"
+        assert result.metadata["lambda"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MHSOnlyBNE(lam=-1.0)
+        with pytest.raises(ValueError):
+            MHSOnlyBNE(tau=-5)

@@ -1,0 +1,118 @@
+"""Unit tests for the attributed-graph extension (paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AttributedGEBE, GEBEPoisson, smooth_attributes
+from repro.datasets import BlockModel, stochastic_block_bipartite
+from repro.tasks import LinkPredictionTask
+
+
+@pytest.fixture
+def attributed_setup():
+    """A block graph whose node attributes encode the (noisy) block id."""
+    model = BlockModel(
+        num_u=200, num_v=160, num_blocks=4, num_edges=1200, in_out_ratio=8.0
+    )
+    graph, blocks_u, blocks_v = stochastic_block_bipartite(
+        model, seed=7, return_blocks=True
+    )
+    rng = np.random.default_rng(0)
+    eye = np.eye(4)
+    x_u = eye[blocks_u] + 0.3 * rng.standard_normal((graph.num_u, 4))
+    x_v = eye[blocks_v] + 0.3 * rng.standard_normal((graph.num_v, 4))
+    return graph, x_u, x_v, blocks_u, blocks_v
+
+
+class TestSmoothAttributes:
+    def test_shared_space_dimensions(self, attributed_setup):
+        graph, x_u, x_v, _, _ = attributed_setup
+        smoothed_u, smoothed_v = smooth_attributes(graph, x_u, x_v)
+        assert smoothed_u.shape == (graph.num_u, 8)
+        assert smoothed_v.shape == (graph.num_v, 8)
+
+    def test_cross_side_block_alignment(self, attributed_setup):
+        graph, x_u, x_v, blocks_u, blocks_v = attributed_setup
+        smoothed_u, smoothed_v = smooth_attributes(graph, x_u, x_v)
+        # A U-node and a V-node of the SAME block should be closer in the
+        # shared space than nodes of different blocks, on average.
+        same = []
+        different = []
+        rng = np.random.default_rng(1)
+        for _ in range(400):
+            i = int(rng.integers(graph.num_u))
+            j = int(rng.integers(graph.num_v))
+            distance = float(np.linalg.norm(smoothed_u[i] - smoothed_v[j]))
+            (same if blocks_u[i] == blocks_v[j] else different).append(distance)
+        assert np.mean(same) < np.mean(different)
+
+    def test_self_weight_extremes(self, attributed_setup):
+        graph, x_u, x_v, _, _ = attributed_setup
+        own_only_u, _ = smooth_attributes(graph, x_u, x_v, self_weight=1.0)
+        np.testing.assert_allclose(own_only_u[:, :4], x_u)
+        np.testing.assert_allclose(own_only_u[:, 4:], 0.0)
+
+    def test_validation(self, attributed_setup):
+        graph, x_u, x_v, _, _ = attributed_setup
+        with pytest.raises(ValueError):
+            smooth_attributes(graph, x_u, x_v, self_weight=1.5)
+        with pytest.raises(ValueError):
+            smooth_attributes(graph, x_u[:-1], x_v)
+
+
+class TestAttributedGEBE:
+    def test_shapes(self, attributed_setup):
+        graph, x_u, x_v, _, _ = attributed_setup
+        result = AttributedGEBE(x_u, x_v, dimension=16, seed=0).fit(graph)
+        assert result.u.shape == (graph.num_u, 16)
+        assert result.v.shape == (graph.num_v, 16)
+        assert result.metadata["topology_dimension"] == 12
+        assert result.metadata["attribute_dimension"] == 4
+
+    def test_reduces_to_gebe_p_at_fraction_one(self, attributed_setup):
+        graph, x_u, x_v, _, _ = attributed_setup
+        attributed = AttributedGEBE(
+            x_u, x_v, dimension=8, topology_fraction=1.0, seed=0
+        ).fit(graph)
+        plain = GEBEPoisson(dimension=8, seed=0).fit(graph)
+        np.testing.assert_allclose(attributed.u, plain.u)
+        np.testing.assert_allclose(attributed.v, plain.v)
+
+    def test_attributes_only_mode(self, attributed_setup):
+        graph, x_u, x_v, _, _ = attributed_setup
+        result = AttributedGEBE(
+            x_u, x_v, dimension=4, topology_fraction=0.0, seed=0
+        ).fit(graph)
+        assert result.metadata["topology_dimension"] == 0
+        assert np.isfinite(result.u).all()
+
+    def test_attributes_help_link_prediction(self, attributed_setup):
+        graph, x_u, x_v, _, _ = attributed_setup
+        task = LinkPredictionTask(graph, seed=0)
+        plain = task.run(GEBEPoisson(dimension=16, seed=0))
+        augmented = task.run(
+            AttributedGEBE(
+                x_u, x_v, dimension=16, topology_fraction=0.5, seed=0
+            )
+        )
+        # Attributes encode the planted blocks: they must not hurt, and on
+        # this sparse graph they should help.
+        assert augmented.auc_roc >= plain.auc_roc - 0.01
+
+    def test_deterministic(self, attributed_setup):
+        graph, x_u, x_v, _, _ = attributed_setup
+        a = AttributedGEBE(x_u, x_v, dimension=12, seed=3).fit(graph)
+        b = AttributedGEBE(x_u, x_v, dimension=12, seed=3).fit(graph)
+        np.testing.assert_array_equal(a.u, b.u)
+
+    def test_validation(self, attributed_setup):
+        graph, x_u, x_v, _, _ = attributed_setup
+        with pytest.raises(ValueError):
+            AttributedGEBE(x_u, x_v, topology_fraction=2.0)
+        with pytest.raises(ValueError):
+            AttributedGEBE(x_u, x_v, attribute_weight=-1.0)
+        with pytest.raises(ValueError):
+            AttributedGEBE(x_u.ravel(), x_v)
+        method = AttributedGEBE(x_u[:-1], x_v, dimension=8)
+        with pytest.raises(ValueError, match="row counts"):
+            method.fit(graph)

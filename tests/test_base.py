@@ -1,0 +1,123 @@
+"""Unit tests for EmbeddingResult and the BipartiteEmbedder interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import BipartiteEmbedder, EmbeddingResult
+from repro.graph import BipartiteGraph
+
+
+@pytest.fixture
+def result(rng):
+    return EmbeddingResult(
+        u=rng.standard_normal((4, 3)),
+        v=rng.standard_normal((5, 3)),
+        method="test",
+    )
+
+
+class TestEmbeddingResult:
+    def test_dimension(self, result):
+        assert result.dimension == 3
+
+    def test_score_is_dot_product(self, result):
+        assert result.score(1, 2) == pytest.approx(
+            float(result.u[1] @ result.v[2])
+        )
+
+    def test_score_matrix(self, result):
+        np.testing.assert_allclose(
+            result.score_matrix(), result.u @ result.v.T
+        )
+
+    def test_scores_for_u(self, result):
+        np.testing.assert_allclose(
+            result.scores_for_u(0), result.score_matrix()[0]
+        )
+
+    def test_normalized_rows_unit(self, result):
+        norms = np.linalg.norm(result.normalized_u(), axis=1)
+        np.testing.assert_allclose(norms, 1.0)
+
+    def test_normalized_handles_zero_rows(self):
+        result = EmbeddingResult(u=np.zeros((2, 3)), v=np.ones((1, 3)))
+        assert np.isfinite(result.normalized_u()).all()
+
+    def test_edge_features_concatenation(self, result):
+        features = result.edge_features(np.array([0, 1]), np.array([2, 3]))
+        assert features.shape == (2, 6)
+        np.testing.assert_allclose(features[0, :3], result.u[0])
+        np.testing.assert_allclose(features[0, 3:], result.v[2])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            EmbeddingResult(u=np.zeros((2, 3)), v=np.zeros((2, 4)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            EmbeddingResult(u=np.zeros(3), v=np.zeros((2, 3)))
+
+
+class _ConstantEmbedder(BipartiteEmbedder):
+    name = "constant"
+
+    def _embed(self, graph):
+        u = np.ones((graph.num_u, self.dimension))
+        v = np.ones((graph.num_v, self.dimension))
+        return u, v, {"note": "constant"}
+
+
+class TestBipartiteEmbedder:
+    def test_fit_packages_result(self, figure1):
+        result = _ConstantEmbedder(dimension=2).fit(figure1)
+        assert result.method == "constant"
+        assert result.metadata["note"] == "constant"
+        assert result.elapsed_seconds >= 0
+        assert result.u.shape == (4, 2)
+
+    def test_empty_graph_rejected(self):
+        graph = BipartiteGraph.from_dense(np.zeros((0, 2)))
+        with pytest.raises(ValueError, match="empty side"):
+            _ConstantEmbedder().fit(graph)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            _ConstantEmbedder(dimension=0)
+
+    def test_rng_respects_seed(self):
+        a = _ConstantEmbedder(seed=5)._rng().random(3)
+        b = _ConstantEmbedder(seed=5)._rng().random(3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestQueryHelpers:
+    def test_top_items_order_and_exclusion(self, result):
+        top = result.top_items(0, 3)
+        scores = result.scores_for_u(0)
+        assert list(scores[top]) == sorted(scores, reverse=True)[:3]
+        excluded = result.top_items(0, 3, exclude=np.array([top[0]]))
+        assert top[0] not in excluded
+
+    def test_top_items_caps_at_v_count(self, result):
+        assert result.top_items(0, 50).shape == (5,)
+
+    def test_most_similar_u_excludes_self(self, result):
+        similar = result.most_similar_u(1, n=3)
+        assert 1 not in similar
+        assert similar.shape == (3,)
+
+    def test_most_similar_matches_cosine_ranking(self, result):
+        unit = result.normalized_u()
+        cosines = unit @ unit[2]
+        cosines[2] = -np.inf
+        expected = np.argsort(-cosines)[:2]
+        np.testing.assert_array_equal(result.most_similar_u(2, n=2), expected)
+
+    def test_most_similar_v(self, result):
+        similar = result.most_similar_v(0, n=4)
+        assert 0 not in similar
+        assert len(set(similar.tolist())) == 4
+
+    def test_most_similar_single_node(self):
+        single = EmbeddingResult(u=np.ones((1, 2)), v=np.ones((2, 2)))
+        assert single.most_similar_u(0).size == 0

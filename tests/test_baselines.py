@@ -1,0 +1,110 @@
+"""Cross-cutting tests over every registered baseline method.
+
+Each method must satisfy the embedder contract: correct shapes, seeded
+determinism, finite values, and metadata.  These run on a small graph with
+down-scaled training schedules so the whole matrix stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BPR,
+    CSE,
+    GCMC,
+    LCFN,
+    LINE,
+    NCF,
+    NGCF,
+    NRP,
+    SCF,
+    BiGI,
+    BiNE,
+    DeepWalk,
+    LRGCCF,
+    LightGCN,
+    Node2Vec,
+    make_method,
+    method_names,
+)
+from repro.baselines.registry import COMPETITORS, METHODS, PROPOSED
+
+
+def quick_factory(cls, **kwargs):
+    """A zero-argument factory with a laptop-test training schedule."""
+    defaults = {"dimension": 8, "seed": 0}
+    defaults.update(kwargs)
+    return lambda: cls(**defaults)
+
+
+QUICK_FACTORIES = [
+    quick_factory(DeepWalk, walks_per_node=2, walk_length=8, epochs=1),
+    quick_factory(Node2Vec, walks_per_node=2, walk_length=8, epochs=1),
+    quick_factory(LINE, samples_per_edge=3),
+    quick_factory(NRP, tau=4),
+    quick_factory(BPR, epochs=3),
+    quick_factory(NCF, epochs=2, hidden=(8,)),
+    quick_factory(BiGI, epochs=2, hidden=(8,)),
+    quick_factory(BiNE, total_walks_factor=2, walk_length=5, edge_epochs=1),
+    quick_factory(CSE, walks_per_node=2, walk_length=6),
+    quick_factory(GCMC, epochs=3),
+    quick_factory(NGCF, epochs=3),
+    quick_factory(LightGCN, epochs=3),
+    quick_factory(LRGCCF, epochs=3),
+    quick_factory(SCF, epochs=3),
+    quick_factory(LCFN, epochs=3, num_frequencies=8),
+]
+
+
+@pytest.mark.parametrize(
+    "factory", QUICK_FACTORIES, ids=lambda f: f().name
+)
+class TestEmbedderContract:
+    def test_shapes_and_finite(self, factory, block_graph):
+        method = factory()
+        result = method.fit(block_graph)
+        assert result.u.shape == (block_graph.num_u, 8)
+        assert result.v.shape == (block_graph.num_v, 8)
+        assert np.isfinite(result.u).all()
+        assert np.isfinite(result.v).all()
+        assert result.method == method.name
+
+    def test_deterministic_with_seed(self, factory, block_graph):
+        first = factory().fit(block_graph)
+        second = factory().fit(block_graph)
+        np.testing.assert_allclose(first.u, second.u)
+        np.testing.assert_allclose(first.v, second.v)
+
+
+class TestRegistry:
+    def test_twenty_one_methods(self):
+        assert len(METHODS) == 21
+        assert len(PROPOSED) == 6
+        assert len(COMPETITORS) == 15
+
+    def test_all_fifteen_paper_competitors(self):
+        expected = {
+            "BiNE", "BiGI", "DeepWalk", "node2vec", "LINE", "NRP", "BPR",
+            "NCF", "NGCF", "LightGCN", "GCMC", "CSE", "LCFN", "LR-GCCF", "SCF",
+        }
+        assert set(COMPETITORS) == expected
+
+    def test_make_method_names_match(self):
+        for name in method_names():
+            method = make_method(name, dimension=4, seed=0)
+            assert method.name == name
+
+    def test_make_method_unknown(self):
+        with pytest.raises(KeyError):
+            make_method("GloVe")
+
+    def test_group_filters(self):
+        assert method_names("proposed") == list(PROPOSED)
+        assert method_names("competitors") == list(COMPETITORS)
+        with pytest.raises(ValueError):
+            method_names("neural")
+
+    def test_dimension_and_seed_forwarded(self):
+        method = make_method("BPR", dimension=12, seed=7)
+        assert method.dimension == 12
+        assert method.seed == 7

@@ -1,0 +1,143 @@
+"""Unit tests for the numpy MLP substrate — including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MLP, Adam, DenseLayer
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = f()
+        flat[i] = original - eps
+        minus = f()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestDenseLayer:
+    def test_forward_shape(self, rng):
+        layer = DenseLayer(4, 3, rng=rng)
+        assert layer.forward(rng.random((7, 4))).shape == (7, 3)
+
+    def test_identity_activation_linear(self, rng):
+        layer = DenseLayer(3, 2, activation="identity", rng=rng)
+        x = rng.random((5, 3))
+        np.testing.assert_allclose(layer.forward(x), x @ layer.w + layer.b)
+
+    def test_relu_clips(self, rng):
+        layer = DenseLayer(2, 2, activation="relu", rng=rng)
+        out = layer.forward(rng.standard_normal((50, 2)))
+        assert out.min() >= 0.0
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            DenseLayer(2, 2, activation="swish")
+
+    def test_backward_before_forward(self, rng):
+        layer = DenseLayer(2, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    @pytest.mark.parametrize("activation", ["relu", "sigmoid", "tanh", "identity"])
+    def test_gradient_check_weights(self, activation, rng):
+        layer = DenseLayer(3, 2, activation=activation, rng=rng)
+        x = rng.standard_normal((6, 3)) + 0.05  # avoid ReLU kinks at 0
+        target = rng.standard_normal((6, 2))
+
+        def loss():
+            out = layer.forward(x)
+            return 0.5 * float(((out - target) ** 2).sum())
+
+        out = layer.forward(x)
+        layer.backward(out - target)
+        analytic_w = layer.grad_w.copy()
+        analytic_b = layer.grad_b.copy()
+        numeric_w = numerical_gradient(loss, layer.w)
+        numeric_b = numerical_gradient(loss, layer.b)
+        np.testing.assert_allclose(analytic_w, numeric_w, atol=1e-5)
+        np.testing.assert_allclose(analytic_b, numeric_b, atol=1e-5)
+
+    def test_gradient_check_inputs(self, rng):
+        layer = DenseLayer(3, 2, activation="tanh", rng=rng)
+        x = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 2))
+
+        def loss():
+            return 0.5 * float(((layer.forward(x) - target) ** 2).sum())
+
+        out = layer.forward(x)
+        analytic_x = layer.backward(out - target)
+        numeric_x = numerical_gradient(loss, x)
+        np.testing.assert_allclose(analytic_x, numeric_x, atol=1e-5)
+
+
+class TestMLP:
+    def test_end_to_end_gradient_check(self, rng):
+        mlp = MLP([3, 5, 1], activations=["tanh", "identity"], rng=rng)
+        x = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 1))
+
+        def loss():
+            return 0.5 * float(((mlp.forward(x) - target) ** 2).sum())
+
+        out = mlp.forward(x)
+        mlp.backward(out - target)
+        for param, analytic in zip(mlp.parameters(), mlp.gradients()):
+            numeric = numerical_gradient(loss, param)
+            np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_learns_xor(self):
+        # The classic nonlinear sanity check.
+        rng = np.random.default_rng(0)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([[0.0], [1.0], [1.0], [0.0]])
+        mlp = MLP([2, 8, 1], activations=["tanh", "identity"], rng=rng)
+        optimizer = Adam(mlp.parameters(), learning_rate=0.05)
+        for _ in range(500):
+            out = mlp.forward(x)
+            mlp.backward(out - y)
+            optimizer.step(mlp.gradients())
+        predictions = mlp.forward(x)
+        assert ((predictions > 0.5).astype(float) == y).all()
+
+    def test_default_activations(self, rng):
+        mlp = MLP([4, 8, 8, 1], rng=rng)
+        assert [layer.activation for layer in mlp.layers] == [
+            "relu", "relu", "identity",
+        ]
+
+    def test_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            MLP([3], rng=rng)
+        with pytest.raises(ValueError):
+            MLP([3, 2], activations=["relu", "relu"], rng=rng)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        x = np.array([5.0, -3.0])
+        optimizer = Adam([x], learning_rate=0.1)
+        for _ in range(500):
+            optimizer.step([2 * x])  # gradient of ||x||^2
+        assert np.abs(x).max() < 1e-2
+
+    def test_gradient_count_validated(self):
+        x = np.zeros(2)
+        optimizer = Adam([x])
+        with pytest.raises(ValueError):
+            optimizer.step([np.zeros(2), np.zeros(2)])
+
+    def test_updates_in_place(self):
+        x = np.ones(3)
+        reference = x
+        Adam([x], learning_rate=0.5).step([np.ones(3)])
+        assert reference is x
+        assert not np.allclose(x, 1.0)

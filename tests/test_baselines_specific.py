@@ -1,0 +1,166 @@
+"""Method-specific behavioral tests for the baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BPR, CSE, LINE, NRP, BiNE, LightGCN
+from repro.baselines.bpr import bpr_triples, sigmoid
+from repro.baselines.common import homogeneous_degrees, split_embedding
+from repro.baselines.gnn import normalized_adjacency
+from repro.core.base import EmbeddingResult
+from repro.graph import BipartiteGraph
+from repro.tasks import LinkPredictionTask
+
+
+class TestCommonHelpers:
+    def test_split_embedding(self, figure1, rng):
+        joint = rng.random((9, 4))
+        u, v = split_embedding(joint, figure1)
+        assert u.shape == (4, 4)
+        assert v.shape == (5, 4)
+        np.testing.assert_array_equal(np.vstack([u, v]), joint)
+
+    def test_split_embedding_validates(self, figure1, rng):
+        with pytest.raises(ValueError):
+            split_embedding(rng.random((7, 4)), figure1)
+
+    def test_homogeneous_degrees(self, figure1):
+        degrees = homogeneous_degrees(figure1, weighted=False)
+        np.testing.assert_array_equal(degrees, [3, 3, 3, 4, 2, 3, 4, 2, 2])
+
+
+class TestSigmoid:
+    def test_range_and_symmetry(self):
+        z = np.array([-700.0, -1.0, 0.0, 1.0, 700.0])
+        out = sigmoid(z)
+        assert (out >= 0).all() and (out <= 1).all()
+        assert out[2] == pytest.approx(0.5)
+        assert out[1] == pytest.approx(1 - out[3])
+
+    def test_no_overflow(self):
+        assert np.isfinite(sigmoid(np.array([-1e4, 1e4]))).all()
+
+
+class TestBprTriples:
+    def test_positive_edges_exist(self, block_graph, rng):
+        users, pos, neg = bpr_triples(block_graph, 300, rng)
+        for u, i in zip(users[:100], pos[:100]):
+            assert block_graph.has_edge(int(u), int(i))
+
+    def test_negatives_mostly_non_edges(self, block_graph, rng):
+        users, pos, neg = bpr_triples(block_graph, 500, rng)
+        collisions = sum(
+            block_graph.has_edge(int(u), int(j)) for u, j in zip(users, neg)
+        )
+        # One resampling round: collisions are rare but possible.
+        assert collisions < 0.05 * users.size
+
+    def test_weighted_edge_sampling(self, rng):
+        # One heavy edge should dominate the positive samples.
+        graph = BipartiteGraph.from_dense([[50.0, 1.0], [1.0, 1.0]])
+        users, pos, _ = bpr_triples(graph, 4000, rng)
+        heavy = ((users == 0) & (pos == 0)).mean()
+        assert heavy > 0.85
+
+
+class TestBPRLearning:
+    def test_separates_blocks(self, block_graph):
+        task = LinkPredictionTask(block_graph, seed=0)
+        report = task.run(BPR(dimension=16, epochs=20, seed=0))
+        rng = np.random.default_rng(0)
+        random_report = task.run(_RandomEmbedder(16))
+        assert report.auc_roc > random_report.auc_roc + 0.05
+
+
+class _RandomEmbedder(BPR):
+    name = "random-control"
+
+    def __init__(self, dimension):
+        super().__init__(dimension=dimension, epochs=0, seed=0)
+
+
+class TestLINE:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            LINE(order=3)
+        with pytest.raises(ValueError):
+            LINE(dimension=7, order="both")
+
+    def test_single_order_modes(self, block_graph):
+        for order in (1, 2):
+            result = LINE(
+                dimension=8, order=order, samples_per_edge=2, seed=0
+            ).fit(block_graph)
+            assert result.u.shape == (block_graph.num_u, 8)
+
+    def test_both_orders_concatenated(self, block_graph):
+        result = LINE(dimension=8, samples_per_edge=2, seed=0).fit(block_graph)
+        assert result.metadata["order"] == "both"
+        assert result.u.shape[1] == 8
+
+
+class TestNRP:
+    def test_reweighting_targets_degree(self, block_graph):
+        result = NRP(dimension=16, tau=6, reweight_rounds=20, seed=0).fit(
+            block_graph
+        )
+        forward = result.u  # U-side forward vectors
+        # After reweighting, predicted out-mass of each U-node should
+        # correlate strongly with its degree.
+        full = NRP(dimension=16, tau=6, reweight_rounds=20, seed=0)
+        degrees = block_graph.u_degrees(weighted=True)
+        # out-mass against the V-side backward sum:
+        out_mass = result.u @ result.v.sum(axis=0)
+        correlation = np.corrcoef(out_mass, degrees)[0, 1]
+        assert correlation > 0.8
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            NRP(alpha=1.5)
+
+
+class TestGNNFamily:
+    def test_normalized_adjacency_spectrum(self, block_graph):
+        a_hat = normalized_adjacency(block_graph)
+        # Symmetric normalization bounds eigenvalues to [-1, 1].
+        top = np.abs(
+            np.linalg.eigvalsh(a_hat.toarray())
+        ).max()
+        assert top <= 1.0 + 1e-8
+
+    def test_lightgcn_propagation_is_layer_mean(self, block_graph, rng):
+        method = LightGCN(dimension=4, num_layers=2, seed=0, epochs=1)
+        a_hat = normalized_adjacency(block_graph)
+        tables = rng.random((block_graph.num_nodes, 4))
+        propagated = method._propagate(tables, a_hat)
+        expected = (
+            tables + a_hat @ tables + a_hat @ (a_hat @ tables)
+        ) / 3.0
+        np.testing.assert_allclose(propagated, expected)
+
+    def test_num_layers_validated(self):
+        with pytest.raises(ValueError):
+            LightGCN(num_layers=0)
+
+
+class TestBiNE:
+    def test_walks_do_not_materialize_projection(self, block_graph):
+        # Smoke test at a scale where dense projections would be expensive;
+        # the method must finish quickly and produce valid output.
+        result = BiNE(
+            dimension=8, total_walks_factor=1, walk_length=4,
+            edge_epochs=1, seed=0,
+        ).fit(block_graph)
+        assert np.isfinite(result.u).all()
+        assert result.metadata["u_pairs"] > 0
+        assert result.metadata["v_pairs"] > 0
+
+
+class TestCSE:
+    def test_combines_direct_and_walk_pairs(self, block_graph):
+        result = CSE(
+            dimension=8, walks_per_node=2, walk_length=6,
+            direct_samples_per_edge=2, seed=0,
+        ).fit(block_graph)
+        assert result.metadata["walk_pairs"] > 0
+        assert result.metadata["direct_pairs"] == 2 * 2 * block_graph.num_edges

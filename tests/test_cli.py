@@ -1,0 +1,110 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import latent_factor_ratings, RatingModel
+from repro.graph import write_edge_list
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    model = RatingModel(
+        num_users=60, num_items=40, edges_per_user=10,
+        num_factors=6, num_communities=3,
+    )
+    graph = latent_factor_ratings(model, seed=0)
+    path = tmp_path / "graph.tsv"
+    write_edge_list(graph, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_embed_defaults(self):
+        args = build_parser().parse_args(["embed", "in.tsv", "out.npz"])
+        assert args.method == "GEBE^p"
+        assert args.dimension == 128
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["embed", "a", "b", "--method", "GloVe"])
+
+
+class TestEmbed:
+    def test_writes_npz(self, edge_file, tmp_path):
+        out = str(tmp_path / "emb.npz")
+        code = main(
+            ["embed", edge_file, out, "--dimension", "8", "--seed", "0"]
+        )
+        assert code == 0
+        bundle = np.load(out)
+        assert bundle["u"].shape[1] == 8
+        assert bundle["v"].shape[1] == 8
+
+    def test_any_registered_method(self, edge_file, tmp_path):
+        out = str(tmp_path / "emb.npz")
+        code = main(
+            ["embed", edge_file, out, "--method", "MHP-BNE", "--dimension", "4"]
+        )
+        assert code == 0
+
+
+class TestRecommend:
+    def test_prints_top_n(self, edge_file, capsys):
+        code = main(
+            ["recommend", edge_file, "0", "-n", "3", "--dimension", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-3" in out
+        assert out.count("\n") == 4  # header + 3 items
+
+    def test_unknown_user(self, edge_file, capsys):
+        code = main(["recommend", edge_file, "ghost", "--dimension", "4"])
+        assert code == 2
+        assert "unknown user" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_recommendation_protocol(self, edge_file, capsys):
+        code = main(
+            [
+                "evaluate", edge_file, "--task", "recommendation",
+                "--methods", "GEBE^p", "--dimension", "8", "--core", "2",
+            ]
+        )
+        assert code == 0
+        assert "F1=" in capsys.readouterr().out
+
+    def test_link_prediction_protocol(self, edge_file, capsys):
+        code = main(
+            [
+                "evaluate", edge_file, "--task", "link_prediction",
+                "--methods", "GEBE^p", "MHS-BNE", "--dimension", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("AUC-ROC=") == 2
+
+
+class TestDatasets:
+    def test_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "dblp" in out and "mag" in out
+
+    def test_generate_requires_output(self, capsys):
+        assert main(["datasets", "--generate", "dblp"]) == 2
+        assert "--output" in capsys.readouterr().err
+
+    def test_generate_writes_tsv(self, tmp_path, capsys):
+        out = str(tmp_path / "dblp.tsv")
+        assert main(["datasets", "--generate", "dblp", "--output", out]) == 0
+        lines = open(out).read().strip().split("\n")
+        assert len(lines) == 30_000

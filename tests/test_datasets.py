@@ -1,0 +1,260 @@
+"""Unit tests for the dataset generators and the zoo."""
+
+import numpy as np
+import pytest
+
+from repro.core import PoissonPMF, h_matrix
+from repro.datasets import (
+    DATASETS,
+    PAPER_SIZES,
+    BlockModel,
+    RatingModel,
+    complete_bipartite,
+    dataset_names,
+    erdos_renyi_bipartite,
+    figure1_graph,
+    latent_factor_ratings,
+    load_dataset,
+    path_graph,
+    power_law_bipartite,
+    star_graph,
+    stochastic_block_bipartite,
+    two_cliques,
+)
+
+
+class TestToyGraphs:
+    def test_figure1_statistics(self):
+        graph = figure1_graph()
+        assert graph.num_u == 4
+        assert graph.num_v == 5
+        assert graph.num_edges == 13
+        assert np.allclose(graph.w.data, 0.5)
+
+    def test_figure1_reproduces_table2(self):
+        h = h_matrix(figure1_graph(), PoissonPMF(lam=2.0), tau=60)
+        assert h[0, 0] == pytest.approx(3.641, abs=2e-3)
+
+    def test_path_graph(self):
+        graph = path_graph(5)
+        assert graph.num_edges == 5
+        degrees = np.concatenate([graph.u_degrees(), graph.v_degrees()])
+        assert sorted(degrees)[:2] == [1, 1]  # two endpoints
+        assert max(degrees) == 2
+
+    def test_star_graph(self):
+        graph = star_graph(4)
+        assert graph.num_u == 1
+        assert graph.u_degrees()[0] == 4
+
+    def test_complete_bipartite(self):
+        graph = complete_bipartite(3, 4, weight=2.0)
+        assert graph.num_edges == 12
+        assert np.allclose(graph.w.data, 2.0)
+
+    def test_two_cliques_disconnected(self):
+        graph = two_cliques(2)
+        dense = graph.to_dense()
+        assert dense[:2, 2:].sum() == 0
+        assert dense[2:, :2].sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+        with pytest.raises(ValueError):
+            star_graph(0)
+        with pytest.raises(ValueError):
+            complete_bipartite(0, 3)
+        with pytest.raises(ValueError):
+            two_cliques(0)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        graph = erdos_renyi_bipartite(50, 40, 300, seed=0)
+        assert graph.num_edges == 300
+
+    def test_unweighted_by_default(self):
+        graph = erdos_renyi_bipartite(20, 20, 50, seed=0)
+        assert graph.is_unweighted()
+
+    def test_weighted_range(self):
+        graph = erdos_renyi_bipartite(
+            20, 20, 50, weighted=True, max_weight=5.0, seed=0
+        )
+        assert graph.w.data.min() >= 1.0
+        assert graph.w.data.max() <= 5.0
+
+    def test_dense_regime(self):
+        graph = erdos_renyi_bipartite(5, 5, 24, seed=0)
+        assert graph.num_edges == 24
+
+    def test_reproducible(self):
+        a = erdos_renyi_bipartite(30, 30, 100, seed=4)
+        b = erdos_renyi_bipartite(30, 30, 100, seed=4)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_bipartite(0, 5, 1)
+        with pytest.raises(ValueError):
+            erdos_renyi_bipartite(2, 2, 5)  # more edges than cells
+
+
+class TestPowerLaw:
+    def test_skewed_degrees(self):
+        graph = power_law_bipartite(200, 200, 2000, exponent=1.5, seed=0)
+        degrees = np.sort(graph.v_degrees())[::-1]
+        # Top node should dominate the median by a large factor.
+        assert degrees[0] > 5 * max(np.median(degrees), 1)
+
+    def test_zero_exponent_flatter_than_skewed(self):
+        flat = power_law_bipartite(200, 200, 2000, exponent=0.0, seed=0)
+        skew = power_law_bipartite(200, 200, 2000, exponent=2.0, seed=0)
+        assert flat.u_degrees().max() < skew.u_degrees().max()
+
+    def test_duplicates_merged(self):
+        graph = power_law_bipartite(10, 10, 80, exponent=2.0, seed=0)
+        # realized count may be below request, but never above
+        assert graph.num_edges <= 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_law_bipartite(0, 5, 10)
+        with pytest.raises(ValueError):
+            power_law_bipartite(5, 5, 10, exponent=-1.0)
+
+
+class TestRatingModel:
+    def test_shapes_and_weights(self):
+        model = RatingModel(num_users=50, num_items=30, edges_per_user=8,
+                            rating_levels=5)
+        graph = latent_factor_ratings(model, seed=0)
+        assert graph.num_u == 50
+        assert graph.num_v == 30
+        assert graph.num_edges == 50 * 8
+        assert graph.w.data.min() >= 1.0
+        assert graph.w.data.max() <= 5.0
+
+    def test_rating_levels_roughly_balanced(self):
+        model = RatingModel(num_users=200, num_items=100, edges_per_user=10,
+                            rating_levels=5)
+        graph = latent_factor_ratings(model, seed=0)
+        counts = np.bincount(graph.w.data.astype(int), minlength=6)[1:]
+        assert counts.min() > 0.5 * counts.max() * 0.3  # no empty level
+
+    def test_latents_returned(self):
+        model = RatingModel(num_users=20, num_items=15, edges_per_user=5)
+        graph, users, items = latent_factor_ratings(
+            model, seed=1, return_latents=True
+        )
+        assert users.shape == (20, model.num_factors)
+        assert items.shape == (15, model.num_factors)
+
+    def test_taste_signal_present(self):
+        # Edges should connect users to items with above-average affinity.
+        model = RatingModel(num_users=100, num_items=80, edges_per_user=10,
+                            noise=0.1)
+        graph, users, items = latent_factor_ratings(
+            model, seed=2, return_latents=True
+        )
+        u_idx, v_idx, _ = graph.edge_array()
+        edge_affinity = np.einsum("ed,ed->e", users[u_idx], items[v_idx]).mean()
+        rng = np.random.default_rng(0)
+        ru = rng.integers(0, 100, 4000)
+        rv = rng.integers(0, 80, 4000)
+        random_affinity = np.einsum("ed,ed->e", users[ru], items[rv]).mean()
+        assert edge_affinity > random_affinity + 0.1
+
+    def test_reproducible(self):
+        model = RatingModel(num_users=30, num_items=20, edges_per_user=5)
+        a = latent_factor_ratings(model, seed=9)
+        b = latent_factor_ratings(model, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RatingModel(num_users=0).validate()
+        with pytest.raises(ValueError):
+            RatingModel(num_items=5, edges_per_user=10).validate()
+        with pytest.raises(ValueError):
+            RatingModel(noise=-0.1).validate()
+        with pytest.raises(ValueError):
+            RatingModel(rating_levels=0).validate()
+
+
+class TestBlockModel:
+    def test_shapes(self):
+        model = BlockModel(num_u=80, num_v=60, num_blocks=4, num_edges=600)
+        graph = stochastic_block_bipartite(model, seed=0)
+        assert graph.num_u == 80
+        assert graph.num_edges == 600
+        assert graph.is_unweighted()
+
+    def test_block_assortativity(self):
+        model = BlockModel(
+            num_u=150, num_v=150, num_blocks=3, num_edges=2000, in_out_ratio=10.0
+        )
+        graph, blocks_u, blocks_v = stochastic_block_bipartite(
+            model, seed=1, return_blocks=True
+        )
+        u_idx, v_idx, _ = graph.edge_array()
+        same_block = (blocks_u[u_idx] == blocks_v[v_idx]).mean()
+        assert same_block > 0.6  # 1/3 would be unassorted
+
+    def test_reproducible(self):
+        model = BlockModel(num_u=50, num_v=50, num_blocks=2, num_edges=300)
+        a = stochastic_block_bipartite(model, seed=3)
+        b = stochastic_block_bipartite(model, seed=3)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockModel(num_u=0).validate()
+        with pytest.raises(ValueError):
+            BlockModel(num_u=2, num_v=2, num_blocks=5).validate()
+        with pytest.raises(ValueError):
+            BlockModel(in_out_ratio=0.5).validate()
+
+
+class TestZoo:
+    def test_ten_datasets(self):
+        assert len(DATASETS) == 10
+        assert set(DATASETS) == set(PAPER_SIZES)
+
+    def test_task_partition(self):
+        rec = dataset_names("recommendation")
+        lp = dataset_names("link_prediction")
+        assert len(rec) == 5 and len(lp) == 5
+        assert set(rec) | set(lp) == set(DATASETS)
+        assert set(rec) == {"dblp", "movielens", "lastfm", "netflix", "mag"}
+
+    def test_weighted_flag_matches_paper(self):
+        for name, spec in DATASETS.items():
+            assert spec.weighted == PAPER_SIZES[name][3]
+
+    def test_size_ordering_tracks_paper(self):
+        # Stand-in edge counts must preserve the paper's size ordering.
+        names = list(DATASETS)
+        paper_edges = [PAPER_SIZES[n][2] for n in names]
+        ours = [DATASETS[n].num_edges for n in names]
+        assert np.argsort(paper_edges).tolist() == np.argsort(ours).tolist()
+
+    def test_load_dataset(self):
+        graph = load_dataset("dblp", seed=0)
+        spec = DATASETS["dblp"]
+        assert graph.num_u == spec.num_u
+        assert graph.num_v == spec.num_v
+
+    def test_load_is_deterministic(self):
+        assert load_dataset("wikipedia", seed=1) == load_dataset(
+            "wikipedia", seed=1
+        )
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("imaginary")
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError):
+            dataset_names("clustering")

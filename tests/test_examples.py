@@ -1,0 +1,49 @@
+"""Smoke tests: the runnable examples must actually run.
+
+Only the fast examples execute here (the benchmark-scale ones are covered
+by the benchmark suite); each must exit cleanly and print its headline.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Top pick per user" in out
+    assert "User-user similarity" in out
+
+
+def test_theory_verification():
+    out = run_example("theory_verification.py")
+    assert "Theorem 3.1" in out
+    assert "All bounds hold" in out
+    assert "False" not in out  # every `holds` column is True
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["movie_recommendation.py", "link_prediction.py",
+     "scalability_study.py", "attributed_embedding.py"],
+)
+def test_other_examples_importable(name):
+    """The heavy examples at least parse and expose main()."""
+    source = (EXAMPLES / name).read_text()
+    compiled = compile(source, name, "exec")
+    assert "main" in compiled.co_names

@@ -1,0 +1,182 @@
+"""Unit tests for the experiment harness (runner, tables, sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import erdos_renyi_bipartite
+from repro.experiments import (
+    COST_TIERS,
+    TIER_EDGE_BUDGETS,
+    ResultTable,
+    method_tier,
+    render_points,
+    run_edge_scalability,
+    run_efficiency,
+    run_link_prediction_table,
+    run_methods,
+    run_node_scalability,
+    run_recommendation_table,
+    should_run,
+    sweep_epsilon,
+    sweep_lambda,
+    sweep_tau,
+)
+from repro.experiments.parameter_study import render_sweep
+
+
+class TestTiers:
+    def test_all_registry_methods_have_tiers(self):
+        from repro.baselines import method_names
+
+        for name in method_names():
+            assert name in COST_TIERS
+
+    def test_fast_methods_always_run(self):
+        graph = erdos_renyi_bipartite(50, 50, 200, seed=0)
+        assert should_run("GEBE^p", graph)
+        assert should_run("NRP", graph)
+
+    def test_slow_methods_capped(self):
+        graph = erdos_renyi_bipartite(50, 50, 200, seed=0)
+        budgets = dict(TIER_EDGE_BUDGETS)
+        budgets["slow"] = 100
+        assert not should_run("BiNE", graph, budgets)
+        assert should_run("GEBE^p", graph, budgets)
+
+    def test_unknown_method_treated_as_slow(self):
+        assert method_tier("FutureNet") == "slow"
+
+
+class TestResultTable:
+    def test_set_get(self):
+        table = ResultTable("t", ["a", "b"])
+        table.set("m1", "a", 0.5)
+        assert table.get("m1", "a") == 0.5
+        assert table.get("m1", "b") is None
+
+    def test_render_contains_values_and_dashes(self):
+        table = ResultTable("My Table", ["col"])
+        table.set("m1", "col", 0.123)
+        table.set("m2", "col", None)
+        text = table.render()
+        assert "My Table" in text
+        assert "0.123" in text
+        assert "-" in text
+
+    def test_render_string_cells(self):
+        table = ResultTable("t", ["col"])
+        table.set("m", "col", "1.5s")
+        assert "1.5s" in table.render()
+
+    def test_best_method(self):
+        table = ResultTable("t", ["col"])
+        table.set("weak", "col", 0.2)
+        table.set("strong", "col", 0.9)
+        table.set("skipped", "col", None)
+        assert table.best_method("col") == "strong"
+
+    def test_best_method_empty(self):
+        assert ResultTable("t", ["col"]).best_method("col") is None
+
+
+class TestRunMethods:
+    def test_returns_timings(self, block_graph):
+        from repro.core import GEBEPoisson, MHPOnlyBNE
+
+        timings = run_methods(
+            [GEBEPoisson(dimension=8, seed=0), MHPOnlyBNE(dimension=8, seed=0)],
+            block_graph,
+        )
+        assert set(timings) == {"GEBE^p", "MHP-BNE"}
+        assert all(seconds > 0 for seconds in timings.values())
+
+
+MICRO_BUDGETS = {"fast": 10 ** 9, "medium": 0, "slow": 0}
+
+
+class TestHarnessSmoke:
+    """End-to-end smoke runs of each table/figure on micro workloads."""
+
+    def test_efficiency_table(self):
+        table = run_efficiency(
+            dataset_names=["dblp"],
+            method_names=["GEBE^p", "MHP-BNE", "DeepWalk"],
+            dimension=8,
+            seed=0,
+            budgets=MICRO_BUDGETS,
+        )
+        assert table.get("GEBE^p", "dblp") > 0
+        assert table.get("DeepWalk", "dblp") is None  # over budget
+
+    def test_recommendation_table(self):
+        tables = run_recommendation_table(
+            datasets=["dblp"],
+            methods=["GEBE^p", "MHS-BNE"],
+            dimension=16,
+            core=3,
+            seed=0,
+            budgets=MICRO_BUDGETS,
+        )
+        assert set(tables) == {"f1", "ndcg", "mrr"}
+        assert 0 <= tables["f1"].get("GEBE^p", "dblp") <= 1
+
+    def test_link_prediction_table(self):
+        tables = run_link_prediction_table(
+            datasets=["wikipedia"],
+            methods=["GEBE^p"],
+            dimension=16,
+            seed=0,
+            budgets=MICRO_BUDGETS,
+        )
+        assert 0.5 <= tables["auc_roc"].get("GEBE^p", "wikipedia") <= 1.0
+
+    def test_lambda_sweep(self):
+        results = sweep_lambda(
+            "recommendation", ["dblp"], grid=(1.0, 2.0), dimension=16, core=3
+        )
+        assert len(results["dblp"]) == 2
+
+    def test_epsilon_sweep(self):
+        results = sweep_epsilon(
+            "link_prediction", ["wikipedia"], grid=(0.1, 0.9), dimension=16
+        )
+        assert len(results["wikipedia"]) == 2
+
+    def test_tau_sweep(self):
+        results = sweep_tau(
+            "recommendation", ["dblp"], grid=(1, 5), dimension=16, core=3,
+            max_iterations=10,
+        )
+        assert len(results["dblp"]) == 2
+
+    def test_render_sweep(self):
+        text = render_sweep({"dblp": [0.1, 0.2]}, (1, 2))
+        assert "dblp" in text and "0.200" in text
+
+    def test_scalability_points(self):
+        from repro.core import GEBEPoisson
+
+        points = run_node_scalability(
+            node_grid=(200, 400),
+            num_edges=800,
+            dimension=8,
+            seed=0,
+            methods=[GEBEPoisson(8, seed=0)],
+        )
+        assert len(points) == 2
+        assert points[0].num_nodes == 200
+        assert points[0].seconds["GEBE^p"] > 0
+        text = render_points(points, "nodes")
+        assert "GEBE^p" in text
+
+    def test_edge_scalability_points(self):
+        from repro.core import GEBEPoisson
+
+        points = run_edge_scalability(
+            edge_grid=(500, 1000),
+            num_nodes=300,
+            dimension=8,
+            seed=0,
+            methods=[GEBEPoisson(8, seed=0)],
+        )
+        assert [p.num_edges for p in points] == [500, 1000]

@@ -1,0 +1,70 @@
+"""Unit tests for markdown report rendering."""
+
+import pytest
+
+from repro.experiments import (
+    ResultTable,
+    comparison_block,
+    markdown_table,
+    result_table_to_markdown,
+)
+
+
+class TestMarkdownTable:
+    def test_basic_rendering(self):
+        board = {"GEBE^p": {"dblp": 0.214, "mag": 0.265}}
+        text = markdown_table(board, ["dblp", "mag"])
+        lines = text.split("\n")
+        assert lines[0] == "| method | dblp | mag |"
+        assert "| GEBE^p | 0.214 | 0.265 |" in lines
+
+    def test_missing_cells_are_dashes(self):
+        board = {"BiNE": {"dblp": 0.18}}
+        text = markdown_table(board, ["dblp", "mag"])
+        assert "| BiNE | 0.180 | - |" in text
+
+    def test_bold_best(self):
+        board = {
+            "GEBE^p": {"dblp": 0.9},
+            "BPR": {"dblp": 0.5},
+        }
+        text = markdown_table(board, ["dblp"], bold_best=True)
+        assert "**0.900**" in text
+        assert "**0.500**" not in text
+
+    def test_precision(self):
+        board = {"m": {"c": 0.123456}}
+        assert "0.1235" in markdown_table(board, ["c"], precision=4)
+
+    def test_string_cells_pass_through(self):
+        board = {"m": {"c": "1.5s"}}
+        assert "| m | 1.5s |" in markdown_table(board, ["c"])
+
+    def test_default_columns_sorted(self):
+        board = {"m": {"b": 1.0, "a": 2.0}}
+        text = markdown_table(board)
+        assert text.split("\n")[0] == "| method | a | b |"
+
+
+class TestResultTableToMarkdown:
+    def test_heading_and_body(self):
+        table = ResultTable("Table 4 (F1)", ["dblp"])
+        table.set("GEBE^p", "dblp", 0.214)
+        text = result_table_to_markdown(table)
+        assert text.startswith("### Table 4 (F1)")
+        assert "0.214" in text
+
+
+class TestComparisonBlock:
+    def test_two_rows(self):
+        text = comparison_block(
+            {"f1": 0.214, "ndcg": 0.261}, {"f1": 0.143, "ndcg": 0.160}
+        )
+        lines = text.split("\n")
+        assert lines[0] == "| source | f1 | ndcg |"
+        assert "| paper | 0.214 | 0.261 |" in lines
+        assert "| measured | 0.143 | 0.160 |" in lines
+
+    def test_measured_only_keys_appended(self):
+        text = comparison_block({"a": 1.0}, {"a": 1.0, "b": 2.0})
+        assert "| paper | 1.000 | - |" in text

@@ -1,0 +1,72 @@
+"""Unit tests for the grid-search utility."""
+
+import pytest
+
+from repro.core import GEBEPoisson
+from repro.experiments import grid_search
+from repro.tasks import LinkPredictionTask, RecommendationTask
+
+
+@pytest.fixture(scope="module")
+def rec_task(request):
+    from repro.datasets import RatingModel, latent_factor_ratings
+
+    model = RatingModel(
+        num_users=120, num_items=60, edges_per_user=12,
+        num_factors=8, num_communities=4, noise=0.2,
+    )
+    graph = latent_factor_ratings(model, seed=3)
+    return RecommendationTask(graph, core=3, seed=0)
+
+
+def factory(**params):
+    return GEBEPoisson(dimension=16, seed=0, **params)
+
+
+class TestGridSearch:
+    def test_scores_every_point(self, rec_task):
+        result = grid_search(
+            factory, {"lam": [1.0, 2.0], "epsilon": [0.1, 0.5]}, rec_task
+        )
+        assert len(result.scores) == 4
+        params_seen = [tuple(sorted(p.items())) for p, _ in result.scores]
+        assert len(set(params_seen)) == 4
+
+    def test_best_is_max(self, rec_task):
+        result = grid_search(factory, {"lam": [1.0, 3.0]}, rec_task)
+        assert result.best_score == max(s for _, s in result.scores)
+        assert result.best_params in [p for p, _ in result.scores]
+
+    def test_alternative_metric(self, rec_task):
+        result = grid_search(
+            factory, {"lam": [1.0]}, rec_task, metric="mrr"
+        )
+        assert result.metric == "mrr"
+        assert 0.0 <= result.best_score <= 1.0
+
+    def test_lp_task_metric(self, block_graph):
+        task = LinkPredictionTask(block_graph, seed=0)
+        result = grid_search(
+            factory, {"lam": [1.0, 2.0]}, task, metric="auc_roc"
+        )
+        assert len(result.scores) == 2
+
+    def test_unknown_metric(self, rec_task):
+        with pytest.raises(AttributeError):
+            grid_search(factory, {"lam": [1.0]}, rec_task, metric="accuracy")
+
+    def test_empty_grid_rejected(self, rec_task):
+        with pytest.raises(ValueError):
+            grid_search(factory, {}, rec_task)
+
+    def test_render(self, rec_task):
+        result = grid_search(factory, {"lam": [1.0, 2.0]}, rec_task)
+        text = result.render()
+        assert "best:" in text
+        assert "lam=1.0" in text
+
+    def test_empty_result_guards(self):
+        from repro.experiments import GridSearchResult
+
+        with pytest.raises(ValueError):
+            GridSearchResult().best_params

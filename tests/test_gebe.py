@@ -1,0 +1,116 @@
+"""Unit tests for GEBE (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GEBE,
+    PoissonPMF,
+    UniformPMF,
+    evaluate_objective,
+    gebe_geometric,
+    gebe_poisson,
+    gebe_uniform,
+    h_matrix,
+)
+from repro.core.preprocess import normalize_weights
+from repro.graph import BipartiteGraph
+
+
+class TestTheorem41:
+    """Theorem 4.1: converged GEBE output equals the Eq. (13) optimum."""
+
+    def test_matches_dense_eigendecomposition(self, random_graph):
+        pmf = PoissonPMF(lam=1.0)
+        tau = 6
+        k = 4
+        method = GEBE(
+            pmf, k, tau=tau, max_iterations=2000, tolerance=1e-13,
+            normalization="none", seed=0,
+        )
+        result = method.fit(random_graph)
+        assert result.metadata["converged"]
+
+        h = h_matrix(random_graph, pmf, tau)
+        values, vectors = np.linalg.eigh(h)
+        order = np.argsort(values)[::-1][:k]
+        expected_values = values[order]
+        # Eigenvalues (Ritz values off R) match the dense decomposition.
+        np.testing.assert_allclose(
+            result.metadata["eigenvalues"], expected_values, rtol=1e-6
+        )
+        # U U^T matches the rank-k H reconstruction (rotation invariant).
+        expected_uut = (vectors[:, order] * expected_values) @ vectors[:, order].T
+        np.testing.assert_allclose(
+            result.u @ result.u.T, expected_uut, atol=1e-6
+        )
+
+    def test_v_is_wt_u(self, random_graph):
+        method = GEBE(
+            PoissonPMF(lam=1.0), 4, tau=5, normalization="sym", seed=0
+        )
+        result = method.fit(random_graph)
+        w = normalize_weights(random_graph, "sym")
+        np.testing.assert_allclose(result.v, w.T @ result.u)
+
+
+class TestObjectiveQuality:
+    def test_loss_decreases_with_rank(self, random_graph):
+        pmf = PoissonPMF(lam=1.0)
+        tau = 5
+        losses = []
+        for k in (2, 6, 12):
+            result = GEBE(
+                pmf, k, tau=tau, normalization="none", seed=0,
+                max_iterations=500,
+            ).fit(random_graph)
+            loss = evaluate_objective(
+                random_graph, result.u, result.v, pmf, tau
+            )
+            losses.append(loss.total)
+        assert losses[0] >= losses[1] >= losses[2]
+
+
+class TestInterface:
+    def test_shapes_and_padding(self, figure1):
+        result = GEBE(PoissonPMF(lam=1.0), 10, tau=4, seed=0).fit(figure1)
+        # |U| = 4 < 10: padded with zero columns.
+        assert result.u.shape == (4, 10)
+        assert result.v.shape == (5, 10)
+        assert np.allclose(result.u[:, 4:], 0.0)
+        assert result.metadata["effective_dimension"] == 4
+
+    def test_reproducible_with_seed(self, random_graph):
+        a = gebe_poisson(6, tau=4, seed=42).fit(random_graph)
+        b = gebe_poisson(6, tau=4, seed=42).fit(random_graph)
+        np.testing.assert_array_equal(a.u, b.u)
+        np.testing.assert_array_equal(a.v, b.v)
+
+    def test_metadata_fields(self, random_graph):
+        result = gebe_poisson(4, tau=3, seed=0).fit(random_graph)
+        for key in ("pmf", "tau", "iterations", "converged", "normalization"):
+            assert key in result.metadata
+        assert result.method == "GEBE (Poisson)"
+
+    def test_factory_names(self):
+        assert gebe_uniform(4).name == "GEBE (Uniform)"
+        assert gebe_geometric(4).name == "GEBE (Geometric)"
+        assert gebe_poisson(4).name == "GEBE (Poisson)"
+
+    def test_factory_normalization_defaults(self):
+        assert gebe_uniform(4).normalization == "sym"
+        assert gebe_geometric(4).normalization == "spectral"
+        assert gebe_poisson(4).normalization == "spectral"
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            GEBE(UniformPMF(tau=5), 4, tau=-1)
+
+    def test_empty_side_rejected(self):
+        graph = BipartiteGraph.from_dense(np.zeros((0, 3)))
+        with pytest.raises(ValueError, match="empty side"):
+            gebe_poisson(4).fit(graph)
+
+    def test_timing_recorded(self, random_graph):
+        result = gebe_poisson(4, tau=3, seed=0).fit(random_graph)
+        assert result.elapsed_seconds > 0

@@ -1,0 +1,135 @@
+"""Unit tests for GEBE^p (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GEBEPoisson, PoissonPMF, gebe_poisson, poisson_eigenvalues
+from repro.core.preprocess import normalize_weights
+from repro.graph import BipartiteGraph
+from scipy.linalg import expm
+
+
+class TestPoissonEigenvalues:
+    def test_formula(self):
+        sigma = np.array([0.0, 0.5, 1.0])
+        lam = 2.0
+        expected = np.exp(-lam) * np.exp(lam * sigma ** 2)
+        np.testing.assert_allclose(poisson_eigenvalues(sigma, lam), expected)
+
+    def test_monotone_in_sigma(self):
+        values = poisson_eigenvalues(np.array([0.1, 0.5, 0.9]), 1.0)
+        assert (np.diff(values) > 0).all()
+
+    def test_no_overflow_for_large_sigma(self):
+        # The exp(lam * (sigma^2 - 1)) form overflows much later than the
+        # naive e^{-lam} * e^{lam sigma^2} product.
+        value = poisson_eigenvalues(np.array([20.0]), 1.0)
+        assert np.isfinite(value).all()
+
+
+class TestEquation16:
+    """H_lambda = e^{-lambda} e^{lambda W W^T} and its eigensystem (Eq. 17)."""
+
+    def test_eigendecomposition_matches_matrix_exponential(self, random_graph):
+        lam = 1.0
+        w = normalize_weights(random_graph, "sym").toarray()
+        h_exact = np.exp(-lam) * expm(lam * (w @ w.T))
+        method = GEBEPoisson(
+            dimension=8, lam=lam, epsilon=0.01, normalization="sym", seed=0
+        )
+        result = method.fit(random_graph)
+        # U U^T must match the best rank-k approximation of H_lambda.
+        values, vectors = np.linalg.eigh(h_exact)
+        order = np.argsort(values)[::-1][:8]
+        expected = (vectors[:, order] * values[order]) @ vectors[:, order].T
+        np.testing.assert_allclose(result.u @ result.u.T, expected, atol=1e-4)
+
+    def test_matches_truncated_gebe(self, random_graph):
+        """GEBE (Poisson, large tau) converges to GEBE^p's closed form."""
+        closed = GEBEPoisson(
+            dimension=5, lam=1.0, epsilon=0.01, normalization="sym", seed=0
+        ).fit(random_graph)
+        truncated = gebe_poisson(
+            5, lam=1.0, tau=40, seed=0, normalization="sym",
+            max_iterations=2000, tolerance=1e-13,
+        ).fit(random_graph)
+        np.testing.assert_allclose(
+            closed.u @ closed.u.T, truncated.u @ truncated.u.T, atol=1e-5
+        )
+
+
+class TestInterface:
+    def test_v_is_wt_u(self, random_graph):
+        result = GEBEPoisson(dimension=4, seed=0).fit(random_graph)
+        w = normalize_weights(random_graph, "spectral")
+        np.testing.assert_allclose(result.v, w.T @ result.u)
+
+    def test_shapes_padding(self, figure1):
+        result = GEBEPoisson(dimension=12, seed=0).fit(figure1)
+        assert result.u.shape == (4, 12)
+        assert result.v.shape == (5, 12)
+        assert np.allclose(result.u[:, 4:], 0.0)
+
+    def test_reproducible_with_seed(self, random_graph):
+        a = GEBEPoisson(dimension=6, seed=7).fit(random_graph)
+        b = GEBEPoisson(dimension=6, seed=7).fit(random_graph)
+        np.testing.assert_array_equal(a.u, b.u)
+
+    def test_metadata(self, random_graph):
+        result = GEBEPoisson(dimension=4, lam=2.0, epsilon=0.2, seed=0).fit(
+            random_graph
+        )
+        assert result.metadata["lambda"] == 2.0
+        assert result.metadata["epsilon"] == 0.2
+        assert result.metadata["singular_values"].shape == (4,)
+        assert result.method == "GEBE^p"
+
+    def test_eigenvalues_consistent_with_singulars(self, random_graph):
+        result = GEBEPoisson(dimension=4, lam=1.5, seed=0).fit(random_graph)
+        np.testing.assert_allclose(
+            result.metadata["eigenvalues"],
+            poisson_eigenvalues(result.metadata["singular_values"], 1.5),
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GEBEPoisson(lam=0.0)
+        with pytest.raises(ValueError):
+            GEBEPoisson(epsilon=0.0)
+        with pytest.raises(ValueError):
+            GEBEPoisson(dimension=0)
+
+    def test_power_strategy(self, random_graph):
+        result = GEBEPoisson(
+            dimension=4, svd_strategy="power", seed=0
+        ).fit(random_graph)
+        assert result.u.shape[1] == 4
+
+
+class TestTheorem51:
+    """Smaller epsilon -> better approximation of the exact H_lambda."""
+
+    def test_epsilon_controls_error(self, rng):
+        # A graph with slow spectral decay so epsilon genuinely matters.
+        dense = rng.random((60, 50))
+        dense[dense < 0.5] = 0.0
+        graph = BipartiteGraph.from_dense(dense)
+        lam = 1.0
+        w = normalize_weights(graph, "sym").toarray()
+        h_exact = np.exp(-lam) * expm(lam * (w @ w.T))
+        errors = {}
+        for eps, iters in ((0.9, 1), (0.05, None)):
+            method = GEBEPoisson(
+                dimension=8, lam=lam, epsilon=eps, normalization="sym", seed=3
+            )
+            if iters is not None:
+                # force a genuinely loose run
+                method_result = GEBEPoisson(
+                    dimension=8, lam=lam, epsilon=eps, normalization="sym",
+                    svd_strategy="power", seed=3,
+                ).fit(graph)
+            else:
+                method_result = method.fit(graph)
+            approx = method_result.u @ method_result.u.T
+            errors[eps] = np.linalg.norm(approx - h_exact)
+        assert errors[0.05] <= errors[0.9] + 1e-9

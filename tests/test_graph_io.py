@@ -1,0 +1,123 @@
+"""Unit tests for graph IO (TSV edge lists and NPZ bundles)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    BipartiteGraph,
+    load_npz,
+    read_edge_list,
+    save_npz,
+    write_edge_list,
+)
+
+
+@pytest.fixture
+def labeled_graph():
+    return BipartiteGraph.from_edges(
+        [("alice", "x", 2.0), ("bob", "x", 1.0), ("alice", "y", 0.5)]
+    )
+
+
+class TestEdgeList:
+    def test_round_trip_weighted(self, tmp_path, labeled_graph):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(labeled_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_u == 2
+        assert loaded.num_v == 2
+        assert loaded.weight(loaded.u_id("alice"), loaded.v_id("y")) == 0.5
+
+    def test_round_trip_unweighted(self, tmp_path):
+        graph = BipartiteGraph.from_edges([("a", "x"), ("b", "y")])
+        path = tmp_path / "graph.tsv"
+        write_edge_list(graph, path)
+        content = path.read_text()
+        assert "1.0" not in content  # weights omitted for unweighted graphs
+        loaded = read_edge_list(path)
+        assert loaded.is_unweighted()
+        assert loaded.num_edges == 2
+
+    def test_force_write_weights(self, tmp_path):
+        graph = BipartiteGraph.from_edges([("a", "x")])
+        path = tmp_path / "graph.tsv"
+        write_edge_list(graph, path, write_weights=True)
+        assert "1.0" in path.read_text()
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("# a comment\n\na\tx\t2.0\n")
+        loaded = read_edge_list(path)
+        assert loaded.num_edges == 1
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "graph.csv"
+        path.write_text("a,x,3.5\n")
+        loaded = read_edge_list(path, delimiter=",")
+        assert loaded.weight(0, 0) == 3.5
+
+    def test_weighted_false_ignores_third_column(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("a\tx\t7.0\n")
+        loaded = read_edge_list(path, weighted=False)
+        assert loaded.weight(0, 0) == 1.0
+
+    def test_weighted_true_requires_column(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("a\tx\n")
+        with pytest.raises(ValueError, match="weight column"):
+            read_edge_list(path, weighted=True)
+
+    def test_too_few_fields(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("lonely\n")
+        with pytest.raises(ValueError, match="at least 2 fields"):
+            read_edge_list(path)
+
+    def test_error_mentions_line_number(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("a\tx\nbad\n")
+        with pytest.raises(ValueError, match=":2:"):
+            read_edge_list(path)
+
+
+class TestNpz:
+    def test_round_trip_with_labels(self, tmp_path, labeled_graph):
+        path = tmp_path / "graph.npz"
+        save_npz(labeled_graph, path)
+        loaded = load_npz(path)
+        assert loaded == labeled_graph
+        assert loaded.u_labels == labeled_graph.u_labels
+        assert loaded.v_labels == labeled_graph.v_labels
+
+    def test_round_trip_without_labels(self, tmp_path, random_graph):
+        path = tmp_path / "graph.npz"
+        save_npz(random_graph, path)
+        loaded = load_npz(path)
+        assert loaded == random_graph
+        assert loaded.u_labels is None
+
+    def test_preserves_exact_weights(self, tmp_path):
+        graph = BipartiteGraph.from_dense([[0.1234567890123456]])
+        path = tmp_path / "graph.npz"
+        save_npz(graph, path)
+        loaded = load_npz(path)
+        assert loaded.weight(0, 0) == graph.weight(0, 0)
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        graph = BipartiteGraph.from_dense(np.zeros((2, 3)))
+        path = tmp_path / "graph.npz"
+        save_npz(graph, path)
+        loaded = load_npz(path)
+        assert loaded.num_u == 2
+        assert loaded.num_v == 3
+        assert loaded.num_edges == 0
+
+    def test_non_string_labels(self, tmp_path):
+        graph = BipartiteGraph.from_edges([((1, "compound"), 42, 1.0)])
+        path = tmp_path / "graph.npz"
+        save_npz(graph, path)
+        loaded = load_npz(path)
+        # JSON round trip restores tuples via the hashability converter.
+        assert loaded.u_labels == [(1, "compound")]
+        assert loaded.v_labels == [42]

@@ -1,0 +1,100 @@
+"""Unit tests for bipartite k-core filtering."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import complete_bipartite, star_graph
+from repro.graph import BipartiteGraph, k_core, k_core_indices
+
+
+class TestKCoreIndices:
+    def test_complete_graph_survives(self):
+        graph = complete_bipartite(5, 4)
+        u_keep, v_keep = k_core_indices(graph, 3)
+        np.testing.assert_array_equal(u_keep, np.arange(5))
+        np.testing.assert_array_equal(v_keep, np.arange(4))
+
+    def test_star_collapses(self):
+        graph = star_graph(6)
+        # each leaf has degree 1 < 2, so everything peels away
+        u_keep, v_keep = k_core_indices(graph, 2)
+        assert u_keep.size == 0
+        assert v_keep.size == 0
+
+    def test_zero_core_keeps_all(self):
+        graph = star_graph(3)
+        u_keep, v_keep = k_core_indices(graph, 0)
+        assert u_keep.size == 1
+        assert v_keep.size == 3
+
+    def test_cascading_removal(self):
+        # u0 - v0 - u1 - v1 chain plus a dense block; the chain peels off in
+        # cascading rounds while the block survives.
+        dense = np.zeros((5, 5))
+        dense[2:, 2:] = 1.0  # 3x3 complete block
+        dense[0, 0] = 1.0
+        dense[1, 0] = 1.0
+        dense[1, 1] = 1.0
+        graph = BipartiteGraph.from_dense(dense)
+        u_keep, v_keep = k_core_indices(graph, 2)
+        np.testing.assert_array_equal(u_keep, [2, 3, 4])
+        np.testing.assert_array_equal(v_keep, [2, 3, 4])
+
+    def test_asymmetric_thresholds(self):
+        # U nodes need >= 1 edge, V nodes need >= 3 edges.
+        graph = complete_bipartite(3, 4)
+        u_keep, v_keep = k_core_indices(graph, 1, 3)
+        assert u_keep.size == 3
+        assert v_keep.size == 4
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            k_core_indices(star_graph(2), -1)
+
+    def test_weights_do_not_affect_core(self):
+        # k-core counts edges, not weights: tiny weights still count.
+        dense = np.array([[100.0, 0.1], [0.1, 0.1]])
+        graph = BipartiteGraph.from_dense(dense)
+        u_keep, v_keep = k_core_indices(graph, 2)
+        np.testing.assert_array_equal(u_keep, [0, 1])
+        np.testing.assert_array_equal(v_keep, [0, 1])
+
+
+class TestKCore:
+    def test_induced_subgraph(self):
+        dense = np.zeros((4, 4))
+        dense[:3, :3] = 1.0
+        dense[3, 3] = 1.0  # pendant pair
+        graph = BipartiteGraph.from_dense(dense)
+        core = k_core(graph, 2)
+        assert core.num_u == 3
+        assert core.num_v == 3
+        assert core.num_edges == 9
+
+    def test_result_satisfies_threshold(self, rating_graph):
+        core = k_core(rating_graph, 5)
+        if core.num_u and core.num_v:
+            assert core.u_degrees().min() >= 5
+            assert core.v_degrees().min() >= 5
+
+    def test_idempotent(self, rating_graph):
+        once = k_core(rating_graph, 5)
+        twice = k_core(once, 5)
+        assert once == twice
+
+    def test_fixed_point_requires_iteration(self):
+        # A path graph: every interior node has degree 2, endpoints 1.
+        # Removing endpoints reduces interior degrees, cascading fully.
+        from repro.datasets import path_graph
+
+        graph = path_graph(9)
+        core = k_core(graph, 2)
+        assert core.num_u == 0 or core.num_edges == 0
+
+    def test_labels_preserved(self):
+        graph = BipartiteGraph.from_edges(
+            [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y"), ("c", "z")]
+        )
+        core = k_core(graph, 2)
+        assert set(core.u_labels) == {"a", "b"}
+        assert set(core.v_labels) == {"x", "y"}

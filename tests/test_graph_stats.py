@@ -1,0 +1,122 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    complete_bipartite,
+    figure1_graph,
+    load_dataset,
+    path_graph,
+    star_graph,
+    two_cliques,
+)
+from repro.graph import (
+    BipartiteGraph,
+    connected_components,
+    count_butterflies,
+    degree_summary,
+    giant_component_fraction,
+    gini_coefficient,
+    graph_summary,
+)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(50, 3.0)) == pytest.approx(0.0)
+
+    def test_single_holder_near_one(self):
+        values = np.zeros(100)
+        values[0] = 10.0
+        assert gini_coefficient(values) == pytest.approx(0.99, abs=0.01)
+
+    def test_known_value(self):
+        # For [0, 1]: mean absolute difference / (2 * mean) = 0.5.
+        assert gini_coefficient(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_all_zero(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([]))
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+
+class TestDegreeSummary:
+    def test_figure1_values(self):
+        summary = degree_summary(figure1_graph(), "u")
+        assert summary.minimum == 3
+        assert summary.maximum == 4
+        assert summary.mean == pytest.approx(13 / 4)
+
+    def test_v_side(self):
+        summary = degree_summary(figure1_graph(), "v")
+        assert summary.maximum == 4
+        assert summary.median == 2.0
+
+    def test_side_validated(self):
+        with pytest.raises(ValueError):
+            degree_summary(figure1_graph(), "w")
+
+    def test_power_law_dataset_is_skewed(self):
+        graph = load_dataset("wikipedia", seed=0)
+        summary = degree_summary(graph, "v")
+        assert summary.gini > 0.2  # real-ish interaction data is unequal
+
+
+class TestComponents:
+    def test_connected_graph(self):
+        count, labels = connected_components(figure1_graph())
+        assert count == 1
+        assert (labels == 0).all()
+
+    def test_two_cliques(self):
+        count, labels = connected_components(two_cliques(3))
+        assert count == 2
+        # U block 1 shares a label with V block 1.
+        assert labels[0] == labels[6 + 0]
+        assert labels[0] != labels[3]
+
+    def test_isolated_nodes_are_singletons(self):
+        graph = BipartiteGraph.from_dense(
+            np.array([[1.0, 0.0], [0.0, 0.0]])
+        )
+        count, labels = connected_components(graph)
+        assert count == 3  # {u0, v0}, {u1}, {v1}
+
+    def test_giant_component_fraction(self):
+        assert giant_component_fraction(figure1_graph()) == 1.0
+        assert giant_component_fraction(two_cliques(3)) == pytest.approx(0.5)
+
+
+class TestButterflies:
+    def test_figure1_hand_count(self):
+        # (u1,u2): C(3,2)=3; (u1,u4): 1; (u2,u4): 1; (u3,u4): 3 -> 8.
+        assert count_butterflies(figure1_graph()) == 8
+
+    def test_complete_bipartite(self):
+        # K_{3,3}: C(3,2) * C(3,2) = 9 butterflies.
+        assert count_butterflies(complete_bipartite(3, 3)) == 9
+
+    def test_acyclic_graphs_have_none(self):
+        assert count_butterflies(path_graph(6)) == 0
+        assert count_butterflies(star_graph(5)) == 0
+
+    def test_weights_ignored(self):
+        weighted = BipartiteGraph.from_dense(
+            np.array([[5.0, 2.0], [1.0, 9.0]])
+        )
+        assert count_butterflies(weighted) == 1
+
+
+class TestSummary:
+    def test_contains_all_fields(self):
+        summary = graph_summary(figure1_graph())
+        assert summary["num_edges"] == 13
+        assert summary["weighted"] is True
+        assert summary["giant_component"] == 1.0
+        assert summary["butterflies"] == 8
+        assert summary["u_degrees"].maximum == 4

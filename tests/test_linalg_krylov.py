@@ -1,0 +1,119 @@
+"""Unit tests for Krylov subspace iteration."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import PoissonPMF
+from repro.linalg import (
+    MatrixFreeOperator,
+    random_semi_unitary,
+    subspace_distance,
+    subspace_iteration,
+)
+
+
+def random_psd(n: int, rng: np.random.Generator, decay: float = 0.7) -> np.ndarray:
+    """A random symmetric PSD matrix with geometrically decaying spectrum."""
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    values = decay ** np.arange(n) * 10.0
+    return (q * values) @ q.T
+
+
+class TestSubspaceIteration:
+    def test_recovers_top_eigenvalues(self, rng):
+        matrix = random_psd(20, rng)
+        reference = np.sort(np.linalg.eigvalsh(matrix))[::-1]
+        result = subspace_iteration(matrix, 20, 4, rng=rng, max_iterations=500)
+        np.testing.assert_allclose(result.values, reference[:4], rtol=1e-6)
+
+    def test_recovers_top_eigenvectors(self, rng):
+        matrix = random_psd(15, rng)
+        result = subspace_iteration(matrix, 15, 3, rng=rng, max_iterations=500)
+        # Each returned vector must satisfy H z = lambda z.
+        for i in range(3):
+            z = result.vectors[:, i]
+            residual = matrix @ z - result.values[i] * z
+            assert np.linalg.norm(residual) < 1e-5
+
+    def test_converged_flag(self, rng):
+        matrix = random_psd(10, rng)
+        result = subspace_iteration(matrix, 10, 2, rng=rng, max_iterations=1000)
+        assert result.converged
+        assert result.iterations < 1000
+
+    def test_budget_exhaustion_reported(self, rng):
+        matrix = random_psd(30, rng, decay=0.999)  # tiny gaps: slow convergence
+        result = subspace_iteration(
+            matrix, 30, 3, rng=rng, max_iterations=2, tolerance=1e-14
+        )
+        assert not result.converged
+        assert result.iterations == 2
+
+    def test_values_sorted_descending(self, rng):
+        matrix = random_psd(12, rng)
+        result = subspace_iteration(matrix, 12, 5, rng=rng)
+        assert (np.diff(result.values) <= 1e-12).all()
+
+    def test_vectors_orthonormal(self, rng):
+        matrix = random_psd(12, rng)
+        result = subspace_iteration(matrix, 12, 4, rng=rng)
+        gram = result.vectors.T @ result.vectors
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_matrix_free_operator_agrees_with_dense(self, rng):
+        dense = rng.random((10, 6))
+        dense[dense < 0.5] = 0.0
+        w = sp.csr_matrix(dense)
+        weights = PoissonPMF(lam=1.0).weights(4)
+        operator = MatrixFreeOperator(w, weights)
+        h = operator.to_dense()
+        start = random_semi_unitary(10, 3, rng=np.random.default_rng(0))
+        via_operator = subspace_iteration(operator, 10, 3, initial=start)
+        via_dense = subspace_iteration(h, 10, 3, initial=start.copy())
+        np.testing.assert_allclose(
+            via_operator.values, via_dense.values, rtol=1e-8
+        )
+
+    def test_explicit_initial_block(self, rng):
+        matrix = random_psd(8, rng)
+        start = random_semi_unitary(8, 2, rng=rng)
+        result = subspace_iteration(matrix, 8, 2, initial=start)
+        assert result.values.shape == (2,)
+
+    def test_initial_shape_validated(self, rng):
+        matrix = random_psd(8, rng)
+        with pytest.raises(ValueError, match="initial"):
+            subspace_iteration(matrix, 8, 2, initial=np.zeros((8, 3)))
+
+    def test_k_bounds_validated(self, rng):
+        matrix = random_psd(5, rng)
+        with pytest.raises(ValueError):
+            subspace_iteration(matrix, 5, 0)
+        with pytest.raises(ValueError):
+            subspace_iteration(matrix, 5, 6)
+
+    def test_callable_operator(self, rng):
+        matrix = random_psd(9, rng)
+        result = subspace_iteration(lambda b: matrix @ b, 9, 2, rng=rng)
+        reference = np.sort(np.linalg.eigvalsh(matrix))[::-1][:2]
+        np.testing.assert_allclose(result.values, reference, rtol=1e-5)
+
+    def test_unsupported_operator_type(self):
+        with pytest.raises(TypeError):
+            subspace_iteration("not an operator", 5, 2)
+
+
+class TestSubspaceDistance:
+    def test_identical_spaces(self, rng):
+        z = random_semi_unitary(10, 3, rng=rng)
+        assert subspace_distance(z, z) == pytest.approx(0.0, abs=1e-6)
+
+    def test_sign_flips_ignored(self, rng):
+        z = random_semi_unitary(10, 3, rng=rng)
+        assert subspace_distance(z, -z) == pytest.approx(0.0, abs=1e-6)
+
+    def test_orthogonal_spaces(self):
+        z1 = np.eye(6)[:, :2]
+        z2 = np.eye(6)[:, 2:4]
+        assert subspace_distance(z1, z2) == pytest.approx(np.sqrt(2))

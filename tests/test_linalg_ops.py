@@ -1,0 +1,117 @@
+"""Unit tests for the matrix-free operators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import PoissonPMF
+from repro.linalg import MatrixFreeOperator, gram_apply, pmf_weighted_apply
+from repro.linalg.ops import ProximityOperator
+
+
+@pytest.fixture
+def w_small(rng):
+    dense = rng.random((12, 8))
+    dense[dense < 0.6] = 0.0
+    return sp.csr_matrix(dense)
+
+
+class TestGramApply:
+    def test_matches_dense(self, w_small, rng):
+        block = rng.standard_normal((12, 3))
+        expected = (w_small @ w_small.T) @ block
+        np.testing.assert_allclose(gram_apply(w_small, block), expected)
+
+    def test_identity_block(self, w_small):
+        gram = gram_apply(w_small, np.eye(12))
+        np.testing.assert_allclose(gram, (w_small @ w_small.T).toarray())
+
+
+class TestPmfWeightedApply:
+    def test_matches_dense_series(self, w_small, rng):
+        weights = PoissonPMF(lam=1.5).weights(4)
+        block = rng.standard_normal((12, 2))
+        gram = (w_small @ w_small.T).toarray()
+        expected = sum(
+            weights[ell] * np.linalg.matrix_power(gram, ell) @ block
+            for ell in range(5)
+        )
+        np.testing.assert_allclose(
+            pmf_weighted_apply(w_small, block, weights), expected
+        )
+
+    def test_single_weight_is_scaling(self, w_small, rng):
+        block = rng.standard_normal((12, 2))
+        np.testing.assert_allclose(
+            pmf_weighted_apply(w_small, block, [2.5]), 2.5 * block
+        )
+
+    def test_rejects_empty_weights(self, w_small):
+        with pytest.raises(ValueError):
+            pmf_weighted_apply(w_small, np.zeros((12, 1)), [])
+
+    def test_does_not_mutate_input(self, w_small, rng):
+        block = rng.standard_normal((12, 2))
+        copy = block.copy()
+        pmf_weighted_apply(w_small, block, [0.5, 0.5])
+        np.testing.assert_array_equal(block, copy)
+
+
+class TestMatrixFreeOperator:
+    def test_shape(self, w_small):
+        operator = MatrixFreeOperator(w_small, [1.0, 0.5])
+        assert operator.shape == (12, 12)
+
+    def test_to_dense_symmetric_psd(self, w_small):
+        operator = MatrixFreeOperator(w_small, PoissonPMF(lam=1.0).weights(5))
+        h = operator.to_dense()
+        np.testing.assert_allclose(h, h.T, atol=1e-12)
+        eigenvalues = np.linalg.eigvalsh(h)
+        assert eigenvalues.min() > -1e-10
+
+    def test_matvec_matches_matmat(self, w_small, rng):
+        operator = MatrixFreeOperator(w_small, [0.3, 0.7])
+        vector = rng.standard_normal(12)
+        np.testing.assert_allclose(
+            operator.matvec(vector),
+            operator.matmat(vector.reshape(-1, 1)).ravel(),
+        )
+
+    def test_wrong_row_count_rejected(self, w_small):
+        operator = MatrixFreeOperator(w_small, [1.0])
+        with pytest.raises(ValueError, match="rows"):
+            operator.matmat(np.zeros((5, 2)))
+
+    def test_callable_alias(self, w_small, rng):
+        operator = MatrixFreeOperator(w_small, [1.0, 1.0])
+        block = rng.standard_normal((12, 2))
+        np.testing.assert_allclose(operator(block), operator.matmat(block))
+
+
+class TestProximityOperator:
+    def test_shape(self, w_small):
+        proximity = ProximityOperator(w_small, [1.0, 0.5])
+        assert proximity.shape == (12, 8)
+        assert proximity.T.shape == (8, 12)
+
+    def test_matmul_matches_dense(self, w_small, rng):
+        weights = PoissonPMF(lam=1.0).weights(3)
+        proximity = ProximityOperator(w_small, weights)
+        h = MatrixFreeOperator(w_small, weights).to_dense()
+        p_dense = h @ w_small.toarray()
+        block = rng.standard_normal((8, 2))
+        np.testing.assert_allclose(proximity @ block, p_dense @ block)
+
+    def test_transpose_matmul(self, w_small, rng):
+        weights = [0.5, 0.25, 0.25]
+        proximity = ProximityOperator(w_small, weights)
+        p_dense = proximity.to_dense()
+        block = rng.standard_normal((12, 3))
+        np.testing.assert_allclose(proximity.T @ block, p_dense.T @ block)
+
+    def test_rmatmul_from_ndarray(self, w_small, rng):
+        weights = [0.5, 0.5]
+        proximity = ProximityOperator(w_small, weights)
+        p_dense = proximity.to_dense()
+        left = rng.standard_normal((4, 12))
+        np.testing.assert_allclose(left @ proximity, left @ p_dense)

@@ -1,0 +1,75 @@
+"""Unit tests for QR utilities."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import is_semi_unitary, random_semi_unitary, thin_qr
+
+
+class TestThinQR:
+    def test_reconstruction(self, rng):
+        block = rng.standard_normal((10, 4))
+        q, r = thin_qr(block)
+        np.testing.assert_allclose(q @ r, block, atol=1e-10)
+
+    def test_q_orthonormal(self, rng):
+        q, _ = thin_qr(rng.standard_normal((20, 6)))
+        np.testing.assert_allclose(q.T @ q, np.eye(6), atol=1e-10)
+
+    def test_r_upper_triangular(self, rng):
+        _, r = thin_qr(rng.standard_normal((8, 5)))
+        np.testing.assert_allclose(r, np.triu(r), atol=1e-12)
+
+    def test_r_diagonal_non_negative(self, rng):
+        for _ in range(5):
+            _, r = thin_qr(rng.standard_normal((9, 4)))
+            assert (np.diagonal(r) >= 0).all()
+
+    def test_deterministic_sign_convention(self, rng):
+        block = rng.standard_normal((10, 3))
+        q1, r1 = thin_qr(block)
+        q2, r2 = thin_qr(-block)
+        # Same column space; R diagonals agree by the sign fix.
+        np.testing.assert_allclose(
+            np.abs(np.diagonal(r1)), np.abs(np.diagonal(r2)), atol=1e-10
+        )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            thin_qr(np.zeros(5))
+
+
+class TestRandomSemiUnitary:
+    def test_is_semi_unitary(self, rng):
+        z = random_semi_unitary(15, 5, rng=rng)
+        assert is_semi_unitary(z)
+
+    def test_shape(self, rng):
+        assert random_semi_unitary(7, 3, rng=rng).shape == (7, 3)
+
+    def test_square_case(self, rng):
+        z = random_semi_unitary(4, 4, rng=rng)
+        np.testing.assert_allclose(z @ z.T, np.eye(4), atol=1e-10)
+
+    def test_reproducible(self):
+        a = random_semi_unitary(6, 2, rng=np.random.default_rng(1))
+        b = random_semi_unitary(6, 2, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            random_semi_unitary(3, 5, rng=rng)
+        with pytest.raises(ValueError):
+            random_semi_unitary(3, 0, rng=rng)
+
+
+class TestIsSemiUnitary:
+    def test_detects_non_orthonormal(self, rng):
+        block = rng.standard_normal((8, 3))
+        assert not is_semi_unitary(block)
+
+    def test_tolerance(self, rng):
+        z = random_semi_unitary(10, 4, rng=rng)
+        perturbed = z + 1e-6
+        assert not is_semi_unitary(perturbed, tol=1e-9)
+        assert is_semi_unitary(perturbed, tol=1e-3)

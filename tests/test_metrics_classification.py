@@ -1,0 +1,151 @@
+"""Unit tests for classification metrics — hand-computed references."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    accuracy,
+    average_precision,
+    classification_summary,
+    log_loss,
+    precision_recall_curve,
+    roc_auc,
+    roc_curve,
+)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 1.0
+
+    def test_perfectly_wrong(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 0.0
+
+    def test_hand_computed(self):
+        # pairs: (pos 0.7 vs neg 0.4): win; (pos 0.3 vs neg 0.4): loss.
+        labels = np.array([1, 1, 0])
+        scores = np.array([0.7, 0.3, 0.4])
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_ties_count_half(self):
+        labels = np.array([1, 0])
+        scores = np.array([0.5, 0.5])
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_random_scores_near_half(self, rng):
+        labels = rng.integers(0, 2, size=5000)
+        labels[0], labels[1] = 0, 1
+        scores = rng.random(5000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_invariant_to_monotone_transform(self, rng):
+        labels = rng.integers(0, 2, size=200)
+        labels[:2] = [0, 1]
+        scores = rng.standard_normal(200)
+        assert roc_auc(labels, scores) == pytest.approx(
+            roc_auc(labels, np.exp(scores))
+        )
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(5), np.random.random(5))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0, 2]), np.array([0.1, 0.2]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0, 1]), np.array([0.5]))
+
+
+class TestCurves:
+    def test_roc_curve_endpoints(self, rng):
+        labels = rng.integers(0, 2, size=50)
+        labels[:2] = [0, 1]
+        scores = rng.random(50)
+        fpr, tpr = roc_curve(labels, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0)
+        assert tpr[-1] == pytest.approx(1.0)
+
+    def test_roc_curve_monotone(self, rng):
+        labels = rng.integers(0, 2, size=80)
+        labels[:2] = [0, 1]
+        scores = rng.random(80)
+        fpr, tpr = roc_curve(labels, scores)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+
+    def test_trapezoid_matches_rank_auc(self, rng):
+        labels = rng.integers(0, 2, size=300)
+        labels[:2] = [0, 1]
+        scores = rng.random(300)
+        fpr, tpr = roc_curve(labels, scores)
+        trapezoid = float(np.trapezoid(tpr, fpr))
+        assert trapezoid == pytest.approx(roc_auc(labels, scores), abs=1e-10)
+
+    def test_pr_curve_final_recall_one(self, rng):
+        labels = rng.integers(0, 2, size=60)
+        labels[:2] = [0, 1]
+        recall, precision = precision_recall_curve(labels, rng.random(60))
+        assert recall[-1] == pytest.approx(1.0)
+        assert (precision >= 0).all() and (precision <= 1).all()
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        labels = np.array([0, 1, 1])
+        scores = np.array([0.1, 0.8, 0.9])
+        assert average_precision(labels, scores) == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        # Ranking: pos(0.9), neg(0.8), pos(0.7).
+        # R jumps: at rank1 P=1, at rank3 P=2/3 -> AP = .5*1 + .5*(2/3).
+        labels = np.array([1, 0, 1])
+        scores = np.array([0.9, 0.8, 0.7])
+        assert average_precision(labels, scores) == pytest.approx(
+            0.5 * 1.0 + 0.5 * (2 / 3)
+        )
+
+    def test_worst_case_lower_bound(self):
+        labels = np.array([1, 0, 0, 0])
+        scores = np.array([0.0, 0.5, 0.6, 0.7])
+        # The single positive ranks last: AP = 1/4.
+        assert average_precision(labels, scores) == pytest.approx(0.25)
+
+
+class TestAccuracyLogLoss:
+    def test_accuracy_threshold(self):
+        labels = np.array([0, 1, 1, 0])
+        scores = np.array([0.2, 0.7, 0.4, 0.6])
+        assert accuracy(labels, scores) == pytest.approx(0.5)
+        assert accuracy(labels, scores, threshold=0.65) == pytest.approx(0.75)
+
+    def test_log_loss_perfect(self):
+        labels = np.array([0, 1])
+        probabilities = np.array([0.0, 1.0])
+        assert log_loss(labels, probabilities) == pytest.approx(0.0, abs=1e-10)
+
+    def test_log_loss_uniform(self):
+        labels = np.array([0, 1])
+        probabilities = np.array([0.5, 0.5])
+        assert log_loss(labels, probabilities) == pytest.approx(np.log(2))
+
+    def test_log_loss_clipping(self):
+        labels = np.array([1.0])
+        probabilities = np.array([0.0])  # would be -inf without clipping
+        assert np.isfinite(log_loss(labels, probabilities))
+
+
+class TestSummary:
+    def test_contains_both_aucs(self, rng):
+        labels = rng.integers(0, 2, size=100)
+        labels[:2] = [0, 1]
+        scores = rng.random(100)
+        summary = classification_summary(labels, scores)
+        assert set(summary) == {"auc_roc", "auc_pr"}

@@ -1,0 +1,117 @@
+"""Unit tests for ranking metrics — all against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    RankingScores,
+    f1_at_n,
+    ndcg_at_n,
+    precision_at_n,
+    recall_at_n,
+    reciprocal_rank,
+    score_rankings,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        assert precision_at_n([1, 2], [1, 2]) == 1.0
+        assert recall_at_n([1, 2], [1, 2]) == 1.0
+
+    def test_half_precision(self):
+        assert precision_at_n([1, 9], [1, 2]) == 0.5
+
+    def test_partial_recall(self):
+        assert recall_at_n([1], [1, 2, 3, 4]) == 0.25
+
+    def test_disjoint(self):
+        assert precision_at_n([5, 6], [1, 2]) == 0.0
+        assert recall_at_n([5, 6], [1, 2]) == 0.0
+
+    def test_empty_recommendation(self):
+        assert precision_at_n([], [1]) == 0.0
+        assert recall_at_n([], [1]) == 0.0
+
+    def test_empty_ground_truth(self):
+        assert recall_at_n([1, 2], []) == 0.0
+
+
+class TestF1:
+    def test_hand_computed(self):
+        # precision 1/2, recall 1/4 -> F1 = 2 * (1/2)(1/4) / (3/4) = 1/3.
+        assert f1_at_n([1, 9], [1, 2, 3, 4]) == pytest.approx(1 / 3)
+
+    def test_zero_when_no_overlap(self):
+        assert f1_at_n([9], [1]) == 0.0
+
+    def test_perfect(self):
+        assert f1_at_n([1, 2, 3], [3, 1, 2]) == 1.0
+
+
+class TestNDCG:
+    def test_perfect_ranking(self):
+        assert ndcg_at_n([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_single_hit_at_position_two(self):
+        # DCG = 1/log2(3); IDCG = 1/log2(2) = 1.
+        expected = 1.0 / np.log2(3)
+        assert ndcg_at_n([9, 1], [1]) == pytest.approx(expected)
+
+    def test_hand_computed_mixed(self):
+        # recommended [a, x, b], truth {a, b}:
+        # DCG = 1/log2(2) + 0 + 1/log2(4) = 1 + 0.5 = 1.5
+        # IDCG = 1/log2(2) + 1/log2(3)
+        expected = 1.5 / (1.0 + 1.0 / np.log2(3))
+        assert ndcg_at_n(["a", "x", "b"], ["a", "b"]) == pytest.approx(expected)
+
+    def test_truth_larger_than_list(self):
+        # ideal hits limited to the list length.
+        value = ndcg_at_n([1], [1, 2, 3])
+        assert value == pytest.approx(1.0)
+
+    def test_no_hits(self):
+        assert ndcg_at_n([7, 8], [1, 2]) == 0.0
+
+    def test_empty_inputs(self):
+        assert ndcg_at_n([], [1]) == 0.0
+        assert ndcg_at_n([1], []) == 0.0
+
+
+class TestMRR:
+    def test_first_position(self):
+        assert reciprocal_rank([3, 1], [3]) == 1.0
+
+    def test_third_position(self):
+        assert reciprocal_rank([9, 8, 3], [3]) == pytest.approx(1 / 3)
+
+    def test_no_hit(self):
+        assert reciprocal_rank([9, 8], [3]) == 0.0
+
+    def test_earliest_hit_counts(self):
+        assert reciprocal_rank([9, 1, 2], [2, 1]) == pytest.approx(0.5)
+
+
+class TestAggregation:
+    def test_streaming_average(self):
+        scores = RankingScores()
+        scores.update([1], [1])        # F1 = 1
+        scores.update([9], [1])        # F1 = 0
+        summary = scores.summary()
+        assert summary["f1"] == pytest.approx(0.5)
+        assert summary["mrr"] == pytest.approx(0.5)
+        assert scores.num_users == 2
+
+    def test_empty_truth_skipped(self):
+        scores = RankingScores()
+        scores.update([1], [])
+        assert scores.num_users == 0
+        assert scores.summary()["f1"] == 0.0
+
+    def test_score_rankings_wrapper(self):
+        summary = score_rankings([[1], [2]], [[1], [3]])
+        assert summary["precision"] == pytest.approx(0.5)
+
+    def test_all_metrics_present(self):
+        summary = RankingScores().summary()
+        assert set(summary) == {"precision", "recall", "f1", "ndcg", "mrr"}

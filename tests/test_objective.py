@@ -1,0 +1,115 @@
+"""Unit tests for the unified objective (Eq. 9) and its theory."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PoissonPMF,
+    evaluate_objective,
+    h_matrix,
+    mhp_matrix,
+    mhs_matrix,
+    mhs_matrix_v_side,
+    proximity_loss,
+    similarity_loss,
+)
+from repro.datasets import figure1_graph
+
+PMF = PoissonPMF(lam=1.0)
+TAU = 12
+
+
+def optimal_embeddings(graph):
+    """Eq. (10): X = Z sqrt(Lambda), Y = W^T X from the full eigensystem."""
+    h = h_matrix(graph, PMF, TAU)
+    values, vectors = np.linalg.eigh(h)
+    values = np.clip(values, 0.0, None)
+    x = vectors * np.sqrt(values)[np.newaxis, :]
+    y = graph.to_dense().T @ x
+    return x, y
+
+
+class TestOptimalSolution:
+    def test_full_rank_solution_has_zero_loss(self, figure1):
+        """Section 3: Eq. (10) exactly optimizes Eq. (9)."""
+        x, y = optimal_embeddings(figure1)
+        loss = evaluate_objective(figure1, x, y, PMF, TAU)
+        assert loss.proximity == pytest.approx(0.0, abs=1e-12)
+        assert loss.similarity == pytest.approx(0.0, abs=1e-10)
+        assert loss.total == pytest.approx(0.0, abs=1e-10)
+
+    def test_lemma_2_2_v_side_similarity(self, figure1):
+        """Lemma 2.2: at zero loss, V-side normalized distances match MHS."""
+        x, y = optimal_embeddings(figure1)
+        norms = np.linalg.norm(y, axis=1, keepdims=True)
+        unit = y / np.where(norms > 0, norms, 1.0)
+        s_v = mhs_matrix_v_side(figure1, PMF, TAU)
+        for j in range(figure1.num_v):
+            for h in range(figure1.num_v):
+                if norms[j] == 0 or norms[h] == 0:
+                    continue
+                distance_sq = float(((unit[j] - unit[h]) ** 2).sum())
+                assert 0.5 * distance_sq == pytest.approx(
+                    1.0 - s_v[j, h], abs=1e-8
+                )
+
+    def test_truncated_rank_increases_loss(self, figure1):
+        """Theorem 3.1: rank-k truncation gives small but nonzero loss."""
+        h = h_matrix(figure1, PMF, TAU)
+        values, vectors = np.linalg.eigh(h)
+        order = np.argsort(values)[::-1]
+        values, vectors = values[order], vectors[:, order]
+        k = 2
+        u = vectors[:, :k] * np.sqrt(np.clip(values[:k], 0, None))
+        v = figure1.to_dense().T @ u
+        loss = evaluate_objective(figure1, u, v, PMF, TAU)
+        assert loss.total > 0
+        # More rank, less loss.
+        k = 4
+        u4 = vectors[:, :k] * np.sqrt(np.clip(values[:k], 0, None))
+        v4 = figure1.to_dense().T @ u4
+        loss4 = evaluate_objective(figure1, u4, v4, PMF, TAU)
+        assert loss4.total <= loss.total + 1e-12
+
+
+class TestComponents:
+    def test_proximity_loss_zero_for_exact(self, figure1):
+        p = mhp_matrix(figure1, PMF, TAU)
+        u, s, vt = np.linalg.svd(p, full_matrices=False)
+        left = u * np.sqrt(s)
+        right = (vt.T * np.sqrt(s))
+        assert proximity_loss(left, right, p) == pytest.approx(0.0, abs=1e-15)
+
+    def test_proximity_loss_positive_for_wrong(self, figure1):
+        p = mhp_matrix(figure1, PMF, TAU)
+        u = np.zeros((4, 3))
+        v = np.zeros((5, 3))
+        expected = (p ** 2).sum() / (4 * 5)
+        assert proximity_loss(u, v, p) == pytest.approx(expected)
+
+    def test_similarity_loss_scale_invariant(self, figure1, rng):
+        s = mhs_matrix(figure1, PMF, TAU)
+        u = rng.standard_normal((4, 3))
+        assert similarity_loss(u, s) == pytest.approx(
+            similarity_loss(5.0 * u, s)
+        )
+
+    def test_similarity_loss_zero_rows_handled(self, figure1):
+        s = mhs_matrix(figure1, PMF, TAU)
+        u = np.zeros((4, 2))
+        value = similarity_loss(u, s)
+        assert np.isfinite(value)
+
+
+class TestValidation:
+    def test_wrong_u_rows(self, figure1):
+        with pytest.raises(ValueError, match="u has"):
+            evaluate_objective(figure1, np.zeros((3, 2)), np.zeros((5, 2)), PMF, TAU)
+
+    def test_wrong_v_rows(self, figure1):
+        with pytest.raises(ValueError, match="v has"):
+            evaluate_objective(figure1, np.zeros((4, 2)), np.zeros((4, 2)), PMF, TAU)
+
+    def test_dimension_mismatch(self, figure1):
+        with pytest.raises(ValueError, match="embedding dimension"):
+            evaluate_objective(figure1, np.zeros((4, 2)), np.zeros((5, 3)), PMF, TAU)

@@ -1,0 +1,83 @@
+"""Unit tests for weight normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.preprocess import SPECTRAL_TOP, normalize_weights
+from repro.graph import BipartiteGraph
+
+
+def top_singular_value(matrix) -> float:
+    return float(np.linalg.svd(matrix.toarray(), compute_uv=False)[0])
+
+
+class TestSym:
+    def test_top_singular_value_is_one(self, random_graph):
+        normalized = normalize_weights(random_graph, "sym")
+        assert top_singular_value(normalized) == pytest.approx(1.0, abs=1e-10)
+
+    def test_sqrt_degree_vectors_attain_it(self, random_graph):
+        normalized = normalize_weights(random_graph, "sym")
+        du = np.sqrt(random_graph.u_degrees(weighted=True))
+        dv = np.sqrt(random_graph.v_degrees(weighted=True))
+        du /= np.linalg.norm(du)
+        dv /= np.linalg.norm(dv)
+        assert float(du @ (normalized @ dv)) == pytest.approx(1.0, abs=1e-10)
+
+    def test_preserves_sparsity_pattern(self, random_graph):
+        normalized = normalize_weights(random_graph, "sym")
+        assert normalized.nnz == random_graph.num_edges
+        np.testing.assert_array_equal(
+            normalized.indices, random_graph.w.indices
+        )
+
+    def test_isolated_nodes_stay_zero(self):
+        dense = np.array([[1.0, 0.0], [0.0, 0.0]])
+        graph = BipartiteGraph.from_dense(dense)
+        normalized = normalize_weights(graph, "sym")
+        assert np.isfinite(normalized.toarray()).all()
+
+    def test_does_not_mutate_graph(self, random_graph):
+        before = random_graph.w.data.copy()
+        normalize_weights(random_graph, "sym")
+        np.testing.assert_array_equal(random_graph.w.data, before)
+
+
+class TestSpectral:
+    def test_top_singular_value_is_spectral_top(self, random_graph):
+        normalized = normalize_weights(random_graph, "spectral")
+        assert top_singular_value(normalized) == pytest.approx(
+            SPECTRAL_TOP, abs=1e-8
+        )
+
+    def test_constant_multiple_of_sym(self, random_graph):
+        sym = normalize_weights(random_graph, "sym")
+        spectral = normalize_weights(random_graph, "spectral")
+        np.testing.assert_allclose(spectral.data, SPECTRAL_TOP * sym.data)
+
+
+class TestMaxAndNone:
+    def test_max_rescales_to_unit_max(self, tiny_graph):
+        normalized = normalize_weights(tiny_graph, "max")
+        assert normalized.data.max() == pytest.approx(1.0)
+        assert normalized[0, 1] == pytest.approx(2.0 / 3.0)
+
+    def test_none_is_copy(self, tiny_graph):
+        normalized = normalize_weights(tiny_graph, "none")
+        np.testing.assert_allclose(
+            normalized.toarray(), tiny_graph.to_dense()
+        )
+        normalized.data[:] = 0.0
+        assert tiny_graph.total_weight > 0  # original untouched
+
+
+class TestValidation:
+    def test_unknown_mode(self, tiny_graph):
+        with pytest.raises(ValueError, match="unknown normalization"):
+            normalize_weights(tiny_graph, "l2")
+
+    def test_empty_graph_any_mode(self):
+        graph = BipartiteGraph.from_dense(np.zeros((2, 2)))
+        for mode in ("sym", "spectral", "max", "none"):
+            normalized = normalize_weights(graph, mode)
+            assert normalized.nnz == 0

@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These check the paper's lemmas and the substrate's algebraic invariants on
+*arbitrary* random bipartite graphs and inputs, not just hand-picked cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    GeometricPMF,
+    PoissonPMF,
+    UniformPMF,
+    h_matrix,
+    mhp_matrix,
+    mhs_matrix,
+)
+from repro.core.preprocess import normalize_weights
+from repro.graph import BipartiteGraph
+from repro.linalg import pmf_weighted_apply, thin_qr
+from repro.metrics import (
+    average_precision,
+    f1_at_n,
+    ndcg_at_n,
+    precision_at_n,
+    recall_at_n,
+    roc_auc,
+)
+from repro.walks import AliasTable
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def bipartite_graphs(draw, max_u=8, max_v=8):
+    """Random small weighted bipartite graphs (possibly with isolates)."""
+    num_u = draw(st.integers(1, max_u))
+    num_v = draw(st.integers(1, max_v))
+    dense = draw(
+        arrays(
+            np.float64,
+            (num_u, num_v),
+            elements=st.floats(0.0, 5.0, allow_nan=False),
+        )
+    )
+    # Sparsify: zero out below a random threshold.
+    threshold = draw(st.floats(0.0, 4.0))
+    dense = np.where(dense >= threshold, dense, 0.0)
+    return BipartiteGraph.from_dense(dense)
+
+
+@st.composite
+def pmfs(draw):
+    kind = draw(st.sampled_from(["uniform", "geometric", "poisson"]))
+    if kind == "uniform":
+        return UniformPMF(tau=draw(st.integers(1, 10)))
+    if kind == "geometric":
+        return GeometricPMF(alpha=draw(st.floats(0.05, 0.95)))
+    return PoissonPMF(lam=draw(st.floats(0.1, 5.0)))
+
+
+# ---------------------------------------------------------------------------
+# Lemma 2.1 on arbitrary graphs and PMFs
+# ---------------------------------------------------------------------------
+class TestMHSProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=bipartite_graphs(), pmf=pmfs())
+    def test_lemma_2_1_bounds(self, graph, pmf):
+        s = mhs_matrix(graph, pmf, tau=6)
+        assert s.min() >= -1e-9
+        assert s.max() <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=bipartite_graphs(), pmf=pmfs())
+    def test_lemma_2_1_unit_diagonal(self, graph, pmf):
+        s = mhs_matrix(graph, pmf, tau=6)
+        np.testing.assert_allclose(np.diagonal(s), 1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=bipartite_graphs(), pmf=pmfs())
+    def test_symmetry(self, graph, pmf):
+        s = mhs_matrix(graph, pmf, tau=6)
+        np.testing.assert_allclose(s, s.T, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=bipartite_graphs(), pmf=pmfs())
+    def test_h_psd(self, graph, pmf):
+        h = h_matrix(graph, pmf, tau=6)
+        eigenvalues = np.linalg.eigvalsh(h)
+        assert eigenvalues.min() >= -1e-8 * max(1.0, abs(eigenvalues).max())
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=bipartite_graphs(), pmf=pmfs())
+    def test_mhp_non_negative(self, graph, pmf):
+        p = mhp_matrix(graph, pmf, tau=6)
+        assert p.min() >= -1e-10
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra invariants
+# ---------------------------------------------------------------------------
+class TestLinalgProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        block=arrays(
+            np.float64,
+            (7, 3),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    def test_thin_qr_reconstructs(self, block):
+        q, r = thin_qr(block)
+        np.testing.assert_allclose(q @ r, block, atol=1e-8)
+        assert (np.diagonal(r) >= -1e-12).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=bipartite_graphs(), pmf=pmfs())
+    def test_operator_linearity(self, graph, pmf):
+        weights = pmf.weights(4)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((graph.num_u, 2))
+        y = rng.standard_normal((graph.num_u, 2))
+        left = pmf_weighted_apply(graph.w, x + 2.0 * y, weights)
+        right = pmf_weighted_apply(graph.w, x, weights) + 2.0 * pmf_weighted_apply(
+            graph.w, y, weights
+        )
+        np.testing.assert_allclose(left, right, atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# Normalization invariants
+# ---------------------------------------------------------------------------
+class TestNormalizationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=bipartite_graphs())
+    def test_sym_spectrum_bounded(self, graph):
+        normalized = normalize_weights(graph, "sym")
+        if normalized.nnz == 0:
+            return
+        top = np.linalg.svd(normalized.toarray(), compute_uv=False)[0]
+        assert top <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=bipartite_graphs())
+    def test_pattern_preserved(self, graph):
+        for mode in ("sym", "spectral", "max"):
+            normalized = normalize_weights(graph, mode)
+            assert normalized.nnz == graph.num_edges
+
+
+# ---------------------------------------------------------------------------
+# Metric invariants
+# ---------------------------------------------------------------------------
+class TestMetricProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        recommended=st.lists(st.integers(0, 20), max_size=10, unique=True),
+        truth=st.lists(st.integers(0, 20), max_size=10, unique=True),
+    )
+    def test_ranking_metrics_bounded(self, recommended, truth):
+        for metric in (precision_at_n, recall_at_n, f1_at_n, ndcg_at_n):
+            value = metric(recommended, truth)
+            assert 0.0 <= value <= 1.0 + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        scores=arrays(
+            np.float64, 20, elements=st.floats(-5, 5, allow_nan=False)
+        ),
+        labels=arrays(np.int64, 20, elements=st.integers(0, 1)),
+    )
+    def test_auc_complement_symmetry(self, scores, labels):
+        if labels.sum() in (0, labels.size):
+            return  # needs both classes
+        auc = roc_auc(labels, scores)
+        flipped = roc_auc(1 - labels, scores)
+        assert auc + flipped == pytest.approx(1.0, abs=1e-9)
+        assert 0.0 <= average_precision(labels, scores) <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Alias table correctness on arbitrary distributions
+# ---------------------------------------------------------------------------
+class TestAliasProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        weights=st.lists(
+            st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=12
+        ).filter(lambda ws: sum(ws) > 0.1)
+    )
+    def test_empirical_distribution_matches(self, weights):
+        table = AliasTable(weights)
+        rng = np.random.default_rng(0)
+        draws = table.sample(30_000, rng=rng)
+        counts = np.bincount(draws, minlength=len(weights)) / draws.size
+        expected = np.asarray(weights) / np.sum(weights)
+        np.testing.assert_allclose(counts, expected, atol=0.03)

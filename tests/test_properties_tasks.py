@@ -1,0 +1,89 @@
+"""Property-based tests for splits, k-core, and embedding invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GEBEPoisson
+from repro.datasets import erdos_renyi_bipartite
+from repro.graph import k_core
+from repro.tasks import split_edges
+
+
+@st.composite
+def er_graphs(draw):
+    num_u = draw(st.integers(4, 25))
+    num_v = draw(st.integers(4, 25))
+    max_edges = num_u * num_v
+    num_edges = draw(st.integers(2, min(60, max_edges)))
+    seed = draw(st.integers(0, 10_000))
+    weighted = draw(st.booleans())
+    return erdos_renyi_bipartite(
+        num_u, num_v, num_edges, weighted=weighted, seed=seed
+    )
+
+
+class TestSplitProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=er_graphs(), fraction=st.floats(0.1, 0.9), seed=st.integers(0, 999))
+    def test_exact_partition(self, graph, fraction, seed):
+        split = split_edges(graph, fraction, seed=seed)
+        assert split.train.num_edges + split.num_test_edges == graph.num_edges
+        train_edges = set(zip(*split.train.edge_array()[:2]))
+        test_edges = set(zip(split.test_u, split.test_v))
+        assert not train_edges & test_edges
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=er_graphs(), seed=st.integers(0, 999))
+    def test_test_weights_match_original(self, graph, seed):
+        split = split_edges(graph, 0.5, seed=seed)
+        for u, v, w in zip(split.test_u, split.test_v, split.test_w):
+            assert graph.weight(int(u), int(v)) == w
+
+
+class TestKCoreProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=er_graphs(), k=st.integers(0, 5))
+    def test_survivors_meet_threshold(self, graph, k):
+        core = k_core(graph, k)
+        if core.num_u and core.num_v and core.num_edges:
+            assert core.u_degrees().min() >= k
+            assert core.v_degrees().min() >= k
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=er_graphs(), k=st.integers(0, 4))
+    def test_idempotent(self, graph, k):
+        once = k_core(graph, k)
+        assert k_core(once, k) == once
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=er_graphs(), k=st.integers(1, 5))
+    def test_monotone_in_k(self, graph, k):
+        smaller = k_core(graph, k)
+        larger = k_core(graph, k + 1)
+        assert larger.num_edges <= smaller.num_edges
+
+
+class TestEmbeddingInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(graph=er_graphs(), k=st.integers(1, 4))
+    def test_gebe_p_output_finite_and_shaped(self, graph, k):
+        result = GEBEPoisson(dimension=k, seed=0).fit(graph)
+        assert result.u.shape == (graph.num_u, k)
+        assert result.v.shape == (graph.num_v, k)
+        assert np.isfinite(result.u).all()
+        assert np.isfinite(result.v).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(graph=er_graphs())
+    def test_eigenvalue_range_under_sym(self, graph):
+        # Under sym normalization sigma <= 1, so Poisson eigenvalues lie in
+        # [e^-lam, 1].
+        lam = 1.0
+        result = GEBEPoisson(
+            dimension=2, lam=lam, normalization="sym", seed=0
+        ).fit(graph)
+        values = result.metadata["eigenvalues"]
+        assert (values <= 1.0 + 1e-6).all()
+        assert (values >= np.exp(-lam) - 1e-6).all()

@@ -1,0 +1,96 @@
+"""Unit tests for matrix-free MHS/MHP queries (vs the dense references)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MeasureQueries,
+    PoissonPMF,
+    UniformPMF,
+    h_matrix,
+    mhp_matrix,
+    mhs_matrix,
+)
+from repro.datasets import figure1_graph
+
+PMF = PoissonPMF(lam=1.5)
+TAU = 8
+
+
+@pytest.fixture
+def queries(random_graph):
+    return MeasureQueries(random_graph, PMF, TAU, normalization="none")
+
+
+@pytest.fixture
+def dense(random_graph):
+    return {
+        "h": h_matrix(random_graph, PMF, TAU),
+        "p": mhp_matrix(random_graph, PMF, TAU),
+        "s": mhs_matrix(random_graph, PMF, TAU),
+    }
+
+
+class TestRowQueries:
+    def test_h_row_matches_dense(self, queries, dense, random_graph):
+        for u in (0, random_graph.num_u // 2, random_graph.num_u - 1):
+            np.testing.assert_allclose(queries.h_row(u), dense["h"][u], atol=1e-10)
+
+    def test_mhp_row_matches_dense(self, queries, dense):
+        np.testing.assert_allclose(queries.mhp_row(3), dense["p"][3], atol=1e-10)
+
+    def test_mhs_row_matches_dense(self, queries, dense):
+        np.testing.assert_allclose(queries.mhs_row(5), dense["s"][5], atol=1e-10)
+
+    def test_table2_anchor(self):
+        queries = MeasureQueries(
+            figure1_graph(), PoissonPMF(lam=2.0), 60, normalization="none"
+        )
+        assert queries.h_row(0)[0] == pytest.approx(3.641, abs=2e-3)
+        assert queries.mhs(1, 3) == pytest.approx(0.914, abs=2e-3)
+
+
+class TestPairQueries:
+    def test_mhs_pair_matches_dense(self, queries, dense):
+        assert queries.mhs(2, 7) == pytest.approx(dense["s"][2, 7])
+
+    def test_mhs_self_is_one(self, queries):
+        assert queries.mhs(4, 4) == 1.0
+
+    def test_mhp_pair_matches_dense(self, queries, dense):
+        assert queries.mhp(1, 6) == pytest.approx(dense["p"][1, 6])
+
+
+class TestDiagonal:
+    def test_matches_dense_diagonal(self, queries, dense):
+        np.testing.assert_allclose(
+            queries.h_diagonal(), np.diagonal(dense["h"]), atol=1e-10
+        )
+
+    def test_cached_between_calls(self, queries):
+        first = queries.h_diagonal()
+        assert queries.h_diagonal() is first
+
+    def test_blocked_computation_agrees(self, random_graph, dense):
+        small_blocks = MeasureQueries(random_graph, PMF, TAU, normalization="none")
+        np.testing.assert_allclose(
+            small_blocks.h_diagonal(block_size=3),
+            np.diagonal(dense["h"]),
+            atol=1e-10,
+        )
+
+
+class TestValidation:
+    def test_u_index_bounds(self, queries, random_graph):
+        with pytest.raises(IndexError):
+            queries.h_row(random_graph.num_u)
+        with pytest.raises(IndexError):
+            queries.mhs(0, random_graph.num_u)
+
+    def test_v_index_bounds(self, queries, random_graph):
+        with pytest.raises(IndexError):
+            queries.mhp(0, random_graph.num_v)
+
+    def test_negative_tau(self, random_graph):
+        with pytest.raises(ValueError):
+            MeasureQueries(random_graph, UniformPMF(tau=5), -1)

@@ -1,0 +1,85 @@
+"""Unit tests for the from-scratch logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.tasks import LogisticRegression
+
+
+@pytest.fixture
+def separable(rng):
+    x_neg = rng.normal(-2.0, 0.5, size=(100, 3))
+    x_pos = rng.normal(2.0, 0.5, size=(100, 3))
+    x = np.vstack([x_neg, x_pos])
+    y = np.r_[np.zeros(100), np.ones(100)]
+    return x, y
+
+
+class TestFit:
+    def test_separable_data_classified(self, separable):
+        x, y = separable
+        model = LogisticRegression().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.99
+
+    def test_probabilities_in_unit_interval(self, separable):
+        x, y = separable
+        model = LogisticRegression().fit(x, y)
+        probs = model.predict_proba(x)
+        assert (probs >= 0).all() and (probs <= 1).all()
+
+    def test_probabilities_ordered_by_score(self, separable):
+        x, y = separable
+        model = LogisticRegression().fit(x, y)
+        scores = model.decision_function(x)
+        probs = model.predict_proba(x)
+        order = np.argsort(scores)
+        assert (np.diff(probs[order]) >= -1e-12).all()
+
+    def test_one_dimensional_threshold(self):
+        x = np.linspace(0, 1, 50).reshape(-1, 1)
+        y = (x.ravel() > 0.5).astype(float)
+        model = LogisticRegression(l2=1e-4).fit(x, y)
+        assert model.predict(np.array([[0.1]]))[0] == 0
+        assert model.predict(np.array([[0.9]]))[0] == 1
+
+    def test_regularization_shrinks_weights(self, separable):
+        x, y = separable
+        loose = LogisticRegression(l2=1e-6).fit(x, y)
+        tight = LogisticRegression(l2=100.0).fit(x, y)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)
+
+    def test_constant_feature_handled(self, rng):
+        x = np.hstack([np.ones((40, 1)), rng.standard_normal((40, 1))])
+        y = (x[:, 1] > 0).astype(float)
+        model = LogisticRegression().fit(x, y)
+        assert np.isfinite(model.weights).all()
+
+    def test_class_prior_learned(self):
+        # All-informative-free data: probabilities approach the base rate.
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((400, 2))
+        y = np.r_[np.ones(300), np.zeros(100)]
+        model = LogisticRegression().fit(x, y)
+        assert model.predict_proba(x).mean() == pytest.approx(0.75, abs=0.05)
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((2, 2)))
+
+    def test_non_binary_labels(self, rng):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(rng.random((4, 2)), np.array([0, 1, 2, 1]))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(rng.random((4, 2)), np.zeros(3))
+
+    def test_non_2d_features(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros(4), np.zeros(4))
+
+    def test_negative_l2(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)

@@ -1,0 +1,116 @@
+"""Unit tests for node classification from normalized embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.core import GEBEPoisson
+from repro.core.base import EmbeddingResult
+from repro.datasets import BlockModel, stochastic_block_bipartite
+from repro.tasks import (
+    NodeClassificationTask,
+    OneVsRestClassifier,
+    macro_f1,
+)
+
+
+@pytest.fixture(scope="module")
+def labeled_graph():
+    model = BlockModel(
+        num_u=300, num_v=220, num_blocks=4, num_edges=3600, in_out_ratio=8.0
+    )
+    return stochastic_block_bipartite(model, seed=3, return_blocks=True)
+
+
+class TestMacroF1:
+    def test_perfect(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert macro_f1(labels, labels) == 1.0
+
+    def test_hand_computed(self):
+        labels = np.array([0, 0, 1, 1])
+        predictions = np.array([0, 1, 1, 1])
+        # class 0: P=1, R=0.5 -> F1 = 2/3; class 1: P=2/3, R=1 -> F1 = 0.8.
+        assert macro_f1(labels, predictions) == pytest.approx((2 / 3 + 0.8) / 2)
+
+    def test_missing_class_scores_zero(self):
+        labels = np.array([0, 1])
+        predictions = np.array([0, 0])
+        # class 1 never predicted: F1 = 0; class 0: P=0.5, R=1 -> 2/3.
+        assert macro_f1(labels, predictions) == pytest.approx((2 / 3) / 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            macro_f1(np.zeros(3), np.zeros(2))
+
+
+class TestOneVsRest:
+    def test_separable_three_classes(self, rng):
+        centers = np.array([[0.0, 5.0], [5.0, 0.0], [-5.0, -5.0]])
+        labels = np.repeat([0, 1, 2], 40)
+        features = centers[labels] + 0.3 * rng.standard_normal((120, 2))
+        model = OneVsRestClassifier().fit(features, labels)
+        assert (model.predict(features) == labels).mean() > 0.98
+
+    def test_decision_matrix_shape(self, rng):
+        features = rng.standard_normal((30, 3))
+        labels = rng.integers(0, 3, size=30)
+        labels[:3] = [0, 1, 2]
+        model = OneVsRestClassifier().fit(features, labels)
+        assert model.decision_matrix(features).shape == (30, 3)
+
+    def test_single_class_rejected(self, rng):
+        with pytest.raises(ValueError):
+            OneVsRestClassifier().fit(rng.random((5, 2)), np.zeros(5))
+
+    def test_predict_before_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            OneVsRestClassifier().predict(rng.random((2, 2)))
+
+
+class TestNodeClassificationTask:
+    def test_gebe_p_recovers_planted_blocks(self, labeled_graph):
+        graph, blocks_u, _ = labeled_graph
+        task = NodeClassificationTask(graph, blocks_u, side="u", seed=0)
+        report = task.run(GEBEPoisson(dimension=16, seed=0))
+        assert report.accuracy > 0.7
+        assert report.macro_f1 > 0.7
+
+    def test_random_embeddings_near_chance(self, labeled_graph):
+        graph, blocks_u, _ = labeled_graph
+        task = NodeClassificationTask(graph, blocks_u, side="u", seed=0)
+        rng = np.random.default_rng(0)
+        random_result = EmbeddingResult(
+            u=rng.standard_normal((graph.num_u, 16)),
+            v=rng.standard_normal((graph.num_v, 16)),
+            method="random",
+        )
+        report = task.evaluate(random_result)
+        assert report.accuracy < 0.5  # 4 classes -> chance ~0.25
+
+    def test_v_side(self, labeled_graph):
+        graph, _, blocks_v = labeled_graph
+        task = NodeClassificationTask(graph, blocks_v, side="v", seed=0)
+        report = task.run(GEBEPoisson(dimension=16, seed=0))
+        assert report.side == "v"
+        assert report.accuracy > 0.6
+
+    def test_split_is_disjoint(self, labeled_graph):
+        graph, blocks_u, _ = labeled_graph
+        task = NodeClassificationTask(graph, blocks_u, seed=0)
+        assert not set(task.train_nodes) & set(task.test_nodes)
+        assert task.train_nodes.size + task.test_nodes.size == graph.num_u
+
+    def test_report_row(self, labeled_graph):
+        graph, blocks_u, _ = labeled_graph
+        task = NodeClassificationTask(graph, blocks_u, seed=0)
+        report = task.run(GEBEPoisson(dimension=8, seed=0))
+        assert "acc=" in report.row()
+
+    def test_validation(self, labeled_graph):
+        graph, blocks_u, _ = labeled_graph
+        with pytest.raises(ValueError):
+            NodeClassificationTask(graph, blocks_u, side="w")
+        with pytest.raises(ValueError):
+            NodeClassificationTask(graph, blocks_u[:-1])
+        with pytest.raises(ValueError):
+            NodeClassificationTask(graph, blocks_u, train_fraction=1.0)

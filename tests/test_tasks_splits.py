@@ -1,0 +1,109 @@
+"""Unit tests for edge splitting and negative sampling."""
+
+import numpy as np
+import pytest
+
+from repro.tasks import link_prediction_split, sample_negative_edges, split_edges
+
+
+class TestSplitEdges:
+    def test_proportions(self, rating_graph):
+        split = split_edges(rating_graph, 0.6, seed=0)
+        expected_train = round(0.6 * rating_graph.num_edges)
+        assert split.train.num_edges == expected_train
+        assert split.num_test_edges == rating_graph.num_edges - expected_train
+
+    def test_partition_is_exact(self, rating_graph):
+        split = split_edges(rating_graph, 0.7, seed=1)
+        train_edges = set(zip(*split.train.edge_array()[:2]))
+        test_edges = set(zip(split.test_u, split.test_v))
+        assert not train_edges & test_edges
+        all_edges = set(zip(*rating_graph.edge_array()[:2]))
+        assert train_edges | test_edges == all_edges
+
+    def test_weights_preserved(self, rating_graph):
+        split = split_edges(rating_graph, 0.5, seed=2)
+        for u, v, w in zip(split.test_u[:20], split.test_v[:20], split.test_w[:20]):
+            assert rating_graph.weight(int(u), int(v)) == w
+
+    def test_node_sets_unchanged(self, rating_graph):
+        split = split_edges(rating_graph, 0.6, seed=0)
+        assert split.train.num_u == rating_graph.num_u
+        assert split.train.num_v == rating_graph.num_v
+
+    def test_reproducible(self, rating_graph):
+        a = split_edges(rating_graph, 0.6, seed=9)
+        b = split_edges(rating_graph, 0.6, seed=9)
+        np.testing.assert_array_equal(a.test_u, b.test_u)
+
+    def test_different_seeds_differ(self, rating_graph):
+        a = split_edges(rating_graph, 0.6, seed=1)
+        b = split_edges(rating_graph, 0.6, seed=2)
+        assert not np.array_equal(a.test_u, b.test_u)
+
+    def test_fraction_validated(self, rating_graph):
+        with pytest.raises(ValueError):
+            split_edges(rating_graph, 0.0)
+        with pytest.raises(ValueError):
+            split_edges(rating_graph, 1.0)
+
+
+class TestNegativeSampling:
+    def test_negatives_are_non_edges(self, block_graph):
+        neg_u, neg_v = sample_negative_edges(block_graph, 500, seed=0)
+        for u, v in zip(neg_u, neg_v):
+            assert not block_graph.has_edge(int(u), int(v))
+
+    def test_count_and_distinct(self, block_graph):
+        neg_u, neg_v = sample_negative_edges(block_graph, 400, seed=1)
+        assert neg_u.size == 400
+        assert len(set(zip(neg_u, neg_v))) == 400
+
+    def test_exclude_respected(self, block_graph):
+        first_u, first_v = sample_negative_edges(block_graph, 300, seed=2)
+        second_u, second_v = sample_negative_edges(
+            block_graph, 300, seed=3, exclude=(first_u, first_v)
+        )
+        assert not set(zip(first_u, first_v)) & set(zip(second_u, second_v))
+
+    def test_impossible_count_rejected(self):
+        from repro.datasets import complete_bipartite
+
+        graph = complete_bipartite(3, 3)
+        with pytest.raises(ValueError, match="non-edges"):
+            sample_negative_edges(graph, 1, seed=0)
+
+
+class TestLinkPredictionSplit:
+    def test_balanced_test_set(self, block_graph):
+        data = link_prediction_split(block_graph, 0.4, seed=0)
+        assert data.test_labels.sum() == data.test_labels.size / 2
+
+    def test_positive_test_edges_removed_from_train(self, block_graph):
+        data = link_prediction_split(block_graph, 0.4, seed=0)
+        positives = data.test_labels == 1
+        for u, v in zip(data.test_u[positives][:50], data.test_v[positives][:50]):
+            assert not data.train.has_edge(int(u), int(v))
+
+    def test_negative_test_pairs_not_edges(self, block_graph):
+        data = link_prediction_split(block_graph, 0.4, seed=0)
+        negatives = data.test_labels == 0
+        for u, v in zip(data.test_u[negatives][:50], data.test_v[negatives][:50]):
+            assert not block_graph.has_edge(int(u), int(v))
+
+    def test_training_negatives_disjoint_from_test_negatives(self, block_graph):
+        data = link_prediction_split(block_graph, 0.4, seed=0)
+        negatives = data.test_labels == 0
+        test_neg = set(zip(data.test_u[negatives], data.test_v[negatives]))
+        train_neg = set(zip(data.train_neg_u, data.train_neg_v))
+        assert not test_neg & train_neg
+
+    def test_training_positives_match_train_graph(self, block_graph):
+        data = link_prediction_split(block_graph, 0.4, seed=0)
+        assert data.train_pos_u.size == data.train.num_edges
+
+    def test_reproducible(self, block_graph):
+        a = link_prediction_split(block_graph, 0.4, seed=5)
+        b = link_prediction_split(block_graph, 0.4, seed=5)
+        np.testing.assert_array_equal(a.test_u, b.test_u)
+        np.testing.assert_array_equal(a.train_neg_v, b.train_neg_v)
