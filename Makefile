@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples quicktest clean
+.PHONY: install test test-fast bench examples quicktest profile-smoke clean
 
 install:
 	pip install -e . || { \
@@ -15,6 +15,16 @@ test:
 
 quicktest:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -k "not learning"
+
+# Everything except the hypothesis-heavy `slow` suites.
+test-fast:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
+
+# One profiled GEBE^p fit on the deterministic toy graph; prints where the
+# RunReport JSON landed.  See docs/OBSERVABILITY.md.
+profile-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro embed --method gebe_p --dataset toy \
+	  --profile --profile-out /tmp/gebe-profile.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

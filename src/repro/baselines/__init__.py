@@ -11,7 +11,15 @@ from .ncf import NCF
 from .neural import MLP, Adam, DenseLayer
 from .node2vec import Node2Vec
 from .nrp import NRP
-from .registry import COMPETITORS, METHODS, PROPOSED, make_method, method_names
+from .registry import (
+    COMPETITORS,
+    METHODS,
+    PROPOSED,
+    make_method,
+    method_names,
+    method_slug,
+    resolve_method_name,
+)
 
 __all__ = [
     "BiNE",
@@ -38,4 +46,6 @@ __all__ = [
     "COMPETITORS",
     "make_method",
     "method_names",
+    "method_slug",
+    "resolve_method_name",
 ]

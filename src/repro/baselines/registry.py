@@ -15,6 +15,7 @@ Method groups, as in Section 6.1:
 
 from __future__ import annotations
 
+import re
 from typing import Callable, Dict, List, Optional
 
 from ..core import (
@@ -37,7 +38,15 @@ from .ncf import NCF
 from .node2vec import Node2Vec
 from .nrp import NRP
 
-__all__ = ["METHODS", "PROPOSED", "COMPETITORS", "make_method", "method_names"]
+__all__ = [
+    "METHODS",
+    "PROPOSED",
+    "COMPETITORS",
+    "make_method",
+    "method_names",
+    "method_slug",
+    "resolve_method_name",
+]
 
 MethodFactory = Callable[[int, Optional[int]], BipartiteEmbedder]
 
@@ -74,6 +83,33 @@ COMPETITORS: Dict[str, MethodFactory] = {
 METHODS: Dict[str, MethodFactory] = {**PROPOSED, **COMPETITORS}
 
 
+def method_slug(name: str) -> str:
+    """Shell-friendly alias of a method name: ``GEBE^p`` -> ``gebe_p``."""
+    return re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
+
+
+#: slug -> canonical table name, e.g. {"gebe_p": "GEBE^p", ...}.
+_SLUGS: Dict[str, str] = {method_slug(name): name for name in METHODS}
+
+
+def resolve_method_name(name: str) -> str:
+    """Canonical table name for ``name``, accepting shell-friendly aliases.
+
+    Table names contain shell metacharacters (``GEBE^p``, ``GEBE
+    (Poisson)``), so the CLI also accepts their slugs (``gebe_p``,
+    ``gebe_poisson``); resolution is case-insensitive.
+    """
+    if name in METHODS:
+        return name
+    canonical = _SLUGS.get(method_slug(name))
+    if canonical is None:
+        raise KeyError(
+            f"unknown method {name!r}; choices: {sorted(METHODS)} "
+            f"or aliases {sorted(_SLUGS)}"
+        )
+    return canonical
+
+
 def method_names(group: Optional[str] = None) -> List[str]:
     """Registered method names, optionally one group (``proposed``/``competitors``)."""
     if group is None:
@@ -88,7 +124,5 @@ def method_names(group: Optional[str] = None) -> List[str]:
 def make_method(
     name: str, dimension: int = 128, seed: Optional[int] = None
 ) -> BipartiteEmbedder:
-    """Instantiate a registered method by its table name."""
-    if name not in METHODS:
-        raise KeyError(f"unknown method {name!r}; choices: {sorted(METHODS)}")
-    return METHODS[name](dimension, seed)
+    """Instantiate a registered method by its table name (or slug alias)."""
+    return METHODS[resolve_method_name(name)](dimension, seed)

@@ -2,13 +2,19 @@
 
 Subcommands::
 
-    python -m repro embed      # edge list -> embeddings (.npz)
+    python -m repro embed      # edge list or named dataset -> embeddings
     python -m repro recommend  # top-N items for one user
     python -m repro evaluate   # run the Table 4 / Table 5 protocol
     python -m repro datasets   # list or materialize the dataset zoo
 
 Every command reads TSV edge lists (``u<TAB>v[<TAB>weight]``) so the CLI
-composes with standard unix tooling.
+composes with standard unix tooling.  ``embed`` can alternatively pull a
+named graph with ``--dataset`` (the zoo plus the deterministic ``toy``
+graph) and emit a profiling :class:`~repro.obs.RunReport` with
+``--profile [--profile-out PATH]``; see ``docs/OBSERVABILITY.md``.
+
+Method names accept shell-friendly aliases (``gebe_p`` for ``GEBE^p``,
+``gebe_poisson`` for ``GEBE (Poisson)``, ...).
 """
 
 from __future__ import annotations
@@ -19,13 +25,34 @@ from typing import List, Optional
 
 import numpy as np
 
-from . import __version__
-from .baselines import make_method, method_names
-from .datasets import DATASETS, load_dataset
-from .graph import read_edge_list, write_edge_list
+from . import __version__, obs
+from .baselines import make_method, method_names, resolve_method_name
+from .datasets import DATASETS, load_dataset, toy_graph
+from .graph import BipartiteGraph, read_edge_list, write_edge_list
 from .tasks import LinkPredictionTask, RecommendationTask
 
 __all__ = ["main", "build_parser"]
+
+
+def _method_name(name: str) -> str:
+    """argparse ``type=`` hook: canonicalize a method name or alias."""
+    try:
+        return resolve_method_name(name)
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown method {name!r}; choices: {method_names()}"
+        )
+
+
+def _cli_dataset_names() -> List[str]:
+    """Datasets reachable via ``--dataset``: the zoo plus ``toy``."""
+    return ["toy", *DATASETS]
+
+
+def _load_cli_dataset(name: str, seed: int) -> BipartiteGraph:
+    if name == "toy":
+        return toy_graph()
+    return load_dataset(name, seed=seed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,12 +64,33 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     commands = parser.add_subparsers(dest="command", required=True)
 
-    embed = commands.add_parser("embed", help="train embeddings from an edge list")
-    embed.add_argument("input", help="TSV edge list (u, v[, weight] per line)")
-    embed.add_argument("output", help="output .npz path (arrays u, v)")
-    embed.add_argument("--method", default="GEBE^p", choices=method_names())
+    embed = commands.add_parser(
+        "embed", help="train embeddings from an edge list or named dataset"
+    )
+    embed.add_argument(
+        "input", nargs="?", help="TSV edge list (u, v[, weight] per line)"
+    )
+    embed.add_argument(
+        "output", nargs="?", help="output .npz path (arrays u, v); optional"
+    )
+    embed.add_argument(
+        "--dataset",
+        choices=_cli_dataset_names(),
+        help="embed a named dataset instead of an edge-list file",
+    )
+    embed.add_argument("--method", default="GEBE^p", type=_method_name)
     embed.add_argument("--dimension", type=int, default=128)
     embed.add_argument("--seed", type=int, default=0)
+    embed.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect stage timings, op counts, and peak memory",
+    )
+    embed.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="write the profiling report JSON here (default: stdout)",
+    )
 
     recommend = commands.add_parser(
         "recommend", help="top-N recommendations for one user"
@@ -50,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("input", help="TSV edge list")
     recommend.add_argument("user", help="user label as it appears in the file")
     recommend.add_argument("-n", type=int, default=10)
-    recommend.add_argument("--method", default="GEBE^p", choices=method_names())
+    recommend.add_argument("--method", default="GEBE^p", type=_method_name)
     recommend.add_argument("--dimension", type=int, default=64)
     recommend.add_argument("--seed", type=int, default=0)
 
@@ -64,7 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="recommendation",
     )
     evaluate.add_argument(
-        "--methods", nargs="+", default=["GEBE^p"], choices=method_names()
+        "--methods", nargs="+", default=["GEBE^p"], type=_method_name
     )
     evaluate.add_argument("--dimension", type=int, default=64)
     evaluate.add_argument("--core", type=int, default=5)
@@ -82,13 +130,57 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_embed(args: argparse.Namespace) -> int:
-    graph = read_edge_list(args.input)
+    if args.dataset is not None:
+        if args.input is not None and args.output is None:
+            # `embed OUT --dataset NAME` reads the lone positional as output.
+            args.output = args.input
+        elif args.input is not None:
+            print(
+                "error: give either an edge-list file or --dataset, not both",
+                file=sys.stderr,
+            )
+            return 2
+        graph = _load_cli_dataset(args.dataset, args.seed)
+        source = args.dataset
+    elif args.input is not None:
+        graph = read_edge_list(args.input)
+        source = args.input
+    else:
+        print("error: need an edge-list file or --dataset", file=sys.stderr)
+        return 2
+
     method = make_method(args.method, dimension=args.dimension, seed=args.seed)
-    result = method.fit(graph)
-    np.savez_compressed(args.output, u=result.u, v=result.v)
+    if args.profile:
+        with obs.collect() as collector:
+            result = method.fit(graph)
+        report = collector.report(
+            method=result.method,
+            dataset=source,
+            dimension=args.dimension,
+            seed=args.seed,
+            wall_seconds=result.elapsed_seconds,
+            metadata={"num_u": graph.num_u, "num_v": graph.num_v,
+                      "num_edges": graph.num_edges},
+        )
+        if args.profile_out:
+            report.write(args.profile_out)
+            print(f"profile: {report.summary()} -> {args.profile_out}")
+        else:
+            print(report.to_json())
+    else:
+        result = method.fit(graph)
+    if args.output is not None:
+        np.savez_compressed(args.output, u=result.u, v=result.v)
+        destination = f" -> {args.output}"
+    else:
+        destination = ""
+    # When the report JSON owns stdout, keep it machine-parseable (jq-able)
+    # by moving the human summary to stderr.
+    stream = sys.stderr if args.profile and not args.profile_out else sys.stdout
     print(
         f"{result.method}: embedded {graph.num_u}+{graph.num_v} nodes "
-        f"(k={result.dimension}) in {result.elapsed_seconds:.2f}s -> {args.output}"
+        f"(k={result.dimension}) in {result.elapsed_seconds:.2f}s{destination}",
+        file=stream,
     )
     return 0
 

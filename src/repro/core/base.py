@@ -17,6 +17,7 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from ..graph import BipartiteGraph
+from ..obs import active as _obs_active
 
 __all__ = ["EmbeddingResult", "BipartiteEmbedder"]
 
@@ -166,9 +167,12 @@ class BipartiteEmbedder(ABC):
         """
         if graph.num_u == 0 or graph.num_v == 0:
             raise ValueError("cannot embed an empty side")
+        collector = _obs_active()
+        collector.sample_memory()
         started = time.perf_counter()
         u, v, metadata = self._embed(graph)
         elapsed = time.perf_counter() - started
+        collector.sample_memory()
         return EmbeddingResult(
             u=u,
             v=v,

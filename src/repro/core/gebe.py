@@ -23,6 +23,7 @@ import numpy as np
 
 from ..graph import BipartiteGraph
 from ..linalg import MatrixFreeOperator, subspace_iteration
+from ..obs import active as _obs_active
 from .base import BipartiteEmbedder
 from .pmf import GeometricPMF, PathLengthPMF, PoissonPMF, UniformPMF
 from .preprocess import normalize_weights
@@ -89,24 +90,30 @@ class GEBE(BipartiteEmbedder):
     def _embed(
         self, graph: BipartiteGraph
     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        collector = _obs_active()
         num_u = graph.num_u
         k = min(self.dimension, num_u)
         weights = self.pmf.weights(self.tau)
-        w = normalize_weights(graph, self.normalization)
-        operator = MatrixFreeOperator(w, weights)
-        eigen = subspace_iteration(
-            operator,
-            num_u,
-            k,
-            max_iterations=self.max_iterations,
-            tolerance=self.tolerance,
-            rng=self._rng(),
-        )
-        # Eq. (13): U = Z_k sqrt(Lambda_k), V = W^T U.  H is PSD, so the
-        # Ritz values are non-negative up to roundoff; clip defensively.
-        values = np.clip(eigen.values, 0.0, None)
-        u = eigen.vectors * np.sqrt(values)[np.newaxis, :]
-        v = w.T @ u
+        with collector.stage("gebe"):
+            with collector.stage("normalize"):
+                w = normalize_weights(graph, self.normalization)
+            operator = MatrixFreeOperator(w, weights)
+            eigen = subspace_iteration(
+                operator,
+                num_u,
+                k,
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+                rng=self._rng(),
+            )
+            # Eq. (13): U = Z_k sqrt(Lambda_k), V = W^T U.  H is PSD, so the
+            # Ritz values are non-negative up to roundoff; clip defensively.
+            with collector.stage("project"):
+                values = np.clip(eigen.values, 0.0, None)
+                u = eigen.vectors * np.sqrt(values)[np.newaxis, :]
+                collector.count_spmv(w.nnz, u.shape[1])
+                collector.note_array(u.nbytes)
+                v = w.T @ u
         if k < self.dimension:
             # Graph smaller than the requested dimension: pad with zero
             # columns so results from different graphs remain stackable.

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..graph import BipartiteGraph
 from ..linalg import randomized_svd
+from ..obs import active as _obs_active
 from .base import BipartiteEmbedder
 from .preprocess import normalize_weights
 
@@ -104,21 +105,29 @@ class GEBEPoisson(BipartiteEmbedder):
     def _embed(
         self, graph: BipartiteGraph
     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, Any]]:
+        collector = _obs_active()
         k = min(self.dimension, graph.num_u, graph.num_v)
-        w = normalize_weights(graph, self.normalization)
-        # Line 1: randomized SVD of W -> Phi'_k, Sigma'_k.
-        svd = randomized_svd(
-            w,
-            k,
-            self.epsilon,
-            strategy=self.svd_strategy,
-            rng=self._rng(),
-        )
-        # Lines 2-3: Lambda'_k = e^{-lambda} e^{lambda Sigma'^2}, Z'_k = Phi'_k.
-        eigenvalues = poisson_eigenvalues(svd.s, self.lam)
-        # Line 4 (via Eq. 13): U = Z'_k sqrt(Lambda'_k), V = W^T U.
-        u = svd.u * np.sqrt(eigenvalues)[np.newaxis, :]
-        v = w.T @ u
+        with collector.stage("gebe_p"):
+            with collector.stage("normalize"):
+                w = normalize_weights(graph, self.normalization)
+            # Line 1: randomized SVD of W -> Phi'_k, Sigma'_k.
+            svd = randomized_svd(
+                w,
+                k,
+                self.epsilon,
+                strategy=self.svd_strategy,
+                rng=self._rng(),
+            )
+            # Lines 2-3: Lambda'_k = e^{-lambda} e^{lambda Sigma'^2},
+            # Z'_k = Phi'_k.
+            with collector.stage("spectral_map"):
+                eigenvalues = poisson_eigenvalues(svd.s, self.lam)
+            # Line 4 (via Eq. 13): U = Z'_k sqrt(Lambda'_k), V = W^T U.
+            with collector.stage("project"):
+                u = svd.u * np.sqrt(eigenvalues)[np.newaxis, :]
+                collector.count_spmv(w.nnz, u.shape[1])
+                collector.note_array(u.nbytes)
+                v = w.T @ u
         if k < self.dimension:
             pad = self.dimension - k
             u = np.hstack([u, np.zeros((u.shape[0], pad))])

@@ -20,6 +20,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..graph import BipartiteGraph
+from ..obs import active as _obs_active
 from .pmf import PathLengthPMF
 
 __all__ = [
@@ -57,13 +58,17 @@ def h_matrix(graph: BipartiteGraph, pmf: PathLengthPMF, tau: int) -> np.ndarray:
     """
     if tau < 0:
         raise ValueError("tau must be non-negative")
+    collector = _obs_active()
     weights = pmf.weights(tau)
     w = graph.w
-    q_ell = np.eye(graph.num_u)
-    acc = weights[0] * q_ell
-    for omega_ell in weights[1:]:
-        q_ell = w @ (w.T @ q_ell)
-        acc += omega_ell * q_ell
+    with collector.stage("h_matrix"):
+        q_ell = np.eye(graph.num_u)
+        collector.note_array(q_ell.nbytes)
+        acc = weights[0] * q_ell
+        for omega_ell in weights[1:]:
+            collector.count_spmv(w.nnz, 2 * graph.num_u)
+            q_ell = w @ (w.T @ q_ell)
+            acc += omega_ell * q_ell
     return acc
 
 
@@ -125,8 +130,11 @@ def mhs_matrix_v_side(graph: BipartiteGraph, pmf: PathLengthPMF, tau: int) -> np
 
 def mhp_matrix(graph: BipartiteGraph, pmf: PathLengthPMF, tau: int) -> np.ndarray:
     """Dense MHP matrix ``P = H W`` (Eq. 5), shape ``|U| x |V|``."""
-    h = h_matrix(graph, pmf, tau)
-    return np.asarray(h @ graph.w.toarray())
+    collector = _obs_active()
+    with collector.stage("mhp_matrix"):
+        h = h_matrix(graph, pmf, tau)
+        collector.count_gemm(graph.num_u, graph.num_u, graph.num_v)
+        return np.asarray(h @ graph.w.toarray())
 
 
 def mhs(graph: BipartiteGraph, pmf: PathLengthPMF, tau: int, i: int, l: int) -> float:

@@ -69,13 +69,29 @@ def normalize_weights(graph: BipartiteGraph, mode: str = "sym") -> sp.csr_matrix
         return scaled
     # "sym"/"spectral": D_U^{-1/2} W D_V^{-1/2} with weighted degrees.  The
     # normalized matrix has sigma_1 = 1 (attained by the sqrt-degree pair).
+    # Scale the stored entries directly rather than multiplying by diagonal
+    # matrices: sparse matmul drops entries whose product underflows to zero
+    # (and would structurally drop zero-degree rows/columns), breaking the
+    # pattern-preservation contract.  Forming the combined per-entry factor
+    # first also avoids the intermediate underflow itself for subnormal
+    # weights paired with huge inverse degrees.
     deg_u = np.asarray(w.sum(axis=1)).ravel()
     deg_v = np.asarray(w.sum(axis=0)).ravel()
     inv_sqrt_u = np.zeros_like(deg_u)
     inv_sqrt_v = np.zeros_like(deg_v)
     np.divide(1.0, np.sqrt(deg_u), out=inv_sqrt_u, where=deg_u > 0)
     np.divide(1.0, np.sqrt(deg_v), out=inv_sqrt_v, where=deg_v > 0)
-    scaled = sp.csr_matrix(sp.diags(inv_sqrt_u) @ w @ sp.diags(inv_sqrt_v))
+    scaled = sp.csr_matrix(w, copy=True)
+    rows = np.repeat(np.arange(scaled.shape[0]), np.diff(scaled.indptr))
+    factor_u = inv_sqrt_u[rows]
+    factor_v = inv_sqrt_v[scaled.indices]
+    # Apply the larger factor first: w[i,j] <= deg, so w * (1/sqrt(deg))
+    # <= sqrt(deg) never overflows, whereas the combined factor can reach
+    # inf when both degrees are subnormal, and smaller-first can underflow
+    # a subnormal weight to an (explicitly stored) zero.
+    data = scaled.data * np.maximum(factor_u, factor_v)
+    data *= np.minimum(factor_u, factor_v)
     if mode == "spectral":
-        scaled.data = scaled.data * SPECTRAL_TOP
+        data *= SPECTRAL_TOP
+    scaled.data = data
     return scaled

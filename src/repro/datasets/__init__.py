@@ -9,6 +9,7 @@ from .toy import (
     figure1_graph,
     path_graph,
     star_graph,
+    toy_graph,
     two_cliques,
 )
 from .zoo import DATASETS, PAPER_SIZES, DatasetSpec, dataset_names, load_dataset
@@ -19,6 +20,7 @@ __all__ = [
     "path_graph",
     "star_graph",
     "complete_bipartite",
+    "toy_graph",
     "two_cliques",
     "erdos_renyi_bipartite",
     "power_law_bipartite",

@@ -12,7 +12,14 @@ import numpy as np
 
 from ..graph import BipartiteGraph
 
-__all__ = ["figure1_graph", "path_graph", "star_graph", "complete_bipartite", "two_cliques"]
+__all__ = [
+    "figure1_graph",
+    "toy_graph",
+    "path_graph",
+    "star_graph",
+    "complete_bipartite",
+    "two_cliques",
+]
 
 
 def figure1_graph() -> BipartiteGraph:
@@ -39,6 +46,28 @@ def figure1_graph() -> BipartiteGraph:
     for i, neighbors in adjacency.items():
         for j in neighbors:
             w[i, j] = 0.5
+    return BipartiteGraph.from_dense(w)
+
+
+def toy_graph() -> BipartiteGraph:
+    """The 20-node toy workload: 12 users x 8 items, two leaky communities.
+
+    Deterministic (no RNG): two 6-user / 4-item blocks with strong
+    in-community weights that decay with ``(user + item)`` parity, plus a
+    few weak cross-community edges so the graph is connected and the weight
+    matrix has full rank with well-separated singular values.  That spectral
+    separation is what the GEBE vs GEBE^p differential test relies on, and
+    the graph is the ``--dataset toy`` target of the profiling smoke test.
+    """
+    w = np.zeros((12, 8))
+    for i in range(12):
+        block = i // 6
+        for j in range(4):
+            col = 4 * block + j
+            w[i, col] = 1.0 + 0.5 * ((i + j) % 3) + 0.1 * j
+    # Sparse cross-community bridges (every third user likes one far item).
+    for i in range(0, 12, 3):
+        w[i, (4 * (1 - i // 6)) + (i % 4)] = 0.3
     return BipartiteGraph.from_dense(w)
 
 

@@ -20,8 +20,11 @@ from .tuning import GridSearchResult, grid_search
 from .runner import (
     COST_TIERS,
     TIER_EDGE_BUDGETS,
+    ProfiledRun,
     ResultTable,
     method_tier,
+    profile_method,
+    profile_methods,
     run_methods,
     should_run,
 )
@@ -58,6 +61,9 @@ __all__ = [
     "method_tier",
     "should_run",
     "run_methods",
+    "ProfiledRun",
+    "profile_method",
+    "profile_methods",
     "ScalabilityPoint",
     "run_node_scalability",
     "run_edge_scalability",

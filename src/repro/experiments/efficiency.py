@@ -8,11 +8,11 @@ method x dataset timing table that Figure 2 plots in log scale.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from ..baselines import make_method
 from ..datasets import DATASETS
-from .runner import ResultTable, should_run
+from .runner import ProfiledRun, ResultTable, profile_method, should_run
 
 __all__ = ["run_efficiency", "EFFICIENCY_METHODS"]
 
@@ -48,7 +48,8 @@ def run_efficiency(
     dimension: int = 64,
     seed: int = 0,
     budgets: Optional[Dict[str, int]] = None,
-) -> ResultTable:
+    profile: bool = False,
+) -> Union[ResultTable, Tuple[ResultTable, Dict[Tuple[str, str], ProfiledRun]]]:
     """Measure training time of each method on each dataset stand-in.
 
     Parameters
@@ -63,11 +64,18 @@ def run_efficiency(
         Shared seed for dataset generation and methods.
     budgets:
         Optional tier budget override (see :mod:`repro.experiments.runner`).
+    profile:
+        When true, run every cell under a profiling collector and also
+        return the per-cell :class:`~repro.experiments.runner.ProfiledRun`
+        (stage timings, matvec/GEMM counts, peak memory) keyed by
+        ``(method, dataset)`` — the comparative cost report the perf
+        trajectory tracking needs.
 
     Returns
     -------
-    ResultTable
+    ResultTable or (ResultTable, dict)
         Seconds per cell; ``None`` where the method exceeded its budget.
+        With ``profile=True``, also the report map.
     """
     datasets = list(dataset_names) if dataset_names is not None else list(DATASETS)
     methods = list(method_names) if method_names is not None else EFFICIENCY_METHODS
@@ -75,12 +83,20 @@ def run_efficiency(
         title=f"Figure 2: embedding time (seconds), k={dimension}",
         columns=datasets,
     )
+    reports: Dict[Tuple[str, str], ProfiledRun] = {}
     for dataset in datasets:
         graph = DATASETS[dataset].load(seed)
         for name in methods:
             if not should_run(name, graph, budgets):
                 table.set(name, dataset, None)
                 continue
-            result = make_method(name, dimension=dimension, seed=seed).fit(graph)
-            table.set(name, dataset, result.elapsed_seconds)
+            method = make_method(name, dimension=dimension, seed=seed)
+            if profile:
+                run = profile_method(method, graph, dataset=dataset)
+                reports[(name, dataset)] = run
+                table.set(name, dataset, run.result.elapsed_seconds)
+            else:
+                table.set(name, dataset, method.fit(graph).elapsed_seconds)
+    if profile:
+        return table, reports
     return table

@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..core.base import BipartiteEmbedder
+from .. import obs
+from ..core.base import BipartiteEmbedder, EmbeddingResult
 from ..graph import BipartiteGraph
 
 __all__ = [
@@ -23,6 +24,9 @@ __all__ = [
     "method_tier",
     "should_run",
     "ResultTable",
+    "ProfiledRun",
+    "profile_method",
+    "profile_methods",
 ]
 
 #: method name -> cost tier.  "fast": closed-form / one-factorization
@@ -145,3 +149,55 @@ def run_methods(
 
 
 __all__.append("run_methods")
+
+
+@dataclass
+class ProfiledRun:
+    """One method fit together with its observability report."""
+
+    result: EmbeddingResult
+    report: obs.RunReport
+
+
+def profile_method(
+    method: BipartiteEmbedder,
+    graph: BipartiteGraph,
+    *,
+    dataset: Optional[str] = None,
+) -> ProfiledRun:
+    """Fit ``method`` under a profiling collector and package the report.
+
+    The report's ``wall_seconds`` is the solver time measured by
+    :meth:`~repro.core.base.BipartiteEmbedder.fit` (training only, per the
+    Section 6.2 protocol); stage timings, op counts, and memory watermarks
+    come from the collector.
+    """
+    with obs.collect() as collector:
+        result = method.fit(graph)
+    report = collector.report(
+        method=result.method,
+        dataset=dataset,
+        dimension=result.dimension,
+        seed=method.seed,
+        wall_seconds=result.elapsed_seconds,
+        metadata={
+            "num_u": graph.num_u,
+            "num_v": graph.num_v,
+            "num_edges": graph.num_edges,
+        },
+    )
+    return ProfiledRun(result=result, report=report)
+
+
+def profile_methods(
+    methods: Sequence[BipartiteEmbedder],
+    graph: BipartiteGraph,
+    *,
+    dataset: Optional[str] = None,
+) -> Dict[str, ProfiledRun]:
+    """Profile each method on ``graph``; return name -> :class:`ProfiledRun`."""
+    runs: Dict[str, ProfiledRun] = {}
+    for method in methods:
+        run = profile_method(method, graph, dataset=dataset)
+        runs[run.result.method] = run
+    return runs

@@ -19,6 +19,7 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
+from ..obs import active as _obs_active
 from .ops import MatrixFreeOperator
 from .qr import random_semi_unitary, thin_qr
 
@@ -128,17 +129,20 @@ def subspace_iteration(
     else:
         z = random_semi_unitary(n, k, rng=rng)
 
+    collector = _obs_active()
     r = np.zeros((k, k))
     iterations = 0
     converged = False
-    for iterations in range(1, max_iterations + 1):
-        q = apply_h(z)
-        z_new, r = thin_qr(q)
-        if subspace_distance(z_new, z) < tolerance:
+    with collector.stage("ksi"):
+        for iterations in range(1, max_iterations + 1):
+            with collector.stage("iterate"):
+                q = apply_h(z)
+                z_new, r = thin_qr(q)
+            if subspace_distance(z_new, z) < tolerance:
+                z = z_new
+                converged = True
+                break
             z = z_new
-            converged = True
-            break
-        z = z_new
 
     # Algorithm 1 Lines 8-10: the R diagonal holds the Ritz values.  Re-sort
     # defensively — QR does not guarantee ordering when eigenvalues are

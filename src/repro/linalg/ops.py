@@ -14,6 +14,8 @@ from typing import Callable, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from ..obs import active as _obs_active
+
 __all__ = [
     "gram_apply",
     "pmf_weighted_apply",
@@ -32,6 +34,8 @@ def gram_apply(w: sp.spmatrix, block: np.ndarray) -> np.ndarray:
     block:
         Dense ``|U| x k`` block.
     """
+    cols = block.shape[1] if block.ndim == 2 else 1
+    _obs_active().count_spmv(w.nnz, 2 * cols)  # W.T @ block, then W @ (...)
     return w @ (w.T @ block)
 
 
@@ -51,6 +55,7 @@ def pmf_weighted_apply(
     if weights.ndim != 1 or weights.size == 0:
         raise ValueError("weights must be a non-empty 1-D sequence")
     q_ell = np.array(block, dtype=np.float64, copy=True)
+    _obs_active().note_array(q_ell.nbytes)
     acc = weights[0] * q_ell
     for omega_ell in weights[1:]:
         q_ell = gram_apply(w, q_ell)
@@ -124,6 +129,9 @@ class ProximityOperator:
         return self._w.shape
 
     def __matmul__(self, block: np.ndarray) -> np.ndarray:
+        block = np.asarray(block)
+        cols = block.shape[1] if block.ndim == 2 else 1
+        _obs_active().count_spmv(self._w.nnz, cols)
         return self._h.matmat(np.asarray(self._w @ block))
 
     def __rmatmul__(self, block: np.ndarray) -> np.ndarray:
@@ -152,4 +160,7 @@ class _TransposedProximity:
         return (n, m)
 
     def __matmul__(self, block: np.ndarray) -> np.ndarray:
-        return self._parent._w.T @ self._parent._h.matmat(np.asarray(block))
+        block = np.asarray(block)
+        cols = block.shape[1] if block.ndim == 2 else 1
+        _obs_active().count_spmv(self._parent._w.nnz, cols)
+        return self._parent._w.T @ self._parent._h.matmat(block)

@@ -12,6 +12,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..obs import active as _obs_active
+
 __all__ = ["thin_qr", "random_semi_unitary", "is_semi_unitary"]
 
 
@@ -27,6 +29,9 @@ def thin_qr(block: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     block = np.asarray(block, dtype=np.float64)
     if block.ndim != 2:
         raise ValueError("thin_qr expects a 2-D array")
+    collector = _obs_active()
+    collector.count_qr(block.shape[0], block.shape[1])
+    collector.note_array(block.nbytes)
     q, r = np.linalg.qr(block, mode="reduced")
     diag = np.diagonal(r).copy()
     signs = np.where(diag < 0, -1.0, 1.0)

@@ -29,11 +29,25 @@ from typing import Optional, Union
 import numpy as np
 import scipy.sparse as sp
 
+from ..obs import active as _obs_active
 from .qr import thin_qr
 
 __all__ = ["SVDResult", "randomized_svd", "krylov_iteration_count", "exact_svd"]
 
 MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def _count_apply(matrix: MatrixLike, cols: int) -> None:
+    """Record one ``matrix @ block`` (or transposed) against a ``cols``-wide block.
+
+    Sparse inputs count as ``cols`` sparse matvecs, dense inputs as one GEMM;
+    matrix-free operators (e.g. the MHP :class:`~repro.linalg.ops.
+    ProximityOperator`) count internally and are skipped here.
+    """
+    if sp.issparse(matrix):
+        _obs_active().count_spmv(matrix.nnz, cols)
+    elif isinstance(matrix, np.ndarray):
+        _obs_active().count_gemm(matrix.shape[0], matrix.shape[1], cols)
 
 
 @dataclass(frozen=True)
@@ -144,17 +158,26 @@ def randomized_svd(
         else krylov_iteration_count(n, epsilon, strategy)
     )
 
-    omega = rng.standard_normal((n, block_size))
-    if strategy == "block_krylov":
-        basis = _block_krylov_basis(matrix, omega, q)
-    else:
-        basis = _power_iteration_basis(matrix, omega, q)
+    collector = _obs_active()
+    with collector.stage("rsvd"):
+        omega = rng.standard_normal((n, block_size))
+        collector.note_array(omega.nbytes)
+        if strategy == "block_krylov":
+            with collector.stage("block_krylov"):
+                basis = _block_krylov_basis(matrix, omega, q)
+        else:
+            with collector.stage("power_iter"):
+                basis = _power_iteration_basis(matrix, omega, q)
 
-    # Rayleigh-Ritz: project onto the basis, solve the small dense SVD.
-    projected = basis.T @ matrix  # c x n, dense
-    projected = np.asarray(projected)
-    u_small, s, vt = np.linalg.svd(projected, full_matrices=False)
-    u = basis @ u_small
+        # Rayleigh-Ritz: project onto the basis, solve the small dense SVD.
+        with collector.stage("rayleigh_ritz"):
+            _count_apply(matrix, basis.shape[1])
+            projected = basis.T @ matrix  # c x n, dense
+            projected = np.asarray(projected)
+            collector.count_svd(projected.shape[0], projected.shape[1])
+            u_small, s, vt = np.linalg.svd(projected, full_matrices=False)
+            collector.count_gemm(basis.shape[0], basis.shape[1], u_small.shape[1])
+            u = basis @ u_small
     s = np.clip(s, 0.0, None)
     return SVDResult(u=u[:, :k], s=s[:k], vt=vt[:k])
 
@@ -167,10 +190,14 @@ def _block_krylov_basis(matrix: MatrixLike, omega: np.ndarray, q: int) -> np.nda
     (numerical re-orthogonalization, standard for block Lanczos-style
     methods).
     """
+    cols = omega.shape[1]
+    _count_apply(matrix, cols)
     block = matrix @ omega  # m x b
     block, _ = thin_qr(np.asarray(block))
     blocks = [block]
     for _ in range(q):
+        _count_apply(matrix.T, cols)
+        _count_apply(matrix, cols)
         block = matrix @ (matrix.T @ block)
         block, _ = thin_qr(np.asarray(block))
         blocks.append(block)
@@ -181,11 +208,15 @@ def _block_krylov_basis(matrix: MatrixLike, omega: np.ndarray, q: int) -> np.nda
 
 def _power_iteration_basis(matrix: MatrixLike, omega: np.ndarray, q: int) -> np.ndarray:
     """Orthonormal basis from randomized subspace (power) iteration."""
+    cols = omega.shape[1]
+    _count_apply(matrix, cols)
     block = matrix @ omega
     block, _ = thin_qr(np.asarray(block))
     for _ in range(q):
+        _count_apply(matrix.T, cols)
         block = matrix.T @ block
         block, _ = thin_qr(np.asarray(block))
+        _count_apply(matrix, cols)
         block = matrix @ block
         block, _ = thin_qr(np.asarray(block))
     return block

@@ -1,0 +1,185 @@
+"""Collectors: the switch between "profiling off" and "profiling on".
+
+Instrumented call sites throughout the library do::
+
+    from .. import obs            # (or: from ..obs import active)
+    obs.active().count_spmv(w.nnz, cols)
+    with obs.active().stage("rsvd"):
+        ...
+
+By default :func:`active` returns the module-wide :data:`NULL` collector — a
+:class:`NullCollector` whose every method is an empty body and whose
+``stage`` returns a shared no-op context manager.  That keeps the
+instrumentation *zero-overhead-by-default*: no allocation, no branching at
+call sites, just a cheap no-op call (guarded by a benchmark test).
+
+Profiling turns on by activating a :class:`ProfileCollector`::
+
+    with obs.collect() as collector:
+        result = GEBEPoisson(dimension=32, seed=0).fit(graph)
+    report = collector.report(method=result.method, dataset="toy")
+
+Activation is process-global and restored on exit, matching how the solvers
+are used (one fit at a time per process; the experiment harness runs methods
+sequentially).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, ContextManager, Dict, Iterator, Optional
+
+from .counters import OpCounter
+from .memory import MemorySampler
+from .report import RunReport
+from .timer import StageTimer
+
+__all__ = ["NullCollector", "ProfileCollector", "NULL", "active", "collect"]
+
+
+class _NullStage:
+    """A reusable, state-free no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_STAGE = _NullStage()
+
+
+class NullCollector:
+    """The do-nothing collector active when profiling is off.
+
+    Every instrumented call site talks to this interface; subclasses
+    override the methods that should actually record something.
+    """
+
+    enabled = False
+
+    def stage(self, name: str) -> ContextManager[Any]:
+        """A timing scope for one named stage (no-op here)."""
+        return _NULL_STAGE
+
+    def count_spmv(self, nnz: int, cols: int = 1) -> None:
+        """Record sparse matrix times ``cols``-wide dense block (no-op)."""
+
+    def count_gemm(self, m: int, k: int, n: int) -> None:
+        """Record one dense GEMM (no-op)."""
+
+    def count_qr(self, m: int, n: int) -> None:
+        """Record one economic QR (no-op)."""
+
+    def count_svd(self, m: int, n: int) -> None:
+        """Record one dense SVD (no-op)."""
+
+    def note_array(self, nbytes: int) -> None:
+        """Record a dense block allocation (no-op)."""
+
+    def sample_memory(self) -> None:
+        """Take an RSS sample (no-op)."""
+
+
+class ProfileCollector(NullCollector):
+    """The recording collector: timers + op counters + memory watermarks."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.timer = StageTimer()
+        self.ops = OpCounter()
+        self.memory = MemorySampler()
+        self.started = time.perf_counter()
+        self.memory.sample()
+
+    @contextmanager
+    def _timed_stage(self, name: str) -> Iterator[Any]:
+        with self.timer.stage(name) as record:
+            yield record
+        self.memory.sample()
+
+    def stage(self, name: str) -> ContextManager[Any]:
+        return self._timed_stage(name)
+
+    def count_spmv(self, nnz: int, cols: int = 1) -> None:
+        self.ops.count_spmv(nnz, cols)
+
+    def count_gemm(self, m: int, k: int, n: int) -> None:
+        self.ops.count_gemm(m, k, n)
+
+    def count_qr(self, m: int, n: int) -> None:
+        self.ops.count_qr(m, n)
+
+    def count_svd(self, m: int, n: int) -> None:
+        self.ops.count_svd(m, n)
+
+    def note_array(self, nbytes: int) -> None:
+        self.memory.note_array(nbytes)
+
+    def sample_memory(self) -> None:
+        self.memory.sample()
+
+    def report(
+        self,
+        *,
+        method: str,
+        dataset: Optional[str] = None,
+        dimension: Optional[int] = None,
+        seed: Optional[int] = None,
+        wall_seconds: Optional[float] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> RunReport:
+        """Freeze the collected data into a :class:`RunReport`."""
+        self.memory.sample()
+        elapsed = (
+            wall_seconds
+            if wall_seconds is not None
+            else time.perf_counter() - self.started
+        )
+        return RunReport(
+            method=method,
+            dataset=dataset,
+            dimension=dimension,
+            seed=seed,
+            wall_seconds=float(elapsed),
+            stages=self.timer.stages(),
+            ops=self.ops.to_dict(),
+            memory=self.memory.to_dict(),
+            metadata=dict(metadata or {}),
+        )
+
+
+#: The module-wide no-op collector (singleton; identity-tested in the suite).
+NULL = NullCollector()
+
+_active: NullCollector = NULL
+
+
+def active() -> NullCollector:
+    """The collector instrumented call sites should report to."""
+    return _active
+
+
+@contextmanager
+def collect(
+    collector: Optional[ProfileCollector] = None,
+) -> Iterator[ProfileCollector]:
+    """Activate a profiling collector for the duration of the block.
+
+    Nested activations are allowed; the previous collector (possibly the
+    no-op) is restored on exit.
+    """
+    global _active
+    if collector is None:
+        collector = ProfileCollector()
+    previous = _active
+    _active = collector
+    try:
+        yield collector
+    finally:
+        _active = previous

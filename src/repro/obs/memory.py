@@ -1,0 +1,74 @@
+"""Peak-memory sampling: process RSS plus tracked ndarray footprints.
+
+Two complementary views, because neither alone is trustworthy:
+
+* **RSS** — the process resident set, read from ``/proc/self/statm`` on
+  Linux with a ``resource.getrusage`` fallback elsewhere.  It captures
+  everything (interpreter, BLAS workspaces) but only moves in page-sized
+  steps and never shrinks on most allocators.
+* **Tracked ndarray bytes** — the instrumented call sites report the sizes
+  of the dense blocks they touch; we keep the largest single block seen.
+  This is the number the paper's space complexity ``O((|U|+|V|) k + |E|)``
+  actually bounds.
+
+Sampling is pull-based: the profiling collector samples at stage boundaries,
+so an un-profiled run never touches ``/proc``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+__all__ = ["MemorySampler", "current_rss_bytes"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def current_rss_bytes() -> Optional[int]:
+    """Current resident set size in bytes, or ``None`` when unavailable."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # ru_maxrss is KiB on Linux, bytes on macOS; KiB is the common case
+        # and the difference only inflates the (already peak) fallback.
+        return int(usage.ru_maxrss) * 1024
+    except Exception:  # pragma: no cover - platform without resource
+        return None
+
+
+class MemorySampler:
+    """Accumulates a peak-RSS watermark and the largest tracked ndarray."""
+
+    def __init__(self) -> None:
+        self.peak_rss_bytes: int = 0
+        self.max_tracked_array_bytes: int = 0
+        self.samples: int = 0
+
+    def sample(self) -> None:
+        """Take one RSS sample and fold it into the peak."""
+        rss = current_rss_bytes()
+        if rss is not None:
+            self.samples += 1
+            if rss > self.peak_rss_bytes:
+                self.peak_rss_bytes = rss
+
+    def note_array(self, nbytes: int) -> None:
+        """Report the size of a dense block an instrumented site allocated."""
+        if nbytes > self.max_tracked_array_bytes:
+            self.max_tracked_array_bytes = int(nbytes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (stable key set)."""
+        return {
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "max_tracked_array_bytes": self.max_tracked_array_bytes,
+            "samples": self.samples,
+        }

@@ -1,0 +1,210 @@
+"""RunReport: the stable JSON artifact a profiled run produces.
+
+Every profiled solver run serializes to one JSON document with a fixed,
+versioned schema (``SCHEMA_NAME``/``SCHEMA_VERSION``).  Downstream tooling —
+``make profile-smoke``, the efficiency experiment, future perf-regression
+bots — parses these documents, so the schema is validated on both the write
+and the read path and changes must bump the version.
+
+Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
+
+    {
+      "schema": "repro.obs.run_report",
+      "version": 1,
+      "method": str,              # display name, e.g. "GEBE^p"
+      "dataset": str | null,
+      "dimension": int | null,
+      "seed": int | null,
+      "wall_seconds": float,
+      "stages": [Stage, ...],     # Stage: {name, path, seconds, calls,
+                                  #         children: [Stage, ...]}
+      "ops": {"sparse_matvecs": int, "gemms": int,
+              "qr_factorizations": int, "svd_factorizations": int,
+              "flops": float},
+      "memory": {"peak_rss_bytes": int, "max_tracked_array_bytes": int,
+                 "samples": int},
+      "metadata": {...}           # free-form, JSON-serializable
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RunReport", "validate_report", "SCHEMA_NAME", "SCHEMA_VERSION"]
+
+SCHEMA_NAME = "repro.obs.run_report"
+SCHEMA_VERSION = 1
+
+_OPS_KEYS = (
+    "sparse_matvecs",
+    "gemms",
+    "qr_factorizations",
+    "svd_factorizations",
+    "flops",
+)
+_MEMORY_KEYS = ("peak_rss_bytes", "max_tracked_array_bytes", "samples")
+_STAGE_KEYS = ("name", "path", "seconds", "calls", "children")
+
+
+def _fail(message: str) -> None:
+    raise ValueError(f"invalid run report: {message}")
+
+
+def _validate_stage(stage: Any, where: str) -> None:
+    if not isinstance(stage, dict):
+        _fail(f"{where} must be an object, got {type(stage).__name__}")
+    for key in _STAGE_KEYS:
+        if key not in stage:
+            _fail(f"{where} is missing {key!r}")
+    if not isinstance(stage["name"], str) or not stage["name"]:
+        _fail(f"{where}.name must be a non-empty string")
+    if not isinstance(stage["path"], str) or not stage["path"]:
+        _fail(f"{where}.path must be a non-empty string")
+    if not isinstance(stage["seconds"], (int, float)) or stage["seconds"] < 0:
+        _fail(f"{where}.seconds must be a non-negative number")
+    if not isinstance(stage["calls"], int) or stage["calls"] < 0:
+        _fail(f"{where}.calls must be a non-negative integer")
+    if not isinstance(stage["children"], list):
+        _fail(f"{where}.children must be a list")
+    for index, child in enumerate(stage["children"]):
+        _validate_stage(child, f"{where}.children[{index}]")
+
+
+def validate_report(payload: Any) -> Dict[str, Any]:
+    """Validate a decoded report document; return it unchanged.
+
+    Raises
+    ------
+    ValueError
+        With a pointed message when any schema constraint is violated.
+    """
+    if not isinstance(payload, dict):
+        _fail(f"top level must be an object, got {type(payload).__name__}")
+    if payload.get("schema") != SCHEMA_NAME:
+        _fail(f"schema must be {SCHEMA_NAME!r}, got {payload.get('schema')!r}")
+    if payload.get("version") != SCHEMA_VERSION:
+        _fail(f"version must be {SCHEMA_VERSION}, got {payload.get('version')!r}")
+    if not isinstance(payload.get("method"), str) or not payload["method"]:
+        _fail("method must be a non-empty string")
+    for key in ("dataset",):
+        if payload.get(key) is not None and not isinstance(payload[key], str):
+            _fail(f"{key} must be a string or null")
+    for key in ("dimension", "seed"):
+        if payload.get(key) is not None and not isinstance(payload[key], int):
+            _fail(f"{key} must be an integer or null")
+    wall = payload.get("wall_seconds")
+    if not isinstance(wall, (int, float)) or wall < 0:
+        _fail("wall_seconds must be a non-negative number")
+    if not isinstance(payload.get("stages"), list):
+        _fail("stages must be a list")
+    for index, stage in enumerate(payload["stages"]):
+        _validate_stage(stage, f"stages[{index}]")
+    ops = payload.get("ops")
+    if not isinstance(ops, dict):
+        _fail("ops must be an object")
+    for key in _OPS_KEYS:
+        value = ops.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            _fail(f"ops.{key} must be a non-negative number")
+    memory = payload.get("memory")
+    if not isinstance(memory, dict):
+        _fail("memory must be an object")
+    for key in _MEMORY_KEYS:
+        value = memory.get(key)
+        if not isinstance(value, int) or value < 0:
+            _fail(f"memory.{key} must be a non-negative integer")
+    if not isinstance(payload.get("metadata"), dict):
+        _fail("metadata must be an object")
+    return payload
+
+
+@dataclass
+class RunReport:
+    """One profiled run, ready to serialize.  See the module docstring."""
+
+    method: str
+    wall_seconds: float
+    stages: List[Dict[str, Any]] = field(default_factory=list)
+    ops: Dict[str, Any] = field(default_factory=dict)
+    memory: Dict[str, Any] = field(default_factory=dict)
+    dataset: Optional[str] = None
+    dimension: Optional[int] = None
+    seed: Optional[int] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The schema-shaped document (validated before returning)."""
+        ops = {key: self.ops.get(key, 0) for key in _OPS_KEYS}
+        memory = {int_key: int(self.memory.get(int_key, 0)) for int_key in _MEMORY_KEYS}
+        payload = {
+            "schema": SCHEMA_NAME,
+            "version": SCHEMA_VERSION,
+            "method": self.method,
+            "dataset": self.dataset,
+            "dimension": self.dimension,
+            "seed": self.seed,
+            "wall_seconds": float(self.wall_seconds),
+            "stages": self.stages,
+            "ops": ops,
+            "memory": memory,
+            "metadata": self.metadata,
+        }
+        return validate_report(payload)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize to JSON (stable key order)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        """Write the JSON document to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunReport":
+        """Rebuild a report from a decoded (and validated) document."""
+        validate_report(payload)
+        return cls(
+            method=payload["method"],
+            wall_seconds=float(payload["wall_seconds"]),
+            stages=payload["stages"],
+            ops=dict(payload["ops"]),
+            memory=dict(payload["memory"]),
+            dataset=payload.get("dataset"),
+            dimension=payload.get("dimension"),
+            seed=payload.get("seed"),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        """Rebuild a report from its JSON serialization."""
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Read-out helpers
+    # ------------------------------------------------------------------
+    def stage_seconds(self) -> Dict[str, float]:
+        """Flat ``path -> seconds`` map over the whole stage tree."""
+        flat: Dict[str, float] = {}
+
+        def walk(stages: List[Dict[str, Any]]) -> None:
+            for stage in stages:
+                flat[stage["path"]] = stage["seconds"]
+                walk(stage["children"])
+
+        walk(self.stages)
+        return flat
+
+    def summary(self) -> str:
+        """A terse human-readable one-liner for CLI output."""
+        return (
+            f"{self.method}: {self.wall_seconds:.3f}s, "
+            f"{self.ops.get('sparse_matvecs', 0)} spmv, "
+            f"{self.ops.get('gemms', 0)} gemm, "
+            f"peak RSS {self.memory.get('peak_rss_bytes', 0) / 1e6:.1f} MB"
+        )

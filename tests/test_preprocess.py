@@ -71,6 +71,49 @@ class TestMaxAndNone:
         assert tiny_graph.total_weight > 0  # original untouched
 
 
+class TestPatternPreservation:
+    """Regression tests for the sparsity-pattern contract (obs PR).
+
+    ``normalize_weights`` must keep every stored entry of ``W`` for all
+    modes — zero-degree nodes and subnormal weights included.  The old
+    ``diags @ W @ diags`` implementation dropped entries whose scaled value
+    underflowed to zero (and would drop zero-degree rows structurally).
+    """
+
+    def test_zero_degree_node_keeps_pattern(self):
+        # u1 and v2 are isolated (zero degree); their rows/columns carry no
+        # entries, and the present entries must all survive.
+        graph = BipartiteGraph.from_edges(
+            [(0, 0, 2.0), (2, 1, 3.0)], num_u=3, num_v=3
+        )
+        assert graph.u_degrees()[1] == 0
+        assert graph.v_degrees()[2] == 0
+        for mode in ("sym", "spectral", "max", "none"):
+            normalized = normalize_weights(graph, mode)
+            assert normalized.nnz == graph.num_edges, mode
+            np.testing.assert_array_equal(normalized.indices, graph.w.indices)
+            np.testing.assert_array_equal(normalized.indptr, graph.w.indptr)
+            assert np.isfinite(normalized.data).all()
+
+    def test_subnormal_weight_not_dropped(self):
+        # The hypothesis counterexample that exposed the bug: a subnormal
+        # weight next to a normal one underflowed to zero mid-product and
+        # the sparse matmul pruned it.
+        graph = BipartiteGraph.from_dense([[4.0, 5e-324]])
+        for mode in ("sym", "spectral", "max"):
+            normalized = normalize_weights(graph, mode)
+            assert normalized.nnz == graph.num_edges, mode
+        sym = normalize_weights(graph, "sym")
+        assert sym.data[1] > 0.0  # value survives, not just the slot
+
+    def test_single_subnormal_entry_normalizes_to_one(self):
+        # Both degrees subnormal: the combined inverse-degree factor is
+        # inf, but applied largest-first the entry still normalizes to 1.
+        graph = BipartiteGraph.from_dense([[5e-324]])
+        sym = normalize_weights(graph, "sym")
+        assert sym.data[0] == pytest.approx(1.0)
+
+
 class TestValidation:
     def test_unknown_mode(self, tiny_graph):
         with pytest.raises(ValueError, match="unknown normalization"):

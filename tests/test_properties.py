@@ -31,6 +31,8 @@ from repro.metrics import (
 )
 from repro.walks import AliasTable
 
+pytestmark = pytest.mark.slow
+
 
 # ---------------------------------------------------------------------------
 # Strategies

@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for the linalg substrate.
+
+Hardens the solver's numerical kernels on *arbitrary* inputs: thin-QR
+orthonormality/idempotence, KSI basis orthonormality, and the randomized
+SVD's near-optimal low-rank reconstruction guarantee.  These suites draw
+many examples per property, so the whole module carries the ``slow``
+marker (``make test-fast`` skips it).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg import (
+    exact_svd,
+    is_semi_unitary,
+    randomized_svd,
+    subspace_iteration,
+    thin_qr,
+)
+
+pytestmark = pytest.mark.slow
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def gaussian_blocks(draw, max_n=12):
+    """Random tall Gaussian blocks (full column rank almost surely)."""
+    n = draw(st.integers(2, max_n))
+    k = draw(st.integers(1, n))
+    seed = draw(st.integers(0, 2**32 - 1))
+    return np.random.default_rng(seed).standard_normal((n, k))
+
+
+@st.composite
+def dense_matrices(draw, max_m=10, max_n=10):
+    """Small dense matrices with bounded, well-scaled entries."""
+    m = draw(st.integers(2, max_m))
+    n = draw(st.integers(2, max_n))
+    return draw(
+        arrays(
+            np.float64,
+            (m, n),
+            elements=st.floats(-5.0, 5.0, allow_nan=False, width=32),
+        )
+    )
+
+
+@st.composite
+def psd_matrices(draw, max_n=10):
+    """Symmetric positive semidefinite matrices ``B @ B.T``."""
+    b = draw(dense_matrices(max_m=max_n, max_n=max_n))
+    return b @ b.T
+
+
+# ---------------------------------------------------------------------------
+# thin_qr
+# ---------------------------------------------------------------------------
+class TestThinQR:
+    @settings(max_examples=50, deadline=None)
+    @given(gaussian_blocks())
+    def test_factorization_reconstructs_and_q_is_orthonormal(self, block):
+        q, r = thin_qr(block)
+        assert q.shape == block.shape
+        assert is_semi_unitary(q, tol=1e-8)
+        assert np.allclose(q @ r, block, atol=1e-8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(gaussian_blocks())
+    def test_sign_convention_makes_r_diagonal_nonnegative(self, block):
+        _, r = thin_qr(block)
+        assert np.all(np.diagonal(r) >= 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(gaussian_blocks())
+    def test_idempotent_on_orthonormal_input(self, block):
+        """Re-factorizing ``Q`` must return ``Q`` itself with ``R ~= I``.
+
+        This is the property KSI leans on: the iterate block is already
+        orthonormal after the previous step, so a repeated QR must be a
+        stable fixed point (deterministic sign fix included).
+        """
+        q, _ = thin_qr(block)
+        q2, r2 = thin_qr(q)
+        assert np.allclose(q2, q, atol=1e-10)
+        assert np.allclose(r2, np.eye(q.shape[1]), atol=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# subspace_iteration (KSI)
+# ---------------------------------------------------------------------------
+class TestSubspaceIteration:
+    @settings(max_examples=30, deadline=None)
+    @given(psd_matrices(), st.integers(1, 4), st.integers(0, 2**31 - 1))
+    def test_basis_orthonormal_and_values_sorted(self, matrix, k, seed):
+        n = matrix.shape[0]
+        k = min(k, n)
+        result = subspace_iteration(
+            matrix, n, k, rng=np.random.default_rng(seed)
+        )
+        assert result.vectors.shape == (n, k)
+        assert is_semi_unitary(result.vectors, tol=1e-6)
+        assert np.all(result.values >= 0)
+        assert np.all(np.diff(result.values) <= 1e-12)  # non-increasing
+
+    @settings(max_examples=30, deadline=None)
+    @given(psd_matrices(), st.integers(0, 2**31 - 1))
+    def test_ritz_values_within_spectrum_bounds(self, matrix, seed):
+        n = matrix.shape[0]
+        top = float(np.linalg.eigvalsh(matrix)[-1])
+        result = subspace_iteration(
+            matrix, n, min(2, n), rng=np.random.default_rng(seed)
+        )
+        # Ritz values of a PSD operator live inside its spectrum.
+        assert np.all(result.values <= top * (1 + 1e-8) + 1e-8)
+
+
+# ---------------------------------------------------------------------------
+# randomized_svd
+# ---------------------------------------------------------------------------
+class TestRandomizedSVD:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        dense_matrices(),
+        st.integers(1, 4),
+        st.sampled_from(["power", "block_krylov"]),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_reconstruction_error_near_optimal(self, matrix, k, strategy, seed):
+        """``(1 + eps)``-style guarantee against the exact rank-k truncation.
+
+        Eckart-Young makes the exact rank-k error a hard floor; the
+        randomized factorization must land within a small multiplicative
+        slack of it (generous relative to the Musco-Musco bound, so the
+        test is deterministic-seed stable rather than flaky).
+        """
+        k = min(k, min(matrix.shape))
+        exact = exact_svd(matrix, k)
+        optimal = float(np.linalg.norm(matrix - exact.reconstruct()))
+        approx = randomized_svd(
+            matrix,
+            k,
+            epsilon=0.01,
+            strategy=strategy,
+            rng=np.random.default_rng(seed),
+        )
+        achieved = float(np.linalg.norm(matrix - approx.reconstruct()))
+        assert achieved <= optimal * 1.05 + 1e-7
+        # Eckart-Young also lower-bounds: no rank-k factorization beats it.
+        assert achieved >= optimal - 1e-7
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        dense_matrices(),
+        st.integers(1, 4),
+        st.sampled_from(["power", "block_krylov"]),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_factor_shapes_and_invariants(self, matrix, k, strategy, seed):
+        k = min(k, min(matrix.shape))
+        result = randomized_svd(
+            matrix, k, strategy=strategy, rng=np.random.default_rng(seed)
+        )
+        m, n = matrix.shape
+        assert result.u.shape == (m, k)
+        assert result.s.shape == (k,)
+        assert result.vt.shape == (k, n)
+        assert np.all(result.s >= 0)
+        assert np.all(np.diff(result.s) <= 1e-10)  # non-increasing
+        # Singular values cannot exceed the exact ones (Rayleigh-Ritz on a
+        # subspace only shrinks them).
+        exact = exact_svd(matrix, k)
+        assert np.all(result.s <= exact.s + 1e-8)
