@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench examples quicktest profile-smoke clean
+.PHONY: install test test-fast bench bench-smoke bench-pytest examples quicktest profile-smoke clean
 
 install:
 	pip install -e . || { \
@@ -10,7 +10,7 @@ install:
 	  echo $(CURDIR)/src > $$($(PYTHON) -c 'import site; print(site.getsitepackages()[0])')/repro-editable.pth; \
 	}
 
-test:
+test: bench-smoke
 	$(PYTHON) -m pytest tests/
 
 quicktest:
@@ -26,7 +26,19 @@ profile-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro embed --method gebe_p --dataset toy \
 	  --profile --profile-out /tmp/gebe-profile.json
 
+# Full perf snapshot: GEBE + GEBE^p on the zoo stand-ins, workspace vs
+# legacy kernels A/B'd in the same run, written to BENCH_gebe.json at the
+# repo root.  See docs/BENCHMARKS.md.
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro bench --output BENCH_gebe.json
+
+# Seconds-scale harness exercise (toy graph) so the bench path can't rot;
+# part of the default `make test`.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --output /tmp/gebe-bench-smoke.json
+
+# Legacy pytest-benchmark microbenchmarks.
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 examples:

@@ -48,16 +48,18 @@ __all__ = [
     "resolve_method_name",
 ]
 
-MethodFactory = Callable[[int, Optional[int]], BipartiteEmbedder]
+MethodFactory = Callable[..., BipartiteEmbedder]
 
-#: Methods introduced by the paper (plus its two ablations).
+#: Methods introduced by the paper (plus its two ablations).  These accept
+#: extra keyword arguments (e.g. ``dtype_policy``, ``max_iterations``) and
+#: forward them to the underlying constructor.
 PROPOSED: Dict[str, MethodFactory] = {
-    "GEBE^p": lambda dim, seed: GEBEPoisson(dim, seed=seed),
-    "GEBE (Poisson)": lambda dim, seed: gebe_poisson(dim, seed=seed),
-    "GEBE (Geometric)": lambda dim, seed: gebe_geometric(dim, seed=seed),
-    "GEBE (Uniform)": lambda dim, seed: gebe_uniform(dim, seed=seed),
-    "MHP-BNE": lambda dim, seed: MHPOnlyBNE(dim, seed=seed),
-    "MHS-BNE": lambda dim, seed: MHSOnlyBNE(dim, seed=seed),
+    "GEBE^p": lambda dim, seed, **kw: GEBEPoisson(dim, seed=seed, **kw),
+    "GEBE (Poisson)": lambda dim, seed, **kw: gebe_poisson(dim, seed=seed, **kw),
+    "GEBE (Geometric)": lambda dim, seed, **kw: gebe_geometric(dim, seed=seed, **kw),
+    "GEBE (Uniform)": lambda dim, seed, **kw: gebe_uniform(dim, seed=seed, **kw),
+    "MHP-BNE": lambda dim, seed, **kw: MHPOnlyBNE(dim, seed=seed, **kw),
+    "MHS-BNE": lambda dim, seed, **kw: MHSOnlyBNE(dim, seed=seed, **kw),
 }
 
 #: The fifteen competitors of Section 6.1.
@@ -122,7 +124,13 @@ def method_names(group: Optional[str] = None) -> List[str]:
 
 
 def make_method(
-    name: str, dimension: int = 128, seed: Optional[int] = None
+    name: str, dimension: int = 128, seed: Optional[int] = None, **kwargs: object
 ) -> BipartiteEmbedder:
-    """Instantiate a registered method by its table name (or slug alias)."""
-    return METHODS[resolve_method_name(name)](dimension, seed)
+    """Instantiate a registered method by its table name (or slug alias).
+
+    Extra keyword arguments are forwarded to the method's constructor.
+    The proposed methods accept solver configuration this way (e.g.
+    ``dtype_policy``, ``max_iterations``); competitors generally take no
+    extras and raise ``TypeError`` on unknown keywords.
+    """
+    return METHODS[resolve_method_name(name)](dimension, seed, **kwargs)

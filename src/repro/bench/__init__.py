@@ -1,0 +1,14 @@
+"""Reproducible benchmark harness emitting ``BENCH_*.json`` perf snapshots."""
+
+from .harness import BenchConfig, render_bench, run_bench, write_bench
+from .schema import BENCH_SCHEMA_NAME, BENCH_SCHEMA_VERSION, validate_bench
+
+__all__ = [
+    "BenchConfig",
+    "run_bench",
+    "write_bench",
+    "render_bench",
+    "validate_bench",
+    "BENCH_SCHEMA_NAME",
+    "BENCH_SCHEMA_VERSION",
+]

@@ -1,0 +1,264 @@
+"""The reproducible benchmark harness behind ``make bench`` / ``repro bench``.
+
+Runs the proposed methods over zoo stand-ins under each configured
+:class:`~repro.linalg.DtypePolicy`, reads wall time + matvec/FLOP/peak-RSS
+from :mod:`repro.obs` (via :func:`~repro.experiments.runner.profile_method`),
+and emits one schema-validated ``BENCH_gebe.json`` document.
+
+Noise control: every (method, dataset, policy) cell is fitted ``repeats``
+times and the **minimum** wall time is recorded — the standard estimator for
+"how fast can this code go" on a shared machine (mean/max pick up scheduler
+noise).  All repeats are retained in ``wall_seconds_all``.
+
+The default configuration A/B-compares every new-kernel policy (the
+float64 workspace default and the opt-out float32 row) against the legacy
+allocation-per-call path *in the same run* (``ab_compare=True``) and
+asserts the obs matvec counts are identical across all of them — a
+refactor guarantee, not a statistical one.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy
+
+from ..baselines import make_method
+from ..datasets import DATASETS, toy_graph
+from ..experiments.runner import ProfiledRun, profile_method
+from ..graph import BipartiteGraph
+from ..linalg import DtypePolicy
+from .schema import BENCH_SCHEMA_NAME, BENCH_SCHEMA_VERSION, validate_bench
+
+__all__ = ["BenchConfig", "run_bench", "write_bench", "render_bench"]
+
+#: Methods whose constructors take ``max_iterations`` (the KSI budget);
+#: benchmarks cap it so the truncated-series methods finish in seconds.
+_ITERATIVE_PREFIX = "GEBE ("
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Configuration of one benchmark run (all fields JSON-serializable).
+
+    Attributes
+    ----------
+    datasets:
+        Zoo stand-in names (plus ``"toy"``) to run, smallest first.
+    methods:
+        Proposed-method names (registry table names or slugs resolve).
+    dimension:
+        Embedding dimension ``k`` for every cell.
+    seed:
+        Shared seed for dataset generation and method initialization.
+    repeats:
+        Fits per cell; the minimum wall time is recorded.
+    gebe_iterations:
+        KSI budget for the iterative GEBE variants (``None`` keeps each
+        method's default of 200 — only sensible for tiny graphs).
+    ab_compare:
+        Also run every cell under the legacy (allocation-per-call) kernels
+        and record workspace-vs-legacy comparisons.
+    float32:
+        Also run every cell under the float32 compute policy.
+    """
+
+    datasets: Tuple[str, ...] = ("dblp", "mag")
+    methods: Tuple[str, ...] = ("GEBE^p", "GEBE (Poisson)")
+    dimension: int = 32
+    seed: int = 0
+    repeats: int = 3
+    gebe_iterations: Optional[int] = 15
+    ab_compare: bool = True
+    float32: bool = True
+
+    @classmethod
+    def smoke(cls) -> "BenchConfig":
+        """A seconds-scale configuration for CI (``make bench-smoke``)."""
+        return cls(
+            datasets=("toy",),
+            methods=("GEBE^p", "GEBE (Poisson)"),
+            dimension=8,
+            repeats=1,
+            gebe_iterations=5,
+        )
+
+    def policies(self) -> List[DtypePolicy]:
+        """The policy grid, candidate (workspace float64) first."""
+        grid = [DtypePolicy.default()]
+        if self.ab_compare:
+            grid.append(DtypePolicy.legacy())
+        if self.float32:
+            grid.append(DtypePolicy.float32())
+        return grid
+
+
+def _load_graph(name: str, seed: int) -> BipartiteGraph:
+    if name == "toy":
+        return toy_graph()
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; choices: toy, {list(DATASETS)}")
+    return DATASETS[name].load(seed)
+
+
+def _make_bench_method(name: str, config: BenchConfig, policy: DtypePolicy):
+    kwargs: Dict[str, Any] = {"dtype_policy": policy}
+    if name.startswith(_ITERATIVE_PREFIX) and config.gebe_iterations is not None:
+        kwargs["max_iterations"] = config.gebe_iterations
+    return make_method(name, dimension=config.dimension, seed=config.seed, **kwargs)
+
+
+def _run_cell(
+    name: str, graph: BipartiteGraph, dataset: str, config: BenchConfig, policy: DtypePolicy
+) -> Dict[str, Any]:
+    walls: List[float] = []
+    best: Optional[ProfiledRun] = None
+    peak_rss = 0
+    for _ in range(config.repeats):
+        method = _make_bench_method(name, config, policy)
+        run = profile_method(method, graph, dataset=dataset)
+        walls.append(float(run.result.elapsed_seconds))
+        peak_rss = max(peak_rss, int(run.report.memory.get("peak_rss_bytes", 0)))
+        if best is None or walls[-1] == min(walls):
+            best = run
+    ops = best.report.ops
+    return {
+        "method": best.result.method,
+        "dataset": dataset,
+        "policy": policy.describe(),
+        "dimension": config.dimension,
+        "seed": config.seed,
+        "repeats": config.repeats,
+        "wall_seconds": min(walls),
+        "wall_seconds_all": walls,
+        "matvecs": int(ops.get("sparse_matvecs", 0)),
+        "gemms": int(ops.get("gemms", 0)),
+        "flops": float(ops.get("flops", 0.0)),
+        "peak_rss_bytes": peak_rss,
+        "graph": {
+            "num_u": graph.num_u,
+            "num_v": graph.num_v,
+            "num_edges": graph.num_edges,
+        },
+    }
+
+
+def _environment() -> Dict[str, Any]:
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _comparisons(runs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Comparison rows: every new-kernel policy vs its legacy twin.
+
+    Each non-legacy run (``float64/workspace``, ``float32/workspace``) is
+    paired with the ``float64/legacy`` cell for the same method and dataset
+    — the pre-change kernel path, measured in the same run.  ``matvecs_equal``
+    must hold across all pairs (the dtype policy changes arithmetic
+    precision, never the operation schedule).
+    """
+    baseline = DtypePolicy.legacy().describe()
+    by_key = {(r["method"], r["dataset"], r["policy"]): r for r in runs}
+    rows: List[Dict[str, Any]] = []
+    for run in runs:
+        if run["policy"] == baseline:
+            continue
+        legacy = by_key.get((run["method"], run["dataset"], baseline))
+        if legacy is None:
+            continue
+        rows.append(
+            {
+                "method": run["method"],
+                "dataset": run["dataset"],
+                "baseline_policy": baseline,
+                "candidate_policy": run["policy"],
+                "speedup": legacy["wall_seconds"] / max(run["wall_seconds"], 1e-12),
+                "matvecs_equal": run["matvecs"] == legacy["matvecs"],
+            }
+        )
+    return rows
+
+
+def run_bench(
+    config: Optional[BenchConfig] = None, *, progress: bool = False
+) -> Dict[str, Any]:
+    """Execute the benchmark grid; return the validated document.
+
+    Parameters
+    ----------
+    config:
+        The grid to run (``None`` means :class:`BenchConfig` defaults).
+    progress:
+        Print a one-liner per completed cell to stderr.
+    """
+    config = config if config is not None else BenchConfig()
+    runs: List[Dict[str, Any]] = []
+    for dataset in config.datasets:
+        graph = _load_graph(dataset, config.seed)
+        for name in config.methods:
+            for policy in config.policies():
+                cell = _run_cell(name, graph, dataset, config, policy)
+                runs.append(cell)
+                if progress:
+                    print(
+                        f"  {cell['method']:<16} {dataset:<8} "
+                        f"{cell['policy']:<18} {cell['wall_seconds']:8.3f}s "
+                        f"({cell['matvecs']} matvecs)",
+                        file=sys.stderr,
+                    )
+    payload = {
+        "schema": BENCH_SCHEMA_NAME,
+        "version": BENCH_SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": {**asdict(config), "datasets": list(config.datasets),
+                   "methods": list(config.methods)},
+        "environment": _environment(),
+        "runs": runs,
+        "comparisons": _comparisons(runs),
+    }
+    return validate_bench(payload)
+
+
+def write_bench(payload: Dict[str, Any], path: str) -> None:
+    """Write a validated bench document to ``path`` as stable JSON."""
+    import json
+
+    validate_bench(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_bench(payload: Dict[str, Any]) -> str:
+    """A human-readable summary of a bench document (for the CLI)."""
+    lines = [
+        f"bench {payload['created']}  (numpy {payload['environment']['numpy']}, "
+        f"scipy {payload['environment']['scipy']}, "
+        f"{payload['environment']['cpu_count']} cpu)"
+    ]
+    header = f"{'method':<18}{'dataset':<10}{'policy':<20}{'wall':>10}{'matvecs':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for run in payload["runs"]:
+        lines.append(
+            f"{run['method']:<18}{run['dataset']:<10}{run['policy']:<20}"
+            f"{run['wall_seconds']:>9.3f}s{run['matvecs']:>10}"
+        )
+    for row in payload["comparisons"]:
+        marker = "ok" if row["matvecs_equal"] else "MISMATCH"
+        lines.append(
+            f"{row['candidate_policy']:>18} vs legacy  {row['method']:<16} "
+            f"{row['dataset']:<8} speedup x{row['speedup']:.2f}  matvecs {marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""The ``BENCH_*.json`` document: schema constants and validation.
+
+Every benchmark run serializes to one JSON document so future PRs have a
+perf trajectory to compare against.  Like :mod:`repro.obs.report`, the
+schema is fixed and versioned, validated on the write path (the harness) and
+the read path (tooling that compares runs), and changes must bump
+``BENCH_SCHEMA_VERSION``.
+
+Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
+
+    {
+      "schema": "repro.bench.results",
+      "version": 1,
+      "created": str,             # ISO-8601 UTC timestamp
+      "config": {"datasets": [str], "methods": [str], "dimension": int,
+                 "seed": int, "repeats": int,
+                 "gebe_iterations": int | null,
+                 "ab_compare": bool, "float32": bool},
+      "environment": {"python": str, "numpy": str, "scipy": str,
+                      "platform": str, "cpu_count": int},
+      "runs": [Run, ...],
+      "comparisons": [Comparison, ...]
+    }
+
+    Run: {
+      "method": str, "dataset": str,
+      "policy": str,              # DtypePolicy.describe(), e.g. "float64/workspace"
+      "dimension": int, "seed": int, "repeats": int,
+      "wall_seconds": float,      # min over repeats (noise-robust)
+      "wall_seconds_all": [float, ...],
+      "matvecs": int, "gemms": int, "flops": float,
+      "peak_rss_bytes": int,
+      "graph": {"num_u": int, "num_v": int, "num_edges": int}
+    }
+
+    Comparison: {                 # workspace kernels vs. the legacy path
+      "method": str, "dataset": str,
+      "baseline_policy": str, "candidate_policy": str,
+      "speedup": float,           # baseline wall / candidate wall
+      "matvecs_equal": bool       # obs counters identical across paths
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["BENCH_SCHEMA_NAME", "BENCH_SCHEMA_VERSION", "validate_bench"]
+
+BENCH_SCHEMA_NAME = "repro.bench.results"
+BENCH_SCHEMA_VERSION = 1
+
+_CONFIG_KEYS = {
+    "datasets": list,
+    "methods": list,
+    "dimension": int,
+    "seed": int,
+    "repeats": int,
+    "gebe_iterations": (int, type(None)),
+    "ab_compare": bool,
+    "float32": bool,
+}
+_ENVIRONMENT_KEYS = {
+    "python": str,
+    "numpy": str,
+    "scipy": str,
+    "platform": str,
+    "cpu_count": int,
+}
+_RUN_KEYS = {
+    "method": str,
+    "dataset": str,
+    "policy": str,
+    "dimension": int,
+    "seed": int,
+    "repeats": int,
+    "wall_seconds": (int, float),
+    "wall_seconds_all": list,
+    "matvecs": int,
+    "gemms": int,
+    "flops": (int, float),
+    "peak_rss_bytes": int,
+    "graph": dict,
+}
+_GRAPH_KEYS = ("num_u", "num_v", "num_edges")
+_COMPARISON_KEYS = {
+    "method": str,
+    "dataset": str,
+    "baseline_policy": str,
+    "candidate_policy": str,
+    "speedup": (int, float),
+    "matvecs_equal": bool,
+}
+
+
+def _fail(message: str) -> None:
+    raise ValueError(f"invalid bench document: {message}")
+
+
+def _check_object(obj: Any, spec: Dict[str, Any], where: str) -> None:
+    if not isinstance(obj, dict):
+        _fail(f"{where} must be an object, got {type(obj).__name__}")
+    for key, expected in spec.items():
+        if key not in obj:
+            _fail(f"{where} is missing {key!r}")
+        if not isinstance(obj[key], expected):
+            _fail(f"{where}.{key} has wrong type {type(obj[key]).__name__}")
+        # bool is an int subclass; reject it where an int is required.
+        if expected is int and isinstance(obj[key], bool):
+            _fail(f"{where}.{key} must be an integer, got a bool")
+
+
+def validate_bench(payload: Any) -> Dict[str, Any]:
+    """Validate a decoded bench document; return it unchanged.
+
+    Raises
+    ------
+    ValueError
+        With a pointed message when any schema constraint is violated.
+    """
+    if not isinstance(payload, dict):
+        _fail(f"top level must be an object, got {type(payload).__name__}")
+    if payload.get("schema") != BENCH_SCHEMA_NAME:
+        _fail(f"schema must be {BENCH_SCHEMA_NAME!r}, got {payload.get('schema')!r}")
+    if payload.get("version") != BENCH_SCHEMA_VERSION:
+        _fail(f"version must be {BENCH_SCHEMA_VERSION}, got {payload.get('version')!r}")
+    if not isinstance(payload.get("created"), str) or not payload["created"]:
+        _fail("created must be a non-empty string")
+    _check_object(payload.get("config"), _CONFIG_KEYS, "config")
+    _check_object(payload.get("environment"), _ENVIRONMENT_KEYS, "environment")
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        _fail("runs must be a non-empty list")
+    for index, run in enumerate(runs):
+        where = f"runs[{index}]"
+        _check_object(run, _RUN_KEYS, where)
+        if run["wall_seconds"] < 0:
+            _fail(f"{where}.wall_seconds must be non-negative")
+        if not run["wall_seconds_all"] or not all(
+            isinstance(t, (int, float)) and t >= 0 for t in run["wall_seconds_all"]
+        ):
+            _fail(f"{where}.wall_seconds_all must be non-empty non-negative numbers")
+        for key in _GRAPH_KEYS:
+            value = run["graph"].get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                _fail(f"{where}.graph.{key} must be a non-negative integer")
+    comparisons = payload.get("comparisons")
+    if not isinstance(comparisons, list):
+        _fail("comparisons must be a list")
+    for index, comparison in enumerate(comparisons):
+        where = f"comparisons[{index}]"
+        _check_object(comparison, _COMPARISON_KEYS, where)
+        if comparison["speedup"] <= 0:
+            _fail(f"{where}.speedup must be positive")
+    return payload

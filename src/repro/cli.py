@@ -6,6 +6,7 @@ Subcommands::
     python -m repro recommend  # top-N items for one user
     python -m repro evaluate   # run the Table 4 / Table 5 protocol
     python -m repro datasets   # list or materialize the dataset zoo
+    python -m repro bench      # perf benchmark -> BENCH_gebe.json
 
 Every command reads TSV edge lists (``u<TAB>v[<TAB>weight]``) so the CLI
 composes with standard unix tooling.  ``embed`` can alternatively pull a
@@ -126,6 +127,48 @@ def build_parser() -> argparse.ArgumentParser:
     datasets.add_argument("--output", help="TSV path for --generate")
     datasets.add_argument("--seed", type=int, default=0)
 
+    bench = commands.add_parser(
+        "bench",
+        help="run the perf benchmark grid and write a BENCH_*.json snapshot",
+    )
+    bench.add_argument(
+        "--datasets",
+        nargs="+",
+        metavar="NAME",
+        help="zoo stand-ins (plus 'toy') to run (default: dblp mag)",
+    )
+    bench.add_argument(
+        "--methods",
+        nargs="+",
+        type=_method_name,
+        help="methods to run (default: GEBE^p and GEBE (Poisson))",
+    )
+    bench.add_argument("--dimension", type=int, help="embedding dimension k")
+    bench.add_argument("--seed", type=int, help="dataset + method seed")
+    bench.add_argument(
+        "--repeats", type=int, help="fits per cell; min wall time is recorded"
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_gebe.json",
+        help="output path (default: BENCH_gebe.json)",
+    )
+    bench.add_argument(
+        "--no-ab",
+        action="store_true",
+        help="skip the legacy-kernel A/B rows",
+    )
+    bench.add_argument(
+        "--no-float32",
+        action="store_true",
+        help="skip the float32 policy rows",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale CI configuration (toy graph, one repeat)",
+    )
+
     return parser
 
 
@@ -235,11 +278,52 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .bench import BenchConfig, render_bench, run_bench, write_bench
+
+    config = BenchConfig.smoke() if args.smoke else BenchConfig()
+    overrides = {}
+    if args.datasets is not None:
+        overrides["datasets"] = tuple(args.datasets)
+    if args.methods is not None:
+        overrides["methods"] = tuple(args.methods)
+    if args.dimension is not None:
+        overrides["dimension"] = args.dimension
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.no_ab:
+        overrides["ab_compare"] = False
+    if args.no_float32:
+        overrides["float32"] = False
+    config = replace(config, **overrides)
+
+    payload = run_bench(config, progress=True)
+    write_bench(payload, args.output)
+    print(render_bench(payload))
+    print(f"wrote {len(payload['runs'])} runs -> {args.output}")
+    mismatches = [
+        row for row in payload["comparisons"] if not row["matvecs_equal"]
+    ]
+    if mismatches:
+        print(
+            "error: matvec counts differ between kernel paths "
+            f"({len(mismatches)} cells)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 _HANDLERS = {
     "embed": _cmd_embed,
     "recommend": _cmd_recommend,
     "evaluate": _cmd_evaluate,
     "datasets": _cmd_datasets,
+    "bench": _cmd_bench,
 }
 
 

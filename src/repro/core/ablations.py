@@ -28,7 +28,7 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from ..graph import BipartiteGraph
-from ..linalg import randomized_svd
+from ..linalg import DtypePolicy, randomized_svd
 from ..linalg.ops import ProximityOperator
 from .base import BipartiteEmbedder
 from .pmf import PoissonPMF
@@ -67,6 +67,7 @@ class MHPOnlyBNE(BipartiteEmbedder):
         epsilon: float = 0.1,
         normalization: str = "spectral",
         seed: Optional[int] = None,
+        dtype_policy: Optional[DtypePolicy] = None,
     ):
         super().__init__(dimension=dimension, seed=seed)
         if lam <= 0:
@@ -77,6 +78,7 @@ class MHPOnlyBNE(BipartiteEmbedder):
         self.tau = tau
         self.epsilon = epsilon
         self.normalization = normalization
+        self.dtype_policy = dtype_policy if dtype_policy is not None else DtypePolicy()
 
     def _embed(
         self, graph: BipartiteGraph
@@ -84,7 +86,7 @@ class MHPOnlyBNE(BipartiteEmbedder):
         k = min(self.dimension, graph.num_u, graph.num_v)
         w = normalize_weights(graph, self.normalization)
         weights = PoissonPMF(lam=self.lam).weights(self.tau)
-        proximity = ProximityOperator(w, weights)
+        proximity = ProximityOperator(w, weights, policy=self.dtype_policy)
         svd = randomized_svd(proximity, k, self.epsilon, rng=self._rng())
         # Best rank-k of P_tau, split symmetrically across the two sides.
         scale = np.sqrt(np.clip(svd.s, 0.0, None))
@@ -132,6 +134,7 @@ class MHSOnlyBNE(BipartiteEmbedder):
         epsilon: float = 0.1,
         normalization: str = "spectral",
         seed: Optional[int] = None,
+        dtype_policy: Optional[DtypePolicy] = None,
     ):
         super().__init__(dimension=dimension, seed=seed)
         if lam <= 0:
@@ -142,6 +145,7 @@ class MHSOnlyBNE(BipartiteEmbedder):
         self.tau = tau
         self.epsilon = epsilon
         self.normalization = normalization
+        self.dtype_policy = dtype_policy if dtype_policy is not None else DtypePolicy()
 
     def _embed(
         self, graph: BipartiteGraph
@@ -149,7 +153,9 @@ class MHSOnlyBNE(BipartiteEmbedder):
         k = min(self.dimension, graph.num_u, graph.num_v)
         w = normalize_weights(graph, self.normalization)
         weights = PoissonPMF(lam=self.lam).weights(self.tau)
-        svd = randomized_svd(w, k, self.epsilon, rng=self._rng())
+        svd = randomized_svd(
+            w, k, self.epsilon, rng=self._rng(), policy=self.dtype_policy
+        )
         # Truncated Poisson filter applied to the shared singular values.
         sigma_sq = np.clip(svd.s, 0.0, None) ** 2
         eigenvalues = np.zeros_like(sigma_sq)

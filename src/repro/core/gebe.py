@@ -22,7 +22,7 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from ..graph import BipartiteGraph
-from ..linalg import MatrixFreeOperator, subspace_iteration
+from ..linalg import DtypePolicy, MatrixFreeOperator, subspace_iteration
 from ..obs import active as _obs_active
 from .base import BipartiteEmbedder
 from .pmf import GeometricPMF, PathLengthPMF, PoissonPMF, UniformPMF
@@ -53,6 +53,10 @@ class GEBE(BipartiteEmbedder):
         ``"sym"`` keeps the PMF series convergent on weighted graphs.
     seed:
         Seed for the random semi-unitary start.
+    dtype_policy:
+        :class:`~repro.linalg.DtypePolicy` for the hot-path kernels
+        (``None`` means the default: float64 workspace kernels,
+        bit-identical to the reference arithmetic).
 
     Examples
     --------
@@ -76,6 +80,7 @@ class GEBE(BipartiteEmbedder):
         tolerance: float = 1e-8,
         normalization: str = "sym",
         seed: Optional[int] = None,
+        dtype_policy: Optional[DtypePolicy] = None,
     ):
         super().__init__(dimension=dimension, seed=seed)
         if tau < 0:
@@ -85,6 +90,7 @@ class GEBE(BipartiteEmbedder):
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.normalization = normalization
+        self.dtype_policy = dtype_policy if dtype_policy is not None else DtypePolicy()
         self.name = f"GEBE ({pmf.name.capitalize()})"
 
     def _embed(
@@ -97,7 +103,7 @@ class GEBE(BipartiteEmbedder):
         with collector.stage("gebe"):
             with collector.stage("normalize"):
                 w = normalize_weights(graph, self.normalization)
-            operator = MatrixFreeOperator(w, weights)
+            operator = MatrixFreeOperator(w, weights, policy=self.dtype_policy)
             eigen = subspace_iteration(
                 operator,
                 num_u,
@@ -105,6 +111,7 @@ class GEBE(BipartiteEmbedder):
                 max_iterations=self.max_iterations,
                 tolerance=self.tolerance,
                 rng=self._rng(),
+                policy=self.dtype_policy,
             )
             # Eq. (13): U = Z_k sqrt(Lambda_k), V = W^T U.  H is PSD, so the
             # Ritz values are non-negative up to roundoff; clip defensively.
@@ -124,6 +131,7 @@ class GEBE(BipartiteEmbedder):
             "pmf": self.pmf.name,
             "tau": self.tau,
             "normalization": self.normalization,
+            "dtype_policy": self.dtype_policy.describe(),
             "iterations": eigen.iterations,
             "converged": eigen.converged,
             "effective_dimension": k,

@@ -27,7 +27,7 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from ..graph import BipartiteGraph
-from ..linalg import randomized_svd
+from ..linalg import DtypePolicy, randomized_svd
 from ..obs import active as _obs_active
 from .base import BipartiteEmbedder
 from .preprocess import normalize_weights
@@ -69,6 +69,10 @@ class GEBEPoisson(BipartiteEmbedder):
         graphs.
     seed:
         Seed for the Gaussian SVD start block.
+    dtype_policy:
+        :class:`~repro.linalg.DtypePolicy` for the hot-path kernels
+        (``None`` means the default: float64 workspace kernels,
+        bit-identical to the reference arithmetic).
 
     Examples
     --------
@@ -91,6 +95,7 @@ class GEBEPoisson(BipartiteEmbedder):
         svd_strategy: str = "power",
         normalization: str = "spectral",
         seed: Optional[int] = None,
+        dtype_policy: Optional[DtypePolicy] = None,
     ):
         super().__init__(dimension=dimension, seed=seed)
         if lam <= 0:
@@ -101,6 +106,7 @@ class GEBEPoisson(BipartiteEmbedder):
         self.epsilon = epsilon
         self.svd_strategy = svd_strategy
         self.normalization = normalization
+        self.dtype_policy = dtype_policy if dtype_policy is not None else DtypePolicy()
 
     def _embed(
         self, graph: BipartiteGraph
@@ -117,6 +123,7 @@ class GEBEPoisson(BipartiteEmbedder):
                 self.epsilon,
                 strategy=self.svd_strategy,
                 rng=self._rng(),
+                policy=self.dtype_policy,
             )
             # Lines 2-3: Lambda'_k = e^{-lambda} e^{lambda Sigma'^2},
             # Z'_k = Phi'_k.
@@ -137,6 +144,7 @@ class GEBEPoisson(BipartiteEmbedder):
             "epsilon": self.epsilon,
             "svd_strategy": self.svd_strategy,
             "normalization": self.normalization,
+            "dtype_policy": self.dtype_policy.describe(),
             "effective_dimension": k,
             "singular_values": svd.s,
             "eigenvalues": eigenvalues,

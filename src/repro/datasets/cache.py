@@ -10,6 +10,7 @@ exported datasets.
 
 from __future__ import annotations
 
+import glob as _glob
 from pathlib import Path
 from typing import List, Optional, Union
 
@@ -67,7 +68,11 @@ class DatasetCache:
         if not self.directory.exists():
             return 0
         removed = 0
-        pattern = f"{name.lower() if name else '*'}-seed{seed if seed is not None else '*'}.npz"
+        # Escape user-supplied parts: a name like "x*" or "x[0]" must match
+        # literally, not act as a glob pattern over unrelated entries.
+        name_part = _glob.escape(name.lower()) if name else "*"
+        seed_part = _glob.escape(str(seed)) if seed is not None else "*"
+        pattern = f"{name_part}-seed{seed_part}.npz"
         for path in self.directory.glob(pattern):
             path.unlink()
             removed += 1

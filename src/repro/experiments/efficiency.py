@@ -12,6 +12,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from ..baselines import make_method
 from ..datasets import DATASETS
+from ..linalg import DtypePolicy
 from .runner import ProfiledRun, ResultTable, profile_method, should_run
 
 __all__ = ["run_efficiency", "EFFICIENCY_METHODS"]
@@ -49,6 +50,7 @@ def run_efficiency(
     seed: int = 0,
     budgets: Optional[Dict[str, int]] = None,
     profile: bool = False,
+    dtype_policy: Optional[DtypePolicy] = None,
 ) -> Union[ResultTable, Tuple[ResultTable, Dict[Tuple[str, str], ProfiledRun]]]:
     """Measure training time of each method on each dataset stand-in.
 
@@ -70,6 +72,10 @@ def run_efficiency(
         (stage timings, matvec/GEMM counts, peak memory) keyed by
         ``(method, dataset)`` — the comparative cost report the perf
         trajectory tracking needs.
+    dtype_policy:
+        Optional :class:`~repro.linalg.DtypePolicy` forwarded to the
+        proposed methods' solvers; competitors that do not take the
+        parameter are instantiated without it.
 
     Returns
     -------
@@ -90,7 +96,13 @@ def run_efficiency(
             if not should_run(name, graph, budgets):
                 table.set(name, dataset, None)
                 continue
-            method = make_method(name, dimension=dimension, seed=seed)
+            try:
+                method = make_method(
+                    name, dimension=dimension, seed=seed, dtype_policy=dtype_policy
+                )
+            except TypeError:
+                # Competitors don't take solver configuration.
+                method = make_method(name, dimension=dimension, seed=seed)
             if profile:
                 run = profile_method(method, graph, dataset=dataset)
                 reports[(name, dataset)] = run

@@ -48,13 +48,24 @@ def read_edge_list(
         Lines starting with this prefix are skipped.
     weighted:
         Force the weight interpretation: ``True`` requires a third column,
-        ``False`` ignores it, ``None`` (default) auto-detects per line.
+        ``False`` requires its absence (a weight column under
+        ``weighted=False`` is a format mismatch and raises), ``None``
+        (default) auto-detects per line.
 
     Returns
     -------
     BipartiteGraph
         Node identifiers from the file are kept as labels; indices are
         assigned in first-seen order independently per side.
+
+    Raises
+    ------
+    ValueError
+        On rows with fewer than 2 or more than 3 fields, on a weight
+        column that is absent (``weighted=True``) or present
+        (``weighted=False``) against the caller's declaration, and on
+        non-finite weights (``nan``/``inf`` would silently poison degree
+        normalization downstream).
     """
     edges: List[Tuple[Hashable, Hashable, float]] = []
     with open(path, "r", encoding="utf-8") as handle:
@@ -65,12 +76,25 @@ def read_edge_list(
             parts = line.split(delimiter)
             if len(parts) < 2:
                 raise ValueError(f"{path}:{line_no}: expected at least 2 fields")
+            if len(parts) > 3:
+                raise ValueError(
+                    f"{path}:{line_no}: expected at most 3 fields, got {len(parts)}"
+                )
             if weighted is True and len(parts) < 3:
                 raise ValueError(f"{path}:{line_no}: expected a weight column")
-            if weighted is False or len(parts) == 2:
+            if weighted is False and len(parts) > 2:
+                raise ValueError(
+                    f"{path}:{line_no}: unexpected weight column "
+                    "(file has 3 fields but weighted=False was requested)"
+                )
+            if len(parts) == 2:
                 weight = 1.0
             else:
                 weight = float(parts[2])
+                if not np.isfinite(weight):
+                    raise ValueError(
+                        f"{path}:{line_no}: non-finite weight {parts[2]!r}"
+                    )
             edges.append((parts[0], parts[1], weight))
     return BipartiteGraph.from_edges(edges)
 
@@ -97,8 +121,22 @@ def write_edge_list(
             handle.write(delimiter.join(fields) + "\n")
 
 
+#: Pickle-dependent (object-dtype) members; only present when the graph has
+#: labels, and the only members ever loaded with ``allow_pickle=True``.
+#: Older bundles also carry a stray ``allow_pickle`` member (the flag used
+#: to be passed into ``np.savez_compressed``, which stores every kwarg as an
+#: array); the loader simply ignores members outside this list.
+_LABEL_KEYS = ("u_labels", "v_labels")
+
+
 def save_npz(graph: BipartiteGraph, path: PathLike) -> None:
-    """Save ``graph`` (matrix + labels) to a compressed ``.npz`` bundle."""
+    """Save ``graph`` (matrix + labels) to a compressed ``.npz`` bundle.
+
+    The bundle holds exactly the CSR arrays (``shape``, ``indptr``,
+    ``indices``, ``data``) plus ``u_labels`` / ``v_labels`` when the graph
+    has them.  Label arrays are object-dtype (pickle-dependent); an
+    unlabeled graph round-trips without pickle entirely.
+    """
     w = graph.w
     payload = {
         "shape": np.asarray(w.shape, dtype=np.int64),
@@ -114,7 +152,7 @@ def save_npz(graph: BipartiteGraph, path: PathLike) -> None:
         payload["v_labels"] = np.asarray(
             [json.dumps(label) for label in graph.v_labels], dtype=object
         )
-    np.savez_compressed(path, **payload, allow_pickle=True)
+    np.savez_compressed(path, **payload)
 
 
 def _hashable(label):
@@ -125,20 +163,26 @@ def _hashable(label):
 
 
 def load_npz(path: PathLike) -> BipartiteGraph:
-    """Load a graph previously written by :func:`save_npz`."""
-    with np.load(path, allow_pickle=True) as bundle:
+    """Load a graph previously written by :func:`save_npz`.
+
+    Tolerates the stray ``allow_pickle`` member of bundles written by older
+    versions.  Pickle deserialization is enabled only for the label members
+    (``np.load`` reads bundle members lazily, so the numeric CSR arrays
+    never go through pickle even when labels are present).
+    """
+    with np.load(path, allow_pickle=False) as bundle:
         shape = tuple(bundle["shape"])
         w = sp.csr_matrix(
             (bundle["data"], bundle["indices"], bundle["indptr"]), shape=shape
         )
-        u_labels = (
-            [_hashable(json.loads(s)) for s in bundle["u_labels"]]
-            if "u_labels" in bundle
-            else None
-        )
-        v_labels = (
-            [_hashable(json.loads(s)) for s in bundle["v_labels"]]
-            if "v_labels" in bundle
-            else None
-        )
-    return BipartiteGraph(w, u_labels=u_labels, v_labels=v_labels)
+        label_keys = [key for key in _LABEL_KEYS if key in bundle.files]
+    labels = {}
+    if label_keys:
+        with np.load(path, allow_pickle=True) as bundle:
+            for key in label_keys:
+                labels[key] = [_hashable(json.loads(s)) for s in bundle[key]]
+    return BipartiteGraph(
+        w,
+        u_labels=labels.get("u_labels"),
+        v_labels=labels.get("v_labels"),
+    )

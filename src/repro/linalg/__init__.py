@@ -1,7 +1,15 @@
-"""Linear algebra substrate: matrix-free operators, KSI, randomized SVD."""
+"""Linear algebra substrate: matrix-free operators, KSI, randomized SVD.
 
+The hot-path kernels live in :mod:`repro.linalg.kernels`; how they run
+(dtype, workspace reuse, chunking) is configured by
+:class:`~repro.linalg.policy.DtypePolicy` and threaded through operators and
+solvers via configuration.
+"""
+
+from .kernels import GramKernel, SparseKernel
 from .krylov import EigenResult, subspace_distance, subspace_iteration
-from .ops import MatrixFreeOperator, gram_apply, pmf_weighted_apply
+from .ops import MatrixFreeOperator, ProximityOperator, gram_apply, pmf_weighted_apply
+from .policy import DtypePolicy
 from .qr import is_semi_unitary, random_semi_unitary, thin_qr
 from .randomized_svd import (
     SVDResult,
@@ -11,7 +19,11 @@ from .randomized_svd import (
 )
 
 __all__ = [
+    "DtypePolicy",
+    "SparseKernel",
+    "GramKernel",
     "MatrixFreeOperator",
+    "ProximityOperator",
     "gram_apply",
     "pmf_weighted_apply",
     "thin_qr",

@@ -1,0 +1,257 @@
+"""Workspace-reusing blocked kernels for the ``W (W^T Q)`` hot path.
+
+Every GEBE-family solver spends its time in two products: the Gram apply
+``(W W^T) @ Q`` (expanded as ``W @ (W^T @ Q)``, the paper's re-association
+trick) and its PMF-weighted power series.  The reference implementations in
+:mod:`repro.linalg.ops` allocate fresh ``|U| x k`` and ``|V| x k``
+temporaries on every hop of every iteration; at scale that is thousands of
+multi-megabyte allocations per fit.
+
+This module provides the production kernels:
+
+* :class:`SparseKernel` — in-place ``W @ X`` / ``W^T @ X`` against one fixed
+  CSR matrix, writing into preallocated buffers through scipy's low-level
+  ``csr_matvecs`` / ``csc_matvecs`` routines (the exact routines scipy's own
+  ``@`` dispatches to, so results are bit-identical to the reference path).
+  The transpose product deliberately uses the CSC *scatter* form on ``W``'s
+  own arrays rather than a materialized transpose: the scatter streams the
+  large side sequentially and keeps the small side resident in cache.
+* :class:`GramKernel` — the blocked Gram/PMF applies on top of it, with
+  ping-pong hop buffers, ``out=``-style fused scale-and-add, and
+  column-chunked application for blocks wider than
+  :attr:`DtypePolicy.block_cols`.
+
+Bit-identity with the reference float64 path is a hard invariant (pinned by
+the hypothesis suite): per output element both paths perform the same
+floating-point operations in the same order.  Observability counters are
+likewise identical — the kernels report the same ``count_spmv`` units as the
+reference implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..obs import active as _obs_active
+from .policy import DtypePolicy
+
+try:  # scipy's low-level in-place routines (present in all supported scipys)
+    from scipy.sparse import _sparsetools
+
+    _HAVE_SPARSETOOLS = hasattr(_sparsetools, "csr_matvecs") and hasattr(
+        _sparsetools, "csc_matvecs"
+    )
+except ImportError:  # pragma: no cover - defensive; scipy always ships it
+    _sparsetools = None
+    _HAVE_SPARSETOOLS = False
+
+__all__ = ["SparseKernel", "GramKernel"]
+
+
+class SparseKernel:
+    """In-place ``W @ X`` and ``W^T @ X`` for one fixed sparse matrix.
+
+    Parameters
+    ----------
+    w:
+        The sparse matrix, converted to CSR in the policy's compute dtype
+        (shared storage when the input already matches).
+    policy:
+        The :class:`DtypePolicy`; ``None`` means the default policy.
+
+    Notes
+    -----
+    The kernel does **not** report to the observability layer — callers own
+    the operation accounting, mirroring how the reference implementations
+    count at the semantic (Gram apply / operator apply) level.
+
+    With ``reuse=True`` the result lives in an internal buffer that is
+    overwritten by the next call on the same kernel; callers must consume it
+    before issuing another product.
+    """
+
+    def __init__(self, w: sp.spmatrix, policy: Optional[DtypePolicy] = None):
+        self.policy = policy if policy is not None else DtypePolicy()
+        self.dtype = self.policy.compute_dtype
+        self.w = sp.csr_matrix(w, dtype=self.dtype)
+        self._flat: Dict[str, np.ndarray] = {}
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.w.shape
+
+    # ------------------------------------------------------------------
+    # Buffer management
+    # ------------------------------------------------------------------
+    def _buf(self, name: str, rows: int, cols: int) -> np.ndarray:
+        """A C-contiguous ``rows x cols`` view of a grow-only flat buffer."""
+        needed = rows * cols
+        flat = self._flat.get(name)
+        if flat is None or flat.size < needed:
+            flat = np.empty(needed, dtype=self.dtype)
+            self._flat[name] = flat
+            _obs_active().note_array(flat.nbytes)
+        return flat[:needed].reshape(rows, cols)
+
+    def workspace_bytes(self) -> int:
+        """Total bytes currently held in reusable buffers."""
+        return sum(flat.nbytes for flat in self._flat.values())
+
+    def _as_input(self, block: np.ndarray, name: str) -> np.ndarray:
+        """``block`` as a C-contiguous array of the compute dtype."""
+        block = np.asarray(block)
+        if block.dtype == self.dtype and block.flags.c_contiguous:
+            return block
+        staged = self._buf(name, block.shape[0], block.shape[1])
+        staged[...] = block
+        return staged
+
+    # ------------------------------------------------------------------
+    # Products
+    # ------------------------------------------------------------------
+    def matmul(self, block: np.ndarray, *, reuse: bool = False) -> np.ndarray:
+        """``W @ block`` for a dense ``|V| x c`` block."""
+        w = self.w
+        block = np.asarray(block)
+        if block.ndim == 1:
+            return self.matmul(block.reshape(-1, 1), reuse=reuse)[:, 0]
+        if not _HAVE_SPARSETOOLS:  # pragma: no cover - exercised via fallback test
+            out = w @ block.astype(self.dtype, copy=False)
+            return np.asarray(out)
+        x = self._as_input(block, "in_v")
+        m, n = w.shape
+        cols = x.shape[1]
+        out = self._buf("out_u", m, cols) if reuse else np.empty((m, cols), self.dtype)
+        out.fill(0.0)
+        _sparsetools.csr_matvecs(
+            m, n, cols, w.indptr, w.indices, w.data, x.ravel(), out.ravel()
+        )
+        return out
+
+    def t_matmul(self, block: np.ndarray, *, reuse: bool = False) -> np.ndarray:
+        """``W.T @ block`` for a dense ``|U| x c`` block (CSC scatter)."""
+        w = self.w
+        block = np.asarray(block)
+        if block.ndim == 1:
+            return self.t_matmul(block.reshape(-1, 1), reuse=reuse)[:, 0]
+        if not _HAVE_SPARSETOOLS:  # pragma: no cover - exercised via fallback test
+            out = w.T @ block.astype(self.dtype, copy=False)
+            return np.asarray(out)
+        x = self._as_input(block, "in_u")
+        m, n = w.shape
+        cols = x.shape[1]
+        out = self._buf("out_v", n, cols) if reuse else np.empty((n, cols), self.dtype)
+        out.fill(0.0)
+        # W.T viewed as an n x m CSC matrix shares W's CSR arrays verbatim;
+        # csc_matvecs is the routine scipy's own `w.T @ block` dispatches to.
+        _sparsetools.csc_matvecs(
+            n, m, cols, w.indptr, w.indices, w.data, x.ravel(), out.ravel()
+        )
+        return out
+
+
+class GramKernel:
+    """Workspace-reusing blocked Gram and PMF-series applies.
+
+    Implements the two hot operations of Algorithms 1 and 2 against
+    preallocated ping-pong buffers:
+
+    * :meth:`gram_apply` — ``(W W^T) @ block``
+    * :meth:`pmf_apply` — ``sum_l weights[l] (W W^T)^l @ block``
+
+    Blocks wider than ``policy.block_cols`` are processed in column chunks so
+    workspace memory stays bounded by ``O((|U| + |V|) * block_cols)`` no
+    matter how large ``k`` grows.  Results are freshly allocated (they are
+    the operator API's return values); every intermediate is reused.
+    """
+
+    def __init__(self, w: sp.spmatrix, policy: Optional[DtypePolicy] = None):
+        self.policy = policy if policy is not None else DtypePolicy()
+        self.kernel = SparseKernel(w, self.policy)
+        self.dtype = self.kernel.dtype
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.kernel.shape
+
+    def workspace_bytes(self) -> int:
+        """Total bytes currently held in reusable buffers."""
+        return self.kernel.workspace_bytes()
+
+    def _chunks(self, cols: int):
+        width = self.policy.block_cols
+        for lo in range(0, cols, width):
+            yield lo, min(cols, lo + width)
+
+    def gram_apply(self, block: np.ndarray) -> np.ndarray:
+        """``(W @ W.T) @ block``, column-chunked, workspace-reusing."""
+        block = np.asarray(block)
+        squeeze = block.ndim == 1
+        if squeeze:
+            block = block.reshape(-1, 1)
+        m = self.kernel.shape[0]
+        out = np.empty((m, block.shape[1]), dtype=self.dtype)
+        nnz = self.kernel.w.nnz
+        for lo, hi in self._chunks(block.shape[1]):
+            _obs_active().count_spmv(nnz, 2 * (hi - lo))
+            v = self.kernel.t_matmul(block[:, lo:hi], reuse=True)
+            out[:, lo:hi] = self.kernel.matmul(v, reuse=True)
+        return out[:, 0] if squeeze else out
+
+    def pmf_apply(self, block: np.ndarray, weights: Sequence[float]) -> np.ndarray:
+        """``H @ block`` with ``H = sum_l weights[l] (W W^T)^l``.
+
+        Bit-identical to :func:`repro.linalg.ops.pmf_weighted_apply` in
+        float64 — per element, the same multiply/add sequence in the same
+        order — while reusing one set of hop buffers across all ``tau``
+        hops (and, through the owning operator, across solver iterations).
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        block = np.asarray(block)
+        squeeze = block.ndim == 1
+        if squeeze:
+            block = block.reshape(-1, 1)
+        m = self.kernel.shape[0]
+        cols = block.shape[1]
+        collector = _obs_active()
+        acc = np.empty((m, cols), dtype=self.dtype)
+        collector.note_array(acc.nbytes)
+        nnz = self.kernel.w.nnz
+        for lo, hi in self._chunks(cols):
+            c = hi - lo
+            acc_view = acc[:, lo:hi]
+            cur = self.kernel._buf("hop_a", m, c)
+            cur[...] = block[:, lo:hi]
+            np.multiply(cur, weights[0], out=acc_view)
+            scratch = self.kernel._buf("hop_scratch", m, c)
+            use_b = True
+            for omega_ell in weights[1:]:
+                collector.count_spmv(nnz, 2 * c)
+                v = self.kernel.t_matmul(cur, reuse=True)
+                nxt = self.kernel._buf("hop_b" if use_b else "hop_a", m, c)
+                nxt.fill(0.0)
+                if _HAVE_SPARSETOOLS:
+                    w = self.kernel.w
+                    _sparsetools.csr_matvecs(
+                        m,
+                        w.shape[1],
+                        c,
+                        w.indptr,
+                        w.indices,
+                        w.data,
+                        v.ravel(),
+                        nxt.ravel(),
+                    )
+                else:  # pragma: no cover - exercised via fallback test
+                    nxt[...] = self.kernel.w @ v
+                # Same two-step rounding as the reference `acc += omega * q`.
+                np.multiply(nxt, omega_ell, out=scratch)
+                np.add(acc_view, scratch, out=acc_view)
+                cur = nxt
+                use_b = not use_b
+        return acc[:, 0] if squeeze else acc

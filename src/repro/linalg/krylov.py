@@ -21,6 +21,7 @@ import numpy as np
 
 from ..obs import active as _obs_active
 from .ops import MatrixFreeOperator
+from .policy import DtypePolicy
 from .qr import random_semi_unitary, thin_qr
 
 __all__ = ["EigenResult", "subspace_iteration", "subspace_distance"]
@@ -89,6 +90,7 @@ def subspace_iteration(
     tolerance: float = 1e-8,
     rng: Optional[np.random.Generator] = None,
     initial: Optional[np.ndarray] = None,
+    policy: Optional[DtypePolicy] = None,
 ) -> EigenResult:
     """Approximate the top-k eigenpairs of a symmetric PSD operator.
 
@@ -110,6 +112,12 @@ def subspace_iteration(
         Random generator used for the semi-unitary start (Line 1).
     initial:
         Optional explicit ``n x k`` semi-unitary start, overriding ``rng``.
+    policy:
+        Optional :class:`~repro.linalg.policy.DtypePolicy`.  The iterate is
+        kept in the policy's compute dtype between applies, while the QR
+        re-orthonormalization (:func:`thin_qr`) always accumulates in
+        float64 and the returned eigenpairs are float64.  ``None`` (or the
+        default float64 policy) reproduces the reference arithmetic exactly.
 
     Returns
     -------
@@ -129,20 +137,25 @@ def subspace_iteration(
     else:
         z = random_semi_unitary(n, k, rng=rng)
 
+    compute_dtype = np.float64 if policy is None else policy.compute_dtype
     collector = _obs_active()
     r = np.zeros((k, k))
     iterations = 0
     converged = False
+    z_compute = z.astype(compute_dtype, copy=False)
     with collector.stage("ksi"):
         for iterations in range(1, max_iterations + 1):
             with collector.stage("iterate"):
-                q = apply_h(z)
+                q = apply_h(z_compute)
+                # thin_qr always orthonormalizes in float64 — this is the
+                # policy's accumulation step for float32 compute.
                 z_new, r = thin_qr(q)
             if subspace_distance(z_new, z) < tolerance:
                 z = z_new
                 converged = True
                 break
             z = z_new
+            z_compute = z.astype(compute_dtype, copy=False)
 
     # Algorithm 1 Lines 8-10: the R diagonal holds the Ritz values.  Re-sort
     # defensively — QR does not guarantee ordering when eigenvalues are

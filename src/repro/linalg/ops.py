@@ -5,16 +5,27 @@ needs products ``H @ Z`` against tall-skinny blocks.  The operators here
 implement those products with the re-association trick from Algorithm 1:
 ``(W W^T) Q`` is evaluated as ``W @ (W.T @ Q)`` which costs ``O(|E| k)``
 instead of ``O(|U|^2 k)``.
+
+Two implementations sit behind the same operator API, selected by the
+:class:`~repro.linalg.policy.DtypePolicy` configured on the operator:
+
+* the module-level :func:`gram_apply` / :func:`pmf_weighted_apply` — the
+  allocation-per-call *reference* path (also the legacy A/B baseline for the
+  benchmark harness);
+* the workspace-reusing blocked kernels of
+  :mod:`repro.linalg.kernels` — the default, bit-identical in float64.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..obs import active as _obs_active
+from .kernels import GramKernel, SparseKernel
+from .policy import DtypePolicy
 
 __all__ = [
     "gram_apply",
@@ -24,8 +35,14 @@ __all__ = [
 ]
 
 
-def gram_apply(w: sp.spmatrix, block: np.ndarray) -> np.ndarray:
+def gram_apply(
+    w: sp.spmatrix, block: np.ndarray, dtype: np.dtype = np.float64
+) -> np.ndarray:
     """Compute ``(W @ W.T) @ block`` without forming ``W @ W.T``.
+
+    This is the reference (allocation-per-call) implementation; solvers go
+    through :class:`MatrixFreeOperator`, which defaults to the
+    workspace-reusing kernels of :mod:`repro.linalg.kernels`.
 
     Parameters
     ----------
@@ -33,6 +50,8 @@ def gram_apply(w: sp.spmatrix, block: np.ndarray) -> np.ndarray:
         Sparse ``|U| x |V|`` weight matrix.
     block:
         Dense ``|U| x k`` block.
+    dtype:
+        Compute dtype (float64 default; float32 for the fast policy).
     """
     cols = block.shape[1] if block.ndim == 2 else 1
     _obs_active().count_spmv(w.nnz, 2 * cols)  # W.T @ block, then W @ (...)
@@ -40,7 +59,10 @@ def gram_apply(w: sp.spmatrix, block: np.ndarray) -> np.ndarray:
 
 
 def pmf_weighted_apply(
-    w: sp.spmatrix, block: np.ndarray, weights: Sequence[float]
+    w: sp.spmatrix,
+    block: np.ndarray,
+    weights: Sequence[float],
+    dtype: np.dtype = np.float64,
 ) -> np.ndarray:
     """Compute ``H @ block`` where ``H = sum_l weights[l] * (W W^T)^l``.
 
@@ -49,12 +71,13 @@ def pmf_weighted_apply(
     ``Q = sum_l weights[l] * Q_l``.  ``weights[l]`` is ``omega(l)`` for the
     chosen PMF truncated at ``tau = len(weights) - 1``.
 
-    Time: ``O(tau * |E| * k)``.  Space: two extra ``|U| x k`` blocks.
+    Reference implementation — allocates two fresh ``|U| x k`` blocks per
+    hop.  Time: ``O(tau * |E| * k)``.
     """
     weights = np.asarray(weights, dtype=np.float64)
     if weights.ndim != 1 or weights.size == 0:
         raise ValueError("weights must be a non-empty 1-D sequence")
-    q_ell = np.array(block, dtype=np.float64, copy=True)
+    q_ell = np.array(block, dtype=dtype, copy=True)
     _obs_active().note_array(q_ell.nbytes)
     acc = weights[0] * q_ell
     for omega_ell in weights[1:]:
@@ -66,31 +89,66 @@ def pmf_weighted_apply(
 class MatrixFreeOperator:
     """A symmetric PSD operator ``x -> H x`` defined by ``W`` and PMF weights.
 
-    Wraps :func:`pmf_weighted_apply` with a fixed ``W`` and weight vector so
-    it can be handed to the Krylov eigensolver.  The operator represents
+    Wraps the PMF-weighted Gram series with a fixed ``W`` and weight vector
+    so it can be handed to the Krylov eigensolver.  The operator represents
     ``H = sum_{l=0}^{tau} omega(l) (W W^T)^l`` (paper Eq. 3) restricted to the
     first ``tau + 1`` terms.
+
+    Parameters
+    ----------
+    w:
+        Sparse ``|U| x |V|`` weight matrix.
+    weights:
+        PMF weights ``omega(0..tau)``.
+    policy:
+        The :class:`~repro.linalg.policy.DtypePolicy` governing dtype and
+        kernel selection; ``None`` means the default policy (float64,
+        workspace-reusing kernels, bit-identical to the reference path).
     """
 
-    def __init__(self, w: sp.spmatrix, weights: Sequence[float]):
+    def __init__(
+        self,
+        w: sp.spmatrix,
+        weights: Sequence[float],
+        *,
+        policy: Optional[DtypePolicy] = None,
+    ):
+        self.policy = policy if policy is not None else DtypePolicy()
         self.w = sp.csr_matrix(w, dtype=np.float64)
         self.weights = np.asarray(weights, dtype=np.float64)
         if self.weights.ndim != 1 or self.weights.size == 0:
             raise ValueError("weights must be a non-empty 1-D sequence")
+        self._kernel: Optional[GramKernel] = None
+        # The compute-dtype view of W used by the reference path; shares
+        # storage with self.w for the default float64 policy.
+        if self.policy.is_exact:
+            self._w_compute = self.w
+        else:
+            self._w_compute = self.w.astype(self.policy.compute_dtype)
 
     @property
     def shape(self) -> tuple:
         n = self.w.shape[0]
         return (n, n)
 
+    def _gram_kernel(self) -> GramKernel:
+        if self._kernel is None:
+            # Share the compute-dtype CSR storage with the reference path.
+            self._kernel = GramKernel(self._w_compute, self.policy)
+        return self._kernel
+
     def matmat(self, block: np.ndarray) -> np.ndarray:
         """Apply the operator to a dense ``|U| x k`` block."""
-        block = np.atleast_2d(np.asarray(block, dtype=np.float64))
+        block = np.atleast_2d(np.asarray(block, dtype=self.policy.compute_dtype))
         if block.shape[0] != self.w.shape[0]:
             raise ValueError(
                 f"block has {block.shape[0]} rows, operator expects {self.w.shape[0]}"
             )
-        return pmf_weighted_apply(self.w, block, self.weights)
+        if self.policy.workspace:
+            return self._gram_kernel().pmf_apply(block, self.weights)
+        return pmf_weighted_apply(
+            self._w_compute, block, self.weights, dtype=self.policy.compute_dtype
+        )
 
     def matvec(self, vector: np.ndarray) -> np.ndarray:
         """Apply the operator to a single vector."""
@@ -120,19 +178,42 @@ class ProximityOperator:
     # trying to treat the operator as a 0-d array.
     __array_ufunc__ = None
 
-    def __init__(self, w: sp.spmatrix, weights: Sequence[float]):
-        self._h = MatrixFreeOperator(w, weights)
+    def __init__(
+        self,
+        w: sp.spmatrix,
+        weights: Sequence[float],
+        *,
+        policy: Optional[DtypePolicy] = None,
+    ):
+        self._h = MatrixFreeOperator(w, weights, policy=policy)
         self._w = self._h.w
+        self._policy = self._h.policy
+        self._sparse_kernel: Optional[SparseKernel] = None
 
     @property
     def shape(self) -> tuple:
         return self._w.shape
 
+    @property
+    def policy(self) -> DtypePolicy:
+        return self._policy
+
+    def _w_kernel(self) -> SparseKernel:
+        if self._sparse_kernel is None:
+            self._sparse_kernel = SparseKernel(self._h._w_compute, self._policy)
+        return self._sparse_kernel
+
     def __matmul__(self, block: np.ndarray) -> np.ndarray:
         block = np.asarray(block)
         cols = block.shape[1] if block.ndim == 2 else 1
         _obs_active().count_spmv(self._w.nnz, cols)
-        return self._h.matmat(np.asarray(self._w @ block))
+        if self._policy.workspace:
+            # The intermediate W @ x goes straight into a reused buffer; the
+            # H-apply copies it into its own workspace immediately.
+            wx = self._w_kernel().matmul(block, reuse=True)
+        else:
+            wx = np.asarray(self._w @ block)
+        return self._h.matmat(wx)
 
     def __rmatmul__(self, block: np.ndarray) -> np.ndarray:
         # block @ P  ==  (P.T @ block.T).T; needed for the Rayleigh-Ritz
@@ -162,5 +243,10 @@ class _TransposedProximity:
     def __matmul__(self, block: np.ndarray) -> np.ndarray:
         block = np.asarray(block)
         cols = block.shape[1] if block.ndim == 2 else 1
-        _obs_active().count_spmv(self._parent._w.nnz, cols)
-        return self._parent._w.T @ self._parent._h.matmat(block)
+        parent = self._parent
+        _obs_active().count_spmv(parent._w.nnz, cols)
+        hy = parent._h.matmat(block)
+        if parent._policy.workspace:
+            # Fresh output (reuse=False): this is a public API return value.
+            return parent._w_kernel().t_matmul(hy, reuse=False)
+        return parent._w.T @ hy

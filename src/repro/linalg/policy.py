@@ -1,0 +1,113 @@
+"""Dtype and workspace policy for the linear-algebra hot path.
+
+Every solver in the library funnels its floating-point work through the
+blocked kernels in :mod:`repro.linalg.kernels`.  :class:`DtypePolicy` is the
+single configuration object that decides how those kernels run:
+
+* ``compute`` — the dtype of the blocked ``W (W^T Q)`` applies.  The default
+  ``"float64"`` reproduces the paper's arithmetic exactly; ``"float32"``
+  halves the memory traffic of the memory-bound sparse products (the usual
+  win on large graphs) at the cost of ~7 decimal digits.
+* ``accumulate`` — the dtype of the numerically sensitive reductions
+  (QR re-orthonormalization, Rayleigh-Ritz projections).  Fixed to
+  ``"float64"`` so a float32 compute policy still orthonormalizes and
+  extracts Ritz values in full precision.
+* ``workspace`` — whether operators reuse preallocated ping-pong buffers and
+  in-place sparse products instead of allocating fresh temporaries on every
+  hop.  The workspace path is bit-identical to the allocation-heavy path in
+  float64 (pinned by the property suite); the flag exists as the A/B lever
+  for the benchmark harness.
+* ``block_cols`` — column-chunk width for very wide blocks, bounding
+  workspace memory at ``O((|U| + |V|) * block_cols)``.
+
+The policy is threaded through :class:`~repro.linalg.ops.MatrixFreeOperator`,
+:class:`~repro.linalg.ops.ProximityOperator`, the Krylov eigensolver, and the
+randomized SVD via solver configuration — not per-call flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["DtypePolicy"]
+
+_COMPUTE_DTYPES = ("float32", "float64")
+
+
+@dataclass(frozen=True)
+class DtypePolicy:
+    """How the linalg substrate runs: dtypes, workspaces, chunking.
+
+    Attributes
+    ----------
+    compute:
+        Dtype of the blocked sparse applies: ``"float64"`` (default, exact
+        reproduction) or ``"float32"`` (opt-in fast path).
+    accumulate:
+        Dtype of QR / Rayleigh-Ritz reductions; must be ``"float64"``.
+    workspace:
+        Reuse preallocated buffers with in-place sparse products (default).
+        ``False`` selects the allocation-per-call reference path.
+    block_cols:
+        Column-chunk width for blocks wider than this; bounds workspace
+        memory for very large ``k``.
+    """
+
+    compute: str = "float64"
+    accumulate: str = "float64"
+    workspace: bool = True
+    block_cols: int = 256
+
+    def __post_init__(self) -> None:
+        if self.compute not in _COMPUTE_DTYPES:
+            raise ValueError(
+                f"compute dtype must be one of {_COMPUTE_DTYPES}, got {self.compute!r}"
+            )
+        if self.accumulate != "float64":
+            raise ValueError(
+                "accumulate dtype must be 'float64' (QR/Rayleigh-Ritz steps "
+                "always run in full precision)"
+            )
+        if self.block_cols < 1:
+            raise ValueError("block_cols must be positive")
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """The compute dtype as a numpy dtype object."""
+        return np.dtype(self.compute)
+
+    @property
+    def accumulate_dtype(self) -> np.dtype:
+        """The accumulation dtype as a numpy dtype object."""
+        return np.dtype(self.accumulate)
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the compute dtype matches the float64 reference path."""
+        return self.compute == "float64"
+
+    def with_workspace(self, workspace: bool) -> "DtypePolicy":
+        """A copy of this policy with the workspace flag replaced."""
+        return replace(self, workspace=workspace)
+
+    @classmethod
+    def default(cls) -> "DtypePolicy":
+        """Float64 compute with workspace-reusing kernels (the default)."""
+        return cls()
+
+    @classmethod
+    def float32(cls) -> "DtypePolicy":
+        """Float32 compute, float64 accumulation, workspace kernels."""
+        return cls(compute="float32")
+
+    @classmethod
+    def legacy(cls) -> "DtypePolicy":
+        """Float64 compute on the allocation-per-call reference path."""
+        return cls(workspace=False)
+
+    def describe(self) -> str:
+        """A short slug for reports, e.g. ``"float64/workspace"``."""
+        kernel = "workspace" if self.workspace else "legacy"
+        return f"{self.compute}/{kernel}"

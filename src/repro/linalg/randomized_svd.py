@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..obs import active as _obs_active
+from .kernels import SparseKernel
+from .policy import DtypePolicy
 from .qr import thin_qr
 
 __all__ = ["SVDResult", "randomized_svd", "krylov_iteration_count", "exact_svd"]
@@ -48,6 +50,48 @@ def _count_apply(matrix: MatrixLike, cols: int) -> None:
         _obs_active().count_spmv(matrix.nnz, cols)
     elif isinstance(matrix, np.ndarray):
         _obs_active().count_gemm(matrix.shape[0], matrix.shape[1], cols)
+
+
+Applier = Callable[[np.ndarray], np.ndarray]
+
+
+def _make_appliers(
+    matrix: MatrixLike, policy: DtypePolicy
+) -> Tuple[Applier, Applier]:
+    """``(apply, apply_t)`` closures computing ``A @ B`` and ``A.T @ B``.
+
+    Sparse matrices route through the workspace-reusing
+    :class:`~repro.linalg.kernels.SparseKernel` when the policy enables it
+    (bit-identical to scipy's ``@`` in float64); dense arrays and
+    matrix-free operators (e.g. :class:`~repro.linalg.ops.ProximityOperator`)
+    keep the generic ``matrix @ block`` path.  Both closures own the obs
+    accounting at the same per-apply granularity as before.
+    """
+    if sp.issparse(matrix) and policy.workspace:
+        kernel = SparseKernel(matrix, policy)
+        matrix_t = matrix.T  # only consulted by _count_apply (for .nnz)
+
+        def apply(block: np.ndarray) -> np.ndarray:
+            _count_apply(matrix, block.shape[1])
+            # reuse=True is safe: every product is consumed (copied) by the
+            # immediately following thin_qr before the next product runs.
+            return kernel.matmul(block, reuse=True)
+
+        def apply_t(block: np.ndarray) -> np.ndarray:
+            _count_apply(matrix_t, block.shape[1])
+            return kernel.t_matmul(block, reuse=True)
+
+    else:
+
+        def apply(block: np.ndarray) -> np.ndarray:
+            _count_apply(matrix, block.shape[1])
+            return np.asarray(matrix @ block)
+
+        def apply_t(block: np.ndarray) -> np.ndarray:
+            _count_apply(matrix.T, block.shape[1])
+            return np.asarray(matrix.T @ block)
+
+    return apply, apply_t
 
 
 @dataclass(frozen=True)
@@ -115,6 +159,7 @@ def randomized_svd(
     iterations: Optional[int] = None,
     strategy: str = "power",
     rng: Optional[np.random.Generator] = None,
+    policy: Optional[DtypePolicy] = None,
 ) -> SVDResult:
     """Approximate the top-``k`` singular triplets of ``matrix``.
 
@@ -137,6 +182,12 @@ def randomized_svd(
         ``"block_krylov"`` (the Musco-Musco method the paper cites).
     rng:
         Random generator for the Gaussian start block.
+    policy:
+        Optional :class:`~repro.linalg.policy.DtypePolicy` selecting the
+        compute dtype and workspace kernels for sparse inputs (``None``
+        means the default float64 workspace policy, bit-identical to the
+        reference path).  The Rayleigh-Ritz projection and all QR steps
+        accumulate in float64 regardless.
 
     Returns
     -------
@@ -150,6 +201,8 @@ def randomized_svd(
     if strategy not in ("block_krylov", "power"):
         raise ValueError(f"unknown strategy: {strategy!r}")
     rng = np.random.default_rng() if rng is None else rng
+    policy = policy if policy is not None else DtypePolicy()
+    apply, apply_t = _make_appliers(matrix, policy)
 
     block_size = min(k + n_oversamples, min(m, n))
     q = (
@@ -164,12 +217,14 @@ def randomized_svd(
         collector.note_array(omega.nbytes)
         if strategy == "block_krylov":
             with collector.stage("block_krylov"):
-                basis = _block_krylov_basis(matrix, omega, q)
+                basis = _block_krylov_basis(apply, apply_t, omega, q)
         else:
             with collector.stage("power_iter"):
-                basis = _power_iteration_basis(matrix, omega, q)
+                basis = _power_iteration_basis(apply, apply_t, omega, q)
 
         # Rayleigh-Ritz: project onto the basis, solve the small dense SVD.
+        # Always against the original (float64) matrix — this is the
+        # policy's float64-accumulation step.
         with collector.stage("rayleigh_ritz"):
             _count_apply(matrix, basis.shape[1])
             projected = basis.T @ matrix  # c x n, dense
@@ -182,7 +237,9 @@ def randomized_svd(
     return SVDResult(u=u[:, :k], s=s[:k], vt=vt[:k])
 
 
-def _block_krylov_basis(matrix: MatrixLike, omega: np.ndarray, q: int) -> np.ndarray:
+def _block_krylov_basis(
+    apply: Applier, apply_t: Applier, omega: np.ndarray, q: int
+) -> np.ndarray:
     """Orthonormal basis of the block Krylov space of ``A A^T`` applied to ``A G``.
 
     Each block is orthonormalized before the next multiplication to keep the
@@ -190,15 +247,11 @@ def _block_krylov_basis(matrix: MatrixLike, omega: np.ndarray, q: int) -> np.nda
     (numerical re-orthogonalization, standard for block Lanczos-style
     methods).
     """
-    cols = omega.shape[1]
-    _count_apply(matrix, cols)
-    block = matrix @ omega  # m x b
+    block = apply(omega)  # m x b
     block, _ = thin_qr(np.asarray(block))
     blocks = [block]
     for _ in range(q):
-        _count_apply(matrix.T, cols)
-        _count_apply(matrix, cols)
-        block = matrix @ (matrix.T @ block)
+        block = apply(apply_t(block))
         block, _ = thin_qr(np.asarray(block))
         blocks.append(block)
     krylov = np.hstack(blocks)
@@ -206,17 +259,15 @@ def _block_krylov_basis(matrix: MatrixLike, omega: np.ndarray, q: int) -> np.nda
     return basis
 
 
-def _power_iteration_basis(matrix: MatrixLike, omega: np.ndarray, q: int) -> np.ndarray:
+def _power_iteration_basis(
+    apply: Applier, apply_t: Applier, omega: np.ndarray, q: int
+) -> np.ndarray:
     """Orthonormal basis from randomized subspace (power) iteration."""
-    cols = omega.shape[1]
-    _count_apply(matrix, cols)
-    block = matrix @ omega
+    block = apply(omega)
     block, _ = thin_qr(np.asarray(block))
     for _ in range(q):
-        _count_apply(matrix.T, cols)
-        block = matrix.T @ block
+        block = apply_t(block)
         block, _ = thin_qr(np.asarray(block))
-        _count_apply(matrix, cols)
-        block = matrix @ block
+        block = apply(block)
         block, _ = thin_qr(np.asarray(block))
     return block

@@ -116,3 +116,18 @@ class TestDatasetCache:
     def test_invalidate_empty_dir(self, tmp_path):
         cache = DatasetCache(tmp_path / "missing")
         assert cache.invalidate() == 0
+
+    def test_invalidate_escapes_glob_metacharacters(self, tmp_path):
+        # Regression: invalidate("x*") used to glob-expand the name and
+        # delete unrelated entries.
+        directory = tmp_path / "zoo"
+        directory.mkdir()
+        (directory / "x-seed0.npz").touch()
+        (directory / "xy-seed0.npz").touch()
+        cache = DatasetCache(directory)
+        assert cache.invalidate("x*") == 0
+        assert cache.invalidate("x?") == 0
+        assert cache.invalidate("[xy]") == 0
+        assert cache.entries() == ["x-seed0.npz", "xy-seed0.npz"]
+        assert cache.invalidate("x") == 1
+        assert cache.entries() == ["xy-seed0.npz"]

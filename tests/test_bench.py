@@ -1,0 +1,157 @@
+"""Tests for the benchmark harness and the BENCH_*.json schema."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_NAME,
+    BENCH_SCHEMA_VERSION,
+    BenchConfig,
+    render_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    return run_bench(BenchConfig.smoke())
+
+
+class TestBenchConfig:
+    def test_defaults_cover_two_zoo_datasets(self):
+        config = BenchConfig()
+        assert len(config.datasets) >= 2
+        assert "GEBE^p" in config.methods
+        assert any(name.startswith("GEBE (") for name in config.methods)
+
+    def test_policy_grid(self):
+        policies = [p.describe() for p in BenchConfig().policies()]
+        assert policies == ["float64/workspace", "float64/legacy", "float32/workspace"]
+        lean = BenchConfig(ab_compare=False, float32=False).policies()
+        assert [p.describe() for p in lean] == ["float64/workspace"]
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            run_bench(BenchConfig(datasets=("nope",), repeats=1))
+
+
+class TestRunBench:
+    def test_smoke_document_validates(self, smoke_payload):
+        assert smoke_payload["schema"] == BENCH_SCHEMA_NAME
+        assert smoke_payload["version"] == BENCH_SCHEMA_VERSION
+        validate_bench(smoke_payload)
+
+    def test_covers_grid(self, smoke_payload):
+        config = BenchConfig.smoke()
+        per_cell = len(config.policies())
+        assert len(smoke_payload["runs"]) == (
+            len(config.datasets) * len(config.methods) * per_cell
+        )
+
+    def test_matvec_counts_identical_across_kernel_paths(self, smoke_payload):
+        assert smoke_payload["comparisons"], "A/B comparisons missing"
+        for row in smoke_payload["comparisons"]:
+            assert row["matvecs_equal"], (
+                f"{row['method']}/{row['dataset']}: matvec counts diverged "
+                "between workspace and legacy kernels"
+            )
+
+    def test_comparisons_cover_every_new_kernel_policy(self, smoke_payload):
+        # Both the float64 workspace default and the float32 row are
+        # A/B'd against the legacy baseline, per (method, dataset) cell.
+        candidates = {row["candidate_policy"] for row in smoke_payload["comparisons"]}
+        assert candidates == {"float64/workspace", "float32/workspace"}
+        config = BenchConfig.smoke()
+        cells = len(config.datasets) * len(config.methods)
+        assert len(smoke_payload["comparisons"]) == cells * len(candidates)
+        assert all(
+            row["baseline_policy"] == "float64/legacy"
+            for row in smoke_payload["comparisons"]
+        )
+
+    def test_float32_rows_present(self, smoke_payload):
+        policies = {run["policy"] for run in smoke_payload["runs"]}
+        assert "float32/workspace" in policies
+
+    def test_json_round_trip(self, smoke_payload, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_bench(smoke_payload, str(path))
+        validate_bench(json.loads(path.read_text()))
+
+    def test_render_mentions_every_run(self, smoke_payload):
+        text = render_bench(smoke_payload)
+        assert "GEBE^p" in text
+        assert "workspace vs legacy" in text
+
+
+class TestBenchSchemaValidation:
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="top level"):
+            validate_bench([])
+
+    def test_rejects_wrong_schema_name(self, smoke_payload):
+        bad = dict(smoke_payload, schema="other")
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench(bad)
+
+    def test_rejects_wrong_version(self, smoke_payload):
+        bad = dict(smoke_payload, version=99)
+        with pytest.raises(ValueError, match="version"):
+            validate_bench(bad)
+
+    def test_rejects_empty_runs(self, smoke_payload):
+        bad = dict(smoke_payload, runs=[])
+        with pytest.raises(ValueError, match="runs"):
+            validate_bench(bad)
+
+    def test_rejects_missing_run_key(self, smoke_payload):
+        runs = [dict(smoke_payload["runs"][0])]
+        del runs[0]["matvecs"]
+        bad = dict(smoke_payload, runs=runs)
+        with pytest.raises(ValueError, match="matvecs"):
+            validate_bench(bad)
+
+    def test_rejects_negative_wall(self, smoke_payload):
+        runs = [dict(smoke_payload["runs"][0], wall_seconds=-1.0)]
+        bad = dict(smoke_payload, runs=runs)
+        with pytest.raises(ValueError, match="wall_seconds"):
+            validate_bench(bad)
+
+    def test_rejects_bool_as_int(self, smoke_payload):
+        runs = [dict(smoke_payload["runs"][0], matvecs=True)]
+        bad = dict(smoke_payload, runs=runs)
+        with pytest.raises(ValueError, match="matvecs"):
+            validate_bench(bad)
+
+
+class TestBenchCli:
+    def test_smoke_writes_valid_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_cli.json"
+        code = main(["bench", "--smoke", "--output", str(out)])
+        assert code == 0
+        validate_bench(json.loads(out.read_text()))
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out
+
+    def test_overrides_apply(self, tmp_path):
+        out = tmp_path / "BENCH_cli.json"
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--no-float32",
+                "--repeats",
+                "1",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["config"]["float32"] is False
+        policies = {run["policy"] for run in payload["runs"]}
+        assert "float32/workspace" not in policies

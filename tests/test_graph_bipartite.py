@@ -26,10 +26,16 @@ class TestConstruction:
         assert graph.weight(0, 0) == 3.0
 
     def test_explicit_zeros_eliminated(self):
-        w = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
-        w[0, 0] = 0.0
+        # CSR with an explicitly *stored* zero at (0, 0), built directly so
+        # no pattern-changing assignment (and no SparseEfficiencyWarning,
+        # which the pytest config escalates to an error) is involved.
+        w = sp.csr_matrix(
+            (np.array([0.0, 1.0]), np.array([0, 1]), np.array([0, 2, 2])),
+            shape=(2, 2),
+        )
+        assert w.nnz == 2  # the zero is stored before construction...
         graph = BipartiteGraph(w)
-        assert graph.num_edges == 1
+        assert graph.num_edges == 1  # ...and eliminated by it
 
     def test_negative_weights_rejected(self):
         with pytest.raises(ValueError, match="non-negative"):

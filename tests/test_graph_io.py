@@ -56,11 +56,20 @@ class TestEdgeList:
         loaded = read_edge_list(path, delimiter=",")
         assert loaded.weight(0, 0) == 3.5
 
-    def test_weighted_false_ignores_third_column(self, tmp_path):
+    def test_weighted_false_rejects_third_column(self, tmp_path):
+        # A weight column under weighted=False is a format mismatch: the
+        # caller declared the file unweighted, the file disagrees.
         path = tmp_path / "graph.tsv"
         path.write_text("a\tx\t7.0\n")
+        with pytest.raises(ValueError, match="weighted=False"):
+            read_edge_list(path, weighted=False)
+
+    def test_weighted_false_accepts_two_columns(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("a\tx\nb\ty\n")
         loaded = read_edge_list(path, weighted=False)
-        assert loaded.weight(0, 0) == 1.0
+        assert loaded.is_unweighted()
+        assert loaded.num_edges == 2
 
     def test_weighted_true_requires_column(self, tmp_path):
         path = tmp_path / "graph.tsv"
@@ -72,6 +81,41 @@ class TestEdgeList:
         path = tmp_path / "graph.tsv"
         path.write_text("lonely\n")
         with pytest.raises(ValueError, match="at least 2 fields"):
+            read_edge_list(path)
+
+    def test_too_many_fields(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("a\tx\t1.0\tbogus\n")
+        with pytest.raises(ValueError, match="at most 3 fields"):
+            read_edge_list(path)
+
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "NaN", "Infinity"])
+    def test_non_finite_weights_rejected(self, tmp_path, bad):
+        path = tmp_path / "graph.tsv"
+        path.write_text(f"a\tx\t{bad}\n")
+        with pytest.raises(ValueError, match="non-finite weight"):
+            read_edge_list(path)
+
+    def test_non_finite_weight_error_names_the_line(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("a\tx\t1.0\nb\ty\tnan\n")
+        with pytest.raises(ValueError, match=":2:"):
+            read_edge_list(path)
+
+    def test_autodetect_mixed_columns(self, tmp_path):
+        # weighted=None (default): per-line detection mixes 2- and
+        # 3-column rows, defaulting absent weights to 1.0.
+        path = tmp_path / "graph.tsv"
+        path.write_text("a\tx\t2.5\nb\tx\nb\ty\t0.5\n")
+        loaded = read_edge_list(path)
+        assert loaded.weight(loaded.u_id("a"), loaded.v_id("x")) == 2.5
+        assert loaded.weight(loaded.u_id("b"), loaded.v_id("x")) == 1.0
+        assert loaded.weight(loaded.u_id("b"), loaded.v_id("y")) == 0.5
+
+    def test_autodetect_still_rejects_non_finite(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("a\tx\nb\ty\tinf\n")
+        with pytest.raises(ValueError, match="non-finite weight"):
             read_edge_list(path)
 
     def test_error_mentions_line_number(self, tmp_path):
@@ -121,3 +165,54 @@ class TestNpz:
         # JSON round trip restores tuples via the hashability converter.
         assert loaded.u_labels == [(1, "compound")]
         assert loaded.v_labels == [42]
+
+    def test_bundle_key_set_with_labels(self, tmp_path, labeled_graph):
+        # Regression: save_npz used to pass allow_pickle=True *into*
+        # np.savez_compressed, which stored it as a bogus array member.
+        path = tmp_path / "graph.npz"
+        save_npz(labeled_graph, path)
+        with np.load(path, allow_pickle=True) as bundle:
+            assert sorted(bundle.files) == [
+                "data", "indices", "indptr", "shape", "u_labels", "v_labels",
+            ]
+
+    def test_bundle_key_set_without_labels(self, tmp_path):
+        graph = BipartiteGraph.from_dense([[1.0, 0.0], [0.0, 2.0]])
+        path = tmp_path / "graph.npz"
+        save_npz(graph, path)
+        with np.load(path, allow_pickle=False) as bundle:
+            assert sorted(bundle.files) == ["data", "indices", "indptr", "shape"]
+
+    def test_unlabeled_bundle_loads_without_pickle(self, tmp_path):
+        # Without labels the bundle must be readable with pickle disabled.
+        graph = BipartiteGraph.from_dense([[1.0, 0.5]])
+        path = tmp_path / "graph.npz"
+        save_npz(graph, path)
+        with np.load(path, allow_pickle=False) as bundle:
+            for key in bundle.files:
+                assert bundle[key].dtype != object
+        assert load_npz(path) == graph
+
+    def test_loads_old_bundle_with_stray_allow_pickle_member(self, tmp_path):
+        # Bundles written by older versions carry a stray "allow_pickle"
+        # array member; the loader must ignore it.
+        graph = BipartiteGraph.from_edges([("alice", "x", 2.0), ("bob", "y", 1.0)])
+        w = graph.w
+        path = tmp_path / "old.npz"
+        np.savez_compressed(
+            path,
+            shape=np.asarray(w.shape, dtype=np.int64),
+            indptr=w.indptr,
+            indices=w.indices,
+            data=w.data,
+            u_labels=np.asarray(
+                [f'"{label}"' for label in graph.u_labels], dtype=object
+            ),
+            v_labels=np.asarray(
+                [f'"{label}"' for label in graph.v_labels], dtype=object
+            ),
+            allow_pickle=True,
+        )
+        loaded = load_npz(path)
+        assert loaded == graph
+        assert loaded.u_labels == ["alice", "bob"]
