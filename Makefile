@@ -2,7 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-pytest examples quicktest profile-smoke clean
+.PHONY: install test test-fast bench bench-smoke bench-compare bench-pytest examples quicktest profile-smoke clean
+
+# Kernel-level suites that must hold under a parallel executor; `make test`
+# reruns them with REPRO_NUM_THREADS=4 after the default serial pass.
+THREADED_TESTS = tests/test_linalg_kernels.py tests/test_linalg_parallel.py \
+  tests/test_kernels_fallback.py
 
 install:
 	pip install -e . || { \
@@ -12,6 +17,7 @@ install:
 
 test: bench-smoke
 	$(PYTHON) -m pytest tests/
+	REPRO_NUM_THREADS=4 $(PYTHON) -m pytest $(THREADED_TESTS) -q
 
 quicktest:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -k "not learning"
@@ -36,6 +42,15 @@ bench:
 # part of the default `make test`.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --output /tmp/gebe-bench-smoke.json
+
+# Fresh run diffed against the committed BENCH_gebe.json: flags wall-time
+# regressions beyond the noise threshold and any matvec drift; exit 1 on
+# failure.  The committed snapshot comes from a shared 1-core container
+# whose sub-second cells jitter by tens of percent, hence the generous
+# threshold; tighten --noise on dedicated hardware.  See docs/BENCHMARKS.md.
+bench-compare:
+	PYTHONPATH=src $(PYTHON) -m repro bench --noise 0.5 \
+	  --output /tmp/gebe-bench-fresh.json --compare BENCH_gebe.json
 
 # Legacy pytest-benchmark microbenchmarks.
 bench-pytest:

@@ -1,7 +1,13 @@
 """Reproducible benchmark harness emitting ``BENCH_*.json`` perf snapshots."""
 
+from .compare import compare_bench, load_bench, render_compare
 from .harness import BenchConfig, render_bench, run_bench, write_bench
-from .schema import BENCH_SCHEMA_NAME, BENCH_SCHEMA_VERSION, validate_bench
+from .schema import (
+    BENCH_SCHEMA_NAME,
+    BENCH_SCHEMA_VERSION,
+    upgrade_bench,
+    validate_bench,
+)
 
 __all__ = [
     "BenchConfig",
@@ -9,6 +15,10 @@ __all__ = [
     "write_bench",
     "render_bench",
     "validate_bench",
+    "upgrade_bench",
+    "load_bench",
+    "compare_bench",
+    "render_compare",
     "BENCH_SCHEMA_NAME",
     "BENCH_SCHEMA_VERSION",
 ]

@@ -1,0 +1,163 @@
+"""Bench-to-bench diffing: flag regressions against a committed snapshot.
+
+``repro bench --compare OLD.json`` (and ``make bench-compare``) runs a fresh
+benchmark grid and diffs it against a previously written ``BENCH_*.json`` —
+typically the snapshot committed at the repo root.  Two failure classes:
+
+* **wall-time regressions** — a cell got slower than the old snapshot by
+  more than the noise threshold.  Wall time on shared machines is noisy
+  (hence the min-over-repeats estimator and a generous default threshold);
+  regressions are advisory unless the environment matches.
+* **matvec drift** — a cell performs a *different number of operations*
+  than the snapshot, or the fresh run's own ``matvecs_equal`` invariant is
+  violated.  These are deterministic counters, so any drift is a real
+  schedule change and always fails.
+
+Old documents are upgraded via :func:`~repro.bench.schema.upgrade_bench`,
+so v1 snapshots (which predate the threads axis) remain comparable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from .schema import upgrade_bench, validate_bench
+
+__all__ = [
+    "load_bench",
+    "compare_bench",
+    "render_compare",
+    "DEFAULT_NOISE",
+    "DEFAULT_MIN_SECONDS",
+]
+
+#: Default relative wall-time slack before a slowdown counts as a regression.
+DEFAULT_NOISE = 0.25
+
+#: Absolute slack floor: a cell must also get slower by at least this many
+#: seconds.  Millisecond-scale cells see >25% relative jitter from a single
+#: scheduler blip, so the relative threshold alone is flaky on them.
+DEFAULT_MIN_SECONDS = 0.05
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    """Read, upgrade, and validate a bench document from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return validate_bench(upgrade_bench(payload))
+
+
+def _run_key(run: Dict[str, Any]) -> Tuple[str, str, str, int]:
+    return (run["method"], run["dataset"], run["policy"], run["threads"])
+
+
+def compare_bench(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    *,
+    noise: float = DEFAULT_NOISE,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> Dict[str, Any]:
+    """Diff two validated bench documents, old = baseline, new = fresh run.
+
+    Returns a dict with:
+
+    * ``rows`` — one entry per cell present in both documents:
+      ``{method, dataset, policy, threads, old_wall, new_wall, ratio,
+      matvecs_equal, regression}`` (``ratio`` is new/old; > 1 is slower);
+    * ``regressions`` — the subset that is *both* relatively and absolutely
+      slower: ``ratio > 1 + noise`` and ``new - old > min_seconds``;
+    * ``matvec_drift`` — cells whose operation counts changed vs the
+      snapshot (always a real schedule change);
+    * ``invariant_violations`` — ``matvecs_equal`` failures inside the
+      fresh run's own comparisons;
+    * ``missing`` / ``added`` — cell keys only in the old / new document;
+    * ``noise`` — the threshold used.
+    """
+    if noise < 0:
+        raise ValueError("noise threshold must be non-negative")
+    if min_seconds < 0:
+        raise ValueError("min_seconds must be non-negative")
+    old_runs = {_run_key(run): run for run in old["runs"]}
+    new_runs = {_run_key(run): run for run in new["runs"]}
+    rows: List[Dict[str, Any]] = []
+    for key in new_runs:
+        if key not in old_runs:
+            continue
+        old_run, new_run = old_runs[key], new_runs[key]
+        ratio = new_run["wall_seconds"] / max(old_run["wall_seconds"], 1e-12)
+        rows.append(
+            {
+                "method": key[0],
+                "dataset": key[1],
+                "policy": key[2],
+                "threads": key[3],
+                "old_wall": old_run["wall_seconds"],
+                "new_wall": new_run["wall_seconds"],
+                "ratio": ratio,
+                "matvecs_equal": new_run["matvecs"] == old_run["matvecs"],
+                "regression": (
+                    ratio > 1.0 + noise
+                    and new_run["wall_seconds"] - old_run["wall_seconds"]
+                    > min_seconds
+                ),
+            }
+        )
+    return {
+        "rows": rows,
+        "regressions": [row for row in rows if row["regression"]],
+        "matvec_drift": [row for row in rows if not row["matvecs_equal"]],
+        "invariant_violations": [
+            row for row in new["comparisons"] if not row["matvecs_equal"]
+        ],
+        "missing": sorted(key for key in old_runs if key not in new_runs),
+        "added": sorted(key for key in new_runs if key not in old_runs),
+        "noise": noise,
+        "min_seconds": min_seconds,
+    }
+
+
+def render_compare(result: Dict[str, Any]) -> str:
+    """A human-readable diff summary (for the CLI)."""
+    lines = [
+        f"bench compare: {len(result['rows'])} matched cells, "
+        f"noise threshold {result['noise']:.0%} "
+        f"(+{result['min_seconds']:.3g}s absolute floor)"
+    ]
+    header = (
+        f"{'method':<18}{'dataset':<10}{'policy':<20}{'thr':>4}"
+        f"{'old':>10}{'new':>10}{'ratio':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in result["rows"]:
+        flags = []
+        if row["regression"]:
+            flags.append("REGRESSION")
+        if not row["matvecs_equal"]:
+            flags.append("MATVEC-DRIFT")
+        lines.append(
+            f"{row['method']:<18}{row['dataset']:<10}{row['policy']:<20}"
+            f"{row['threads']:>4}{row['old_wall']:>9.3f}s{row['new_wall']:>9.3f}s"
+            f"{row['ratio']:>8.2f}"
+            + ("  " + " ".join(flags) if flags else "")
+        )
+    for key in result["missing"]:
+        lines.append(f"  missing from fresh run: {key}")
+    for key in result["added"]:
+        lines.append(f"  new cell (not in baseline): {key}")
+    if result["invariant_violations"]:
+        lines.append(
+            f"  {len(result['invariant_violations'])} matvecs_equal violations "
+            "inside the fresh run"
+        )
+    verdict = []
+    if result["regressions"]:
+        verdict.append(f"{len(result['regressions'])} wall-time regressions")
+    if result["matvec_drift"]:
+        verdict.append(f"{len(result['matvec_drift'])} matvec drifts")
+    if result["invariant_violations"]:
+        verdict.append("internal matvec invariant violated")
+    lines.append("verdict: " + ("; ".join(verdict) if verdict else "ok"))
+    return "\n".join(lines)

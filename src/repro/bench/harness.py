@@ -15,6 +15,13 @@ float64 workspace default and the opt-out float32 row) against the legacy
 allocation-per-call path *in the same run* (``ab_compare=True``) and
 asserts the obs matvec counts are identical across all of them — a
 refactor guarantee, not a statistical one.
+
+The ``threads`` axis additionally runs the default (float64 workspace)
+policy at each configured thread count and pairs every multi-thread row
+against its serial twin, so ``BENCH_gebe.json`` records the scaling curve.
+Matvec counts must be identical across the threads axis too — parallel
+execution shards work, it never changes the operation schedule.  (On a
+single-core container the curve is flat; the counts invariant still binds.)
 """
 
 from __future__ import annotations
@@ -67,6 +74,12 @@ class BenchConfig:
         and record workspace-vs-legacy comparisons.
     float32:
         Also run every cell under the float32 compute policy.
+    threads:
+        Executor thread counts to sweep.  The dtype-policy grid always runs
+        serial (one thread, pinned — the environment never leaks into the
+        A/B rows); every additional count here runs the default float64
+        workspace policy again with that many threads and records a
+        serial-vs-threaded comparison.
     """
 
     datasets: Tuple[str, ...] = ("dblp", "mag")
@@ -77,6 +90,7 @@ class BenchConfig:
     gebe_iterations: Optional[int] = 15
     ab_compare: bool = True
     float32: bool = True
+    threads: Tuple[int, ...] = (1, 2, 4)
 
     @classmethod
     def smoke(cls) -> "BenchConfig":
@@ -87,16 +101,29 @@ class BenchConfig:
             dimension=8,
             repeats=1,
             gebe_iterations=5,
+            threads=(1, 2),
         )
 
     def policies(self) -> List[DtypePolicy]:
-        """The policy grid, candidate (workspace float64) first."""
+        """The dtype-policy grid, candidate (workspace float64) first.
+
+        Every policy is pinned to one executor thread so the dtype A/B rows
+        measure kernel arithmetic, not whatever ``REPRO_NUM_THREADS`` the
+        environment happens to set; the threads axis is swept separately.
+        """
         grid = [DtypePolicy.default()]
         if self.ab_compare:
             grid.append(DtypePolicy.legacy())
         if self.float32:
             grid.append(DtypePolicy.float32())
-        return grid
+        return [policy.with_threads(1) for policy in grid]
+
+    def thread_counts(self) -> List[int]:
+        """The validated threads axis (>= 1 each, deduplicated, sorted)."""
+        counts = sorted(set(self.threads))
+        if not counts or counts[0] < 1:
+            raise ValueError(f"threads must be integers >= 1, got {self.threads}")
+        return counts
 
 
 def _load_graph(name: str, seed: int) -> BipartiteGraph:
@@ -120,11 +147,13 @@ def _run_cell(
     walls: List[float] = []
     best: Optional[ProfiledRun] = None
     peak_rss = 0
+    workspace = 0
     for _ in range(config.repeats):
         method = _make_bench_method(name, config, policy)
         run = profile_method(method, graph, dataset=dataset)
         walls.append(float(run.result.elapsed_seconds))
         peak_rss = max(peak_rss, int(run.report.memory.get("peak_rss_bytes", 0)))
+        workspace = max(workspace, int(run.report.memory.get("workspace_bytes", 0)))
         if best is None or walls[-1] == min(walls):
             best = run
     ops = best.report.ops
@@ -132,6 +161,7 @@ def _run_cell(
         "method": best.result.method,
         "dataset": dataset,
         "policy": policy.describe(),
+        "threads": policy.n_threads,
         "dimension": config.dimension,
         "seed": config.seed,
         "repeats": config.repeats,
@@ -141,6 +171,7 @@ def _run_cell(
         "gemms": int(ops.get("gemms", 0)),
         "flops": float(ops.get("flops", 0.0)),
         "peak_rss_bytes": peak_rss,
+        "workspace_bytes": workspace,
         "graph": {
             "num_u": graph.num_u,
             "num_v": graph.num_v,
@@ -159,34 +190,49 @@ def _environment() -> Dict[str, Any]:
     }
 
 
-def _comparisons(runs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-    """Comparison rows: every new-kernel policy vs its legacy twin.
+def _comparison_row(
+    baseline: Dict[str, Any], candidate: Dict[str, Any]
+) -> Dict[str, Any]:
+    return {
+        "method": candidate["method"],
+        "dataset": candidate["dataset"],
+        "baseline_policy": baseline["policy"],
+        "candidate_policy": candidate["policy"],
+        "baseline_threads": baseline["threads"],
+        "candidate_threads": candidate["threads"],
+        "speedup": baseline["wall_seconds"] / max(candidate["wall_seconds"], 1e-12),
+        "matvecs_equal": candidate["matvecs"] == baseline["matvecs"],
+    }
 
-    Each non-legacy run (``float64/workspace``, ``float32/workspace``) is
-    paired with the ``float64/legacy`` cell for the same method and dataset
-    — the pre-change kernel path, measured in the same run.  ``matvecs_equal``
-    must hold across all pairs (the dtype policy changes arithmetic
-    precision, never the operation schedule).
+
+def _comparisons(runs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Comparison rows along both benchmark axes.
+
+    *Dtype axis*: each serial non-legacy run (``float64/workspace``,
+    ``float32/workspace``) is paired with the serial ``float64/legacy`` cell
+    for the same method and dataset — the pre-change kernel path, measured
+    in the same run.  *Threads axis*: each multi-thread run is paired with
+    the serial run of the same policy.  ``matvecs_equal`` must hold across
+    all pairs: dtype changes arithmetic precision and threading changes
+    wall time, but neither ever changes the operation schedule.
     """
     baseline = DtypePolicy.legacy().describe()
-    by_key = {(r["method"], r["dataset"], r["policy"]): r for r in runs}
+    by_key = {
+        (r["method"], r["dataset"], r["policy"], r["threads"]): r for r in runs
+    }
     rows: List[Dict[str, Any]] = []
     for run in runs:
+        key = (run["method"], run["dataset"])
+        if run["threads"] > 1:
+            serial = by_key.get((*key, run["policy"], 1))
+            if serial is not None:
+                rows.append(_comparison_row(serial, run))
+            continue
         if run["policy"] == baseline:
             continue
-        legacy = by_key.get((run["method"], run["dataset"], baseline))
-        if legacy is None:
-            continue
-        rows.append(
-            {
-                "method": run["method"],
-                "dataset": run["dataset"],
-                "baseline_policy": baseline,
-                "candidate_policy": run["policy"],
-                "speedup": legacy["wall_seconds"] / max(run["wall_seconds"], 1e-12),
-                "matvecs_equal": run["matvecs"] == legacy["matvecs"],
-            }
-        )
+        legacy = by_key.get((*key, baseline, 1))
+        if legacy is not None:
+            rows.append(_comparison_row(legacy, run))
     return rows
 
 
@@ -204,16 +250,26 @@ def run_bench(
     """
     config = config if config is not None else BenchConfig()
     runs: List[Dict[str, Any]] = []
+    # The dtype-policy grid (all serial) plus the threads axis (default
+    # policy re-run at each multi-thread count).
+    grid: List[DtypePolicy] = config.policies()
+    default_policy = DtypePolicy.default()
+    grid.extend(
+        default_policy.with_threads(count)
+        for count in config.thread_counts()
+        if count > 1
+    )
     for dataset in config.datasets:
         graph = _load_graph(dataset, config.seed)
         for name in config.methods:
-            for policy in config.policies():
+            for policy in grid:
                 cell = _run_cell(name, graph, dataset, config, policy)
                 runs.append(cell)
                 if progress:
                     print(
                         f"  {cell['method']:<16} {dataset:<8} "
-                        f"{cell['policy']:<18} {cell['wall_seconds']:8.3f}s "
+                        f"{cell['policy']:<18} x{cell['threads']} "
+                        f"{cell['wall_seconds']:8.3f}s "
                         f"({cell['matvecs']} matvecs)",
                         file=sys.stderr,
                     )
@@ -222,7 +278,8 @@ def run_bench(
         "version": BENCH_SCHEMA_VERSION,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "config": {**asdict(config), "datasets": list(config.datasets),
-                   "methods": list(config.methods)},
+                   "methods": list(config.methods),
+                   "threads": list(config.threads)},
         "environment": _environment(),
         "runs": runs,
         "comparisons": _comparisons(runs),
@@ -247,18 +304,28 @@ def render_bench(payload: Dict[str, Any]) -> str:
         f"scipy {payload['environment']['scipy']}, "
         f"{payload['environment']['cpu_count']} cpu)"
     ]
-    header = f"{'method':<18}{'dataset':<10}{'policy':<20}{'wall':>10}{'matvecs':>10}"
+    header = (
+        f"{'method':<18}{'dataset':<10}{'policy':<20}{'thr':>4}"
+        f"{'wall':>10}{'matvecs':>10}"
+    )
     lines.append(header)
     lines.append("-" * len(header))
     for run in payload["runs"]:
         lines.append(
             f"{run['method']:<18}{run['dataset']:<10}{run['policy']:<20}"
-            f"{run['wall_seconds']:>9.3f}s{run['matvecs']:>10}"
+            f"{run['threads']:>4}{run['wall_seconds']:>9.3f}s{run['matvecs']:>10}"
         )
     for row in payload["comparisons"]:
         marker = "ok" if row["matvecs_equal"] else "MISMATCH"
+        if row["candidate_threads"] != row["baseline_threads"]:
+            label = (
+                f"{row['candidate_policy']} x{row['candidate_threads']} "
+                f"vs x{row['baseline_threads']}"
+            )
+        else:
+            label = f"{row['candidate_policy']} vs legacy"
         lines.append(
-            f"{row['candidate_policy']:>18} vs legacy  {row['method']:<16} "
+            f"{label:>34}  {row['method']:<16} "
             f"{row['dataset']:<8} speedup x{row['speedup']:.2f}  matvecs {marker}"
         )
     return "\n".join(lines)

@@ -1,21 +1,23 @@
-"""The ``BENCH_*.json`` document: schema constants and validation.
+"""The ``BENCH_*.json`` document: schema constants, validation, upgrade.
 
 Every benchmark run serializes to one JSON document so future PRs have a
 perf trajectory to compare against.  Like :mod:`repro.obs.report`, the
 schema is fixed and versioned, validated on the write path (the harness) and
 the read path (tooling that compares runs), and changes must bump
-``BENCH_SCHEMA_VERSION``.
+``BENCH_SCHEMA_VERSION``.  Older documents are read through
+:func:`upgrade_bench`, which fills the fields newer versions added.
 
 Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
 
     {
       "schema": "repro.bench.results",
-      "version": 1,
+      "version": 2,
       "created": str,             # ISO-8601 UTC timestamp
       "config": {"datasets": [str], "methods": [str], "dimension": int,
                  "seed": int, "repeats": int,
                  "gebe_iterations": int | null,
-                 "ab_compare": bool, "float32": bool},
+                 "ab_compare": bool, "float32": bool,
+                 "threads": [int]},
       "environment": {"python": str, "numpy": str, "scipy": str,
                       "platform": str, "cpu_count": int},
       "runs": [Run, ...],
@@ -25,30 +27,43 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
     Run: {
       "method": str, "dataset": str,
       "policy": str,              # DtypePolicy.describe(), e.g. "float64/workspace"
+      "threads": int,             # executor thread count for this row
       "dimension": int, "seed": int, "repeats": int,
       "wall_seconds": float,      # min over repeats (noise-robust)
       "wall_seconds_all": [float, ...],
       "matvecs": int, "gemms": int, "flops": float,
       "peak_rss_bytes": int,
+      "workspace_bytes": int,     # kernel buffer watermark, all thread pools
       "graph": {"num_u": int, "num_v": int, "num_edges": int}
     }
 
-    Comparison: {                 # workspace kernels vs. the legacy path
+    Comparison: {                 # candidate kernel path vs. its baseline
       "method": str, "dataset": str,
       "baseline_policy": str, "candidate_policy": str,
+      "baseline_threads": int, "candidate_threads": int,
       "speedup": float,           # baseline wall / candidate wall
       "matvecs_equal": bool       # obs counters identical across paths
     }
+
+Version history: v2 added the ``threads`` axis (``config.threads``,
+``Run.threads``, ``Comparison.baseline_threads``/``candidate_threads``) and
+``Run.workspace_bytes``.  v1 documents upgrade by pinning every run and
+comparison to one thread and a zero workspace watermark.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict
 
-__all__ = ["BENCH_SCHEMA_NAME", "BENCH_SCHEMA_VERSION", "validate_bench"]
+__all__ = [
+    "BENCH_SCHEMA_NAME",
+    "BENCH_SCHEMA_VERSION",
+    "validate_bench",
+    "upgrade_bench",
+]
 
 BENCH_SCHEMA_NAME = "repro.bench.results"
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 _CONFIG_KEYS = {
     "datasets": list,
@@ -59,6 +74,7 @@ _CONFIG_KEYS = {
     "gebe_iterations": (int, type(None)),
     "ab_compare": bool,
     "float32": bool,
+    "threads": list,
 }
 _ENVIRONMENT_KEYS = {
     "python": str,
@@ -71,6 +87,7 @@ _RUN_KEYS = {
     "method": str,
     "dataset": str,
     "policy": str,
+    "threads": int,
     "dimension": int,
     "seed": int,
     "repeats": int,
@@ -80,6 +97,7 @@ _RUN_KEYS = {
     "gemms": int,
     "flops": (int, float),
     "peak_rss_bytes": int,
+    "workspace_bytes": int,
     "graph": dict,
 }
 _GRAPH_KEYS = ("num_u", "num_v", "num_edges")
@@ -88,6 +106,8 @@ _COMPARISON_KEYS = {
     "dataset": str,
     "baseline_policy": str,
     "candidate_policy": str,
+    "baseline_threads": int,
+    "candidate_threads": int,
     "speedup": (int, float),
     "matvecs_equal": bool,
 }
@@ -110,6 +130,32 @@ def _check_object(obj: Any, spec: Dict[str, Any], where: str) -> None:
             _fail(f"{where}.{key} must be an integer, got a bool")
 
 
+def upgrade_bench(payload: Any) -> Any:
+    """Upgrade an older bench document in place to the current version.
+
+    v1 predates the threads axis: every run was serial, so runs and
+    comparisons get ``threads``/``baseline_threads``/``candidate_threads``
+    of 1, ``config.threads`` of ``[1]``, and a zero ``workspace_bytes``
+    watermark (v1 did not record it).  Current-version documents pass
+    through untouched; unknown versions fail validation downstream.
+    """
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        return payload
+    payload["version"] = BENCH_SCHEMA_VERSION
+    config = payload.get("config")
+    if isinstance(config, dict):
+        config.setdefault("threads", [1])
+    for run in payload.get("runs") or []:
+        if isinstance(run, dict):
+            run.setdefault("threads", 1)
+            run.setdefault("workspace_bytes", 0)
+    for comparison in payload.get("comparisons") or []:
+        if isinstance(comparison, dict):
+            comparison.setdefault("baseline_threads", 1)
+            comparison.setdefault("candidate_threads", 1)
+    return payload
+
+
 def validate_bench(payload: Any) -> Dict[str, Any]:
     """Validate a decoded bench document; return it unchanged.
 
@@ -127,6 +173,11 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
     if not isinstance(payload.get("created"), str) or not payload["created"]:
         _fail("created must be a non-empty string")
     _check_object(payload.get("config"), _CONFIG_KEYS, "config")
+    threads = payload["config"]["threads"]
+    if not threads or not all(
+        isinstance(t, int) and not isinstance(t, bool) and t >= 1 for t in threads
+    ):
+        _fail("config.threads must be a non-empty list of integers >= 1")
     _check_object(payload.get("environment"), _ENVIRONMENT_KEYS, "environment")
     runs = payload.get("runs")
     if not isinstance(runs, list) or not runs:
@@ -136,6 +187,10 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
         _check_object(run, _RUN_KEYS, where)
         if run["wall_seconds"] < 0:
             _fail(f"{where}.wall_seconds must be non-negative")
+        if run["threads"] < 1:
+            _fail(f"{where}.threads must be >= 1")
+        if run["workspace_bytes"] < 0:
+            _fail(f"{where}.workspace_bytes must be non-negative")
         if not run["wall_seconds_all"] or not all(
             isinstance(t, (int, float)) and t >= 0 for t in run["wall_seconds_all"]
         ):
@@ -152,4 +207,6 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
         _check_object(comparison, _COMPARISON_KEYS, where)
         if comparison["speedup"] <= 0:
             _fail(f"{where}.speedup must be positive")
+        if comparison["baseline_threads"] < 1 or comparison["candidate_threads"] < 1:
+            _fail(f"{where} thread counts must be >= 1")
     return payload

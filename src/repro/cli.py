@@ -83,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
     embed.add_argument("--dimension", type=int, default=128)
     embed.add_argument("--seed", type=int, default=0)
     embed.add_argument(
+        "--threads",
+        type=int,
+        metavar="N",
+        help="kernel worker threads for proposed methods "
+        "(default: REPRO_NUM_THREADS or cpu count; 1 = exact legacy path)",
+    )
+    embed.add_argument(
         "--profile",
         action="store_true",
         help="collect stage timings, op counts, and peak memory",
@@ -164,6 +171,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the float32 policy rows",
     )
     bench.add_argument(
+        "--threads",
+        nargs="+",
+        type=int,
+        metavar="N",
+        help="thread counts for the scaling axis (default: 1 2 4)",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="OLD.json",
+        help="diff the fresh run against a committed BENCH_*.json snapshot; "
+        "exit 1 on wall-time regressions or matvec drift",
+    )
+    bench.add_argument(
+        "--noise",
+        type=float,
+        help="relative wall-time slack for --compare (default: 0.25)",
+    )
+    bench.add_argument(
         "--smoke",
         action="store_true",
         help="seconds-scale CI configuration (toy graph, one repeat)",
@@ -192,7 +217,24 @@ def _cmd_embed(args: argparse.Namespace) -> int:
         print("error: need an edge-list file or --dataset", file=sys.stderr)
         return 2
 
-    method = make_method(args.method, dimension=args.dimension, seed=args.seed)
+    extras = {}
+    if args.threads is not None:
+        if args.threads < 1:
+            print("error: --threads must be >= 1", file=sys.stderr)
+            return 2
+        if args.method not in method_names("proposed"):
+            print(
+                f"error: --threads only applies to proposed methods "
+                f"({method_names('proposed')}), not {args.method!r}",
+                file=sys.stderr,
+            )
+            return 2
+        from .linalg import DtypePolicy
+
+        extras["dtype_policy"] = DtypePolicy().with_threads(args.threads)
+    method = make_method(
+        args.method, dimension=args.dimension, seed=args.seed, **extras
+    )
     if args.profile:
         with obs.collect() as collector:
             result = method.fit(graph)
@@ -281,7 +323,15 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
-    from .bench import BenchConfig, render_bench, run_bench, write_bench
+    from .bench import (
+        BenchConfig,
+        compare_bench,
+        load_bench,
+        render_bench,
+        render_compare,
+        run_bench,
+        write_bench,
+    )
 
     config = BenchConfig.smoke() if args.smoke else BenchConfig()
     overrides = {}
@@ -299,12 +349,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["ab_compare"] = False
     if args.no_float32:
         overrides["float32"] = False
+    if args.threads is not None:
+        if any(t < 1 for t in args.threads):
+            print("error: --threads values must be >= 1", file=sys.stderr)
+            return 2
+        overrides["threads"] = tuple(args.threads)
     config = replace(config, **overrides)
+
+    baseline = None
+    if args.compare is not None:
+        try:
+            baseline = load_bench(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load {args.compare}: {exc}", file=sys.stderr)
+            return 2
 
     payload = run_bench(config, progress=True)
     write_bench(payload, args.output)
     print(render_bench(payload))
     print(f"wrote {len(payload['runs'])} runs -> {args.output}")
+    status = 0
     mismatches = [
         row for row in payload["comparisons"] if not row["matvecs_equal"]
     ]
@@ -314,8 +378,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"({len(mismatches)} cells)",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        status = 1
+    if baseline is not None:
+        kwargs = {} if args.noise is None else {"noise": args.noise}
+        result = compare_bench(baseline, payload, **kwargs)
+        print(render_compare(result))
+        if result["regressions"] or result["matvec_drift"]:
+            print(
+                f"error: comparison against {args.compare} failed "
+                f"({len(result['regressions'])} regressions, "
+                f"{len(result['matvec_drift'])} matvec drifts)",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
 
 
 _HANDLERS = {

@@ -27,7 +27,7 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from ..graph import BipartiteGraph
-from ..linalg import DtypePolicy, randomized_svd
+from ..linalg import DtypePolicy, SpectrumCache, randomized_svd
 from ..obs import active as _obs_active
 from .base import BipartiteEmbedder
 from .preprocess import normalize_weights
@@ -73,6 +73,12 @@ class GEBEPoisson(BipartiteEmbedder):
         :class:`~repro.linalg.DtypePolicy` for the hot-path kernels
         (``None`` means the default: float64 workspace kernels,
         bit-identical to the reference arithmetic).
+    spectrum_cache:
+        Optional shared :class:`~repro.linalg.SpectrumCache`.  The SVD of
+        ``W`` is lambda-independent, so sweeps over ``lambda`` (or any
+        repeated fits of the same graph with the same seed/epsilon/strategy)
+        that share one cache perform exactly one randomized SVD.  Unseeded
+        solvers bypass the cache.
 
     Examples
     --------
@@ -96,6 +102,7 @@ class GEBEPoisson(BipartiteEmbedder):
         normalization: str = "spectral",
         seed: Optional[int] = None,
         dtype_policy: Optional[DtypePolicy] = None,
+        spectrum_cache: Optional[SpectrumCache] = None,
     ):
         super().__init__(dimension=dimension, seed=seed)
         if lam <= 0:
@@ -107,6 +114,7 @@ class GEBEPoisson(BipartiteEmbedder):
         self.svd_strategy = svd_strategy
         self.normalization = normalization
         self.dtype_policy = dtype_policy if dtype_policy is not None else DtypePolicy()
+        self.spectrum_cache = spectrum_cache
 
     def _embed(
         self, graph: BipartiteGraph
@@ -116,15 +124,28 @@ class GEBEPoisson(BipartiteEmbedder):
         with collector.stage("gebe_p"):
             with collector.stage("normalize"):
                 w = normalize_weights(graph, self.normalization)
-            # Line 1: randomized SVD of W -> Phi'_k, Sigma'_k.
-            svd = randomized_svd(
-                w,
-                k,
-                self.epsilon,
-                strategy=self.svd_strategy,
-                rng=self._rng(),
-                policy=self.dtype_policy,
-            )
+            # Line 1: randomized SVD of W -> Phi'_k, Sigma'_k.  The SVD is
+            # lambda-independent, so a shared cache serves every grid cell
+            # of a lambda sweep from one factorization.
+            cache_event = None
+            if self.spectrum_cache is not None:
+                svd, cache_event = self.spectrum_cache.get_or_compute(
+                    w,
+                    k,
+                    self.epsilon,
+                    strategy=self.svd_strategy,
+                    seed=self.seed,
+                    policy=self.dtype_policy,
+                )
+            else:
+                svd = randomized_svd(
+                    w,
+                    k,
+                    self.epsilon,
+                    strategy=self.svd_strategy,
+                    rng=self._rng(),
+                    policy=self.dtype_policy,
+                )
             # Lines 2-3: Lambda'_k = e^{-lambda} e^{lambda Sigma'^2},
             # Z'_k = Phi'_k.
             with collector.stage("spectral_map"):
@@ -149,4 +170,6 @@ class GEBEPoisson(BipartiteEmbedder):
             "singular_values": svd.s,
             "eigenvalues": eigenvalues,
         }
+        if cache_event is not None:
+            metadata["spectrum_cache"] = cache_event
         return u, np.asarray(v), metadata

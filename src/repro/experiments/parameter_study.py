@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core import GEBEPoisson, gebe_poisson
 from ..datasets import DATASETS, dataset_names
+from ..linalg import SpectrumCache
 from ..tasks import LinkPredictionTask, RecommendationTask
 
 __all__ = [
@@ -64,11 +65,21 @@ def sweep_lambda(
 
     Returns ``{dataset: [score per grid value]}`` (F1 for recommendation,
     AUC-ROC for link prediction).
+
+    All grid cells share one :class:`~repro.linalg.SpectrumCache`: the SVD
+    of ``W`` is lambda-independent, so the whole sweep performs exactly one
+    randomized SVD per dataset (the training graphs and seeds are identical
+    across cells).
     """
     tasks = _tasks(datasets, task, core, seed)
+    cache = SpectrumCache()
     return {
         name: [
-            _score(t, GEBEPoisson(dimension, lam=lam, seed=seed)) for lam in grid
+            _score(
+                t,
+                GEBEPoisson(dimension, lam=lam, seed=seed, spectrum_cache=cache),
+            )
+            for lam in grid
         ]
         for name, t in tasks.items()
     }

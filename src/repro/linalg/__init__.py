@@ -9,6 +9,7 @@ solvers via configuration.
 from .kernels import GramKernel, SparseKernel
 from .krylov import EigenResult, subspace_distance, subspace_iteration
 from .ops import MatrixFreeOperator, ProximityOperator, gram_apply, pmf_weighted_apply
+from .parallel import ExecPolicy, ParallelExecutor
 from .policy import DtypePolicy
 from .qr import is_semi_unitary, random_semi_unitary, thin_qr
 from .randomized_svd import (
@@ -17,9 +18,14 @@ from .randomized_svd import (
     krylov_iteration_count,
     randomized_svd,
 )
+from .spectrum_cache import SpectrumCache, matrix_fingerprint
 
 __all__ = [
     "DtypePolicy",
+    "ExecPolicy",
+    "ParallelExecutor",
+    "SpectrumCache",
+    "matrix_fingerprint",
     "SparseKernel",
     "GramKernel",
     "MatrixFreeOperator",

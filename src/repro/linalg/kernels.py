@@ -21,21 +21,32 @@ This module provides the production kernels:
   column-chunked application for blocks wider than
   :attr:`DtypePolicy.block_cols`.
 
+Both kernels shard their applies across the thread pool of
+:mod:`repro.linalg.parallel` when the policy's
+:class:`~repro.linalg.parallel.ExecPolicy` allows (scipy's sparsetools
+routines release the GIL): ``W @ X`` by nnz-balanced **row ranges** of the
+CSR (disjoint output rows), ``W^T @ X`` and the PMF series by **column
+chunks** of ``X`` (disjoint output columns, per-slot staging and hop
+buffers).  One thread — or any apply below the auto-tune threshold — is the
+exact legacy serial path.
+
 Bit-identity with the reference float64 path is a hard invariant (pinned by
-the hypothesis suite): per output element both paths perform the same
-floating-point operations in the same order.  Observability counters are
-likewise identical — the kernels report the same ``count_spmv`` units as the
-reference implementations.
+the hypothesis suite) *regardless of thread count*: per output element both
+paths perform the same floating-point operations in the same order.
+Observability counters are likewise identical — every logical apply is
+counted exactly once, in the calling thread, never per shard; worker threads
+never touch the collector (it is not thread-safe).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..obs import active as _obs_active
+from .parallel import ParallelExecutor, column_shards, row_shards
 from .policy import DtypePolicy
 
 try:  # scipy's low-level in-place routines (present in all supported scipys)
@@ -61,23 +72,39 @@ class SparseKernel:
         (shared storage when the input already matches).
     policy:
         The :class:`DtypePolicy`; ``None`` means the default policy.
+    notify_obs:
+        Report workspace allocations to the observability layer.  Per-slot
+        kernels inside :class:`GramKernel` run on worker threads and pass
+        ``False`` — the collector is not thread-safe, and the owning kernel
+        accounts for their workspace from the calling thread instead.
 
     Notes
     -----
-    The kernel does **not** report to the observability layer — callers own
-    the operation accounting, mirroring how the reference implementations
-    count at the semantic (Gram apply / operator apply) level.
+    The kernel does **not** report operation counts to the observability
+    layer — callers own the accounting, mirroring how the reference
+    implementations count at the semantic (Gram apply / operator apply)
+    level.  :attr:`threads_used` records the widest sharding any apply on
+    this kernel actually used (1 = every apply ran serial).
 
     With ``reuse=True`` the result lives in an internal buffer that is
     overwritten by the next call on the same kernel; callers must consume it
     before issuing another product.
     """
 
-    def __init__(self, w: sp.spmatrix, policy: Optional[DtypePolicy] = None):
+    def __init__(
+        self,
+        w: sp.spmatrix,
+        policy: Optional[DtypePolicy] = None,
+        *,
+        notify_obs: bool = True,
+    ):
         self.policy = policy if policy is not None else DtypePolicy()
         self.dtype = self.policy.compute_dtype
         self.w = sp.csr_matrix(w, dtype=self.dtype)
         self._flat: Dict[str, np.ndarray] = {}
+        self._notify_obs = notify_obs
+        self._exec = ParallelExecutor(self.policy.exec_policy)
+        self.threads_used = 1
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -93,7 +120,8 @@ class SparseKernel:
         if flat is None or flat.size < needed:
             flat = np.empty(needed, dtype=self.dtype)
             self._flat[name] = flat
-            _obs_active().note_array(flat.nbytes)
+            if self._notify_obs:
+                _obs_active().note_array(flat.nbytes)
         return flat[:needed].reshape(rows, cols)
 
     def workspace_bytes(self) -> int:
@@ -112,6 +140,44 @@ class SparseKernel:
     # ------------------------------------------------------------------
     # Products
     # ------------------------------------------------------------------
+    def _csr_into(self, x: np.ndarray, out: np.ndarray) -> None:
+        """``out += W @ x`` for pre-zeroed C-contiguous ``out``.
+
+        Row-sharded across the executor when the apply is large enough:
+        each worker runs ``csr_matvecs`` over a contiguous nnz-balanced row
+        range, passing ``indptr[lo:hi+1]`` (absolute offsets into the full
+        ``indices``/``data``) and writing ``out[lo:hi]``.  Output rows are
+        disjoint and each element sees the exact serial multiply/add order,
+        so the result is bit-identical for every shard count.
+        """
+        w = self.w
+        m, n = w.shape
+        cols = x.shape[1]
+        n_shards = self._exec.shards_for(w.nnz * cols, m)
+        if n_shards == 1:
+            _sparsetools.csr_matvecs(
+                m, n, cols, w.indptr, w.indices, w.data, x.ravel(), out.ravel()
+            )
+            return
+        self.threads_used = max(self.threads_used, n_shards)
+        xr = x.ravel()
+        tasks: List[Callable[[], None]] = [
+            (
+                lambda lo=lo, hi=hi: _sparsetools.csr_matvecs(
+                    hi - lo,
+                    n,
+                    cols,
+                    w.indptr[lo : hi + 1],
+                    w.indices,
+                    w.data,
+                    xr,
+                    out[lo:hi].ravel(),
+                )
+            )
+            for lo, hi in row_shards(w.indptr, n_shards)
+        ]
+        self._exec.run(tasks)
+
     def matmul(self, block: np.ndarray, *, reuse: bool = False) -> np.ndarray:
         """``W @ block`` for a dense ``|V| x c`` block."""
         w = self.w
@@ -126,9 +192,7 @@ class SparseKernel:
         cols = x.shape[1]
         out = self._buf("out_u", m, cols) if reuse else np.empty((m, cols), self.dtype)
         out.fill(0.0)
-        _sparsetools.csr_matvecs(
-            m, n, cols, w.indptr, w.indices, w.data, x.ravel(), out.ravel()
-        )
+        self._csr_into(x, out)
         return out
 
     def t_matmul(self, block: np.ndarray, *, reuse: bool = False) -> np.ndarray:
@@ -140,15 +204,45 @@ class SparseKernel:
         if not _HAVE_SPARSETOOLS:  # pragma: no cover - exercised via fallback test
             out = w.T @ block.astype(self.dtype, copy=False)
             return np.asarray(out)
-        x = self._as_input(block, "in_u")
         m, n = w.shape
-        cols = x.shape[1]
+        cols = block.shape[1]
         out = self._buf("out_v", n, cols) if reuse else np.empty((n, cols), self.dtype)
-        out.fill(0.0)
         # W.T viewed as an n x m CSC matrix shares W's CSR arrays verbatim;
         # csc_matvecs is the routine scipy's own `w.T @ block` dispatches to.
-        _sparsetools.csc_matvecs(
-            n, m, cols, w.indptr, w.indices, w.data, x.ravel(), out.ravel()
+        n_shards = self._exec.shards_for(w.nnz * cols, cols)
+        if n_shards == 1:
+            x = self._as_input(block, "in_u")
+            out.fill(0.0)
+            _sparsetools.csc_matvecs(
+                n, m, cols, w.indptr, w.indices, w.data, x.ravel(), out.ravel()
+            )
+            return out
+        # Column shards: each worker owns a disjoint column slice of the
+        # output.  The scatter needs C-contiguous column slices, so every
+        # shard stages through its own (grow-only, main-thread-allocated)
+        # in/out buffers.  Per column the scatter's accumulation order does
+        # not depend on which columns share the call — bit-identical.
+        self.threads_used = max(self.threads_used, n_shards)
+        shards = column_shards(cols, n_shards)
+        staged = [
+            (self._buf(f"t_in_{i}", m, hi - lo), self._buf(f"t_out_{i}", n, hi - lo))
+            for i, (lo, hi) in enumerate(shards)
+        ]
+
+        def run_shard(i: int, lo: int, hi: int) -> None:
+            xin, xout = staged[i]
+            xin[...] = block[:, lo:hi]
+            xout.fill(0.0)
+            _sparsetools.csc_matvecs(
+                n, m, hi - lo, w.indptr, w.indices, w.data, xin.ravel(), xout.ravel()
+            )
+            out[:, lo:hi] = xout
+
+        self._exec.run(
+            [
+                (lambda i=i, lo=lo, hi=hi: run_shard(i, lo, hi))
+                for i, (lo, hi) in enumerate(shards)
+            ]
         )
         return out
 
@@ -166,25 +260,94 @@ class GramKernel:
     workspace memory stays bounded by ``O((|U| + |V|) * block_cols)`` no
     matter how large ``k`` grows.  Results are freshly allocated (they are
     the operator API's return values); every intermediate is reused.
+
+    When the policy's executor allows, large applies distribute their column
+    chunks round-robin over per-slot :class:`SparseKernel` instances — each
+    slot shares ``W``'s CSR storage but owns its own ping-pong hop buffers
+    and writes a disjoint column slice of the output.  Slot kernels run
+    serial (no nested sharding) and never touch the obs collector; sharded
+    applies narrow the chunk width to ``ceil(cols / n_slots)`` when a single
+    ``block_cols`` chunk would cover the whole block.  Columns evolve
+    independently through the whole hop recurrence, so results stay
+    bit-identical to the serial path for every thread count.
     """
 
     def __init__(self, w: sp.spmatrix, policy: Optional[DtypePolicy] = None):
         self.policy = policy if policy is not None else DtypePolicy()
         self.kernel = SparseKernel(w, self.policy)
         self.dtype = self.kernel.dtype
+        self._exec = ParallelExecutor(self.policy.exec_policy)
+        self._slots: List[SparseKernel] = []
+        self._threads_used = 1
 
     @property
     def shape(self) -> Tuple[int, int]:
         return self.kernel.shape
 
-    def workspace_bytes(self) -> int:
-        """Total bytes currently held in reusable buffers."""
-        return self.kernel.workspace_bytes()
+    @property
+    def threads_used(self) -> int:
+        """Widest sharding any apply on this kernel actually used."""
+        return max(self._threads_used, self.kernel.threads_used)
 
-    def _chunks(self, cols: int):
-        width = self.policy.block_cols
+    def workspace_bytes(self) -> int:
+        """Total reusable-buffer bytes, summed across all per-slot pools."""
+        return self.kernel.workspace_bytes() + sum(
+            slot.workspace_bytes() for slot in self._slots
+        )
+
+    def _slot_kernels(self, count: int) -> List[SparseKernel]:
+        """``count`` serial kernels sharing W's storage, one per worker slot."""
+        while len(self._slots) < count:
+            self._slots.append(
+                SparseKernel(
+                    self.kernel.w, self.policy.with_threads(1), notify_obs=False
+                )
+            )
+        return self._slots[:count]
+
+    def _chunks(self, cols: int, width: Optional[int] = None):
+        width = self.policy.block_cols if width is None else width
         for lo in range(0, cols, width):
             yield lo, min(cols, lo + width)
+
+    def _plan(self, cols: int) -> Tuple[int, int]:
+        """``(n_slots, chunk_width)`` for one logical apply over ``cols``."""
+        n_slots = self._exec.shards_for(self.kernel.w.nnz * cols, cols)
+        if n_slots <= 1:
+            return 1, self.policy.block_cols
+        return n_slots, min(self.policy.block_cols, -(-cols // n_slots))
+
+    def _run_sharded(
+        self,
+        n_slots: int,
+        width: int,
+        cols: int,
+        chunk_fn: Callable[[SparseKernel, int, int], None],
+    ) -> None:
+        """Distribute column chunks round-robin over per-slot kernels."""
+        self._threads_used = max(self._threads_used, n_slots)
+        chunks = list(self._chunks(cols, width))
+        slots = self._slot_kernels(n_slots)
+
+        def run_slot(kernel: SparseKernel, mine) -> None:
+            for lo, hi in mine:
+                chunk_fn(kernel, lo, hi)
+
+        self._exec.run(
+            [
+                (lambda kernel=kernel, mine=mine: run_slot(kernel, mine))
+                for kernel, mine in (
+                    (slots[i], chunks[i::n_slots]) for i in range(n_slots)
+                )
+                if mine
+            ]
+        )
+
+    def _gram_chunk(
+        self, kernel: SparseKernel, block: np.ndarray, out: np.ndarray, lo: int, hi: int
+    ) -> None:
+        v = kernel.t_matmul(block[:, lo:hi], reuse=True)
+        out[:, lo:hi] = kernel.matmul(v, reuse=True)
 
     def gram_apply(self, block: np.ndarray) -> np.ndarray:
         """``(W @ W.T) @ block``, column-chunked, workspace-reusing."""
@@ -193,21 +356,66 @@ class GramKernel:
         if squeeze:
             block = block.reshape(-1, 1)
         m = self.kernel.shape[0]
-        out = np.empty((m, block.shape[1]), dtype=self.dtype)
-        nnz = self.kernel.w.nnz
-        for lo, hi in self._chunks(block.shape[1]):
-            _obs_active().count_spmv(nnz, 2 * (hi - lo))
-            v = self.kernel.t_matmul(block[:, lo:hi], reuse=True)
-            out[:, lo:hi] = self.kernel.matmul(v, reuse=True)
+        cols = block.shape[1]
+        out = np.empty((m, cols), dtype=self.dtype)
+        collector = _obs_active()
+        # Once per logical apply, shard-count independent: equals the sum of
+        # the per-chunk counts the serial reference path reports.
+        collector.count_spmv(self.kernel.w.nnz, 2 * cols)
+        n_slots, width = self._plan(cols)
+        if n_slots == 1:
+            for lo, hi in self._chunks(cols):
+                self._gram_chunk(self.kernel, block, out, lo, hi)
+        else:
+            self._run_sharded(
+                n_slots,
+                width,
+                cols,
+                lambda kernel, lo, hi: self._gram_chunk(kernel, block, out, lo, hi),
+            )
+        collector.note_threads(self.threads_used)
+        collector.note_workspace(self.workspace_bytes())
         return out[:, 0] if squeeze else out
+
+    def _pmf_chunk(
+        self,
+        kernel: SparseKernel,
+        block: np.ndarray,
+        weights: np.ndarray,
+        acc: np.ndarray,
+        lo: int,
+        hi: int,
+    ) -> None:
+        m = kernel.shape[0]
+        c = hi - lo
+        acc_view = acc[:, lo:hi]
+        cur = kernel._buf("hop_a", m, c)
+        cur[...] = block[:, lo:hi]
+        np.multiply(cur, weights[0], out=acc_view)
+        scratch = kernel._buf("hop_scratch", m, c)
+        use_b = True
+        for omega_ell in weights[1:]:
+            v = kernel.t_matmul(cur, reuse=True)
+            nxt = kernel._buf("hop_b" if use_b else "hop_a", m, c)
+            nxt.fill(0.0)
+            if _HAVE_SPARSETOOLS:
+                kernel._csr_into(v, nxt)
+            else:  # pragma: no cover - exercised via fallback test
+                nxt[...] = kernel.w @ v
+            # Same two-step rounding as the reference `acc += omega * q`.
+            np.multiply(nxt, omega_ell, out=scratch)
+            np.add(acc_view, scratch, out=acc_view)
+            cur = nxt
+            use_b = not use_b
 
     def pmf_apply(self, block: np.ndarray, weights: Sequence[float]) -> np.ndarray:
         """``H @ block`` with ``H = sum_l weights[l] (W W^T)^l``.
 
         Bit-identical to :func:`repro.linalg.ops.pmf_weighted_apply` in
         float64 — per element, the same multiply/add sequence in the same
-        order — while reusing one set of hop buffers across all ``tau``
-        hops (and, through the owning operator, across solver iterations).
+        order — while reusing one set of hop buffers per worker slot across
+        all ``tau`` hops (and, through the owning operator, across solver
+        iterations).
         """
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 1 or weights.size == 0:
@@ -221,37 +429,24 @@ class GramKernel:
         collector = _obs_active()
         acc = np.empty((m, cols), dtype=self.dtype)
         collector.note_array(acc.nbytes)
-        nnz = self.kernel.w.nnz
-        for lo, hi in self._chunks(cols):
-            c = hi - lo
-            acc_view = acc[:, lo:hi]
-            cur = self.kernel._buf("hop_a", m, c)
-            cur[...] = block[:, lo:hi]
-            np.multiply(cur, weights[0], out=acc_view)
-            scratch = self.kernel._buf("hop_scratch", m, c)
-            use_b = True
-            for omega_ell in weights[1:]:
-                collector.count_spmv(nnz, 2 * c)
-                v = self.kernel.t_matmul(cur, reuse=True)
-                nxt = self.kernel._buf("hop_b" if use_b else "hop_a", m, c)
-                nxt.fill(0.0)
-                if _HAVE_SPARSETOOLS:
-                    w = self.kernel.w
-                    _sparsetools.csr_matvecs(
-                        m,
-                        w.shape[1],
-                        c,
-                        w.indptr,
-                        w.indices,
-                        w.data,
-                        v.ravel(),
-                        nxt.ravel(),
-                    )
-                else:  # pragma: no cover - exercised via fallback test
-                    nxt[...] = self.kernel.w @ v
-                # Same two-step rounding as the reference `acc += omega * q`.
-                np.multiply(nxt, omega_ell, out=scratch)
-                np.add(acc_view, scratch, out=acc_view)
-                cur = nxt
-                use_b = not use_b
+        hops = weights.size - 1
+        if hops:
+            # Once per logical apply: 2 matvecs per hop per column, exactly
+            # the serial reference's per-chunk-per-hop totals.
+            collector.count_spmv(self.kernel.w.nnz, 2 * cols * hops)
+        n_slots, width = self._plan(cols)
+        if n_slots == 1:
+            for lo, hi in self._chunks(cols):
+                self._pmf_chunk(self.kernel, block, weights, acc, lo, hi)
+        else:
+            self._run_sharded(
+                n_slots,
+                width,
+                cols,
+                lambda kernel, lo, hi: self._pmf_chunk(
+                    kernel, block, weights, acc, lo, hi
+                ),
+            )
+        collector.note_threads(self.threads_used)
+        collector.note_workspace(self.workspace_bytes())
         return acc[:, 0] if squeeze else acc

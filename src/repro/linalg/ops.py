@@ -210,7 +210,9 @@ class ProximityOperator:
         if self._policy.workspace:
             # The intermediate W @ x goes straight into a reused buffer; the
             # H-apply copies it into its own workspace immediately.
-            wx = self._w_kernel().matmul(block, reuse=True)
+            kernel = self._w_kernel()
+            wx = kernel.matmul(block, reuse=True)
+            _obs_active().note_threads(kernel.threads_used)
         else:
             wx = np.asarray(self._w @ block)
         return self._h.matmat(wx)
@@ -248,5 +250,8 @@ class _TransposedProximity:
         hy = parent._h.matmat(block)
         if parent._policy.workspace:
             # Fresh output (reuse=False): this is a public API return value.
-            return parent._w_kernel().t_matmul(hy, reuse=False)
+            kernel = parent._w_kernel()
+            out = kernel.t_matmul(hy, reuse=False)
+            _obs_active().note_threads(kernel.threads_used)
+            return out
         return parent._w.T @ hy

@@ -27,9 +27,11 @@ randomized SVD via solver configuration — not per-call flags.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
+
+from .parallel import ExecPolicy
 
 __all__ = ["DtypePolicy"]
 
@@ -53,12 +55,21 @@ class DtypePolicy:
     block_cols:
         Column-chunk width for blocks wider than this; bounds workspace
         memory for very large ``k``.
+    exec_policy:
+        Thread count and auto-tune threshold for the parallel kernel
+        executor (:class:`~repro.linalg.parallel.ExecPolicy`).  Resolved
+        from the environment (``REPRO_NUM_THREADS``) at construction time;
+        one thread is the exact legacy execution path.  Parallelism never
+        changes results or operation counts, so it deliberately does not
+        appear in :meth:`describe` — the same policy slug covers every
+        thread count.
     """
 
     compute: str = "float64"
     accumulate: str = "float64"
     workspace: bool = True
     block_cols: int = 256
+    exec_policy: ExecPolicy = field(default_factory=ExecPolicy.from_env)
 
     def __post_init__(self) -> None:
         if self.compute not in _COMPUTE_DTYPES:
@@ -88,9 +99,20 @@ class DtypePolicy:
         """Whether the compute dtype matches the float64 reference path."""
         return self.compute == "float64"
 
+    @property
+    def n_threads(self) -> int:
+        """Worker threads of the kernel executor (1 = serial legacy path)."""
+        return self.exec_policy.n_threads
+
     def with_workspace(self, workspace: bool) -> "DtypePolicy":
         """A copy of this policy with the workspace flag replaced."""
         return replace(self, workspace=workspace)
+
+    def with_threads(self, n_threads: int) -> "DtypePolicy":
+        """A copy of this policy pinned to ``n_threads`` executor threads."""
+        return replace(
+            self, exec_policy=replace(self.exec_policy, n_threads=n_threads)
+        )
 
     @classmethod
     def default(cls) -> "DtypePolicy":

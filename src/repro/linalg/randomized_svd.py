@@ -71,15 +71,25 @@ def _make_appliers(
         kernel = SparseKernel(matrix, policy)
         matrix_t = matrix.T  # only consulted by _count_apply (for .nnz)
 
+        def _note_kernel() -> None:
+            # Main-thread reporting of the sharded execution's footprint.
+            collector = _obs_active()
+            collector.note_threads(kernel.threads_used)
+            collector.note_workspace(kernel.workspace_bytes())
+
         def apply(block: np.ndarray) -> np.ndarray:
             _count_apply(matrix, block.shape[1])
             # reuse=True is safe: every product is consumed (copied) by the
             # immediately following thin_qr before the next product runs.
-            return kernel.matmul(block, reuse=True)
+            out = kernel.matmul(block, reuse=True)
+            _note_kernel()
+            return out
 
         def apply_t(block: np.ndarray) -> np.ndarray:
             _count_apply(matrix_t, block.shape[1])
-            return kernel.t_matmul(block, reuse=True)
+            out = kernel.t_matmul(block, reuse=True)
+            _note_kernel()
+            return out
 
     else:
 

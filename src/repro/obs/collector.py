@@ -81,12 +81,24 @@ class NullCollector:
     def note_array(self, nbytes: int) -> None:
         """Record a dense block allocation (no-op)."""
 
+    def note_workspace(self, nbytes: int) -> None:
+        """Record a kernel's total reusable-workspace bytes (no-op)."""
+
+    def note_threads(self, n_threads: int) -> None:
+        """Record the effective kernel thread count (no-op)."""
+
     def sample_memory(self) -> None:
         """Take an RSS sample (no-op)."""
 
 
 class ProfileCollector(NullCollector):
-    """The recording collector: timers + op counters + memory watermarks."""
+    """The recording collector: timers + op counters + memory watermarks.
+
+    Not thread-safe by design: instrumented call sites only report from the
+    solver's calling thread.  The parallel kernels uphold this by counting
+    once per logical apply before dispatching shards and by keeping worker
+    threads away from the collector entirely.
+    """
 
     enabled = True
 
@@ -94,6 +106,7 @@ class ProfileCollector(NullCollector):
         self.timer = StageTimer()
         self.ops = OpCounter()
         self.memory = MemorySampler()
+        self.threads = 1
         self.started = time.perf_counter()
         self.memory.sample()
 
@@ -120,6 +133,13 @@ class ProfileCollector(NullCollector):
 
     def note_array(self, nbytes: int) -> None:
         self.memory.note_array(nbytes)
+
+    def note_workspace(self, nbytes: int) -> None:
+        self.memory.note_workspace(nbytes)
+
+    def note_threads(self, n_threads: int) -> None:
+        if n_threads > self.threads:
+            self.threads = int(n_threads)
 
     def sample_memory(self) -> None:
         self.memory.sample()
@@ -150,6 +170,7 @@ class ProfileCollector(NullCollector):
             stages=self.timer.stages(),
             ops=self.ops.to_dict(),
             memory=self.memory.to_dict(),
+            threads=self.threads,
             metadata=dict(metadata or {}),
         )
 

@@ -50,6 +50,7 @@ class MemorySampler:
     def __init__(self) -> None:
         self.peak_rss_bytes: int = 0
         self.max_tracked_array_bytes: int = 0
+        self.workspace_bytes: int = 0
         self.samples: int = 0
 
     def sample(self) -> None:
@@ -65,10 +66,21 @@ class MemorySampler:
         if nbytes > self.max_tracked_array_bytes:
             self.max_tracked_array_bytes = int(nbytes)
 
+    def note_workspace(self, nbytes: int) -> None:
+        """Report a kernel's total reusable-workspace footprint (watermark).
+
+        Kernels report the *sum* across all their per-thread buffer pools, so
+        the watermark reflects the true resident workspace of the sharded
+        execution, not one slot's share.
+        """
+        if nbytes > self.workspace_bytes:
+            self.workspace_bytes = int(nbytes)
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (stable key set)."""
         return {
             "peak_rss_bytes": self.peak_rss_bytes,
             "max_tracked_array_bytes": self.max_tracked_array_bytes,
+            "workspace_bytes": self.workspace_bytes,
             "samples": self.samples,
         }

@@ -10,21 +10,26 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
 
     {
       "schema": "repro.obs.run_report",
-      "version": 1,
+      "version": 2,
       "method": str,              # display name, e.g. "GEBE^p"
       "dataset": str | null,
       "dimension": int | null,
       "seed": int | null,
       "wall_seconds": float,
+      "threads": int,             # effective kernel thread count (>= 1)
       "stages": [Stage, ...],     # Stage: {name, path, seconds, calls,
                                   #         children: [Stage, ...]}
       "ops": {"sparse_matvecs": int, "gemms": int,
               "qr_factorizations": int, "svd_factorizations": int,
               "flops": float},
       "memory": {"peak_rss_bytes": int, "max_tracked_array_bytes": int,
-                 "samples": int},
+                 "workspace_bytes": int, "samples": int},
       "metadata": {...}           # free-form, JSON-serializable
     }
+
+Version history: v2 added ``threads`` (the widest kernel sharding the run
+actually used; 1 = fully serial) and ``memory.workspace_bytes`` (watermark
+of the kernels' reusable buffers, summed across per-thread pools).
 """
 
 from __future__ import annotations
@@ -36,7 +41,7 @@ from typing import Any, Dict, List, Optional
 __all__ = ["RunReport", "validate_report", "SCHEMA_NAME", "SCHEMA_VERSION"]
 
 SCHEMA_NAME = "repro.obs.run_report"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _OPS_KEYS = (
     "sparse_matvecs",
@@ -45,7 +50,12 @@ _OPS_KEYS = (
     "svd_factorizations",
     "flops",
 )
-_MEMORY_KEYS = ("peak_rss_bytes", "max_tracked_array_bytes", "samples")
+_MEMORY_KEYS = (
+    "peak_rss_bytes",
+    "max_tracked_array_bytes",
+    "workspace_bytes",
+    "samples",
+)
 _STAGE_KEYS = ("name", "path", "seconds", "calls", "children")
 
 
@@ -98,6 +108,9 @@ def validate_report(payload: Any) -> Dict[str, Any]:
     wall = payload.get("wall_seconds")
     if not isinstance(wall, (int, float)) or wall < 0:
         _fail("wall_seconds must be a non-negative number")
+    threads = payload.get("threads")
+    if not isinstance(threads, int) or isinstance(threads, bool) or threads < 1:
+        _fail("threads must be an integer >= 1")
     if not isinstance(payload.get("stages"), list):
         _fail("stages must be a list")
     for index, stage in enumerate(payload["stages"]):
@@ -133,6 +146,7 @@ class RunReport:
     dataset: Optional[str] = None
     dimension: Optional[int] = None
     seed: Optional[int] = None
+    threads: int = 1
     metadata: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -147,6 +161,7 @@ class RunReport:
             "dimension": self.dimension,
             "seed": self.seed,
             "wall_seconds": float(self.wall_seconds),
+            "threads": int(self.threads),
             "stages": self.stages,
             "ops": ops,
             "memory": memory,
@@ -177,6 +192,7 @@ class RunReport:
             dataset=payload.get("dataset"),
             dimension=payload.get("dimension"),
             seed=payload.get("seed"),
+            threads=int(payload.get("threads", 1)),
             metadata=dict(payload.get("metadata", {})),
         )
 
@@ -206,5 +222,7 @@ class RunReport:
             f"{self.method}: {self.wall_seconds:.3f}s, "
             f"{self.ops.get('sparse_matvecs', 0)} spmv, "
             f"{self.ops.get('gemms', 0)} gemm, "
-            f"peak RSS {self.memory.get('peak_rss_bytes', 0) / 1e6:.1f} MB"
+            f"{self.threads} thread{'s' if self.threads != 1 else ''}, "
+            f"peak RSS {self.memory.get('peak_rss_bytes', 0) / 1e6:.1f} MB, "
+            f"workspace {self.memory.get('workspace_bytes', 0) / 1e6:.1f} MB"
         )

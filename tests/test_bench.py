@@ -4,12 +4,18 @@ import json
 
 import pytest
 
+import copy
+
 from repro.bench import (
     BENCH_SCHEMA_NAME,
     BENCH_SCHEMA_VERSION,
     BenchConfig,
+    compare_bench,
+    load_bench,
     render_bench,
+    render_compare,
     run_bench,
+    upgrade_bench,
     validate_bench,
     write_bench,
 )
@@ -38,6 +44,16 @@ class TestBenchConfig:
         with pytest.raises(KeyError, match="unknown dataset"):
             run_bench(BenchConfig(datasets=("nope",), repeats=1))
 
+    def test_policy_rows_pinned_serial(self):
+        # The dtype A/B axis must not inherit REPRO_NUM_THREADS: dtype
+        # rows are always serial, threads get their own rows.
+        assert all(p.n_threads == 1 for p in BenchConfig().policies())
+
+    def test_thread_counts_sorted_unique(self):
+        assert BenchConfig(threads=(4, 1, 2, 4)).thread_counts() == [1, 2, 4]
+        with pytest.raises(ValueError, match="threads"):
+            BenchConfig(threads=(0,)).thread_counts()
+
 
 class TestRunBench:
     def test_smoke_document_validates(self, smoke_payload):
@@ -47,10 +63,21 @@ class TestRunBench:
 
     def test_covers_grid(self, smoke_payload):
         config = BenchConfig.smoke()
-        per_cell = len(config.policies())
+        thread_rows = len([t for t in config.thread_counts() if t > 1])
+        per_cell = len(config.policies()) + thread_rows
         assert len(smoke_payload["runs"]) == (
             len(config.datasets) * len(config.methods) * per_cell
         )
+
+    def test_thread_rows_present(self, smoke_payload):
+        config = BenchConfig.smoke()
+        expected = set(config.thread_counts())
+        assert {run["threads"] for run in smoke_payload["runs"]} == expected
+        # Thread rows always use the default (workspace float64) policy.
+        for run in smoke_payload["runs"]:
+            if run["threads"] > 1:
+                assert run["policy"] == "float64/workspace"
+            assert run["workspace_bytes"] >= 0
 
     def test_matvec_counts_identical_across_kernel_paths(self, smoke_payload):
         assert smoke_payload["comparisons"], "A/B comparisons missing"
@@ -63,15 +90,36 @@ class TestRunBench:
     def test_comparisons_cover_every_new_kernel_policy(self, smoke_payload):
         # Both the float64 workspace default and the float32 row are
         # A/B'd against the legacy baseline, per (method, dataset) cell.
-        candidates = {row["candidate_policy"] for row in smoke_payload["comparisons"]}
+        dtype_rows = [
+            row for row in smoke_payload["comparisons"]
+            if row["candidate_threads"] == 1
+        ]
+        candidates = {row["candidate_policy"] for row in dtype_rows}
         assert candidates == {"float64/workspace", "float32/workspace"}
         config = BenchConfig.smoke()
         cells = len(config.datasets) * len(config.methods)
-        assert len(smoke_payload["comparisons"]) == cells * len(candidates)
-        assert all(
-            row["baseline_policy"] == "float64/legacy"
-            for row in smoke_payload["comparisons"]
-        )
+        assert len(dtype_rows) == cells * len(candidates)
+        assert all(row["baseline_policy"] == "float64/legacy" for row in dtype_rows)
+        assert all(row["baseline_threads"] == 1 for row in dtype_rows)
+
+    def test_comparisons_cover_every_thread_count(self, smoke_payload):
+        # Every threads > 1 row is compared against its serial twin: same
+        # method, dataset, and policy, threads pinned to 1.
+        config = BenchConfig.smoke()
+        cells = len(config.datasets) * len(config.methods)
+        thread_rows = [
+            row for row in smoke_payload["comparisons"]
+            if row["candidate_threads"] > 1
+        ]
+        extra = [t for t in config.thread_counts() if t > 1]
+        assert len(thread_rows) == cells * len(extra)
+        for row in thread_rows:
+            assert row["baseline_threads"] == 1
+            assert row["baseline_policy"] == row["candidate_policy"]
+            assert row["matvecs_equal"], (
+                f"{row['method']}/{row['dataset']}: op counts changed with "
+                f"{row['candidate_threads']} threads"
+            )
 
     def test_float32_rows_present(self, smoke_payload):
         policies = {run["policy"] for run in smoke_payload["runs"]}
@@ -155,3 +203,165 @@ class TestBenchCli:
         assert payload["config"]["float32"] is False
         policies = {run["policy"] for run in payload["runs"]}
         assert "float32/workspace" not in policies
+
+    def test_threads_override(self, tmp_path):
+        out = tmp_path / "BENCH_cli.json"
+        code = main(
+            ["bench", "--smoke", "--threads", "1", "--output", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["config"]["threads"] == [1]
+        assert {run["threads"] for run in payload["runs"]} == {1}
+
+    def test_threads_rejects_zero(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_cli.json"
+        code = main(["bench", "--smoke", "--threads", "0", "--output", str(out)])
+        assert code == 2
+        assert "threads" in capsys.readouterr().err
+
+    def test_compare_against_self_passes(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_a.json"
+        assert main(["bench", "--smoke", "--output", str(out)]) == 0
+        fresh = tmp_path / "BENCH_b.json"
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--output",
+                str(fresh),
+                "--compare",
+                str(out),
+                # Smoke cells run in milliseconds, so relative wall noise
+                # is huge; a wide threshold keeps this deterministic.
+                "--noise",
+                "25",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "bench compare" in captured.out
+        assert "verdict: ok" in captured.out
+
+    def test_compare_missing_baseline_errors(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_cli.json"
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--output",
+                str(out),
+                "--compare",
+                str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestBenchUpgrade:
+    def _as_v1(self, payload):
+        doc = copy.deepcopy(payload)
+        doc["version"] = 1
+        doc["config"].pop("threads")
+        # v1 had exactly one serial row per (method, dataset, policy).
+        doc["runs"] = [
+            {k: v for k, v in run.items()
+             if k not in ("threads", "workspace_bytes")}
+            for run in doc["runs"] if run["threads"] == 1
+        ]
+        doc["comparisons"] = [
+            {k: v for k, v in row.items()
+             if k not in ("baseline_threads", "candidate_threads")}
+            for row in doc["comparisons"] if row["candidate_threads"] == 1
+        ]
+        return doc
+
+    def test_v1_document_upgrades_and_validates(self, smoke_payload):
+        upgraded = upgrade_bench(self._as_v1(smoke_payload))
+        validate_bench(upgraded)
+        assert upgraded["version"] == BENCH_SCHEMA_VERSION
+        assert upgraded["config"]["threads"] == [1]
+        assert all(run["threads"] == 1 for run in upgraded["runs"])
+        assert all(run["workspace_bytes"] == 0 for run in upgraded["runs"])
+
+    def test_current_version_passes_through(self, smoke_payload):
+        assert upgrade_bench(smoke_payload) is smoke_payload
+
+    def test_load_bench_upgrades_v1_file(self, smoke_payload, tmp_path):
+        path = tmp_path / "BENCH_v1.json"
+        path.write_text(json.dumps(self._as_v1(smoke_payload)))
+        doc = load_bench(str(path))
+        assert doc["version"] == BENCH_SCHEMA_VERSION
+
+
+class TestCompareBench:
+    def test_self_compare_is_clean(self, smoke_payload):
+        result = compare_bench(smoke_payload, smoke_payload)
+        assert len(result["rows"]) == len(smoke_payload["runs"])
+        assert result["regressions"] == []
+        assert result["matvec_drift"] == []
+        assert result["missing"] == [] and result["added"] == []
+        assert "verdict: ok" in render_compare(result)
+
+    def test_flags_wall_time_regression(self, smoke_payload):
+        slow = copy.deepcopy(smoke_payload)
+        slow["runs"][0]["wall_seconds"] *= 10.0
+        result = compare_bench(smoke_payload, slow, noise=0.25, min_seconds=0.0)
+        assert len(result["regressions"]) == 1
+        assert result["regressions"][0]["ratio"] == pytest.approx(10.0)
+        assert "REGRESSION" in render_compare(result)
+
+    def test_noise_threshold_suppresses_small_slowdowns(self, smoke_payload):
+        slow = copy.deepcopy(smoke_payload)
+        slow["runs"][0]["wall_seconds"] *= 1.2
+        clean = compare_bench(smoke_payload, slow, noise=0.25, min_seconds=0.0)
+        assert clean["regressions"] == []
+        tight = compare_bench(smoke_payload, slow, noise=0.1, min_seconds=0.0)
+        assert tight["regressions"]
+
+    def test_absolute_floor_suppresses_millisecond_jitter(self, smoke_payload):
+        # A 2x slowdown on a 3 ms cell is scheduler noise, not a
+        # regression; the same ratio on a 3 s cell is real.
+        slow = copy.deepcopy(smoke_payload)
+        slow["runs"][0]["wall_seconds"] = smoke_payload["runs"][0][
+            "wall_seconds"
+        ] + 0.01
+        assert compare_bench(smoke_payload, slow, noise=0.0)["regressions"] == []
+        big_old = copy.deepcopy(smoke_payload)
+        big_old["runs"][0]["wall_seconds"] = 3.0
+        big_new = copy.deepcopy(smoke_payload)
+        big_new["runs"][0]["wall_seconds"] = 6.0
+        assert compare_bench(big_old, big_new)["regressions"]
+
+    def test_rejects_negative_min_seconds(self, smoke_payload):
+        with pytest.raises(ValueError, match="min_seconds"):
+            compare_bench(smoke_payload, smoke_payload, min_seconds=-1.0)
+
+    def test_flags_matvec_drift(self, smoke_payload):
+        drifted = copy.deepcopy(smoke_payload)
+        drifted["runs"][0]["matvecs"] += 7
+        result = compare_bench(smoke_payload, drifted)
+        assert len(result["matvec_drift"]) == 1
+        assert "MATVEC-DRIFT" in render_compare(result)
+
+    def test_reports_missing_and_added_cells(self, smoke_payload):
+        pruned = copy.deepcopy(smoke_payload)
+        dropped = pruned["runs"].pop()
+        result = compare_bench(smoke_payload, pruned)
+        assert result["missing"] == [
+            (dropped["method"], dropped["dataset"], dropped["policy"],
+             dropped["threads"])
+        ]
+        assert compare_bench(pruned, smoke_payload)["added"] == result["missing"]
+
+    def test_surfaces_internal_invariant_violations(self, smoke_payload):
+        broken = copy.deepcopy(smoke_payload)
+        broken["comparisons"][0]["matvecs_equal"] = False
+        result = compare_bench(smoke_payload, broken)
+        assert len(result["invariant_violations"]) == 1
+        assert "invariant violated" in render_compare(result)
+
+    def test_rejects_negative_noise(self, smoke_payload):
+        with pytest.raises(ValueError, match="noise"):
+            compare_bench(smoke_payload, smoke_payload, noise=-0.1)

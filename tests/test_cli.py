@@ -53,6 +53,32 @@ class TestEmbed:
         )
         assert code == 0
 
+    def test_threads_flag_matches_serial_output(self, edge_file, tmp_path):
+        # Parallelism is bit-identical, so --threads must not change the
+        # embeddings.
+        serial = str(tmp_path / "serial.npz")
+        threaded = str(tmp_path / "threaded.npz")
+        base = ["embed", edge_file, "--dimension", "8", "--seed", "0"]
+        assert main([*base[:2], serial, *base[2:], "--threads", "1"]) == 0
+        assert main([*base[:2], threaded, *base[2:], "--threads", "4"]) == 0
+        a, b = np.load(serial), np.load(threaded)
+        np.testing.assert_array_equal(a["u"], b["u"])
+        np.testing.assert_array_equal(a["v"], b["v"])
+
+    def test_threads_rejected_for_competitors(self, edge_file, tmp_path, capsys):
+        out = str(tmp_path / "emb.npz")
+        code = main(
+            ["embed", edge_file, out, "--method", "DeepWalk", "--threads", "2"]
+        )
+        assert code == 2
+        assert "proposed" in capsys.readouterr().err
+
+    def test_threads_must_be_positive(self, edge_file, tmp_path, capsys):
+        out = str(tmp_path / "emb.npz")
+        code = main(["embed", edge_file, out, "--threads", "0"])
+        assert code == 2
+        assert "--threads" in capsys.readouterr().err
+
 
 class TestRecommend:
     def test_prints_top_n(self, edge_file, capsys):

@@ -1,0 +1,114 @@
+"""The ``_HAVE_SPARSETOOLS = False`` fallback path of the kernels.
+
+When scipy's low-level ``csr_matvecs`` / ``csc_matvecs`` routines are
+unavailable, :mod:`repro.linalg.kernels` falls back to plain ``w @ block``
+products.  That path must be **bit-identical** to the in-place sparsetools
+path (both execute the same CSR/CSC operation order per element) and must
+report **identical obs counts** (counting happens once per logical apply,
+above the dispatch).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import obs
+from repro.core import PoissonPMF
+from repro.linalg import DtypePolicy, ExecPolicy, GramKernel, SparseKernel
+from repro.linalg import kernels as kernels_module
+
+
+@pytest.fixture
+def no_sparsetools(monkeypatch):
+    monkeypatch.setattr(kernels_module, "_HAVE_SPARSETOOLS", False)
+
+
+@pytest.fixture
+def w(rng):
+    dense = np.where(rng.random((13, 9)) < 0.4, rng.random((13, 9)), 0.0)
+    dense[0, 0] = 1.0  # at least one entry
+    return sp.csr_matrix(dense)
+
+
+def _threaded_policy(n_threads=4, compute="float64"):
+    return DtypePolicy(
+        compute=compute,
+        exec_policy=ExecPolicy(n_threads=n_threads, serial_threshold=0),
+    )
+
+
+class TestFallbackBitIdentity:
+    def test_matmul_matches_sparsetools_path(self, rng, w, monkeypatch):
+        v_block = rng.standard_normal((9, 5))
+        expected = SparseKernel(w).matmul(v_block)
+        monkeypatch.setattr(kernels_module, "_HAVE_SPARSETOOLS", False)
+        for reuse in (False, True):
+            got = SparseKernel(w).matmul(v_block, reuse=reuse)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_t_matmul_matches_sparsetools_path(self, rng, w, monkeypatch):
+        u_block = rng.standard_normal((13, 5))
+        expected = SparseKernel(w).t_matmul(u_block)
+        monkeypatch.setattr(kernels_module, "_HAVE_SPARSETOOLS", False)
+        for reuse in (False, True):
+            got = SparseKernel(w).t_matmul(u_block, reuse=reuse)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_gram_and_pmf_match_sparsetools_path(self, rng, w, monkeypatch):
+        block = rng.standard_normal((13, 6))
+        weights = PoissonPMF(lam=1.0).weights(4)
+        expected_gram = GramKernel(w).gram_apply(block)
+        expected_pmf = GramKernel(w).pmf_apply(block, weights)
+        monkeypatch.setattr(kernels_module, "_HAVE_SPARSETOOLS", False)
+        np.testing.assert_array_equal(GramKernel(w).gram_apply(block), expected_gram)
+        np.testing.assert_array_equal(
+            GramKernel(w).pmf_apply(block, weights), expected_pmf
+        )
+
+    def test_1d_blocks(self, rng, w, no_sparsetools):
+        x = rng.standard_normal(9)
+        y = rng.standard_normal(13)
+        kernel = SparseKernel(w)
+        np.testing.assert_array_equal(kernel.matmul(x), w @ x)
+        np.testing.assert_array_equal(kernel.t_matmul(y), w.T @ y)
+
+    def test_float32_fallback(self, rng, w, monkeypatch):
+        block = rng.standard_normal((13, 4))
+        policy = DtypePolicy.float32()
+        expected = GramKernel(w, policy).gram_apply(block)
+        monkeypatch.setattr(kernels_module, "_HAVE_SPARSETOOLS", False)
+        got = GramKernel(w, policy).gram_apply(block)
+        assert got.dtype == np.float32
+        np.testing.assert_array_equal(got, expected)
+
+    def test_threaded_policy_degrades_to_serial(self, rng, w, no_sparsetools):
+        # Without sparsetools there is nothing GIL-free to shard; the
+        # kernels must stay correct (and serial) under a threaded policy.
+        block = rng.standard_normal((13, 6))
+        weights = PoissonPMF(lam=1.0).weights(3)
+        gram = GramKernel(w, _threaded_policy())
+        np.testing.assert_array_equal(
+            gram.pmf_apply(block, weights),
+            GramKernel(w).pmf_apply(block, weights),
+        )
+
+
+class TestFallbackObsCounts:
+    def _counts(self, w, rng_seed=3):
+        rng = np.random.default_rng(rng_seed)
+        block = rng.standard_normal((13, 6))
+        v_block = rng.standard_normal((9, 6))
+        weights = PoissonPMF(lam=1.0).weights(4)
+        with obs.collect() as collector:
+            SparseKernel(w).matmul(v_block)
+            SparseKernel(w).t_matmul(block)
+            gram = GramKernel(w)
+            gram.gram_apply(block)
+            gram.pmf_apply(block, weights)
+        return collector.report(method="fallback", wall_seconds=0.0).ops
+
+    def test_counts_identical_to_sparsetools_path(self, w, monkeypatch):
+        reference = self._counts(w)
+        assert reference["sparse_matvecs"] > 0
+        monkeypatch.setattr(kernels_module, "_HAVE_SPARSETOOLS", False)
+        assert self._counts(w) == reference

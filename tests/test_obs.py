@@ -246,6 +246,10 @@ class TestRunReport:
             (lambda p: p["stages"][0].pop("path"), "path"),
             (lambda p: p.update(wall_seconds=-1.0), "wall_seconds"),
             (lambda p: p["memory"].update(peak_rss_bytes=-5), "peak_rss_bytes"),
+            (lambda p: p.pop("threads"), "threads"),
+            (lambda p: p.update(threads=0), "threads"),
+            (lambda p: p.update(threads=True), "threads"),
+            (lambda p: p["memory"].pop("workspace_bytes"), "workspace_bytes"),
         ],
     )
     def test_schema_violations_rejected(self, mutate, match):
@@ -258,6 +262,18 @@ class TestRunReport:
         summary = profiled_toy_report().summary()
         assert "\n" not in summary
         assert "GEBE^p" in summary
+
+    def test_v2_thread_and_workspace_fields(self):
+        # Schema v2: effective thread count and the kernel workspace
+        # watermark (summed over per-thread pools) are part of the report.
+        payload = profiled_toy_report().to_dict()
+        assert payload["version"] == 2
+        assert payload["threads"] >= 1
+        assert payload["memory"]["workspace_bytes"] >= 0
+        restored = RunReport.from_dict(payload)
+        assert restored.threads == payload["threads"]
+        assert "thread" in restored.summary()
+        assert "workspace" in restored.summary()
 
 
 # ---------------------------------------------------------------------------
