@@ -2,12 +2,14 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-compare bench-pytest examples quicktest profile-smoke clean
+.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-pytest examples quicktest profile-smoke clean
 
 # Kernel-level suites that must hold under a parallel executor; `make test`
-# reruns them with REPRO_NUM_THREADS=4 after the default serial pass.
+# reruns them with REPRO_NUM_THREADS=4 after the default serial pass.  The
+# topk differential suite rides along: batched retrieval must stay identical
+# to the per-user path at any thread count.
 THREADED_TESTS = tests/test_linalg_kernels.py tests/test_linalg_parallel.py \
-  tests/test_kernels_fallback.py
+  tests/test_kernels_fallback.py tests/test_topk.py
 
 install:
 	pip install -e . || { \
@@ -42,6 +44,13 @@ bench:
 # part of the default `make test`.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --output /tmp/gebe-bench-smoke.json
+
+# The top-k retrieval axis alone (per-user vs batched serving read-out) on
+# the toy graph — a seconds-scale check that the batched engine still beats
+# the reference path and produces identical lists.  See docs/SERVING.md.
+bench-topk:
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --topk-only \
+	  --output /tmp/gebe-bench-topk.json
 
 # Fresh run diffed against the committed BENCH_gebe.json: flags wall-time
 # regressions beyond the noise threshold and any matvec drift; exit 1 on

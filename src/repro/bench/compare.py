@@ -52,6 +52,30 @@ def _run_key(run: Dict[str, Any]) -> Tuple[str, str, str, int]:
     return (run["method"], run["dataset"], run["policy"], run["threads"])
 
 
+def _topk_as_run(row: Dict[str, Any]) -> Dict[str, Any]:
+    """A topk row viewed as a regular run row for the diff machinery.
+
+    The ``policy`` slot encodes the retrieval configuration
+    (``topk:batched/b256`` / ``topk:per_user``, ``/nomask`` when exclusion
+    was off) and the deterministic ``candidates`` counter stands in for
+    ``matvecs`` — both are exact operation tallies, so drift means a real
+    schedule change either way.
+    """
+    label = f"topk:{row['mode']}"
+    if row["block_rows"] is not None:
+        label += f"/b{row['block_rows']}"
+    if not row["exclude"]:
+        label += "/nomask"
+    return {
+        "method": row["method"],
+        "dataset": row["dataset"],
+        "policy": label,
+        "threads": row["threads"],
+        "wall_seconds": row["wall_seconds"],
+        "matvecs": row["candidates"],
+    }
+
+
 def compare_bench(
     old: Dict[str, Any],
     new: Dict[str, Any],
@@ -71,7 +95,8 @@ def compare_bench(
     * ``matvec_drift`` — cells whose operation counts changed vs the
       snapshot (always a real schedule change);
     * ``invariant_violations`` — ``matvecs_equal`` failures inside the
-      fresh run's own comparisons;
+      fresh run's own comparisons, plus ``lists_equal`` failures inside its
+      topk comparisons (batched retrieval diverging from per-user);
     * ``missing`` / ``added`` — cell keys only in the old / new document;
     * ``noise`` — the threshold used.
     """
@@ -81,6 +106,14 @@ def compare_bench(
         raise ValueError("min_seconds must be non-negative")
     old_runs = {_run_key(run): run for run in old["runs"]}
     new_runs = {_run_key(run): run for run in new["runs"]}
+    old_runs.update(
+        (_run_key(row), row)
+        for row in map(_topk_as_run, old.get("topk_runs", []))
+    )
+    new_runs.update(
+        (_run_key(row), row)
+        for row in map(_topk_as_run, new.get("topk_runs", []))
+    )
     rows: List[Dict[str, Any]] = []
     for key in new_runs:
         if key not in old_runs:
@@ -110,6 +143,11 @@ def compare_bench(
         "matvec_drift": [row for row in rows if not row["matvecs_equal"]],
         "invariant_violations": [
             row for row in new["comparisons"] if not row["matvecs_equal"]
+        ]
+        + [
+            row
+            for row in new.get("topk_comparisons", [])
+            if not row["lists_equal"]
         ],
         "missing": sorted(key for key in old_runs if key not in new_runs),
         "added": sorted(key for key in new_runs if key not in old_runs),

@@ -36,11 +36,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy
 
+from .. import obs
 from ..baselines import make_method
 from ..datasets import DATASETS, toy_graph
 from ..experiments.runner import ProfiledRun, profile_method
 from ..graph import BipartiteGraph
 from ..linalg import DtypePolicy
+from ..tasks import TopKEngine
 from .schema import BENCH_SCHEMA_NAME, BENCH_SCHEMA_VERSION, validate_bench
 
 __all__ = ["BenchConfig", "run_bench", "write_bench", "render_bench"]
@@ -80,6 +82,16 @@ class BenchConfig:
         A/B rows); every additional count here runs the default float64
         workspace policy again with that many threads and records a
         serial-vs-threaded comparison.
+    fit_grid:
+        Run the training grid above (``False``: ``--topk-only``).
+    topk:
+        Run the top-k retrieval axis: fit the first method once per dataset,
+        then sweep the batched serving read-out against the per-user
+        reference path.
+    topk_block_rows:
+        Block sizes for the batched top-k rows.
+    topk_n:
+        Recommendation list length for the top-k axis.
     """
 
     datasets: Tuple[str, ...] = ("dblp", "mag")
@@ -91,6 +103,10 @@ class BenchConfig:
     ab_compare: bool = True
     float32: bool = True
     threads: Tuple[int, ...] = (1, 2, 4)
+    fit_grid: bool = True
+    topk: bool = True
+    topk_block_rows: Tuple[int, ...] = (64, 256, 1024)
+    topk_n: int = 10
 
     @classmethod
     def smoke(cls) -> "BenchConfig":
@@ -102,6 +118,7 @@ class BenchConfig:
             repeats=1,
             gebe_iterations=5,
             threads=(1, 2),
+            topk_block_rows=(4, 64),
         )
 
     def policies(self) -> List[DtypePolicy]:
@@ -180,6 +197,150 @@ def _run_cell(
     }
 
 
+def _topk_progress(row: Dict[str, Any]) -> None:
+    block = "-" if row["block_rows"] is None else str(row["block_rows"])
+    mask = "mask" if row["exclude"] else "nomask"
+    print(
+        f"  topk {row['mode']:<9} {row['dataset']:<8} b={block:<5} "
+        f"x{row['threads']} {mask:<7} {row['wall_seconds']:8.3f}s",
+        file=sys.stderr,
+    )
+
+
+def _run_topk_axis(
+    dataset: str,
+    graph: BipartiteGraph,
+    config: BenchConfig,
+    *,
+    progress: bool = False,
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """The retrieval axis for one dataset: per-user reference vs batched.
+
+    Fits ``config.methods[0]`` once (serial default policy), then times full
+    top-``topk_n`` sweeps over every user with the training edges (the whole
+    graph here — serving semantics) masked out:
+
+    * ``per_user`` — the reference read-out, one
+      :meth:`~repro.core.base.EmbeddingResult.top_items` call per user.
+      This path is uninstrumented, so its counter fields are zero.
+    * ``batched`` at each configured ``block_rows`` (serial), plus one
+      unmasked row (isolating the masking cost) and one row at the widest
+      configured thread count, both at the largest block size.
+
+    Every masked batched row is paired with the per-user reference;
+    ``lists_equal`` asserts the recommendation lists are element-for-element
+    identical — the determinism contract, measured on real embeddings.
+    """
+    name = config.methods[0]
+    method = _make_bench_method(name, config, DtypePolicy.default().with_threads(1))
+    result = method.fit(graph)
+    n = min(config.topk_n, graph.num_v)
+    base = {
+        "method": result.method,
+        "dataset": dataset,
+        "n": n,
+        "num_users": graph.num_u,
+        "num_items": graph.num_v,
+    }
+
+    walls: List[float] = []
+    reference: Optional[np.ndarray] = None
+    for _ in range(config.repeats):
+        started = time.perf_counter()
+        lists = [
+            result.top_items(user, n, exclude=graph.u_neighbors(user))
+            for user in range(graph.num_u)
+        ]
+        walls.append(time.perf_counter() - started)
+        if reference is None:
+            reference = np.stack(lists)
+    per_user_row = {
+        **base,
+        "mode": "per_user",
+        "block_rows": None,
+        "threads": 1,
+        "exclude": True,
+        "wall_seconds": min(walls),
+        "wall_seconds_all": walls,
+        "candidates": 0,
+        "gemms": 0,
+        "workspace_bytes": 0,
+    }
+    rows = [per_user_row]
+    comparisons: List[Dict[str, Any]] = []
+    if progress:
+        _topk_progress(per_user_row)
+
+    def batched_row(
+        block_rows: int, threads: int, exclude: bool
+    ) -> Dict[str, Any]:
+        policy = DtypePolicy.default().with_threads(threads)
+        walls: List[float] = []
+        lists: Optional[np.ndarray] = None
+        counters = {"candidates": 0, "gemms": 0, "workspace_bytes": 0}
+        for _ in range(config.repeats):
+            # A fresh engine per repeat: the buffer allocation and V.T
+            # staging are part of what a cold serving sweep pays.
+            engine = TopKEngine.from_result(
+                result, policy=policy, block_rows=block_rows
+            )
+            with obs.collect() as collector:
+                started = time.perf_counter()
+                out = engine.top_items(
+                    n, exclude=graph if exclude else None
+                )
+                walls.append(time.perf_counter() - started)
+            counters = {
+                "candidates": int(collector.ops.topk_candidates),
+                "gemms": int(collector.ops.gemms),
+                "workspace_bytes": int(collector.memory.workspace_bytes),
+            }
+            if lists is None:
+                lists = out
+        row = {
+            **base,
+            **counters,
+            "mode": "batched",
+            "block_rows": block_rows,
+            "threads": threads,
+            "exclude": exclude,
+            "wall_seconds": min(walls),
+            "wall_seconds_all": walls,
+        }
+        rows.append(row)
+        if progress:
+            _topk_progress(row)
+        if exclude:
+            comparisons.append(
+                {
+                    "method": row["method"],
+                    "dataset": dataset,
+                    "baseline_mode": "per_user",
+                    "candidate_mode": "batched",
+                    "candidate_block_rows": block_rows,
+                    "candidate_threads": threads,
+                    "speedup": per_user_row["wall_seconds"]
+                    / max(row["wall_seconds"], 1e-12),
+                    "lists_equal": bool(np.array_equal(lists, reference)),
+                }
+            )
+        return row
+
+    block_sizes = sorted(set(config.topk_block_rows))
+    if not block_sizes or block_sizes[0] < 1:
+        raise ValueError(
+            f"topk_block_rows must be integers >= 1, got {config.topk_block_rows}"
+        )
+    for block in block_sizes:
+        batched_row(block, 1, True)
+    widest = block_sizes[-1]
+    batched_row(widest, 1, False)
+    max_threads = max(config.thread_counts())
+    if max_threads > 1:
+        batched_row(widest, max_threads, True)
+    return rows, comparisons
+
+
 def _environment() -> Dict[str, Any]:
     return {
         "python": sys.version.split()[0],
@@ -250,6 +411,8 @@ def run_bench(
     """
     config = config if config is not None else BenchConfig()
     runs: List[Dict[str, Any]] = []
+    topk_runs: List[Dict[str, Any]] = []
+    topk_comparisons: List[Dict[str, Any]] = []
     # The dtype-policy grid (all serial) plus the threads axis (default
     # policy re-run at each multi-thread count).
     grid: List[DtypePolicy] = config.policies()
@@ -261,28 +424,38 @@ def run_bench(
     )
     for dataset in config.datasets:
         graph = _load_graph(dataset, config.seed)
-        for name in config.methods:
-            for policy in grid:
-                cell = _run_cell(name, graph, dataset, config, policy)
-                runs.append(cell)
-                if progress:
-                    print(
-                        f"  {cell['method']:<16} {dataset:<8} "
-                        f"{cell['policy']:<18} x{cell['threads']} "
-                        f"{cell['wall_seconds']:8.3f}s "
-                        f"({cell['matvecs']} matvecs)",
-                        file=sys.stderr,
-                    )
+        if config.fit_grid:
+            for name in config.methods:
+                for policy in grid:
+                    cell = _run_cell(name, graph, dataset, config, policy)
+                    runs.append(cell)
+                    if progress:
+                        print(
+                            f"  {cell['method']:<16} {dataset:<8} "
+                            f"{cell['policy']:<18} x{cell['threads']} "
+                            f"{cell['wall_seconds']:8.3f}s "
+                            f"({cell['matvecs']} matvecs)",
+                            file=sys.stderr,
+                        )
+        if config.topk:
+            axis_rows, axis_comparisons = _run_topk_axis(
+                dataset, graph, config, progress=progress
+            )
+            topk_runs.extend(axis_rows)
+            topk_comparisons.extend(axis_comparisons)
     payload = {
         "schema": BENCH_SCHEMA_NAME,
         "version": BENCH_SCHEMA_VERSION,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "config": {**asdict(config), "datasets": list(config.datasets),
                    "methods": list(config.methods),
-                   "threads": list(config.threads)},
+                   "threads": list(config.threads),
+                   "topk_block_rows": list(config.topk_block_rows)},
         "environment": _environment(),
         "runs": runs,
         "comparisons": _comparisons(runs),
+        "topk_runs": topk_runs,
+        "topk_comparisons": topk_comparisons,
     }
     return validate_bench(payload)
 
@@ -328,4 +501,26 @@ def render_bench(payload: Dict[str, Any]) -> str:
             f"{label:>34}  {row['method']:<16} "
             f"{row['dataset']:<8} speedup x{row['speedup']:.2f}  matvecs {marker}"
         )
+    if payload.get("topk_runs"):
+        header = (
+            f"{'topk mode':<12}{'dataset':<10}{'block':>7}{'thr':>4}"
+            f"{'mask':>6}{'wall':>10}{'candidates':>12}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for run in payload["topk_runs"]:
+            block = "-" if run["block_rows"] is None else str(run["block_rows"])
+            lines.append(
+                f"{run['mode']:<12}{run['dataset']:<10}{block:>7}"
+                f"{run['threads']:>4}{'y' if run['exclude'] else 'n':>6}"
+                f"{run['wall_seconds']:>9.3f}s{run['candidates']:>12}"
+            )
+        for row in payload["topk_comparisons"]:
+            marker = "ok" if row["lists_equal"] else "MISMATCH"
+            lines.append(
+                f"{'batched b=' + str(row['candidate_block_rows']):>34}  "
+                f"{row['method']:<16} {row['dataset']:<8} "
+                f"x{row['candidate_threads']} speedup x{row['speedup']:.2f}  "
+                f"lists {marker}"
+            )
     return "\n".join(lines)

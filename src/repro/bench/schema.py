@@ -11,17 +11,21 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
 
     {
       "schema": "repro.bench.results",
-      "version": 2,
+      "version": 3,
       "created": str,             # ISO-8601 UTC timestamp
       "config": {"datasets": [str], "methods": [str], "dimension": int,
                  "seed": int, "repeats": int,
                  "gebe_iterations": int | null,
                  "ab_compare": bool, "float32": bool,
-                 "threads": [int]},
+                 "threads": [int],
+                 "fit_grid": bool, "topk": bool,
+                 "topk_block_rows": [int], "topk_n": int},
       "environment": {"python": str, "numpy": str, "scipy": str,
                       "platform": str, "cpu_count": int},
       "runs": [Run, ...],
-      "comparisons": [Comparison, ...]
+      "comparisons": [Comparison, ...],
+      "topk_runs": [TopkRun, ...],
+      "topk_comparisons": [TopkComparison, ...]
     }
 
     Run: {
@@ -45,8 +49,33 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
       "matvecs_equal": bool       # obs counters identical across paths
     }
 
-Version history: v2 added the ``threads`` axis (``config.threads``,
-``Run.threads``, ``Comparison.baseline_threads``/``candidate_threads``) and
+    TopkRun: {                    # one retrieval sweep over all users
+      "method": str, "dataset": str,
+      "mode": str,                # "per_user" | "batched"
+      "block_rows": int | null,   # null for the per-user reference path
+      "threads": int, "exclude": bool, "n": int,
+      "num_users": int, "num_items": int,
+      "wall_seconds": float,      # min over repeats
+      "wall_seconds_all": [float, ...],
+      "candidates": int,          # obs coverage (0: uninstrumented path)
+      "gemms": int, "workspace_bytes": int
+    }
+
+    TopkComparison: {             # batched sweep vs. the per-user reference
+      "method": str, "dataset": str,
+      "baseline_mode": str, "candidate_mode": str,
+      "candidate_block_rows": int | null, "candidate_threads": int,
+      "speedup": float,           # per-user wall / batched wall
+      "lists_equal": bool         # recommendation lists identical
+    }
+
+Version history: v3 added the top-k retrieval axis (``topk_runs`` /
+``topk_comparisons`` and the ``fit_grid``/``topk``/``topk_block_rows``/
+``topk_n`` config switches); ``runs`` may now be empty as long as
+``topk_runs`` is not (``--topk-only``).  Older documents upgrade with the
+axis absent (empty lists, ``topk: false``).  v2 added the ``threads`` axis
+(``config.threads``, ``Run.threads``,
+``Comparison.baseline_threads``/``candidate_threads``) and
 ``Run.workspace_bytes``.  v1 documents upgrade by pinning every run and
 comparison to one thread and a zero workspace watermark.
 """
@@ -63,7 +92,7 @@ __all__ = [
 ]
 
 BENCH_SCHEMA_NAME = "repro.bench.results"
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 _CONFIG_KEYS = {
     "datasets": list,
@@ -75,6 +104,10 @@ _CONFIG_KEYS = {
     "ab_compare": bool,
     "float32": bool,
     "threads": list,
+    "fit_grid": bool,
+    "topk": bool,
+    "topk_block_rows": list,
+    "topk_n": int,
 }
 _ENVIRONMENT_KEYS = {
     "python": str,
@@ -111,6 +144,33 @@ _COMPARISON_KEYS = {
     "speedup": (int, float),
     "matvecs_equal": bool,
 }
+_TOPK_RUN_KEYS = {
+    "method": str,
+    "dataset": str,
+    "mode": str,
+    "block_rows": (int, type(None)),
+    "threads": int,
+    "exclude": bool,
+    "n": int,
+    "num_users": int,
+    "num_items": int,
+    "wall_seconds": (int, float),
+    "wall_seconds_all": list,
+    "candidates": int,
+    "gemms": int,
+    "workspace_bytes": int,
+}
+_TOPK_COMPARISON_KEYS = {
+    "method": str,
+    "dataset": str,
+    "baseline_mode": str,
+    "candidate_mode": str,
+    "candidate_block_rows": (int, type(None)),
+    "candidate_threads": int,
+    "speedup": (int, float),
+    "lists_equal": bool,
+}
+_TOPK_MODES = ("per_user", "batched")
 
 
 def _fail(message: str) -> None:
@@ -133,26 +193,41 @@ def _check_object(obj: Any, spec: Dict[str, Any], where: str) -> None:
 def upgrade_bench(payload: Any) -> Any:
     """Upgrade an older bench document in place to the current version.
 
-    v1 predates the threads axis: every run was serial, so runs and
-    comparisons get ``threads``/``baseline_threads``/``candidate_threads``
-    of 1, ``config.threads`` of ``[1]``, and a zero ``workspace_bytes``
-    watermark (v1 did not record it).  Current-version documents pass
-    through untouched; unknown versions fail validation downstream.
+    Upgrades chain one version at a time.  v1 predates the threads axis:
+    every run was serial, so runs and comparisons get
+    ``threads``/``baseline_threads``/``candidate_threads`` of 1,
+    ``config.threads`` of ``[1]``, and a zero ``workspace_bytes`` watermark
+    (v1 did not record it).  v2 predates the top-k retrieval axis: the axis
+    upgrades as *absent* (``topk: false``, empty ``topk_runs`` /
+    ``topk_comparisons``) rather than pretending it ran.  Current-version
+    documents pass through untouched; unknown versions fail validation
+    downstream.
     """
-    if not isinstance(payload, dict) or payload.get("version") != 1:
+    if not isinstance(payload, dict):
         return payload
-    payload["version"] = BENCH_SCHEMA_VERSION
-    config = payload.get("config")
-    if isinstance(config, dict):
-        config.setdefault("threads", [1])
-    for run in payload.get("runs") or []:
-        if isinstance(run, dict):
-            run.setdefault("threads", 1)
-            run.setdefault("workspace_bytes", 0)
-    for comparison in payload.get("comparisons") or []:
-        if isinstance(comparison, dict):
-            comparison.setdefault("baseline_threads", 1)
-            comparison.setdefault("candidate_threads", 1)
+    if payload.get("version") == 1:
+        payload["version"] = 2
+        config = payload.get("config")
+        if isinstance(config, dict):
+            config.setdefault("threads", [1])
+        for run in payload.get("runs") or []:
+            if isinstance(run, dict):
+                run.setdefault("threads", 1)
+                run.setdefault("workspace_bytes", 0)
+        for comparison in payload.get("comparisons") or []:
+            if isinstance(comparison, dict):
+                comparison.setdefault("baseline_threads", 1)
+                comparison.setdefault("candidate_threads", 1)
+    if payload.get("version") == 2:
+        payload["version"] = BENCH_SCHEMA_VERSION
+        config = payload.get("config")
+        if isinstance(config, dict):
+            config.setdefault("fit_grid", True)
+            config.setdefault("topk", False)
+            config.setdefault("topk_block_rows", [])
+            config.setdefault("topk_n", 10)
+        payload.setdefault("topk_runs", [])
+        payload.setdefault("topk_comparisons", [])
     return payload
 
 
@@ -180,8 +255,13 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
         _fail("config.threads must be a non-empty list of integers >= 1")
     _check_object(payload.get("environment"), _ENVIRONMENT_KEYS, "environment")
     runs = payload.get("runs")
-    if not isinstance(runs, list) or not runs:
-        _fail("runs must be a non-empty list")
+    if not isinstance(runs, list):
+        _fail("runs must be a list")
+    topk_runs = payload.get("topk_runs")
+    if not isinstance(topk_runs, list):
+        _fail("topk_runs must be a list")
+    if not runs and not topk_runs:
+        _fail("runs and topk_runs must not both be empty")
     for index, run in enumerate(runs):
         where = f"runs[{index}]"
         _check_object(run, _RUN_KEYS, where)
@@ -209,4 +289,35 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
             _fail(f"{where}.speedup must be positive")
         if comparison["baseline_threads"] < 1 or comparison["candidate_threads"] < 1:
             _fail(f"{where} thread counts must be >= 1")
+    for index, run in enumerate(topk_runs):
+        where = f"topk_runs[{index}]"
+        _check_object(run, _TOPK_RUN_KEYS, where)
+        if run["mode"] not in _TOPK_MODES:
+            _fail(f"{where}.mode must be one of {_TOPK_MODES}")
+        if run["mode"] == "batched" and run["block_rows"] is None:
+            _fail(f"{where}.block_rows is required for batched rows")
+        if run["block_rows"] is not None and run["block_rows"] < 1:
+            _fail(f"{where}.block_rows must be >= 1")
+        if run["wall_seconds"] < 0:
+            _fail(f"{where}.wall_seconds must be non-negative")
+        if run["threads"] < 1:
+            _fail(f"{where}.threads must be >= 1")
+        if not run["wall_seconds_all"] or not all(
+            isinstance(t, (int, float)) and t >= 0 for t in run["wall_seconds_all"]
+        ):
+            _fail(f"{where}.wall_seconds_all must be non-empty non-negative numbers")
+        for key in ("n", "num_users", "num_items", "candidates", "gemms",
+                    "workspace_bytes"):
+            if run[key] < 0:
+                _fail(f"{where}.{key} must be non-negative")
+    topk_comparisons = payload.get("topk_comparisons")
+    if not isinstance(topk_comparisons, list):
+        _fail("topk_comparisons must be a list")
+    for index, comparison in enumerate(topk_comparisons):
+        where = f"topk_comparisons[{index}]"
+        _check_object(comparison, _TOPK_COMPARISON_KEYS, where)
+        if comparison["speedup"] <= 0:
+            _fail(f"{where}.speedup must be positive")
+        if comparison["candidate_threads"] < 1:
+            _fail(f"{where}.candidate_threads must be >= 1")
     return payload

@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro embed      # edge list or named dataset -> embeddings
     python -m repro recommend  # top-N items for one user
+    python -m repro query      # batched top-N for many users from saved .npz
     python -m repro evaluate   # run the Table 4 / Table 5 protocol
     python -m repro datasets   # list or materialize the dataset zoo
     python -m repro bench      # perf benchmark -> BENCH_gebe.json
@@ -28,9 +29,10 @@ import numpy as np
 
 from . import __version__, obs
 from .baselines import make_method, method_names, resolve_method_name
+from .core import select_topn
 from .datasets import DATASETS, load_dataset, toy_graph
 from .graph import BipartiteGraph, read_edge_list, write_edge_list
-from .tasks import LinkPredictionTask, RecommendationTask
+from .tasks import LinkPredictionTask, RecommendationTask, TopKEngine
 
 __all__ = ["main", "build_parser"]
 
@@ -109,6 +111,63 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--method", default="GEBE^p", type=_method_name)
     recommend.add_argument("--dimension", type=int, default=64)
     recommend.add_argument("--seed", type=int, default=0)
+    recommend.add_argument(
+        "--block-rows",
+        type=int,
+        metavar="B",
+        help="users per scoring block when routed through the batched "
+        "engine (default: engine default)",
+    )
+
+    query = commands.add_parser(
+        "query",
+        help="batched top-N retrieval from saved embeddings (.npz)",
+    )
+    query.add_argument(
+        "embeddings", help=".npz with arrays u, v (as written by `repro embed`)"
+    )
+    query.add_argument("-n", type=int, default=10)
+    query.add_argument(
+        "--exclude",
+        metavar="EDGES.tsv",
+        help="TSV edge list whose edges are masked out (use the file the "
+        "embeddings were trained on so node ids line up)",
+    )
+    query.add_argument(
+        "--users",
+        nargs="+",
+        type=int,
+        metavar="ROW",
+        help="user row indices to query (default: every row of u)",
+    )
+    query.add_argument(
+        "--block-rows",
+        type=int,
+        metavar="B",
+        help="users per scoring block (default: engine default)",
+    )
+    query.add_argument(
+        "--threads",
+        type=int,
+        metavar="N",
+        help="worker threads for block scoring "
+        "(default: REPRO_NUM_THREADS or cpu count)",
+    )
+    query.add_argument(
+        "--output",
+        metavar="OUT.npz",
+        help="write arrays users, items[, scores] instead of printing",
+    )
+    query.add_argument(
+        "--with-scores",
+        action="store_true",
+        help="include the selected scores in the output",
+    )
+    query.add_argument(
+        "--profile",
+        action="store_true",
+        help="print GEMM/candidate counters and workspace watermark to stderr",
+    )
 
     evaluate = commands.add_parser(
         "evaluate", help="run the paper's recommendation or LP protocol"
@@ -126,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--core", type=int, default=5)
     evaluate.add_argument("--n", type=int, default=10)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--block-rows",
+        type=int,
+        metavar="B",
+        help="users per scoring block for the recommendation read-out",
+    )
 
     datasets = commands.add_parser(
         "datasets", help="list or generate the synthetic dataset zoo"
@@ -192,6 +257,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="seconds-scale CI configuration (toy graph, one repeat)",
+    )
+    bench.add_argument(
+        "--no-topk",
+        action="store_true",
+        help="skip the top-k retrieval axis",
+    )
+    bench.add_argument(
+        "--topk-only",
+        action="store_true",
+        help="run only the top-k retrieval axis (skip the fit grid)",
+    )
+    bench.add_argument(
+        "--topk-block-rows",
+        nargs="+",
+        type=int,
+        metavar="B",
+        help="block sizes for the top-k axis (default: 64 256 1024)",
     )
 
     return parser
@@ -279,21 +361,145 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         return 2
     method = make_method(args.method, dimension=args.dimension, seed=args.seed)
     result = method.fit(graph)
+    if args.block_rows is not None:
+        # Route through the batched engine (one-user block) so --block-rows
+        # exercises the exact serving path.
+        engine = TopKEngine.from_result(result, block_rows=args.block_rows)
+        _, top, top_scores = next(
+            engine.iter_top_items(
+                args.n,
+                users=np.array([user], dtype=np.int64),
+                exclude=graph,
+                with_scores=True,
+            )
+        )
+        top, top_scores = top[0], top_scores[0]
+        n = top.size
+        print(f"top-{n} for {args.user!r} ({result.method}):")
+        for rank, (item, score) in enumerate(zip(top, top_scores), start=1):
+            print(f"  {rank:2d}. {graph.v_label(int(item))}  ({score:+.4f})")
+        return 0
     scores = result.scores_for_u(user).copy()
     scores[graph.u_neighbors(user)] = -np.inf
     n = min(args.n, graph.num_v)
-    top = np.argsort(-scores)[:n]
+    top = select_topn(scores, n)
     print(f"top-{n} for {args.user!r} ({result.method}):")
     for rank, item in enumerate(top, start=1):
         print(f"  {rank:2d}. {graph.v_label(int(item))}  ({scores[item]:+.4f})")
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    try:
+        with np.load(args.embeddings) as payload:
+            if "u" not in payload or "v" not in payload:
+                print(
+                    f"error: {args.embeddings} must contain arrays 'u' and 'v'",
+                    file=sys.stderr,
+                )
+                return 2
+            u, v = payload["u"], payload["v"]
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {args.embeddings}: {exc}", file=sys.stderr)
+        return 2
+    exclude = None
+    if args.exclude is not None:
+        exclude = read_edge_list(args.exclude)
+    policy = None
+    if args.threads is not None:
+        if args.threads < 1:
+            print("error: --threads must be >= 1", file=sys.stderr)
+            return 2
+        from .linalg import DtypePolicy
+
+        policy = DtypePolicy().with_threads(args.threads)
+    try:
+        engine = TopKEngine(
+            u, v, policy=policy, block_rows=args.block_rows
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    users = (
+        None
+        if args.users is None
+        else np.asarray(args.users, dtype=np.int64)
+    )
+
+    collector_cm = obs.collect() if args.profile else None
+    collector = collector_cm.__enter__() if collector_cm is not None else None
+    try:
+        user_blocks, item_blocks, score_blocks = [], [], []
+        try:
+            for block in engine.iter_top_items(
+                args.n, users=users, exclude=exclude, with_scores=True
+            ):
+                user_blocks.append(block[0])
+                item_blocks.append(block[1])
+                score_blocks.append(block[2])
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        if collector_cm is not None:
+            collector_cm.__exit__(None, None, None)
+    total_users = engine.num_users if users is None else users.size
+    n_keep = min(args.n, engine.num_items)
+    if item_blocks:
+        out_users = np.concatenate(user_blocks)
+        out_items = np.concatenate(item_blocks)
+        out_scores = np.concatenate(score_blocks)
+    else:
+        out_users = np.empty(0, dtype=np.int64)
+        out_items = np.empty((0, max(n_keep, 0)), dtype=np.int64)
+        out_scores = np.empty((0, max(n_keep, 0)))
+    if collector is not None:
+        print(
+            f"profile: {collector.ops.gemms} gemm, "
+            f"{collector.ops.topk_candidates} candidates scored, "
+            f"workspace {collector.memory.workspace_bytes / 1e6:.1f} MB",
+            file=sys.stderr,
+        )
+    if args.output is not None:
+        arrays = {"users": out_users, "items": out_items}
+        if args.with_scores:
+            arrays["scores"] = out_scores
+        np.savez_compressed(args.output, **arrays)
+        print(
+            f"top-{n_keep} for {total_users} users "
+            f"({engine.num_items} items) -> {args.output}"
+        )
+        return 0
+    for row_user, row_items, row_scores in zip(out_users, out_items, out_scores):
+        rendered = (
+            " ".join(
+                f"{int(item)}:{score:+.4f}"
+                for item, score in zip(row_items, row_scores)
+            )
+            if args.with_scores
+            else " ".join(str(int(item)) for item in row_items)
+        )
+        print(f"{int(row_user)}\t{rendered}")
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.input)
     if args.task == "recommendation":
-        task = RecommendationTask(graph, n=args.n, core=args.core, seed=args.seed)
+        task = RecommendationTask(
+            graph,
+            n=args.n,
+            core=args.core,
+            seed=args.seed,
+            block_rows=args.block_rows,
+        )
     else:
+        if args.block_rows is not None:
+            print(
+                "error: --block-rows only applies to --task recommendation",
+                file=sys.stderr,
+            )
+            return 2
         task = LinkPredictionTask(graph, seed=args.seed)
     for name in args.methods:
         method = make_method(name, dimension=args.dimension, seed=args.seed)
@@ -354,6 +560,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print("error: --threads values must be >= 1", file=sys.stderr)
             return 2
         overrides["threads"] = tuple(args.threads)
+    if args.no_topk and args.topk_only:
+        print("error: --no-topk and --topk-only conflict", file=sys.stderr)
+        return 2
+    if args.no_topk:
+        overrides["topk"] = False
+    if args.topk_only:
+        overrides["fit_grid"] = False
+    if args.topk_block_rows is not None:
+        if any(b < 1 for b in args.topk_block_rows):
+            print("error: --topk-block-rows values must be >= 1", file=sys.stderr)
+            return 2
+        overrides["topk_block_rows"] = tuple(args.topk_block_rows)
     config = replace(config, **overrides)
 
     baseline = None
@@ -367,7 +585,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     payload = run_bench(config, progress=True)
     write_bench(payload, args.output)
     print(render_bench(payload))
-    print(f"wrote {len(payload['runs'])} runs -> {args.output}")
+    print(
+        f"wrote {len(payload['runs'])} runs + "
+        f"{len(payload['topk_runs'])} topk runs -> {args.output}"
+    )
     status = 0
     mismatches = [
         row for row in payload["comparisons"] if not row["matvecs_equal"]
@@ -376,6 +597,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             "error: matvec counts differ between kernel paths "
             f"({len(mismatches)} cells)",
+            file=sys.stderr,
+        )
+        status = 1
+    topk_mismatches = [
+        row for row in payload["topk_comparisons"] if not row["lists_equal"]
+    ]
+    if topk_mismatches:
+        print(
+            "error: batched top-k lists diverge from the per-user path "
+            f"({len(topk_mismatches)} cells)",
             file=sys.stderr,
         )
         status = 1
@@ -397,6 +628,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "embed": _cmd_embed,
     "recommend": _cmd_recommend,
+    "query": _cmd_query,
     "evaluate": _cmd_evaluate,
     "datasets": _cmd_datasets,
     "bench": _cmd_bench,

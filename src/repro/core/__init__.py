@@ -3,6 +3,7 @@
 from .ablations import MHPOnlyBNE, MHSOnlyBNE
 from .attributed import AttributedGEBE, smooth_attributes
 from .base import BipartiteEmbedder, EmbeddingResult
+from .selection import select_topn
 from .gebe import GEBE, gebe_geometric, gebe_poisson, gebe_uniform
 from .gebe_p import GEBEPoisson, poisson_eigenvalues
 from .measures import (
@@ -28,6 +29,7 @@ __all__ = [
     "AttributedGEBE",
     "smooth_attributes",
     "BipartiteEmbedder",
+    "select_topn",
     "EmbeddingResult",
     "GEBE",
     "GEBEPoisson",

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..graph import BipartiteGraph
 from ..obs import active as _obs_active
+from .selection import select_topn
 
 __all__ = ["EmbeddingResult", "BipartiteEmbedder"]
 
@@ -92,14 +93,61 @@ class EmbeddingResult:
         """Indices of the ``n`` best-scoring V-nodes for one U-node.
 
         ``exclude`` hides already-known items (e.g. training edges), the
-        standard recommendation read-out.
+        standard recommendation read-out.  Ties resolve toward the smaller
+        index (the :func:`~repro.core.selection.select_topn` contract), so
+        the list is a pure function of the scores — element-for-element
+        identical to what :meth:`top_items_batch` produces for this user.
         """
         scores = self.scores_for_u(u_index).copy()
         if exclude is not None and len(exclude):
             scores[np.asarray(exclude)] = -np.inf
-        n = min(n, scores.size)
-        top = np.argpartition(-scores, n - 1)[:n]
-        return top[np.argsort(-scores[top], kind="stable")]
+        return select_topn(scores, n)
+
+    def top_items_batch(
+        self,
+        n: int,
+        *,
+        users: Optional[np.ndarray] = None,
+        exclude: Optional[BipartiteGraph] = None,
+        block_rows: Optional[int] = None,
+        policy: Optional[Any] = None,
+    ) -> np.ndarray:
+        """Top-``n`` item lists for many users at once (the serving path).
+
+        Scores users in blocks of ``block_rows`` via one GEMM per block
+        (``U_block @ V.T``) instead of one GEMV per user, masks ``exclude``'s
+        training edges straight from its CSR arrays, and selects with the
+        same deterministic tie-break as :meth:`top_items` — the differential
+        suite pins the two paths element-for-element equal.
+
+        Parameters
+        ----------
+        n:
+            List length (capped at ``|V|``).
+        users:
+            U-node indices to score (default: every U-node, in order).
+        exclude:
+            A graph (typically the training graph) whose edges are hidden
+            from each user's list, mirroring ``top_items``'s ``exclude``.
+        block_rows:
+            Users scored per GEMM; bounds peak extra memory at one
+            ``block_rows x |V|`` score buffer.  ``None`` uses the engine
+            default.
+        policy:
+            A :class:`~repro.linalg.DtypePolicy` controlling compute dtype
+            and executor threads (``None``: the default policy).
+
+        Returns
+        -------
+        np.ndarray
+            ``(len(users), min(n, |V|))`` int64 item indices, best first.
+        """
+        from ..tasks.topk import TopKEngine  # deferred: tasks imports core
+
+        engine = TopKEngine.from_result(
+            self, policy=policy, block_rows=block_rows
+        )
+        return engine.top_items(n, users=users, exclude=exclude)
 
     def most_similar_u(self, u_index: int, n: int = 10) -> np.ndarray:
         """The ``n`` U-nodes most similar to ``u_index`` by normalized cosine.
@@ -120,8 +168,7 @@ class EmbeddingResult:
         n = min(n, cosines.size - 1)
         if n <= 0:
             return np.empty(0, dtype=np.int64)
-        top = np.argpartition(-cosines, n - 1)[:n]
-        return top[np.argsort(-cosines[top], kind="stable")]
+        return select_topn(cosines, n)
 
 
 def _normalize_rows(matrix: np.ndarray) -> np.ndarray:

@@ -1,0 +1,81 @@
+"""Deterministic top-n selection: the serving path's ranking primitive.
+
+Every read-out of the embeddings — per-user queries, the batched retrieval
+engine of :mod:`repro.tasks.topk`, the CLI — ranks items by score and keeps
+the best ``n``.  Doing that with a full ``argsort`` costs ``O(m log m)`` per
+user; :func:`select_topn` does it in ``O(m + n log n)`` with
+``np.partition`` while pinning down the one thing a partial sort leaves
+undefined: tie handling.
+
+Ordering contract
+-----------------
+Selected indices are ordered by ``(score descending, index ascending)``.
+Ties — including ties at the selection boundary — always resolve to the
+*smallest* indices, so the output is a pure function of the score values:
+it does not depend on partition internals, on whether the scores arrived
+one row at a time or as a block, or on how a block was split.  That is the
+property the batched engine's differential suite pins: batch and per-user
+paths share this function, so identical scores give identical lists.
+
+``-inf`` scores (the exclusion marker used by the recommendation read-out)
+participate normally: excluded items still appear, last and in index
+order, when fewer than ``n`` candidates remain — matching the historical
+:meth:`EmbeddingResult.top_items` behavior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["select_topn"]
+
+
+def select_topn(scores: np.ndarray, n: int) -> np.ndarray:
+    """Indices of the ``n`` largest entries per row, deterministically.
+
+    Parameters
+    ----------
+    scores:
+        1-D ``(m,)`` or 2-D ``(rows, m)`` score array.  Not modified.
+    n:
+        How many indices to keep per row; capped at ``m``.
+
+    Returns
+    -------
+    np.ndarray
+        ``int64`` indices, shape ``(min(n, m),)`` for 1-D input and
+        ``(rows, min(n, m))`` for 2-D input, ordered by score descending
+        with ties broken toward the smaller index.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim not in (1, 2):
+        raise ValueError(f"scores must be 1-D or 2-D, got {scores.ndim}-D")
+    squeeze = scores.ndim == 1
+    block = scores.reshape(1, -1) if squeeze else scores
+    rows, m = block.shape
+    n = min(int(n), m)
+    if n <= 0 or rows == 0:
+        empty = np.empty((rows, max(n, 0)), dtype=np.int64)
+        return empty[0] if squeeze else empty
+    if n == m:
+        # Stable argsort on the negated scores keeps ascending index order
+        # within every tie group — the lexicographic order directly.
+        picked = np.argsort(-block, axis=1, kind="stable").astype(np.int64)
+        return picked[0] if squeeze else picked
+
+    # The n-th largest value per row is the selection boundary.  Everything
+    # strictly above it is in; boundary ties are filled in index order.
+    kth = -np.partition(-block, n - 1, axis=1)[:, n - 1 : n]
+    above = block > kth
+    need = n - above.sum(axis=1, dtype=np.int64)
+    boundary = block == kth
+    tie_rank = np.cumsum(boundary, axis=1, dtype=np.int64)
+    selected = above | (boundary & (tie_rank <= need[:, None]))
+    # nonzero walks row-major, so per row the column indices come out
+    # ascending; every row holds exactly n selected entries.
+    picked = np.nonzero(selected)[1].reshape(rows, n).astype(np.int64)
+    order = np.argsort(
+        np.take_along_axis(-block, picked, axis=1), axis=1, kind="stable"
+    )
+    picked = np.take_along_axis(picked, order, axis=1)
+    return picked[0] if squeeze else picked

@@ -113,6 +113,18 @@ class RankingScores:
         self._ndcg.append(ndcg_at_n(recommended, ground_truth))
         self._mrr.append(reciprocal_rank(recommended, ground_truth))
 
+    def update_batch(
+        self, recommended_block: Iterable, ground_truths: Iterable
+    ) -> None:
+        """Record a block of aligned ``(recommended, ground_truth)`` rows.
+
+        The batched evaluation path feeds one block per top-k engine yield;
+        each row goes through :meth:`update`, so per-user skipping and the
+        macro averages are identical to the streaming path.
+        """
+        for recommended, truth in zip(recommended_block, ground_truths):
+            self.update(recommended, truth)
+
     @property
     def num_users(self) -> int:
         """How many users contributed to the averages."""

@@ -78,6 +78,9 @@ class NullCollector:
     def count_svd(self, m: int, n: int) -> None:
         """Record one dense SVD (no-op)."""
 
+    def count_topk(self, candidates: int) -> None:
+        """Record scored top-k retrieval candidates (no-op)."""
+
     def note_array(self, nbytes: int) -> None:
         """Record a dense block allocation (no-op)."""
 
@@ -130,6 +133,9 @@ class ProfileCollector(NullCollector):
 
     def count_svd(self, m: int, n: int) -> None:
         self.ops.count_svd(m, n)
+
+    def count_topk(self, candidates: int) -> None:
+        self.ops.count_topk(candidates)
 
     def note_array(self, nbytes: int) -> None:
         self.memory.note_array(nbytes)

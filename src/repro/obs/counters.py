@@ -13,6 +13,10 @@ units:
 * **QR** — one Householder economic factorization of an ``m x n`` block,
   ``~2 m n^2`` FLOPs.
 * **SVD** — one dense ``m x n`` factorization, ``~4 m n min(m, n)`` FLOPs.
+* **top-k candidates** — one (user, item) pair scored by the retrieval
+  read-out (:mod:`repro.tasks.topk`); the GEMM FLOPs of the scoring itself
+  are tallied through the GEMM counter, so this counter measures *coverage*
+  (how many candidates a serving sweep actually considered), not arithmetic.
 
 FLOP numbers are *estimates* (leading-order terms of the textbook counts);
 the matvec/GEMM tallies themselves are exact and deterministic, which is
@@ -35,6 +39,7 @@ class OpCounter:
     gemms: int = 0
     qr_factorizations: int = 0
     svd_factorizations: int = 0
+    topk_candidates: int = 0
     flops: float = 0.0
 
     def count_spmv(self, nnz: int, cols: int = 1) -> None:
@@ -57,6 +62,10 @@ class OpCounter:
         self.svd_factorizations += 1
         self.flops += 4.0 * m * n * min(m, n)
 
+    def count_topk(self, candidates: int) -> None:
+        """Record ``candidates`` (user, item) pairs scored by a retrieval sweep."""
+        self.topk_candidates += int(candidates)
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (stable key set)."""
         return {
@@ -64,5 +73,6 @@ class OpCounter:
             "gemms": self.gemms,
             "qr_factorizations": self.qr_factorizations,
             "svd_factorizations": self.svd_factorizations,
+            "topk_candidates": self.topk_candidates,
             "flops": self.flops,
         }

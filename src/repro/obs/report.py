@@ -10,7 +10,7 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
 
     {
       "schema": "repro.obs.run_report",
-      "version": 2,
+      "version": 3,
       "method": str,              # display name, e.g. "GEBE^p"
       "dataset": str | null,
       "dimension": int | null,
@@ -21,15 +21,17 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
                                   #         children: [Stage, ...]}
       "ops": {"sparse_matvecs": int, "gemms": int,
               "qr_factorizations": int, "svd_factorizations": int,
-              "flops": float},
+              "topk_candidates": int, "flops": float},
       "memory": {"peak_rss_bytes": int, "max_tracked_array_bytes": int,
                  "workspace_bytes": int, "samples": int},
       "metadata": {...}           # free-form, JSON-serializable
     }
 
-Version history: v2 added ``threads`` (the widest kernel sharding the run
-actually used; 1 = fully serial) and ``memory.workspace_bytes`` (watermark
-of the kernels' reusable buffers, summed across per-thread pools).
+Version history: v3 added ``ops.topk_candidates`` ((user, item) pairs
+scored by the batched retrieval read-out of :mod:`repro.tasks.topk`).
+v2 added ``threads`` (the widest kernel sharding the run actually used;
+1 = fully serial) and ``memory.workspace_bytes`` (watermark of the kernels'
+reusable buffers, summed across per-thread pools).
 """
 
 from __future__ import annotations
@@ -41,13 +43,14 @@ from typing import Any, Dict, List, Optional
 __all__ = ["RunReport", "validate_report", "SCHEMA_NAME", "SCHEMA_VERSION"]
 
 SCHEMA_NAME = "repro.obs.run_report"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _OPS_KEYS = (
     "sparse_matvecs",
     "gemms",
     "qr_factorizations",
     "svd_factorizations",
+    "topk_candidates",
     "flops",
 )
 _MEMORY_KEYS = (

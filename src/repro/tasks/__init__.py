@@ -19,6 +19,7 @@ from .recommendation import (
     ground_truth_lists,
     recommend_top_n,
 )
+from .topk import DEFAULT_BLOCK_ROWS, TopKEngine
 from .splits import (
     EdgeSplit,
     LinkPredictionData,
@@ -43,6 +44,8 @@ __all__ = [
     "evaluate_recommendation",
     "ground_truth_lists",
     "recommend_top_n",
+    "TopKEngine",
+    "DEFAULT_BLOCK_ROWS",
     "LinkPredictionTask",
     "LinkPredictionReport",
     "evaluate_link_prediction",

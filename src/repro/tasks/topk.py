@@ -1,0 +1,315 @@
+"""Batched top-k retrieval over fitted embeddings (the serving path).
+
+Training reads the graph once; a recommendation service reads the
+*embeddings* forever.  The paper's Top-N protocol (Section 6.3) and every
+factorization-style baseline share the same read-out shape: score one side's
+embedding rows against the whole other side (``U[u] . V[v]``), hide the
+training edges, keep the best ``n``.  Done one user at a time that is one
+GEMV plus one partial sort per user — the Python and BLAS call overhead
+dwarfs the arithmetic at scale.
+
+:class:`TopKEngine` is the batched engine:
+
+* **Blocked GEMM scoring** — users are scored ``block_rows`` at a time with
+  one ``U_block @ V.T`` product per block, column-sharded across the thread
+  pool of :mod:`repro.linalg.parallel` when the configured
+  :class:`~repro.linalg.DtypePolicy`'s executor allows (``--threads`` and
+  ``REPRO_NUM_THREADS`` apply exactly as they do to the training kernels).
+  Each output element is one whole ``k``-dot regardless of sharding, so the
+  thread count never changes which items win.
+* **CSR exclusion masking** — training edges are masked per block straight
+  from the graph's ``indptr``/``indices`` arrays with one vectorized
+  gather, not one ``u_neighbors`` call per user.
+* **Deterministic selection** — items are kept with
+  :func:`~repro.core.selection.select_topn`, the same primitive the
+  per-user :meth:`~repro.core.base.EmbeddingResult.top_items` path uses, so
+  batch and per-user lists are element-for-element identical (pinned by the
+  differential suite in ``tests/test_topk.py``).
+* **Bounded memory** — results stream block by block; the full
+  ``num_users x num_items`` score matrix is never materialized.  Peak extra
+  memory is one reusable ``block_rows x num_items`` score buffer (reported
+  through the obs workspace watermark) plus selection temporaries of the
+  same block footprint.
+
+Observability: every block reports one GEMM (``count_gemm``) and its
+scored-candidate coverage (``count_topk``) to the active collector; the
+score buffer feeds the workspace watermark.  Counting happens once per
+logical block in the calling thread — worker threads never touch the
+collector.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.selection import select_topn
+from ..graph import BipartiteGraph
+from ..linalg.parallel import ParallelExecutor, column_shards
+from ..linalg.policy import DtypePolicy
+from ..obs import active as _obs_active
+
+__all__ = ["TopKEngine", "DEFAULT_BLOCK_ROWS"]
+
+#: Default users-per-GEMM.  256 rows keep the score buffer in the tens of
+#: megabytes even for ~10^4 items while amortizing per-block Python and
+#: BLAS dispatch overhead; see docs/SERVING.md for the measured tuning curve.
+DEFAULT_BLOCK_ROWS = 256
+
+
+class TopKEngine:
+    """Batched ``U_block @ V.T`` scoring with masking and top-n selection.
+
+    Parameters
+    ----------
+    u, v:
+        The two embedding matrices (``|U| x k`` and ``|V| x k``), typically
+        ``result.u`` / ``result.v`` of an
+        :class:`~repro.core.base.EmbeddingResult` (see :meth:`from_result`).
+        Cast once to the policy's compute dtype at construction.
+    policy:
+        The :class:`~repro.linalg.DtypePolicy` governing compute dtype,
+        workspace reuse, and the executor's thread count (``None``: default
+        policy — float64, workspace reuse, ``REPRO_NUM_THREADS`` threads).
+    block_rows:
+        Users scored per GEMM (``None``: :data:`DEFAULT_BLOCK_ROWS`).
+
+    Notes
+    -----
+    With workspace reuse on (the policy default) the score buffer is grown
+    once and overwritten by every block, so score views yielded by
+    :meth:`iter_top_items` are only valid until the next block is produced —
+    the standard streaming contract.  ``policy.workspace=False`` selects the
+    allocation-per-block reference path (the bench A/B lever).
+    """
+
+    def __init__(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        *,
+        policy: Optional[DtypePolicy] = None,
+        block_rows: Optional[int] = None,
+    ):
+        self.policy = policy if policy is not None else DtypePolicy()
+        self.dtype = self.policy.compute_dtype
+        u = np.asarray(u)
+        v = np.asarray(v)
+        if u.ndim != 2 or v.ndim != 2:
+            raise ValueError("embeddings must be 2-D matrices")
+        if u.shape[1] != v.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: u is {u.shape}, v is {v.shape}"
+            )
+        if block_rows is None:
+            block_rows = DEFAULT_BLOCK_ROWS
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        self.block_rows = int(block_rows)
+        self._u = np.ascontiguousarray(u, dtype=self.dtype)
+        # V.T staged C-contiguous once so every block GEMM streams it in
+        # column-major-free layout; column shards slice it without copying.
+        self._vt = np.ascontiguousarray(self._as_dtype(v).T)
+        self._exec = ParallelExecutor(self.policy.exec_policy)
+        self._scores_flat: Optional[np.ndarray] = None
+        self.threads_used = 1
+
+    def _as_dtype(self, block: np.ndarray) -> np.ndarray:
+        return np.asarray(block, dtype=self.dtype)
+
+    @classmethod
+    def from_result(
+        cls,
+        result,
+        *,
+        policy: Optional[DtypePolicy] = None,
+        block_rows: Optional[int] = None,
+    ) -> "TopKEngine":
+        """An engine over ``result.u`` / ``result.v`` (duck-typed)."""
+        return cls(result.u, result.v, policy=policy, block_rows=block_rows)
+
+    # ------------------------------------------------------------------
+    # Shapes and buffers
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        """Rows of the U-side embedding."""
+        return self._u.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        """Rows of the V-side embedding (the candidate set size)."""
+        return self._vt.shape[1]
+
+    @property
+    def dimension(self) -> int:
+        """The embedding dimensionality ``k``."""
+        return self._u.shape[1]
+
+    def workspace_bytes(self) -> int:
+        """Bytes held in the reusable score buffer (0 before first use)."""
+        return 0 if self._scores_flat is None else self._scores_flat.nbytes
+
+    def _score_buffer(self, rows: int) -> np.ndarray:
+        """A C-contiguous ``rows x num_items`` score block."""
+        needed = rows * self.num_items
+        if not self.policy.workspace:
+            return np.empty((rows, self.num_items), dtype=self.dtype)
+        if self._scores_flat is None or self._scores_flat.size < needed:
+            self._scores_flat = np.empty(
+                self.block_rows * self.num_items, dtype=self.dtype
+            )
+            _obs_active().note_array(self._scores_flat.nbytes)
+        return self._scores_flat[:needed].reshape(rows, self.num_items)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _score_into(self, u_block: np.ndarray, out: np.ndarray) -> None:
+        """``out[...] = u_block @ V.T``, column-sharded across the executor.
+
+        Shards partition the *output columns*; every element is one whole
+        ``k``-length dot product either way, so sharding affects wall time
+        only.  ``np.matmul`` releases the GIL inside BLAS, which is what
+        makes the thread pool effective here.
+        """
+        rows, k = u_block.shape
+        m = self.num_items
+        n_shards = self._exec.shards_for(rows * k * m, m)
+        if n_shards == 1:
+            np.matmul(u_block, self._vt, out=out)
+            return
+        self.threads_used = max(self.threads_used, n_shards)
+        self._exec.run(
+            [
+                (
+                    lambda lo=lo, hi=hi: np.matmul(
+                        u_block, self._vt[:, lo:hi], out=out[:, lo:hi]
+                    )
+                )
+                for lo, hi in column_shards(m, n_shards)
+            ]
+        )
+
+    @staticmethod
+    def _mask_exclusions(
+        scores: np.ndarray, users: np.ndarray, graph: BipartiteGraph
+    ) -> None:
+        """Set ``scores[i, j] = -inf`` for every edge ``(users[i], j)``.
+
+        One vectorized gather over the CSR ``indptr``/``indices`` arrays —
+        the ragged per-user neighbor lists become flat ``(row, col)`` pairs
+        without a Python-level loop.
+        """
+        indptr = graph.w.indptr
+        starts = indptr[users].astype(np.int64)
+        counts = indptr[users + 1].astype(np.int64) - starts
+        total = int(counts.sum())
+        if total == 0:
+            return
+        # Absolute CSR positions: starts[i] + arange(counts[i]), flattened.
+        bases = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+        cols = graph.w.indices[np.arange(total, dtype=np.int64) + bases]
+        rows = np.repeat(np.arange(users.size, dtype=np.int64), counts)
+        scores[rows, cols] = -np.inf
+
+    def _check_exclude(
+        self, exclude: Optional[BipartiteGraph], users: np.ndarray
+    ) -> None:
+        """Every masked ``(user, item)`` index must land inside the block.
+
+        The exclusion graph may be *smaller* than the embeddings (e.g. a
+        core-filtered training graph scored with embeddings fit elsewhere) —
+        mirroring the per-user path, which only ever asks for the neighbors
+        of users it scores — but never larger on the item side, and it must
+        cover every requested user row.
+        """
+        if exclude is None:
+            return
+        if exclude.num_v > self.num_items:
+            raise ValueError(
+                f"exclusion graph has {exclude.num_v} items but the "
+                f"embeddings score only {self.num_items}"
+            )
+        if users.size and int(users.max()) >= exclude.num_u:
+            raise ValueError(
+                f"user {int(users.max())} outside the exclusion graph's "
+                f"{exclude.num_u} rows"
+            )
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def iter_top_items(
+        self,
+        n: int,
+        *,
+        users: Optional[np.ndarray] = None,
+        exclude: Optional[BipartiteGraph] = None,
+        with_scores: bool = False,
+    ) -> Iterator[Union[Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray, np.ndarray]]]:
+        """Stream ``(users_block, items_block[, scores_block])`` per block.
+
+        ``items_block`` is ``(B, min(n, num_items))`` int64, best first,
+        ordered by ``(score desc, index asc)``.  With ``with_scores`` the
+        selected scores come along as a freshly allocated float block (safe
+        to keep across iterations, unlike the internal score buffer).
+        """
+        if users is None:
+            users = np.arange(self.num_users, dtype=np.int64)
+        else:
+            users = np.asarray(users, dtype=np.int64)
+            if users.ndim != 1:
+                raise ValueError("users must be a 1-D index array")
+            if users.size and (
+                users.min() < 0 or users.max() >= self.num_users
+            ):
+                raise ValueError(
+                    f"user indices must be in [0, {self.num_users})"
+                )
+        self._check_exclude(exclude, users)
+        n_keep = max(0, min(int(n), self.num_items))
+        if n_keep == 0:
+            return
+        for lo in range(0, users.size, self.block_rows):
+            block_users = users[lo : lo + self.block_rows]
+            collector = _obs_active()
+            scores = self._score_buffer(block_users.size)
+            self._score_into(self._u[block_users], scores)
+            collector.count_gemm(
+                block_users.size, self.dimension, self.num_items
+            )
+            collector.count_topk(block_users.size * self.num_items)
+            if exclude is not None:
+                self._mask_exclusions(scores, block_users, exclude)
+            items = select_topn(scores, n_keep)
+            collector.note_workspace(self.workspace_bytes())
+            if with_scores:
+                yield block_users, items, np.take_along_axis(
+                    scores, items, axis=1
+                ).copy()
+            else:
+                yield block_users, items
+
+    def top_items(
+        self,
+        n: int,
+        *,
+        users: Optional[np.ndarray] = None,
+        exclude: Optional[BipartiteGraph] = None,
+    ) -> np.ndarray:
+        """All requested users' top-``n`` lists as one ``(U, n')`` array.
+
+        Streams through :meth:`iter_top_items`; only the *selected* indices
+        are accumulated, never the score blocks.
+        """
+        count = self.num_users if users is None else np.asarray(users).size
+        n_keep = max(0, min(int(n), self.num_items))
+        blocks = [
+            items
+            for _, items in self.iter_top_items(n, users=users, exclude=exclude)
+        ]
+        if not blocks:
+            return np.empty((count, n_keep), dtype=np.int64)
+        return np.concatenate(blocks, axis=0)

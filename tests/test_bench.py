@@ -125,6 +125,43 @@ class TestRunBench:
         policies = {run["policy"] for run in smoke_payload["runs"]}
         assert "float32/workspace" in policies
 
+    def test_topk_axis_rows(self, smoke_payload):
+        config = BenchConfig.smoke()
+        per_dataset = {}
+        for row in smoke_payload["topk_runs"]:
+            per_dataset.setdefault(row["dataset"], []).append(row)
+        assert set(per_dataset) == set(config.datasets)
+        blocks = sorted(set(config.topk_block_rows))
+        for rows in per_dataset.values():
+            modes = [row["mode"] for row in rows]
+            assert modes.count("per_user") == 1
+            # One masked row per block size, one unmasked, one threaded.
+            masked_serial = [
+                r["block_rows"] for r in rows
+                if r["mode"] == "batched" and r["exclude"] and r["threads"] == 1
+            ]
+            assert masked_serial == blocks
+            assert sum(1 for r in rows if not r["exclude"]) == 1
+            assert any(r["threads"] > 1 for r in rows)
+            for row in rows:
+                if row["mode"] == "batched":
+                    assert row["candidates"] == row["num_users"] * row["num_items"]
+                    assert row["gemms"] >= 1
+
+    def test_topk_lists_identical_to_per_user(self, smoke_payload):
+        assert smoke_payload["topk_comparisons"], "topk comparisons missing"
+        for row in smoke_payload["topk_comparisons"]:
+            assert row["baseline_mode"] == "per_user"
+            assert row["lists_equal"], (
+                f"{row['dataset']} b={row['candidate_block_rows']} "
+                f"x{row['candidate_threads']}: batched lists diverged"
+            )
+
+    def test_topk_render_mentions_modes(self, smoke_payload):
+        text = render_bench(smoke_payload)
+        assert "per_user" in text
+        assert "batched" in text
+
     def test_json_round_trip(self, smoke_payload, tmp_path):
         path = tmp_path / "BENCH_test.json"
         write_bench(smoke_payload, str(path))
@@ -151,9 +188,35 @@ class TestBenchSchemaValidation:
         with pytest.raises(ValueError, match="version"):
             validate_bench(bad)
 
-    def test_rejects_empty_runs(self, smoke_payload):
-        bad = dict(smoke_payload, runs=[])
+    def test_rejects_both_axes_empty(self, smoke_payload):
+        bad = dict(smoke_payload, runs=[], topk_runs=[])
         with pytest.raises(ValueError, match="runs"):
+            validate_bench(bad)
+
+    def test_single_axis_documents_validate(self, smoke_payload):
+        # --topk-only writes runs=[]; a topk-less run writes topk_runs=[].
+        validate_bench(dict(smoke_payload, runs=[]))
+        validate_bench(dict(smoke_payload, topk_runs=[], topk_comparisons=[]))
+
+    def test_rejects_bad_topk_mode(self, smoke_payload):
+        rows = [dict(smoke_payload["topk_runs"][0], mode="vectorized")]
+        bad = dict(smoke_payload, topk_runs=rows)
+        with pytest.raises(ValueError, match="mode"):
+            validate_bench(bad)
+
+    def test_rejects_batched_row_without_block(self, smoke_payload):
+        batched = next(
+            row for row in smoke_payload["topk_runs"] if row["mode"] == "batched"
+        )
+        bad = dict(smoke_payload, topk_runs=[dict(batched, block_rows=None)])
+        with pytest.raises(ValueError, match="block_rows"):
+            validate_bench(bad)
+
+    def test_rejects_missing_topk_comparison_key(self, smoke_payload):
+        row = dict(smoke_payload["topk_comparisons"][0])
+        del row["lists_equal"]
+        bad = dict(smoke_payload, topk_comparisons=[row])
+        with pytest.raises(ValueError, match="lists_equal"):
             validate_bench(bad)
 
     def test_rejects_missing_run_key(self, smoke_payload):
@@ -243,6 +306,42 @@ class TestBenchCli:
         assert "bench compare" in captured.out
         assert "verdict: ok" in captured.out
 
+    def test_topk_only(self, tmp_path):
+        out = tmp_path / "BENCH_cli.json"
+        code = main(["bench", "--smoke", "--topk-only", "--output", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["runs"] == []
+        assert payload["topk_runs"]
+
+    def test_no_topk(self, tmp_path):
+        out = tmp_path / "BENCH_cli.json"
+        code = main(["bench", "--smoke", "--no-topk", "--output", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["topk_runs"] == []
+        assert payload["runs"]
+
+    def test_no_topk_conflicts_with_topk_only(self, tmp_path, capsys):
+        code = main(["bench", "--smoke", "--no-topk", "--topk-only"])
+        assert code == 2
+        assert "conflict" in capsys.readouterr().err
+
+    def test_topk_block_rows_override(self, tmp_path):
+        out = tmp_path / "BENCH_cli.json"
+        code = main(
+            ["bench", "--smoke", "--topk-only", "--topk-block-rows", "2", "8",
+             "--output", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["config"]["topk_block_rows"] == [2, 8]
+        masked = {
+            row["block_rows"] for row in payload["topk_runs"]
+            if row["mode"] == "batched" and row["exclude"]
+        }
+        assert masked == {2, 8}
+
     def test_compare_missing_baseline_errors(self, tmp_path, capsys):
         out = tmp_path / "BENCH_cli.json"
         code = main(
@@ -260,8 +359,18 @@ class TestBenchCli:
 
 
 class TestBenchUpgrade:
-    def _as_v1(self, payload):
+    def _as_v2(self, payload):
         doc = copy.deepcopy(payload)
+        doc["version"] = 2
+        # v2 predates the top-k axis entirely.
+        for key in ("topk_runs", "topk_comparisons"):
+            doc.pop(key)
+        for key in ("fit_grid", "topk", "topk_block_rows", "topk_n"):
+            doc["config"].pop(key)
+        return doc
+
+    def _as_v1(self, payload):
+        doc = self._as_v2(payload)
         doc["version"] = 1
         doc["config"].pop("threads")
         # v1 had exactly one serial row per (method, dataset, policy).
@@ -277,13 +386,24 @@ class TestBenchUpgrade:
         ]
         return doc
 
-    def test_v1_document_upgrades_and_validates(self, smoke_payload):
+    def test_v1_document_upgrades_through_the_chain(self, smoke_payload):
         upgraded = upgrade_bench(self._as_v1(smoke_payload))
         validate_bench(upgraded)
         assert upgraded["version"] == BENCH_SCHEMA_VERSION
         assert upgraded["config"]["threads"] == [1]
         assert all(run["threads"] == 1 for run in upgraded["runs"])
         assert all(run["workspace_bytes"] == 0 for run in upgraded["runs"])
+        assert upgraded["config"]["topk"] is False
+        assert upgraded["topk_runs"] == []
+
+    def test_v2_document_upgrades_with_topk_axis_absent(self, smoke_payload):
+        upgraded = upgrade_bench(self._as_v2(smoke_payload))
+        validate_bench(upgraded)
+        assert upgraded["version"] == BENCH_SCHEMA_VERSION
+        assert upgraded["config"]["topk"] is False
+        assert upgraded["config"]["fit_grid"] is True
+        assert upgraded["topk_runs"] == []
+        assert upgraded["topk_comparisons"] == []
 
     def test_current_version_passes_through(self, smoke_payload):
         assert upgrade_bench(smoke_payload) is smoke_payload
@@ -298,7 +418,9 @@ class TestBenchUpgrade:
 class TestCompareBench:
     def test_self_compare_is_clean(self, smoke_payload):
         result = compare_bench(smoke_payload, smoke_payload)
-        assert len(result["rows"]) == len(smoke_payload["runs"])
+        assert len(result["rows"]) == len(smoke_payload["runs"]) + len(
+            smoke_payload["topk_runs"]
+        )
         assert result["regressions"] == []
         assert result["matvec_drift"] == []
         assert result["missing"] == [] and result["added"] == []
@@ -361,6 +483,30 @@ class TestCompareBench:
         result = compare_bench(smoke_payload, broken)
         assert len(result["invariant_violations"]) == 1
         assert "invariant violated" in render_compare(result)
+
+    def test_surfaces_topk_list_divergence(self, smoke_payload):
+        broken = copy.deepcopy(smoke_payload)
+        broken["topk_comparisons"][0]["lists_equal"] = False
+        result = compare_bench(smoke_payload, broken)
+        assert len(result["invariant_violations"]) == 1
+
+    def test_flags_topk_wall_time_regression(self, smoke_payload):
+        slow = copy.deepcopy(smoke_payload)
+        slow["topk_runs"][0]["wall_seconds"] = (
+            smoke_payload["topk_runs"][0]["wall_seconds"] + 10.0
+        )
+        result = compare_bench(smoke_payload, slow)
+        assert len(result["regressions"]) == 1
+        assert result["regressions"][0]["policy"].startswith("topk:")
+
+    def test_flags_topk_candidate_drift(self, smoke_payload):
+        drifted = copy.deepcopy(smoke_payload)
+        batched = next(
+            row for row in drifted["topk_runs"] if row["mode"] == "batched"
+        )
+        batched["candidates"] += 3
+        result = compare_bench(smoke_payload, drifted)
+        assert len(result["matvec_drift"]) == 1
 
     def test_rejects_negative_noise(self, smoke_payload):
         with pytest.raises(ValueError, match="noise"):

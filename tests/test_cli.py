@@ -95,6 +95,82 @@ class TestRecommend:
         assert code == 2
         assert "unknown user" in capsys.readouterr().err
 
+    def test_block_rows_path_matches_per_user(self, edge_file, capsys):
+        assert main(["recommend", edge_file, "0", "-n", "5",
+                     "--dimension", "8"]) == 0
+        per_user = capsys.readouterr().out
+        assert main(["recommend", edge_file, "0", "-n", "5",
+                     "--dimension", "8", "--block-rows", "16"]) == 0
+        assert capsys.readouterr().out == per_user
+
+
+class TestQuery:
+    @pytest.fixture
+    def embeddings(self, edge_file, tmp_path):
+        out = str(tmp_path / "emb.npz")
+        assert main(["embed", edge_file, out, "--dimension", "8"]) == 0
+        return out
+
+    def test_prints_one_line_per_user(self, embeddings, capsys):
+        assert main(["query", embeddings, "-n", "4"]) == 0
+        out = capsys.readouterr().out.strip().split("\n")
+        assert len(out) == 60
+        assert all(len(line.split("\t")[1].split()) == 4 for line in out)
+
+    def test_users_subset_with_scores(self, embeddings, capsys):
+        code = main(
+            ["query", embeddings, "-n", "3", "--users", "0", "5",
+             "--with-scores"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().split("\n")
+        assert [line.split("\t")[0] for line in lines] == ["0", "5"]
+        assert ":" in lines[0]
+
+    def test_exclusion_masks_train_edges(self, embeddings, edge_file, capsys):
+        from repro.graph import read_edge_list
+
+        graph = read_edge_list(edge_file)
+        code = main(
+            ["query", embeddings, "-n", "10", "--exclude", edge_file,
+             "--users", "0"]
+        )
+        assert code == 0
+        items = [
+            int(t) for t in
+            capsys.readouterr().out.strip().split("\t")[1].split()
+        ]
+        assert not set(items) & set(graph.u_neighbors(0).tolist())
+
+    def test_npz_output_round_trips(self, embeddings, tmp_path, capsys):
+        out = str(tmp_path / "topk.npz")
+        code = main(
+            ["query", embeddings, "-n", "6", "--output", out, "--with-scores",
+             "--block-rows", "7"]
+        )
+        assert code == 0
+        with np.load(out) as payload:
+            assert payload["items"].shape == (60, 6)
+            assert payload["scores"].shape == (60, 6)
+            assert payload["users"].shape == (60,)
+
+    def test_profile_reports_counters(self, embeddings, capsys):
+        code = main(["query", embeddings, "-n", "3", "--profile"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "gemm" in err and "candidates" in err
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        code = main(["query", str(tmp_path / "nope.npz")])
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_block_sizes_agree(self, embeddings, capsys):
+        assert main(["query", embeddings, "-n", "5", "--block-rows", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(["query", embeddings, "-n", "5", "--block-rows", "64"]) == 0
+        assert capsys.readouterr().out == first
+
 
 class TestEvaluate:
     def test_recommendation_protocol(self, edge_file, capsys):
@@ -106,6 +182,27 @@ class TestEvaluate:
         )
         assert code == 0
         assert "F1=" in capsys.readouterr().out
+
+    def test_block_rows_flag(self, edge_file, capsys):
+        code = main(
+            [
+                "evaluate", edge_file, "--task", "recommendation",
+                "--methods", "GEBE^p", "--dimension", "8", "--core", "2",
+                "--block-rows", "8",
+            ]
+        )
+        assert code == 0
+        assert "F1=" in capsys.readouterr().out
+
+    def test_block_rows_rejected_for_link_prediction(self, edge_file, capsys):
+        code = main(
+            [
+                "evaluate", edge_file, "--task", "link_prediction",
+                "--methods", "GEBE^p", "--block-rows", "8",
+            ]
+        )
+        assert code == 2
+        assert "recommendation" in capsys.readouterr().err
 
     def test_link_prediction_protocol(self, edge_file, capsys):
         code = main(

@@ -267,9 +267,15 @@ class TestRunReport:
         # Schema v2: effective thread count and the kernel workspace
         # watermark (summed over per-thread pools) are part of the report.
         payload = profiled_toy_report().to_dict()
-        assert payload["version"] == 2
+        assert payload["version"] == 3
         assert payload["threads"] >= 1
         assert payload["memory"]["workspace_bytes"] >= 0
+
+    def test_v3_topk_candidates_field(self):
+        # Schema v3: retrieval coverage is part of the ops block (zero for
+        # a plain fit, counted by the topk engine's read-out).
+        payload = profiled_toy_report().to_dict()
+        assert payload["ops"]["topk_candidates"] == 0
         restored = RunReport.from_dict(payload)
         assert restored.threads == payload["threads"]
         assert "thread" in restored.summary()
