@@ -2,14 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-pytest examples quicktest profile-smoke clean
+.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-pytest examples quicktest profile-smoke serve-smoke clean
 
 # Kernel-level suites that must hold under a parallel executor; `make test`
 # reruns them with REPRO_NUM_THREADS=4 after the default serial pass.  The
 # topk differential suite rides along: batched retrieval must stay identical
-# to the per-user path at any thread count.
+# to the per-user path at any thread count, and the serving tier (per-thread
+# engine clones + micro-batcher) must coalesce correctly however the
+# executor is sized.
 THREADED_TESTS = tests/test_linalg_kernels.py tests/test_linalg_parallel.py \
-  tests/test_kernels_fallback.py tests/test_topk.py
+  tests/test_kernels_fallback.py tests/test_topk.py \
+  tests/test_serve_batcher.py tests/test_serve_server.py
 
 install:
 	pip install -e . || { \
@@ -51,6 +54,12 @@ bench-smoke:
 bench-topk:
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --topk-only \
 	  --output /tmp/gebe-bench-topk.json
+
+# End-to-end serving round trip: fit the toy graph, publish to a throwaway
+# artifact store, answer concurrent HTTP top-k requests in-process, and
+# verify every response against the offline engine.  See docs/SERVING.md.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro serve --smoke
 
 # Fresh run diffed against the committed BENCH_gebe.json: flags wall-time
 # regressions beyond the noise threshold and any matvec drift; exit 1 on

@@ -26,10 +26,15 @@ single-core container the curve is flat; the counts invariant still binds.)
 
 from __future__ import annotations
 
+import json
 import os
 import platform
 import sys
+import tempfile
+import threading
 import time
+import urllib.error
+import urllib.request
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -92,6 +97,14 @@ class BenchConfig:
         Block sizes for the batched top-k rows.
     topk_n:
         Recommendation list length for the top-k axis.
+    serve_smoke:
+        Run the serving axis: publish the first method's embeddings to a
+        throwaway artifact store, stand up an in-process
+        :class:`~repro.serve.server.EmbeddingServer`, and measure HTTP
+        round-trip latency sequentially and under concurrent clients.
+    serve_requests:
+        Requests per serving mode (sequential and concurrent each issue
+        this many).
     """
 
     datasets: Tuple[str, ...] = ("dblp", "mag")
@@ -107,6 +120,8 @@ class BenchConfig:
     topk: bool = True
     topk_block_rows: Tuple[int, ...] = (64, 256, 1024)
     topk_n: int = 10
+    serve_smoke: bool = False
+    serve_requests: int = 32
 
     @classmethod
     def smoke(cls) -> "BenchConfig":
@@ -341,6 +356,150 @@ def _run_topk_axis(
     return rows, comparisons
 
 
+def _serve_progress(row: Dict[str, Any]) -> None:
+    print(
+        f"  serve {row['mode']:<11} {row['dataset']:<8} "
+        f"c={row['clients']} p50={row['p50_ms']:7.2f}ms "
+        f"p95={row['p95_ms']:7.2f}ms shed={row['shed']}",
+        file=sys.stderr,
+    )
+
+
+def _run_serve_axis(
+    dataset: str,
+    graph: BipartiteGraph,
+    config: BenchConfig,
+    *,
+    progress: bool = False,
+) -> List[Dict[str, Any]]:
+    """The serving axis for one dataset: HTTP round-trip latency.
+
+    Fits ``config.methods[0]`` once, publishes the embeddings (plus the
+    training graph, so the server masks edges exactly like the offline
+    read-out) to a throwaway :class:`~repro.serve.artifacts.ArtifactStore`,
+    and stands up an in-process
+    :class:`~repro.serve.server.EmbeddingServer`.  Two rows per dataset:
+
+    * ``sequential`` — one client issuing ``serve_requests`` single-user
+      requests back to back (per-request latency floor);
+    * ``concurrent`` — four client threads issuing the same total, which
+      exercises the micro-batcher's coalescing under contention.
+
+    Every 200-response's item list is compared against the offline
+    :class:`~repro.tasks.topk.TopKEngine` sweep (``lists_equal``); shed
+    responses (429/503) are counted, not retried — on an idle bench box the
+    expected count is zero.
+    """
+    from ..serve import (
+        ArtifactStore,
+        EmbeddingServer,
+        EmbeddingService,
+        ServerConfig,
+    )
+    from ..serve.service import percentile
+
+    name = config.methods[0]
+    method = _make_bench_method(name, config, DtypePolicy.default().with_threads(1))
+    result = method.fit(graph)
+    n = min(config.topk_n, graph.num_v)
+    engine = TopKEngine.from_result(
+        result, policy=DtypePolicy.default().with_threads(1)
+    )
+    reference = engine.top_items(n, exclude=graph)
+    users = [index % graph.num_u for index in range(max(1, config.serve_requests))]
+    rows: List[Dict[str, Any]] = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(tmp)
+        store.publish(
+            "bench",
+            result.u,
+            result.v,
+            graph=graph,
+            method=result.method,
+            dataset=dataset,
+        )
+        service = EmbeddingService(store, "bench")
+        with EmbeddingServer(service, ServerConfig()) as server:
+            url = server.url + "/v1/topk"
+
+            def request(user: int):
+                """One POST /v1/topk; returns (latency, items | None for shed)."""
+                body = json.dumps({"user": user, "n": n}).encode("utf-8")
+                req = urllib.request.Request(
+                    url,
+                    data=body,
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                started = time.perf_counter()
+                try:
+                    with urllib.request.urlopen(req, timeout=30) as response:
+                        payload = json.loads(response.read())
+                    return time.perf_counter() - started, payload["items"][0]
+                except urllib.error.HTTPError as error:
+                    error.read()
+                    if error.code in (429, 503):
+                        return time.perf_counter() - started, None
+                    raise
+
+            def mode_row(mode: str, clients: int) -> Dict[str, Any]:
+                outcomes: List[Optional[Tuple[float, Any]]] = [None] * len(users)
+
+                def client(slots: range) -> None:
+                    for index in slots:
+                        outcomes[index] = request(users[index])
+
+                started = time.perf_counter()
+                if clients == 1:
+                    client(range(len(users)))
+                else:
+                    workers = [
+                        threading.Thread(
+                            target=client,
+                            args=(range(offset, len(users), clients),),
+                            name=f"bench-serve-client-{offset}",
+                        )
+                        for offset in range(clients)
+                    ]
+                    for worker in workers:
+                        worker.start()
+                    for worker in workers:
+                        worker.join()
+                wall = time.perf_counter() - started
+                latencies = [outcome[0] for outcome in outcomes]
+                answered = [
+                    (index, outcome[1])
+                    for index, outcome in enumerate(outcomes)
+                    if outcome[1] is not None
+                ]
+                row = {
+                    "method": result.method,
+                    "dataset": dataset,
+                    "mode": mode,
+                    "clients": clients,
+                    "requests": len(answered),
+                    "n": n,
+                    "batched": True,
+                    "wall_seconds": wall,
+                    "p50_ms": percentile(latencies, 50) * 1e3,
+                    "p95_ms": percentile(latencies, 95) * 1e3,
+                    "shed": len(users) - len(answered),
+                    "lists_equal": all(
+                        items == reference[users[index]].tolist()
+                        for index, items in answered
+                    ),
+                }
+                rows.append(row)
+                if progress:
+                    _serve_progress(row)
+                return row
+
+            mode_row("sequential", 1)
+            mode_row("concurrent", 4)
+    return rows
+
+
 def _environment() -> Dict[str, Any]:
     return {
         "python": sys.version.split()[0],
@@ -413,6 +572,7 @@ def run_bench(
     runs: List[Dict[str, Any]] = []
     topk_runs: List[Dict[str, Any]] = []
     topk_comparisons: List[Dict[str, Any]] = []
+    serve_runs: List[Dict[str, Any]] = []
     # The dtype-policy grid (all serial) plus the threads axis (default
     # policy re-run at each multi-thread count).
     grid: List[DtypePolicy] = config.policies()
@@ -443,6 +603,10 @@ def run_bench(
             )
             topk_runs.extend(axis_rows)
             topk_comparisons.extend(axis_comparisons)
+        if config.serve_smoke:
+            serve_runs.extend(
+                _run_serve_axis(dataset, graph, config, progress=progress)
+            )
     payload = {
         "schema": BENCH_SCHEMA_NAME,
         "version": BENCH_SCHEMA_VERSION,
@@ -456,6 +620,7 @@ def run_bench(
         "comparisons": _comparisons(runs),
         "topk_runs": topk_runs,
         "topk_comparisons": topk_comparisons,
+        "serve_runs": serve_runs,
     }
     return validate_bench(payload)
 
@@ -522,5 +687,19 @@ def render_bench(payload: Dict[str, Any]) -> str:
                 f"{row['method']:<16} {row['dataset']:<8} "
                 f"x{row['candidate_threads']} speedup x{row['speedup']:.2f}  "
                 f"lists {marker}"
+            )
+    if payload.get("serve_runs"):
+        header = (
+            f"{'serve mode':<13}{'dataset':<10}{'clients':>8}{'reqs':>6}"
+            f"{'p50 ms':>9}{'p95 ms':>9}{'shed':>6}{'lists':>9}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for run in payload["serve_runs"]:
+            marker = "ok" if run["lists_equal"] else "MISMATCH"
+            lines.append(
+                f"{run['mode']:<13}{run['dataset']:<10}{run['clients']:>8}"
+                f"{run['requests']:>6}{run['p50_ms']:>9.2f}{run['p95_ms']:>9.2f}"
+                f"{run['shed']:>6}{marker:>9}"
             )
     return "\n".join(lines)

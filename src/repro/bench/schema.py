@@ -11,7 +11,7 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
 
     {
       "schema": "repro.bench.results",
-      "version": 3,
+      "version": 4,
       "created": str,             # ISO-8601 UTC timestamp
       "config": {"datasets": [str], "methods": [str], "dimension": int,
                  "seed": int, "repeats": int,
@@ -19,13 +19,15 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
                  "ab_compare": bool, "float32": bool,
                  "threads": [int],
                  "fit_grid": bool, "topk": bool,
-                 "topk_block_rows": [int], "topk_n": int},
+                 "topk_block_rows": [int], "topk_n": int,
+                 "serve_smoke": bool, "serve_requests": int},
       "environment": {"python": str, "numpy": str, "scipy": str,
                       "platform": str, "cpu_count": int},
       "runs": [Run, ...],
       "comparisons": [Comparison, ...],
       "topk_runs": [TopkRun, ...],
-      "topk_comparisons": [TopkComparison, ...]
+      "topk_comparisons": [TopkComparison, ...],
+      "serve_runs": [ServeRun, ...]
     }
 
     Run: {
@@ -69,7 +71,26 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
       "lists_equal": bool         # recommendation lists identical
     }
 
-Version history: v3 added the top-k retrieval axis (``topk_runs`` /
+    ServeRun: {                   # HTTP round-trips against an in-process
+      "method": str, "dataset": str,            # repro.serve server
+      "mode": str,                # "sequential" | "concurrent"
+      "clients": int,             # client threads issuing the requests
+      "requests": int,            # completed 200-responses measured
+      "n": int,                   # list length per request
+      "batched": bool,            # micro-batcher on the single-user path
+      "wall_seconds": float,      # whole-mode wall clock
+      "p50_ms": float,            # per-request round-trip percentiles
+      "p95_ms": float,
+      "shed": int,                # 429/503 responses observed (0 expected)
+      "lists_equal": bool         # responses identical to offline TopKEngine
+    }
+
+Version history: v4 added the serving axis (``serve_runs`` and the
+``serve_smoke``/``serve_requests`` config switches): end-to-end HTTP
+latency through :mod:`repro.serve` measured sequentially and under
+concurrent clients, with every response checked against the offline
+engine.  Older documents upgrade with the axis absent.
+v3 added the top-k retrieval axis (``topk_runs`` /
 ``topk_comparisons`` and the ``fit_grid``/``topk``/``topk_block_rows``/
 ``topk_n`` config switches); ``runs`` may now be empty as long as
 ``topk_runs`` is not (``--topk-only``).  Older documents upgrade with the
@@ -92,7 +113,7 @@ __all__ = [
 ]
 
 BENCH_SCHEMA_NAME = "repro.bench.results"
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 _CONFIG_KEYS = {
     "datasets": list,
@@ -108,6 +129,8 @@ _CONFIG_KEYS = {
     "topk": bool,
     "topk_block_rows": list,
     "topk_n": int,
+    "serve_smoke": bool,
+    "serve_requests": int,
 }
 _ENVIRONMENT_KEYS = {
     "python": str,
@@ -171,6 +194,21 @@ _TOPK_COMPARISON_KEYS = {
     "lists_equal": bool,
 }
 _TOPK_MODES = ("per_user", "batched")
+_SERVE_RUN_KEYS = {
+    "method": str,
+    "dataset": str,
+    "mode": str,
+    "clients": int,
+    "requests": int,
+    "n": int,
+    "batched": bool,
+    "wall_seconds": (int, float),
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "shed": int,
+    "lists_equal": bool,
+}
+_SERVE_MODES = ("sequential", "concurrent")
 
 
 def _fail(message: str) -> None:
@@ -199,9 +237,10 @@ def upgrade_bench(payload: Any) -> Any:
     ``config.threads`` of ``[1]``, and a zero ``workspace_bytes`` watermark
     (v1 did not record it).  v2 predates the top-k retrieval axis: the axis
     upgrades as *absent* (``topk: false``, empty ``topk_runs`` /
-    ``topk_comparisons``) rather than pretending it ran.  Current-version
-    documents pass through untouched; unknown versions fail validation
-    downstream.
+    ``topk_comparisons``) rather than pretending it ran.  v3 likewise
+    predates the serving axis (``serve_smoke: false``, empty
+    ``serve_runs``).  Current-version documents pass through untouched;
+    unknown versions fail validation downstream.
     """
     if not isinstance(payload, dict):
         return payload
@@ -219,7 +258,7 @@ def upgrade_bench(payload: Any) -> Any:
                 comparison.setdefault("baseline_threads", 1)
                 comparison.setdefault("candidate_threads", 1)
     if payload.get("version") == 2:
-        payload["version"] = BENCH_SCHEMA_VERSION
+        payload["version"] = 3
         config = payload.get("config")
         if isinstance(config, dict):
             config.setdefault("fit_grid", True)
@@ -228,6 +267,13 @@ def upgrade_bench(payload: Any) -> Any:
             config.setdefault("topk_n", 10)
         payload.setdefault("topk_runs", [])
         payload.setdefault("topk_comparisons", [])
+    if payload.get("version") == 3:
+        payload["version"] = BENCH_SCHEMA_VERSION
+        config = payload.get("config")
+        if isinstance(config, dict):
+            config.setdefault("serve_smoke", False)
+            config.setdefault("serve_requests", 32)
+        payload.setdefault("serve_runs", [])
     return payload
 
 
@@ -260,8 +306,11 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
     topk_runs = payload.get("topk_runs")
     if not isinstance(topk_runs, list):
         _fail("topk_runs must be a list")
-    if not runs and not topk_runs:
-        _fail("runs and topk_runs must not both be empty")
+    serve_runs = payload.get("serve_runs")
+    if not isinstance(serve_runs, list):
+        _fail("serve_runs must be a list")
+    if not runs and not topk_runs and not serve_runs:
+        _fail("runs, topk_runs, and serve_runs must not all be empty")
     for index, run in enumerate(runs):
         where = f"runs[{index}]"
         _check_object(run, _RUN_KEYS, where)
@@ -320,4 +369,17 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
             _fail(f"{where}.speedup must be positive")
         if comparison["candidate_threads"] < 1:
             _fail(f"{where}.candidate_threads must be >= 1")
+    for index, run in enumerate(serve_runs):
+        where = f"serve_runs[{index}]"
+        _check_object(run, _SERVE_RUN_KEYS, where)
+        if run["mode"] not in _SERVE_MODES:
+            _fail(f"{where}.mode must be one of {_SERVE_MODES}")
+        if run["clients"] < 1:
+            _fail(f"{where}.clients must be >= 1")
+        for key in ("requests", "n", "shed"):
+            if run[key] < 0:
+                _fail(f"{where}.{key} must be non-negative")
+        for key in ("wall_seconds", "p50_ms", "p95_ms"):
+            if run[key] < 0:
+                _fail(f"{where}.{key} must be non-negative")
     return payload

@@ -8,6 +8,8 @@ Subcommands::
     python -m repro evaluate   # run the Table 4 / Table 5 protocol
     python -m repro datasets   # list or materialize the dataset zoo
     python -m repro bench      # perf benchmark -> BENCH_gebe.json
+    python -m repro publish    # embeddings .npz -> versioned artifact store
+    python -m repro serve      # long-lived HTTP top-k service (repro.serve)
 
 Every command reads TSV edge lists (``u<TAB>v[<TAB>weight]``) so the CLI
 composes with standard unix tooling.  ``embed`` can alternatively pull a
@@ -275,6 +277,96 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="B",
         help="block sizes for the top-k axis (default: 64 256 1024)",
     )
+    bench.add_argument(
+        "--serve-smoke",
+        action="store_true",
+        help="also measure end-to-end HTTP serving latency (sequential and "
+        "concurrent requests against an in-process repro.serve server)",
+    )
+
+    publish = commands.add_parser(
+        "publish",
+        help="publish an embeddings .npz as a new versioned serving artifact",
+    )
+    publish.add_argument(
+        "embeddings", help=".npz with arrays u, v (as written by `repro embed`)"
+    )
+    publish.add_argument(
+        "--store", required=True, metavar="DIR", help="artifact store root"
+    )
+    publish.add_argument(
+        "--name", required=True, help="artifact name (e.g. 'dblp-gebe')"
+    )
+    publish.add_argument(
+        "--graph",
+        metavar="EDGES.tsv",
+        help="training edge list to ship with the artifact so the server "
+        "masks training edges (node ids must match the embeddings)",
+    )
+    publish.add_argument("--method", help="method name recorded in the manifest")
+    publish.add_argument("--dataset", help="dataset name recorded in the manifest")
+
+    serve = commands.add_parser(
+        "serve", help="serve top-k queries over HTTP from a published artifact"
+    )
+    serve.add_argument("--store", metavar="DIR", help="artifact store root")
+    serve.add_argument("--name", help="artifact name to serve")
+    serve.add_argument(
+        "--artifact-version",
+        type=int,
+        metavar="N",
+        help="pin a version (default: latest; reload resolves latest again)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--block-rows", type=int, metavar="B", help="users per scoring GEMM"
+    )
+    serve.add_argument(
+        "--threads",
+        type=int,
+        metavar="N",
+        help="worker threads for block scoring "
+        "(default: REPRO_NUM_THREADS or cpu count)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admitted-requests bound; excess is answered 429 (default: 64)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=1000.0,
+        help="default per-request deadline; exceeded requests get 503",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="most single-user requests coalesced into one GEMM (default: 64)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batcher straggler wait after the first request of a batch",
+    )
+    serve.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable the micro-batcher (single-user requests score directly)",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="self-contained check: fit the toy graph, publish to a "
+        "temporary store, serve it in-process, verify concurrent HTTP "
+        "round-trips match the offline engine, then exit",
+    )
 
     return parser
 
@@ -390,17 +482,12 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from .serve import ArtifactError, load_embedding_arrays
+
     try:
-        with np.load(args.embeddings) as payload:
-            if "u" not in payload or "v" not in payload:
-                print(
-                    f"error: {args.embeddings} must contain arrays 'u' and 'v'",
-                    file=sys.stderr,
-                )
-                return 2
-            u, v = payload["u"], payload["v"]
-    except (OSError, ValueError) as exc:
-        print(f"error: cannot load {args.embeddings}: {exc}", file=sys.stderr)
+        u, v = load_embedding_arrays(args.embeddings)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     exclude = None
     if args.exclude is not None:
@@ -572,6 +659,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print("error: --topk-block-rows values must be >= 1", file=sys.stderr)
             return 2
         overrides["topk_block_rows"] = tuple(args.topk_block_rows)
+    if args.serve_smoke:
+        overrides["serve_smoke"] = True
     config = replace(config, **overrides)
 
     baseline = None
@@ -587,7 +676,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_bench(payload))
     print(
         f"wrote {len(payload['runs'])} runs + "
-        f"{len(payload['topk_runs'])} topk runs -> {args.output}"
+        f"{len(payload['topk_runs'])} topk runs + "
+        f"{len(payload['serve_runs'])} serve runs -> {args.output}"
     )
     status = 0
     mismatches = [
@@ -610,6 +700,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         status = 1
+    serve_mismatches = [
+        row for row in payload["serve_runs"] if not row["lists_equal"]
+    ]
+    if serve_mismatches:
+        print(
+            "error: served lists diverge from the offline engine path "
+            f"({len(serve_mismatches)} rows)",
+            file=sys.stderr,
+        )
+        status = 1
     if baseline is not None:
         kwargs = {} if args.noise is None else {"noise": args.noise}
         result = compare_bench(baseline, payload, **kwargs)
@@ -625,6 +725,194 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_publish(args: argparse.Namespace) -> int:
+    from .serve import ArtifactError, ArtifactStore, load_embedding_arrays
+
+    try:
+        u, v = load_embedding_arrays(args.embeddings)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    graph = None
+    if args.graph is not None:
+        graph = read_edge_list(args.graph)
+        if graph.num_u != u.shape[0] or graph.num_v > v.shape[0]:
+            print(
+                f"error: graph is {graph.num_u}x{graph.num_v} but embeddings "
+                f"cover {u.shape[0]} users / {v.shape[0]} items",
+                file=sys.stderr,
+            )
+            return 2
+    store = ArtifactStore(args.store)
+    try:
+        ref = store.publish(
+            args.name,
+            u,
+            v,
+            graph=graph,
+            method=args.method,
+            dataset=args.dataset,
+        )
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    manifest = ref.manifest
+    print(
+        f"published {ref.tag} -> {ref.path} "
+        f"(|U|={manifest['num_u']}, |V|={manifest['num_v']}, "
+        f"k={manifest['dimension']}, graph={'yes' if ref.has_graph else 'no'})"
+    )
+    return 0
+
+
+def _serve_smoke() -> int:
+    """The self-contained ``repro serve --smoke`` round trip (see Makefile)."""
+    import json
+    import tempfile
+    import threading
+    import urllib.error
+    import urllib.request
+
+    from .serve import (
+        ArtifactStore,
+        EmbeddingServer,
+        EmbeddingService,
+        ServerConfig,
+    )
+
+    graph = toy_graph()
+    method = make_method("GEBE^p", dimension=8, seed=0)
+    result = method.fit(graph)
+    n = min(10, graph.num_v)
+    engine = TopKEngine.from_result(result)
+    reference = engine.top_items(n, exclude=graph)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(tmp)
+        store.publish(
+            "toy", result.u, result.v, graph=graph,
+            method=result.method, dataset="toy",
+        )
+        service = EmbeddingService(store, "toy")
+        with EmbeddingServer(service, ServerConfig(port=0)) as server:
+            url = server.url
+
+            def post(path: str, body: dict) -> dict:
+                request = urllib.request.Request(
+                    url + path,
+                    data=json.dumps(body).encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    return json.loads(response.read())
+
+            users = list(range(graph.num_u)) * 2
+            answers: dict = {}
+
+            def client(slots: range) -> None:
+                for index in slots:
+                    answers[index] = post(
+                        "/v1/topk", {"user": users[index], "n": n}
+                    )["items"][0]
+
+            workers = [
+                threading.Thread(target=client, args=(range(k, len(users), 4),))
+                for k in range(4)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            mismatched = [
+                index
+                for index, items in answers.items()
+                if items != reference[users[index]].tolist()
+            ]
+            store.publish("toy", result.u, result.v, graph=graph,
+                          method=result.method, dataset="toy")
+            reload_payload = post("/admin/reload", {})
+            with urllib.request.urlopen(url + "/metrics", timeout=30) as resp:
+                metrics = json.loads(resp.read())
+    counters = metrics["counters"]
+    print(
+        f"serve smoke: {len(answers)} concurrent round-trips on {url} "
+        f"({counters['batches']} batches, "
+        f"{counters['topk_candidates']} candidates scored), "
+        f"reload {reload_payload['previous']} -> {reload_payload['current']}"
+    )
+    if len(answers) != len(users) or mismatched:
+        print(
+            f"error: {len(mismatched)} responses diverge from the offline "
+            "engine path",
+            file=sys.stderr,
+        )
+        return 1
+    if counters["topk_candidates"] <= 0:
+        print("error: /metrics shows no scored candidates", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.smoke:
+        return _serve_smoke()
+    if args.store is None or args.name is None:
+        print("error: --store and --name are required (or use --smoke)",
+              file=sys.stderr)
+        return 2
+    from .serve import (
+        ArtifactError,
+        ArtifactStore,
+        EmbeddingServer,
+        EmbeddingService,
+        ServerConfig,
+    )
+
+    policy = None
+    if args.threads is not None:
+        if args.threads < 1:
+            print("error: --threads must be >= 1", file=sys.stderr)
+            return 2
+        from .linalg import DtypePolicy
+
+        policy = DtypePolicy().with_threads(args.threads)
+    try:
+        service = EmbeddingService(
+            ArtifactStore(args.store),
+            args.name,
+            version=args.artifact_version,
+            policy=policy,
+            block_rows=args.block_rows,
+        )
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_queue=args.max_queue,
+            deadline_ms=args.deadline_ms,
+            batch=not args.no_batch,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+        )
+        server = EmbeddingServer(service, config)
+    except (ArtifactError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.address
+    print(
+        f"serving {service.artifact.tag} on http://{host}:{port} "
+        f"({service.num_users} users x {service.num_items} items; "
+        f"POST /v1/topk, GET /healthz, GET /metrics, POST /admin/reload)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
 _HANDLERS = {
     "embed": _cmd_embed,
     "recommend": _cmd_recommend,
@@ -632,6 +920,8 @@ _HANDLERS = {
     "evaluate": _cmd_evaluate,
     "datasets": _cmd_datasets,
     "bench": _cmd_bench,
+    "publish": _cmd_publish,
+    "serve": _cmd_serve,
 }
 
 

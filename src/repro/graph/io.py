@@ -162,6 +162,67 @@ def _hashable(label):
     return label
 
 
+def _validate_csr_arrays(
+    path: PathLike,
+    shape: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+) -> Tuple[int, int]:
+    """Check a CSR bundle's dtypes and shapes before building the matrix.
+
+    A corrupt or hand-edited bundle would otherwise surface as an opaque
+    scipy constructor error — or worse, build a structurally broken matrix
+    that fails deep inside the kernels.  Every violation raises a pointed
+    ``ValueError`` naming the file and the broken invariant.
+    """
+
+    def fail(message: str) -> None:
+        raise ValueError(f"{path}: invalid graph bundle: {message}")
+
+    if shape.ndim != 1 or shape.size != 2:
+        fail(f"'shape' must be a length-2 vector, got shape {shape.shape}")
+    if not np.issubdtype(shape.dtype, np.integer):
+        fail(f"'shape' must be integer, got dtype {shape.dtype}")
+    num_u, num_v = (int(shape[0]), int(shape[1]))
+    if num_u < 0 or num_v < 0:
+        fail(f"'shape' must be non-negative, got ({num_u}, {num_v})")
+    for name, array in (("indptr", indptr), ("indices", indices)):
+        if array.ndim != 1:
+            fail(f"'{name}' must be 1-D, got {array.ndim}-D")
+        if not np.issubdtype(array.dtype, np.integer):
+            fail(f"'{name}' must be integer, got dtype {array.dtype}")
+    if data.ndim != 1:
+        fail(f"'data' must be 1-D, got {data.ndim}-D")
+    if not (
+        np.issubdtype(data.dtype, np.floating)
+        or np.issubdtype(data.dtype, np.integer)
+    ):
+        fail(f"'data' must be numeric, got dtype {data.dtype}")
+    if indptr.size != num_u + 1:
+        fail(
+            f"'indptr' has {indptr.size} entries for {num_u} rows "
+            f"(expected {num_u + 1})"
+        )
+    if indptr.size and int(indptr[0]) != 0:
+        fail(f"'indptr' must start at 0, got {int(indptr[0])}")
+    if indptr.size and np.any(np.diff(indptr) < 0):
+        fail("'indptr' must be non-decreasing")
+    nnz = int(indptr[-1]) if indptr.size else 0
+    if indices.size != nnz or data.size != nnz:
+        fail(
+            f"'indptr' declares {nnz} entries but 'indices' has "
+            f"{indices.size} and 'data' has {data.size}"
+        )
+    if indices.size and (
+        int(indices.min()) < 0 or int(indices.max()) >= num_v
+    ):
+        fail(f"'indices' must lie in [0, {num_v})")
+    if data.size and not np.all(np.isfinite(data)):
+        fail("'data' contains non-finite weights")
+    return num_u, num_v
+
+
 def load_npz(path: PathLike) -> BipartiteGraph:
     """Load a graph previously written by :func:`save_npz`.
 
@@ -169,8 +230,32 @@ def load_npz(path: PathLike) -> BipartiteGraph:
     versions.  Pickle deserialization is enabled only for the label members
     (``np.load`` reads bundle members lazily, so the numeric CSR arrays
     never go through pickle even when labels are present).
+
+    Raises
+    ------
+    ValueError
+        When required arrays are missing or the CSR invariants do not hold
+        (wrong dtypes, inconsistent lengths, out-of-range indices,
+        non-finite weights) — a corrupt or hand-edited bundle fails here
+        with a pointed message instead of deep inside the kernels.
     """
     with np.load(path, allow_pickle=False) as bundle:
+        missing = [
+            key
+            for key in ("shape", "indptr", "indices", "data")
+            if key not in bundle.files
+        ]
+        if missing:
+            raise ValueError(
+                f"{path}: invalid graph bundle: missing arrays {missing}"
+            )
+        _validate_csr_arrays(
+            path,
+            bundle["shape"],
+            bundle["indptr"],
+            bundle["indices"],
+            bundle["data"],
+        )
         shape = tuple(bundle["shape"])
         w = sp.csr_matrix(
             (bundle["data"], bundle["indices"], bundle["indptr"]), shape=shape

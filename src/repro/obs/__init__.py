@@ -27,7 +27,13 @@ how to read a report.
 from .collector import NULL, NullCollector, ProfileCollector, active, collect
 from .counters import OpCounter
 from .memory import MemorySampler, current_rss_bytes
-from .report import SCHEMA_NAME, SCHEMA_VERSION, RunReport, validate_report
+from .report import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    RunReport,
+    upgrade_report,
+    validate_report,
+)
 from .timer import StageRecord, StageTimer
 
 __all__ = [
@@ -40,6 +46,7 @@ __all__ = [
     "MemorySampler",
     "current_rss_bytes",
     "RunReport",
+    "upgrade_report",
     "validate_report",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",

@@ -158,9 +158,15 @@ class ProfileCollector(NullCollector):
         dimension: Optional[int] = None,
         seed: Optional[int] = None,
         wall_seconds: Optional[float] = None,
+        service: Optional[Dict[str, Any]] = None,
         metadata: Optional[Dict[str, Any]] = None,
     ) -> RunReport:
-        """Freeze the collected data into a :class:`RunReport`."""
+        """Freeze the collected data into a :class:`RunReport`.
+
+        ``service`` attaches a serving-tier section (the dict produced by
+        :meth:`repro.serve.service.ServiceMetrics.service_report`); leave it
+        ``None`` for pure solver runs.
+        """
         self.memory.sample()
         elapsed = (
             wall_seconds
@@ -177,6 +183,7 @@ class ProfileCollector(NullCollector):
             ops=self.ops.to_dict(),
             memory=self.memory.to_dict(),
             threads=self.threads,
+            service=dict(service) if service is not None else None,
             metadata=dict(metadata or {}),
         )
 

@@ -10,7 +10,7 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
 
     {
       "schema": "repro.obs.run_report",
-      "version": 3,
+      "version": 4,
       "method": str,              # display name, e.g. "GEBE^p"
       "dataset": str | null,
       "dimension": int | null,
@@ -24,10 +24,18 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
               "topk_candidates": int, "flops": float},
       "memory": {"peak_rss_bytes": int, "max_tracked_array_bytes": int,
                  "workspace_bytes": int, "samples": int},
+      "service": null | {         # serving-tier tallies (repro.serve)
+          "requests": int, "batched_requests": int, "batches": int,
+          "shed": int, "deadline_exceeded": int, "reloads": int,
+          "queue_depth_max": int,
+          "latency_ms": {"p50": float, "p95": float}},
       "metadata": {...}           # free-form, JSON-serializable
     }
 
-Version history: v3 added ``ops.topk_candidates`` ((user, item) pairs
+Version history: v4 added the nullable ``service`` section (request /
+batching / load-shedding tallies of a :mod:`repro.serve` run; ``null`` for
+pure solver runs — :func:`upgrade_report` backfills it when reading older
+documents).  v3 added ``ops.topk_candidates`` ((user, item) pairs
 scored by the batched retrieval read-out of :mod:`repro.tasks.topk`).
 v2 added ``threads`` (the widest kernel sharding the run actually used;
 1 = fully serial) and ``memory.workspace_bytes`` (watermark of the kernels'
@@ -40,10 +48,16 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-__all__ = ["RunReport", "validate_report", "SCHEMA_NAME", "SCHEMA_VERSION"]
+__all__ = [
+    "RunReport",
+    "upgrade_report",
+    "validate_report",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+]
 
 SCHEMA_NAME = "repro.obs.run_report"
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 _OPS_KEYS = (
     "sparse_matvecs",
@@ -60,6 +74,15 @@ _MEMORY_KEYS = (
     "samples",
 )
 _STAGE_KEYS = ("name", "path", "seconds", "calls", "children")
+_SERVICE_KEYS = (
+    "requests",
+    "batched_requests",
+    "batches",
+    "shed",
+    "deadline_exceeded",
+    "reloads",
+    "queue_depth_max",
+)
 
 
 def _fail(message: str) -> None:
@@ -132,8 +155,39 @@ def validate_report(payload: Any) -> Dict[str, Any]:
         value = memory.get(key)
         if not isinstance(value, int) or value < 0:
             _fail(f"memory.{key} must be a non-negative integer")
+    if "service" not in payload:
+        _fail("service must be present (null for non-serving runs)")
+    service = payload["service"]
+    if service is not None:
+        if not isinstance(service, dict):
+            _fail("service must be an object or null")
+        for key in _SERVICE_KEYS:
+            value = service.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                _fail(f"service.{key} must be a non-negative integer")
+        latency = service.get("latency_ms")
+        if not isinstance(latency, dict):
+            _fail("service.latency_ms must be an object")
+        for key in ("p50", "p95"):
+            value = latency.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                _fail(f"service.latency_ms.{key} must be a non-negative number")
     if not isinstance(payload.get("metadata"), dict):
         _fail("metadata must be an object")
+    return payload
+
+
+def upgrade_report(payload: Any) -> Any:
+    """Upgrade an older report document in place to the current version.
+
+    v3 -> v4 backfills ``service: null`` (the section did not exist before
+    the serving tier).  Unknown or newer versions are returned untouched —
+    :func:`validate_report` rejects them with a pointed message.
+    """
+    if isinstance(payload, dict) and payload.get("schema") == SCHEMA_NAME:
+        if payload.get("version") == 3 and "service" not in payload:
+            payload["version"] = 4
+            payload["service"] = None
     return payload
 
 
@@ -150,6 +204,7 @@ class RunReport:
     dimension: Optional[int] = None
     seed: Optional[int] = None
     threads: int = 1
+    service: Optional[Dict[str, Any]] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -168,6 +223,7 @@ class RunReport:
             "stages": self.stages,
             "ops": ops,
             "memory": memory,
+            "service": self.service,
             "metadata": self.metadata,
         }
         return validate_report(payload)
@@ -184,8 +240,9 @@ class RunReport:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RunReport":
-        """Rebuild a report from a decoded (and validated) document."""
-        validate_report(payload)
+        """Rebuild a report from a decoded document (older versions upgraded)."""
+        validate_report(upgrade_report(payload))
+        service = payload.get("service")
         return cls(
             method=payload["method"],
             wall_seconds=float(payload["wall_seconds"]),
@@ -196,6 +253,7 @@ class RunReport:
             dimension=payload.get("dimension"),
             seed=payload.get("seed"),
             threads=int(payload.get("threads", 1)),
+            service=dict(service) if service is not None else None,
             metadata=dict(payload.get("metadata", {})),
         )
 

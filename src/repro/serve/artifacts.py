@@ -1,0 +1,464 @@
+"""Versioned on-disk model artifacts for the serving tier.
+
+An *artifact* is everything a resident embedding service needs to answer
+queries: the ``u``/``v`` matrices a fit produced (the NPZ ``repro embed``
+writes) plus, optionally, the training graph whose edges the read-out masks.
+:class:`ArtifactStore` keeps artifacts under one root directory, one
+monotonically numbered version per publish::
+
+    store_root/
+      <name>/
+        v0001/
+          manifest.json        # schema, provenance, per-array checksums
+          embeddings.npz       # arrays u, v
+          graph.npz            # optional: the training graph (CSR bundle)
+        v0002/
+          ...
+
+The manifest records a blake2b digest of every array (dtype + shape + raw
+bytes — the same content-fingerprint idiom as
+:func:`repro.linalg.spectrum_cache.matrix_fingerprint`), so
+:meth:`ArtifactStore.verify` detects a corrupt or hand-edited artifact
+before it ever reaches a kernel.  Publishes are crash-safe: the version
+directory is staged under a temporary name and renamed into place, so a
+reader never observes a half-written version and ``resolve`` (which picks
+the highest complete version) never serves one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..graph import BipartiteGraph, load_npz, save_npz
+
+__all__ = [
+    "ARTIFACT_SCHEMA_NAME",
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactError",
+    "ArtifactRef",
+    "ArtifactStore",
+    "LoadedArtifact",
+    "array_checksum",
+    "load_embedding_arrays",
+]
+
+ARTIFACT_SCHEMA_NAME = "repro.serve.artifact"
+ARTIFACT_SCHEMA_VERSION = 1
+
+MANIFEST_FILE = "manifest.json"
+EMBEDDINGS_FILE = "embeddings.npz"
+GRAPH_FILE = "graph.npz"
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_RE = re.compile(r"^v(\d{4,})$")
+
+PathLike = Union[str, Path]
+
+
+class ArtifactError(ValueError):
+    """A model artifact is missing, malformed, or fails verification."""
+
+
+def array_checksum(array: np.ndarray) -> str:
+    """A blake2b content digest of one array (dtype + shape + raw bytes).
+
+    Two arrays collide only if they are bit-identical in the same dtype and
+    shape — exactly the condition under which serving them is equivalent.
+    """
+    array = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(array.dtype).encode("ascii"))
+    digest.update(np.asarray(array.shape, dtype=np.int64).tobytes())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def load_embedding_arrays(path: PathLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Load and validate the ``u``/``v`` arrays of an embedding NPZ.
+
+    The bundle format is what ``repro embed`` writes: two 2-D float arrays
+    named ``u`` and ``v`` with a shared trailing dimension.  Violations
+    raise :class:`ArtifactError` with a pointed message instead of failing
+    deep inside the scoring kernels.
+    """
+
+    def fail(message: str) -> None:
+        raise ArtifactError(f"{path}: invalid embedding bundle: {message}")
+
+    try:
+        with np.load(path, allow_pickle=False) as bundle:
+            missing = [key for key in ("u", "v") if key not in bundle.files]
+            if missing:
+                fail(f"missing arrays {missing}")
+            u, v = bundle["u"], bundle["v"]
+    except OSError as exc:
+        raise ArtifactError(f"{path}: cannot read embedding bundle: {exc}") from exc
+    except ValueError as exc:
+        if isinstance(exc, ArtifactError):
+            raise
+        raise ArtifactError(f"{path}: cannot read embedding bundle: {exc}") from exc
+    for name, array in (("u", u), ("v", v)):
+        if array.ndim != 2:
+            fail(f"'{name}' must be 2-D, got {array.ndim}-D")
+        if not np.issubdtype(array.dtype, np.floating):
+            fail(f"'{name}' must be floating, got dtype {array.dtype}")
+        if not np.all(np.isfinite(array)):
+            fail(f"'{name}' contains non-finite values")
+    if u.shape[1] != v.shape[1]:
+        fail(f"dimension mismatch: u is {u.shape}, v is {v.shape}")
+    return u, v
+
+
+@dataclass(frozen=True)
+class ArtifactRef:
+    """One resolved artifact version: its location plus parsed manifest."""
+
+    name: str
+    version: int
+    path: Path
+    manifest: Dict[str, Any]
+
+    @property
+    def tag(self) -> str:
+        """The human-readable identity, e.g. ``"toy-gebe@v3"``."""
+        return f"{self.name}@v{self.version}"
+
+    @property
+    def has_graph(self) -> bool:
+        """Whether the artifact ships a training graph for edge masking."""
+        return GRAPH_FILE in self.manifest["files"]
+
+
+@dataclass(frozen=True)
+class LoadedArtifact:
+    """The in-memory payload of one artifact version."""
+
+    ref: ArtifactRef
+    u: np.ndarray
+    v: np.ndarray
+    graph: Optional[BipartiteGraph]
+
+
+def _validate_manifest(payload: Any, where: str) -> Dict[str, Any]:
+    def fail(message: str) -> None:
+        raise ArtifactError(f"{where}: invalid manifest: {message}")
+
+    if not isinstance(payload, dict):
+        fail(f"top level must be an object, got {type(payload).__name__}")
+    if payload.get("schema") != ARTIFACT_SCHEMA_NAME:
+        fail(f"schema must be {ARTIFACT_SCHEMA_NAME!r}, got {payload.get('schema')!r}")
+    if payload.get("version") != ARTIFACT_SCHEMA_VERSION:
+        fail(
+            f"version must be {ARTIFACT_SCHEMA_VERSION}, "
+            f"got {payload.get('version')!r}"
+        )
+    if not isinstance(payload.get("name"), str) or not payload["name"]:
+        fail("name must be a non-empty string")
+    if not isinstance(payload.get("artifact_version"), int):
+        fail("artifact_version must be an integer")
+    for key in ("method", "dataset"):
+        if payload.get(key) is not None and not isinstance(payload[key], str):
+            fail(f"{key} must be a string or null")
+    for key in ("dimension", "num_u", "num_v"):
+        value = payload.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(f"{key} must be a non-negative integer")
+    if not isinstance(payload.get("dtype"), str):
+        fail("dtype must be a string")
+    if not isinstance(payload.get("created"), str) or not payload["created"]:
+        fail("created must be a non-empty string")
+    files = payload.get("files")
+    if not isinstance(files, dict) or EMBEDDINGS_FILE not in files:
+        fail(f"files must be an object containing {EMBEDDINGS_FILE!r}")
+    for filename, arrays in files.items():
+        if not isinstance(arrays, dict) or not arrays:
+            fail(f"files[{filename!r}] must be a non-empty object")
+        for array_name, spec in arrays.items():
+            if not isinstance(spec, dict):
+                fail(f"files[{filename!r}][{array_name!r}] must be an object")
+            for key in ("dtype", "blake2b"):
+                if not isinstance(spec.get(key), str) or not spec[key]:
+                    fail(
+                        f"files[{filename!r}][{array_name!r}].{key} must be "
+                        "a non-empty string"
+                    )
+            shape = spec.get("shape")
+            if not isinstance(shape, list) or not all(
+                isinstance(dim, int) and dim >= 0 for dim in shape
+            ):
+                fail(
+                    f"files[{filename!r}][{array_name!r}].shape must be a "
+                    "list of non-negative integers"
+                )
+    if not isinstance(payload.get("metadata"), dict):
+        fail("metadata must be an object")
+    return payload
+
+
+def _file_entry(arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    return {
+        name: {
+            "dtype": str(array.dtype),
+            "shape": [int(dim) for dim in array.shape],
+            "blake2b": array_checksum(array),
+        }
+        for name, array in arrays.items()
+    }
+
+
+def _npz_arrays(path: Path) -> Dict[str, np.ndarray]:
+    """Every non-pickle member of an NPZ bundle, loaded eagerly."""
+    with np.load(path, allow_pickle=False) as bundle:
+        return {name: bundle[name] for name in bundle.files}
+
+
+class ArtifactStore:
+    """A versioned on-disk store of embedding artifacts.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one subdirectory per artifact name.  Created on
+        first use.
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore({str(self.root)!r})"
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME_RE.match(name or ""):
+            raise ArtifactError(
+                f"invalid artifact name {name!r} (letters, digits, '.', '_', "
+                "'-'; must not start with a separator)"
+            )
+        return name
+
+    def names(self) -> List[str]:
+        """Artifact names with at least one published version."""
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and self.versions(entry.name)
+        )
+
+    def versions(self, name: str) -> List[int]:
+        """Published (complete) version numbers of ``name``, ascending."""
+        base = self.root / self._check_name(name)
+        if not base.is_dir():
+            return []
+        found = []
+        for entry in base.iterdir():
+            match = _VERSION_RE.match(entry.name)
+            if match and (entry / MANIFEST_FILE).is_file():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    # Publish / resolve / verify / load
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        u: np.ndarray,
+        v: np.ndarray,
+        *,
+        graph: Optional[BipartiteGraph] = None,
+        method: Optional[str] = None,
+        dataset: Optional[str] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> ArtifactRef:
+        """Publish embeddings (and optionally their graph) as a new version.
+
+        The new version number is one past the highest published; staging
+        plus an atomic rename means a concurrent ``resolve`` either sees the
+        complete version or not at all.
+        """
+        self._check_name(name)
+        u = np.ascontiguousarray(u)
+        v = np.ascontiguousarray(v)
+        if u.ndim != 2 or v.ndim != 2 or u.shape[1] != v.shape[1]:
+            raise ArtifactError(
+                f"embeddings must be 2-D with one dimension: u is "
+                f"{u.shape}, v is {v.shape}"
+            )
+        if not (
+            np.issubdtype(u.dtype, np.floating)
+            and np.issubdtype(v.dtype, np.floating)
+        ):
+            raise ArtifactError(
+                f"embeddings must be floating, got {u.dtype} / {v.dtype}"
+            )
+        base = self.root / name
+        base.mkdir(parents=True, exist_ok=True)
+        existing = self.versions(name)
+        version = (existing[-1] + 1) if existing else 1
+
+        files: Dict[str, Dict[str, Any]] = {
+            EMBEDDINGS_FILE: _file_entry({"u": u, "v": v})
+        }
+        staging = Path(
+            tempfile.mkdtemp(prefix=f".staging-v{version:04d}-", dir=base)
+        )
+        try:
+            np.savez_compressed(staging / EMBEDDINGS_FILE, u=u, v=v)
+            if graph is not None:
+                # Only the CSR structure masks training edges at serving
+                # time; labels are dropped so graph.npz stays pickle-free
+                # and every byte of the artifact is checksummable.
+                save_npz(BipartiteGraph(graph.w), staging / GRAPH_FILE)
+                files[GRAPH_FILE] = _file_entry(
+                    _npz_arrays(staging / GRAPH_FILE)
+                )
+            manifest = {
+                "schema": ARTIFACT_SCHEMA_NAME,
+                "version": ARTIFACT_SCHEMA_VERSION,
+                "name": name,
+                "artifact_version": version,
+                "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                "method": method,
+                "dataset": dataset,
+                "dimension": int(u.shape[1]),
+                "num_u": int(u.shape[0]),
+                "num_v": int(v.shape[0]),
+                "dtype": str(u.dtype),
+                "files": files,
+                "metadata": dict(metadata or {}),
+            }
+            _validate_manifest(manifest, str(staging))
+            with open(staging / MANIFEST_FILE, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            final = base / f"v{version:04d}"
+            os.rename(staging, final)
+        except FileExistsError:
+            # A concurrent publish claimed the version number first.
+            raise ArtifactError(
+                f"version v{version:04d} of {name!r} was published "
+                "concurrently; retry"
+            ) from None
+        finally:
+            if staging.exists():  # publish failed before the rename
+                for leftover in staging.iterdir():
+                    leftover.unlink()
+                staging.rmdir()
+        return ArtifactRef(name=name, version=version, path=final, manifest=manifest)
+
+    def resolve(self, name: str, version: Optional[int] = None) -> ArtifactRef:
+        """The requested version of ``name`` (``None``: the latest)."""
+        published = self.versions(name)
+        if not published:
+            raise ArtifactError(f"no published versions of {name!r} under {self.root}")
+        if version is None:
+            version = published[-1]
+        elif version not in published:
+            raise ArtifactError(
+                f"{name!r} has no version {version}; published: {published}"
+            )
+        path = self.root / name / f"v{version:04d}"
+        try:
+            with open(path / MANIFEST_FILE, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ArtifactError(f"{path}: cannot read manifest: {exc}") from exc
+        _validate_manifest(manifest, str(path))
+        if manifest["name"] != name or manifest["artifact_version"] != version:
+            raise ArtifactError(
+                f"{path}: manifest identifies itself as "
+                f"{manifest['name']}@v{manifest['artifact_version']}, "
+                f"expected {name}@v{version}"
+            )
+        return ArtifactRef(name=name, version=version, path=path, manifest=manifest)
+
+    def verify(self, ref: ArtifactRef) -> None:
+        """Recompute every array checksum and compare against the manifest.
+
+        Raises
+        ------
+        ArtifactError
+            Naming the first file/array whose digest, dtype, or shape does
+            not match — a corrupt, truncated, or hand-edited artifact.
+        """
+        for filename, expected_arrays in ref.manifest["files"].items():
+            path = ref.path / filename
+            try:
+                arrays = _npz_arrays(path)
+            except (OSError, ValueError) as exc:
+                raise ArtifactError(f"{path}: cannot read bundle: {exc}") from exc
+            for array_name, spec in expected_arrays.items():
+                if array_name not in arrays:
+                    raise ArtifactError(
+                        f"{path}: array {array_name!r} missing "
+                        "(present in manifest)"
+                    )
+                array = arrays[array_name]
+                if str(array.dtype) != spec["dtype"] or list(array.shape) != spec["shape"]:
+                    raise ArtifactError(
+                        f"{path}: array {array_name!r} is "
+                        f"{array.dtype}{array.shape}, manifest says "
+                        f"{spec['dtype']}{tuple(spec['shape'])}"
+                    )
+                digest = array_checksum(array)
+                if digest != spec["blake2b"]:
+                    raise ArtifactError(
+                        f"{path}: checksum mismatch on array {array_name!r} "
+                        f"({digest} != {spec['blake2b']})"
+                    )
+            extra = sorted(set(arrays) - set(expected_arrays))
+            if extra:
+                raise ArtifactError(
+                    f"{path}: unexpected arrays {extra} not in manifest"
+                )
+
+    def load(
+        self,
+        name: str,
+        version: Optional[int] = None,
+        *,
+        verify: bool = True,
+    ) -> LoadedArtifact:
+        """Resolve, (optionally) verify, and load one artifact version."""
+        ref = self.resolve(name, version)
+        if verify:
+            self.verify(ref)
+        u, v = load_embedding_arrays(ref.path / EMBEDDINGS_FILE)
+        expected = (
+            ref.manifest["num_u"],
+            ref.manifest["num_v"],
+            ref.manifest["dimension"],
+        )
+        if (u.shape[0], v.shape[0], u.shape[1]) != expected:
+            raise ArtifactError(
+                f"{ref.path}: embeddings are u{u.shape} / v{v.shape}, "
+                f"manifest says |U|={expected[0]}, |V|={expected[1]}, "
+                f"k={expected[2]}"
+            )
+        graph = None
+        if ref.has_graph:
+            try:
+                graph = load_npz(ref.path / GRAPH_FILE)
+            except ValueError as exc:
+                raise ArtifactError(str(exc)) from exc
+            if graph.num_u != u.shape[0] or graph.num_v > v.shape[0]:
+                raise ArtifactError(
+                    f"{ref.path}: graph is {graph.num_u}x{graph.num_v} but "
+                    f"embeddings cover {u.shape[0]} users / {v.shape[0]} items"
+                )
+        return LoadedArtifact(ref=ref, u=u, v=v, graph=graph)

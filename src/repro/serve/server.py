@@ -1,0 +1,400 @@
+"""A stdlib HTTP front end for the embedding service.
+
+No framework, no dependency: a ``ThreadingHTTPServer`` whose handler talks
+JSON to :class:`~repro.serve.service.EmbeddingService`.  Endpoints::
+
+    POST /v1/topk       {"user": 3}                      -> one user (micro-batched)
+                        {"users": [0, 1, 2], "n": 10,
+                         "with_scores": true,
+                         "exclude": true,
+                         "deadline_ms": 50}              -> many users (direct)
+    GET  /healthz       liveness + the served artifact tag
+    GET  /metrics       ServiceMetrics snapshot + queue/batcher gauges
+    POST /admin/reload  {"version": 2}  (omit for latest) -> hot swap
+
+Load-shedding is explicit and layered:
+
+* **Admission** — at most ``max_queue`` requests are in flight; request
+  ``max_queue + 1`` is answered ``429`` *immediately*, before any work.
+* **Deadline** — every admitted request carries a deadline
+  (``deadline_ms`` in the body, default from config); a request that
+  exceeds it — e.g. it sat behind a long batch — is answered ``503``
+  rather than returning data nobody is waiting for anymore.
+
+Single-user requests flow through the
+:class:`~repro.serve.batcher.MicroBatcher` (when enabled), so concurrent
+clients coalesce into blocked GEMMs; multi-user requests already are
+batches and go straight to the service.  Either way the lists returned are
+element-identical to the offline ``TopKEngine`` path — pinned end-to-end by
+``tests/test_serve_server.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .batcher import MicroBatcher, QueueFull
+from .service import EmbeddingService
+
+__all__ = ["ServerConfig", "EmbeddingServer"]
+
+#: Request bodies larger than this are rejected outright (a top-k request
+#: is a few hundred bytes; anything bigger is abuse or confusion).
+MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of one server instance (all load-shedding lives here).
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; port ``0`` picks an ephemeral port (tests, smoke).
+    max_queue:
+        Admitted-requests bound; excess answered ``429`` immediately.
+    deadline_ms:
+        Default per-request deadline; ``503`` when exceeded.  Overridable
+        per request via ``deadline_ms`` in the body.
+    batch:
+        Route single-user requests through the micro-batcher.
+    max_batch, max_wait_ms:
+        Micro-batcher coalescing parameters (see
+        :class:`~repro.serve.batcher.MicroBatcher`).
+    default_n:
+        List length when a request does not say.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_queue: int = 64
+    deadline_ms: float = 1000.0
+    batch: bool = True
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    default_n: int = 10
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive, got {self.deadline_ms}"
+            )
+        if self.default_n < 0:
+            raise ValueError(f"default_n must be >= 0, got {self.default_n}")
+
+
+class _HttpError(Exception):
+    """An error with an HTTP status; caught at the handler boundary."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the owning :class:`EmbeddingServer`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_ServeHTTPServer"
+
+    # Route tables keep do_GET/do_POST symmetric and 404s uniform.
+    _GET_ROUTES = {"/healthz": "handle_healthz", "/metrics": "handle_metrics"}
+    _POST_ROUTES = {"/v1/topk": "handle_topk", "/admin/reload": "handle_reload"}
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Per-request stderr logging off: /metrics is the observability path."""
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            # The body is never read; drop the connection after replying so
+            # the unread bytes are not misparsed as a pipelined request.
+            self.close_connection = True
+            raise _HttpError(413, f"body larger than {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"malformed JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        return payload
+
+    def _dispatch(self, routes: Dict[str, str]) -> None:
+        owner = self.server.owner
+        handler_name = routes.get(self.path)
+        try:
+            if handler_name is None:
+                raise _HttpError(404, f"unknown path {self.path!r}")
+            status, payload = getattr(owner, handler_name)(self._read_json)
+            self._reply(status, payload)
+        except _HttpError as exc:
+            self._reply(exc.status, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — the server must not die
+            owner.service.metrics.count("errors")
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch(self._GET_ROUTES)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch(self._POST_ROUTES)
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    owner: "EmbeddingServer"
+
+
+class EmbeddingServer:
+    """The long-lived process: service + batcher + HTTP front end.
+
+    Usable as a context manager in-process (tests, bench, smoke) or driven
+    by :meth:`serve_forever` from the CLI.
+    """
+
+    def __init__(
+        self, service: EmbeddingService, config: Optional[ServerConfig] = None
+    ):
+        self.service = service
+        self.config = config if config is not None else ServerConfig()
+        self._admission = threading.Semaphore(self.config.max_queue)
+        self._batcher: Optional[MicroBatcher] = None
+        if self.config.batch:
+            self._batcher = MicroBatcher(
+                self._score_batch,
+                max_batch=self.config.max_batch,
+                max_wait_ms=self.config.max_wait_ms,
+                max_queue=self.config.max_queue,
+            )
+        self._httpd = _ServeHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.owner = self
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — the real port even when 0 was asked."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "EmbeddingServer":
+        """Serve on a background thread (returns immediately)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI mode)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Shut down the listener, drain the batcher, release sockets."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._batcher is not None:
+            self._batcher.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "EmbeddingServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Batch scoring (runs on the batcher's worker thread)
+    # ------------------------------------------------------------------
+    def _score_batch(
+        self, users: np.ndarray, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        response = self.service.top_items(users, n, with_scores=True)
+        self.service.metrics.count("batches")
+        self.service.metrics.count("batched_requests", users.size)
+        return response["items"], response["scores"]
+
+    # ------------------------------------------------------------------
+    # Endpoints (return (status, payload); raise _HttpError to shed)
+    # ------------------------------------------------------------------
+    def handle_healthz(self, read_json) -> Tuple[int, Dict[str, Any]]:
+        return 200, {"status": "ok", "model": self.service.artifact.tag}
+
+    def handle_metrics(self, read_json) -> Tuple[int, Dict[str, Any]]:
+        snapshot = self.service.metrics.snapshot()
+        snapshot["model"] = self.service.artifact.tag
+        snapshot["queue"]["max"] = self.config.max_queue
+        if self._batcher is not None:
+            snapshot["batcher"] = {
+                **self._batcher.stats.snapshot(),
+                "depth": self._batcher.depth,
+            }
+        return 200, snapshot
+
+    def handle_reload(self, read_json) -> Tuple[int, Dict[str, Any]]:
+        body = read_json()
+        version = body.get("version")
+        if version is not None and not isinstance(version, int):
+            raise _HttpError(400, "'version' must be an integer")
+        try:
+            previous, current = self.service.reload(version)
+        except ValueError as exc:  # ArtifactError included
+            raise _HttpError(409, f"reload failed: {exc}") from exc
+        return 200, {"previous": previous, "current": current}
+
+    def handle_topk(self, read_json) -> Tuple[int, Dict[str, Any]]:
+        arrived = time.perf_counter()
+        body = read_json()
+        users, single = self._parse_users(body)
+        n = body.get("n", self.config.default_n)
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            raise _HttpError(400, "'n' must be a non-negative integer")
+        with_scores = bool(body.get("with_scores", False))
+        exclude = bool(body.get("exclude", True))
+        deadline_ms = body.get("deadline_ms", self.config.deadline_ms)
+        if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+            raise _HttpError(400, "'deadline_ms' must be a positive number")
+        deadline = arrived + float(deadline_ms) / 1e3
+
+        # Admission: over capacity -> 429 before any scoring work.
+        if not self._admission.acquire(blocking=False):
+            self.service.metrics.count("shed")
+            raise _HttpError(
+                429,
+                f"admission queue full ({self.config.max_queue} in flight)",
+            )
+        self.service.metrics.queue_entered()
+        try:
+            payload = self._answer_topk(
+                users, single, n, with_scores, exclude, deadline
+            )
+            self.service.metrics.observe("request", time.perf_counter() - arrived)
+            return 200, payload
+        finally:
+            self.service.metrics.queue_left()
+            self._admission.release()
+
+    def _parse_users(self, body: Dict[str, Any]) -> Tuple[np.ndarray, bool]:
+        if ("user" in body) == ("users" in body):
+            raise _HttpError(400, "give exactly one of 'user' or 'users'")
+        if "user" in body:
+            user = body["user"]
+            if not isinstance(user, int) or isinstance(user, bool):
+                raise _HttpError(400, "'user' must be an integer")
+            values, single = [user], True
+        else:
+            values, single = body["users"], False
+            if not isinstance(values, list) or not values or not all(
+                isinstance(u, int) and not isinstance(u, bool) for u in values
+            ):
+                raise _HttpError(400, "'users' must be a non-empty integer list")
+        users = np.asarray(values, dtype=np.int64)
+        if users.min() < 0 or users.max() >= self.service.num_users:
+            raise _HttpError(
+                400, f"user indices must be in [0, {self.service.num_users})"
+            )
+        return users, single
+
+    def _check_deadline(self, deadline: float) -> None:
+        if time.perf_counter() > deadline:
+            self.service.metrics.count("deadline_exceeded")
+            raise _HttpError(503, "deadline exceeded")
+
+    def _answer_topk(
+        self,
+        users: np.ndarray,
+        single: bool,
+        n: int,
+        with_scores: bool,
+        exclude: bool,
+        deadline: float,
+    ) -> Dict[str, Any]:
+        self._check_deadline(deadline)
+        use_batcher = (
+            single
+            and exclude  # the batcher is bound to the masked read-out
+            and self._batcher is not None
+        )
+        if use_batcher:
+            try:
+                future = self._batcher.submit(
+                    int(users[0]), n, with_scores=with_scores
+                )
+            except QueueFull:
+                self.service.metrics.count("shed")
+                raise _HttpError(429, "batch queue full") from None
+            timeout = max(deadline - time.perf_counter(), 0.0)
+            try:
+                items, scores = future.result(timeout=timeout)
+            except FutureTimeoutError:
+                future.cancel()
+                self.service.metrics.count("deadline_exceeded")
+                raise _HttpError(503, "deadline exceeded") from None
+            except CancelledError:
+                self.service.metrics.count("deadline_exceeded")
+                raise _HttpError(503, "request cancelled") from None
+            # ``requests`` counts scoring calls: the coalesced batch already
+            # counted one inside ``top_items``; this HTTP request is tallied
+            # under ``batched_requests`` by ``_score_batch``.
+            payload = {
+                "model": self.service.artifact.tag,
+                "users": [int(users[0])],
+                "items": [[int(i) for i in items]],
+                "n": int(items.size),
+                "batched": True,
+            }
+            if with_scores:
+                payload["scores"] = [[float(s) for s in scores]]
+        else:
+            response = self.service.top_items(
+                users, n, with_scores=with_scores, exclude_train=exclude
+            )
+            payload = {
+                "model": response["model"],
+                "users": [int(u) for u in response["users"]],
+                "items": [[int(i) for i in row] for row in response["items"]],
+                "n": int(response["n"]),
+                "batched": False,
+            }
+            if with_scores:
+                payload["scores"] = [
+                    [float(s) for s in row] for row in response["scores"]
+                ]
+        self._check_deadline(deadline)
+        return payload

@@ -1,0 +1,380 @@
+"""The resident embedding service: artifacts in, query answers out.
+
+:class:`EmbeddingService` is the compute tier between the versioned
+:class:`~repro.serve.artifacts.ArtifactStore` and whatever front end asks
+questions (the HTTP server of :mod:`repro.serve.server`, the micro-batcher,
+a notebook).  It loads an artifact **once**, keeps one
+:class:`~repro.tasks.topk.TopKEngine` *clone per worker thread* (the
+engine's grow-once score workspace must never be shared across threads —
+see the engine's class notes), and answers:
+
+* :meth:`top_items` — batched top-``n`` retrieval, element-identical to the
+  offline engine path;
+* :meth:`scores` — raw ``U[u] . V[v]`` scores for one user;
+* :meth:`similar_users` — nearest users by normalized cosine (the MHS
+  approximation of paper Eq. 12).
+
+Hot swap: :meth:`reload` resolves and loads the requested (or latest)
+artifact version off to the side, then atomically republishes the model
+reference.  In-flight requests keep the old model's arrays alive until they
+finish — zero failed requests by construction — and each worker thread
+notices the swap on its next call and re-clones its engine.
+
+All bookkeeping lives in :class:`ServiceMetrics`, a lock-guarded, always-on
+counterpart of the per-run :mod:`repro.obs` collector (which is
+single-threaded by design and therefore cannot sit on a multi-threaded hot
+path).  Counter names match the RunReport ``ops`` vocabulary
+(``gemms``, ``topk_candidates``) so ``/metrics`` and the v4
+``service`` report section read the same language.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.base import EmbeddingResult
+from ..core.selection import select_topn
+from ..graph import BipartiteGraph
+from ..linalg.policy import DtypePolicy
+from ..tasks.topk import TopKEngine
+from .artifacts import ArtifactRef, ArtifactStore, LoadedArtifact
+
+__all__ = ["EmbeddingService", "ServiceMetrics", "percentile"]
+
+#: Ring-buffer length for per-stage latency samples; bounds the memory of a
+#: long-lived service while keeping enough history for stable percentiles.
+LATENCY_WINDOW = 2048
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``samples`` (0.0 when empty).
+
+    Nearest-rank on a sorted copy — no interpolation, so the result is
+    always an observed latency.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
+    return float(ordered[rank])
+
+
+class ServiceMetrics:
+    """Thread-safe counters and latency windows for a long-lived service.
+
+    Unlike :class:`~repro.obs.collector.ProfileCollector` (one run, one
+    thread), every increment here happens under a lock because HTTP worker
+    threads, the batcher thread, and admin calls all report concurrently.
+    """
+
+    _COUNTERS = (
+        "requests",
+        "batched_requests",
+        "batches",
+        "shed",
+        "deadline_exceeded",
+        "errors",
+        "reloads",
+        "gemms",
+        "topk_candidates",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {key: 0 for key in self._COUNTERS}
+        self._stages: Dict[str, deque] = {}
+        self._queue_depth = 0
+        self._queue_depth_max = 0
+        self.started = time.time()
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named counter (must be a known counter)."""
+        if name not in self._counts:
+            raise KeyError(f"unknown service counter {name!r}")
+        with self._lock:
+            self._counts[name] += int(amount)
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one latency sample for ``stage`` (ring-buffered)."""
+        with self._lock:
+            window = self._stages.get(stage)
+            if window is None:
+                window = self._stages[stage] = deque(maxlen=LATENCY_WINDOW)
+            window.append(float(seconds))
+
+    def queue_entered(self) -> None:
+        """One request admitted (tracks live and high-water queue depth)."""
+        with self._lock:
+            self._queue_depth += 1
+            if self._queue_depth > self._queue_depth_max:
+                self._queue_depth_max = self._queue_depth
+
+    def queue_left(self) -> None:
+        """One admitted request finished."""
+        with self._lock:
+            self._queue_depth = max(0, self._queue_depth - 1)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently admitted and in flight."""
+        with self._lock:
+            return self._queue_depth
+
+    def __getitem__(self, name: str) -> int:
+        with self._lock:
+            return self._counts[name]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready copy of every counter, queue gauge, and stage window."""
+        with self._lock:
+            counts = dict(self._counts)
+            stages = {name: list(window) for name, window in self._stages.items()}
+            depth, depth_max = self._queue_depth, self._queue_depth_max
+        return {
+            "counters": counts,
+            "queue": {"depth": depth, "depth_max": depth_max},
+            "stages": {
+                name: {
+                    "count": len(samples),
+                    "p50_ms": percentile(samples, 50) * 1e3,
+                    "p95_ms": percentile(samples, 95) * 1e3,
+                }
+                for name, samples in stages.items()
+            },
+            "uptime_seconds": time.time() - self.started,
+        }
+
+    def service_report(self) -> Dict[str, Any]:
+        """The ``service`` section of a v4 RunReport (see repro.obs.report)."""
+        snap = self.snapshot()
+        request_stage = snap["stages"].get("request", {})
+        return {
+            "requests": snap["counters"]["requests"],
+            "batched_requests": snap["counters"]["batched_requests"],
+            "batches": snap["counters"]["batches"],
+            "shed": snap["counters"]["shed"],
+            "deadline_exceeded": snap["counters"]["deadline_exceeded"],
+            "reloads": snap["counters"]["reloads"],
+            "queue_depth_max": snap["queue"]["depth_max"],
+            "latency_ms": {
+                "p50": float(request_stage.get("p50_ms", 0.0)),
+                "p95": float(request_stage.get("p95_ms", 0.0)),
+            },
+        }
+
+
+class _Model:
+    """One immutable loaded artifact: arrays, engine template, unit-U cache.
+
+    Instances are swapped atomically on reload; nothing in here mutates
+    after construction except the template engine's private workspace, which
+    only :meth:`EmbeddingService._engine` clones ever touch.
+    """
+
+    def __init__(
+        self,
+        loaded: LoadedArtifact,
+        policy: DtypePolicy,
+        block_rows: Optional[int],
+    ):
+        self.ref = loaded.ref
+        self.result = EmbeddingResult(
+            u=loaded.u,
+            v=loaded.v,
+            method=loaded.ref.manifest.get("method") or "artifact",
+        )
+        self.graph: Optional[BipartiteGraph] = loaded.graph
+        self.template = TopKEngine(
+            self.result.u, self.result.v, policy=policy, block_rows=block_rows
+        )
+        self.unit_u = self.result.normalized_u()
+
+
+class EmbeddingService:
+    """Loads one artifact and answers queries until told to reload.
+
+    Parameters
+    ----------
+    store:
+        The artifact store to resolve from.
+    name:
+        Artifact name to serve.
+    version:
+        Pinned version (``None``: latest at load/reload time).
+    policy:
+        :class:`~repro.linalg.DtypePolicy` for the scoring engines
+        (``None``: default — float64, ``REPRO_NUM_THREADS`` threads).
+    block_rows:
+        Users per scoring GEMM (``None``: engine default).
+    verify:
+        Checksum-verify artifacts on every load (default on; the whole
+        point of the manifest).
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        name: str,
+        *,
+        version: Optional[int] = None,
+        policy: Optional[DtypePolicy] = None,
+        block_rows: Optional[int] = None,
+        verify: bool = True,
+    ):
+        self._store = store
+        self._name = name
+        self._policy = policy if policy is not None else DtypePolicy()
+        self._block_rows = block_rows
+        self._verify = verify
+        self._reload_lock = threading.Lock()
+        self._local = threading.local()
+        self.metrics = ServiceMetrics()
+        self._model = self._load(version)
+
+    # ------------------------------------------------------------------
+    # Model lifecycle
+    # ------------------------------------------------------------------
+    def _load(self, version: Optional[int]) -> _Model:
+        loaded = self._store.load(self._name, version, verify=self._verify)
+        return _Model(loaded, self._policy, self._block_rows)
+
+    @property
+    def artifact(self) -> ArtifactRef:
+        """The currently served artifact version."""
+        return self._model.ref
+
+    @property
+    def num_users(self) -> int:
+        return self._model.template.num_users
+
+    @property
+    def num_items(self) -> int:
+        return self._model.template.num_items
+
+    def reload(self, version: Optional[int] = None) -> Tuple[str, str]:
+        """Hot-swap to ``version`` (``None``: latest); returns (old, new) tags.
+
+        The replacement model is fully loaded and verified *before* the
+        swap, so a corrupt artifact leaves the service on the old version.
+        The swap itself is one reference assignment: requests already
+        scoring keep the old arrays alive until they return, and every
+        worker thread re-clones its engine on its next call.
+        """
+        with self._reload_lock:
+            old_tag = self._model.ref.tag
+            model = self._load(version)
+            self._model = model
+            self.metrics.count("reloads")
+            return old_tag, model.ref.tag
+
+    def _engine(self) -> Tuple[TopKEngine, _Model]:
+        """This thread's engine clone for the current model (re-cloned on swap)."""
+        model = self._model
+        if getattr(self._local, "model", None) is not model:
+            self._local.engine = model.template.clone_for_worker()
+            self._local.model = model
+        return self._local.engine, model
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def top_items(
+        self,
+        users: Sequence[int],
+        n: int,
+        *,
+        with_scores: bool = False,
+        exclude_train: bool = True,
+    ) -> Dict[str, Any]:
+        """Top-``n`` item lists for ``users`` (the serving read-out).
+
+        ``exclude_train`` masks the artifact's training edges when the
+        artifact ships its graph (a no-op otherwise).  Lists are
+        element-identical to the offline
+        :meth:`~repro.tasks.topk.TopKEngine.top_items` path — same engine,
+        same :func:`~repro.core.selection.select_topn` ordering.
+        """
+        engine, model = self._engine()
+        users_array = np.asarray(users, dtype=np.int64)
+        if users_array.ndim != 1:
+            raise ValueError("users must be a 1-D index sequence")
+        exclude = model.graph if exclude_train else None
+        started = time.perf_counter()
+        item_blocks: List[np.ndarray] = []
+        score_blocks: List[np.ndarray] = []
+        for block in engine.iter_top_items(
+            n, users=users_array, exclude=exclude, with_scores=with_scores
+        ):
+            item_blocks.append(block[1])
+            if with_scores:
+                score_blocks.append(block[2])
+        elapsed = time.perf_counter() - started
+        n_keep = min(max(int(n), 0), engine.num_items)
+        items = (
+            np.concatenate(item_blocks)
+            if item_blocks
+            else np.empty((0, n_keep), dtype=np.int64)
+        )
+        blocks = -(-users_array.size // engine.block_rows) if users_array.size else 0
+        self.metrics.count("requests")
+        self.metrics.count("gemms", blocks)
+        self.metrics.count("topk_candidates", users_array.size * engine.num_items)
+        self.metrics.observe("score", elapsed)
+        payload: Dict[str, Any] = {
+            "model": model.ref.tag,
+            "users": users_array,
+            "items": items,
+            "n": n_keep,
+        }
+        if with_scores:
+            payload["scores"] = (
+                np.concatenate(score_blocks)
+                if score_blocks
+                else np.empty((0, n_keep))
+            )
+        return payload
+
+    def scores(
+        self, user: int, items: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Raw ``U[user] . V[item]`` scores (all items, or a subset)."""
+        _, model = self._engine()
+        user = int(user)
+        if not 0 <= user < model.result.u.shape[0]:
+            raise ValueError(
+                f"user index must be in [0, {model.result.u.shape[0]})"
+            )
+        row = model.result.scores_for_u(user)
+        if items is None:
+            self.metrics.count("requests")
+            self.metrics.count("topk_candidates", row.size)
+            return row
+        items_array = np.asarray(items, dtype=np.int64)
+        if items_array.size and (
+            items_array.min() < 0 or items_array.max() >= row.size
+        ):
+            raise ValueError(f"item indices must be in [0, {row.size})")
+        self.metrics.count("requests")
+        self.metrics.count("topk_candidates", row.size)
+        return row[items_array]
+
+    def similar_users(self, user: int, n: int = 10) -> np.ndarray:
+        """The ``n`` users nearest to ``user`` by normalized cosine."""
+        _, model = self._engine()
+        user = int(user)
+        unit = model.unit_u
+        if not 0 <= user < unit.shape[0]:
+            raise ValueError(f"user index must be in [0, {unit.shape[0]})")
+        cosines = unit @ unit[user]
+        cosines[user] = -np.inf
+        n_keep = min(int(n), cosines.size - 1)
+        self.metrics.count("requests")
+        self.metrics.count("topk_candidates", cosines.size)
+        if n_keep <= 0:
+            return np.empty(0, dtype=np.int64)
+        return select_topn(cosines, n_keep)

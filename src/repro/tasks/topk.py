@@ -82,6 +82,15 @@ class TopKEngine:
     :meth:`iter_top_items` are only valid until the next block is produced —
     the standard streaming contract.  ``policy.workspace=False`` selects the
     allocation-per-block reference path (the bench A/B lever).
+
+    **A single engine instance must not be shared across threads.**  The
+    grow-once score workspace is overwritten by every block, so two threads
+    scoring through one instance race on the buffer between scoring and
+    selection and can hand each other's scores to ``select_topn`` (pinned by
+    ``tests/test_serve_service.py``).  Concurrent callers — the serving tier
+    in :mod:`repro.serve` — take one :meth:`clone_for_worker` per thread:
+    clones share the immutable embedding arrays (no copy) but own their
+    workspace.
     """
 
     def __init__(
@@ -128,6 +137,26 @@ class TopKEngine:
     ) -> "TopKEngine":
         """An engine over ``result.u`` / ``result.v`` (duck-typed)."""
         return cls(result.u, result.v, policy=policy, block_rows=block_rows)
+
+    def clone_for_worker(self) -> "TopKEngine":
+        """A worker-private engine sharing this engine's embedding arrays.
+
+        The clone aliases the read-only ``U`` and staged ``V.T`` matrices —
+        zero copy, so per-thread clones cost only the (lazily grown) score
+        workspace — but owns a fresh workspace and executor handle.  This is
+        the supported way to score concurrently: one clone per thread, never
+        one shared instance (see the class notes on the workspace race).
+        """
+        clone = type(self).__new__(type(self))
+        clone.policy = self.policy
+        clone.dtype = self.dtype
+        clone.block_rows = self.block_rows
+        clone._u = self._u
+        clone._vt = self._vt
+        clone._exec = ParallelExecutor(self.policy.exec_policy)
+        clone._scores_flat = None
+        clone.threads_used = 1
+        return clone
 
     # ------------------------------------------------------------------
     # Shapes and buffers

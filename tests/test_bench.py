@@ -511,3 +511,63 @@ class TestCompareBench:
     def test_rejects_negative_noise(self, smoke_payload):
         with pytest.raises(ValueError, match="noise"):
             compare_bench(smoke_payload, smoke_payload, noise=-0.1)
+
+
+def _serve_row(**overrides):
+    row = {
+        "method": "GEBE^p", "dataset": "toy", "mode": "sequential",
+        "clients": 1, "requests": 16, "n": 10, "batched": True,
+        "wall_seconds": 0.5, "p50_ms": 3.0, "p95_ms": 6.0,
+        "shed": 0, "lists_equal": True,
+    }
+    row.update(overrides)
+    return row
+
+
+class TestServeSchema:
+    def test_valid_serve_rows_accepted(self, smoke_payload):
+        doc = dict(smoke_payload, serve_runs=[
+            _serve_row(), _serve_row(mode="concurrent", clients=4),
+        ])
+        validate_bench(doc)
+
+    def test_serve_axis_alone_suffices(self, smoke_payload):
+        doc = dict(
+            smoke_payload, runs=[], comparisons=[], topk_runs=[],
+            topk_comparisons=[], serve_runs=[_serve_row()],
+        )
+        validate_bench(doc)
+
+    def test_rejects_bad_serve_mode(self, smoke_payload):
+        doc = dict(smoke_payload, serve_runs=[_serve_row(mode="burst")])
+        with pytest.raises(ValueError, match="mode must be one of"):
+            validate_bench(doc)
+
+    def test_rejects_zero_clients(self, smoke_payload):
+        doc = dict(smoke_payload, serve_runs=[_serve_row(clients=0)])
+        with pytest.raises(ValueError, match="clients must be >= 1"):
+            validate_bench(doc)
+
+    def test_rejects_negative_latency(self, smoke_payload):
+        doc = dict(smoke_payload, serve_runs=[_serve_row(p95_ms=-1.0)])
+        with pytest.raises(ValueError, match="p95_ms must be non-negative"):
+            validate_bench(doc)
+
+    def test_rejects_missing_serve_key(self, smoke_payload):
+        row = _serve_row()
+        del row["lists_equal"]
+        doc = dict(smoke_payload, serve_runs=[row])
+        with pytest.raises(ValueError, match="missing 'lists_equal'"):
+            validate_bench(doc)
+
+    def test_v3_document_upgrades_with_serve_axis_absent(self, smoke_payload):
+        doc = copy.deepcopy(smoke_payload)
+        doc["version"] = 3
+        doc.pop("serve_runs")
+        for key in ("serve_smoke", "serve_requests"):
+            doc["config"].pop(key)
+        upgraded = upgrade_bench(doc)
+        validate_bench(upgraded)
+        assert upgraded["version"] == BENCH_SCHEMA_VERSION
+        assert upgraded["config"]["serve_smoke"] is False
+        assert upgraded["serve_runs"] == []

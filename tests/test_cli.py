@@ -163,7 +163,7 @@ class TestQuery:
     def test_missing_file_errors(self, tmp_path, capsys):
         code = main(["query", str(tmp_path / "nope.npz")])
         assert code == 2
-        assert "cannot load" in capsys.readouterr().err
+        assert "cannot read embedding bundle" in capsys.readouterr().err
 
     def test_block_sizes_agree(self, embeddings, capsys):
         assert main(["query", embeddings, "-n", "5", "--block-rows", "1"]) == 0

@@ -216,3 +216,74 @@ class TestNpz:
         loaded = load_npz(path)
         assert loaded == graph
         assert loaded.u_labels == ["alice", "bob"]
+
+
+class TestCorruptBundles:
+    """Hand-corrupted NPZ bundles must fail with pointed messages, not deep
+    inside scipy or the kernels (see ``_validate_csr_arrays``)."""
+
+    @pytest.fixture
+    def arrays(self, random_graph):
+        w = random_graph.w
+        return {
+            "shape": np.asarray(w.shape, dtype=np.int64),
+            "indptr": w.indptr.copy(),
+            "indices": w.indices.copy(),
+            "data": w.data.copy(),
+        }
+
+    def _write(self, tmp_path, arrays):
+        path = tmp_path / "corrupt.npz"
+        np.savez_compressed(path, **arrays)
+        return path
+
+    def test_missing_arrays_named(self, tmp_path, arrays):
+        del arrays["indptr"], arrays["data"]
+        with pytest.raises(ValueError, match=r"missing arrays.*indptr"):
+            load_npz(self._write(tmp_path, arrays))
+
+    def test_float_indptr_rejected(self, tmp_path, arrays):
+        arrays["indptr"] = arrays["indptr"].astype(np.float64)
+        with pytest.raises(ValueError, match="'indptr' must be integer"):
+            load_npz(self._write(tmp_path, arrays))
+
+    def test_non_vector_shape_rejected(self, tmp_path, arrays):
+        arrays["shape"] = np.asarray([[2, 3]], dtype=np.int64)
+        with pytest.raises(ValueError, match="length-2 vector"):
+            load_npz(self._write(tmp_path, arrays))
+
+    def test_negative_shape_rejected(self, tmp_path, arrays):
+        arrays["shape"] = np.asarray([-1, 3], dtype=np.int64)
+        with pytest.raises(ValueError, match="non-negative"):
+            load_npz(self._write(tmp_path, arrays))
+
+    def test_indptr_length_mismatch_rejected(self, tmp_path, arrays):
+        arrays["indptr"] = arrays["indptr"][:-1]
+        with pytest.raises(ValueError, match="entries for"):
+            load_npz(self._write(tmp_path, arrays))
+
+    def test_decreasing_indptr_rejected(self, tmp_path, arrays):
+        arrays["indptr"][1] = arrays["indptr"][-1]
+        with pytest.raises(ValueError, match="non-decreasing"):
+            load_npz(self._write(tmp_path, arrays))
+
+    def test_truncated_data_rejected(self, tmp_path, arrays):
+        arrays["data"] = arrays["data"][:-1]
+        with pytest.raises(ValueError, match="declares"):
+            load_npz(self._write(tmp_path, arrays))
+
+    def test_out_of_range_indices_rejected(self, tmp_path, arrays):
+        arrays["indices"][0] = int(arrays["shape"][1])
+        with pytest.raises(ValueError, match=r"'indices' must lie in"):
+            load_npz(self._write(tmp_path, arrays))
+
+    def test_non_finite_weights_rejected(self, tmp_path, arrays):
+        arrays["data"][0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            load_npz(self._write(tmp_path, arrays))
+
+    def test_error_names_the_file(self, tmp_path, arrays):
+        arrays["data"][0] = np.nan
+        path = self._write(tmp_path, arrays)
+        with pytest.raises(ValueError, match="corrupt.npz"):
+            load_npz(path)

@@ -267,7 +267,7 @@ class TestRunReport:
         # Schema v2: effective thread count and the kernel workspace
         # watermark (summed over per-thread pools) are part of the report.
         payload = profiled_toy_report().to_dict()
-        assert payload["version"] == 3
+        assert payload["version"] == 4
         assert payload["threads"] >= 1
         assert payload["memory"]["workspace_bytes"] >= 0
 
@@ -280,6 +280,64 @@ class TestRunReport:
         assert restored.threads == payload["threads"]
         assert "thread" in restored.summary()
         assert "workspace" in restored.summary()
+
+    def test_v4_service_section_null_for_solver_runs(self):
+        payload = profiled_toy_report().to_dict()
+        assert payload["service"] is None
+        assert RunReport.from_dict(payload).service is None
+
+    def test_v4_service_section_round_trips(self):
+        service = {
+            "requests": 12,
+            "batched_requests": 8,
+            "batches": 2,
+            "shed": 1,
+            "deadline_exceeded": 0,
+            "reloads": 1,
+            "queue_depth_max": 4,
+            "latency_ms": {"p50": 1.5, "p95": 9.0},
+        }
+        report = profiled_toy_report()
+        report.service = service
+        payload = report.to_dict()
+        assert payload["service"]["requests"] == 12
+        assert RunReport.from_dict(payload).service == service
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda p: p.pop("service"), "service"),
+            (lambda p: p.update(service=[]), "service"),
+            (lambda p: p["service"].pop("shed"), "shed"),
+            (lambda p: p["service"].update(requests=-1), "requests"),
+            (lambda p: p["service"].pop("latency_ms"), "latency_ms"),
+            (lambda p: p["service"]["latency_ms"].update(p95=-2.0), "p95"),
+        ],
+    )
+    def test_v4_service_violations_rejected(self, mutate, match):
+        report = profiled_toy_report()
+        report.service = {
+            "requests": 1,
+            "batched_requests": 0,
+            "batches": 0,
+            "shed": 0,
+            "deadline_exceeded": 0,
+            "reloads": 0,
+            "queue_depth_max": 1,
+            "latency_ms": {"p50": 0.1, "p95": 0.2},
+        }
+        payload = report.to_dict()
+        mutate(payload)
+        with pytest.raises(ValueError, match=match):
+            validate_report(payload)
+
+    def test_v3_documents_upgrade_to_v4(self):
+        payload = profiled_toy_report().to_dict()
+        payload["version"] = 3
+        del payload["service"]
+        restored = RunReport.from_dict(payload)
+        assert restored.service is None
+        assert restored.to_dict()["version"] == 4
 
 
 # ---------------------------------------------------------------------------

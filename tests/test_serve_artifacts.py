@@ -1,0 +1,239 @@
+"""Tests for the versioned artifact store (repro.serve.artifacts)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import BipartiteGraph
+from repro.serve import (
+    ArtifactError,
+    ArtifactStore,
+    array_checksum,
+    load_embedding_arrays,
+)
+
+
+@pytest.fixture
+def embeddings():
+    rng = np.random.default_rng(11)
+    return rng.standard_normal((20, 6)), rng.standard_normal((14, 6))
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(5)
+    edges = [
+        (int(u), int(v), 1.0)
+        for u in range(20)
+        for v in rng.choice(14, size=4, replace=False)
+    ]
+    return BipartiteGraph.from_edges(edges)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestChecksum:
+    def test_identical_arrays_collide(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert array_checksum(a) == array_checksum(a.copy())
+
+    def test_dtype_changes_checksum(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert array_checksum(a) != array_checksum(a.astype(np.float32))
+
+    def test_shape_changes_checksum(self):
+        a = np.arange(12.0)
+        assert array_checksum(a) != array_checksum(a.reshape(3, 4))
+
+    def test_noncontiguous_view_matches_copy(self):
+        a = np.arange(24.0).reshape(4, 6)
+        view = a[:, ::2]
+        assert array_checksum(view) == array_checksum(view.copy())
+
+
+class TestPublishResolve:
+    def test_publish_assigns_monotone_versions(self, store, embeddings):
+        u, v = embeddings
+        assert store.publish("toy", u, v).version == 1
+        assert store.publish("toy", u * 2, v).version == 2
+        assert store.versions("toy") == [1, 2]
+        assert store.names() == ["toy"]
+
+    def test_resolve_latest_and_pinned(self, store, embeddings):
+        u, v = embeddings
+        store.publish("toy", u, v)
+        store.publish("toy", u * 2, v)
+        assert store.resolve("toy").version == 2
+        assert store.resolve("toy", 1).version == 1
+        assert store.resolve("toy").tag == "toy@v2"
+
+    def test_resolve_unknown_fails(self, store, embeddings):
+        u, v = embeddings
+        with pytest.raises(ArtifactError, match="no published versions"):
+            store.resolve("toy")
+        store.publish("toy", u, v)
+        with pytest.raises(ArtifactError, match="no version 9"):
+            store.resolve("toy", 9)
+
+    def test_incomplete_version_is_invisible(self, store, embeddings):
+        u, v = embeddings
+        ref = store.publish("toy", u, v)
+        # A half-written version (no manifest) must never be resolved.
+        partial = ref.path.parent / "v0002"
+        partial.mkdir()
+        (partial / "embeddings.npz").write_bytes(b"garbage")
+        assert store.versions("toy") == [1]
+        assert store.resolve("toy").version == 1
+
+    def test_bad_names_rejected(self, store, embeddings):
+        u, v = embeddings
+        for name in ("", "../escape", "a/b", ".hidden"):
+            with pytest.raises(ArtifactError, match="invalid artifact name"):
+                store.publish(name, u, v)
+
+    def test_non_2d_embeddings_rejected(self, store):
+        with pytest.raises(ArtifactError, match="2-D"):
+            store.publish("toy", np.zeros(4), np.zeros((4, 2)))
+
+    def test_manifest_records_provenance(self, store, embeddings, graph):
+        u, v = embeddings
+        ref = store.publish(
+            "toy", u, v, graph=graph, method="GEBE^p", dataset="toy",
+            metadata={"note": "test"},
+        )
+        manifest = ref.manifest
+        assert manifest["method"] == "GEBE^p"
+        assert manifest["dataset"] == "toy"
+        assert manifest["num_u"] == 20
+        assert manifest["num_v"] == 14
+        assert manifest["dimension"] == 6
+        assert manifest["metadata"] == {"note": "test"}
+        assert ref.has_graph
+
+
+class TestVerifyLoad:
+    def test_round_trip(self, store, embeddings, graph):
+        u, v = embeddings
+        store.publish("toy", u, v, graph=graph)
+        loaded = store.load("toy")
+        np.testing.assert_array_equal(loaded.u, u)
+        np.testing.assert_array_equal(loaded.v, v)
+        assert loaded.graph.num_u == graph.num_u
+        assert loaded.graph.num_edges == graph.num_edges
+
+    def test_verify_detects_bit_corruption(self, store, embeddings):
+        u, v = embeddings
+        ref = store.publish("toy", u, v)
+        store.verify(ref)  # pristine artifact passes
+        corrupted = dict(np.load(ref.path / "embeddings.npz"))
+        corrupted["u"] = corrupted["u"].copy()
+        corrupted["u"][0, 0] += 1.0
+        np.savez_compressed(ref.path / "embeddings.npz", **corrupted)
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            store.verify(store.resolve("toy"))
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            store.load("toy")
+
+    def test_verify_detects_shape_tamper(self, store, embeddings):
+        u, v = embeddings
+        ref = store.publish("toy", u, v)
+        arrays = dict(np.load(ref.path / "embeddings.npz"))
+        arrays["u"] = arrays["u"][:-1]
+        np.savez_compressed(ref.path / "embeddings.npz", **arrays)
+        with pytest.raises(ArtifactError, match="manifest says"):
+            store.verify(store.resolve("toy"))
+
+    def test_verify_detects_extra_arrays(self, store, embeddings):
+        u, v = embeddings
+        ref = store.publish("toy", u, v)
+        arrays = dict(np.load(ref.path / "embeddings.npz"))
+        arrays["sneaky"] = np.zeros(3)
+        np.savez_compressed(ref.path / "embeddings.npz", **arrays)
+        with pytest.raises(ArtifactError, match="unexpected arrays"):
+            store.verify(store.resolve("toy"))
+
+    def test_tampered_manifest_rejected(self, store, embeddings):
+        u, v = embeddings
+        ref = store.publish("toy", u, v)
+        manifest = json.loads((ref.path / "manifest.json").read_text())
+        manifest["artifact_version"] = 7
+        (ref.path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="identifies itself"):
+            store.resolve("toy")
+
+    def test_load_without_verify_skips_checksums(self, store, embeddings):
+        u, v = embeddings
+        ref = store.publish("toy", u, v)
+        arrays = dict(np.load(ref.path / "embeddings.npz"))
+        arrays["u"] = arrays["u"].copy()
+        arrays["u"][0, 0] += 1.0
+        np.savez_compressed(ref.path / "embeddings.npz", **arrays)
+        loaded = store.load("toy", verify=False)  # trusts the bytes
+        assert loaded.u[0, 0] == arrays["u"][0, 0]
+
+    def test_graph_user_mismatch_rejected(self, store, embeddings):
+        u, v = embeddings
+        small = BipartiteGraph.from_edges([(0, 0, 1.0), (1, 1, 1.0)])
+        with np.errstate(all="ignore"):
+            store.publish("toy", u, v, graph=small)
+        with pytest.raises(ArtifactError, match="graph is"):
+            store.load("toy")
+
+
+class TestLoadEmbeddingArrays:
+    def test_valid_bundle_round_trips(self, tmp_path, embeddings):
+        u, v = embeddings
+        path = tmp_path / "emb.npz"
+        np.savez_compressed(path, u=u, v=v)
+        u2, v2 = load_embedding_arrays(path)
+        np.testing.assert_array_equal(u2, u)
+        np.testing.assert_array_equal(v2, v)
+
+    def test_missing_array_rejected(self, tmp_path, embeddings):
+        u, _ = embeddings
+        path = tmp_path / "emb.npz"
+        np.savez_compressed(path, u=u)
+        with pytest.raises(ArtifactError, match="missing arrays"):
+            load_embedding_arrays(path)
+
+    def test_wrong_rank_rejected(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        np.savez_compressed(path, u=np.zeros(4), v=np.zeros((4, 2)))
+        with pytest.raises(ArtifactError, match="'u' must be 2-D"):
+            load_embedding_arrays(path)
+
+    def test_integer_dtype_rejected(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        np.savez_compressed(
+            path, u=np.zeros((3, 2), dtype=np.int64), v=np.zeros((3, 2))
+        )
+        with pytest.raises(ArtifactError, match="must be floating"):
+            load_embedding_arrays(path)
+
+    def test_nan_rejected(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        u = np.zeros((3, 2))
+        u[1, 1] = np.nan
+        np.savez_compressed(path, u=u, v=np.zeros((3, 2)))
+        with pytest.raises(ArtifactError, match="non-finite"):
+            load_embedding_arrays(path)
+
+    def test_dimension_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        np.savez_compressed(path, u=np.zeros((3, 2)), v=np.zeros((3, 4)))
+        with pytest.raises(ArtifactError, match="dimension mismatch"):
+            load_embedding_arrays(path)
+
+    def test_missing_file_reports_path(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot read embedding bundle"):
+            load_embedding_arrays(tmp_path / "nope.npz")
+
+    def test_non_npz_garbage_rejected(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        path.write_bytes(b"not a zip archive")
+        with pytest.raises(ArtifactError, match="cannot read embedding bundle"):
+            load_embedding_arrays(path)

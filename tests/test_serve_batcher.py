@@ -1,0 +1,240 @@
+"""Micro-batcher equivalence and lifecycle tests (repro.serve.batcher).
+
+The load-bearing property: however concurrent single-user requests
+interleave, and however the worker happens to slice them into batches, every
+caller receives lists **element-identical** to
+:meth:`repro.core.base.EmbeddingResult.top_items_batch` — the offline
+serving read-out.  That holds because ``select_topn``'s total order (score
+descending, index ascending) makes every top-``n`` list the length-``n``
+prefix of the top-``m`` list for ``m >= n``, so scoring a batch at
+``n_max`` and slicing prefixes loses nothing.
+
+This file is in the Makefile's THREADED_TESTS: it reruns under
+``REPRO_NUM_THREADS=4`` so the property also holds when the scoring engine
+itself runs on a parallel executor.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import EmbeddingResult
+from repro.graph import BipartiteGraph
+from repro.serve import MicroBatcher, QueueFull
+from repro.tasks import TopKEngine
+
+NUM_USERS = 30
+NUM_ITEMS = 25
+N_CAP = 12  # largest n any generated request asks for
+
+
+@pytest.fixture(scope="module")
+def result():
+    rng = np.random.default_rng(7)
+    return EmbeddingResult(
+        u=rng.standard_normal((NUM_USERS, 5)),
+        v=rng.standard_normal((NUM_ITEMS, 5)),
+        method="random",
+    )
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(13)
+    edges = [
+        (int(u), int(v), 1.0)
+        for u in range(NUM_USERS)
+        for v in rng.choice(NUM_ITEMS, size=4, replace=False)
+    ]
+    return BipartiteGraph.from_edges(edges)
+
+
+@pytest.fixture(scope="module")
+def reference(result, graph):
+    """Offline truth at N_CAP; any smaller n is a prefix of these rows."""
+    items = result.top_items_batch(N_CAP, exclude=graph)
+    scores = np.take_along_axis(result.u @ result.v.T, items, axis=1)
+    return items, scores
+
+
+@pytest.fixture(scope="module")
+def score_fn(result, graph):
+    """What the service binds in production: a masked engine read-out."""
+    engine = TopKEngine.from_result(result)
+
+    def score(users, n):
+        item_blocks, score_blocks = [], []
+        for _, items, scores in engine.iter_top_items(
+            n, users=users, exclude=graph, with_scores=True
+        ):
+            item_blocks.append(items)
+            score_blocks.append(scores)
+        return np.concatenate(item_blocks), np.concatenate(score_blocks)
+
+    return score
+
+
+class TestEquivalence:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        requests=st.lists(
+            st.tuples(
+                st.integers(0, NUM_USERS - 1), st.integers(1, N_CAP)
+            ),
+            min_size=1,
+            max_size=32,
+        ),
+        max_batch=st.integers(1, 16),
+        max_wait_ms=st.sampled_from([0.0, 0.5, 2.0]),
+    )
+    def test_any_interleaving_matches_top_items_batch(
+        self, score_fn, reference, requests, max_batch, max_wait_ms
+    ):
+        """Arbitrary request streams, batch sizes, and coalescing windows
+        all reproduce ``top_items_batch`` exactly — mixed ``n`` included."""
+        expected_items, _ = reference
+        with MicroBatcher(
+            score_fn, max_batch=max_batch, max_wait_ms=max_wait_ms
+        ) as batcher:
+            futures = [batcher.submit(u, n) for u, n in requests]
+            for (u, n), future in zip(requests, futures):
+                items, scores = future.result(timeout=30)
+                np.testing.assert_array_equal(items, expected_items[u][:n])
+                assert scores is None
+
+    def test_concurrent_submitters_match_reference(self, score_fn, reference):
+        """4 client threads hammering one batcher — still element-identical."""
+        expected_items, _ = reference
+        mismatches = []
+        with MicroBatcher(score_fn, max_batch=8, max_wait_ms=1.0) as batcher:
+
+            def client(seed: int) -> None:
+                rng = np.random.default_rng(seed)
+                for _ in range(20):
+                    user = int(rng.integers(NUM_USERS))
+                    n = int(rng.integers(1, N_CAP + 1))
+                    items, _ = batcher.submit(user, n).result(timeout=30)
+                    if not np.array_equal(items, expected_items[user][:n]):
+                        mismatches.append((user, n))
+
+            threads = [
+                threading.Thread(target=client, args=(seed,))
+                for seed in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert mismatches == []
+
+    def test_with_scores_slices_matching_prefix(self, score_fn, reference):
+        expected_items, expected_scores = reference
+        with MicroBatcher(score_fn, max_batch=4, max_wait_ms=1.0) as batcher:
+            futures = [
+                batcher.submit(user, n, with_scores=True)
+                for user, n in [(0, 3), (1, N_CAP), (0, 1), (5, 7)]
+            ]
+            for (user, n), future in zip(
+                [(0, 3), (1, N_CAP), (0, 1), (5, 7)], futures
+            ):
+                items, scores = future.result(timeout=30)
+                np.testing.assert_array_equal(items, expected_items[user][:n])
+                np.testing.assert_allclose(
+                    scores, expected_scores[user][:n], rtol=1e-12
+                )
+
+    def test_coalescing_actually_happens(self, score_fn):
+        """A pre-filled queue drains as batches, not one GEMM per request."""
+        gate = threading.Event()
+
+        def gated(users, n):
+            gate.wait(10)
+            return score_fn(users, n)
+
+        with MicroBatcher(gated, max_batch=16, max_wait_ms=50.0) as batcher:
+            futures = [batcher.submit(u % NUM_USERS, 3) for u in range(12)]
+            gate.set()
+            for future in futures:
+                future.result(timeout=30)
+            stats = batcher.stats.snapshot()
+        assert stats["requests"] == 12
+        assert stats["batches"] < 12
+        assert stats["max_batch_observed"] > 1
+        assert stats["mean_batch"] > 1.0
+
+
+class TestLifecycle:
+    def test_queue_full_sheds_instead_of_blocking(self, score_fn):
+        started, gate = threading.Event(), threading.Event()
+
+        def blocked(users, n):
+            started.set()
+            gate.wait(10)
+            return score_fn(users, n)
+
+        batcher = MicroBatcher(
+            blocked, max_batch=1, max_wait_ms=0.0, max_queue=2
+        )
+        try:
+            first = batcher.submit(0, 3)
+            assert started.wait(10)  # worker is busy; queue is free again
+            queued = [batcher.submit(u, 3) for u in (1, 2)]
+            with pytest.raises(QueueFull, match="at capacity"):
+                batcher.submit(3, 3)
+            gate.set()
+            for future in (first, *queued):
+                future.result(timeout=30)
+        finally:
+            gate.set()
+            batcher.close()
+
+    def test_close_drains_then_rejects(self, score_fn, reference):
+        expected_items, _ = reference
+        batcher = MicroBatcher(score_fn, max_batch=4, max_wait_ms=0.0)
+        futures = [batcher.submit(u, 4) for u in range(6)]
+        batcher.close()
+        for user, future in enumerate(futures):
+            items, _ = future.result(timeout=30)
+            np.testing.assert_array_equal(items, expected_items[user][:4])
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(0, 3)
+        batcher.close()  # idempotent
+
+    def test_scoring_error_reaches_every_caller(self, score_fn):
+        calls = []
+
+        def flaky(users, n):
+            calls.append(users.size)
+            if len(calls) == 1:
+                raise ValueError("model exploded")
+            return score_fn(users, n)
+
+        gate = threading.Event()
+
+        def gated(users, n):
+            gate.wait(10)
+            return flaky(users, n)
+
+        with MicroBatcher(gated, max_batch=8, max_wait_ms=50.0) as batcher:
+            doomed = [batcher.submit(u, 3) for u in range(3)]
+            gate.set()
+            for future in doomed:
+                with pytest.raises(ValueError, match="model exploded"):
+                    future.result(timeout=30)
+            # The worker survives a scoring failure and keeps serving.
+            items, _ = batcher.submit(0, 3).result(timeout=30)
+            assert items.shape == (3,)
+
+    def test_invalid_parameters_rejected(self, score_fn):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(score_fn, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            MicroBatcher(score_fn, max_wait_ms=-1.0)
+        with pytest.raises(ValueError, match="max_queue"):
+            MicroBatcher(score_fn, max_queue=0)
+        with MicroBatcher(score_fn) as batcher:
+            with pytest.raises(ValueError, match="n must be"):
+                batcher.submit(0, -1)

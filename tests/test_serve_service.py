@@ -1,0 +1,260 @@
+"""Tests for the resident embedding service and the engine's thread contract.
+
+Two jobs live here:
+
+* **Pin the workspace race** the ``TopKEngine`` class notes document: one
+  engine instance shared across threads hands callers each other's scores
+  through the grow-once buffer.  The race is demonstrated *deterministically*
+  (by interleaving the internal steps the way a scheduler could), and
+  :meth:`~repro.tasks.topk.TopKEngine.clone_for_worker` is shown to be the
+  fix — clones share the embedding arrays but never the buffer.
+* Exercise :class:`~repro.serve.service.EmbeddingService`: queries identical
+  to the offline engine, hot reload, metrics bookkeeping, and the v4
+  RunReport ``service`` section.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.base import EmbeddingResult
+from repro.graph import BipartiteGraph
+from repro.obs import RunReport
+from repro.serve import ArtifactStore, EmbeddingService
+from repro.serve.service import ServiceMetrics, percentile
+from repro.tasks import TopKEngine
+
+
+@pytest.fixture(scope="module")
+def result():
+    rng = np.random.default_rng(3)
+    return EmbeddingResult(
+        u=rng.standard_normal((60, 8)),
+        v=rng.standard_normal((40, 8)),
+        method="random",
+    )
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(9)
+    edges = [
+        (int(u), int(v), 1.0)
+        for u in range(60)
+        for v in rng.choice(40, size=5, replace=False)
+    ]
+    return BipartiteGraph.from_edges(edges)
+
+
+@pytest.fixture
+def store(tmp_path, result, graph):
+    store = ArtifactStore(tmp_path / "store")
+    store.publish(
+        "toy", result.u, result.v, graph=graph, method="random", dataset="toy"
+    )
+    return store
+
+
+class TestWorkspaceRace:
+    """The documented reason a TopKEngine must not be shared across threads."""
+
+    def test_score_buffer_is_shared_between_calls(self, result):
+        engine = TopKEngine.from_result(result, block_rows=8)
+        first = engine._score_buffer(8)
+        second = engine._score_buffer(8)
+        assert np.shares_memory(first, second)
+
+    def test_interleaved_scoring_corrupts_shared_engine(self, result):
+        """The race, played out deterministically.
+
+        Thread A scores users [0..8) into the shared buffer, the scheduler
+        lets thread B score users [8..16) through the same engine, then A
+        selects.  A's selection runs over B's scores — exactly the
+        corruption concurrent callers of one instance would see.
+        """
+        engine = TopKEngine.from_result(result, block_rows=8)
+        users_a = np.arange(8, dtype=np.int64)
+        users_b = np.arange(8, 16, dtype=np.int64)
+
+        buffer_a = engine._score_buffer(users_a.size)
+        engine._score_into(engine._u[users_a], buffer_a)
+        # B runs before A selects — same instance, same buffer.
+        buffer_b = engine._score_buffer(users_b.size)
+        engine._score_into(engine._u[users_b], buffer_b)
+        from repro.core.selection import select_topn
+
+        corrupted = select_topn(buffer_a, 5)
+        expected_a = engine.top_items(5, users=users_a)
+        expected_b = engine.top_items(5, users=users_b)
+        assert not np.array_equal(corrupted, expected_a)  # A got B's lists
+        np.testing.assert_array_equal(corrupted, expected_b)
+
+    def test_clones_have_independent_buffers(self, result):
+        engine = TopKEngine.from_result(result, block_rows=8)
+        clone = engine.clone_for_worker()
+        users_a = np.arange(8, dtype=np.int64)
+        users_b = np.arange(8, 16, dtype=np.int64)
+        buffer_a = engine._score_buffer(users_a.size)
+        engine._score_into(engine._u[users_a], buffer_a)
+        buffer_b = clone._score_buffer(users_b.size)
+        clone._score_into(clone._u[users_b], buffer_b)
+        assert not np.shares_memory(buffer_a, buffer_b)
+        from repro.core.selection import select_topn
+
+        np.testing.assert_array_equal(
+            select_topn(buffer_a, 5), engine.top_items(5, users=users_a)
+        )
+
+    def test_clone_shares_embeddings_without_copy(self, result):
+        engine = TopKEngine.from_result(result)
+        clone = engine.clone_for_worker()
+        assert clone._u is engine._u
+        assert clone._vt is engine._vt
+        assert clone._scores_flat is None
+        assert clone.block_rows == engine.block_rows
+        assert clone.policy is engine.policy
+
+    def test_clone_results_identical(self, result, graph):
+        engine = TopKEngine.from_result(result, block_rows=16)
+        clone = engine.clone_for_worker()
+        np.testing.assert_array_equal(
+            engine.top_items(7, exclude=graph), clone.top_items(7, exclude=graph)
+        )
+
+    def test_concurrent_clones_match_serial_reference(self, result, graph):
+        """Stress: 4 threads, one clone each, full sweep — no corruption."""
+        engine = TopKEngine.from_result(result, block_rows=8)
+        reference = engine.top_items(5, exclude=graph)
+        rounds = 10
+        outputs = [None] * 4
+        errors = []
+
+        def worker(slot: int) -> None:
+            clone = engine.clone_for_worker()
+            try:
+                for _ in range(rounds):
+                    outputs[slot] = clone.top_items(5, exclude=graph)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for output in outputs:
+            np.testing.assert_array_equal(output, reference)
+
+
+class TestEmbeddingService:
+    def test_top_items_matches_offline_engine(self, store, result, graph):
+        service = EmbeddingService(store, "toy")
+        engine = TopKEngine.from_result(result)
+        users = np.array([0, 3, 17, 59], dtype=np.int64)
+        response = service.top_items(users, 6)
+        np.testing.assert_array_equal(
+            response["items"], engine.top_items(6, users=users, exclude=graph)
+        )
+        assert response["model"] == "toy@v1"
+        assert response["n"] == 6
+
+    def test_exclude_train_masks_published_graph(self, store, graph):
+        service = EmbeddingService(store, "toy")
+        masked = service.top_items([5], 40)["items"][0]
+        unmasked = service.top_items([5], 40, exclude_train=False)["items"][0]
+        neighbors = set(int(v) for v in graph.u_neighbors(5))
+        # Training items fall to the tail of the masked list (-inf scores).
+        assert neighbors.isdisjoint(masked[: 40 - len(neighbors)].tolist())
+        assert not neighbors.isdisjoint(unmasked.tolist())
+
+    def test_scores_and_similar_users(self, store, result):
+        service = EmbeddingService(store, "toy")
+        np.testing.assert_allclose(
+            service.scores(4), result.u[4] @ result.v.T, rtol=1e-12
+        )
+        np.testing.assert_array_equal(
+            service.similar_users(4, 5), result.most_similar_u(4, 5)
+        )
+        with pytest.raises(ValueError, match="user index"):
+            service.scores(60)
+
+    def test_reload_swaps_to_latest(self, store, result):
+        service = EmbeddingService(store, "toy")
+        assert service.artifact.tag == "toy@v1"
+        store.publish("toy", result.u * 2.0, result.v, method="random")
+        old, new = service.reload()
+        assert (old, new) == ("toy@v1", "toy@v2")
+        assert service.artifact.tag == "toy@v2"
+        assert service.metrics["reloads"] == 1
+        # Doubling U rescales scores but not their order; results still flow.
+        assert service.top_items([0], 3)["items"].shape == (1, 3)
+
+    def test_reload_failure_keeps_old_model(self, store):
+        service = EmbeddingService(store, "toy")
+        with pytest.raises(Exception):
+            service.reload(42)  # no such version
+        assert service.artifact.tag == "toy@v1"
+        assert service.top_items([1], 3)["items"].shape == (1, 3)
+
+    def test_worker_threads_get_private_engines(self, store):
+        service = EmbeddingService(store, "toy")
+        engines = {}
+
+        def worker(name: str) -> None:
+            engines[name] = service._engine()[0]
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        distinct = {id(engine) for engine in engines.values()}
+        assert len(distinct) == 3
+
+    def test_metrics_count_requests_and_candidates(self, store):
+        service = EmbeddingService(store, "toy")
+        service.top_items([0, 1, 2], 4)
+        snapshot = service.metrics.snapshot()
+        assert snapshot["counters"]["requests"] == 1
+        assert snapshot["counters"]["topk_candidates"] == 3 * 40
+        assert snapshot["counters"]["gemms"] >= 1
+        assert snapshot["stages"]["score"]["count"] == 1
+
+    def test_service_report_slots_into_v4_run_report(self, store):
+        service = EmbeddingService(store, "toy")
+        service.top_items([0], 5)
+        service.metrics.observe("request", 0.01)
+        report = RunReport(
+            method="serve", wall_seconds=0.1,
+            service=service.metrics.service_report(),
+        )
+        payload = report.to_dict()  # validates
+        assert payload["service"]["requests"] == 1
+        assert payload["service"]["latency_ms"]["p50"] > 0
+
+
+class TestServiceMetrics:
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            ServiceMetrics().count("bogus")
+
+    def test_queue_gauge_tracks_high_water(self):
+        metrics = ServiceMetrics()
+        metrics.queue_entered()
+        metrics.queue_entered()
+        metrics.queue_left()
+        snapshot = metrics.snapshot()
+        assert snapshot["queue"] == {"depth": 1, "depth_max": 2}
+
+    def test_percentile_nearest_rank(self):
+        samples = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(samples, 50) == 20.0
+        assert percentile(samples, 95) == 40.0
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 99) == 7.0
