@@ -2,17 +2,20 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-pytest examples quicktest profile-smoke serve-smoke clean
+.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-ann bench-pytest examples quicktest profile-smoke serve-smoke clean
 
 # Kernel-level suites that must hold under a parallel executor; `make test`
 # reruns them with REPRO_NUM_THREADS=4 after the default serial pass.  The
 # topk differential suite rides along: batched retrieval must stay identical
 # to the per-user path at any thread count, and the serving tier (per-thread
 # engine clones + micro-batcher) must coalesce correctly however the
-# executor is sized.
+# executor is sized.  Same deal for the ANN rerank (full probe must stay
+# element-identical to the exact engine) and the sharded scatter-gather
+# merge (shard count and executor width never change the lists).
 THREADED_TESTS = tests/test_linalg_kernels.py tests/test_linalg_parallel.py \
   tests/test_kernels_fallback.py tests/test_topk.py \
-  tests/test_serve_batcher.py tests/test_serve_server.py
+  tests/test_serve_batcher.py tests/test_serve_server.py \
+  tests/test_ann.py tests/test_serve_sharded.py
 
 install:
 	pip install -e . || { \
@@ -54,6 +57,15 @@ bench-smoke:
 bench-topk:
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --topk-only \
 	  --output /tmp/gebe-bench-topk.json
+
+# The ANN axis alone: IVF recall/latency sweep against the exact engine on
+# a small clustered stand-in — a seconds-scale check that recall@n is
+# monotone in nprobe and the full-probe row stays element-identical.  The
+# committed snapshot's ann rows use the full 1.2M-item stand-in (`make
+# bench`-scale); see docs/BENCHMARKS.md.
+bench-ann:
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --ann-only \
+	  --output /tmp/gebe-bench-ann.json
 
 # End-to-end serving round trip: fit the toy graph, publish to a throwaway
 # artifact store, answer concurrent HTTP top-k requests in-process, and

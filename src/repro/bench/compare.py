@@ -76,6 +76,28 @@ def _topk_as_run(row: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _ann_as_run(row: Dict[str, Any]) -> Dict[str, Any]:
+    """An ann row viewed as a regular run row for the diff machinery.
+
+    The ``policy`` slot encodes the retrieval mode (``ann:exact`` /
+    ``ann:ivf/p16``) and the deterministic reranked-``candidates``
+    counter stands in for ``matvecs`` — the stand-in and the quantizer
+    are both seeded, so any candidate drift between runs of the same
+    config is a real routing change.
+    """
+    label = (
+        "ann:exact" if row["mode"] == "exact" else f"ann:ivf/p{row['nprobe']}"
+    )
+    return {
+        "method": row["method"],
+        "dataset": row["dataset"],
+        "policy": label,
+        "threads": 1,
+        "wall_seconds": row["wall_seconds"],
+        "matvecs": row["candidates"],
+    }
+
+
 def compare_bench(
     old: Dict[str, Any],
     new: Dict[str, Any],
@@ -95,8 +117,9 @@ def compare_bench(
     * ``matvec_drift`` — cells whose operation counts changed vs the
       snapshot (always a real schedule change);
     * ``invariant_violations`` — ``matvecs_equal`` failures inside the
-      fresh run's own comparisons, plus ``lists_equal`` failures inside its
-      topk comparisons (batched retrieval diverging from per-user);
+      fresh run's own comparisons, ``lists_equal`` failures inside its
+      topk comparisons (batched retrieval diverging from per-user), and
+      full-probe ann rows whose lists diverge from the exact engine;
     * ``missing`` / ``added`` — cell keys only in the old / new document;
     * ``noise`` — the threshold used.
     """
@@ -113,6 +136,14 @@ def compare_bench(
     new_runs.update(
         (_run_key(row), row)
         for row in map(_topk_as_run, new.get("topk_runs", []))
+    )
+    old_runs.update(
+        (_run_key(row), row)
+        for row in map(_ann_as_run, old.get("ann_runs", []))
+    )
+    new_runs.update(
+        (_run_key(row), row)
+        for row in map(_ann_as_run, new.get("ann_runs", []))
     )
     rows: List[Dict[str, Any]] = []
     for key in new_runs:
@@ -148,6 +179,16 @@ def compare_bench(
             row
             for row in new.get("topk_comparisons", [])
             if not row["lists_equal"]
+        ]
+        + [
+            # A full probe reranks every item through the exact engine's
+            # kernels, so its lists must be element-identical — a mismatch
+            # here is the ANN differential anchor failing, not noise.
+            row
+            for row in new.get("ann_runs", [])
+            if row["mode"] == "ivf"
+            and row["nprobe"] >= row["cells"]
+            and not row["exact_match"]
         ],
         "missing": sorted(key for key in old_runs if key not in new_runs),
         "added": sorted(key for key in new_runs if key not in old_runs),

@@ -105,6 +105,22 @@ class BenchConfig:
     serve_requests:
         Requests per serving mode (sequential and concurrent each issue
         this many).
+    ann:
+        Run the ANN axis: build an IVF index over a synthetic clustered
+        item matrix (a million-item zoo stand-in — far past what the fit
+        grid's graphs reach) and sweep ``nprobe`` against the exact
+        blocked-GEMM engine, recording per-query p50/p95 latency and
+        measured recall@``ann_n``.  A full-probe row always rides along;
+        its lists must be element-identical to the exact engine
+        (``exact_match`` — the differential anchor).
+    ann_items, ann_queries:
+        Stand-in item-matrix rows and query count for the ANN axis.
+    ann_cells:
+        IVF cell count (``None``: the ``sqrt(n)`` heuristic).
+    ann_nprobe:
+        The probed-cell counts to sweep (each clipped to the cell count).
+    ann_n:
+        Recommendation list length for the ANN axis (recall@``ann_n``).
     """
 
     datasets: Tuple[str, ...] = ("dblp", "mag")
@@ -122,6 +138,12 @@ class BenchConfig:
     topk_n: int = 10
     serve_smoke: bool = False
     serve_requests: int = 32
+    ann: bool = False
+    ann_items: int = 1_200_000
+    ann_queries: int = 256
+    ann_cells: Optional[int] = None
+    ann_nprobe: Tuple[int, ...] = (1, 4, 16, 64)
+    ann_n: int = 100
 
     @classmethod
     def smoke(cls) -> "BenchConfig":
@@ -134,6 +156,10 @@ class BenchConfig:
             gebe_iterations=5,
             threads=(1, 2),
             topk_block_rows=(4, 64),
+            ann_items=5_000,
+            ann_queries=16,
+            ann_nprobe=(1, 2, 8),
+            ann_n=10,
         )
 
     def policies(self) -> List[DtypePolicy]:
@@ -500,6 +526,165 @@ def _run_serve_axis(
     return rows
 
 
+def _ann_progress(row: Dict[str, Any]) -> None:
+    probe = "-" if row["nprobe"] is None else str(row["nprobe"])
+    print(
+        f"  ann   {row['mode']:<6} {row['dataset']:<16} p={probe:<6} "
+        f"p50={row['p50_ms']:7.2f}ms p95={row['p95_ms']:7.2f}ms "
+        f"recall={row['recall_at_n']:.3f}",
+        file=sys.stderr,
+    )
+
+
+def _ann_standin(
+    num_items: int, num_queries: int, dimension: int, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A clustered million-item stand-in for the ANN axis.
+
+    Items are drawn around 64 unit-norm centers with isotropic noise and
+    queries around the same centers, so inner-product neighborhoods are
+    genuinely clustered — the regime IVF indexes exist for.  Uniform
+    random points would make every probe sweep look equally bad; this
+    stand-in gives the recall@n-vs-nprobe curve an actual knee, and it is
+    fully seeded, so the candidate counters are deterministic.
+    """
+    rng = np.random.default_rng(seed)
+    n_centers = 64
+    centers = rng.standard_normal((n_centers, dimension))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    v = centers[rng.integers(0, n_centers, size=num_items)]
+    v = v + 0.15 * rng.standard_normal(v.shape)
+    queries = centers[rng.integers(0, n_centers, size=num_queries)]
+    queries = queries + 0.15 * rng.standard_normal(queries.shape)
+    return v, queries
+
+
+def _run_ann_axis(
+    config: BenchConfig, *, progress: bool = False
+) -> List[Dict[str, Any]]:
+    """The ANN axis: exact engine vs IVF probes on the clustered stand-in.
+
+    One exact row (per-query :class:`~repro.tasks.topk.TopKEngine` sweeps —
+    the latency an exact server pays per request at this scale), then one
+    IVF row per configured ``nprobe`` plus an always-on full-probe row.
+    Every IVF row records measured recall@``ann_n`` against the exact
+    lists and whether its lists are *element-identical* (``exact_match``);
+    the full-probe row must be, by the rerank's construction — the
+    compare machinery treats a full-probe mismatch as an invariant
+    violation, same class as matvec drift.
+
+    Latency is measured per query (batch size 1, the serving shape) and
+    summarized as p50/p95; ``build_seconds`` prices the k-means + layout
+    work the exact path never pays.
+    """
+    from ..ann import IVFIndex
+    from ..serve.service import percentile
+
+    num_items = int(config.ann_items)
+    num_queries = max(1, int(config.ann_queries))
+    if num_items < 1:
+        raise ValueError(f"ann_items must be >= 1, got {config.ann_items}")
+    v, queries = _ann_standin(
+        num_items, num_queries, config.dimension, config.seed
+    )
+    dataset = f"standin_{num_items}"
+    n = max(1, min(int(config.ann_n), num_items))
+    base = {
+        "method": "ivf-flat",
+        "dataset": dataset,
+        "num_items": num_items,
+        "num_queries": num_queries,
+        "n": n,
+    }
+    rows: List[Dict[str, Any]] = []
+
+    def finish(row: Dict[str, Any]) -> Dict[str, Any]:
+        rows.append(row)
+        if progress:
+            _ann_progress(row)
+        return row
+
+    # Exact baseline: one bulk sweep pins the reference lists, then a
+    # per-query loop measures the single-request latency distribution.
+    engine = TopKEngine(
+        queries, v, policy=DtypePolicy.default().with_threads(1)
+    )
+    reference = engine.top_items(n)
+    latencies: List[float] = []
+    for row in range(num_queries):
+        started = time.perf_counter()
+        engine.top_items(n, users=np.array([row], dtype=np.int64))
+        latencies.append(time.perf_counter() - started)
+    finish(
+        {
+            **base,
+            "mode": "exact",
+            "nprobe": None,
+            "cells": 0,
+            "build_seconds": 0.0,
+            "wall_seconds": sum(latencies),
+            "p50_ms": percentile(latencies, 50) * 1e3,
+            "p95_ms": percentile(latencies, 95) * 1e3,
+            "recall_at_n": 1.0,
+            "candidates": num_items * num_queries,
+            "exact_match": True,
+        }
+    )
+
+    started = time.perf_counter()
+    index = IVFIndex.build(v, n_cells=config.ann_cells, seed=config.seed)
+    build_seconds = time.perf_counter() - started
+    cells = index.n_cells
+
+    def ivf_row(nprobe: int) -> Dict[str, Any]:
+        latencies: List[float] = []
+        lists = np.empty((num_queries, n), dtype=np.int64)
+        candidates = 0
+        for row in range(num_queries):
+            started = time.perf_counter()
+            items, stats = index.search(
+                queries[row : row + 1], n, nprobe=nprobe, return_stats=True
+            )
+            latencies.append(time.perf_counter() - started)
+            lists[row] = items[0]
+            candidates += int(stats["candidates"])
+        # Per-query overlap with the exact list, averaged — the measured
+        # recall@n knob.  -1 padding (a starved partial probe) never
+        # matches a real id, so it counts against recall as it should.
+        recall = float(
+            np.mean(
+                [
+                    np.isin(reference[i], lists[i]).mean()
+                    for i in range(num_queries)
+                ]
+            )
+        )
+        return finish(
+            {
+                **base,
+                "mode": "ivf",
+                "nprobe": int(nprobe),
+                "cells": cells,
+                "build_seconds": build_seconds,
+                "wall_seconds": sum(latencies),
+                "p50_ms": percentile(latencies, 50) * 1e3,
+                "p95_ms": percentile(latencies, 95) * 1e3,
+                "recall_at_n": recall,
+                "candidates": candidates,
+                "exact_match": bool(np.array_equal(lists, reference)),
+            }
+        )
+
+    probes = sorted({min(int(p), cells) for p in config.ann_nprobe} | {cells})
+    if probes[0] < 1:
+        raise ValueError(
+            f"ann_nprobe must be integers >= 1, got {config.ann_nprobe}"
+        )
+    for nprobe in probes:
+        ivf_row(nprobe)
+    return rows
+
+
 def _environment() -> Dict[str, Any]:
     return {
         "python": sys.version.split()[0],
@@ -607,6 +792,11 @@ def run_bench(
             serve_runs.extend(
                 _run_serve_axis(dataset, graph, config, progress=progress)
             )
+    ann_runs: List[Dict[str, Any]] = []
+    if config.ann:
+        # The ANN axis runs once, not per dataset: its workload is the
+        # synthetic clustered stand-in, sized past any zoo graph.
+        ann_runs = _run_ann_axis(config, progress=progress)
     payload = {
         "schema": BENCH_SCHEMA_NAME,
         "version": BENCH_SCHEMA_VERSION,
@@ -614,13 +804,15 @@ def run_bench(
         "config": {**asdict(config), "datasets": list(config.datasets),
                    "methods": list(config.methods),
                    "threads": list(config.threads),
-                   "topk_block_rows": list(config.topk_block_rows)},
+                   "topk_block_rows": list(config.topk_block_rows),
+                   "ann_nprobe": list(config.ann_nprobe)},
         "environment": _environment(),
         "runs": runs,
         "comparisons": _comparisons(runs),
         "topk_runs": topk_runs,
         "topk_comparisons": topk_comparisons,
         "serve_runs": serve_runs,
+        "ann_runs": ann_runs,
     }
     return validate_bench(payload)
 
@@ -701,5 +893,21 @@ def render_bench(payload: Dict[str, Any]) -> str:
                 f"{run['mode']:<13}{run['dataset']:<10}{run['clients']:>8}"
                 f"{run['requests']:>6}{run['p50_ms']:>9.2f}{run['p95_ms']:>9.2f}"
                 f"{run['shed']:>6}{marker:>9}"
+            )
+    if payload.get("ann_runs"):
+        header = (
+            f"{'ann mode':<10}{'dataset':<17}{'nprobe':>8}{'cells':>7}"
+            f"{'build':>9}{'p50 ms':>9}{'p95 ms':>9}{'recall':>8}{'exact':>7}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for run in payload["ann_runs"]:
+            probe = "-" if run["nprobe"] is None else str(run["nprobe"])
+            lines.append(
+                f"{run['mode']:<10}{run['dataset']:<17}{probe:>8}"
+                f"{run['cells']:>7}{run['build_seconds']:>8.2f}s"
+                f"{run['p50_ms']:>9.2f}{run['p95_ms']:>9.2f}"
+                f"{run['recall_at_n']:>8.3f}"
+                f"{'y' if run['exact_match'] else 'n':>7}"
             )
     return "\n".join(lines)

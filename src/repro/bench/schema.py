@@ -11,7 +11,7 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
 
     {
       "schema": "repro.bench.results",
-      "version": 4,
+      "version": 5,
       "created": str,             # ISO-8601 UTC timestamp
       "config": {"datasets": [str], "methods": [str], "dimension": int,
                  "seed": int, "repeats": int,
@@ -20,14 +20,18 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
                  "threads": [int],
                  "fit_grid": bool, "topk": bool,
                  "topk_block_rows": [int], "topk_n": int,
-                 "serve_smoke": bool, "serve_requests": int},
+                 "serve_smoke": bool, "serve_requests": int,
+                 "ann": bool, "ann_items": int, "ann_queries": int,
+                 "ann_cells": int | null, "ann_nprobe": [int],
+                 "ann_n": int},
       "environment": {"python": str, "numpy": str, "scipy": str,
                       "platform": str, "cpu_count": int},
       "runs": [Run, ...],
       "comparisons": [Comparison, ...],
       "topk_runs": [TopkRun, ...],
       "topk_comparisons": [TopkComparison, ...],
-      "serve_runs": [ServeRun, ...]
+      "serve_runs": [ServeRun, ...],
+      "ann_runs": [AnnRun, ...]
     }
 
     Run: {
@@ -85,7 +89,27 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
       "lists_equal": bool         # responses identical to offline TopKEngine
     }
 
-Version history: v4 added the serving axis (``serve_runs`` and the
+    AnnRun: {                     # per-query retrieval over the scaled-up
+      "method": str, "dataset": str,      # item stand-in (1M+ items)
+      "mode": str,                # "exact" | "ivf"
+      "nprobe": int | null,       # probed cells (null for exact rows)
+      "cells": int,               # quantizer cells (0 for exact rows)
+      "num_items": int, "num_queries": int, "n": int,
+      "build_seconds": float,     # index build (0.0 for exact rows)
+      "wall_seconds": float,      # whole query loop
+      "p50_ms": float,            # per-query latency percentiles
+      "p95_ms": float,
+      "recall_at_n": float,       # mean recall@n vs the exact lists
+      "candidates": int,          # exactly reranked (user, item) pairs
+      "exact_match": bool         # lists element-identical to exact
+    }
+
+Version history: v5 added the ANN axis (``ann_runs`` and the ``ann_*``
+config switches): per-query p50/p95 latency and measured recall@n of the
+IVF index of :mod:`repro.ann` over a 1M+ item synthetic stand-in, with the
+full-probe row pinned element-identical to the exact engine.  Older
+documents upgrade with the axis absent.
+v4 added the serving axis (``serve_runs`` and the
 ``serve_smoke``/``serve_requests`` config switches): end-to-end HTTP
 latency through :mod:`repro.serve` measured sequentially and under
 concurrent clients, with every response checked against the offline
@@ -113,7 +137,7 @@ __all__ = [
 ]
 
 BENCH_SCHEMA_NAME = "repro.bench.results"
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
 _CONFIG_KEYS = {
     "datasets": list,
@@ -131,6 +155,12 @@ _CONFIG_KEYS = {
     "topk_n": int,
     "serve_smoke": bool,
     "serve_requests": int,
+    "ann": bool,
+    "ann_items": int,
+    "ann_queries": int,
+    "ann_cells": (int, type(None)),
+    "ann_nprobe": list,
+    "ann_n": int,
 }
 _ENVIRONMENT_KEYS = {
     "python": str,
@@ -209,6 +239,24 @@ _SERVE_RUN_KEYS = {
     "lists_equal": bool,
 }
 _SERVE_MODES = ("sequential", "concurrent")
+_ANN_RUN_KEYS = {
+    "method": str,
+    "dataset": str,
+    "mode": str,
+    "nprobe": (int, type(None)),
+    "cells": int,
+    "num_items": int,
+    "num_queries": int,
+    "n": int,
+    "build_seconds": (int, float),
+    "wall_seconds": (int, float),
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "recall_at_n": (int, float),
+    "candidates": int,
+    "exact_match": bool,
+}
+_ANN_MODES = ("exact", "ivf")
 
 
 def _fail(message: str) -> None:
@@ -239,7 +287,8 @@ def upgrade_bench(payload: Any) -> Any:
     upgrades as *absent* (``topk: false``, empty ``topk_runs`` /
     ``topk_comparisons``) rather than pretending it ran.  v3 likewise
     predates the serving axis (``serve_smoke: false``, empty
-    ``serve_runs``).  Current-version documents pass through untouched;
+    ``serve_runs``), and v4 the ANN axis (``ann: false``, empty
+    ``ann_runs``).  Current-version documents pass through untouched;
     unknown versions fail validation downstream.
     """
     if not isinstance(payload, dict):
@@ -268,12 +317,23 @@ def upgrade_bench(payload: Any) -> Any:
         payload.setdefault("topk_runs", [])
         payload.setdefault("topk_comparisons", [])
     if payload.get("version") == 3:
-        payload["version"] = BENCH_SCHEMA_VERSION
+        payload["version"] = 4
         config = payload.get("config")
         if isinstance(config, dict):
             config.setdefault("serve_smoke", False)
             config.setdefault("serve_requests", 32)
         payload.setdefault("serve_runs", [])
+    if payload.get("version") == 4:
+        payload["version"] = BENCH_SCHEMA_VERSION
+        config = payload.get("config")
+        if isinstance(config, dict):
+            config.setdefault("ann", False)
+            config.setdefault("ann_items", 0)
+            config.setdefault("ann_queries", 0)
+            config.setdefault("ann_cells", None)
+            config.setdefault("ann_nprobe", [])
+            config.setdefault("ann_n", 100)
+        payload.setdefault("ann_runs", [])
     return payload
 
 
@@ -309,8 +369,11 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
     serve_runs = payload.get("serve_runs")
     if not isinstance(serve_runs, list):
         _fail("serve_runs must be a list")
-    if not runs and not topk_runs and not serve_runs:
-        _fail("runs, topk_runs, and serve_runs must not all be empty")
+    ann_runs = payload.get("ann_runs")
+    if not isinstance(ann_runs, list):
+        _fail("ann_runs must be a list")
+    if not runs and not topk_runs and not serve_runs and not ann_runs:
+        _fail("runs, topk_runs, serve_runs, and ann_runs must not all be empty")
     for index, run in enumerate(runs):
         where = f"runs[{index}]"
         _check_object(run, _RUN_KEYS, where)
@@ -382,4 +445,21 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
         for key in ("wall_seconds", "p50_ms", "p95_ms"):
             if run[key] < 0:
                 _fail(f"{where}.{key} must be non-negative")
+    for index, run in enumerate(ann_runs):
+        where = f"ann_runs[{index}]"
+        _check_object(run, _ANN_RUN_KEYS, where)
+        if run["mode"] not in _ANN_MODES:
+            _fail(f"{where}.mode must be one of {_ANN_MODES}")
+        if run["mode"] == "ivf" and run["nprobe"] is None:
+            _fail(f"{where}.nprobe is required for ivf rows")
+        if run["nprobe"] is not None and run["nprobe"] < 1:
+            _fail(f"{where}.nprobe must be >= 1")
+        for key in ("cells", "num_items", "num_queries", "n", "candidates"):
+            if run[key] < 0:
+                _fail(f"{where}.{key} must be non-negative")
+        for key in ("build_seconds", "wall_seconds", "p50_ms", "p95_ms"):
+            if run[key] < 0:
+                _fail(f"{where}.{key} must be non-negative")
+        if not 0.0 <= run["recall_at_n"] <= 1.0:
+            _fail(f"{where}.recall_at_n must be within [0, 1]")
     return payload

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro datasets   # list or materialize the dataset zoo
     python -m repro bench      # perf benchmark -> BENCH_gebe.json
     python -m repro publish    # embeddings .npz -> versioned artifact store
+    python -m repro index      # build an IVF ANN index for a published artifact
     python -m repro serve      # long-lived HTTP top-k service (repro.serve)
 
 Every command reads TSV edge lists (``u<TAB>v[<TAB>weight]``) so the CLI
@@ -170,6 +171,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print GEMM/candidate counters and workspace watermark to stderr",
     )
+    query.add_argument(
+        "--index",
+        metavar="INDEX.npz",
+        help="IVF index built by `repro index`; routes retrieval through it "
+        "(provenance-checked against the embeddings — a stale index errors)",
+    )
+    query.add_argument(
+        "--nprobe",
+        type=int,
+        metavar="P",
+        help="cells probed per query with --index "
+        "(default: all cells — exact full probe)",
+    )
 
     evaluate = commands.add_parser(
         "evaluate", help="run the paper's recommendation or LP protocol"
@@ -283,6 +297,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="also measure end-to-end HTTP serving latency (sequential and "
         "concurrent requests against an in-process repro.serve server)",
     )
+    bench.add_argument(
+        "--ann",
+        action="store_true",
+        help="also run the ANN axis: IVF recall/latency sweep against the "
+        "exact engine on the million-item clustered stand-in",
+    )
+    bench.add_argument(
+        "--ann-only",
+        action="store_true",
+        help="run only the ANN axis (implies --ann; skips the fit grid and "
+        "the top-k axis)",
+    )
+    bench.add_argument(
+        "--ann-items",
+        type=int,
+        metavar="N",
+        help="stand-in item count for the ANN axis (default: 1200000)",
+    )
+    bench.add_argument(
+        "--ann-nprobe",
+        nargs="+",
+        type=int,
+        metavar="P",
+        help="probed-cell counts to sweep (default: 1 4 16 64; a full-probe "
+        "row always rides along)",
+    )
 
     publish = commands.add_parser(
         "publish",
@@ -305,6 +345,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     publish.add_argument("--method", help="method name recorded in the manifest")
     publish.add_argument("--dataset", help="dataset name recorded in the manifest")
+
+    index = commands.add_parser(
+        "index",
+        help="build an IVF ANN index next to a published artifact version",
+    )
+    index.add_argument(
+        "--store", required=True, metavar="DIR", help="artifact store root"
+    )
+    index.add_argument("--name", required=True, help="artifact name to index")
+    index.add_argument(
+        "--artifact-version",
+        type=int,
+        metavar="N",
+        help="pin a version (default: latest)",
+    )
+    index.add_argument(
+        "--cells",
+        type=int,
+        metavar="C",
+        help="IVF cell count (default: sqrt of the item count)",
+    )
+    index.add_argument("--seed", type=int, default=0)
 
     serve = commands.add_parser(
         "serve", help="serve top-k queries over HTTP from a published artifact"
@@ -359,6 +421,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batch",
         action="store_true",
         help="disable the micro-batcher (single-user requests score directly)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="partition the item side across N scatter-gather shard workers "
+        "(merged lists stay element-identical to single-shard scoring)",
+    )
+    serve.add_argument(
+        "--shard-deadline-ms",
+        type=float,
+        metavar="MS",
+        help="per-shard scoring deadline; requires --shards",
+    )
+    serve.add_argument(
+        "--on-shard-failure",
+        choices=("fail", "degrade"),
+        default="fail",
+        help="slow/dead shard policy: 'fail' answers 503, 'degrade' returns "
+        "the surviving shards' merge flagged degraded (default: fail)",
+    )
+    serve.add_argument(
+        "--ann",
+        action="store_true",
+        help="serve through the artifact's IVF index (build it first with "
+        "`repro index`); mutually exclusive with --shards",
+    )
+    serve.add_argument(
+        "--nprobe",
+        type=int,
+        metavar="P",
+        help="cells probed per ANN query (requires --ann; default: all "
+        "cells — exact full probe)",
     )
     serve.add_argument(
         "--smoke",
@@ -500,53 +595,104 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from .linalg import DtypePolicy
 
         policy = DtypePolicy().with_threads(args.threads)
-    try:
-        engine = TopKEngine(
-            u, v, policy=policy, block_rows=args.block_rows
-        )
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    if args.nprobe is not None and args.index is None:
+        print("error: --nprobe requires --index", file=sys.stderr)
         return 2
     users = (
         None
         if args.users is None
         else np.asarray(args.users, dtype=np.int64)
     )
+    if users is not None and users.size and (
+        users.min() < 0 or users.max() >= u.shape[0]
+    ):
+        print(
+            f"error: user indices must be in [0, {u.shape[0]})",
+            file=sys.stderr,
+        )
+        return 2
 
     collector_cm = obs.collect() if args.profile else None
     collector = collector_cm.__enter__() if collector_cm is not None else None
     try:
-        user_blocks, item_blocks, score_blocks = [], [], []
-        try:
-            for block in engine.iter_top_items(
-                args.n, users=users, exclude=exclude, with_scores=True
-            ):
-                user_blocks.append(block[0])
-                item_blocks.append(block[1])
-                score_blocks.append(block[2])
-        except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+        if args.index is not None:
+            # ANN path: route retrieval through the IVF index.  load()
+            # refuses an index built from different embeddings (dimension,
+            # item count, or content digest mismatch) with a pointed error.
+            from .ann import IVFIndex
+            from .serve import ArtifactError
+
+            try:
+                index = IVFIndex.load(args.index, v)
+            except ArtifactError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            out_users = (
+                np.arange(u.shape[0], dtype=np.int64)
+                if users is None
+                else users
+            )
+            try:
+                out_items, out_scores = index.search(
+                    np.asarray(u, dtype=np.float64)[out_users],
+                    args.n,
+                    nprobe=args.nprobe,
+                    exclude=exclude,
+                    users=out_users,
+                    with_scores=True,
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            total_users = out_users.size
+            n_keep = min(args.n, index.num_items)
+        else:
+            try:
+                engine = TopKEngine(
+                    u, v, policy=policy, block_rows=args.block_rows
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            user_blocks, item_blocks, score_blocks = [], [], []
+            try:
+                for block in engine.iter_top_items(
+                    args.n, users=users, exclude=exclude, with_scores=True
+                ):
+                    user_blocks.append(block[0])
+                    item_blocks.append(block[1])
+                    score_blocks.append(block[2])
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            total_users = engine.num_users if users is None else users.size
+            n_keep = min(args.n, engine.num_items)
+            if item_blocks:
+                out_users = np.concatenate(user_blocks)
+                out_items = np.concatenate(item_blocks)
+                out_scores = np.concatenate(score_blocks)
+            else:
+                out_users = np.empty(0, dtype=np.int64)
+                out_items = np.empty((0, max(n_keep, 0)), dtype=np.int64)
+                out_scores = np.empty((0, max(n_keep, 0)))
     finally:
         if collector_cm is not None:
             collector_cm.__exit__(None, None, None)
-    total_users = engine.num_users if users is None else users.size
-    n_keep = min(args.n, engine.num_items)
-    if item_blocks:
-        out_users = np.concatenate(user_blocks)
-        out_items = np.concatenate(item_blocks)
-        out_scores = np.concatenate(score_blocks)
-    else:
-        out_users = np.empty(0, dtype=np.int64)
-        out_items = np.empty((0, max(n_keep, 0)), dtype=np.int64)
-        out_scores = np.empty((0, max(n_keep, 0)))
     if collector is not None:
-        print(
-            f"profile: {collector.ops.gemms} gemm, "
-            f"{collector.ops.topk_candidates} candidates scored, "
-            f"workspace {collector.memory.workspace_bytes / 1e6:.1f} MB",
-            file=sys.stderr,
-        )
+        if args.index is not None:
+            print(
+                f"profile: {collector.ops.gemms} gemm, "
+                f"{collector.ops.ann_probes} cells probed, "
+                f"{collector.ops.ann_candidates} candidates reranked",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"profile: {collector.ops.gemms} gemm, "
+                f"{collector.ops.topk_candidates} candidates scored, "
+                f"workspace {collector.memory.workspace_bytes / 1e6:.1f} MB",
+                file=sys.stderr,
+            )
     if args.output is not None:
         arrays = {"users": out_users, "items": out_items}
         if args.with_scores:
@@ -661,6 +807,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["topk_block_rows"] = tuple(args.topk_block_rows)
     if args.serve_smoke:
         overrides["serve_smoke"] = True
+    if args.ann_only and args.topk_only:
+        print("error: --ann-only and --topk-only conflict", file=sys.stderr)
+        return 2
+    if args.ann or args.ann_only:
+        overrides["ann"] = True
+    if args.ann_only:
+        overrides["fit_grid"] = False
+        overrides["topk"] = False
+    if args.ann_items is not None:
+        if args.ann_items < 1:
+            print("error: --ann-items must be >= 1", file=sys.stderr)
+            return 2
+        overrides["ann_items"] = args.ann_items
+    if args.ann_nprobe is not None:
+        if any(p < 1 for p in args.ann_nprobe):
+            print("error: --ann-nprobe values must be >= 1", file=sys.stderr)
+            return 2
+        overrides["ann_nprobe"] = tuple(args.ann_nprobe)
     config = replace(config, **overrides)
 
     baseline = None
@@ -677,7 +841,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(
         f"wrote {len(payload['runs'])} runs + "
         f"{len(payload['topk_runs'])} topk runs + "
-        f"{len(payload['serve_runs'])} serve runs -> {args.output}"
+        f"{len(payload['serve_runs'])} serve runs + "
+        f"{len(payload['ann_runs'])} ann runs -> {args.output}"
     )
     status = 0
     mismatches = [
@@ -707,6 +872,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             "error: served lists diverge from the offline engine path "
             f"({len(serve_mismatches)} rows)",
+            file=sys.stderr,
+        )
+        status = 1
+    ann_mismatches = [
+        row
+        for row in payload["ann_runs"]
+        if row["mode"] == "ivf"
+        and row["nprobe"] >= row["cells"]
+        and not row["exact_match"]
+    ]
+    if ann_mismatches:
+        print(
+            "error: full-probe ANN lists diverge from the exact engine "
+            f"({len(ann_mismatches)} rows)",
             file=sys.stderr,
         )
         status = 1
@@ -761,6 +940,43 @@ def _cmd_publish(args: argparse.Namespace) -> int:
         f"published {ref.tag} -> {ref.path} "
         f"(|U|={manifest['num_u']}, |V|={manifest['num_v']}, "
         f"k={manifest['dimension']}, graph={'yes' if ref.has_graph else 'no'})"
+    )
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .ann import INDEX_FILE, IVFIndex
+    from .serve import ArtifactError, ArtifactStore
+    from .serve.artifacts import EMBEDDINGS_FILE, load_embedding_arrays
+
+    if args.cells is not None and args.cells < 1:
+        print("error: --cells must be >= 1", file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.store)
+    try:
+        ref = store.resolve(args.name, args.artifact_version)
+        store.verify(ref)
+        _, v = load_embedding_arrays(ref.path / EMBEDDINGS_FILE)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Record the manifest's own digest of the v array as the index's
+    # provenance, so load() can prove index and artifact version agree.
+    checksum = ref.manifest["files"][EMBEDDINGS_FILE]["v"]["blake2b"]
+    index = IVFIndex.build(
+        v,
+        n_cells=args.cells,
+        seed=args.seed,
+        v_checksum=checksum,
+        source=ref.tag,
+    )
+    out = ref.path / INDEX_FILE
+    index.save(out)
+    sizes = index.cell_sizes()
+    print(
+        f"indexed {ref.tag}: {index.num_items} items x k={index.dimension} "
+        f"-> {index.n_cells} cells "
+        f"(sizes min {int(sizes.min())} / max {int(sizes.max())}) -> {out}"
     )
     return 0
 
@@ -877,6 +1093,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from .linalg import DtypePolicy
 
         policy = DtypePolicy().with_threads(args.threads)
+    shards = None
+    if args.shards is not None:
+        from .serve import ShardConfig
+
+        try:
+            shards = ShardConfig(
+                n_shards=args.shards,
+                deadline_ms=args.shard_deadline_ms,
+                on_failure=args.on_shard_failure,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.shard_deadline_ms is not None:
+        print("error: --shard-deadline-ms requires --shards", file=sys.stderr)
+        return 2
     try:
         service = EmbeddingService(
             ArtifactStore(args.store),
@@ -884,6 +1116,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             version=args.artifact_version,
             policy=policy,
             block_rows=args.block_rows,
+            shards=shards,
+            ann=args.ann,
+            nprobe=args.nprobe,
         )
         config = ServerConfig(
             host=args.host,
@@ -899,9 +1134,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     host, port = server.address
+    mode = ""
+    if args.ann:
+        probe = "all" if args.nprobe is None else str(args.nprobe)
+        mode = f"; ann (nprobe={probe})"
+    elif shards is not None:
+        mode = f"; {shards.n_shards} shards ({shards.on_failure})"
     print(
         f"serving {service.artifact.tag} on http://{host}:{port} "
-        f"({service.num_users} users x {service.num_items} items; "
+        f"({service.num_users} users x {service.num_items} items{mode}; "
         f"POST /v1/topk, GET /healthz, GET /metrics, POST /admin/reload)"
     )
     try:
@@ -921,6 +1162,7 @@ _HANDLERS = {
     "datasets": _cmd_datasets,
     "bench": _cmd_bench,
     "publish": _cmd_publish,
+    "index": _cmd_index,
     "serve": _cmd_serve,
 }
 

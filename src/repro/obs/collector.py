@@ -81,6 +81,12 @@ class NullCollector:
     def count_topk(self, candidates: int) -> None:
         """Record scored top-k retrieval candidates (no-op)."""
 
+    def count_ann_probe(self, cells: int) -> None:
+        """Record probed ANN inverted-list cells (no-op)."""
+
+    def count_ann_candidates(self, candidates: int) -> None:
+        """Record exactly reranked ANN candidates (no-op)."""
+
     def note_array(self, nbytes: int) -> None:
         """Record a dense block allocation (no-op)."""
 
@@ -136,6 +142,12 @@ class ProfileCollector(NullCollector):
 
     def count_topk(self, candidates: int) -> None:
         self.ops.count_topk(candidates)
+
+    def count_ann_probe(self, cells: int) -> None:
+        self.ops.count_ann_probe(cells)
+
+    def count_ann_candidates(self, candidates: int) -> None:
+        self.ops.count_ann_candidates(candidates)
 
     def note_array(self, nbytes: int) -> None:
         self.memory.note_array(nbytes)

@@ -17,6 +17,11 @@ units:
   read-out (:mod:`repro.tasks.topk`); the GEMM FLOPs of the scoring itself
   are tallied through the GEMM counter, so this counter measures *coverage*
   (how many candidates a serving sweep actually considered), not arithmetic.
+* **ANN probes / candidates** — inverted-list cells probed and surviving
+  candidates reranked by the IVF index (:mod:`repro.ann`).  Like the top-k
+  counter these measure coverage: ``ann_candidates / topk_candidates`` of
+  an exact sweep over the same items is the work-saving ratio the ANN
+  bench axis reports alongside recall.
 
 FLOP numbers are *estimates* (leading-order terms of the textbook counts);
 the matvec/GEMM tallies themselves are exact and deterministic, which is
@@ -40,6 +45,8 @@ class OpCounter:
     qr_factorizations: int = 0
     svd_factorizations: int = 0
     topk_candidates: int = 0
+    ann_probes: int = 0
+    ann_candidates: int = 0
     flops: float = 0.0
 
     def count_spmv(self, nnz: int, cols: int = 1) -> None:
@@ -66,6 +73,14 @@ class OpCounter:
         """Record ``candidates`` (user, item) pairs scored by a retrieval sweep."""
         self.topk_candidates += int(candidates)
 
+    def count_ann_probe(self, cells: int) -> None:
+        """Record ``cells`` inverted-list cells probed by an ANN query wave."""
+        self.ann_probes += int(cells)
+
+    def count_ann_candidates(self, candidates: int) -> None:
+        """Record ``candidates`` (user, item) pairs exactly reranked by ANN."""
+        self.ann_candidates += int(candidates)
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (stable key set)."""
         return {
@@ -74,5 +89,7 @@ class OpCounter:
             "qr_factorizations": self.qr_factorizations,
             "svd_factorizations": self.svd_factorizations,
             "topk_candidates": self.topk_candidates,
+            "ann_probes": self.ann_probes,
+            "ann_candidates": self.ann_candidates,
             "flops": self.flops,
         }

@@ -10,7 +10,7 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
 
     {
       "schema": "repro.obs.run_report",
-      "version": 4,
+      "version": 5,
       "method": str,              # display name, e.g. "GEBE^p"
       "dataset": str | null,
       "dimension": int | null,
@@ -21,7 +21,8 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
                                   #         children: [Stage, ...]}
       "ops": {"sparse_matvecs": int, "gemms": int,
               "qr_factorizations": int, "svd_factorizations": int,
-              "topk_candidates": int, "flops": float},
+              "topk_candidates": int, "ann_probes": int,
+              "ann_candidates": int, "flops": float},
       "memory": {"peak_rss_bytes": int, "max_tracked_array_bytes": int,
                  "workspace_bytes": int, "samples": int},
       "service": null | {         # serving-tier tallies (repro.serve)
@@ -32,7 +33,10 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
       "metadata": {...}           # free-form, JSON-serializable
     }
 
-Version history: v4 added the nullable ``service`` section (request /
+Version history: v5 added ``ops.ann_probes`` / ``ops.ann_candidates``
+(inverted-list cells probed and candidates exactly reranked by the IVF
+index of :mod:`repro.ann`; zero-backfilled when reading older documents).
+v4 added the nullable ``service`` section (request /
 batching / load-shedding tallies of a :mod:`repro.serve` run; ``null`` for
 pure solver runs — :func:`upgrade_report` backfills it when reading older
 documents).  v3 added ``ops.topk_candidates`` ((user, item) pairs
@@ -57,7 +61,7 @@ __all__ = [
 ]
 
 SCHEMA_NAME = "repro.obs.run_report"
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 _OPS_KEYS = (
     "sparse_matvecs",
@@ -65,6 +69,8 @@ _OPS_KEYS = (
     "qr_factorizations",
     "svd_factorizations",
     "topk_candidates",
+    "ann_probes",
+    "ann_candidates",
     "flops",
 )
 _MEMORY_KEYS = (
@@ -181,13 +187,21 @@ def upgrade_report(payload: Any) -> Any:
     """Upgrade an older report document in place to the current version.
 
     v3 -> v4 backfills ``service: null`` (the section did not exist before
-    the serving tier).  Unknown or newer versions are returned untouched —
+    the serving tier).  v4 -> v5 backfills zero ``ops.ann_probes`` /
+    ``ops.ann_candidates`` (no ANN index existed, so the counts really are
+    zero).  Unknown or newer versions are returned untouched —
     :func:`validate_report` rejects them with a pointed message.
     """
     if isinstance(payload, dict) and payload.get("schema") == SCHEMA_NAME:
         if payload.get("version") == 3 and "service" not in payload:
             payload["version"] = 4
             payload["service"] = None
+        if payload.get("version") == 4:
+            payload["version"] = 5
+            ops = payload.get("ops")
+            if isinstance(ops, dict):
+                ops.setdefault("ann_probes", 0)
+                ops.setdefault("ann_candidates", 0)
     return payload
 
 

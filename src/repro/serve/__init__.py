@@ -14,9 +14,16 @@ package is everything *after* that:
 * :mod:`~repro.serve.server` — :class:`EmbeddingServer`, a stdlib
   JSON-over-HTTP front end with admission control and deadline-based
   load-shedding (429 / 503).
+* :mod:`~repro.serve.sharded` — :class:`ShardedTopK`, scatter-gather
+  retrieval over item partitions with an exact merge, per-shard
+  deadlines, and a degrade-or-fail policy (``repro serve --shards``).
 
-``repro publish`` and ``repro serve`` are the CLI entry points; see
-``docs/SERVING.md`` for the operational story.
+The service can also answer through the IVF ANN index of
+:mod:`repro.ann` (``repro serve --ann --nprobe P``): sublinear
+candidate generation, exact rerank, measured recall.
+
+``repro publish``, ``repro index``, and ``repro serve`` are the CLI
+entry points; see ``docs/SERVING.md`` for the operational story.
 """
 
 from .artifacts import (
@@ -30,6 +37,7 @@ from .artifacts import (
 from .batcher import BatchStats, MicroBatcher, QueueFull
 from .server import EmbeddingServer, ServerConfig
 from .service import EmbeddingService, ServiceMetrics
+from .sharded import ShardConfig, ShardFailure, ShardedTopK
 
 __all__ = [
     "ArtifactError",
@@ -43,6 +51,9 @@ __all__ = [
     "QueueFull",
     "ServerConfig",
     "ServiceMetrics",
+    "ShardConfig",
+    "ShardFailure",
+    "ShardedTopK",
     "array_checksum",
     "load_embedding_arrays",
 ]

@@ -44,6 +44,7 @@ import numpy as np
 
 from .batcher import MicroBatcher, QueueFull
 from .service import EmbeddingService
+from .sharded import ShardFailure
 
 __all__ = ["ServerConfig", "EmbeddingServer"]
 
@@ -306,6 +307,13 @@ class EmbeddingServer:
             )
             self.service.metrics.observe("request", time.perf_counter() - arrived)
             return 200, payload
+        except ShardFailure as exc:
+            # The scatter-gather tier already counted the failure; under
+            # on_failure="fail" a slow or dead shard is an availability
+            # event, answered like a missed deadline.
+            raise _HttpError(
+                503, f"shard failure: {exc} (failed shards: {exc.failed})"
+            ) from exc
         finally:
             self.service.metrics.queue_left()
             self._admission.release()
@@ -396,5 +404,15 @@ class EmbeddingServer:
                 payload["scores"] = [
                     [float(s) for s in row] for row in response["scores"]
                 ]
+            if "degraded" in response:
+                # Sharded serving under on_failure="degrade": the answer is
+                # partial and says so, instead of 503ing the whole request.
+                payload["degraded"] = bool(response["degraded"])
+                payload["failed_shards"] = [
+                    int(s) for s in response["failed_shards"]
+                ]
+            if response.get("mode") == "ann":
+                payload["mode"] = "ann"
+                payload["nprobe"] = int(response["nprobe"])
         self._check_deadline(deadline)
         return payload

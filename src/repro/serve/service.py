@@ -37,12 +37,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..ann import INDEX_FILE, IVFIndex
 from ..core.base import EmbeddingResult
 from ..core.selection import select_topn
 from ..graph import BipartiteGraph
 from ..linalg.policy import DtypePolicy
 from ..tasks.topk import TopKEngine
-from .artifacts import ArtifactRef, ArtifactStore, LoadedArtifact
+from .artifacts import ArtifactError, ArtifactRef, ArtifactStore, LoadedArtifact
+from .sharded import ShardConfig, ShardedTopK
 
 __all__ = ["EmbeddingService", "ServiceMetrics", "percentile"]
 
@@ -82,6 +84,10 @@ class ServiceMetrics:
         "reloads",
         "gemms",
         "topk_candidates",
+        "ann_probes",
+        "ann_candidates",
+        "shard_failures",
+        "degraded",
     )
 
     def __init__(self) -> None:
@@ -181,6 +187,9 @@ class _Model:
         loaded: LoadedArtifact,
         policy: DtypePolicy,
         block_rows: Optional[int],
+        shards: Optional[ShardConfig] = None,
+        shard_hook=None,
+        ann: bool = False,
     ):
         self.ref = loaded.ref
         self.result = EmbeddingResult(
@@ -193,6 +202,29 @@ class _Model:
             self.result.u, self.result.v, policy=policy, block_rows=block_rows
         )
         self.unit_u = self.result.normalized_u()
+        self.sharded_template: Optional[ShardedTopK] = None
+        if shards is not None:
+            self.sharded_template = ShardedTopK(
+                self.result.u,
+                self.result.v,
+                config=shards,
+                graph=self.graph,
+                policy=policy,
+                block_rows=block_rows,
+                shard_hook=shard_hook,
+            )
+        self.ivf: Optional[IVFIndex] = None
+        if ann:
+            index_path = loaded.ref.path / INDEX_FILE
+            if not index_path.is_file():
+                raise ArtifactError(
+                    f"{loaded.ref.tag} has no IVF index at {index_path}; "
+                    "build one with: repro index"
+                )
+            # load() cross-checks dimension, item count, and the v-array
+            # digest against this artifact version — an index built from a
+            # different version is rejected here, before it serves anything.
+            self.ivf = IVFIndex.load(index_path, loaded.v)
 
 
 class EmbeddingService:
@@ -214,6 +246,20 @@ class EmbeddingService:
     verify:
         Checksum-verify artifacts on every load (default on; the whole
         point of the manifest).
+    shards:
+        Scatter-gather over item partitions
+        (:class:`~repro.serve.sharded.ShardConfig`); ``None`` serves from
+        one engine.  Merged lists stay element-identical to the
+        single-engine path; see :mod:`repro.serve.sharded`.
+    shard_hook:
+        Test-only per-shard fault injection, forwarded to
+        :class:`~repro.serve.sharded.ShardedTopK`.
+    ann, nprobe:
+        Serve :meth:`top_items` through the artifact's IVF index
+        (``repro index`` must have built one for the served version;
+        rejected with a pointed error otherwise, or when the index was
+        built from a different version).  ``nprobe`` is the recall knob —
+        ``None`` probes every cell, which is exact.
     """
 
     def __init__(
@@ -225,12 +271,27 @@ class EmbeddingService:
         policy: Optional[DtypePolicy] = None,
         block_rows: Optional[int] = None,
         verify: bool = True,
+        shards: Optional[ShardConfig] = None,
+        shard_hook=None,
+        ann: bool = False,
+        nprobe: Optional[int] = None,
     ):
+        if ann and shards is not None:
+            raise ValueError(
+                "ann and shards are mutually exclusive serving modes "
+                "(shard the exact path, or probe the IVF index, not both)"
+            )
+        if nprobe is not None and not ann:
+            raise ValueError("nprobe requires ann=True")
         self._store = store
         self._name = name
         self._policy = policy if policy is not None else DtypePolicy()
         self._block_rows = block_rows
         self._verify = verify
+        self._shards = shards
+        self._shard_hook = shard_hook
+        self._ann = bool(ann)
+        self._nprobe = nprobe
         self._reload_lock = threading.Lock()
         self._local = threading.local()
         self.metrics = ServiceMetrics()
@@ -241,7 +302,19 @@ class EmbeddingService:
     # ------------------------------------------------------------------
     def _load(self, version: Optional[int]) -> _Model:
         loaded = self._store.load(self._name, version, verify=self._verify)
-        return _Model(loaded, self._policy, self._block_rows)
+        return _Model(
+            loaded,
+            self._policy,
+            self._block_rows,
+            shards=self._shards,
+            shard_hook=self._shard_hook,
+            ann=self._ann,
+        )
+
+    def close(self) -> None:
+        """Release the sharded scatter pool, if any (idempotent)."""
+        if self._model.sharded_template is not None:
+            self._model.sharded_template.close()
 
     @property
     def artifact(self) -> ArtifactRef:
@@ -277,8 +350,18 @@ class EmbeddingService:
         model = self._model
         if getattr(self._local, "model", None) is not model:
             self._local.engine = model.template.clone_for_worker()
+            self._local.sharded = (
+                model.sharded_template.clone_for_worker()
+                if model.sharded_template is not None
+                else None
+            )
             self._local.model = model
         return self._local.engine, model
+
+    def _sharded(self) -> Tuple[ShardedTopK, _Model]:
+        """This thread's sharded clone (same swap discipline as `_engine`)."""
+        _, model = self._engine()
+        return self._local.sharded, model
 
     # ------------------------------------------------------------------
     # Queries
@@ -297,12 +380,24 @@ class EmbeddingService:
         artifact ships its graph (a no-op otherwise).  Lists are
         element-identical to the offline
         :meth:`~repro.tasks.topk.TopKEngine.top_items` path — same engine,
-        same :func:`~repro.core.selection.select_topn` ordering.
+        same :func:`~repro.core.selection.select_topn` ordering.  The
+        sharded mode keeps that identity through the scatter-gather merge
+        (degraded answers excepted — they carry ``degraded: True`` and the
+        failed shard ids); the ANN mode keeps it at full probe and trades
+        measured recall below it.
         """
         engine, model = self._engine()
         users_array = np.asarray(users, dtype=np.int64)
         if users_array.ndim != 1:
             raise ValueError("users must be a 1-D index sequence")
+        if model.ivf is not None:
+            return self._top_items_ann(
+                model, users_array, n, with_scores, exclude_train
+            )
+        if model.sharded_template is not None:
+            return self._top_items_sharded(
+                model, users_array, n, with_scores, exclude_train
+            )
         exclude = model.graph if exclude_train else None
         started = time.perf_counter()
         item_blocks: List[np.ndarray] = []
@@ -337,6 +432,94 @@ class EmbeddingService:
                 if score_blocks
                 else np.empty((0, n_keep))
             )
+        return payload
+
+    def _top_items_ann(
+        self,
+        model: _Model,
+        users: np.ndarray,
+        n: int,
+        with_scores: bool,
+        exclude_train: bool,
+    ) -> Dict[str, Any]:
+        """The IVF read-out: probe, exact rerank, measured recall knob."""
+        index = model.ivf
+        if users.size and (
+            users.min() < 0 or users.max() >= model.result.u.shape[0]
+        ):
+            raise ValueError(
+                f"user indices must be in [0, {model.result.u.shape[0]})"
+            )
+        exclude = model.graph if exclude_train else None
+        started = time.perf_counter()
+        result = index.search(
+            model.result.u[users],
+            n,
+            nprobe=self._nprobe,
+            exclude=exclude,
+            users=users if exclude is not None else None,
+            with_scores=True,
+            return_stats=True,
+        )
+        items, scores, stats = result
+        elapsed = time.perf_counter() - started
+        self.metrics.count("requests")
+        self.metrics.count("ann_probes", stats["probed_cells"])
+        self.metrics.count("ann_candidates", stats["candidates"])
+        self.metrics.observe("score", elapsed)
+        payload: Dict[str, Any] = {
+            "model": model.ref.tag,
+            "users": users,
+            "items": items,
+            "n": items.shape[1],
+            "mode": "ann",
+            "nprobe": stats["nprobe"],
+        }
+        if with_scores:
+            payload["scores"] = scores
+        return payload
+
+    def _top_items_sharded(
+        self,
+        model: _Model,
+        users: np.ndarray,
+        n: int,
+        with_scores: bool,
+        exclude_train: bool,
+    ) -> Dict[str, Any]:
+        """Scatter-gather read-out; exact merge, flagged degraded answers."""
+        sharded, _ = self._sharded()
+        started = time.perf_counter()
+        try:
+            result = sharded.top_items(
+                n,
+                users=users,
+                exclude=exclude_train and model.graph is not None,
+                with_scores=with_scores,
+            )
+        except Exception:
+            self.metrics.count("shard_failures")
+            raise
+        elapsed = time.perf_counter() - started
+        blocks = (
+            -(-users.size // model.template.block_rows) if users.size else 0
+        )
+        self.metrics.count("requests")
+        self.metrics.count("gemms", blocks * sharded.n_shards)
+        self.metrics.count("topk_candidates", users.size * sharded.num_items)
+        if result["degraded"]:
+            self.metrics.count("degraded")
+        self.metrics.observe("score", elapsed)
+        payload: Dict[str, Any] = {
+            "model": model.ref.tag,
+            "users": users,
+            "items": result["items"],
+            "n": result["items"].shape[1],
+            "degraded": result["degraded"],
+            "failed_shards": result["failed_shards"],
+        }
+        if with_scores:
+            payload["scores"] = result["scores"]
         return payload
 
     def scores(

@@ -1,0 +1,344 @@
+"""Scatter-gather retrieval over item partitions: the sharded serving mode.
+
+One :class:`~repro.tasks.topk.TopKEngine` scores every item on one machine
+(well, one thread pool).  Past a few million items the score buffer and the
+GEMM both want to live on *several* workers — so :class:`ShardedTopK`
+splits the item axis into contiguous partitions
+(:func:`~repro.linalg.parallel.column_shards`, the same balanced ranges the
+in-engine column sharding uses), gives every partition its own engine and
+its own slice of the exclusion graph, scatters a query wave to all shards,
+and gathers the per-shard top-``n`` lists into the global list.
+
+**The merge is exact, not approximate.**  ``select_topn`` orders by
+``(score desc, id asc)`` — a total order.  The global top-``n`` under a
+total order is contained in the union of per-shard top-``n`` lists (any
+global winner beats everything in its own shard, so it is in that shard's
+local top-``n``).  Pooling the per-shard lists, restoring ascending global
+id order, and running ``select_topn`` once more therefore yields exactly
+the single-engine list — the same prefix-property argument that makes the
+:class:`~repro.serve.batcher.MicroBatcher` exact, pinned by
+``tests/test_serve_sharded.py`` down to all-ties integer embeddings.
+
+**Failure policy.**  Real shards time out and die.  Every scatter carries a
+per-shard deadline (``deadline_ms``); a shard that misses it, or raises, is
+*failed*.  ``on_failure="fail"`` raises :class:`ShardFailure` (the HTTP
+tier answers 503); ``on_failure="degrade"`` merges the surviving shards and
+flags the response (``degraded: true`` plus the failed shard ids) — partial
+answers beat no answers for recommendation traffic.  A timed-out shard's
+engine is retired (the straggler may still be writing its workspace) and a
+fresh clone takes its place for the next wave.
+
+Instances follow the engine's threading contract: one clone per calling
+thread via :meth:`clone_for_worker`; clones share the immutable embeddings
+and the scatter pool, never workspaces.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.selection import select_topn
+from ..graph import BipartiteGraph
+from ..linalg.parallel import column_shards
+from ..linalg.policy import DtypePolicy
+from ..tasks.topk import TopKEngine
+
+__all__ = ["ShardConfig", "ShardFailure", "ShardedTopK"]
+
+
+class ShardFailure(RuntimeError):
+    """A shard missed its deadline or died and the policy says fail.
+
+    Carries the failed shard indices so the HTTP tier can report them.
+    """
+
+    def __init__(self, message: str, failed: Sequence[int]):
+        super().__init__(message)
+        self.failed = list(failed)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Knobs of the scatter-gather tier.
+
+    Attributes
+    ----------
+    n_shards:
+        Item partitions (1 collapses to a plain engine, still exact).
+    deadline_ms:
+        Per-wave budget for every shard to answer (``None``: wait forever).
+    on_failure:
+        ``"fail"`` — raise :class:`ShardFailure`; ``"degrade"`` — answer
+        from the surviving shards and flag the response.
+    """
+
+    n_shards: int = 1
+    deadline_ms: Optional[float] = None
+    on_failure: str = "fail"
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive, got {self.deadline_ms}"
+            )
+        if self.on_failure not in ("fail", "degrade"):
+            raise ValueError(
+                f"on_failure must be 'fail' or 'degrade', "
+                f"got {self.on_failure!r}"
+            )
+
+
+class ShardedTopK:
+    """Item-partitioned top-``n`` retrieval, element-identical to one engine.
+
+    Parameters
+    ----------
+    u, v:
+        The embedding matrices, exactly as :class:`TopKEngine` takes them.
+    config:
+        Partition count and failure policy.
+    graph:
+        Training graph for exclusion masking; sliced once per shard
+        (CSR column ranges), so per-wave masking stays the engine's
+        vectorized gather.
+    policy, block_rows:
+        Forwarded to every shard engine.
+    shard_hook:
+        Test-only fault injection: ``shard_hook(shard_index)`` runs on the
+        scatter worker before the shard scores; raise or sleep in it to
+        simulate dead or slow shards.
+    """
+
+    def __init__(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        *,
+        config: Optional[ShardConfig] = None,
+        graph: Optional[BipartiteGraph] = None,
+        policy: Optional[DtypePolicy] = None,
+        block_rows: Optional[int] = None,
+        shard_hook=None,
+    ):
+        self.config = config if config is not None else ShardConfig()
+        v = np.asarray(v)
+        if v.ndim != 2:
+            raise ValueError(f"item embeddings must be 2-D, got {v.ndim}-D")
+        n_shards = min(self.config.n_shards, max(1, v.shape[0]))
+        self.ranges: List[Tuple[int, int]] = list(
+            column_shards(v.shape[0], n_shards)
+        )
+        self.shard_hook = shard_hook
+        self._engines = [
+            TopKEngine(u, v[lo:hi], policy=policy, block_rows=block_rows)
+            for lo, hi in self.ranges
+        ]
+        self._graphs: List[Optional[BipartiteGraph]] = [None] * len(self.ranges)
+        if graph is not None:
+            if graph.num_v > v.shape[0]:
+                raise ValueError(
+                    f"exclusion graph has {graph.num_v} items but the "
+                    f"embeddings score only {v.shape[0]}"
+                )
+            self._graphs = [
+                BipartiteGraph(graph.w[:, lo : min(hi, graph.num_v)].tocsr())
+                if lo < graph.num_v
+                else None
+                for lo, hi in self.ranges
+            ]
+        # One scatter pool shared by every clone: shards of concurrent waves
+        # interleave on it, each wave touching only its own clone's engines.
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self.ranges),
+            thread_name_prefix="repro-shard",
+        )
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Shapes / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        """Effective partition count (requested, capped at the item count)."""
+        return len(self.ranges)
+
+    @property
+    def num_users(self) -> int:
+        return self._engines[0].num_users
+
+    @property
+    def num_items(self) -> int:
+        return self.ranges[-1][1]
+
+    def clone_for_worker(self) -> "ShardedTopK":
+        """A calling-thread-private clone (fresh engine workspaces).
+
+        Shares the immutable embeddings, the shard graphs, and the scatter
+        pool; owns every shard engine's workspace — the same contract as
+        :meth:`TopKEngine.clone_for_worker`.
+        """
+        clone = type(self).__new__(type(self))
+        clone.config = self.config
+        clone.ranges = self.ranges
+        clone.shard_hook = self.shard_hook
+        clone._engines = [engine.clone_for_worker() for engine in self._engines]
+        clone._graphs = self._graphs
+        clone._pool = self._pool
+        clone._pool_lock = self._pool_lock
+        return clone
+
+    def close(self) -> None:
+        """Shut the scatter pool down (idempotent; template owner only)."""
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Scatter-gather
+    # ------------------------------------------------------------------
+    def _score_shard(
+        self,
+        shard: int,
+        users: np.ndarray,
+        n: int,
+        exclude: bool,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One shard's local top-``n``: ``(global item ids, scores)``."""
+        if self.shard_hook is not None:
+            self.shard_hook(shard)
+        engine = self._engines[shard]
+        lo = self.ranges[shard][0]
+        graph = self._graphs[shard] if exclude else None
+        item_blocks: List[np.ndarray] = []
+        score_blocks: List[np.ndarray] = []
+        for _, items, scores in engine.iter_top_items(
+            n, users=users, exclude=graph, with_scores=True
+        ):
+            item_blocks.append(items + lo)
+            score_blocks.append(scores)
+        n_local = min(n, engine.num_items)
+        if not item_blocks:
+            return (
+                np.empty((users.size, n_local), dtype=np.int64),
+                np.empty((users.size, n_local)),
+            )
+        return np.concatenate(item_blocks), np.concatenate(score_blocks)
+
+    @staticmethod
+    def _merge(
+        pooled_items: np.ndarray, pooled_scores: np.ndarray, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Global top-``n`` of pooled per-shard lists, ids restored ascending.
+
+        Restoring ascending global-id order first makes ``select_topn``'s
+        position-ascending tie-break coincide with the global id-ascending
+        tie-break — without it, ties at the boundary would resolve by shard
+        order instead of id order.
+        """
+        order = np.argsort(pooled_items, axis=1, kind="stable")
+        items = np.take_along_axis(pooled_items, order, axis=1)
+        scores = np.take_along_axis(pooled_scores, order, axis=1)
+        keep = select_topn(scores, n)
+        return (
+            np.take_along_axis(items, keep, axis=1),
+            np.take_along_axis(scores, keep, axis=1),
+        )
+
+    def top_items(
+        self,
+        n: int,
+        *,
+        users: Optional[np.ndarray] = None,
+        exclude: bool = True,
+        with_scores: bool = False,
+    ) -> Dict[str, Any]:
+        """One scatter-gather wave; see the module docstring for guarantees.
+
+        Returns a dict with ``items`` (``(B, n')`` int64, best first),
+        ``degraded`` (bool), ``failed_shards`` (list), and ``scores`` when
+        requested.  In a degraded answer rows may be right-padded with
+        ``-1`` (score ``-inf``) when the surviving shards hold fewer than
+        ``n'`` candidates.
+
+        Raises
+        ------
+        ShardFailure
+            Under ``on_failure="fail"`` when any shard times out or dies.
+        """
+        if users is None:
+            users = np.arange(self.num_users, dtype=np.int64)
+        else:
+            users = np.asarray(users, dtype=np.int64)
+        n_keep = max(0, min(int(n), self.num_items))
+        if n_keep == 0 or users.size == 0:
+            empty: Dict[str, Any] = {
+                "items": np.empty((users.size, n_keep), dtype=np.int64),
+                "degraded": False,
+                "failed_shards": [],
+            }
+            if with_scores:
+                empty["scores"] = np.empty((users.size, n_keep))
+            return empty
+
+        deadline = self.config.deadline_ms
+        with self._pool_lock:
+            futures = [
+                self._pool.submit(self._score_shard, shard, users, n_keep, exclude)
+                for shard in range(self.n_shards)
+            ]
+        results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
+        failed: List[int] = []
+        for shard, future in enumerate(futures):
+            try:
+                timeout = None if deadline is None else deadline / 1e3
+                results.append(future.result(timeout=timeout))
+            except FutureTimeoutError:
+                future.cancel()
+                # The straggler may still be scoring into this engine's
+                # workspace; retire it so the next wave starts clean.
+                self._engines[shard] = self._engines[shard].clone_for_worker()
+                results.append(None)
+                failed.append(shard)
+            except Exception:  # noqa: BLE001 — a dead shard, by definition
+                results.append(None)
+                failed.append(shard)
+        if failed and self.config.on_failure == "fail":
+            raise ShardFailure(
+                f"shard(s) {failed} of {self.n_shards} failed or missed the "
+                f"{deadline} ms deadline",
+                failed,
+            )
+        surviving = [result for result in results if result is not None]
+        if not surviving:
+            raise ShardFailure(
+                f"all {self.n_shards} shards failed; nothing to degrade to",
+                failed,
+            )
+        pooled_items = np.concatenate([items for items, _ in surviving], axis=1)
+        pooled_scores = np.concatenate([scores for _, scores in surviving], axis=1)
+        if pooled_items.shape[1] > n_keep:
+            items, scores = self._merge(pooled_items, pooled_scores, n_keep)
+        else:
+            # Fewer pooled candidates than n (degraded, or tiny shards):
+            # order what survived and right-pad.
+            merged_items, merged_scores = self._merge(
+                pooled_items, pooled_scores, pooled_items.shape[1]
+            )
+            items = np.full((users.size, n_keep), -1, dtype=np.int64)
+            scores = np.full((users.size, n_keep), -np.inf)
+            items[:, : merged_items.shape[1]] = merged_items
+            scores[:, : merged_scores.shape[1]] = merged_scores
+        payload: Dict[str, Any] = {
+            "items": items,
+            "degraded": bool(failed),
+            "failed_shards": failed,
+        }
+        if with_scores:
+            payload["scores"] = scores
+        return payload

@@ -50,12 +50,24 @@ from ..linalg.parallel import ParallelExecutor, column_shards
 from ..linalg.policy import DtypePolicy
 from ..obs import active as _obs_active
 
-__all__ = ["TopKEngine", "DEFAULT_BLOCK_ROWS"]
+__all__ = ["TopKEngine", "DEFAULT_BLOCK_ROWS", "neighbor_items"]
 
 #: Default users-per-GEMM.  256 rows keep the score buffer in the tens of
 #: megabytes even for ~10^4 items while amortizing per-block Python and
 #: BLAS dispatch overhead; see docs/SERVING.md for the measured tuning curve.
 DEFAULT_BLOCK_ROWS = 256
+
+
+def neighbor_items(graph: BipartiteGraph, user: int) -> np.ndarray:
+    """The item ids adjacent to ``user`` — one CSR ``indptr`` slice.
+
+    The per-user complement of :meth:`TopKEngine._mask_exclusions`: the ANN
+    rerank (:mod:`repro.ann.ivf`) and the sharded merge work on candidate
+    *subsets*, where a flat neighbor array to ``isin`` against beats a
+    dense block mask.  Returned ascending (CSR column order), int64.
+    """
+    indptr = graph.w.indptr
+    return graph.w.indices[indptr[user] : indptr[user + 1]].astype(np.int64)
 
 
 class TopKEngine:

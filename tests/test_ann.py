@@ -1,0 +1,320 @@
+"""Differential and property tests for the IVF ANN index (repro.ann).
+
+The load-bearing contract: at full probe (``nprobe = n_cells``) the index
+must produce lists *element-identical* to the exact
+:class:`~repro.tasks.topk.TopKEngine` — same items, same order, same
+tie-breaks — because the rerank runs the same staged-``V.T`` float64 GEMM
+and the same :func:`~repro.core.selection.select_topn`.  Partial probes
+trade recall for latency along a measured, monotone knob.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.ann import (
+    DEFAULT_CELLS,
+    IVFIndex,
+    assign_clusters,
+    kmeans_fit,
+)
+from repro.graph import BipartiteGraph
+from repro.serve import ArtifactError
+from repro.tasks import TopKEngine
+
+
+def _clustered(num_items=500, num_queries=40, dimension=16, centers=8, seed=42):
+    rng = np.random.default_rng(seed)
+    c = rng.standard_normal((centers, dimension))
+    v = c[rng.integers(0, centers, size=num_items)]
+    v = v + 0.2 * rng.standard_normal(v.shape)
+    u = c[rng.integers(0, centers, size=num_queries)]
+    u = u + 0.2 * rng.standard_normal(u.shape)
+    return u, v
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    return _clustered()
+
+
+@pytest.fixture(scope="module")
+def clustered_index(clustered):
+    _, v = clustered
+    return IVFIndex.build(v, n_cells=25, seed=0)
+
+
+class TestFullProbeDifferential:
+    @pytest.mark.parametrize("block_rows", [1, 7, 64, 256])
+    def test_identical_to_engine_at_every_block_size(
+        self, clustered, clustered_index, block_rows
+    ):
+        u, v = clustered
+        engine = TopKEngine(u, v, block_rows=block_rows)
+        expected = engine.top_items(10)
+        items = clustered_index.search(u, 10, nprobe=clustered_index.n_cells)
+        np.testing.assert_array_equal(items, expected)
+
+    def test_nprobe_none_means_full_probe(self, clustered, clustered_index):
+        u, v = clustered
+        expected = TopKEngine(u, v).top_items(10)
+        np.testing.assert_array_equal(
+            clustered_index.search(u, 10), expected
+        )
+
+    def test_scores_identical_to_engine(self, clustered, clustered_index):
+        u, v = clustered
+        # The full-probe search scores one query row at a time, so the
+        # bitwise claim is against the engine's block_rows=1 GEMM — the
+        # identical (1, k) @ (k, m) call on the same staged V.T.  (Wider
+        # engine blocks may differ by ULPs; the *lists* stay identical,
+        # which test_identical_to_engine_at_every_block_size pins.)
+        engine = TopKEngine(u, v, block_rows=1)
+        expected_items = np.vstack(
+            [block[1] for block in engine.iter_top_items(10, with_scores=True)]
+        )
+        expected_scores = np.vstack(
+            [block[2] for block in engine.iter_top_items(10, with_scores=True)]
+        )
+        items, scores = clustered_index.search(u, 10, with_scores=True)
+        np.testing.assert_array_equal(items, expected_items)
+        np.testing.assert_array_equal(scores, expected_scores)
+
+    def test_identical_with_exclusion(self, clustered, clustered_index):
+        u, v = clustered
+        rng = np.random.default_rng(7)
+        mask = (rng.random((u.shape[0], v.shape[0])) < 0.02).astype(float)
+        graph = BipartiteGraph.from_dense(mask)
+        users = np.arange(u.shape[0], dtype=np.int64)
+        expected = TopKEngine(u, v).top_items(10, exclude=graph)
+        items = clustered_index.search(u, 10, exclude=graph, users=users)
+        np.testing.assert_array_equal(items, expected)
+
+    def test_identical_under_total_ties(self):
+        # Integer embeddings engineered so many items tie exactly: the
+        # deterministic (score desc, id asc) order must survive the
+        # gather/rerank round trip.
+        rng = np.random.default_rng(3)
+        u = rng.integers(0, 2, size=(12, 6)).astype(np.float64)
+        v = rng.integers(0, 2, size=(90, 6)).astype(np.float64)
+        index = IVFIndex.build(v, n_cells=9, seed=0)
+        expected = TopKEngine(u, v).top_items(15)
+        items = index.search(u, 15, nprobe=index.n_cells)
+        np.testing.assert_array_equal(items, expected)
+
+    def test_exclusion_requires_users(self, clustered, clustered_index):
+        u, v = clustered
+        graph = BipartiteGraph.from_dense(np.ones((u.shape[0], v.shape[0])))
+        with pytest.raises(ValueError, match="users"):
+            clustered_index.search(u, 5, exclude=graph)
+
+
+class TestRecallKnob:
+    def test_recall_monotone_non_decreasing_in_nprobe(
+        self, clustered, clustered_index
+    ):
+        u, v = clustered
+        exact = TopKEngine(u, v).top_items(10)
+        recalls, candidates = [], []
+        probes = [1, 2, 4, 8, 16, clustered_index.n_cells]
+        for nprobe in probes:
+            items, stats = clustered_index.search(
+                u, 10, nprobe=nprobe, return_stats=True
+            )
+            recalls.append(
+                np.mean(
+                    [np.isin(exact[i], items[i]).mean() for i in range(len(u))]
+                )
+            )
+            candidates.append(stats["candidates"])
+        assert recalls == sorted(recalls)
+        assert candidates == sorted(candidates)
+        assert recalls[-1] == 1.0
+        assert candidates[-1] == len(u) * clustered_index.num_items
+
+    def test_partial_probe_pads_when_starved(self):
+        # One probed cell can hold fewer items than n: the row is
+        # right-padded with -1 ids and -inf scores.
+        rng = np.random.default_rng(5)
+        v = rng.standard_normal((30, 4))
+        index = IVFIndex.build(v, n_cells=10, seed=0)
+        smallest = int(index.cell_sizes().min())
+        items, scores = index.search(
+            v[:3], 25, nprobe=1, with_scores=True
+        )
+        assert items.shape == (3, 25)
+        for row in range(3):
+            real = items[row] >= 0
+            assert real.sum() <= int(index.cell_sizes().max())
+            assert np.all(items[row][~real] == -1)
+            assert np.all(np.isneginf(scores[row][~real]))
+        assert smallest >= 0  # cells may legally be tiny or empty
+
+    def test_bad_nprobe_rejected(self, clustered, clustered_index):
+        u, _ = clustered
+        with pytest.raises(ValueError, match="nprobe"):
+            clustered_index.search(u, 5, nprobe=0)
+
+
+class TestInvertedListProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(1, 60),
+        k=st.integers(1, 6),
+        cells=st.integers(1, 80),
+        seed=st.integers(0, 2**16),
+    )
+    def test_every_item_in_exactly_one_cell(self, n, k, cells, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.standard_normal((n, k))
+        index = IVFIndex.build(v, n_cells=cells, seed=seed)
+        # Cell count is clipped to the item count, never beyond.
+        assert 1 <= index.n_cells <= min(cells, n)
+        offsets = index.cell_offsets
+        assert offsets[0] == 0 and offsets[-1] == n
+        assert np.all(np.diff(offsets) >= 0)
+        # The inverted lists are a permutation of arange(n): every item in
+        # exactly one cell, ids ascending inside each cell.
+        np.testing.assert_array_equal(np.sort(index.cell_items), np.arange(n))
+        for cell in range(index.n_cells):
+            members = index.cell_items[offsets[cell] : offsets[cell + 1]]
+            assert np.all(np.diff(members) > 0)
+
+    def test_empty_cells_are_legal_and_searchable(self):
+        # All-duplicate points collapse into one cluster; the other cells
+        # stay empty and search must still match the exact engine.
+        v = np.ones((20, 3))
+        index = IVFIndex.build(v, n_cells=5, seed=0)
+        assert (index.cell_sizes() == 0).any()
+        u = np.ones((4, 3))
+        expected = TopKEngine(u, v).top_items(6)
+        np.testing.assert_array_equal(
+            index.search(u, 6, nprobe=index.n_cells), expected
+        )
+        # Probing only empty-ish cells still answers (possibly padded).
+        items = index.search(u, 6, nprobe=1)
+        assert items.shape == (4, 6)
+
+    def test_n_larger_than_num_items(self, clustered, clustered_index):
+        # k > n_items clips the list width exactly like the engine.
+        u, v = clustered
+        small = IVFIndex.build(v[:7], n_cells=3, seed=0)
+        expected = TopKEngine(u, v[:7]).top_items(50)
+        items = small.search(u, 50, nprobe=small.n_cells)
+        assert items.shape == expected.shape == (u.shape[0], 7)
+        np.testing.assert_array_equal(items, expected)
+
+    def test_default_cells_heuristic(self):
+        assert DEFAULT_CELLS(1) == 1
+        assert DEFAULT_CELLS(100) == 10
+        assert DEFAULT_CELLS(1_000_000) == 1000
+        assert DEFAULT_CELLS(2) <= 2
+
+
+class TestKMeans:
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(1)
+        points = rng.standard_normal((200, 5))
+        a_centroids, a_labels = kmeans_fit(points, 8, seed=9)
+        b_centroids, b_labels = kmeans_fit(points, 8, seed=9)
+        np.testing.assert_array_equal(a_centroids, b_centroids)
+        np.testing.assert_array_equal(a_labels, b_labels)
+
+    def test_labels_are_nearest_centroid(self):
+        rng = np.random.default_rng(2)
+        points = rng.standard_normal((150, 4))
+        centroids, labels = kmeans_fit(points, 6, seed=0)
+        expected, _ = assign_clusters(points, centroids)
+        np.testing.assert_array_equal(labels, expected)
+
+    def test_assign_ties_break_to_smallest_index(self):
+        points = np.zeros((3, 2))
+        centroids = np.zeros((4, 2))  # every centroid equidistant
+        labels, distances = assign_clusters(points, centroids)
+        np.testing.assert_array_equal(labels, np.zeros(3, dtype=labels.dtype))
+        np.testing.assert_allclose(distances, 0.0, atol=1e-12)
+
+    def test_cluster_count_clamped_to_points(self):
+        points = np.random.default_rng(0).standard_normal((5, 3))
+        centroids, labels = kmeans_fit(points, 50, seed=0)
+        assert centroids.shape[0] <= 5
+        assert labels.max() < centroids.shape[0]
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, clustered, clustered_index, tmp_path):
+        u, v = clustered
+        path = tmp_path / "index-ivf.npz"
+        clustered_index.save(path)
+        loaded = IVFIndex.load(path, v)
+        np.testing.assert_array_equal(
+            loaded.search(u, 10, nprobe=4),
+            clustered_index.search(u, 10, nprobe=4),
+        )
+        assert loaded.v_checksum == clustered_index.v_checksum
+        assert loaded.n_cells == clustered_index.n_cells
+
+    def test_load_rejects_dimension_mismatch(
+        self, clustered, clustered_index, tmp_path
+    ):
+        _, v = clustered
+        path = tmp_path / "index-ivf.npz"
+        clustered_index.save(path)
+        with pytest.raises(ArtifactError, match="dimension"):
+            IVFIndex.load(path, v[:, :-1])
+
+    def test_load_rejects_item_count_mismatch(
+        self, clustered, clustered_index, tmp_path
+    ):
+        _, v = clustered
+        path = tmp_path / "index-ivf.npz"
+        clustered_index.save(path)
+        with pytest.raises(ArtifactError, match="rebuild"):
+            IVFIndex.load(path, v[:-1])
+
+    def test_load_rejects_content_drift(
+        self, clustered, clustered_index, tmp_path
+    ):
+        # Same shape, different bytes: the "index built from artifact v3,
+        # served against v4" failure mode.  The digest catches it.
+        _, v = clustered
+        path = tmp_path / "index-ivf.npz"
+        clustered_index.save(path)
+        tampered = v.copy()
+        tampered[0, 0] += 1.0
+        with pytest.raises(ArtifactError, match="different artifact version"):
+            IVFIndex.load(path, tampered)
+
+    def test_load_rejects_garbage_file(self, clustered, tmp_path):
+        _, v = clustered
+        path = tmp_path / "index-ivf.npz"
+        path.write_bytes(b"not an npz")
+        with pytest.raises(ArtifactError):
+            IVFIndex.load(path, v)
+
+    def test_meta_records_provenance(self, clustered):
+        _, v = clustered
+        index = IVFIndex.build(v, n_cells=4, seed=11, source="toy@v1")
+        meta = index.meta()
+        assert meta["schema"] == "repro.ann.ivf"
+        assert meta["seed"] == 11
+        assert meta["source"] == "toy@v1"
+        assert meta["num_items"] == v.shape[0]
+        assert meta["v_checksum"]
+
+
+class TestObservability:
+    def test_counters_report_probes_and_candidates(
+        self, clustered, clustered_index
+    ):
+        u, _ = clustered
+        with obs.collect() as collector:
+            _, stats = clustered_index.search(
+                u, 10, nprobe=3, return_stats=True
+            )
+        assert collector.ops.ann_probes == len(u) * 3
+        assert collector.ops.ann_probes == stats["probed_cells"]
+        assert collector.ops.ann_candidates == stats["candidates"]
+        assert collector.ops.gemms >= 1  # the centroid routing GEMM

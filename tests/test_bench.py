@@ -27,6 +27,27 @@ def smoke_payload():
     return run_bench(BenchConfig.smoke())
 
 
+@pytest.fixture(scope="module")
+def ann_payload():
+    """A seconds-scale ANN-axis-only document (tiny clustered stand-in)."""
+    return run_bench(
+        BenchConfig(
+            datasets=("toy",),
+            methods=("GEBE^p",),
+            dimension=8,
+            repeats=1,
+            fit_grid=False,
+            topk=False,
+            ann=True,
+            ann_items=2_000,
+            ann_queries=8,
+            ann_cells=16,
+            ann_nprobe=(1, 4),
+            ann_n=5,
+        )
+    )
+
+
 class TestBenchConfig:
     def test_defaults_cover_two_zoo_datasets(self):
         config = BenchConfig()
@@ -564,10 +585,175 @@ class TestServeSchema:
         doc = copy.deepcopy(smoke_payload)
         doc["version"] = 3
         doc.pop("serve_runs")
-        for key in ("serve_smoke", "serve_requests"):
+        doc.pop("ann_runs")
+        for key in ("serve_smoke", "serve_requests", "ann", "ann_items",
+                    "ann_queries", "ann_cells", "ann_nprobe", "ann_n"):
             doc["config"].pop(key)
         upgraded = upgrade_bench(doc)
         validate_bench(upgraded)
         assert upgraded["version"] == BENCH_SCHEMA_VERSION
         assert upgraded["config"]["serve_smoke"] is False
         assert upgraded["serve_runs"] == []
+        assert upgraded["config"]["ann"] is False
+        assert upgraded["ann_runs"] == []
+
+
+def _ann_row(**overrides):
+    row = {
+        "method": "ivf-flat", "dataset": "standin_2000", "mode": "ivf",
+        "nprobe": 4, "cells": 16, "num_items": 2000, "num_queries": 8,
+        "n": 5, "build_seconds": 0.2, "wall_seconds": 0.1,
+        "p50_ms": 1.0, "p95_ms": 2.0, "recall_at_n": 0.9,
+        "candidates": 4000, "exact_match": False,
+    }
+    row.update(overrides)
+    return row
+
+
+class TestAnnAxis:
+    def test_document_validates(self, ann_payload):
+        validate_bench(ann_payload)
+        assert ann_payload["ann_runs"]
+        assert ann_payload["runs"] == []
+        assert ann_payload["topk_runs"] == []
+
+    def test_exact_row_first(self, ann_payload):
+        exact = ann_payload["ann_runs"][0]
+        assert exact["mode"] == "exact"
+        assert exact["nprobe"] is None
+        assert exact["recall_at_n"] == 1.0
+        assert exact["exact_match"] is True
+        assert exact["candidates"] == exact["num_items"] * exact["num_queries"]
+
+    def test_full_probe_row_rides_along_and_is_exact(self, ann_payload):
+        # The configured sweep is (1, 4); the full-probe row (nprobe ==
+        # cells) is always appended — and it must be element-identical.
+        ivf = [r for r in ann_payload["ann_runs"] if r["mode"] == "ivf"]
+        assert [r["nprobe"] for r in ivf] == [1, 4, 16]
+        full = ivf[-1]
+        assert full["nprobe"] == full["cells"]
+        assert full["exact_match"] is True
+        assert full["recall_at_n"] == 1.0
+        assert full["candidates"] == full["num_items"] * full["num_queries"]
+
+    def test_recall_monotone_in_nprobe(self, ann_payload):
+        ivf = [r for r in ann_payload["ann_runs"] if r["mode"] == "ivf"]
+        recalls = [r["recall_at_n"] for r in ivf]
+        assert recalls == sorted(recalls)
+        candidates = [r["candidates"] for r in ivf]
+        assert candidates == sorted(candidates)
+
+    def test_build_seconds_shared_across_ivf_rows(self, ann_payload):
+        ivf = [r for r in ann_payload["ann_runs"] if r["mode"] == "ivf"]
+        assert len({r["build_seconds"] for r in ivf}) == 1
+        assert ivf[0]["build_seconds"] > 0
+
+    def test_render_mentions_ann_rows(self, ann_payload):
+        text = render_bench(ann_payload)
+        assert "ann mode" in text
+        assert "standin_2000" in text
+        assert "recall" in text
+
+    def test_json_round_trip(self, ann_payload, tmp_path):
+        path = tmp_path / "BENCH_ann.json"
+        write_bench(ann_payload, str(path))
+        validate_bench(json.loads(path.read_text()))
+
+
+class TestAnnSchema:
+    def test_valid_ann_rows_accepted(self, smoke_payload):
+        doc = dict(smoke_payload, ann_runs=[
+            _ann_row(mode="exact", nprobe=None, cells=0, build_seconds=0.0,
+                     recall_at_n=1.0, exact_match=True),
+            _ann_row(),
+        ])
+        validate_bench(doc)
+
+    def test_ann_axis_alone_suffices(self, smoke_payload):
+        doc = dict(
+            smoke_payload, runs=[], comparisons=[], topk_runs=[],
+            topk_comparisons=[], serve_runs=[], ann_runs=[_ann_row()],
+        )
+        validate_bench(doc)
+
+    def test_rejects_bad_ann_mode(self, smoke_payload):
+        doc = dict(smoke_payload, ann_runs=[_ann_row(mode="hnsw")])
+        with pytest.raises(ValueError, match="mode must be one of"):
+            validate_bench(doc)
+
+    def test_rejects_ivf_row_without_nprobe(self, smoke_payload):
+        doc = dict(smoke_payload, ann_runs=[_ann_row(nprobe=None)])
+        with pytest.raises(ValueError, match="nprobe is required"):
+            validate_bench(doc)
+
+    def test_rejects_zero_nprobe(self, smoke_payload):
+        doc = dict(smoke_payload, ann_runs=[_ann_row(nprobe=0)])
+        with pytest.raises(ValueError, match="nprobe must be >= 1"):
+            validate_bench(doc)
+
+    def test_rejects_recall_out_of_range(self, smoke_payload):
+        doc = dict(smoke_payload, ann_runs=[_ann_row(recall_at_n=1.5)])
+        with pytest.raises(ValueError, match="recall_at_n"):
+            validate_bench(doc)
+
+    def test_rejects_negative_latency(self, smoke_payload):
+        doc = dict(smoke_payload, ann_runs=[_ann_row(p95_ms=-1.0)])
+        with pytest.raises(ValueError, match="p95_ms must be non-negative"):
+            validate_bench(doc)
+
+    def test_rejects_missing_ann_key(self, smoke_payload):
+        row = _ann_row()
+        del row["exact_match"]
+        doc = dict(smoke_payload, ann_runs=[row])
+        with pytest.raises(ValueError, match="missing 'exact_match'"):
+            validate_bench(doc)
+
+    def test_v4_document_upgrades_with_ann_axis_absent(self, smoke_payload):
+        doc = copy.deepcopy(smoke_payload)
+        doc["version"] = 4
+        doc.pop("ann_runs")
+        for key in ("ann", "ann_items", "ann_queries", "ann_cells",
+                    "ann_nprobe", "ann_n"):
+            doc["config"].pop(key)
+        upgraded = upgrade_bench(doc)
+        validate_bench(upgraded)
+        assert upgraded["version"] == BENCH_SCHEMA_VERSION
+        assert upgraded["config"]["ann"] is False
+        assert upgraded["ann_runs"] == []
+
+
+class TestAnnCompare:
+    def test_self_compare_includes_ann_rows(self, ann_payload):
+        result = compare_bench(ann_payload, ann_payload)
+        assert len(result["rows"]) == len(ann_payload["ann_runs"])
+        policies = {row["policy"] for row in result["rows"]}
+        assert "ann:exact" in policies
+        assert any(p.startswith("ann:ivf/p") for p in policies)
+        assert result["regressions"] == []
+        assert result["matvec_drift"] == []
+        assert "verdict: ok" in render_compare(result)
+
+    def test_flags_ann_candidate_drift(self, ann_payload):
+        drifted = copy.deepcopy(ann_payload)
+        ivf = next(r for r in drifted["ann_runs"] if r["mode"] == "ivf")
+        ivf["candidates"] += 11
+        result = compare_bench(ann_payload, drifted)
+        assert len(result["matvec_drift"]) == 1
+
+    def test_full_probe_mismatch_is_invariant_violation(self, ann_payload):
+        broken = copy.deepcopy(ann_payload)
+        full = next(
+            r for r in broken["ann_runs"]
+            if r["mode"] == "ivf" and r["nprobe"] == r["cells"]
+        )
+        full["exact_match"] = False
+        result = compare_bench(ann_payload, broken)
+        assert len(result["invariant_violations"]) == 1
+        # A *partial* probe's mismatch is expected, not a violation.
+        partial = copy.deepcopy(ann_payload)
+        row = next(
+            r for r in partial["ann_runs"]
+            if r["mode"] == "ivf" and r["nprobe"] < r["cells"]
+        )
+        row["exact_match"] = False
+        assert compare_bench(ann_payload, partial)["invariant_violations"] == []

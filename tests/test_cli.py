@@ -172,6 +172,83 @@ class TestQuery:
         assert capsys.readouterr().out == first
 
 
+class TestIndex:
+    @pytest.fixture
+    def published(self, edge_file, tmp_path):
+        """A store with one embedded artifact; returns (store_dir, emb_path)."""
+        emb = str(tmp_path / "emb.npz")
+        assert main(["embed", edge_file, emb, "--dimension", "8"]) == 0
+        store = str(tmp_path / "store")
+        assert main(
+            ["publish", emb, "--store", store, "--name", "toy"]
+        ) == 0
+        return store, emb
+
+    def test_index_builds_and_reports(self, published, tmp_path, capsys):
+        store, _ = published
+        code = main(
+            ["index", "--store", store, "--name", "toy", "--cells", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "toy@v1" in out and "5" in out
+        from pathlib import Path
+
+        from repro.ann import INDEX_FILE
+
+        assert (Path(store) / "toy" / "v0001" / INDEX_FILE).is_file()
+
+    def test_query_full_probe_matches_exact(self, published, capsys):
+        store, emb = published
+        assert main(
+            ["index", "--store", store, "--name", "toy", "--cells", "4"]
+        ) == 0
+        capsys.readouterr()
+        index = f"{store}/toy/v0001/index-ivf.npz"
+        assert main(["query", emb, "-n", "6"]) == 0
+        exact = capsys.readouterr().out
+        assert main(["query", emb, "-n", "6", "--index", index]) == 0
+        assert capsys.readouterr().out == exact
+
+    def test_nprobe_requires_index(self, published, capsys):
+        _, emb = published
+        assert main(["query", emb, "-n", "3", "--nprobe", "2"]) == 2
+        assert "--index" in capsys.readouterr().err
+
+    def test_stale_index_is_pointed_error(self, published, tmp_path, capsys):
+        """Index built from toy@v1, queried against different embeddings:
+        the digest cross-check names the rebuild command."""
+        store, emb = published
+        assert main(
+            ["index", "--store", store, "--name", "toy", "--cells", "4"]
+        ) == 0
+        other = str(tmp_path / "other.npz")
+        with np.load(emb) as bundle:
+            np.savez(other, u=bundle["u"], v=bundle["v"] * 2.0)
+        capsys.readouterr()
+        index = f"{store}/toy/v0001/index-ivf.npz"
+        assert main(["query", other, "-n", "3", "--index", index]) == 2
+        err = capsys.readouterr().err
+        assert "checksum" in err and "repro index" in err
+
+    def test_serve_shard_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--store", "s", "--name", "toy", "--shards", "4",
+             "--shard-deadline-ms", "50", "--on-shard-failure", "degrade"]
+        )
+        assert args.shards == 4
+        assert args.on_shard_failure == "degrade"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--store", "s", "--name", "toy",
+                 "--on-shard-failure", "retry"]
+            )
+
+    def test_bench_ann_flags_conflict(self, capsys):
+        assert main(["bench", "--ann-only", "--topk-only"]) == 2
+        assert "conflict" in capsys.readouterr().err
+
+
 class TestEvaluate:
     def test_recommendation_protocol(self, edge_file, capsys):
         code = main(

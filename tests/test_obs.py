@@ -267,7 +267,7 @@ class TestRunReport:
         # Schema v2: effective thread count and the kernel workspace
         # watermark (summed over per-thread pools) are part of the report.
         payload = profiled_toy_report().to_dict()
-        assert payload["version"] == 4
+        assert payload["version"] == 5
         assert payload["threads"] >= 1
         assert payload["memory"]["workspace_bytes"] >= 0
 
@@ -331,13 +331,40 @@ class TestRunReport:
         with pytest.raises(ValueError, match=match):
             validate_report(payload)
 
-    def test_v3_documents_upgrade_to_v4(self):
+    def test_v3_documents_upgrade_to_v5(self):
         payload = profiled_toy_report().to_dict()
         payload["version"] = 3
         del payload["service"]
+        del payload["ops"]["ann_probes"]
+        del payload["ops"]["ann_candidates"]
         restored = RunReport.from_dict(payload)
         assert restored.service is None
-        assert restored.to_dict()["version"] == 4
+        assert restored.ops["ann_probes"] == 0
+        assert restored.to_dict()["version"] == 5
+
+    def test_v4_documents_upgrade_to_v5(self):
+        payload = profiled_toy_report().to_dict()
+        payload["version"] = 4
+        del payload["ops"]["ann_probes"]
+        del payload["ops"]["ann_candidates"]
+        restored = RunReport.from_dict(payload)
+        assert restored.ops["ann_probes"] == 0
+        assert restored.ops["ann_candidates"] == 0
+        assert restored.to_dict()["version"] == 5
+
+    def test_v5_ann_ops_fields(self):
+        # Schema v5: ANN coverage is part of the ops block (zero for a
+        # plain fit, counted by the IVF index's search path).
+        payload = profiled_toy_report().to_dict()
+        assert payload["ops"]["ann_probes"] == 0
+        assert payload["ops"]["ann_candidates"] == 0
+        counter = OpCounter()
+        counter.count_ann_probe(8)
+        counter.count_ann_probe(8)
+        counter.count_ann_candidates(123)
+        assert counter.ann_probes == 16
+        assert counter.ann_candidates == 123
+        assert counter.to_dict()["ann_probes"] == 16
 
 
 # ---------------------------------------------------------------------------

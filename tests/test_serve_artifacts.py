@@ -5,10 +5,12 @@ import json
 import numpy as np
 import pytest
 
+from repro.ann import INDEX_FILE, IVFIndex
 from repro.graph import BipartiteGraph
 from repro.serve import (
     ArtifactError,
     ArtifactStore,
+    EmbeddingService,
     array_checksum,
     load_embedding_arrays,
 )
@@ -237,3 +239,72 @@ class TestLoadEmbeddingArrays:
         path.write_bytes(b"not a zip archive")
         with pytest.raises(ArtifactError, match="cannot read embedding bundle"):
             load_embedding_arrays(path)
+
+
+class TestIndexProvenance:
+    """The "index from another artifact version" failure mode.
+
+    ``repro index`` stamps the built IVF index with the served version's
+    embedding digest (straight from the manifest); the serving path must
+    refuse an index whose digest disagrees with the embeddings it is asked
+    to route — pointedly, naming the rebuild command — instead of silently
+    returning wrong neighbors.
+    """
+
+    def _index_for(self, store, version):
+        """Build and save a correct index for ``toy@v<version>``."""
+        ref = store.resolve("toy", version)
+        loaded = store.load("toy", version)
+        digest = ref.manifest["files"]["embeddings.npz"]["v"]["blake2b"]
+        index = IVFIndex.build(
+            loaded.v, n_cells=4, seed=0, v_checksum=digest, source=ref.tag
+        )
+        index.save(ref.path / INDEX_FILE)
+        return ref
+
+    def test_matching_index_serves_exactly(self, store, embeddings):
+        u, v = embeddings
+        store.publish("toy", u, v)
+        self._index_for(store, 1)
+        plain = EmbeddingService(store, "toy")
+        ann = EmbeddingService(store, "toy", ann=True)  # full probe: exact
+        users = list(range(u.shape[0]))
+        np.testing.assert_array_equal(
+            ann.top_items(users, 5)["items"],
+            plain.top_items(users, 5)["items"],
+        )
+
+    def test_missing_index_names_the_build_command(self, store, embeddings):
+        u, v = embeddings
+        store.publish("toy", u, v)
+        with pytest.raises(ArtifactError, match="repro index"):
+            EmbeddingService(store, "toy", ann=True)
+
+    def test_index_from_other_version_rejected(self, store, embeddings):
+        """v1's index copied into v2 (same shape, different embeddings):
+        the digest cross-check must catch it at load, before any query."""
+        u, v = embeddings
+        ref_v1 = store.publish("toy", u, v)
+        ref_v2 = store.publish("toy", u, v * 1.5)
+        self._index_for(store, 1)
+        (ref_v2.path / INDEX_FILE).write_bytes(
+            (ref_v1.path / INDEX_FILE).read_bytes()
+        )
+        with pytest.raises(ArtifactError, match="checksum"):
+            EmbeddingService(store, "toy", version=2, ann=True)
+        # The pointed message tells the operator what to do about it.
+        with pytest.raises(ArtifactError, match="repro index"):
+            EmbeddingService(store, "toy", version=2, ann=True)
+
+    def test_republished_embeddings_invalidate_index(self, store, embeddings):
+        """Same version directory, tampered embeddings: even with manifest
+        verification off, the index's own digest check still fires."""
+        u, v = embeddings
+        ref = store.publish("toy", u, v)
+        self._index_for(store, 1)
+        arrays = dict(np.load(ref.path / "embeddings.npz"))
+        arrays["v"] = arrays["v"].copy()
+        arrays["v"][0, 0] += 1.0
+        np.savez_compressed(ref.path / "embeddings.npz", **arrays)
+        with pytest.raises(ArtifactError, match="checksum"):
+            EmbeddingService(store, "toy", ann=True, verify=False)
