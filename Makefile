@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-ann bench-pytest examples quicktest profile-smoke serve-smoke clean
+.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-ann bench-quant bench-pytest examples quicktest profile-smoke serve-smoke clean
 
 # Kernel-level suites that must hold under a parallel executor; `make test`
 # reruns them with REPRO_NUM_THREADS=4 after the default serial pass.  The
@@ -10,12 +10,15 @@ PYTHON ?= python
 # to the per-user path at any thread count, and the serving tier (per-thread
 # engine clones + micro-batcher) must coalesce correctly however the
 # executor is sized.  Same deal for the ANN rerank (full probe must stay
-# element-identical to the exact engine) and the sharded scatter-gather
-# merge (shard count and executor width never change the lists).
+# element-identical to the exact engine), the sharded scatter-gather
+# merge (shard count and executor width never change the lists), and the
+# quantized margin rerank (block size, thread count, and codec never move
+# a list or a score bit off the exact engine over the dequantized arrays).
 THREADED_TESTS = tests/test_linalg_kernels.py tests/test_linalg_parallel.py \
   tests/test_kernels_fallback.py tests/test_topk.py \
   tests/test_serve_batcher.py tests/test_serve_server.py \
-  tests/test_ann.py tests/test_serve_sharded.py
+  tests/test_ann.py tests/test_serve_sharded.py tests/test_quant.py \
+  tests/test_serve_service.py
 
 install:
 	pip install -e . || { \
@@ -66,6 +69,17 @@ bench-topk:
 bench-ann:
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --ann-only \
 	  --output /tmp/gebe-bench-ann.json
+
+# The quantized-artifact axis alone: publish/load/query per codec on a
+# small stand-in — a seconds-scale check that mmap loads work, the margin
+# rerank keeps every list element-identical to the exact engine over the
+# dequantized arrays (the run exits 1 on any lists_equal violation), and
+# the exact/eager anchor row stays the load baseline.  The committed
+# snapshot's quant rows use the full 1.2M-item stand-in (`make
+# bench`-scale); see docs/BENCHMARKS.md and docs/SERVING.md.
+bench-quant:
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --quant-only \
+	  --output /tmp/gebe-bench-quant.json
 
 # End-to-end serving round trip: fit the toy graph, publish to a throwaway
 # artifact store, answer concurrent HTTP top-k requests in-process, and

@@ -163,6 +163,7 @@ class IVFIndex:
         seed: int = 0,
         iterations: Optional[int] = None,
         sample: Optional[int] = None,
+        exec_policy=None,
         v_checksum: Optional[str] = None,
         source: Optional[str] = None,
     ) -> "IVFIndex":
@@ -174,8 +175,10 @@ class IVFIndex:
             ``(|V|, k)`` item embeddings.
         n_cells:
             Cell count (``None``: the ``sqrt(|V|)`` heuristic).
-        seed, iterations, sample:
-            Forwarded to :func:`repro.ann.kmeans.kmeans_fit`.
+        seed, iterations, sample, exec_policy:
+            Forwarded to :func:`repro.ann.kmeans.kmeans_fit`
+            (``exec_policy`` threads the assignment sweeps; the fit is
+            bit-identical at every thread count).
         v_checksum:
             Digest to record as provenance (``None``: computed from ``v``
             itself — pass the manifest's recorded digest when building from
@@ -196,6 +199,7 @@ class IVFIndex:
             seed=seed,
             iterations=DEFAULT_ITERATIONS if iterations is None else iterations,
             sample=DEFAULT_SAMPLE if sample is None else sample,
+            exec_policy=exec_policy,
         )
         n_cells = centroids.shape[0]  # kmeans clips to the point count
         counts = np.bincount(labels, minlength=n_cells)

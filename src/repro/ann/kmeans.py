@@ -35,6 +35,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..linalg.parallel import ExecPolicy, ParallelExecutor
+from ..obs import active as _obs_active
+
 __all__ = ["kmeans_fit", "assign_clusters", "DEFAULT_ITERATIONS", "DEFAULT_SAMPLE"]
 
 #: Lloyd iterations; the quantizer only routes, so a handful suffices.
@@ -48,10 +51,45 @@ DEFAULT_SAMPLE = 65_536
 _CHUNK_ENTRIES = 1 << 24
 
 
+def _assign_span(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    c_norms: np.ndarray,
+    labels: np.ndarray,
+    distances: np.ndarray,
+    lo: int,
+    hi: int,
+) -> None:
+    """Assign one contiguous point span (writes disjoint output slices)."""
+    block = points[lo:hi]
+    d2 = block @ centroids.T
+    d2 *= -2.0
+    d2 += c_norms[None, :]
+    d2 += np.einsum("ij,ij->i", block, block)[:, None]
+    picked = np.argmin(d2, axis=1)
+    labels[lo:hi] = picked
+    np.maximum(
+        np.take_along_axis(d2, picked[:, None], axis=1)[:, 0],
+        0.0,
+        out=distances[lo:hi],
+    )
+
+
 def assign_clusters(
-    points: np.ndarray, centroids: np.ndarray
+    points: np.ndarray,
+    centroids: np.ndarray,
+    *,
+    exec_policy: Optional[ExecPolicy] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Nearest-centroid labels (ties to the smallest index) and distances.
+
+    The sweep is chunked by ``_CHUNK_ENTRIES`` alone — the span partition
+    never depends on the thread count — and each span writes disjoint
+    output slices with an unchanged operation order, so labels and
+    distances are bit-identical at every ``exec_policy.n_threads``
+    (pinned in ``tests/test_ann.py``).  ``exec_policy=None`` resolves from
+    the environment (``REPRO_NUM_THREADS``), the same default the linalg
+    kernels use.
 
     Returns
     -------
@@ -62,23 +100,33 @@ def assign_clusters(
     """
     points = np.asarray(points, dtype=np.float64)
     centroids = np.asarray(centroids, dtype=np.float64)
+    policy = exec_policy if exec_policy is not None else ExecPolicy.from_env()
     n = points.shape[0]
+    n_centroids = max(1, centroids.shape[0])
     labels = np.empty(n, dtype=np.int64)
     distances = np.empty(n, dtype=np.float64)
     c_norms = np.einsum("ij,ij->i", centroids, centroids)
-    chunk = max(1, _CHUNK_ENTRIES // max(1, centroids.shape[0]))
-    for lo in range(0, n, chunk):
-        block = points[lo : lo + chunk]
-        d2 = block @ centroids.T
-        d2 *= -2.0
-        d2 += c_norms[None, :]
-        d2 += np.einsum("ij,ij->i", block, block)[:, None]
-        picked = np.argmin(d2, axis=1)
-        labels[lo : lo + chunk] = picked
-        np.maximum(
-            np.take_along_axis(d2, picked[:, None], axis=1)[:, 0],
-            0.0,
-            out=distances[lo : lo + chunk],
+    chunk = max(1, _CHUNK_ENTRIES // n_centroids)
+    spans = [(lo, min(n, lo + chunk)) for lo in range(0, n, chunk)]
+    collector = _obs_active()
+    for lo, hi in spans:
+        collector.count_gemm(hi - lo, points.shape[1], centroids.shape[0])
+    n_workers = policy.shards_for(n * n_centroids, len(spans))
+    collector.note_threads(n_workers)
+    if n_workers <= 1:
+        for lo, hi in spans:
+            _assign_span(points, centroids, c_norms, labels, distances, lo, hi)
+    else:
+        executor = ParallelExecutor(policy)
+        executor.run(
+            [
+                (
+                    lambda lo=lo, hi=hi: _assign_span(
+                        points, centroids, c_norms, labels, distances, lo, hi
+                    )
+                )
+                for lo, hi in spans
+            ]
         )
     return labels, distances
 
@@ -121,6 +169,7 @@ def kmeans_fit(
     seed: int = 0,
     iterations: int = DEFAULT_ITERATIONS,
     sample: Optional[int] = DEFAULT_SAMPLE,
+    exec_policy: Optional[ExecPolicy] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Train a coarse quantizer; return ``(centroids, labels)``.
 
@@ -140,6 +189,12 @@ def kmeans_fit(
         Train on at most this many points (``None``: all).  The returned
         ``labels`` always cover the *full* collection via one final
         assignment sweep.
+    exec_policy:
+        Thread policy for the assignment sweeps' distance GEMMs
+        (``None``: resolve from ``REPRO_NUM_THREADS``).  Parallelism never
+        changes the fit — assignments are bit-identical at every thread
+        count, so the whole fit stays a pure function of
+        ``(points, n_clusters, seed, iterations, sample)``.
     """
     points = np.ascontiguousarray(points, dtype=np.float64)
     if points.ndim != 2:
@@ -158,9 +213,13 @@ def kmeans_fit(
     ].copy()
 
     for _ in range(max(0, int(iterations))):
-        labels, distances = assign_clusters(train, centroids)
+        labels, distances = assign_clusters(
+            train, centroids, exec_policy=exec_policy
+        )
         while _repair_empty(train, centroids, labels, distances):
-            labels, distances = assign_clusters(train, centroids)
+            labels, distances = assign_clusters(
+                train, centroids, exec_policy=exec_policy
+            )
         # Mean update via bincount — one pass, no per-cluster Python loop.
         # A cell left empty by the repair loop (duplicate-heavy data) keeps
         # its centroid instead of dividing by zero.
@@ -171,9 +230,13 @@ def kmeans_fit(
         centroids = centroids.copy()
         centroids[filled] = sums[filled] / counts[filled, None].astype(np.float64)
 
-    labels, distances = assign_clusters(points, centroids)
+    labels, distances = assign_clusters(
+        points, centroids, exec_policy=exec_policy
+    )
     if train is points:
         # Training saw every point, so empty cells are repairable here too.
         while _repair_empty(points, centroids, labels, distances):
-            labels, distances = assign_clusters(points, centroids)
+            labels, distances = assign_clusters(
+                points, centroids, exec_policy=exec_policy
+            )
     return centroids, labels

@@ -98,6 +98,26 @@ def _ann_as_run(row: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _quant_as_run(row: Dict[str, Any]) -> Dict[str, Any]:
+    """A quant row viewed as a regular run row for the diff machinery.
+
+    The ``policy`` slot encodes codec and load mode (``quant:int8/mmap``,
+    ``quant:exact/eager``) and the deterministic margin-reranked
+    ``candidates`` counter stands in for ``matvecs`` — the stand-in and
+    codec are seeded, so candidate drift between runs of the same config
+    means the margin itself moved.
+    """
+    label = f"quant:{row['mode']}/{'mmap' if row['mmap'] else 'eager'}"
+    return {
+        "method": row["method"],
+        "dataset": row["dataset"],
+        "policy": label,
+        "threads": 1,
+        "wall_seconds": row["wall_seconds"],
+        "matvecs": row["candidates"],
+    }
+
+
 def compare_bench(
     old: Dict[str, Any],
     new: Dict[str, Any],
@@ -118,8 +138,10 @@ def compare_bench(
       snapshot (always a real schedule change);
     * ``invariant_violations`` — ``matvecs_equal`` failures inside the
       fresh run's own comparisons, ``lists_equal`` failures inside its
-      topk comparisons (batched retrieval diverging from per-user), and
-      full-probe ann rows whose lists diverge from the exact engine;
+      topk comparisons (batched retrieval diverging from per-user),
+      full-probe ann rows whose lists diverge from the exact engine, and
+      quant rows whose lists diverge from the exact engine over the
+      dequantized arrays;
     * ``missing`` / ``added`` — cell keys only in the old / new document;
     * ``noise`` — the threshold used.
     """
@@ -144,6 +166,14 @@ def compare_bench(
     new_runs.update(
         (_run_key(row), row)
         for row in map(_ann_as_run, new.get("ann_runs", []))
+    )
+    old_runs.update(
+        (_run_key(row), row)
+        for row in map(_quant_as_run, old.get("quant_runs", []))
+    )
+    new_runs.update(
+        (_run_key(row), row)
+        for row in map(_quant_as_run, new.get("quant_runs", []))
     )
     rows: List[Dict[str, Any]] = []
     for key in new_runs:
@@ -189,6 +219,14 @@ def compare_bench(
             if row["mode"] == "ivf"
             and row["nprobe"] >= row["cells"]
             and not row["exact_match"]
+        ]
+        + [
+            # The quant axis's hard invariant: every row's lists must be
+            # element-identical to the exact engine over the dequantized
+            # arrays — a mismatch is the margin rerank failing, not noise.
+            row
+            for row in new.get("quant_runs", [])
+            if not row["lists_equal"]
         ],
         "missing": sorted(key for key in old_runs if key not in new_runs),
         "added": sorted(key for key in new_runs if key not in old_runs),

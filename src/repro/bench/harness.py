@@ -121,6 +121,20 @@ class BenchConfig:
         The probed-cell counts to sweep (each clipped to the cell count).
     ann_n:
         Recommendation list length for the ANN axis (recall@``ann_n``).
+    quant:
+        Run the quantized-artifact axis: publish the stand-in embeddings
+        exact and per-codec (float16/int8), time eager vs memory-mapped
+        artifact loads, measure per-query retrieval latency and resident
+        bytes, and hard-check every quantized row's lists against the
+        exact engine over the dequantized arrays (``lists_equal`` — the
+        differential anchor; the compare machinery treats a mismatch as an
+        invariant violation).
+    quant_items, quant_queries:
+        Stand-in item-matrix rows and query count for the quant axis.
+    quant_dtypes:
+        The codecs to sweep (subset of ``{"float16", "int8"}``).
+    quant_n:
+        Recommendation list length for the quant axis.
     """
 
     datasets: Tuple[str, ...] = ("dblp", "mag")
@@ -144,6 +158,11 @@ class BenchConfig:
     ann_cells: Optional[int] = None
     ann_nprobe: Tuple[int, ...] = (1, 4, 16, 64)
     ann_n: int = 100
+    quant: bool = False
+    quant_items: int = 1_200_000
+    quant_queries: int = 64
+    quant_dtypes: Tuple[str, ...] = ("float16", "int8")
+    quant_n: int = 100
 
     @classmethod
     def smoke(cls) -> "BenchConfig":
@@ -160,6 +179,9 @@ class BenchConfig:
             ann_queries=16,
             ann_nprobe=(1, 2, 8),
             ann_n=10,
+            quant_items=5_000,
+            quant_queries=16,
+            quant_n=10,
         )
 
     def policies(self) -> List[DtypePolicy]:
@@ -685,6 +707,190 @@ def _run_ann_axis(
     return rows
 
 
+def _quant_progress(row: Dict[str, Any]) -> None:
+    print(
+        f"  quant {row['mode']:<8} {row['dataset']:<16} "
+        f"{'mmap' if row['mmap'] else 'eager':<6} "
+        f"load={row['load_seconds'] * 1e3:8.1f}ms "
+        f"(x{row['load_speedup']:.1f}) "
+        f"res={row['resident_bytes'] / 1e6:7.1f}MB "
+        f"p50={row['p50_ms']:7.2f}ms "
+        f"lists={'ok' if row['lists_equal'] else 'MISMATCH'}",
+        file=sys.stderr,
+    )
+
+
+def _run_quant_axis(
+    config: BenchConfig, *, progress: bool = False
+) -> List[Dict[str, Any]]:
+    """The quantized-artifact axis on the clustered item stand-in.
+
+    Four rows: the exact artifact loaded eagerly (the pre-mmap baseline
+    every ``load_speedup`` is measured against), the same artifact
+    memory-mapped, then one memory-mapped row per configured codec served
+    through :class:`~repro.tasks.topk.QuantizedTopKEngine`.  Load times
+    use ``verify=False`` — the hot verify-then-swap reload path, where
+    mmap's page-cache sharing is the whole point.
+
+    ``lists_equal`` is the axis's hard invariant: each quantized row's
+    top-``n`` lists must be element-identical to a plain
+    :class:`~repro.tasks.topk.TopKEngine` over the dequantized arrays
+    (the margin rerank's exactness claim, exercised at bench scale); the
+    exact mmap row must match the eager row the same way.  The compare
+    machinery treats a ``false`` as an invariant violation, same class as
+    matvec drift.
+    """
+    from ..serve.artifacts import ArtifactStore
+    from ..serve.service import percentile
+    from ..tasks.topk import QuantizedTopKEngine
+
+    num_items = int(config.quant_items)
+    num_queries = max(1, int(config.quant_queries))
+    if num_items < 1:
+        raise ValueError(f"quant_items must be >= 1, got {config.quant_items}")
+    for quant_dtype in config.quant_dtypes:
+        if quant_dtype not in ("float16", "int8"):
+            raise ValueError(
+                f"quant_dtypes must be float16/int8, got {quant_dtype!r}"
+            )
+    v, u = _ann_standin(
+        num_items, num_queries, config.dimension, config.seed
+    )
+    dataset = f"standin_{num_items}"
+    n = max(1, min(int(config.quant_n), num_items))
+    policy = DtypePolicy.default().with_threads(1)
+    base = {
+        "method": "quant-artifact",
+        "dataset": dataset,
+        "num_users": num_queries,
+        "num_items": num_items,
+        "n": n,
+    }
+    rows: List[Dict[str, Any]] = []
+
+    def finish(row: Dict[str, Any]) -> Dict[str, Any]:
+        rows.append(row)
+        if progress:
+            _quant_progress(row)
+        return row
+
+    def latency_sweep(engine) -> Tuple[np.ndarray, List[float]]:
+        lists = engine.top_items(n)
+        latencies: List[float] = []
+        for row in range(num_queries):
+            started = time.perf_counter()
+            engine.top_items(n, users=np.array([row], dtype=np.int64))
+            latencies.append(time.perf_counter() - started)
+        return lists, latencies
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-quant-") as tmp:
+        store = ArtifactStore(tmp)
+
+        def publish_and_load(quantize, mmap):
+            started = time.perf_counter()
+            ref = store.publish(
+                "standin", u, v, dataset=dataset, quantize=quantize
+            )
+            publish_seconds = time.perf_counter() - started
+            artifact_bytes = sum(
+                entry.stat().st_size for entry in ref.path.iterdir()
+            )
+            started = time.perf_counter()
+            loaded = store.load(
+                "standin", ref.version, verify=False, mmap=mmap
+            )
+            load_seconds = time.perf_counter() - started
+            return loaded, publish_seconds, load_seconds, artifact_bytes
+
+        # The eager exact row anchors every load_speedup.
+        loaded, publish_s, eager_load, artifact_bytes = publish_and_load(
+            None, False
+        )
+        engine = TopKEngine(
+            loaded.u, loaded.v, policy=policy
+        )
+        reference, latencies = latency_sweep(engine)
+        finish(
+            {
+                **base,
+                "mode": "exact",
+                "mmap": False,
+                "publish_seconds": publish_s,
+                "load_seconds": eager_load,
+                "load_speedup": 1.0,
+                "artifact_bytes": artifact_bytes,
+                "resident_bytes": engine.resident_bytes(),
+                "wall_seconds": sum(latencies),
+                "p50_ms": percentile(latencies, 50) * 1e3,
+                "p95_ms": percentile(latencies, 95) * 1e3,
+                "candidates": 0,
+                "lists_equal": True,
+            }
+        )
+
+        # The same artifact memory-mapped: the pure-mmap load win.
+        started = time.perf_counter()
+        loaded = store.load("standin", verify=False, mmap=True)
+        mmap_load = time.perf_counter() - started
+        engine = TopKEngine(loaded.u, loaded.v, policy=policy)
+        lists, latencies = latency_sweep(engine)
+        finish(
+            {
+                **base,
+                "mode": "exact",
+                "mmap": True,
+                "publish_seconds": publish_s,
+                "load_seconds": mmap_load,
+                "load_speedup": eager_load / max(mmap_load, 1e-9),
+                "artifact_bytes": artifact_bytes,
+                "resident_bytes": engine.resident_bytes(),
+                "wall_seconds": sum(latencies),
+                "p50_ms": percentile(latencies, 50) * 1e3,
+                "p95_ms": percentile(latencies, 95) * 1e3,
+                "candidates": 0,
+                "lists_equal": bool(np.array_equal(lists, reference)),
+            }
+        )
+
+        for quant_dtype in config.quant_dtypes:
+            loaded, publish_s, load_s, artifact_bytes = publish_and_load(
+                quant_dtype, True
+            )
+            engine = QuantizedTopKEngine(
+                loaded.u,
+                loaded.u_scales,
+                loaded.v,
+                loaded.v_scales,
+                quant_dtype=quant_dtype,
+                policy=policy,
+            )
+            lists, latencies = latency_sweep(engine)
+            # The exactness claim is against the engine's *dequantized*
+            # matrices (quantization legitimately moves the embeddings;
+            # the rerank must not move the lists on top of that).
+            exact_engine = TopKEngine(*engine.dequantized(), policy=policy)
+            finish(
+                {
+                    **base,
+                    "mode": quant_dtype,
+                    "mmap": True,
+                    "publish_seconds": publish_s,
+                    "load_seconds": load_s,
+                    "load_speedup": eager_load / max(load_s, 1e-9),
+                    "artifact_bytes": artifact_bytes,
+                    "resident_bytes": engine.resident_bytes(),
+                    "wall_seconds": sum(latencies),
+                    "p50_ms": percentile(latencies, 50) * 1e3,
+                    "p95_ms": percentile(latencies, 95) * 1e3,
+                    "candidates": int(engine.reranked_candidates),
+                    "lists_equal": bool(
+                        np.array_equal(lists, exact_engine.top_items(n))
+                    ),
+                }
+            )
+    return rows
+
+
 def _environment() -> Dict[str, Any]:
     return {
         "python": sys.version.split()[0],
@@ -797,6 +1003,10 @@ def run_bench(
         # The ANN axis runs once, not per dataset: its workload is the
         # synthetic clustered stand-in, sized past any zoo graph.
         ann_runs = _run_ann_axis(config, progress=progress)
+    quant_runs: List[Dict[str, Any]] = []
+    if config.quant:
+        # Like the ANN axis, once and dataset-independent.
+        quant_runs = _run_quant_axis(config, progress=progress)
     payload = {
         "schema": BENCH_SCHEMA_NAME,
         "version": BENCH_SCHEMA_VERSION,
@@ -805,7 +1015,8 @@ def run_bench(
                    "methods": list(config.methods),
                    "threads": list(config.threads),
                    "topk_block_rows": list(config.topk_block_rows),
-                   "ann_nprobe": list(config.ann_nprobe)},
+                   "ann_nprobe": list(config.ann_nprobe),
+                   "quant_dtypes": list(config.quant_dtypes)},
         "environment": _environment(),
         "runs": runs,
         "comparisons": _comparisons(runs),
@@ -813,6 +1024,7 @@ def run_bench(
         "topk_comparisons": topk_comparisons,
         "serve_runs": serve_runs,
         "ann_runs": ann_runs,
+        "quant_runs": quant_runs,
     }
     return validate_bench(payload)
 
@@ -909,5 +1121,26 @@ def render_bench(payload: Dict[str, Any]) -> str:
                 f"{run['p50_ms']:>9.2f}{run['p95_ms']:>9.2f}"
                 f"{run['recall_at_n']:>8.3f}"
                 f"{'y' if run['exact_match'] else 'n':>7}"
+            )
+    if payload.get("quant_runs"):
+        lines.append(
+            "quantized artifacts (exact/eager row is the load baseline; "
+            "lists hard-checked against the exact engine)"
+        )
+        header = (
+            f"{'quant mode':<12}{'dataset':<17}{'mmap':>6}{'load ms':>10}"
+            f"{'x load':>8}{'res MB':>9}{'p50 ms':>9}{'p95 ms':>9}{'lists':>7}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for run in payload["quant_runs"]:
+            lines.append(
+                f"{run['mode']:<12}{run['dataset']:<17}"
+                f"{'y' if run['mmap'] else 'n':>6}"
+                f"{run['load_seconds'] * 1e3:>10.1f}"
+                f"{run['load_speedup']:>8.1f}"
+                f"{run['resident_bytes'] / 1e6:>9.1f}"
+                f"{run['p50_ms']:>9.2f}{run['p95_ms']:>9.2f}"
+                f"{'ok' if run['lists_equal'] else 'BAD':>7}"
             )
     return "\n".join(lines)

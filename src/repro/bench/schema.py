@@ -31,7 +31,8 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
       "topk_runs": [TopkRun, ...],
       "topk_comparisons": [TopkComparison, ...],
       "serve_runs": [ServeRun, ...],
-      "ann_runs": [AnnRun, ...]
+      "ann_runs": [AnnRun, ...],
+      "quant_runs": [QuantRun, ...]
     }
 
     Run: {
@@ -104,7 +105,30 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
       "exact_match": bool         # lists element-identical to exact
     }
 
-Version history: v5 added the ANN axis (``ann_runs`` and the ``ann_*``
+    QuantRun: {                   # the quantized-artifact axis: publish,
+      "method": str, "dataset": str,      # load, and query one codec
+      "mode": str,                # "exact" | "float16" | "int8"
+      "mmap": bool,               # arrays memory-mapped at load
+      "num_users": int, "num_items": int, "n": int,
+      "publish_seconds": float,   # ArtifactStore.publish wall
+      "load_seconds": float,      # ArtifactStore.load wall (verify off —
+                                  # the hot verify-then-swap reload path)
+      "load_speedup": float,      # exact eager load_seconds / this row's
+      "artifact_bytes": int,      # on-disk bytes of the version directory
+      "resident_bytes": int,      # engine-resident bytes after staging
+      "wall_seconds": float,      # whole query sweep
+      "p50_ms": float,            # per-query-block latency percentiles
+      "p95_ms": float,
+      "candidates": int,          # margin-reranked (user, item) pairs
+      "lists_equal": bool         # HARD invariant: lists identical to the
+    }                             # exact engine's (scores included)
+
+Version history: v6 added the quantized-artifact axis (``quant_runs`` and
+the ``quant_*`` config switches): per-codec publish/load/query rows over a
+large item stand-in, with memory-mapped loads timed against the exact
+eager baseline and every quantized row's recommendation lists hard-checked
+against the exact engine.  Older documents upgrade with the axis absent.
+v5 added the ANN axis (``ann_runs`` and the ``ann_*``
 config switches): per-query p50/p95 latency and measured recall@n of the
 IVF index of :mod:`repro.ann` over a 1M+ item synthetic stand-in, with the
 full-probe row pinned element-identical to the exact engine.  Older
@@ -137,7 +161,7 @@ __all__ = [
 ]
 
 BENCH_SCHEMA_NAME = "repro.bench.results"
-BENCH_SCHEMA_VERSION = 5
+BENCH_SCHEMA_VERSION = 6
 
 _CONFIG_KEYS = {
     "datasets": list,
@@ -161,6 +185,11 @@ _CONFIG_KEYS = {
     "ann_cells": (int, type(None)),
     "ann_nprobe": list,
     "ann_n": int,
+    "quant": bool,
+    "quant_items": int,
+    "quant_queries": int,
+    "quant_dtypes": list,
+    "quant_n": int,
 }
 _ENVIRONMENT_KEYS = {
     "python": str,
@@ -257,6 +286,26 @@ _ANN_RUN_KEYS = {
     "exact_match": bool,
 }
 _ANN_MODES = ("exact", "ivf")
+_QUANT_RUN_KEYS = {
+    "method": str,
+    "dataset": str,
+    "mode": str,
+    "mmap": bool,
+    "num_users": int,
+    "num_items": int,
+    "n": int,
+    "publish_seconds": (int, float),
+    "load_seconds": (int, float),
+    "load_speedup": (int, float),
+    "artifact_bytes": int,
+    "resident_bytes": int,
+    "wall_seconds": (int, float),
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "candidates": int,
+    "lists_equal": bool,
+}
+_QUANT_MODES = ("exact", "float16", "int8")
 
 
 def _fail(message: str) -> None:
@@ -324,7 +373,7 @@ def upgrade_bench(payload: Any) -> Any:
             config.setdefault("serve_requests", 32)
         payload.setdefault("serve_runs", [])
     if payload.get("version") == 4:
-        payload["version"] = BENCH_SCHEMA_VERSION
+        payload["version"] = 5
         config = payload.get("config")
         if isinstance(config, dict):
             config.setdefault("ann", False)
@@ -334,6 +383,16 @@ def upgrade_bench(payload: Any) -> Any:
             config.setdefault("ann_nprobe", [])
             config.setdefault("ann_n", 100)
         payload.setdefault("ann_runs", [])
+    if payload.get("version") == 5:
+        payload["version"] = BENCH_SCHEMA_VERSION
+        config = payload.get("config")
+        if isinstance(config, dict):
+            config.setdefault("quant", False)
+            config.setdefault("quant_items", 0)
+            config.setdefault("quant_queries", 0)
+            config.setdefault("quant_dtypes", [])
+            config.setdefault("quant_n", 100)
+        payload.setdefault("quant_runs", [])
     return payload
 
 
@@ -372,8 +431,20 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
     ann_runs = payload.get("ann_runs")
     if not isinstance(ann_runs, list):
         _fail("ann_runs must be a list")
-    if not runs and not topk_runs and not serve_runs and not ann_runs:
-        _fail("runs, topk_runs, serve_runs, and ann_runs must not all be empty")
+    quant_runs = payload.get("quant_runs")
+    if not isinstance(quant_runs, list):
+        _fail("quant_runs must be a list")
+    if (
+        not runs
+        and not topk_runs
+        and not serve_runs
+        and not ann_runs
+        and not quant_runs
+    ):
+        _fail(
+            "runs, topk_runs, serve_runs, ann_runs, and quant_runs must "
+            "not all be empty"
+        )
     for index, run in enumerate(runs):
         where = f"runs[{index}]"
         _check_object(run, _RUN_KEYS, where)
@@ -462,4 +533,30 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
                 _fail(f"{where}.{key} must be non-negative")
         if not 0.0 <= run["recall_at_n"] <= 1.0:
             _fail(f"{where}.recall_at_n must be within [0, 1]")
+    for index, run in enumerate(quant_runs):
+        where = f"quant_runs[{index}]"
+        _check_object(run, _QUANT_RUN_KEYS, where)
+        if run["mode"] not in _QUANT_MODES:
+            _fail(f"{where}.mode must be one of {_QUANT_MODES}")
+        if run["load_speedup"] <= 0:
+            _fail(f"{where}.load_speedup must be positive")
+        for key in (
+            "num_users",
+            "num_items",
+            "n",
+            "artifact_bytes",
+            "resident_bytes",
+            "candidates",
+        ):
+            if run[key] < 0:
+                _fail(f"{where}.{key} must be non-negative")
+        for key in (
+            "publish_seconds",
+            "load_seconds",
+            "wall_seconds",
+            "p50_ms",
+            "p95_ms",
+        ):
+            if run[key] < 0:
+                _fail(f"{where}.{key} must be non-negative")
     return payload

@@ -184,6 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="cells probed per query with --index "
         "(default: all cells — exact full probe)",
     )
+    query.add_argument(
+        "--quantize",
+        choices=("float16", "int8"),
+        help="quantize the embeddings per column and retrieve through the "
+        "margin-reranked quantized engine (lists identical to the exact "
+        "engine over the dequantized values); mutually exclusive with "
+        "--index",
+    )
 
     evaluate = commands.add_parser(
         "evaluate", help="run the paper's recommendation or LP protocol"
@@ -323,6 +331,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="probed-cell counts to sweep (default: 1 4 16 64; a full-probe "
         "row always rides along)",
     )
+    bench.add_argument(
+        "--quant",
+        action="store_true",
+        help="also run the quantized-artifact axis: publish float32/float16/"
+        "int8 artifacts of a large stand-in, measure mmap vs eager load "
+        "time, resident bytes, and query latency, and hard-assert the "
+        "quantized engines' lists match the exact engine's",
+    )
+    bench.add_argument(
+        "--quant-only",
+        action="store_true",
+        help="run only the quantized-artifact axis (implies --quant)",
+    )
+    bench.add_argument(
+        "--quant-items",
+        type=int,
+        metavar="N",
+        help="stand-in item count for the quant axis (default: 1200000)",
+    )
+    bench.add_argument(
+        "--quant-dtypes",
+        nargs="+",
+        choices=("float16", "int8"),
+        metavar="DTYPE",
+        help="codecs to sweep on the quant axis (default: float16 int8)",
+    )
 
     publish = commands.add_parser(
         "publish",
@@ -345,6 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     publish.add_argument("--method", help="method name recorded in the manifest")
     publish.add_argument("--dataset", help="dataset name recorded in the manifest")
+    publish.add_argument(
+        "--quantize",
+        choices=("float16", "int8"),
+        help="store the embeddings as per-column-quantized codes + scales; "
+        "the server reranks through an exact float64 margin, so top-k "
+        "lists stay identical to the unquantized artifact's engine over "
+        "the same codes",
+    )
 
     index = commands.add_parser(
         "index",
@@ -454,6 +496,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="P",
         help="cells probed per ANN query (requires --ann; default: all "
         "cells — exact full probe)",
+    )
+    serve.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="load artifact arrays eagerly instead of memory-mapping them "
+        "(mmap is the default: near-instant loads, page cache shared "
+        "across processes)",
     )
     serve.add_argument(
         "--smoke",
@@ -598,6 +647,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.nprobe is not None and args.index is None:
         print("error: --nprobe requires --index", file=sys.stderr)
         return 2
+    if args.quantize is not None and args.index is not None:
+        print(
+            "error: --quantize and --index are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
     users = (
         None
         if args.users is None
@@ -648,9 +703,29 @@ def _cmd_query(args: argparse.Namespace) -> int:
             n_keep = min(args.n, index.num_items)
         else:
             try:
-                engine = TopKEngine(
-                    u, v, policy=policy, block_rows=args.block_rows
-                )
+                if args.quantize is not None:
+                    from .core.quantize import quantize_columns
+                    from .tasks.topk import QuantizedTopKEngine
+
+                    u_codes, u_scales = quantize_columns(
+                        np.asarray(u, dtype=np.float64), args.quantize
+                    )
+                    v_codes, v_scales = quantize_columns(
+                        np.asarray(v, dtype=np.float64), args.quantize
+                    )
+                    engine = QuantizedTopKEngine(
+                        u_codes,
+                        u_scales,
+                        v_codes,
+                        v_scales,
+                        quant_dtype=args.quantize,
+                        policy=policy,
+                        block_rows=args.block_rows,
+                    )
+                else:
+                    engine = TopKEngine(
+                        u, v, policy=policy, block_rows=args.block_rows
+                    )
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
@@ -825,6 +900,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print("error: --ann-nprobe values must be >= 1", file=sys.stderr)
             return 2
         overrides["ann_nprobe"] = tuple(args.ann_nprobe)
+    if args.quant_only and (args.topk_only or args.ann_only):
+        print(
+            "error: --quant-only conflicts with --topk-only/--ann-only",
+            file=sys.stderr,
+        )
+        return 2
+    if args.quant or args.quant_only:
+        overrides["quant"] = True
+    if args.quant_only:
+        overrides["fit_grid"] = False
+        overrides["topk"] = False
+    if args.quant_items is not None:
+        if args.quant_items < 1:
+            print("error: --quant-items must be >= 1", file=sys.stderr)
+            return 2
+        overrides["quant_items"] = args.quant_items
+    if args.quant_dtypes is not None:
+        overrides["quant_dtypes"] = tuple(dict.fromkeys(args.quant_dtypes))
     config = replace(config, **overrides)
 
     baseline = None
@@ -842,7 +935,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"wrote {len(payload['runs'])} runs + "
         f"{len(payload['topk_runs'])} topk runs + "
         f"{len(payload['serve_runs'])} serve runs + "
-        f"{len(payload['ann_runs'])} ann runs -> {args.output}"
+        f"{len(payload['ann_runs'])} ann runs + "
+        f"{len(payload['quant_runs'])} quant runs -> {args.output}"
     )
     status = 0
     mismatches = [
@@ -889,6 +983,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         status = 1
+    quant_mismatches = [
+        row for row in payload["quant_runs"] if not row["lists_equal"]
+    ]
+    if quant_mismatches:
+        print(
+            "error: quantized top-k lists diverge from the exact engine "
+            f"({len(quant_mismatches)} rows)",
+            file=sys.stderr,
+        )
+        status = 1
     if baseline is not None:
         kwargs = {} if args.noise is None else {"noise": args.noise}
         result = compare_bench(baseline, payload, **kwargs)
@@ -931,15 +1035,18 @@ def _cmd_publish(args: argparse.Namespace) -> int:
             graph=graph,
             method=args.method,
             dataset=args.dataset,
+            quantize=args.quantize,
         )
-    except ArtifactError as exc:
+    except (ArtifactError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     manifest = ref.manifest
+    quant = f", quantized={ref.quantize}" if ref.quantize else ""
     print(
         f"published {ref.tag} -> {ref.path} "
         f"(|U|={manifest['num_u']}, |V|={manifest['num_v']}, "
-        f"k={manifest['dimension']}, graph={'yes' if ref.has_graph else 'no'})"
+        f"k={manifest['dimension']}, "
+        f"graph={'yes' if ref.has_graph else 'no'}{quant})"
     )
     return 0
 
@@ -947,7 +1054,6 @@ def _cmd_publish(args: argparse.Namespace) -> int:
 def _cmd_index(args: argparse.Namespace) -> int:
     from .ann import INDEX_FILE, IVFIndex
     from .serve import ArtifactError, ArtifactStore
-    from .serve.artifacts import EMBEDDINGS_FILE, load_embedding_arrays
 
     if args.cells is not None and args.cells < 1:
         print("error: --cells must be >= 1", file=sys.stderr)
@@ -955,14 +1061,20 @@ def _cmd_index(args: argparse.Namespace) -> int:
     store = ArtifactStore(args.store)
     try:
         ref = store.resolve(args.name, args.artifact_version)
-        store.verify(ref)
-        _, v = load_embedding_arrays(ref.path / EMBEDDINGS_FILE)
+        if ref.quantize is not None:
+            raise ArtifactError(
+                f"{ref.tag} is quantized ({ref.quantize}); the IVF index "
+                "needs the exact float embeddings — republish without "
+                "--quantize to index"
+            )
+        loaded = store.load(args.name, args.artifact_version)
+        v = np.asarray(loaded.v, dtype=np.float64)
     except ArtifactError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     # Record the manifest's own digest of the v array as the index's
     # provenance, so load() can prove index and artifact version agree.
-    checksum = ref.manifest["files"][EMBEDDINGS_FILE]["v"]["blake2b"]
+    checksum = store.v_checksum(ref)
     index = IVFIndex.build(
         v,
         n_cells=args.cells,
@@ -1119,6 +1231,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             shards=shards,
             ann=args.ann,
             nprobe=args.nprobe,
+            mmap=not args.no_mmap,
         )
         config = ServerConfig(
             host=args.host,
@@ -1140,6 +1253,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         mode = f"; ann (nprobe={probe})"
     elif shards is not None:
         mode = f"; {shards.n_shards} shards ({shards.on_failure})"
+    elif service.quantize is not None:
+        mode = f"; quantized ({service.quantize}, exact margin rerank)"
     print(
         f"serving {service.artifact.tag} on http://{host}:{port} "
         f"({service.num_users} users x {service.num_items} items{mode}; "

@@ -34,20 +34,22 @@ from .artifacts import (
     array_checksum,
     load_embedding_arrays,
 )
-from .batcher import BatchStats, MicroBatcher, QueueFull
+from .batcher import BatcherClosed, BatchStats, MicroBatcher, QueueFull
 from .server import EmbeddingServer, ServerConfig
 from .service import EmbeddingService, ServiceMetrics
-from .sharded import ShardConfig, ShardFailure, ShardedTopK
+from .sharded import PoolClosedError, ShardConfig, ShardFailure, ShardedTopK
 
 __all__ = [
     "ArtifactError",
     "ArtifactRef",
     "ArtifactStore",
     "BatchStats",
+    "BatcherClosed",
     "EmbeddingServer",
     "EmbeddingService",
     "LoadedArtifact",
     "MicroBatcher",
+    "PoolClosedError",
     "QueueFull",
     "ServerConfig",
     "ServiceMetrics",

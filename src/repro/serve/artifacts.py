@@ -1,28 +1,48 @@
 """Versioned on-disk model artifacts for the serving tier.
 
 An *artifact* is everything a resident embedding service needs to answer
-queries: the ``u``/``v`` matrices a fit produced (the NPZ ``repro embed``
-writes) plus, optionally, the training graph whose edges the read-out masks.
-:class:`ArtifactStore` keeps artifacts under one root directory, one
-monotonically numbered version per publish::
+queries: the ``u``/``v`` matrices a fit produced plus, optionally, the
+training graph whose edges the read-out masks.  :class:`ArtifactStore`
+keeps artifacts under one root directory, one monotonically numbered
+version per publish::
 
     store_root/
       <name>/
         v0001/
           manifest.json        # schema, provenance, per-array checksums
-          embeddings.npz       # arrays u, v
+          u.npy                # U-side embeddings (codes when quantized)
+          v.npy                # V-side embeddings (codes when quantized)
+          u_scales.npy         # per-column scales (quantized publishes only)
+          v_scales.npy
           graph.npz            # optional: the training graph (CSR bundle)
         v0002/
           ...
 
+Two schema versions are readable:
+
+* **v2** (written by every publish since the quantized tier landed) stores
+  each embedding array as its own uncompressed ``.npy`` file, so
+  :meth:`ArtifactStore.load` memory-maps them (``np.load(mmap_mode="r")``).
+  N worker processes serving the same artifact share one page-cache copy,
+  and a verify-then-swap reload stops copying hundreds of megabytes — it
+  re-reads bytes only to checksum them.  ``publish(..., quantize="float16"
+  |"int8")`` stores per-column-quantized codes plus their scales
+  (:mod:`repro.core.quantize`), cutting the stored and resident bytes 4-8x
+  while the serving engine stays exact
+  (:class:`~repro.tasks.topk.QuantizedTopKEngine`).
+* **v1** (the compressed ``embeddings.npz`` layout of earlier publishes)
+  still resolves, verifies, and loads — eagerly, since compressed NPZ
+  members cannot be memory-mapped.  The upgrade path is publish-time only:
+  republishing any model writes v2.
+
 The manifest records a blake2b digest of every array (dtype + shape + raw
 bytes — the same content-fingerprint idiom as
-:func:`repro.linalg.spectrum_cache.matrix_fingerprint`), so
-:meth:`ArtifactStore.verify` detects a corrupt or hand-edited artifact
-before it ever reaches a kernel.  Publishes are crash-safe: the version
-directory is staged under a temporary name and renamed into place, so a
-reader never observes a half-written version and ``resolve`` (which picks
-the highest complete version) never serves one.
+:func:`repro.linalg.spectrum_cache.matrix_fingerprint`), quantization
+scales included, so :meth:`ArtifactStore.verify` detects a corrupt or
+hand-edited artifact before it ever reaches a kernel.  Publishes are
+crash-safe: the version directory is staged under a temporary name and
+renamed into place, so a reader never observes a half-written version and
+``resolve`` (which picks the highest complete version) never serves one.
 """
 
 from __future__ import annotations
@@ -39,6 +59,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..core.quantize import QUANT_DTYPES, quantize_columns
 from ..graph import BipartiteGraph, load_npz, save_npz
 
 __all__ = [
@@ -53,10 +74,17 @@ __all__ = [
 ]
 
 ARTIFACT_SCHEMA_NAME = "repro.serve.artifact"
-ARTIFACT_SCHEMA_VERSION = 1
+ARTIFACT_SCHEMA_VERSION = 2
 
 MANIFEST_FILE = "manifest.json"
+#: The v1 embeddings bundle (compressed NPZ); read-only legacy.
 EMBEDDINGS_FILE = "embeddings.npz"
+#: The v2 per-array layout: uncompressed ``.npy``, one array each, so
+#: ``np.load(mmap_mode="r")`` maps them instead of copying.
+U_FILE = "u.npy"
+V_FILE = "v.npy"
+U_SCALES_FILE = "u_scales.npy"
+V_SCALES_FILE = "v_scales.npy"
 GRAPH_FILE = "graph.npz"
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
@@ -74,12 +102,13 @@ def array_checksum(array: np.ndarray) -> str:
 
     Two arrays collide only if they are bit-identical in the same dtype and
     shape — exactly the condition under which serving them is equivalent.
+    Memory-mapped arrays hash straight from the page cache (no copy).
     """
     array = np.ascontiguousarray(array)
     digest = hashlib.blake2b(digest_size=16)
     digest.update(str(array.dtype).encode("ascii"))
     digest.update(np.asarray(array.shape, dtype=np.int64).tobytes())
-    digest.update(array.tobytes())
+    digest.update(array.data if array.flags.c_contiguous else array.tobytes())
     return digest.hexdigest()
 
 
@@ -138,15 +167,29 @@ class ArtifactRef:
         """Whether the artifact ships a training graph for edge masking."""
         return GRAPH_FILE in self.manifest["files"]
 
+    @property
+    def quantize(self) -> Optional[str]:
+        """The quantization codec (``None`` for exact float artifacts)."""
+        return self.manifest.get("quantize")
+
 
 @dataclass(frozen=True)
 class LoadedArtifact:
-    """The in-memory payload of one artifact version."""
+    """The in-memory payload of one artifact version.
+
+    For a quantized artifact ``u``/``v`` hold the stored *codes* (float16
+    or int8, usually memory-mapped) and ``u_scales``/``v_scales`` the
+    per-column scales; ``quantize`` names the codec.  Exact artifacts have
+    ``quantize is None`` and float arrays in ``u``/``v``.
+    """
 
     ref: ArtifactRef
     u: np.ndarray
     v: np.ndarray
     graph: Optional[BipartiteGraph]
+    quantize: Optional[str] = None
+    u_scales: Optional[np.ndarray] = None
+    v_scales: Optional[np.ndarray] = None
 
 
 def _validate_manifest(payload: Any, where: str) -> Dict[str, Any]:
@@ -157,9 +200,9 @@ def _validate_manifest(payload: Any, where: str) -> Dict[str, Any]:
         fail(f"top level must be an object, got {type(payload).__name__}")
     if payload.get("schema") != ARTIFACT_SCHEMA_NAME:
         fail(f"schema must be {ARTIFACT_SCHEMA_NAME!r}, got {payload.get('schema')!r}")
-    if payload.get("version") != ARTIFACT_SCHEMA_VERSION:
+    if payload.get("version") not in (1, ARTIFACT_SCHEMA_VERSION):
         fail(
-            f"version must be {ARTIFACT_SCHEMA_VERSION}, "
+            f"version must be 1 or {ARTIFACT_SCHEMA_VERSION}, "
             f"got {payload.get('version')!r}"
         )
     if not isinstance(payload.get("name"), str) or not payload["name"]:
@@ -178,11 +221,29 @@ def _validate_manifest(payload: Any, where: str) -> Dict[str, Any]:
     if not isinstance(payload.get("created"), str) or not payload["created"]:
         fail("created must be a non-empty string")
     files = payload.get("files")
-    if not isinstance(files, dict) or EMBEDDINGS_FILE not in files:
-        fail(f"files must be an object containing {EMBEDDINGS_FILE!r}")
+    if not isinstance(files, dict):
+        fail("files must be an object")
+    if payload["version"] == 1:
+        if EMBEDDINGS_FILE not in files:
+            fail(f"files must contain {EMBEDDINGS_FILE!r} (schema v1)")
+    else:
+        quantize = payload.get("quantize", "missing")
+        if quantize is not None and quantize not in QUANT_DTYPES:
+            fail(
+                f"quantize must be null or one of {list(QUANT_DTYPES)}, "
+                f"got {quantize!r}"
+            )
+        required = [U_FILE, V_FILE]
+        if quantize is not None:
+            required += [U_SCALES_FILE, V_SCALES_FILE]
+        missing = [filename for filename in required if filename not in files]
+        if missing:
+            fail(f"files must contain {missing} (schema v2)")
     for filename, arrays in files.items():
         if not isinstance(arrays, dict) or not arrays:
             fail(f"files[{filename!r}] must be a non-empty object")
+        if filename.endswith(".npy") and len(arrays) != 1:
+            fail(f"files[{filename!r}] must hold exactly one array (.npy)")
         for array_name, spec in arrays.items():
             if not isinstance(spec, dict):
                 fail(f"files[{filename!r}][{array_name!r}] must be an object")
@@ -220,6 +281,16 @@ def _npz_arrays(path: Path) -> Dict[str, np.ndarray]:
     """Every non-pickle member of an NPZ bundle, loaded eagerly."""
     with np.load(path, allow_pickle=False) as bundle:
         return {name: bundle[name] for name in bundle.files}
+
+
+def _load_npy(path: Path, *, mmap: bool) -> np.ndarray:
+    """One ``.npy`` array, memory-mapped read-only when asked."""
+    try:
+        return np.load(
+            path, allow_pickle=False, mmap_mode="r" if mmap else None
+        )
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"{path}: cannot read array: {exc}") from exc
 
 
 class ArtifactStore:
@@ -284,14 +355,26 @@ class ArtifactStore:
         method: Optional[str] = None,
         dataset: Optional[str] = None,
         metadata: Optional[Dict[str, Any]] = None,
+        quantize: Optional[str] = None,
     ) -> ArtifactRef:
         """Publish embeddings (and optionally their graph) as a new version.
 
         The new version number is one past the highest published; staging
         plus an atomic rename means a concurrent ``resolve`` either sees the
         complete version or not at all.
+
+        ``quantize`` (``"float16"`` or ``"int8"``) stores per-column
+        quantized codes plus their scales instead of the float arrays —
+        4-8x smaller on disk and in memory, still served exactly (see
+        :mod:`repro.core.quantize` and the quantized engine's margin
+        rerank).  Scales are checksummed in the manifest like every other
+        array.
         """
         self._check_name(name)
+        if quantize is not None and quantize not in QUANT_DTYPES:
+            raise ArtifactError(
+                f"quantize must be one of {QUANT_DTYPES}, got {quantize!r}"
+            )
         u = np.ascontiguousarray(u)
         v = np.ascontiguousarray(v)
         if u.ndim != 2 or v.ndim != 2 or u.shape[1] != v.shape[1]:
@@ -306,19 +389,34 @@ class ArtifactStore:
             raise ArtifactError(
                 f"embeddings must be floating, got {u.dtype} / {v.dtype}"
             )
+        if not (np.all(np.isfinite(u)) and np.all(np.isfinite(v))):
+            raise ArtifactError("embeddings contain non-finite values")
         base = self.root / name
         base.mkdir(parents=True, exist_ok=True)
         existing = self.versions(name)
         version = (existing[-1] + 1) if existing else 1
 
+        stored: Dict[str, np.ndarray] = {}
+        if quantize is None:
+            stored[U_FILE] = u
+            stored[V_FILE] = v
+        else:
+            u_codes, u_scales = quantize_columns(u, quantize)
+            v_codes, v_scales = quantize_columns(v, quantize)
+            stored[U_FILE] = u_codes
+            stored[V_FILE] = v_codes
+            stored[U_SCALES_FILE] = u_scales
+            stored[V_SCALES_FILE] = v_scales
         files: Dict[str, Dict[str, Any]] = {
-            EMBEDDINGS_FILE: _file_entry({"u": u, "v": v})
+            filename: _file_entry({Path(filename).stem: array})
+            for filename, array in stored.items()
         }
         staging = Path(
             tempfile.mkdtemp(prefix=f".staging-v{version:04d}-", dir=base)
         )
         try:
-            np.savez_compressed(staging / EMBEDDINGS_FILE, u=u, v=v)
+            for filename, array in stored.items():
+                np.save(staging / filename, array)
             if graph is not None:
                 # Only the CSR structure masks training edges at serving
                 # time; labels are dropped so graph.npz stays pickle-free
@@ -338,7 +436,8 @@ class ArtifactStore:
                 "dimension": int(u.shape[1]),
                 "num_u": int(u.shape[0]),
                 "num_v": int(v.shape[0]),
-                "dtype": str(u.dtype),
+                "dtype": str(stored[U_FILE].dtype),
+                "quantize": quantize,
                 "files": files,
                 "metadata": dict(metadata or {}),
             }
@@ -390,6 +489,10 @@ class ArtifactStore:
     def verify(self, ref: ArtifactRef) -> None:
         """Recompute every array checksum and compare against the manifest.
 
+        ``.npy`` members are checksummed straight off the memory map — the
+        bytes are *read* (that is the point of verification) but never
+        copied into fresh arrays.
+
         Raises
         ------
         ArtifactError
@@ -398,10 +501,17 @@ class ArtifactStore:
         """
         for filename, expected_arrays in ref.manifest["files"].items():
             path = ref.path / filename
-            try:
-                arrays = _npz_arrays(path)
-            except (OSError, ValueError) as exc:
-                raise ArtifactError(f"{path}: cannot read bundle: {exc}") from exc
+            if filename.endswith(".npy"):
+                arrays = {
+                    next(iter(expected_arrays)): _load_npy(path, mmap=True)
+                }
+            else:
+                try:
+                    arrays = _npz_arrays(path)
+                except (OSError, ValueError) as exc:
+                    raise ArtifactError(
+                        f"{path}: cannot read bundle: {exc}"
+                    ) from exc
             for array_name, spec in expected_arrays.items():
                 if array_name not in arrays:
                     raise ArtifactError(
@@ -433,11 +543,91 @@ class ArtifactStore:
         version: Optional[int] = None,
         *,
         verify: bool = True,
+        mmap: bool = True,
     ) -> LoadedArtifact:
-        """Resolve, (optionally) verify, and load one artifact version."""
+        """Resolve, (optionally) verify, and load one artifact version.
+
+        Schema-v2 arrays are memory-mapped by default (``mmap=False``
+        forces the eager pre-v2 behavior — the bench's load-time baseline);
+        v1 artifacts always load eagerly (compressed NPZ).  With
+        ``verify=False`` a v2 load touches no array bytes at all — the
+        near-instant reload path when checksums were already checked.
+        """
         ref = self.resolve(name, version)
         if verify:
             self.verify(ref)
+        if ref.manifest["version"] == 1:
+            return self._load_v1(ref)
+        quantize = ref.quantize
+        u = _load_npy(ref.path / U_FILE, mmap=mmap)
+        v = _load_npy(ref.path / V_FILE, mmap=mmap)
+        expected = (
+            ref.manifest["num_u"],
+            ref.manifest["num_v"],
+            ref.manifest["dimension"],
+        )
+        if (
+            u.ndim != 2
+            or v.ndim != 2
+            or (u.shape[0], v.shape[0], u.shape[1]) != expected
+            or u.shape[1] != v.shape[1]
+        ):
+            raise ArtifactError(
+                f"{ref.path}: embeddings are u{u.shape} / v{v.shape}, "
+                f"manifest says |U|={expected[0]}, |V|={expected[1]}, "
+                f"k={expected[2]}"
+            )
+        u_scales = v_scales = None
+        if quantize is not None:
+            if str(u.dtype) != quantize or str(v.dtype) != quantize:
+                raise ArtifactError(
+                    f"{ref.path}: codes are {u.dtype}/{v.dtype}, manifest "
+                    f"says quantize={quantize!r}"
+                )
+            u_scales = _load_npy(ref.path / U_SCALES_FILE, mmap=mmap)
+            v_scales = _load_npy(ref.path / V_SCALES_FILE, mmap=mmap)
+            k = ref.manifest["dimension"]
+            if u_scales.shape != (k,) or v_scales.shape != (k,):
+                raise ArtifactError(
+                    f"{ref.path}: scales are {u_scales.shape}/"
+                    f"{v_scales.shape}, expected ({k},)"
+                )
+        elif verify:
+            # Exact float arrays: the finite sweep rides along with
+            # verification (both stream every byte once); quantized codes
+            # are finite by construction of the codec's bounded ranges.
+            for array_name, array in (("u", u), ("v", v)):
+                if not np.all(np.isfinite(array)):
+                    raise ArtifactError(
+                        f"{ref.path}: '{array_name}' contains non-finite "
+                        "values"
+                    )
+        graph = self._load_graph(ref, num_u=u.shape[0], num_v=v.shape[0])
+        return LoadedArtifact(
+            ref=ref,
+            u=u,
+            v=v,
+            graph=graph,
+            quantize=quantize,
+            u_scales=u_scales,
+            v_scales=v_scales,
+        )
+
+    @staticmethod
+    def v_checksum(ref: ArtifactRef) -> str:
+        """The manifest's own digest of the ``v`` array.
+
+        The IVF index records this as provenance so ``IVFIndex.load`` can
+        prove index and artifact version agree; the digest lives under
+        ``v.npy`` for schema v2 and inside the embeddings bundle for v1.
+        """
+        files = ref.manifest["files"]
+        if ref.manifest["version"] == 1:
+            return files[EMBEDDINGS_FILE]["v"]["blake2b"]
+        return files[V_FILE]["v"]["blake2b"]
+
+    def _load_v1(self, ref: ArtifactRef) -> LoadedArtifact:
+        """The legacy eager path for schema-v1 (compressed NPZ) artifacts."""
         u, v = load_embedding_arrays(ref.path / EMBEDDINGS_FILE)
         expected = (
             ref.manifest["num_u"],
@@ -450,15 +640,21 @@ class ArtifactStore:
                 f"manifest says |U|={expected[0]}, |V|={expected[1]}, "
                 f"k={expected[2]}"
             )
-        graph = None
-        if ref.has_graph:
-            try:
-                graph = load_npz(ref.path / GRAPH_FILE)
-            except ValueError as exc:
-                raise ArtifactError(str(exc)) from exc
-            if graph.num_u != u.shape[0] or graph.num_v > v.shape[0]:
-                raise ArtifactError(
-                    f"{ref.path}: graph is {graph.num_u}x{graph.num_v} but "
-                    f"embeddings cover {u.shape[0]} users / {v.shape[0]} items"
-                )
+        graph = self._load_graph(ref, num_u=u.shape[0], num_v=v.shape[0])
         return LoadedArtifact(ref=ref, u=u, v=v, graph=graph)
+
+    def _load_graph(
+        self, ref: ArtifactRef, *, num_u: int, num_v: int
+    ) -> Optional[BipartiteGraph]:
+        if not ref.has_graph:
+            return None
+        try:
+            graph = load_npz(ref.path / GRAPH_FILE)
+        except ValueError as exc:
+            raise ArtifactError(str(exc)) from exc
+        if graph.num_u != num_u or graph.num_v > num_v:
+            raise ArtifactError(
+                f"{ref.path}: graph is {graph.num_u}x{graph.num_v} but "
+                f"embeddings cover {num_u} users / {num_v} items"
+            )
+        return graph

@@ -34,11 +34,19 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["BatchStats", "MicroBatcher", "QueueFull"]
+__all__ = ["BatcherClosed", "BatchStats", "MicroBatcher", "QueueFull"]
 
 
 class QueueFull(RuntimeError):
     """The batcher's admission queue is at capacity (caller should shed)."""
+
+
+class BatcherClosed(RuntimeError):
+    """submit() after close(): the server is stopping, not misbehaving.
+
+    A typed subclass so the HTTP tier can answer a clean 503 during
+    shutdown instead of treating it as an unhandled 500.
+    """
 
 
 @dataclass
@@ -135,10 +143,10 @@ class MicroBatcher:
         The future resolves to ``(items, scores)`` — 1-D int64 indices plus
         the matching scores (``None`` unless ``with_scores``).  Raises
         :class:`QueueFull` when the queue is at capacity and
-        :class:`RuntimeError` after :meth:`close`.
+        :class:`BatcherClosed` after :meth:`close`.
         """
         if self._closed.is_set():
-            raise RuntimeError("batcher is closed")
+            raise BatcherClosed("batcher is closed")
         if n < 0:
             raise ValueError(f"n must be >= 0, got {n}")
         pending = _Pending(

@@ -42,7 +42,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-from .batcher import MicroBatcher, QueueFull
+from .batcher import BatcherClosed, MicroBatcher, QueueFull
 from .service import EmbeddingService
 from .sharded import ShardFailure
 
@@ -260,6 +260,8 @@ class EmbeddingServer:
     def handle_metrics(self, read_json) -> Tuple[int, Dict[str, Any]]:
         snapshot = self.service.metrics.snapshot()
         snapshot["model"] = self.service.artifact.tag
+        snapshot["quantize"] = self.service.quantize
+        snapshot["bytes_resident"] = self.service.bytes_resident()
         snapshot["queue"]["max"] = self.config.max_queue
         if self._batcher is not None:
             snapshot["batcher"] = {
@@ -367,6 +369,10 @@ class EmbeddingServer:
             except QueueFull:
                 self.service.metrics.count("shed")
                 raise _HttpError(429, "batch queue full") from None
+            except BatcherClosed:
+                # A request that raced stop(): shutting down is an
+                # availability event, not a server bug.
+                raise _HttpError(503, "server shutting down") from None
             timeout = max(deadline - time.perf_counter(), 0.0)
             try:
                 items, scores = future.result(timeout=timeout)

@@ -30,6 +30,7 @@ path).  Counter names match the RunReport ``ops`` vocabulary
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -42,9 +43,9 @@ from ..core.base import EmbeddingResult
 from ..core.selection import select_topn
 from ..graph import BipartiteGraph
 from ..linalg.policy import DtypePolicy
-from ..tasks.topk import TopKEngine
+from ..tasks.topk import QuantizedTopKEngine, TopKEngine
 from .artifacts import ArtifactError, ArtifactRef, ArtifactStore, LoadedArtifact
-from .sharded import ShardConfig, ShardedTopK
+from .sharded import PoolClosedError, ShardConfig, ShardedTopK
 
 __all__ = ["EmbeddingService", "ServiceMetrics", "percentile"]
 
@@ -58,12 +59,16 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
     Nearest-rank on a sorted copy — no interpolation, so the result is
     always an observed latency.
+
+    Standard nearest-rank definition: rank ``ceil(q/100 * n)``, clamped to
+    ``[1, n]``.  (``round`` would banker's-round half-way ranks *down* —
+    p85 of 10 samples must pick rank 9, not ``round(8.5) == 8``.)
     """
     if not samples:
         return 0.0
     ordered = sorted(samples)
-    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
-    return float(ordered[rank])
+    rank = min(len(ordered), max(1, math.ceil(q / 100.0 * len(ordered))))
+    return float(ordered[rank - 1])
 
 
 class ServiceMetrics:
@@ -174,6 +179,24 @@ class ServiceMetrics:
         }
 
 
+def _unit_rows_quantized(engine: QuantizedTopKEngine) -> np.ndarray:
+    """Row-normalized dequantized U, built in chunks off the code memmap.
+
+    Matches :meth:`EmbeddingResult.normalized_u` semantics exactly
+    (zero-norm rows pass through unscaled) without ever materializing the
+    full dequantized matrix alongside the result.
+    """
+    num_users = engine.num_users
+    dim = engine._u_scales.size
+    unit = np.empty((num_users, dim))
+    step = max(1, (1 << 22) // max(1, dim))
+    for lo in range(0, num_users, step):
+        block = engine._dequant_u(slice(lo, min(num_users, lo + step)))
+        norms = np.linalg.norm(block, axis=1, keepdims=True)
+        unit[lo : lo + block.shape[0]] = block / np.where(norms > 0, norms, 1.0)
+    return unit
+
+
 class _Model:
     """One immutable loaded artifact: arrays, engine template, unit-U cache.
 
@@ -192,12 +215,36 @@ class _Model:
         ann: bool = False,
     ):
         self.ref = loaded.ref
+        self.quantize: Optional[str] = loaded.quantize
+        self.graph: Optional[BipartiteGraph] = loaded.graph
+        if loaded.quantize is not None:
+            if ann or shards is not None:
+                raise ArtifactError(
+                    f"{loaded.ref.tag} is quantized ({loaded.quantize}); the "
+                    "ann and sharded serving modes need a float artifact — "
+                    "republish without --quantize to use them"
+                )
+            # No EmbeddingResult over codes: every read-out goes through the
+            # quantized engine, which is exact over the dequantized arrays.
+            self.result: Optional[EmbeddingResult] = None
+            self.template: TopKEngine = QuantizedTopKEngine(
+                loaded.u,
+                loaded.u_scales,
+                loaded.v,
+                loaded.v_scales,
+                quant_dtype=loaded.quantize,
+                policy=policy,
+                block_rows=block_rows,
+            )
+            self.unit_u = _unit_rows_quantized(self.template)
+            self.sharded_template: Optional[ShardedTopK] = None
+            self.ivf: Optional[IVFIndex] = None
+            return
         self.result = EmbeddingResult(
             u=loaded.u,
             v=loaded.v,
             method=loaded.ref.manifest.get("method") or "artifact",
         )
-        self.graph: Optional[BipartiteGraph] = loaded.graph
         self.template = TopKEngine(
             self.result.u, self.result.v, policy=policy, block_rows=block_rows
         )
@@ -225,6 +272,11 @@ class _Model:
             # digest against this artifact version — an index built from a
             # different version is rejected here, before it serves anything.
             self.ivf = IVFIndex.load(index_path, loaded.v)
+
+    def bytes_resident(self) -> int:
+        """Heap bytes this model pins: engine arrays (memmaps excluded,
+        they live in the shared page cache) plus the unit-U cache."""
+        return self.template.resident_bytes() + self.unit_u.nbytes
 
 
 class EmbeddingService:
@@ -271,6 +323,7 @@ class EmbeddingService:
         policy: Optional[DtypePolicy] = None,
         block_rows: Optional[int] = None,
         verify: bool = True,
+        mmap: bool = True,
         shards: Optional[ShardConfig] = None,
         shard_hook=None,
         ann: bool = False,
@@ -288,6 +341,7 @@ class EmbeddingService:
         self._policy = policy if policy is not None else DtypePolicy()
         self._block_rows = block_rows
         self._verify = verify
+        self._mmap = bool(mmap)
         self._shards = shards
         self._shard_hook = shard_hook
         self._ann = bool(ann)
@@ -301,7 +355,9 @@ class EmbeddingService:
     # Model lifecycle
     # ------------------------------------------------------------------
     def _load(self, version: Optional[int]) -> _Model:
-        loaded = self._store.load(self._name, version, verify=self._verify)
+        loaded = self._store.load(
+            self._name, version, verify=self._verify, mmap=self._mmap
+        )
         return _Model(
             loaded,
             self._policy,
@@ -322,6 +378,15 @@ class EmbeddingService:
         return self._model.ref
 
     @property
+    def quantize(self) -> Optional[str]:
+        """The served artifact's quantization codec (``None``: exact float)."""
+        return self._model.quantize
+
+    def bytes_resident(self) -> int:
+        """Heap bytes the current model pins (memmapped arrays excluded)."""
+        return self._model.bytes_resident()
+
+    @property
     def num_users(self) -> int:
         return self._model.template.num_users
 
@@ -337,13 +402,21 @@ class EmbeddingService:
         The swap itself is one reference assignment: requests already
         scoring keep the old arrays alive until they return, and every
         worker thread re-clones its engine on its next call.
+
+        The old model's sharded scatter pool (if any) is closed after the
+        swap — drained, not yanked: waves already scattered finish on it,
+        new waves land on the new model, and no ``n_shards``-thread pool
+        outlives its model (the pre-fix behavior leaked one per reload).
         """
         with self._reload_lock:
-            old_tag = self._model.ref.tag
+            old = self._model
+            old_tag = old.ref.tag
             model = self._load(version)
             self._model = model
             self.metrics.count("reloads")
-            return old_tag, model.ref.tag
+        if old.sharded_template is not None:
+            old.sharded_template.close()
+        return old_tag, model.ref.tag
 
     def _engine(self) -> Tuple[TopKEngine, _Model]:
         """This thread's engine clone for the current model (re-cloned on swap)."""
@@ -491,12 +564,28 @@ class EmbeddingService:
         sharded, _ = self._sharded()
         started = time.perf_counter()
         try:
-            result = sharded.top_items(
-                n,
-                users=users,
-                exclude=exclude_train and model.graph is not None,
-                with_scores=with_scores,
-            )
+            try:
+                result = sharded.top_items(
+                    n,
+                    users=users,
+                    exclude=exclude_train and model.graph is not None,
+                    with_scores=with_scores,
+                )
+            except PoolClosedError:
+                # Our thread-local clone pointed at a swapped-out model whose
+                # pool was retired between _engine() and the scatter; re-clone
+                # against the current model and retry once.
+                self._local.model = None
+                engine_sharded, model = self._sharded()
+                if engine_sharded is None:  # current model is not sharded
+                    raise
+                sharded = engine_sharded
+                result = sharded.top_items(
+                    n,
+                    users=users,
+                    exclude=exclude_train and model.graph is not None,
+                    with_scores=with_scores,
+                )
         except Exception:
             self.metrics.count("shard_failures")
             raise
@@ -525,14 +614,23 @@ class EmbeddingService:
     def scores(
         self, user: int, items: Optional[Sequence[int]] = None
     ) -> np.ndarray:
-        """Raw ``U[user] . V[item]`` scores (all items, or a subset)."""
-        _, model = self._engine()
+        """Raw ``U[user] . V[item]`` scores (all items, or a subset).
+
+        For a quantized artifact the row is the exact float64 product over
+        the *dequantized* embeddings — the ground truth every quantized
+        read-out is pinned to.
+        """
+        engine, model = self._engine()
         user = int(user)
-        if not 0 <= user < model.result.u.shape[0]:
+        if not 0 <= user < engine.num_users:
             raise ValueError(
-                f"user index must be in [0, {model.result.u.shape[0]})"
+                f"user index must be in [0, {engine.num_users})"
             )
-        row = model.result.scores_for_u(user)
+        row = (
+            model.result.scores_for_u(user)
+            if model.result is not None
+            else engine.user_scores(user)
+        )
         if items is None:
             self.metrics.count("requests")
             self.metrics.count("topk_candidates", row.size)

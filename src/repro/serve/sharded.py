@@ -36,6 +36,7 @@ and the scatter pool, never workspaces.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
@@ -49,7 +50,15 @@ from ..linalg.parallel import column_shards
 from ..linalg.policy import DtypePolicy
 from ..tasks.topk import TopKEngine
 
-__all__ = ["ShardConfig", "ShardFailure", "ShardedTopK"]
+__all__ = ["PoolClosedError", "ShardConfig", "ShardFailure", "ShardedTopK"]
+
+
+class PoolClosedError(RuntimeError):
+    """A wave was scattered after :meth:`ShardedTopK.close` (model retired).
+
+    The service layer treats this as "my thread-local clone points at a
+    swapped-out model": it re-resolves the current model and retries once.
+    """
 
 
 class ShardFailure(RuntimeError):
@@ -161,6 +170,10 @@ class ShardedTopK:
             thread_name_prefix="repro-shard",
         )
         self._pool_lock = threading.Lock()
+        # Shared across clones (aliased, like the pool): in-flight wave count
+        # plus the close request, so close() can drain instead of yanking the
+        # pool out from under a scattering wave.
+        self._state: Dict[str, Any] = {"active": 0, "close_requested": False}
 
     # ------------------------------------------------------------------
     # Shapes / lifecycle
@@ -193,11 +206,22 @@ class ShardedTopK:
         clone._graphs = self._graphs
         clone._pool = self._pool
         clone._pool_lock = self._pool_lock
+        clone._state = self._state
         return clone
 
     def close(self) -> None:
-        """Shut the scatter pool down (idempotent; template owner only)."""
-        self._pool.shutdown(wait=False, cancel_futures=True)
+        """Retire the scatter pool once in-flight waves drain (idempotent).
+
+        New waves are refused immediately (:class:`PoolClosedError`); waves
+        already scattered finish on the old pool, and the last one to drain
+        shuts it down.  Safe to call from any clone and from multiple
+        reloads — the shutdown itself is idempotent too.
+        """
+        with self._pool_lock:
+            self._state["close_requested"] = True
+            drain_now = self._state["active"] == 0
+        if drain_now:
+            self._pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     # Scatter-gather
@@ -205,14 +229,20 @@ class ShardedTopK:
     def _score_shard(
         self,
         shard: int,
+        engine: TopKEngine,
         users: np.ndarray,
         n: int,
         exclude: bool,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """One shard's local top-``n``: ``(global item ids, scores)``."""
+        """One shard's local top-``n``: ``(global item ids, scores)``.
+
+        The engine is *bound at submit time*: a straggler that only starts
+        running after its wave timed out and retired it must keep scoring
+        the retired object, never grab the replacement out of
+        ``self._engines`` and race the next wave's workspace.
+        """
         if self.shard_hook is not None:
             self.shard_hook(shard)
-        engine = self._engines[shard]
         lo = self.ranges[shard][0]
         graph = self._graphs[shard] if exclude else None
         item_blocks: List[np.ndarray] = []
@@ -288,26 +318,59 @@ class ShardedTopK:
 
         deadline = self.config.deadline_ms
         with self._pool_lock:
-            futures = [
-                self._pool.submit(self._score_shard, shard, users, n_keep, exclude)
-                for shard in range(self.n_shards)
-            ]
-        results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
-        failed: List[int] = []
-        for shard, future in enumerate(futures):
+            if self._state["close_requested"]:
+                raise PoolClosedError("scatter pool is closed (model retired)")
             try:
-                timeout = None if deadline is None else deadline / 1e3
-                results.append(future.result(timeout=timeout))
-            except FutureTimeoutError:
-                future.cancel()
-                # The straggler may still be scoring into this engine's
-                # workspace; retire it so the next wave starts clean.
-                self._engines[shard] = self._engines[shard].clone_for_worker()
-                results.append(None)
-                failed.append(shard)
-            except Exception:  # noqa: BLE001 — a dead shard, by definition
-                results.append(None)
-                failed.append(shard)
+                futures = [
+                    self._pool.submit(
+                        self._score_shard,
+                        shard,
+                        self._engines[shard],
+                        users,
+                        n_keep,
+                        exclude,
+                    )
+                    for shard in range(self.n_shards)
+                ]
+            except RuntimeError as exc:  # pool shut down under us
+                raise PoolClosedError(str(exc)) from exc
+            self._state["active"] += 1
+        try:
+            # One clock for the whole wave: every gather spends from the
+            # *remaining* budget, so k slow shards cost ~deadline_ms total,
+            # not k * deadline_ms.
+            wave_deadline = (
+                None if deadline is None else time.monotonic() + deadline / 1e3
+            )
+            results: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
+            failed: List[int] = []
+            for shard, future in enumerate(futures):
+                try:
+                    timeout = (
+                        None
+                        if wave_deadline is None
+                        else max(0.0, wave_deadline - time.monotonic())
+                    )
+                    results.append(future.result(timeout=timeout))
+                except FutureTimeoutError:
+                    future.cancel()
+                    # The straggler may still be scoring into this engine's
+                    # workspace; retire it so the next wave starts clean.
+                    self._engines[shard] = self._engines[shard].clone_for_worker()
+                    results.append(None)
+                    failed.append(shard)
+                except Exception:  # noqa: BLE001 — a dead shard, by definition
+                    results.append(None)
+                    failed.append(shard)
+        finally:
+            with self._pool_lock:
+                self._state["active"] -= 1
+                drain_now = (
+                    self._state["close_requested"]
+                    and self._state["active"] == 0
+                )
+            if drain_now:
+                self._pool.shutdown(wait=False, cancel_futures=True)
         if failed and self.config.on_failure == "fail":
             raise ShardFailure(
                 f"shard(s) {failed} of {self.n_shards} failed or missed the "

@@ -44,13 +44,19 @@ from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
+from ..core.quantize import QUANT_DTYPES, dequantize_columns
 from ..core.selection import select_topn
 from ..graph import BipartiteGraph
 from ..linalg.parallel import ParallelExecutor, column_shards
 from ..linalg.policy import DtypePolicy
 from ..obs import active as _obs_active
 
-__all__ = ["TopKEngine", "DEFAULT_BLOCK_ROWS", "neighbor_items"]
+__all__ = [
+    "TopKEngine",
+    "QuantizedTopKEngine",
+    "DEFAULT_BLOCK_ROWS",
+    "neighbor_items",
+]
 
 #: Default users-per-GEMM.  256 rows keep the score buffer in the tens of
 #: megabytes even for ~10^4 items while amortizing per-block Python and
@@ -191,6 +197,22 @@ class TopKEngine:
     def workspace_bytes(self) -> int:
         """Bytes held in the reusable score buffer (0 before first use)."""
         return 0 if self._scores_flat is None else self._scores_flat.nbytes
+
+    def resident_bytes(self) -> int:
+        """Process-resident bytes this engine pins: staged arrays + workspace.
+
+        Memory-mapped inputs are excluded — their pages live in the shared
+        OS page cache, which is exactly the point of the quantized
+        memory-mapped artifact tier (``/metrics`` reports this number as
+        ``bytes_resident``).
+        """
+
+        def _nbytes(array: Optional[np.ndarray]) -> int:
+            if array is None or isinstance(array, np.memmap):
+                return 0
+            return array.nbytes
+
+        return _nbytes(self._u) + _nbytes(self._vt) + self.workspace_bytes()
 
     def _score_buffer(self, rows: int) -> np.ndarray:
         """A C-contiguous ``rows x num_items`` score block."""
@@ -354,3 +376,331 @@ class TopKEngine:
         if not blocks:
             return np.empty((count, n_keep), dtype=np.int64)
         return np.concatenate(blocks, axis=0)
+
+
+class QuantizedTopKEngine(TopKEngine):
+    """Top-``n`` retrieval over per-column-quantized embeddings, still exact.
+
+    The engine of the quantized artifact tier
+    (:meth:`repro.serve.artifacts.ArtifactStore.publish` with
+    ``quantize="float16"|"int8"``): it never materializes the float64
+    embedding matrices.  Instead it scores *approximately* and reranks a
+    provably sufficient margin *exactly* — the same candidate-generation /
+    verification split as the IVF index of :mod:`repro.ann.ivf`:
+
+    1. **Approximate sweep** — one ``u_block @ V.T`` GEMM per block in
+       float32 over a staged float32 ``V.T`` built from the codes and
+       per-column scales (half the float64 staging footprint; the codes
+       themselves usually stay memory-mapped).
+    2. **Margin from the per-column error bound** — the scales bound every
+       dequantized value per column (``scale_j`` for float16 codes in
+       ``[-1, 1]``, ``127 * scale_j`` for int8), so the gap between the
+       float32 approximate score and the exact float64 score of user ``i``
+       is at most ``B_i = c * sum_j |u_ij| * colmax_j`` with
+       ``c = 8 (k + 8) eps_f32`` (cast + staging + length-``k``
+       accumulation error, with headroom).  Every item whose approximate
+       score reaches within ``2 B_i`` of the block's ``n``-th best is a
+       candidate; anything below is *provably* beaten by ``n`` items in
+       exact score and can never appear in the exact list.
+    3. **Exact rerank** — candidate rows are dequantized to float64 and
+       rescored with a *fixed-order* dot product (``np.einsum``, ascending
+       dimension index), then selected with
+       :func:`~repro.core.selection.select_topn`; because candidates come
+       out ascending by global id, the tie-break coincides with the exact
+       engine's.
+
+    The fixed-order rerank is deliberate: BLAS GEMM kernels change their
+    per-element summation order with the operand *shape*, so a
+    candidate-subset GEMM is not bit-reproducible against a full-width one.
+    ``einsum`` accumulates every dot identically regardless of block size,
+    candidate count, or thread count — the rerank scores are a pure
+    function of the codes and scales.
+
+    The result is **list-identical to a plain :class:`TopKEngine` over the
+    dequantized embeddings** at every block size and thread count, for both
+    codecs, all-ties included, and the returned scores are the exact
+    float64 dot products of those dequantized embeddings (pinned
+    bit-for-bit against an independent fixed-order evaluation by
+    ``tests/test_quant.py``).  Relative to the exact engine's BLAS-computed
+    scores the agreement is exact wherever the dots are exactly
+    representable (the all-ties integer fixtures) and within one unit in
+    the last place otherwise — summation-order noise far below the
+    quantization error, and never enough to reorder a list unless two real
+    scores are themselves sub-ulp ties.
+
+    Parameters
+    ----------
+    u_codes, v_codes:
+        Quantized embedding matrices (float16 or int8), typically the
+        memory-mapped arrays of a quantized artifact.
+    u_scales, v_scales:
+        The matching per-column float64 scales.
+    quant_dtype:
+        ``"float16"`` or ``"int8"`` — must match the codes' dtype.
+    policy, block_rows:
+        As for :class:`TopKEngine`.  The approximate sweep always runs in
+        float32 regardless of the policy's compute dtype; the rerank is
+        always float64.
+    """
+
+    def __init__(
+        self,
+        u_codes: np.ndarray,
+        u_scales: np.ndarray,
+        v_codes: np.ndarray,
+        v_scales: np.ndarray,
+        *,
+        quant_dtype: str,
+        policy: Optional[DtypePolicy] = None,
+        block_rows: Optional[int] = None,
+    ):
+        if quant_dtype not in QUANT_DTYPES:
+            raise ValueError(
+                f"quant_dtype must be one of {QUANT_DTYPES}, got {quant_dtype!r}"
+            )
+        self.policy = policy if policy is not None else DtypePolicy()
+        self.quant_dtype = str(quant_dtype)
+        self.dtype = np.dtype(np.float32)  # the approximate-sweep dtype
+        u_codes = np.asarray(u_codes)
+        v_codes = np.asarray(v_codes)
+        if u_codes.ndim != 2 or v_codes.ndim != 2:
+            raise ValueError("quantized embeddings must be 2-D matrices")
+        if u_codes.shape[1] != v_codes.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: u is {u_codes.shape}, v is {v_codes.shape}"
+            )
+        expected = np.dtype(quant_dtype)
+        for name, codes in (("u", u_codes), ("v", v_codes)):
+            if codes.dtype != expected:
+                raise ValueError(
+                    f"{name} codes are {codes.dtype}, expected {expected} "
+                    f"for quant_dtype={quant_dtype!r}"
+                )
+        u_scales = np.ascontiguousarray(u_scales, dtype=np.float64)
+        v_scales = np.ascontiguousarray(v_scales, dtype=np.float64)
+        k = u_codes.shape[1]
+        if u_scales.shape != (k,) or v_scales.shape != (k,):
+            raise ValueError(
+                f"scales must be ({k},), got u {u_scales.shape} / "
+                f"v {v_scales.shape}"
+            )
+        if block_rows is None:
+            block_rows = DEFAULT_BLOCK_ROWS
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        self.block_rows = int(block_rows)
+        self._u = u_codes  # codes, possibly memory-mapped; dequantized per block
+        self._u_scales = u_scales
+        self._v_codes = v_codes
+        self._v_scales = v_scales
+        # The staged approximate V.T: float32 dequantized codes, C-contiguous
+        # like the exact engine's staging so the sweep GEMM shards the same.
+        self._vt = np.ascontiguousarray(
+            (v_codes.astype(np.float32) * v_scales.astype(np.float32)).T
+        )
+        # Per-column bound on any |dequantized v| — from the scales alone.
+        code_max = 1.0 if self.quant_dtype == "float16" else 127.0
+        colmax = v_scales * code_max
+        # Measured per-column staging error max_i |float32 staged - exact|,
+        # computed in one chunked pass.  A column whose values fall outside
+        # float32's graceful range inflates its entry (up to inf), which
+        # only widens the margin toward a full rerank — never breaks
+        # exactness.
+        stage_err = np.zeros(k)
+        chunk = max(1, (1 << 22) // max(1, k))
+        for lo in range(0, v_codes.shape[0], chunk):
+            exact_chunk = v_codes[lo : lo + chunk].astype(np.float64) * v_scales
+            staged_chunk = self._vt[:, lo : lo + chunk].T.astype(np.float64)
+            if exact_chunk.size:
+                np.maximum(
+                    stage_err,
+                    np.abs(staged_chunk - exact_chunk).max(axis=0),
+                    out=stage_err,
+                )
+        # Per-column score-error weights: staging error plus the float32
+        # cast of u and the length-k accumulation (~k*eps each, 4x headroom).
+        eps32 = float(np.finfo(np.float32).eps)
+        self._colerr = stage_err + (4.0 * (k + 8) * eps32) * colmax
+        # Absolute floor covering subnormal-u cast error (spacing 2^-149).
+        self._abs_bound = (2.0 ** -140) * float(np.sum(colmax))
+        self._exec = ParallelExecutor(self.policy.exec_policy)
+        self._scores_flat: Optional[np.ndarray] = None
+        self.threads_used = 1
+        #: Cumulative (user, candidate) pairs reranked in float64 — the
+        #: margin cost; the bench's quant axis and /metrics read this.
+        self.reranked_candidates = 0
+
+    def clone_for_worker(self) -> "QuantizedTopKEngine":
+        """Per-thread clone; same contract as the exact engine's."""
+        clone = super().clone_for_worker()
+        clone.quant_dtype = self.quant_dtype
+        clone._u_scales = self._u_scales
+        clone._v_codes = self._v_codes
+        clone._v_scales = self._v_scales
+        clone._colerr = self._colerr
+        clone._abs_bound = self._abs_bound
+        clone.reranked_candidates = 0
+        return clone
+
+    def resident_bytes(self) -> int:
+        base = super().resident_bytes()
+        if not isinstance(self._v_codes, np.memmap):
+            # _vt is staged from the codes; avoid double counting only the
+            # mmap case (the resident copy is the staging, not the codes).
+            base += self._v_codes.nbytes
+        return base + self._u_scales.nbytes + self._v_scales.nbytes
+
+    # ------------------------------------------------------------------
+    # Dequantization (float64, bit-reproducible)
+    # ------------------------------------------------------------------
+    def _dequant_u(self, rows: np.ndarray) -> np.ndarray:
+        """The exact float64 values of the requested user rows."""
+        return self._u[rows].astype(np.float64) * self._u_scales
+
+    def _dequant_v(self, rows: np.ndarray) -> np.ndarray:
+        """The exact float64 values of the requested item rows, ``(c, k)``."""
+        return self._v_codes[rows].astype(np.float64) * self._v_scales
+
+    @staticmethod
+    def _exact_dots(u_deq: np.ndarray, v_deq: np.ndarray) -> np.ndarray:
+        """Fixed-order float64 dots: ``(b, k) x (c, k) -> (b, c)``.
+
+        ``einsum`` (no ``optimize``) accumulates each dot in ascending
+        dimension index whatever the operand shapes, so these scores are a
+        pure function of the dequantized values — unlike a BLAS GEMM,
+        whose summation order (and hence last bit) shifts with the block
+        and candidate widths.  Every exact score the engine emits flows
+        through here.
+        """
+        return np.einsum("bk,ck->bc", u_deq, v_deq)
+
+    def user_scores(self, user: int) -> np.ndarray:
+        """Exact float64 scores of one user against every item (chunked).
+
+        Bit-identical to the scores :meth:`iter_top_items` emits for the
+        same ``(user, item)`` pairs — both run :meth:`_exact_dots`.
+        """
+        row = self._dequant_u(np.asarray([int(user)], dtype=np.int64))
+        out = np.empty(self.num_items, dtype=np.float64)
+        chunk = max(1, (1 << 22) // max(1, self.dimension))
+        for lo in range(0, self.num_items, chunk):
+            rows = np.arange(lo, min(lo + chunk, self.num_items), dtype=np.int64)
+            out[lo : lo + rows.size] = self._exact_dots(
+                row, self._dequant_v(rows)
+            )[0]
+        return out
+
+    # ------------------------------------------------------------------
+    # Margin-reranked retrieval
+    # ------------------------------------------------------------------
+    def _mask_candidate_exclusions(
+        self,
+        scores: np.ndarray,
+        users: np.ndarray,
+        cand: np.ndarray,
+        graph: BipartiteGraph,
+    ) -> None:
+        """``-inf`` the excluded ``(user, item)`` pairs *within* ``cand``.
+
+        The candidate-subset complement of :meth:`_mask_exclusions`:
+        global CSR columns are located in the ascending candidate array by
+        binary search, misses (excluded items that did not make the
+        margin) are simply dropped.
+        """
+        indptr = graph.w.indptr
+        starts = indptr[users].astype(np.int64)
+        counts = indptr[users + 1].astype(np.int64) - starts
+        total = int(counts.sum())
+        if total == 0:
+            return
+        bases = np.repeat(
+            starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+        )
+        cols = graph.w.indices[np.arange(total, dtype=np.int64) + bases]
+        rows = np.repeat(np.arange(users.size, dtype=np.int64), counts)
+        pos = np.searchsorted(cand, cols)
+        pos_clipped = np.minimum(pos, cand.size - 1)
+        hit = cand[pos_clipped] == cols
+        scores[rows[hit], pos_clipped[hit]] = -np.inf
+
+    def iter_top_items(
+        self,
+        n: int,
+        *,
+        users: Optional[np.ndarray] = None,
+        exclude: Optional[BipartiteGraph] = None,
+        with_scores: bool = False,
+    ) -> Iterator[Union[Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray, np.ndarray]]]:
+        """Stream exact top-``n`` blocks; see the class notes for the proof.
+
+        Yields exactly what the exact engine yields — int64 item blocks
+        ordered by ``(score desc, id asc)`` and, when requested, their
+        float64 scores at full precision.
+        """
+        if users is None:
+            users = np.arange(self.num_users, dtype=np.int64)
+        else:
+            users = np.asarray(users, dtype=np.int64)
+            if users.ndim != 1:
+                raise ValueError("users must be a 1-D index array")
+            if users.size and (
+                users.min() < 0 or users.max() >= self.num_users
+            ):
+                raise ValueError(
+                    f"user indices must be in [0, {self.num_users})"
+                )
+        self._check_exclude(exclude, users)
+        n_keep = max(0, min(int(n), self.num_items))
+        if n_keep == 0:
+            return
+        for lo in range(0, users.size, self.block_rows):
+            block_users = users[lo : lo + self.block_rows]
+            collector = _obs_active()
+            u_deq = self._dequant_u(block_users)
+            scores = self._score_buffer(block_users.size)
+            self._score_into(u_deq.astype(np.float32), scores)
+            collector.count_gemm(
+                block_users.size, self.dimension, self.num_items
+            )
+            collector.count_topk(block_users.size * self.num_items)
+            if exclude is not None:
+                self._mask_exclusions(scores, block_users, exclude)
+            approx_top = select_topn(scores, n_keep)
+            # The selection boundary, widened by twice the per-user score
+            # error bound: |exact - approx| <= B on both sides of any
+            # comparison.  A -inf boundary (fewer than n unmasked items)
+            # widens to everything — still exact, just a full rerank.
+            kth = np.take_along_axis(
+                scores, approx_top[:, -1:], axis=1
+            ).astype(np.float64)
+            bound = np.abs(u_deq) @ self._colerr + self._abs_bound
+            # A nan bound (0 * inf from an overflowed staging column on a
+            # zero coordinate) would silently shrink the candidate set;
+            # widen it to inf (full rerank) instead.
+            np.copyto(bound, np.inf, where=np.isnan(bound))
+            cand_mask = scores >= (kth - 2.0 * bound[:, None])
+            cand = np.flatnonzero(cand_mask.any(axis=0)).astype(np.int64)
+            exact = self._exact_dots(u_deq, self._dequant_v(cand))
+            collector.count_gemm(block_users.size, self.dimension, cand.size)
+            self.reranked_candidates += int(block_users.size) * int(cand.size)
+            if exclude is not None:
+                self._mask_candidate_exclusions(
+                    exact, block_users, cand, exclude
+                )
+            keep = select_topn(exact, n_keep)
+            items = cand[keep]
+            collector.note_workspace(self.workspace_bytes())
+            if with_scores:
+                yield block_users, items, np.take_along_axis(
+                    exact, keep, axis=1
+                ).copy()
+            else:
+                yield block_users, items
+
+    def dequantized(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialized float64 ``(u, v)`` — the matrices this engine is
+        exact against.  Test/tooling helper; serving never calls it."""
+        return (
+            dequantize_columns(np.asarray(self._u), self._u_scales),
+            dequantize_columns(np.asarray(self._v_codes), self._v_scales),
+        )

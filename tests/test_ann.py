@@ -21,6 +21,7 @@ from repro.ann import (
     kmeans_fit,
 )
 from repro.graph import BipartiteGraph
+from repro.linalg.parallel import ExecPolicy
 from repro.serve import ArtifactError
 from repro.tasks import TopKEngine
 
@@ -318,3 +319,71 @@ class TestObservability:
         assert collector.ops.ann_probes == stats["probed_cells"]
         assert collector.ops.ann_candidates == stats["candidates"]
         assert collector.ops.gemms >= 1  # the centroid routing GEMM
+
+
+class TestKMeansThreadInvariance:
+    """The satellite pin: the assignment sweep's span partition depends on
+    ``_CHUNK_ENTRIES`` alone, never the thread count, so routing the
+    distance GEMMs through ``ParallelExecutor`` is bit-invisible — same
+    labels, same distances, same GEMM tally at every ``n_threads``."""
+
+    def test_assignments_bit_identical_and_counters_pinned(self, monkeypatch):
+        import repro.ann.kmeans as kmeans_mod
+
+        monkeypatch.setattr(kmeans_mod, "_CHUNK_ENTRIES", 640)
+        rng = np.random.default_rng(5)
+        points = rng.standard_normal((300, 6))
+        centroids = rng.standard_normal((10, 6))
+        # chunk = 640 // 10 = 64 points -> ceil(300 / 64) = 5 spans.
+        serial = ExecPolicy(n_threads=1, serial_threshold=0)
+        with obs.collect() as baseline:
+            ref_labels, ref_distances = assign_clusters(
+                points, centroids, exec_policy=serial
+            )
+        assert baseline.ops.gemms == 5
+        assert baseline.threads == 1
+        for n_threads in (2, 4):
+            policy = ExecPolicy(n_threads=n_threads, serial_threshold=0)
+            with obs.collect() as collector:
+                labels, distances = assign_clusters(
+                    points, centroids, exec_policy=policy
+                )
+            np.testing.assert_array_equal(labels, ref_labels)
+            np.testing.assert_array_equal(distances, ref_distances)
+            # One GEMM per span — the tally must not shift with threads.
+            assert collector.ops.gemms == 5
+            assert collector.threads == min(n_threads, 5)
+
+    def test_kmeans_fit_bit_identical_across_thread_counts(self):
+        rng = np.random.default_rng(7)
+        points = rng.standard_normal((240, 5))
+        serial = ExecPolicy(n_threads=1, serial_threshold=0)
+        ref_centroids, ref_labels = kmeans_fit(
+            points, 8, seed=3, exec_policy=serial
+        )
+        for n_threads in (2, 4):
+            policy = ExecPolicy(n_threads=n_threads, serial_threshold=0)
+            centroids, labels = kmeans_fit(
+                points, 8, seed=3, exec_policy=policy
+            )
+            np.testing.assert_array_equal(centroids, ref_centroids)
+            np.testing.assert_array_equal(labels, ref_labels)
+
+    def test_index_build_unchanged_by_exec_policy(self):
+        _, v = _clustered(num_items=200, num_queries=1, seed=13)
+        reference = IVFIndex.build(v, n_cells=12, seed=0)
+        threaded = IVFIndex.build(
+            v,
+            n_cells=12,
+            seed=0,
+            exec_policy=ExecPolicy(n_threads=4, serial_threshold=0),
+        )
+        np.testing.assert_array_equal(
+            reference.centroids, threaded.centroids
+        )
+        np.testing.assert_array_equal(
+            reference.cell_offsets, threaded.cell_offsets
+        )
+        np.testing.assert_array_equal(
+            reference.cell_items, threaded.cell_items
+        )

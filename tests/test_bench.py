@@ -757,3 +757,175 @@ class TestAnnCompare:
         )
         row["exact_match"] = False
         assert compare_bench(ann_payload, partial)["invariant_violations"] == []
+
+
+@pytest.fixture(scope="module")
+def quant_payload():
+    """A seconds-scale quant-axis-only document (tiny stand-in)."""
+    return run_bench(
+        BenchConfig(
+            datasets=("toy",),
+            methods=("GEBE^p",),
+            dimension=8,
+            repeats=1,
+            fit_grid=False,
+            topk=False,
+            quant=True,
+            quant_items=2_000,
+            quant_queries=8,
+            quant_n=5,
+        )
+    )
+
+
+def _quant_row(**overrides):
+    row = {
+        "method": "quantized-topk", "dataset": "standin_2000",
+        "mode": "int8", "mmap": True, "num_users": 8, "num_items": 2000,
+        "n": 5, "publish_seconds": 0.05, "load_seconds": 0.002,
+        "load_speedup": 3.0, "artifact_bytes": 70000,
+        "resident_bytes": 30000, "wall_seconds": 0.1, "p50_ms": 1.0,
+        "p95_ms": 2.0, "candidates": 400, "lists_equal": True,
+    }
+    row.update(overrides)
+    return row
+
+
+class TestQuantAxis:
+    def test_document_validates(self, quant_payload):
+        validate_bench(quant_payload)
+        assert quant_payload["quant_runs"]
+        assert quant_payload["runs"] == []
+        assert quant_payload["topk_runs"] == []
+
+    def test_exact_eager_anchor_row_first(self, quant_payload):
+        anchor = quant_payload["quant_runs"][0]
+        assert anchor["mode"] == "exact"
+        assert anchor["mmap"] is False
+        assert anchor["load_speedup"] == 1.0
+        assert anchor["candidates"] == 0
+
+    def test_covers_both_codecs_plus_exact_mmap(self, quant_payload):
+        cells = [
+            (row["mode"], row["mmap"]) for row in quant_payload["quant_runs"]
+        ]
+        assert cells == [
+            ("exact", False),
+            ("exact", True),
+            ("float16", True),
+            ("int8", True),
+        ]
+
+    def test_every_row_list_identical(self, quant_payload):
+        # The hard invariant the CLI exits non-zero on.
+        assert all(row["lists_equal"] for row in quant_payload["quant_runs"])
+
+    def test_quantized_artifacts_smaller_and_margin_bounded(
+        self, quant_payload
+    ):
+        rows = {row["mode"]: row for row in quant_payload["quant_runs"][1:]}
+        exact = rows["exact"]
+        for codec in ("float16", "int8"):
+            assert rows[codec]["artifact_bytes"] < exact["artifact_bytes"]
+            assert rows[codec]["resident_bytes"] < exact["resident_bytes"]
+            # The margin reranks a strict subset of the cross product.
+            full = rows[codec]["num_users"] * rows[codec]["num_items"]
+            assert 0 < rows[codec]["candidates"] < full
+
+    def test_render_mentions_quant_rows(self, quant_payload):
+        text = render_bench(quant_payload)
+        assert "quantized artifacts" in text
+        assert "int8" in text and "float16" in text
+
+    def test_json_round_trip(self, quant_payload, tmp_path):
+        path = tmp_path / "quant.json"
+        write_bench(quant_payload, str(path))
+        assert load_bench(str(path))["quant_runs"] == (
+            quant_payload["quant_runs"]
+        )
+
+
+class TestQuantSchema:
+    def test_valid_quant_rows_accepted(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["quant_runs"] = [
+            _quant_row(mode="exact", mmap=False, load_speedup=1.0),
+            _quant_row(),
+        ]
+        validate_bench(payload)
+
+    def test_quant_axis_alone_suffices(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload.update(
+            runs=[], comparisons=[], topk_runs=[], topk_comparisons=[],
+            serve_runs=[], ann_runs=[], quant_runs=[_quant_row()],
+        )
+        validate_bench(payload)
+
+    def test_rejects_bad_mode(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["quant_runs"] = [_quant_row(mode="int4")]
+        with pytest.raises(ValueError, match="mode must be one of"):
+            validate_bench(payload)
+
+    def test_rejects_non_positive_speedup(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["quant_runs"] = [_quant_row(load_speedup=0.0)]
+        with pytest.raises(ValueError, match="load_speedup"):
+            validate_bench(payload)
+
+    def test_rejects_negative_latency(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["quant_runs"] = [_quant_row(p95_ms=-1.0)]
+        with pytest.raises(ValueError, match="p95_ms"):
+            validate_bench(payload)
+
+    def test_rejects_missing_key(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        row = _quant_row()
+        del row["lists_equal"]
+        payload["quant_runs"] = [row]
+        with pytest.raises(ValueError, match="lists_equal"):
+            validate_bench(payload)
+
+    def test_v5_document_upgrades_with_quant_axis_absent(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["version"] = 5
+        del payload["quant_runs"]
+        for key in (
+            "quant", "quant_items", "quant_queries", "quant_dtypes",
+            "quant_n",
+        ):
+            del payload["config"][key]
+        upgraded = validate_bench(upgrade_bench(payload))
+        assert upgraded["version"] == BENCH_SCHEMA_VERSION
+        assert upgraded["quant_runs"] == []
+        assert upgraded["config"]["quant"] is False
+        assert upgraded["config"]["quant_dtypes"] == []
+
+
+class TestQuantCompare:
+    def test_self_compare_includes_quant_rows(self, quant_payload):
+        result = compare_bench(quant_payload, quant_payload)
+        policies = {row["policy"] for row in result["rows"]}
+        assert "quant:exact/eager" in policies
+        assert "quant:int8/mmap" in policies
+        assert "quant:float16/mmap" in policies
+        assert result["regressions"] == []
+        assert result["matvec_drift"] == []
+        assert result["invariant_violations"] == []
+
+    def test_flags_quant_candidate_drift(self, quant_payload):
+        fresh = copy.deepcopy(quant_payload)
+        for row in fresh["quant_runs"]:
+            if row["mode"] == "int8":
+                row["candidates"] += 7
+        result = compare_bench(quant_payload, fresh)
+        drifted = {row["policy"] for row in result["matvec_drift"]}
+        assert drifted == {"quant:int8/mmap"}
+
+    def test_lists_mismatch_is_invariant_violation(self, quant_payload):
+        fresh = copy.deepcopy(quant_payload)
+        fresh["quant_runs"][-1]["lists_equal"] = False
+        result = compare_bench(quant_payload, fresh)
+        assert fresh["quant_runs"][-1] in result["invariant_violations"]

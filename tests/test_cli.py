@@ -308,3 +308,88 @@ class TestDatasets:
         assert main(["datasets", "--generate", "dblp", "--output", out]) == 0
         lines = open(out).read().strip().split("\n")
         assert len(lines) == 30_000
+
+
+class TestQuantizedCli:
+    @pytest.fixture
+    def embedded(self, edge_file, tmp_path):
+        emb = str(tmp_path / "emb.npz")
+        assert main(["embed", edge_file, emb, "--dimension", "8"]) == 0
+        return emb
+
+    def test_publish_quantize_reports_codec(self, embedded, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(
+            ["publish", embedded, "--store", store, "--name", "toy",
+             "--quantize", "int8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quantized=int8" in out
+
+    def test_index_refuses_quantized_artifact(
+        self, embedded, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        assert main(
+            ["publish", embedded, "--store", store, "--name", "toy",
+             "--quantize", "float16"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["index", "--store", store, "--name", "toy", "--cells", "4"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "quantized" in err and "republish without --quantize" in err
+
+    def test_query_quantize_lists_match_dequantized_engine(
+        self, embedded, capsys
+    ):
+        """The CLI surface of the margin-rerank guarantee: --quantize lists
+        are element-identical to a plain TopKEngine over the *dequantized*
+        embeddings (quantization moves the embeddings; the rerank must not
+        move the lists on top of that)."""
+        from repro.core.quantize import dequantize_columns, quantize_columns
+        from repro.tasks import TopKEngine
+
+        with np.load(embedded) as bundle:
+            u, v = bundle["u"], bundle["v"]
+        for codec in ("float16", "int8"):
+            u_deq = dequantize_columns(*quantize_columns(u, codec))
+            v_deq = dequantize_columns(*quantize_columns(v, codec))
+            expected = TopKEngine(u_deq, v_deq).top_items(6)
+            assert main(
+                ["query", embedded, "-n", "6", "--quantize", codec]
+            ) == 0
+            quantized = capsys.readouterr().out
+            got = [
+                [int(item) for item in line.split("\t")[1].split()]
+                for line in quantized.splitlines()
+            ]
+            assert got == expected.tolist()
+
+    def test_query_quantize_conflicts_with_index(self, embedded, capsys):
+        assert main(
+            ["query", embedded, "-n", "3", "--quantize", "int8",
+             "--index", "whatever.npz"]
+        ) == 2
+        assert "--quantize" in capsys.readouterr().err
+
+    def test_bench_quant_flags_conflict(self, capsys):
+        assert main(["bench", "--quant-only", "--topk-only"]) == 2
+        assert "conflict" in capsys.readouterr().err
+
+    def test_bench_quant_only_writes_rows(self, tmp_path, capsys):
+        out_path = str(tmp_path / "bench.json")
+        code = main(
+            ["bench", "--smoke", "--quant-only", "--quant-items", "1500",
+             "--output", out_path]
+        )
+        assert code == 0
+        import json as json_mod
+
+        with open(out_path) as handle:
+            payload = json_mod.load(handle)
+        assert payload["quant_runs"]
+        assert all(row["lists_equal"] for row in payload["quant_runs"])
+        assert payload["runs"] == [] and payload["topk_runs"] == []

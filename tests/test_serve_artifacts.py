@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.ann import INDEX_FILE, IVFIndex
+from repro.core.quantize import dequantize_columns
 from repro.graph import BipartiteGraph
 from repro.serve import (
     ArtifactError,
@@ -13,6 +14,11 @@ from repro.serve import (
     EmbeddingService,
     array_checksum,
     load_embedding_arrays,
+)
+from repro.serve.artifacts import (
+    ARTIFACT_SCHEMA_NAME,
+    EMBEDDINGS_FILE,
+    MANIFEST_FILE,
 )
 
 
@@ -87,7 +93,7 @@ class TestPublishResolve:
         # A half-written version (no manifest) must never be resolved.
         partial = ref.path.parent / "v0002"
         partial.mkdir()
-        (partial / "embeddings.npz").write_bytes(b"garbage")
+        (partial / "u.npy").write_bytes(b"garbage")
         assert store.versions("toy") == [1]
         assert store.resolve("toy").version == 1
 
@@ -131,10 +137,9 @@ class TestVerifyLoad:
         u, v = embeddings
         ref = store.publish("toy", u, v)
         store.verify(ref)  # pristine artifact passes
-        corrupted = dict(np.load(ref.path / "embeddings.npz"))
-        corrupted["u"] = corrupted["u"].copy()
-        corrupted["u"][0, 0] += 1.0
-        np.savez_compressed(ref.path / "embeddings.npz", **corrupted)
+        corrupted = np.load(ref.path / "u.npy").copy()
+        corrupted[0, 0] += 1.0
+        np.save(ref.path / "u.npy", corrupted)
         with pytest.raises(ArtifactError, match="checksum mismatch"):
             store.verify(store.resolve("toy"))
         with pytest.raises(ArtifactError, match="checksum mismatch"):
@@ -143,18 +148,17 @@ class TestVerifyLoad:
     def test_verify_detects_shape_tamper(self, store, embeddings):
         u, v = embeddings
         ref = store.publish("toy", u, v)
-        arrays = dict(np.load(ref.path / "embeddings.npz"))
-        arrays["u"] = arrays["u"][:-1]
-        np.savez_compressed(ref.path / "embeddings.npz", **arrays)
+        truncated = np.load(ref.path / "u.npy")[:-1].copy()
+        np.save(ref.path / "u.npy", truncated)
         with pytest.raises(ArtifactError, match="manifest says"):
             store.verify(store.resolve("toy"))
 
-    def test_verify_detects_extra_arrays(self, store, embeddings):
+    def test_verify_detects_extra_arrays(self, store, embeddings, graph):
         u, v = embeddings
-        ref = store.publish("toy", u, v)
-        arrays = dict(np.load(ref.path / "embeddings.npz"))
+        ref = store.publish("toy", u, v, graph=graph)
+        arrays = dict(np.load(ref.path / "graph.npz"))
         arrays["sneaky"] = np.zeros(3)
-        np.savez_compressed(ref.path / "embeddings.npz", **arrays)
+        np.savez_compressed(ref.path / "graph.npz", **arrays)
         with pytest.raises(ArtifactError, match="unexpected arrays"):
             store.verify(store.resolve("toy"))
 
@@ -170,12 +174,11 @@ class TestVerifyLoad:
     def test_load_without_verify_skips_checksums(self, store, embeddings):
         u, v = embeddings
         ref = store.publish("toy", u, v)
-        arrays = dict(np.load(ref.path / "embeddings.npz"))
-        arrays["u"] = arrays["u"].copy()
-        arrays["u"][0, 0] += 1.0
-        np.savez_compressed(ref.path / "embeddings.npz", **arrays)
+        tampered = np.load(ref.path / "u.npy").copy()
+        tampered[0, 0] += 1.0
+        np.save(ref.path / "u.npy", tampered)
         loaded = store.load("toy", verify=False)  # trusts the bytes
-        assert loaded.u[0, 0] == arrays["u"][0, 0]
+        assert loaded.u[0, 0] == tampered[0, 0]
 
     def test_graph_user_mismatch_rejected(self, store, embeddings):
         u, v = embeddings
@@ -184,6 +187,167 @@ class TestVerifyLoad:
             store.publish("toy", u, v, graph=small)
         with pytest.raises(ArtifactError, match="graph is"):
             store.load("toy")
+
+
+class TestMemoryMappedLoad:
+    """The v2 per-array layout: mmap by default, eager on request."""
+
+    def test_mmap_load_returns_memmaps(self, store, embeddings):
+        u, v = embeddings
+        store.publish("toy", u, v)
+        loaded = store.load("toy")
+        assert isinstance(loaded.u, np.memmap)
+        assert isinstance(loaded.v, np.memmap)
+        np.testing.assert_array_equal(np.asarray(loaded.u), u)
+        np.testing.assert_array_equal(np.asarray(loaded.v), v)
+
+    def test_eager_load_returns_plain_arrays(self, store, embeddings):
+        u, v = embeddings
+        store.publish("toy", u, v)
+        loaded = store.load("toy", mmap=False)
+        assert not isinstance(loaded.u, np.memmap)
+        assert not isinstance(loaded.v, np.memmap)
+        np.testing.assert_array_equal(loaded.u, u)
+
+    def test_checksum_of_memmap_matches_manifest(self, store, embeddings):
+        """array_checksum must hash a memmap to the same digest as the
+        in-memory array it was saved from (the zero-copy verify path)."""
+        u, v = embeddings
+        ref = store.publish("toy", u, v)
+        loaded = store.load("toy", verify=False)
+        assert (
+            array_checksum(loaded.v)
+            == ref.manifest["files"]["v.npy"]["v"]["blake2b"]
+        )
+        assert array_checksum(loaded.v) == array_checksum(v)
+
+    def test_layout_is_per_array_npy(self, store, embeddings):
+        u, v = embeddings
+        ref = store.publish("toy", u, v)
+        assert (ref.path / "u.npy").is_file()
+        assert (ref.path / "v.npy").is_file()
+        assert not (ref.path / EMBEDDINGS_FILE).exists()
+        assert ref.manifest["version"] == 2
+        assert ref.quantize is None
+
+
+class TestQuantizedArtifacts:
+    @pytest.mark.parametrize("quant_dtype", ["float16", "int8"])
+    def test_round_trip_codes_and_scales(self, store, embeddings, quant_dtype):
+        u, v = embeddings
+        ref = store.publish("toy", u, v, quantize=quant_dtype)
+        assert ref.quantize == quant_dtype
+        assert ref.manifest["dtype"] == quant_dtype
+        loaded = store.load("toy")
+        assert loaded.quantize == quant_dtype
+        assert str(loaded.u.dtype) == quant_dtype
+        assert loaded.u_scales.shape == (u.shape[1],)
+        assert loaded.v_scales.shape == (v.shape[1],)
+        # Dequantization lands within the codec's per-column error bound.
+        v_deq = dequantize_columns(np.asarray(loaded.v), loaded.v_scales)
+        err = np.abs(v_deq - v).max(axis=0)
+        scale = np.abs(v).max(axis=0)
+        bound = scale * (2.0**-11 if quant_dtype == "float16" else 1 / 127)
+        assert np.all(err <= bound + 1e-12)
+
+    def test_scales_are_checksummed(self, store, embeddings):
+        u, v = embeddings
+        ref = store.publish("toy", u, v, quantize="int8")
+        assert "u_scales.npy" in ref.manifest["files"]
+        tampered = np.load(ref.path / "v_scales.npy").copy()
+        tampered[0] *= 2.0
+        np.save(ref.path / "v_scales.npy", tampered)
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            store.load("toy")
+
+    def test_bad_codec_rejected(self, store, embeddings):
+        u, v = embeddings
+        with pytest.raises(ArtifactError, match="quantize must be"):
+            store.publish("toy", u, v, quantize="int4")
+
+    def test_codes_dtype_cross_checked(self, store, embeddings):
+        """Codes swapped for a different dtype must be refused even with
+        verification off — the engine's validation is dtype-driven."""
+        u, v = embeddings
+        ref = store.publish("toy", u, v, quantize="int8")
+        codes = np.load(ref.path / "u.npy")
+        np.save(ref.path / "u.npy", codes.astype(np.float16))
+        with pytest.raises(ArtifactError, match="manifest says"):
+            store.load("toy", verify=False)
+
+    def test_quantized_and_exact_versions_coexist(self, store, embeddings):
+        u, v = embeddings
+        store.publish("toy", u, v)
+        store.publish("toy", u, v, quantize="float16")
+        assert store.load("toy", 1).quantize is None
+        assert store.load("toy", 2).quantize == "float16"
+
+
+class TestV1LegacyArtifacts:
+    """Hand-built schema-v1 artifacts must still resolve, verify, load."""
+
+    def _publish_v1(self, store, u, v):
+        base = store.root / "legacy"
+        path = base / "v0001"
+        path.mkdir(parents=True)
+        np.savez_compressed(path / EMBEDDINGS_FILE, u=u, v=v)
+        manifest = {
+            "schema": ARTIFACT_SCHEMA_NAME,
+            "version": 1,
+            "name": "legacy",
+            "artifact_version": 1,
+            "created": "2026-01-01T00:00:00Z",
+            "method": None,
+            "dataset": None,
+            "dimension": int(u.shape[1]),
+            "num_u": int(u.shape[0]),
+            "num_v": int(v.shape[0]),
+            "dtype": str(u.dtype),
+            "files": {
+                EMBEDDINGS_FILE: {
+                    name: {
+                        "dtype": str(array.dtype),
+                        "shape": [int(dim) for dim in array.shape],
+                        "blake2b": array_checksum(array),
+                    }
+                    for name, array in (("u", u), ("v", v))
+                }
+            },
+            "metadata": {},
+        }
+        (path / MANIFEST_FILE).write_text(json.dumps(manifest))
+        return path
+
+    def test_v1_round_trip(self, store, embeddings):
+        u, v = embeddings
+        self._publish_v1(store, u, v)
+        ref = store.resolve("legacy")
+        assert ref.manifest["version"] == 1
+        assert ref.quantize is None
+        store.verify(ref)
+        loaded = store.load("legacy")
+        assert not isinstance(loaded.u, np.memmap)  # npz: always eager
+        np.testing.assert_array_equal(loaded.u, u)
+        np.testing.assert_array_equal(loaded.v, v)
+        assert ArtifactStore.v_checksum(ref) == array_checksum(v)
+
+    def test_v1_corruption_detected(self, store, embeddings):
+        u, v = embeddings
+        path = self._publish_v1(store, u, v)
+        arrays = dict(np.load(path / EMBEDDINGS_FILE))
+        arrays["u"] = arrays["u"].copy()
+        arrays["u"][0, 0] += 1.0
+        np.savez_compressed(path / EMBEDDINGS_FILE, **arrays)
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            store.load("legacy")
+
+    def test_republish_upgrades_to_v2(self, store, embeddings):
+        u, v = embeddings
+        self._publish_v1(store, u, v)
+        ref = store.publish("legacy", u, v)
+        assert ref.version == 2
+        assert ref.manifest["version"] == 2
+        assert isinstance(store.load("legacy").u, np.memmap)
 
 
 class TestLoadEmbeddingArrays:
@@ -255,7 +419,7 @@ class TestIndexProvenance:
         """Build and save a correct index for ``toy@v<version>``."""
         ref = store.resolve("toy", version)
         loaded = store.load("toy", version)
-        digest = ref.manifest["files"]["embeddings.npz"]["v"]["blake2b"]
+        digest = ArtifactStore.v_checksum(ref)
         index = IVFIndex.build(
             loaded.v, n_cells=4, seed=0, v_checksum=digest, source=ref.tag
         )
@@ -302,9 +466,8 @@ class TestIndexProvenance:
         u, v = embeddings
         ref = store.publish("toy", u, v)
         self._index_for(store, 1)
-        arrays = dict(np.load(ref.path / "embeddings.npz"))
-        arrays["v"] = arrays["v"].copy()
-        arrays["v"][0, 0] += 1.0
-        np.savez_compressed(ref.path / "embeddings.npz", **arrays)
+        tampered = np.load(ref.path / "v.npy").copy()
+        tampered[0, 0] += 1.0
+        np.save(ref.path / "v.npy", tampered)
         with pytest.raises(ArtifactError, match="checksum"):
             EmbeddingService(store, "toy", ann=True, verify=False)

@@ -23,7 +23,7 @@ from hypothesis import strategies as st
 
 from repro.core.base import EmbeddingResult
 from repro.graph import BipartiteGraph
-from repro.serve import MicroBatcher, QueueFull
+from repro.serve import BatcherClosed, MicroBatcher, QueueFull
 from repro.tasks import TopKEngine
 
 NUM_USERS = 30
@@ -199,8 +199,11 @@ class TestLifecycle:
         for user, future in enumerate(futures):
             items, _ = future.result(timeout=30)
             np.testing.assert_array_equal(items, expected_items[user][:4])
-        with pytest.raises(RuntimeError, match="closed"):
+        # The typed subclass the HTTP tier maps to a clean 503 — a request
+        # racing stop() is an availability event, not a 500.
+        with pytest.raises(BatcherClosed, match="closed"):
             batcher.submit(0, 3)
+        assert issubclass(BatcherClosed, RuntimeError)
         batcher.close()  # idempotent
 
     def test_scoring_error_reaches_every_caller(self, score_fn):

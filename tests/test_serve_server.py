@@ -359,3 +359,71 @@ class TestReload:
         assert status == 200
         assert failures == []
         assert _call(server, "/healthz")[1]["model"] == "toy@v2"
+
+
+class TestShutdownRace:
+    def test_request_racing_stop_gets_clean_503(self, service):
+        """A single-user request that reaches the batcher after stop()
+        closed it is an availability event: clean 503 ("server shutting
+        down"), never a RuntimeError-turned-500."""
+        with EmbeddingServer(service, ServerConfig()) as server:
+            # stop() shuts the listener first, then the batcher — a request
+            # already past admission can hit the closed batcher.  Reproduce
+            # that interleaving deterministically.
+            server._batcher.close()
+            status, body = _call(server, "/v1/topk", {"user": 0, "n": 5})
+        assert status == 503
+        assert body["error"] == "server shutting down"
+        assert service.metrics["requests"] == 0  # nothing was scored
+
+
+class TestQuantizedServing:
+    @pytest.mark.parametrize("codec", ["float16", "int8"])
+    def test_metrics_report_quant_mode_and_residency(
+        self, tmp_path, result, graph, codec
+    ):
+        store = ArtifactStore(tmp_path / "qstore")
+        store.publish(
+            "toy", result.u, result.v, graph=graph, method="random",
+            quantize=codec,
+        )
+        service = EmbeddingService(store, "toy")
+        with EmbeddingServer(service, ServerConfig()) as server:
+            status, body = _call(server, "/metrics")
+        assert status == 200
+        assert body["quantize"] == codec
+        assert body["bytes_resident"] == service.bytes_resident() > 0
+
+    def test_metrics_report_exact_mode(self, server, service):
+        status, body = _call(server, "/metrics")
+        assert status == 200
+        assert body["quantize"] is None
+        assert body["bytes_resident"] == service.bytes_resident() > 0
+
+    @pytest.mark.parametrize("codec", ["float16", "int8"])
+    def test_quantized_responses_match_offline_quant_engine(
+        self, tmp_path, result, graph, codec
+    ):
+        from repro.core.quantize import quantize_columns
+        from repro.tasks.topk import QuantizedTopKEngine
+
+        u_codes, u_scales = quantize_columns(result.u, codec)
+        v_codes, v_scales = quantize_columns(result.v, codec)
+        offline = QuantizedTopKEngine(
+            u_codes, u_scales, v_codes, v_scales, quant_dtype=codec
+        )
+        expected = offline.top_items(6, exclude=graph)
+        store = ArtifactStore(tmp_path / "qstore")
+        store.publish(
+            "toy", result.u, result.v, graph=graph, method="random",
+            quantize=codec,
+        )
+        service = EmbeddingService(store, "toy")
+        with EmbeddingServer(service, ServerConfig()) as server:
+            status, body = _call(
+                server, "/v1/topk", {"users": [0, 7, 49], "n": 6}
+            )
+        assert status == 200
+        assert body["items"] == [
+            expected[user].tolist() for user in (0, 7, 49)
+        ]

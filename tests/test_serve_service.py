@@ -258,3 +258,81 @@ class TestServiceMetrics:
         assert percentile(samples, 95) == 40.0
         assert percentile([], 50) == 0.0
         assert percentile([7.0], 99) == 7.0
+
+
+class TestQuantizedService:
+    """Serving a quantized artifact: exact over the dequantized arrays."""
+
+    @pytest.fixture(params=["float16", "int8"])
+    def codec(self, request):
+        return request.param
+
+    @pytest.fixture
+    def quant_store(self, tmp_path, result, graph, codec):
+        store = ArtifactStore(tmp_path / "qstore")
+        store.publish(
+            "toy", result.u, result.v, graph=graph, method="random",
+            quantize=codec,
+        )
+        return store
+
+    def _offline(self, result, codec):
+        from repro.core.quantize import quantize_columns
+        from repro.tasks.topk import QuantizedTopKEngine
+
+        u_codes, u_scales = quantize_columns(result.u, codec)
+        v_codes, v_scales = quantize_columns(result.v, codec)
+        return QuantizedTopKEngine(
+            u_codes, u_scales, v_codes, v_scales, quant_dtype=codec
+        )
+
+    def test_top_items_matches_offline_quant_engine(
+        self, quant_store, result, graph, codec
+    ):
+        service = EmbeddingService(quant_store, "toy")
+        assert service.quantize == codec
+        offline = self._offline(result, codec)
+        expected = offline.top_items(8, exclude=graph)
+        out = service.top_items(range(result.u.shape[0]), 8)
+        np.testing.assert_array_equal(out["items"], expected)
+
+    def test_scores_are_exact_dequantized_dots(
+        self, quant_store, result, codec
+    ):
+        service = EmbeddingService(quant_store, "toy")
+        offline = self._offline(result, codec)
+        np.testing.assert_array_equal(
+            service.scores(11), offline.user_scores(11)
+        )
+
+    def test_quantized_rejects_sharded_and_ann_modes(self, quant_store):
+        from repro.serve import ArtifactError, ShardConfig
+
+        with pytest.raises(ArtifactError, match="republish without"):
+            EmbeddingService(quant_store, "toy", shards=ShardConfig(n_shards=2))
+        with pytest.raises(ArtifactError, match="republish without"):
+            EmbeddingService(quant_store, "toy", ann=True)
+
+    def test_quantized_resident_smaller_than_exact(
+        self, quant_store, store, codec
+    ):
+        quant = EmbeddingService(quant_store, "toy")
+        exact = EmbeddingService(store, "toy")
+        assert 0 < quant.bytes_resident() < exact.bytes_resident()
+
+    def test_reload_crosses_codec_boundary(
+        self, quant_store, result, graph, codec
+    ):
+        """v1 quantized -> v2 exact: reload swaps engines cleanly."""
+        service = EmbeddingService(quant_store, "toy")
+        assert service.quantize == codec
+        quant_store.publish(
+            "toy", result.u, result.v, graph=graph, method="random"
+        )
+        old, new = service.reload()
+        assert (old, new) == ("toy@v1", "toy@v2")
+        assert service.quantize is None
+        expected = TopKEngine(result.u, result.v).top_items(5, exclude=graph)
+        np.testing.assert_array_equal(
+            service.top_items(range(result.u.shape[0]), 5)["items"], expected
+        )

@@ -324,6 +324,128 @@ class TestFaultInjection:
         assert np.all(np.isneginf(result["scores"][:, survivors:]))
         assert np.all(result["items"][:, :survivors] >= 0)
 
+    def test_all_slow_wave_costs_one_deadline_not_n(self, embeddings):
+        """A wave of 4 all-slow shards is bounded by ~1x ``deadline_ms``.
+
+        The gather spends every ``future.result`` timeout from one shared
+        wave clock; the per-future bug this pins against charged each slow
+        shard its own full budget, so k stragglers cost k * deadline_ms.
+        Here 4 shards each sleep well past a 150 ms deadline: the stacked
+        version needs >= 0.6 s just in timeouts, the wave clock ~0.15 s.
+        """
+        u, v = embeddings
+
+        def hook(shard: int) -> None:
+            time.sleep(2.0)
+
+        with _sharded(
+            u,
+            v,
+            config=ShardConfig(
+                n_shards=4, deadline_ms=150.0, on_failure="fail"
+            ),
+            shard_hook=hook,
+        ) as tier:
+            start = time.monotonic()
+            with pytest.raises(ShardFailure) as excinfo:
+                tier.top_items(5)
+            elapsed = time.monotonic() - start
+        assert excinfo.value.failed == [0, 1, 2, 3]
+        assert elapsed >= 0.10  # the deadline did actually run down
+        assert elapsed < 0.45, (
+            f"4-shard all-slow wave took {elapsed:.3f}s; per-future "
+            "deadlines are stacking instead of sharing one wave clock"
+        )
+
+    def test_straggler_keeps_submit_time_engine(self, embeddings):
+        """A timed-out straggler scores with the engine bound at submit.
+
+        Wave 1's shard-0 worker parks on an event until after the deadline
+        fires and the gather retires ``_engines[0]``.  When released, the
+        straggler must finish against the *retired* engine it was handed at
+        submit time — reading ``self._engines[0]`` at run time would grab
+        the replacement and race the next wave's workspace.
+        """
+        u, v = embeddings
+        release = threading.Event()
+        parked = threading.Event()
+        state = {"first": True}
+
+        def hook(shard: int) -> None:
+            if shard == 0 and state["first"]:
+                state["first"] = False
+                parked.set()
+                release.wait(timeout=10.0)
+
+        calls = []
+
+        def trace(engine, label):
+            inner = engine.iter_top_items
+
+            def wrapper(*args, **kwargs):
+                calls.append(label)
+                return inner(*args, **kwargs)
+
+            engine.iter_top_items = wrapper
+
+        try:
+            with _sharded(
+                u,
+                v,
+                config=ShardConfig(
+                    n_shards=2, deadline_ms=50.0, on_failure="degrade"
+                ),
+                shard_hook=hook,
+            ) as tier:
+                original = tier._engines[0]
+                trace(original, "original")
+                degraded = tier.top_items(5)
+                assert parked.is_set()
+                assert degraded["degraded"] is True
+                assert degraded["failed_shards"] == [0]
+                replacement = tier._engines[0]
+                assert replacement is not original
+                trace(replacement, "replacement")
+                release.set()
+                deadline = time.monotonic() + 5.0
+                while "original" not in calls and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert "original" in calls, (
+                    "released straggler never scored with its submit-time "
+                    "engine"
+                )
+                assert "replacement" not in calls, (
+                    "straggler re-read self._engines after retirement and "
+                    "raced the replacement's workspace"
+                )
+                healthy = tier.top_items(5)
+                assert healthy["degraded"] is False
+                assert "replacement" in calls  # wave 2 uses the new engine
+        finally:
+            release.set()  # never leave the worker parked on failure
+
+
+def _shard_thread_count() -> int:
+    return sum(
+        thread.name.startswith("repro-shard")
+        for thread in threading.enumerate()
+    )
+
+
+def _settle_shard_threads(at_most: int, timeout: float = 10.0) -> bool:
+    """Poll until the scatter-pool thread count drops to ``at_most``.
+
+    ``close()`` drains with ``shutdown(wait=False)``, so retired workers
+    (including cancelled stragglers finishing an injected sleep) exit
+    asynchronously — counting without a settle window would be flaky.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if _shard_thread_count() <= at_most:
+            return True
+        time.sleep(0.05)
+    return False
+
 
 @pytest.fixture(scope="module")
 def published(tmp_path_factory, embeddings, graph):
@@ -465,3 +587,39 @@ class TestHttpTier:
             assert body["failed_shards"] == [1]
         finally:
             service.close()
+
+
+class TestReloadLifecycle:
+    """reload() must retire the old model's scatter pool, not leak it."""
+
+    def test_ten_reloads_zero_thread_growth(self, published):
+        """10 reloads leave exactly one pool's worth of shard threads.
+
+        Every reload swaps in a fresh ``ShardedTopK`` (its own
+        ``n_shards``-thread pool); the retired model's pool is drain-closed
+        after the swap.  The leak this pins against kept every generation's
+        pool alive, growing the process by ``n_shards`` threads per reload.
+        """
+        assert _settle_shard_threads(0), (
+            "shard threads leaked in from earlier tests"
+        )
+        service = EmbeddingService(
+            published, "toy", shards=ShardConfig(n_shards=3)
+        )
+        try:
+            service.top_items([0, 1], 5)  # spin up the first pool's workers
+            baseline = _shard_thread_count()
+            assert 1 <= baseline <= 3
+            for _ in range(10):
+                service.reload()
+                result = service.top_items([0, 1], 5)
+                assert result["degraded"] is False
+            assert _settle_shard_threads(baseline), (
+                f"{_shard_thread_count()} shard threads alive after 10 "
+                f"reloads (baseline {baseline}); retired pools are leaking"
+            )
+        finally:
+            service.close()
+        assert _settle_shard_threads(0), (
+            "close() left the final scatter pool running"
+        )
