@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-ann bench-quant bench-pytest examples quicktest profile-smoke serve-smoke clean
+.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-ann bench-quant bench-refresh bench-pytest examples quicktest profile-smoke serve-smoke clean
 
 # Kernel-level suites that must hold under a parallel executor; `make test`
 # reruns them with REPRO_NUM_THREADS=4 after the default serial pass.  The
@@ -14,11 +14,14 @@ PYTHON ?= python
 # merge (shard count and executor width never change the lists), and the
 # quantized margin rerank (block size, thread count, and codec never move
 # a list or a score bit off the exact engine over the dequantized arrays).
+# The delta-replay and warm-refresh suites ride along too: delta
+# application and the warm/cold refit split are bit-deterministic claims,
+# so they must hold at any executor width.
 THREADED_TESTS = tests/test_linalg_kernels.py tests/test_linalg_parallel.py \
   tests/test_kernels_fallback.py tests/test_topk.py \
   tests/test_serve_batcher.py tests/test_serve_server.py \
   tests/test_ann.py tests/test_serve_sharded.py tests/test_quant.py \
-  tests/test_serve_service.py
+  tests/test_serve_service.py tests/test_graph_delta.py tests/test_refresh.py
 
 install:
 	pip install -e . || { \
@@ -80,6 +83,16 @@ bench-ann:
 bench-quant:
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --quant-only \
 	  --output /tmp/gebe-bench-quant.json
+
+# The incremental-refresh axis alone: cold anchor fit, then a warm refit
+# over a small edge-delta batch — a seconds-scale check that the warm path
+# saves matvecs and QR sweeps, the delta publish stays smaller than a full
+# one, and the refreshed top-k lists keep >= 0.9 overlap with cold (the
+# run exits 1 on any violation).  See docs/SERVING.md and
+# docs/BENCHMARKS.md.
+bench-refresh:
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --refresh-only \
+	  --output /tmp/gebe-bench-refresh.json
 
 # End-to-end serving round trip: fit the toy graph, publish to a throwaway
 # artifact store, answer concurrent HTTP top-k requests in-process, and

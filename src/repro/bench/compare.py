@@ -28,6 +28,7 @@ __all__ = [
     "load_bench",
     "compare_bench",
     "render_compare",
+    "refresh_violations",
     "DEFAULT_NOISE",
     "DEFAULT_MIN_SECONDS",
 ]
@@ -118,6 +119,51 @@ def _quant_as_run(row: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _refresh_as_run(row: Dict[str, Any]) -> Dict[str, Any]:
+    """A refresh row viewed as a regular run row for the diff machinery.
+
+    The ``policy`` slot encodes the refit mode (``refresh:cold`` /
+    ``refresh:warm``) and the obs ``matvecs`` counter carries straight
+    through — the delta is seeded, so matvec drift between runs of the
+    same config means the refresh schedule itself changed.
+    """
+    return {
+        "method": row["method"],
+        "dataset": row["dataset"],
+        "policy": f"refresh:{row['mode']}",
+        "threads": 1,
+        "wall_seconds": row["wall_seconds"],
+        "matvecs": row["matvecs"],
+    }
+
+
+def refresh_violations(runs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The refresh axis's hard invariants, checked within one document.
+
+    A warm row must (1) pass the top-n quality gate against the cold refit
+    (``quality_ok``) and (2) actually save matvecs over the cold row for
+    the same method/dataset — a warm refresh that does neither is the
+    tentpole claim failing, not noise.  Cold rows only carry the quality
+    flag (trivially true unless the harness was modified).
+    """
+    cold = {
+        (row["method"], row["dataset"]): row["matvecs"]
+        for row in runs
+        if row["mode"] == "cold"
+    }
+    violations: List[Dict[str, Any]] = []
+    for row in runs:
+        if not row["quality_ok"]:
+            violations.append(row)
+            continue
+        if row["mode"] != "warm":
+            continue
+        cold_matvecs = cold.get((row["method"], row["dataset"]))
+        if cold_matvecs is not None and row["matvecs"] >= cold_matvecs:
+            violations.append(row)
+    return violations
+
+
 def compare_bench(
     old: Dict[str, Any],
     new: Dict[str, Any],
@@ -139,9 +185,10 @@ def compare_bench(
     * ``invariant_violations`` — ``matvecs_equal`` failures inside the
       fresh run's own comparisons, ``lists_equal`` failures inside its
       topk comparisons (batched retrieval diverging from per-user),
-      full-probe ann rows whose lists diverge from the exact engine, and
+      full-probe ann rows whose lists diverge from the exact engine,
       quant rows whose lists diverge from the exact engine over the
-      dequantized arrays;
+      dequantized arrays, and refresh rows that fail the warm-vs-cold
+      quality gate or whose warm refit did not save matvecs;
     * ``missing`` / ``added`` — cell keys only in the old / new document;
     * ``noise`` — the threshold used.
     """
@@ -174,6 +221,14 @@ def compare_bench(
     new_runs.update(
         (_run_key(row), row)
         for row in map(_quant_as_run, new.get("quant_runs", []))
+    )
+    old_runs.update(
+        (_run_key(row), row)
+        for row in map(_refresh_as_run, old.get("refresh_runs", []))
+    )
+    new_runs.update(
+        (_run_key(row), row)
+        for row in map(_refresh_as_run, new.get("refresh_runs", []))
     )
     rows: List[Dict[str, Any]] = []
     for key in new_runs:
@@ -227,7 +282,8 @@ def compare_bench(
             row
             for row in new.get("quant_runs", [])
             if not row["lists_equal"]
-        ],
+        ]
+        + refresh_violations(new.get("refresh_runs", [])),
         "missing": sorted(key for key in old_runs if key not in new_runs),
         "added": sorted(key for key in new_runs if key not in old_runs),
         "noise": noise,

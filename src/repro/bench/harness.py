@@ -135,6 +135,21 @@ class BenchConfig:
         The codecs to sweep (subset of ``{"float16", "int8"}``).
     quant_n:
         Recommendation list length for the quant axis.
+    refresh:
+        Run the incremental-refresh axis: fit the first method cold,
+        publish it, apply a seeded ``refresh_fraction`` edge delta through
+        :func:`~repro.graph.delta.apply_deltas`, then refit both cold and
+        warm (basis recovered from the published embeddings), recording
+        matvec/QR counts, delta-publish bytes vs a from-scratch publish,
+        and a top-``refresh_n`` quality gate of the warm lists against the
+        cold refit (``quality_ok`` — the compare machinery treats a
+        failure, or a warm row that does *not* save matvecs, as an
+        invariant violation).
+    refresh_fraction:
+        Fraction of base edges the seeded delta reweights (paper-realistic
+        refreshes are ~1%).
+    refresh_n:
+        Recommendation list length for the refresh quality gate.
     """
 
     datasets: Tuple[str, ...] = ("dblp", "mag")
@@ -163,6 +178,9 @@ class BenchConfig:
     quant_queries: int = 64
     quant_dtypes: Tuple[str, ...] = ("float16", "int8")
     quant_n: int = 100
+    refresh: bool = False
+    refresh_fraction: float = 0.01
+    refresh_n: int = 10
 
     @classmethod
     def smoke(cls) -> "BenchConfig":
@@ -891,6 +909,196 @@ def _run_quant_axis(
     return rows
 
 
+def _refresh_progress(row: Dict[str, Any]) -> None:
+    sub = "-" if row["refresh_mode"] is None else row["refresh_mode"]
+    print(
+        f"  refresh {row['mode']:<5} {row['dataset']:<8} ({sub}) "
+        f"{row['wall_seconds']:8.3f}s {row['matvecs']:>6} matvecs "
+        f"publish={row['publish_bytes']}/{row['full_publish_bytes']}B "
+        f"quality={'ok' if row['quality_ok'] else 'BAD'}",
+        file=sys.stderr,
+    )
+
+
+def _seeded_delta_log(graph: BipartiteGraph, fraction: float, seed: int):
+    """A deterministic reweight-only delta touching ``fraction`` of edges.
+
+    Reweighting (rather than add/remove) keeps the sparsity pattern fixed,
+    which is the common refresh shape — interaction counts drift, the
+    incidence structure mostly does not — and it perturbs the spectrum
+    gently enough that the warm basis should be accepted.
+    """
+    from ..graph import DeltaLog
+
+    coo = graph.w.tocoo()
+    num_edges = int(coo.nnz)
+    count = max(1, min(num_edges, int(round(fraction * num_edges))))
+    rng = np.random.default_rng(seed + 1)
+    chosen = np.sort(rng.choice(num_edges, size=count, replace=False))
+    log = DeltaLog.for_graph(graph)
+    for pos in chosen:
+        log.reweight(
+            int(coo.row[pos]), int(coo.col[pos]), float(coo.data[pos]) * 1.25
+        )
+    return log
+
+
+def _warm_basis(result) -> np.ndarray:
+    """The fit's U factor column-normalized back to the orthonormal Phi."""
+    from ..linalg import warm_basis_from_embedding
+
+    return warm_basis_from_embedding(
+        result.u, result.metadata.get("effective_dimension")
+    )
+
+
+def _run_refresh_axis(
+    dataset: str,
+    graph: BipartiteGraph,
+    config: BenchConfig,
+    *,
+    progress: bool = False,
+) -> List[Dict[str, Any]]:
+    """The incremental-refresh axis for one dataset: cold vs warm refit.
+
+    Pipeline (the serving lifecycle in miniature): fit the base graph cold
+    and publish it in full, apply a seeded ``refresh_fraction`` reweight
+    delta, ingest-publish the new graph as a delta artifact (embeddings
+    unchanged — only ``graph.npz`` is written), then refit the new graph
+    twice:
+
+    * ``cold`` — a from-scratch fit, its embeddings published in full.
+      This row's publish bytes anchor every delta-publish saving.
+    * ``warm`` — the same fit warm-started from the base artifact's basis
+      (:func:`_warm_basis`), its embeddings delta-published against the
+      ingest version (graph unchanged — only the embedding arrays are
+      written).
+
+    Both rows record obs matvec/QR counts; ``quality_ok`` gates the warm
+    row's top-``refresh_n`` lists against the cold refit's (mean per-user
+    overlap >= 0.9 — warm and cold are *different* eps-approximations, so
+    element-identity is not the contract; heavy list divergence is).  The
+    compare machinery treats a failed gate or a warm row with no matvec
+    saving as an invariant violation.
+    """
+    from ..core import GEBEPoisson
+    from ..graph import apply_deltas
+    from ..serve.artifacts import ArtifactStore
+
+    policy = DtypePolicy.default().with_threads(1)
+
+    def fit(target: BipartiteGraph, warm_start=None):
+        walls: List[float] = []
+        fitted = None
+        counters = {"matvecs": 0, "qr_factorizations": 0}
+        for _ in range(config.repeats):
+            method = GEBEPoisson(
+                dimension=config.dimension,
+                seed=config.seed,
+                dtype_policy=policy,
+                warm_start=warm_start,
+            )
+            with obs.collect() as collector:
+                started = time.perf_counter()
+                out = method.fit(target)
+                walls.append(time.perf_counter() - started)
+            counters = {
+                "matvecs": int(collector.ops.sparse_matvecs),
+                "qr_factorizations": int(collector.ops.qr_factorizations),
+            }
+            if fitted is None:
+                fitted = out
+        return fitted, walls, counters
+
+    def artifact_bytes(ref) -> int:
+        return sum(entry.stat().st_size for entry in ref.path.iterdir())
+
+    base_fit, _, _ = fit(graph)
+    log = _seeded_delta_log(graph, config.refresh_fraction, config.seed)
+    new_graph = apply_deltas(graph, log)
+    delta_edges = len(log.deltas)
+    base = {
+        "method": base_fit.method,
+        "dataset": dataset,
+        "delta_edges": delta_edges,
+        "delta_fraction": delta_edges / max(1, graph.num_edges),
+    }
+    n = max(1, min(int(config.refresh_n), graph.num_v))
+    rows: List[Dict[str, Any]] = []
+
+    def finish(row: Dict[str, Any]) -> Dict[str, Any]:
+        rows.append(row)
+        if progress:
+            _refresh_progress(row)
+        return row
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-refresh-") as tmp:
+        store = ArtifactStore(tmp)
+        store.publish(
+            "refresh", base_fit.u, base_fit.v, graph=graph,
+            method=base_fit.method, dataset=dataset,
+        )
+        # Ingest publish: new graph, unchanged embeddings — only graph.npz
+        # is written, the embedding arrays become base-version references.
+        ingest = store.publish(
+            "refresh", base_fit.u, base_fit.v, graph=new_graph,
+            method=base_fit.method, dataset=dataset, base_version=1,
+        )
+
+        cold_fit, cold_walls, cold_counters = fit(new_graph)
+        cold_ref = store.publish(
+            "refresh", cold_fit.u, cold_fit.v, graph=new_graph,
+            method=cold_fit.method, dataset=dataset,
+        )
+        full_bytes = artifact_bytes(cold_ref)
+        finish(
+            {
+                **base,
+                **cold_counters,
+                "mode": "cold",
+                "refresh_mode": None,
+                "wall_seconds": min(cold_walls),
+                "wall_seconds_all": cold_walls,
+                "publish_bytes": full_bytes,
+                "full_publish_bytes": full_bytes,
+                "quality_ok": True,
+            }
+        )
+
+        warm_fit, warm_walls, warm_counters = fit(
+            new_graph, warm_start=_warm_basis(base_fit)
+        )
+        warm_ref = store.publish(
+            "refresh", warm_fit.u, warm_fit.v, graph=new_graph,
+            method=warm_fit.method, dataset=dataset,
+            base_version=ingest.version,
+        )
+        cold_lists = TopKEngine.from_result(cold_fit, policy=policy).top_items(n)
+        warm_lists = TopKEngine.from_result(warm_fit, policy=policy).top_items(n)
+        overlap = float(
+            np.mean(
+                [
+                    np.isin(warm_lists[i], cold_lists[i]).mean()
+                    for i in range(warm_lists.shape[0])
+                ]
+            )
+        )
+        finish(
+            {
+                **base,
+                **warm_counters,
+                "mode": "warm",
+                "refresh_mode": warm_fit.metadata["refresh"]["mode"],
+                "wall_seconds": min(warm_walls),
+                "wall_seconds_all": warm_walls,
+                "publish_bytes": artifact_bytes(warm_ref),
+                "full_publish_bytes": full_bytes,
+                "quality_ok": overlap >= 0.9,
+            }
+        )
+    return rows
+
+
 def _environment() -> Dict[str, Any]:
     return {
         "python": sys.version.split()[0],
@@ -964,6 +1172,7 @@ def run_bench(
     topk_runs: List[Dict[str, Any]] = []
     topk_comparisons: List[Dict[str, Any]] = []
     serve_runs: List[Dict[str, Any]] = []
+    refresh_runs: List[Dict[str, Any]] = []
     # The dtype-policy grid (all serial) plus the threads axis (default
     # policy re-run at each multi-thread count).
     grid: List[DtypePolicy] = config.policies()
@@ -998,6 +1207,10 @@ def run_bench(
             serve_runs.extend(
                 _run_serve_axis(dataset, graph, config, progress=progress)
             )
+        if config.refresh:
+            refresh_runs.extend(
+                _run_refresh_axis(dataset, graph, config, progress=progress)
+            )
     ann_runs: List[Dict[str, Any]] = []
     if config.ann:
         # The ANN axis runs once, not per dataset: its workload is the
@@ -1025,6 +1238,7 @@ def run_bench(
         "serve_runs": serve_runs,
         "ann_runs": ann_runs,
         "quant_runs": quant_runs,
+        "refresh_runs": refresh_runs,
     }
     return validate_bench(payload)
 
@@ -1142,5 +1356,26 @@ def render_bench(payload: Dict[str, Any]) -> str:
                 f"{run['resident_bytes'] / 1e6:>9.1f}"
                 f"{run['p50_ms']:>9.2f}{run['p95_ms']:>9.2f}"
                 f"{'ok' if run['lists_equal'] else 'BAD':>7}"
+            )
+    if payload.get("refresh_runs"):
+        lines.append(
+            "incremental refresh (warm rows must save matvecs and pass the "
+            "top-n quality gate vs the cold refit)"
+        )
+        header = (
+            f"{'refresh':<8}{'dataset':<10}{'outcome':<15}{'edges':>7}"
+            f"{'wall':>10}{'matvecs':>9}{'qr':>5}{'publish B':>11}"
+            f"{'full B':>9}{'quality':>9}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for run in payload["refresh_runs"]:
+            outcome = "-" if run["refresh_mode"] is None else run["refresh_mode"]
+            lines.append(
+                f"{run['mode']:<8}{run['dataset']:<10}{outcome:<15}"
+                f"{run['delta_edges']:>7}{run['wall_seconds']:>9.3f}s"
+                f"{run['matvecs']:>9}{run['qr_factorizations']:>5}"
+                f"{run['publish_bytes']:>11}{run['full_publish_bytes']:>9}"
+                f"{'ok' if run['quality_ok'] else 'BAD':>9}"
             )
     return "\n".join(lines)

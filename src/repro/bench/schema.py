@@ -32,7 +32,8 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
       "topk_comparisons": [TopkComparison, ...],
       "serve_runs": [ServeRun, ...],
       "ann_runs": [AnnRun, ...],
-      "quant_runs": [QuantRun, ...]
+      "quant_runs": [QuantRun, ...],
+      "refresh_runs": [RefreshRun, ...]
     }
 
     Run: {
@@ -123,7 +124,30 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
       "lists_equal": bool         # HARD invariant: lists identical to the
     }                             # exact engine's (scores included)
 
-Version history: v6 added the quantized-artifact axis (``quant_runs`` and
+    RefreshRun: {                 # the incremental-refresh axis: refit
+      "method": str, "dataset": str,      # after a small edge delta
+      "mode": str,                # "cold" | "warm"
+      "refresh_mode": str | null, # RunReport refresh.mode for warm rows
+                                  # ("warm" | "cold_fallback"; null for cold)
+      "delta_edges": int,         # edges the delta log touched
+      "delta_fraction": float,    # delta_edges / base num_edges
+      "wall_seconds": float,      # min over repeats
+      "wall_seconds_all": [float, ...],
+      "matvecs": int,             # obs sparse_matvecs of the refit
+      "qr_factorizations": int,
+      "publish_bytes": int,       # on-disk bytes this row's publish wrote
+      "full_publish_bytes": int,  # bytes a from-scratch publish writes
+      "quality_ok": bool          # HARD invariant: warm top-n lists match
+    }                             # the cold refit's (cold rows: trivially
+                                  # true)
+
+Version history: v7 added the incremental-refresh axis (``refresh_runs``
+and the ``refresh``/``refresh_fraction``/``refresh_n`` config switches):
+cold-vs-warm refit rows after a seeded ~1% edge delta, with warm matvec
+counts, delta-publish bytes vs a full publish, and the warm rows'
+recommendation lists gated against the cold refit.  Older documents
+upgrade with the axis absent.
+v6 added the quantized-artifact axis (``quant_runs`` and
 the ``quant_*`` config switches): per-codec publish/load/query rows over a
 large item stand-in, with memory-mapped loads timed against the exact
 eager baseline and every quantized row's recommendation lists hard-checked
@@ -161,7 +185,7 @@ __all__ = [
 ]
 
 BENCH_SCHEMA_NAME = "repro.bench.results"
-BENCH_SCHEMA_VERSION = 6
+BENCH_SCHEMA_VERSION = 7
 
 _CONFIG_KEYS = {
     "datasets": list,
@@ -190,6 +214,9 @@ _CONFIG_KEYS = {
     "quant_queries": int,
     "quant_dtypes": list,
     "quant_n": int,
+    "refresh": bool,
+    "refresh_fraction": (int, float),
+    "refresh_n": int,
 }
 _ENVIRONMENT_KEYS = {
     "python": str,
@@ -306,6 +333,23 @@ _QUANT_RUN_KEYS = {
     "lists_equal": bool,
 }
 _QUANT_MODES = ("exact", "float16", "int8")
+_REFRESH_RUN_KEYS = {
+    "method": str,
+    "dataset": str,
+    "mode": str,
+    "refresh_mode": (str, type(None)),
+    "delta_edges": int,
+    "delta_fraction": (int, float),
+    "wall_seconds": (int, float),
+    "wall_seconds_all": list,
+    "matvecs": int,
+    "qr_factorizations": int,
+    "publish_bytes": int,
+    "full_publish_bytes": int,
+    "quality_ok": bool,
+}
+_REFRESH_MODES = ("cold", "warm")
+_REFRESH_SUBMODES = ("warm", "cold_fallback")
 
 
 def _fail(message: str) -> None:
@@ -336,9 +380,12 @@ def upgrade_bench(payload: Any) -> Any:
     upgrades as *absent* (``topk: false``, empty ``topk_runs`` /
     ``topk_comparisons``) rather than pretending it ran.  v3 likewise
     predates the serving axis (``serve_smoke: false``, empty
-    ``serve_runs``), and v4 the ANN axis (``ann: false``, empty
-    ``ann_runs``).  Current-version documents pass through untouched;
-    unknown versions fail validation downstream.
+    ``serve_runs``), v4 the ANN axis (``ann: false``, empty ``ann_runs``),
+    v5 the quantized-artifact axis (``quant: false``, empty
+    ``quant_runs``), and v6 the incremental-refresh axis
+    (``refresh: false``, empty ``refresh_runs``).  Current-version
+    documents pass through untouched; unknown versions fail validation
+    downstream.
     """
     if not isinstance(payload, dict):
         return payload
@@ -384,7 +431,7 @@ def upgrade_bench(payload: Any) -> Any:
             config.setdefault("ann_n", 100)
         payload.setdefault("ann_runs", [])
     if payload.get("version") == 5:
-        payload["version"] = BENCH_SCHEMA_VERSION
+        payload["version"] = 6
         config = payload.get("config")
         if isinstance(config, dict):
             config.setdefault("quant", False)
@@ -393,6 +440,14 @@ def upgrade_bench(payload: Any) -> Any:
             config.setdefault("quant_dtypes", [])
             config.setdefault("quant_n", 100)
         payload.setdefault("quant_runs", [])
+    if payload.get("version") == 6:
+        payload["version"] = BENCH_SCHEMA_VERSION
+        config = payload.get("config")
+        if isinstance(config, dict):
+            config.setdefault("refresh", False)
+            config.setdefault("refresh_fraction", 0.01)
+            config.setdefault("refresh_n", 10)
+        payload.setdefault("refresh_runs", [])
     return payload
 
 
@@ -434,16 +489,20 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
     quant_runs = payload.get("quant_runs")
     if not isinstance(quant_runs, list):
         _fail("quant_runs must be a list")
+    refresh_runs = payload.get("refresh_runs")
+    if not isinstance(refresh_runs, list):
+        _fail("refresh_runs must be a list")
     if (
         not runs
         and not topk_runs
         and not serve_runs
         and not ann_runs
         and not quant_runs
+        and not refresh_runs
     ):
         _fail(
-            "runs, topk_runs, serve_runs, ann_runs, and quant_runs must "
-            "not all be empty"
+            "runs, topk_runs, serve_runs, ann_runs, quant_runs, and "
+            "refresh_runs must not all be empty"
         )
     for index, run in enumerate(runs):
         where = f"runs[{index}]"
@@ -559,4 +618,34 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
         ):
             if run[key] < 0:
                 _fail(f"{where}.{key} must be non-negative")
+    for index, run in enumerate(refresh_runs):
+        where = f"refresh_runs[{index}]"
+        _check_object(run, _REFRESH_RUN_KEYS, where)
+        if run["mode"] not in _REFRESH_MODES:
+            _fail(f"{where}.mode must be one of {_REFRESH_MODES}")
+        if run["mode"] == "warm":
+            if run["refresh_mode"] not in _REFRESH_SUBMODES:
+                _fail(
+                    f"{where}.refresh_mode must be one of {_REFRESH_SUBMODES} "
+                    "for warm rows"
+                )
+        elif run["refresh_mode"] is not None:
+            _fail(f"{where}.refresh_mode must be null for cold rows")
+        if not 0.0 <= run["delta_fraction"] <= 1.0:
+            _fail(f"{where}.delta_fraction must be within [0, 1]")
+        if not run["wall_seconds_all"] or not all(
+            isinstance(t, (int, float)) and t >= 0 for t in run["wall_seconds_all"]
+        ):
+            _fail(f"{where}.wall_seconds_all must be non-empty non-negative numbers")
+        for key in (
+            "delta_edges",
+            "matvecs",
+            "qr_factorizations",
+            "publish_bytes",
+            "full_publish_bytes",
+        ):
+            if run[key] < 0:
+                _fail(f"{where}.{key} must be non-negative")
+        if run["wall_seconds"] < 0:
+            _fail(f"{where}.wall_seconds must be non-negative")
     return payload

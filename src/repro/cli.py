@@ -9,6 +9,8 @@ Subcommands::
     python -m repro datasets   # list or materialize the dataset zoo
     python -m repro bench      # perf benchmark -> BENCH_gebe.json
     python -m repro publish    # embeddings .npz -> versioned artifact store
+    python -m repro refresh    # apply an edge-delta log + warm refit + delta publish
+    python -m repro artifacts  # store maintenance (gc old versions)
     python -m repro index      # build an IVF ANN index for a published artifact
     python -m repro serve      # long-lived HTTP top-k service (repro.serve)
 
@@ -357,6 +359,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DTYPE",
         help="codecs to sweep on the quant axis (default: float16 int8)",
     )
+    bench.add_argument(
+        "--refresh",
+        action="store_true",
+        help="also run the incremental-refresh axis: apply a seeded ~1%% "
+        "edge delta, refit cold and warm-started, and hard-assert the warm "
+        "refit saves matvecs, delta publishes fewer bytes than a full "
+        "publish, and passes the top-n quality gate vs the cold refit",
+    )
+    bench.add_argument(
+        "--refresh-only",
+        action="store_true",
+        help="run only the incremental-refresh axis (implies --refresh)",
+    )
+    bench.add_argument(
+        "--refresh-fraction",
+        type=float,
+        metavar="F",
+        help="fraction of base edges the seeded delta reweights "
+        "(default: 0.01)",
+    )
 
     publish = commands.add_parser(
         "publish",
@@ -386,6 +408,74 @@ def build_parser() -> argparse.ArgumentParser:
         "the server reranks through an exact float64 margin, so top-k "
         "lists stay identical to the unquantized artifact's engine over "
         "the same codes",
+    )
+    publish.add_argument(
+        "--base-version",
+        type=int,
+        metavar="N",
+        help="delta publish: arrays whose checksums match this existing "
+        "version are stored as references instead of being rewritten "
+        "(load/verify resolve and checksum the whole chain)",
+    )
+
+    refresh = commands.add_parser(
+        "refresh",
+        help="apply an edge-delta log to a published artifact, warm-refit, "
+        "and delta-publish the result",
+    )
+    refresh.add_argument(
+        "deltas", help="edge-delta log (JSONL written by DeltaLog.save)"
+    )
+    refresh.add_argument(
+        "--store", required=True, metavar="DIR", help="artifact store root"
+    )
+    refresh.add_argument(
+        "--name", required=True, help="artifact name to refresh"
+    )
+    refresh.add_argument(
+        "--artifact-version",
+        type=int,
+        metavar="N",
+        help="base version to refresh from (default: latest)",
+    )
+    refresh.add_argument("--seed", type=int, default=0)
+    refresh.add_argument(
+        "--cold",
+        action="store_true",
+        help="skip the warm start and refit from scratch (still delta-"
+        "publishes against the base version)",
+    )
+    refresh.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect stage timings, op counts, and the refresh outcome",
+    )
+    refresh.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="write the profiling report JSON here (default: stdout)",
+    )
+
+    artifacts = commands.add_parser(
+        "artifacts", help="artifact store maintenance"
+    )
+    artifacts_commands = artifacts.add_subparsers(
+        dest="artifacts_command", required=True
+    )
+    gc = artifacts_commands.add_parser(
+        "gc", help="delete old artifact versions, keeping the newest N"
+    )
+    gc.add_argument(
+        "--store", required=True, metavar="DIR", help="artifact store root"
+    )
+    gc.add_argument("--name", required=True, help="artifact name to prune")
+    gc.add_argument(
+        "--keep",
+        type=int,
+        default=2,
+        metavar="N",
+        help="newest versions to retain (default: 2); versions delta-"
+        "referenced by retained manifests are kept too",
     )
 
     index = commands.add_parser(
@@ -841,6 +931,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         BenchConfig,
         compare_bench,
         load_bench,
+        refresh_violations,
         render_bench,
         render_compare,
         run_bench,
@@ -882,9 +973,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["topk_block_rows"] = tuple(args.topk_block_rows)
     if args.serve_smoke:
         overrides["serve_smoke"] = True
-    if args.ann_only and args.topk_only:
-        print("error: --ann-only and --topk-only conflict", file=sys.stderr)
-        return 2
     if args.ann or args.ann_only:
         overrides["ann"] = True
     if args.ann_only:
@@ -900,9 +988,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print("error: --ann-nprobe values must be >= 1", file=sys.stderr)
             return 2
         overrides["ann_nprobe"] = tuple(args.ann_nprobe)
-    if args.quant_only and (args.topk_only or args.ann_only):
+    only_flags = [
+        flag
+        for flag in ("topk_only", "ann_only", "quant_only", "refresh_only")
+        if getattr(args, flag)
+    ]
+    if len(only_flags) > 1:
         print(
-            "error: --quant-only conflicts with --topk-only/--ann-only",
+            "error: "
+            + " and ".join("--" + flag.replace("_", "-") for flag in only_flags)
+            + " conflict",
             file=sys.stderr,
         )
         return 2
@@ -911,6 +1006,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.quant_only:
         overrides["fit_grid"] = False
         overrides["topk"] = False
+    if args.refresh or args.refresh_only:
+        overrides["refresh"] = True
+    if args.refresh_only:
+        overrides["fit_grid"] = False
+        overrides["topk"] = False
+    if args.refresh_fraction is not None:
+        if not 0.0 < args.refresh_fraction <= 1.0:
+            print(
+                "error: --refresh-fraction must be in (0, 1]", file=sys.stderr
+            )
+            return 2
+        overrides["refresh_fraction"] = args.refresh_fraction
     if args.quant_items is not None:
         if args.quant_items < 1:
             print("error: --quant-items must be >= 1", file=sys.stderr)
@@ -936,7 +1043,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{len(payload['topk_runs'])} topk runs + "
         f"{len(payload['serve_runs'])} serve runs + "
         f"{len(payload['ann_runs'])} ann runs + "
-        f"{len(payload['quant_runs'])} quant runs -> {args.output}"
+        f"{len(payload['quant_runs'])} quant runs + "
+        f"{len(payload['refresh_runs'])} refresh runs -> {args.output}"
     )
     status = 0
     mismatches = [
@@ -993,6 +1101,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         status = 1
+    refresh_bad = refresh_violations(payload["refresh_runs"])
+    if refresh_bad:
+        print(
+            "error: refresh invariants violated — warm refit must save "
+            "matvecs and pass the quality gate vs the cold refit "
+            f"({len(refresh_bad)} rows)",
+            file=sys.stderr,
+        )
+        status = 1
+    delta_publish_bad = [
+        row
+        for row in payload["refresh_runs"]
+        if row["mode"] == "warm"
+        and row["publish_bytes"] >= row["full_publish_bytes"]
+    ]
+    if delta_publish_bad:
+        print(
+            "error: delta publish wrote no fewer bytes than a full publish "
+            f"({len(delta_publish_bad)} rows)",
+            file=sys.stderr,
+        )
+        status = 1
     if baseline is not None:
         kwargs = {} if args.noise is None else {"noise": args.noise}
         result = compare_bench(baseline, payload, **kwargs)
@@ -1036,17 +1166,155 @@ def _cmd_publish(args: argparse.Namespace) -> int:
             method=args.method,
             dataset=args.dataset,
             quantize=args.quantize,
+            base_version=args.base_version,
         )
     except (ArtifactError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     manifest = ref.manifest
     quant = f", quantized={ref.quantize}" if ref.quantize else ""
+    delta = (
+        f", delta over v{ref.base_version} ({len(ref.file_refs)} refs)"
+        if ref.base_version is not None
+        else ""
+    )
     print(
         f"published {ref.tag} -> {ref.path} "
         f"(|U|={manifest['num_u']}, |V|={manifest['num_v']}, "
         f"k={manifest['dimension']}, "
-        f"graph={'yes' if ref.has_graph else 'no'}{quant})"
+        f"graph={'yes' if ref.has_graph else 'no'}{quant}{delta})"
+    )
+    return 0
+
+
+def _cmd_refresh(args: argparse.Namespace) -> int:
+    from .core import GEBEPoisson
+    from .graph import DeltaError, DeltaLog, apply_deltas
+    from .linalg import warm_basis_from_embedding
+    from .serve import ArtifactError, ArtifactStore
+
+    store = ArtifactStore(args.store)
+    try:
+        ref = store.resolve(args.name, args.artifact_version)
+        if ref.quantize is not None:
+            raise ArtifactError(
+                f"{ref.tag} is quantized ({ref.quantize}); refresh needs the "
+                "exact float embeddings — republish without --quantize"
+            )
+        loaded = store.load(args.name, ref.version)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if loaded.graph is None:
+        print(
+            f"error: {ref.tag} was published without its training graph; "
+            "refresh needs it to apply the delta log (republish with "
+            "--graph)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        log = DeltaLog.load(args.deltas)
+        new_graph = apply_deltas(loaded.graph, log)
+    except (OSError, DeltaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    dimension = int(ref.manifest["dimension"])
+    warm_start = (
+        None if args.cold else warm_basis_from_embedding(loaded.u)
+    )
+    method = GEBEPoisson(
+        dimension=dimension, seed=args.seed, warm_start=warm_start
+    )
+    collector_cm = obs.collect() if args.profile else None
+    collector = collector_cm.__enter__() if collector_cm is not None else None
+    try:
+        result = method.fit(new_graph)
+    finally:
+        if collector_cm is not None:
+            collector_cm.__exit__(None, None, None)
+    refresh_meta = result.metadata.get("refresh")
+
+    try:
+        new_ref = store.publish(
+            args.name,
+            result.u,
+            result.v,
+            graph=new_graph,
+            method=result.method,
+            dataset=ref.manifest.get("dataset"),
+            base_version=ref.version,
+        )
+    except (ArtifactError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if collector is not None:
+        refresh_section = None
+        if refresh_meta is not None:
+            refresh_section = dict(refresh_meta)
+            counter_key = (
+                "warm_matvecs"
+                if refresh_section["mode"] == "warm"
+                else "cold_matvecs"
+            )
+            refresh_section[counter_key] = int(collector.ops.sparse_matvecs)
+        report = collector.report(
+            method=result.method,
+            dataset=ref.manifest.get("dataset"),
+            dimension=dimension,
+            seed=args.seed,
+            wall_seconds=result.elapsed_seconds,
+            refresh=refresh_section,
+            metadata={
+                "base_version": ref.version,
+                "delta_counts": log.counts(),
+            },
+        )
+        if args.profile_out:
+            report.write(args.profile_out)
+            print(f"profile: {report.summary()} -> {args.profile_out}")
+        else:
+            print(report.to_json())
+
+    counts = log.counts()
+    applied = ", ".join(
+        f"{counts[op]} {op}" for op in ("add", "remove", "reweight") if counts[op]
+    )
+    outcome = (
+        "cold (--cold)"
+        if refresh_meta is None
+        else f"{refresh_meta['mode']} ({refresh_meta['reason']})"
+    )
+    stream = sys.stderr if args.profile and not args.profile_out else sys.stdout
+    print(
+        f"refreshed {ref.tag} -> {new_ref.tag}: applied {applied or 'no'} "
+        f"deltas, refit {outcome} in {result.elapsed_seconds:.2f}s, "
+        f"delta-published {len(new_ref.file_refs)} unchanged arrays as refs",
+        file=stream,
+    )
+    return 0
+
+
+def _cmd_artifacts(args: argparse.Namespace) -> int:
+    from .serve import ArtifactError, ArtifactStore
+
+    if args.keep < 1:
+        print("error: --keep must be >= 1", file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.store)
+    try:
+        deleted, retained = store.prune(args.name, keep=args.keep)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        ", ".join(f"v{version}" for version in deleted) if deleted else "none"
+    )
+    print(
+        f"gc {args.name}: deleted {rendered}, retained "
+        f"{', '.join(f'v{version}' for version in retained)}"
     )
     return 0
 
@@ -1277,6 +1545,8 @@ _HANDLERS = {
     "datasets": _cmd_datasets,
     "bench": _cmd_bench,
     "publish": _cmd_publish,
+    "refresh": _cmd_refresh,
+    "artifacts": _cmd_artifacts,
     "index": _cmd_index,
     "serve": _cmd_serve,
 }

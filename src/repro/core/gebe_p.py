@@ -27,7 +27,7 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from ..graph import BipartiteGraph
-from ..linalg import DtypePolicy, SpectrumCache, randomized_svd
+from ..linalg import DtypePolicy, SpectrumCache, randomized_svd, refresh_svd
 from ..obs import active as _obs_active
 from .base import BipartiteEmbedder
 from .preprocess import normalize_weights
@@ -79,6 +79,18 @@ class GEBEPoisson(BipartiteEmbedder):
         repeated fits of the same graph with the same seed/epsilon/strategy)
         that share one cache perform exactly one randomized SVD.  Unseeded
         solvers bypass the cache.
+    warm_start:
+        Optional ``|U| x r`` left basis of a *nearby* weight matrix — e.g.
+        the column-normalized ``u`` factor of a previous fit before a small
+        edge delta.  The SVD is then warm-started through
+        :func:`~repro.linalg.refresh_svd`: counter-measurably fewer
+        matvecs when the basis is close, a bit-identical cold fit when the
+        residual check rejects it (``metadata["refresh"]`` records which).
+    warm:
+        When ``True`` and a ``spectrum_cache`` is supplied, cache misses
+        look for a nearest-ancestor entry (same strategy/epsilon/seed over
+        a different matrix) and warm-start from it.  Ignored without a
+        cache or when ``warm_start`` is given explicitly.
 
     Examples
     --------
@@ -103,6 +115,8 @@ class GEBEPoisson(BipartiteEmbedder):
         seed: Optional[int] = None,
         dtype_policy: Optional[DtypePolicy] = None,
         spectrum_cache: Optional[SpectrumCache] = None,
+        warm_start: Optional[np.ndarray] = None,
+        warm: bool = False,
     ):
         super().__init__(dimension=dimension, seed=seed)
         if lam <= 0:
@@ -115,6 +129,8 @@ class GEBEPoisson(BipartiteEmbedder):
         self.normalization = normalization
         self.dtype_policy = dtype_policy if dtype_policy is not None else DtypePolicy()
         self.spectrum_cache = spectrum_cache
+        self.warm_start = warm_start
+        self.warm = bool(warm)
 
     def _embed(
         self, graph: BipartiteGraph
@@ -128,7 +144,20 @@ class GEBEPoisson(BipartiteEmbedder):
             # lambda-independent, so a shared cache serves every grid cell
             # of a lambda sweep from one factorization.
             cache_event = None
-            if self.spectrum_cache is not None:
+            refresh_info = None
+            if self.warm_start is not None:
+                # Explicit warm basis (e.g. derived from a published
+                # artifact): warm-started refresh with verified fallback.
+                svd, refresh_info = refresh_svd(
+                    w,
+                    k,
+                    self.epsilon,
+                    warm_start=self.warm_start,
+                    strategy=self.svd_strategy,
+                    seed=self.seed,
+                    policy=self.dtype_policy,
+                )
+            elif self.spectrum_cache is not None:
                 svd, cache_event = self.spectrum_cache.get_or_compute(
                     w,
                     k,
@@ -136,7 +165,10 @@ class GEBEPoisson(BipartiteEmbedder):
                     strategy=self.svd_strategy,
                     seed=self.seed,
                     policy=self.dtype_policy,
+                    warm=self.warm,
                 )
+                if cache_event in ("warm", "warm_fallback"):
+                    refresh_info = self.spectrum_cache.last_refresh
             else:
                 svd = randomized_svd(
                     w,
@@ -172,4 +204,6 @@ class GEBEPoisson(BipartiteEmbedder):
         }
         if cache_event is not None:
             metadata["spectrum_cache"] = cache_event
+        if refresh_info is not None:
+            metadata["refresh"] = refresh_info.to_dict()
         return u, np.asarray(v), metadata

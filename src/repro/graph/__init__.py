@@ -1,6 +1,14 @@
 """Bipartite graph substrate: data structure, IO, and k-core filtering."""
 
 from .bipartite import BipartiteGraph, Edge
+from .delta import (
+    DELTA_SCHEMA,
+    DELTA_SCHEMA_VERSION,
+    DeltaError,
+    DeltaLog,
+    EdgeDelta,
+    apply_deltas,
+)
 from .io import load_npz, read_edge_list, save_npz, write_edge_list
 from .kcore import k_core, k_core_indices
 from .stats import (
@@ -16,6 +24,12 @@ from .stats import (
 __all__ = [
     "BipartiteGraph",
     "Edge",
+    "DELTA_SCHEMA",
+    "DELTA_SCHEMA_VERSION",
+    "DeltaError",
+    "DeltaLog",
+    "EdgeDelta",
+    "apply_deltas",
     "read_edge_list",
     "write_edge_list",
     "save_npz",

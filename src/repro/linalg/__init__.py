@@ -17,6 +17,14 @@ from .randomized_svd import (
     exact_svd,
     krylov_iteration_count,
     randomized_svd,
+    warm_iteration_count,
+)
+from .refresh import (
+    RefreshInfo,
+    default_residual_tolerance,
+    refresh_svd,
+    svd_residual,
+    warm_basis_from_embedding,
 )
 from .spectrum_cache import SpectrumCache, matrix_fingerprint
 
@@ -42,4 +50,10 @@ __all__ = [
     "randomized_svd",
     "exact_svd",
     "krylov_iteration_count",
+    "warm_iteration_count",
+    "RefreshInfo",
+    "refresh_svd",
+    "svd_residual",
+    "default_residual_tolerance",
+    "warm_basis_from_embedding",
 ]

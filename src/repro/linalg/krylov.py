@@ -90,6 +90,7 @@ def subspace_iteration(
     tolerance: float = 1e-8,
     rng: Optional[np.random.Generator] = None,
     initial: Optional[np.ndarray] = None,
+    warm_start: Optional[np.ndarray] = None,
     policy: Optional[DtypePolicy] = None,
 ) -> EigenResult:
     """Approximate the top-k eigenpairs of a symmetric PSD operator.
@@ -112,6 +113,16 @@ def subspace_iteration(
         Random generator used for the semi-unitary start (Line 1).
     initial:
         Optional explicit ``n x k`` semi-unitary start, overriding ``rng``.
+    warm_start:
+        Optional ``n x r`` eigenbasis of a nearby operator, ``1 <= r <= k``
+        — e.g. the ``vectors`` of a previous :class:`EigenResult` after a
+        small perturbation.  Unlike ``initial`` it need not be the full
+        width or orthonormal: it is padded with Gaussian columns (from
+        ``rng``) to ``k`` and re-orthonormalized.  Since the iteration's
+        convergence is driven by the principal angle between the start and
+        the target subspace, a good warm basis cuts the sweep count; a bad
+        one merely converges at the cold rate.  Mutually exclusive with
+        ``initial``.
     policy:
         Optional :class:`~repro.linalg.policy.DtypePolicy`.  The iterate is
         kept in the policy's compute dtype between applies, while the QR
@@ -130,10 +141,23 @@ def subspace_iteration(
         raise ValueError("max_iterations must be at least 1")
     apply_h = _as_matmat(operator)
 
+    if initial is not None and warm_start is not None:
+        raise ValueError("pass at most one of initial and warm_start")
     if initial is not None:
         z = np.array(initial, dtype=np.float64, copy=True)
         if z.shape != (n, k):
             raise ValueError(f"initial block must be {n} x {k}, got {z.shape}")
+    elif warm_start is not None:
+        ws = np.asarray(warm_start, dtype=np.float64)
+        if ws.ndim != 2 or ws.shape[0] != n or not 0 < ws.shape[1] <= k:
+            raise ValueError(
+                f"warm_start must be {n} x r with 0 < r <= {k}, got shape "
+                f"{getattr(ws, 'shape', None)}"
+            )
+        if ws.shape[1] < k:
+            gen = rng if rng is not None else np.random.default_rng()
+            ws = np.hstack([ws, gen.standard_normal((n, k - ws.shape[1]))])
+        z, _ = thin_qr(ws)
     else:
         z = random_semi_unitary(n, k, rng=rng)
 

@@ -34,7 +34,13 @@ from .kernels import SparseKernel
 from .policy import DtypePolicy
 from .qr import thin_qr
 
-__all__ = ["SVDResult", "randomized_svd", "krylov_iteration_count", "exact_svd"]
+__all__ = [
+    "SVDResult",
+    "randomized_svd",
+    "krylov_iteration_count",
+    "warm_iteration_count",
+    "exact_svd",
+]
 
 MatrixLike = Union[np.ndarray, sp.spmatrix]
 
@@ -160,6 +166,50 @@ def exact_svd(matrix: MatrixLike, k: int) -> SVDResult:
     return SVDResult(u=u[:, :k], s=s[:k], vt=vt[:k])
 
 
+def warm_iteration_count(n: int, epsilon: float, strategy: str = "power") -> int:
+    """Iteration schedule for a warm-started refresh.
+
+    A warm start already spans (approximately) the dominant subspace of the
+    pre-delta matrix, so the iteration's job is only to *rotate* that
+    subspace toward the perturbed one — a contraction that needs a constant
+    number of sweeps for a small ``dW``, not the cold ``O(log n)`` schedule.
+    We run a quarter of the cold schedule, floored at one sweep; the caller
+    (:func:`~repro.linalg.refresh.refresh_svd`) guards quality with an
+    explicit residual check and falls back to the cold path when the delta
+    was too large for this budget.
+    """
+    return max(1, krylov_iteration_count(n, epsilon, strategy) // 4)
+
+
+def _warm_block(
+    warm_start: np.ndarray,
+    m: int,
+    block_size: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Orthonormal ``m x block_size`` start block seeded by a left basis.
+
+    The warm columns are kept verbatim; Gaussian columns are appended to
+    reach the oversampled width (they give the iteration room to pick up
+    directions the ancestor basis lost), and one thin QR orthonormalizes
+    the ensemble.
+    """
+    ws = np.asarray(warm_start, dtype=np.float64)
+    if ws.ndim != 2 or ws.shape[0] != m:
+        raise ValueError(
+            f"warm_start must be an {m} x r left basis, got shape {ws.shape}"
+        )
+    if ws.shape[1] < 1:
+        raise ValueError("warm_start must have at least one column")
+    if ws.shape[1] >= block_size:
+        block = ws[:, :block_size]
+    else:
+        pad = rng.standard_normal((m, block_size - ws.shape[1]))
+        block = np.hstack([ws, pad])
+    block, _ = thin_qr(block)
+    return block
+
+
 def randomized_svd(
     matrix: MatrixLike,
     k: int,
@@ -170,6 +220,7 @@ def randomized_svd(
     strategy: str = "power",
     rng: Optional[np.random.Generator] = None,
     policy: Optional[DtypePolicy] = None,
+    warm_start: Optional[np.ndarray] = None,
 ) -> SVDResult:
     """Approximate the top-``k`` singular triplets of ``matrix``.
 
@@ -198,6 +249,17 @@ def randomized_svd(
         means the default float64 workspace policy, bit-identical to the
         reference path).  The Rayleigh-Ritz projection and all QR steps
         accumulate in float64 regardless.
+    warm_start:
+        Optional ``m x r`` left-singular basis (``r >= 1``) of a nearby
+        matrix — typically the ``u`` factor of the pre-delta ``W`` — used
+        in place of the Gaussian start block.  The basis is padded with
+        Gaussian columns to the oversampled width, orthonormalized, and
+        the *warm* iteration schedule (:func:`warm_iteration_count`,
+        roughly a quarter of the cold one) is used unless ``iterations``
+        is explicit.  The returned factorization is only as good as the
+        warm basis is close; callers that need a guarantee should verify
+        the residual and fall back (see :mod:`repro.linalg.refresh`).
+        ``None`` (default) reproduces the cold path bit-for-bit.
 
     Returns
     -------
@@ -215,22 +277,33 @@ def randomized_svd(
     apply, apply_t = _make_appliers(matrix, policy)
 
     block_size = min(k + n_oversamples, min(m, n))
-    q = (
-        iterations
-        if iterations is not None
-        else krylov_iteration_count(n, epsilon, strategy)
-    )
+    if iterations is not None:
+        q = iterations
+    elif warm_start is not None:
+        q = warm_iteration_count(n, epsilon, strategy)
+    else:
+        q = krylov_iteration_count(n, epsilon, strategy)
 
     collector = _obs_active()
     with collector.stage("rsvd"):
-        omega = rng.standard_normal((n, block_size))
-        collector.note_array(omega.nbytes)
-        if strategy == "block_krylov":
-            with collector.stage("block_krylov"):
-                basis = _block_krylov_basis(apply, apply_t, omega, q)
+        if warm_start is not None:
+            block0 = _warm_block(warm_start, m, block_size, rng)
+            collector.note_array(block0.nbytes)
+            if strategy == "block_krylov":
+                with collector.stage("block_krylov"):
+                    basis = _block_krylov_from(apply, apply_t, block0, q)
+            else:
+                with collector.stage("power_iter"):
+                    basis = _power_iteration_from(apply, apply_t, block0, q)
         else:
-            with collector.stage("power_iter"):
-                basis = _power_iteration_basis(apply, apply_t, omega, q)
+            omega = rng.standard_normal((n, block_size))
+            collector.note_array(omega.nbytes)
+            if strategy == "block_krylov":
+                with collector.stage("block_krylov"):
+                    basis = _block_krylov_basis(apply, apply_t, omega, q)
+            else:
+                with collector.stage("power_iter"):
+                    basis = _power_iteration_basis(apply, apply_t, omega, q)
 
         # Rayleigh-Ritz: project onto the basis, solve the small dense SVD.
         # Always against the original (float64) matrix — this is the
@@ -259,14 +332,7 @@ def _block_krylov_basis(
     """
     block = apply(omega)  # m x b
     block, _ = thin_qr(np.asarray(block))
-    blocks = [block]
-    for _ in range(q):
-        block = apply(apply_t(block))
-        block, _ = thin_qr(np.asarray(block))
-        blocks.append(block)
-    krylov = np.hstack(blocks)
-    basis, _ = thin_qr(krylov)
-    return basis
+    return _block_krylov_from(apply, apply_t, block, q)
 
 
 def _power_iteration_basis(
@@ -275,9 +341,35 @@ def _power_iteration_basis(
     """Orthonormal basis from randomized subspace (power) iteration."""
     block = apply(omega)
     block, _ = thin_qr(np.asarray(block))
+    return _power_iteration_from(apply, apply_t, block, q)
+
+
+def _power_iteration_from(
+    apply: Applier, apply_t: Applier, block: np.ndarray, q: int
+) -> np.ndarray:
+    """Power-iteration sweeps starting from an orthonormal ``m``-side block.
+
+    This is the cold loop minus the initial ``A @ omega`` lift — a warm
+    start already lives on the left (``m``) side, so the sweeps begin
+    directly with the ``A^T`` / ``A`` alternation.
+    """
     for _ in range(q):
         block = apply_t(block)
         block, _ = thin_qr(np.asarray(block))
         block = apply(block)
         block, _ = thin_qr(np.asarray(block))
     return block
+
+
+def _block_krylov_from(
+    apply: Applier, apply_t: Applier, block: np.ndarray, q: int
+) -> np.ndarray:
+    """Block Krylov basis grown from an orthonormal ``m``-side block."""
+    blocks = [block]
+    for _ in range(q):
+        block = apply(apply_t(block))
+        block, _ = thin_qr(np.asarray(block))
+        blocks.append(block)
+    krylov = np.hstack(blocks)
+    basis, _ = thin_qr(krylov)
+    return basis

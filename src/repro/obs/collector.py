@@ -171,13 +171,18 @@ class ProfileCollector(NullCollector):
         seed: Optional[int] = None,
         wall_seconds: Optional[float] = None,
         service: Optional[Dict[str, Any]] = None,
+        refresh: Optional[Dict[str, Any]] = None,
         metadata: Optional[Dict[str, Any]] = None,
     ) -> RunReport:
         """Freeze the collected data into a :class:`RunReport`.
 
         ``service`` attaches a serving-tier section (the dict produced by
         :meth:`repro.serve.service.ServiceMetrics.service_report`); leave it
-        ``None`` for pure solver runs.
+        ``None`` for pure solver runs.  ``refresh`` attaches an incremental
+        warm-refresh section (the ``metadata["refresh"]`` dict a warm
+        :class:`~repro.core.gebe_p.GEBEPoisson` fit records, optionally
+        augmented with ``warm_matvecs`` / ``cold_matvecs`` counters); leave
+        it ``None`` for cold fits.
         """
         self.memory.sample()
         elapsed = (
@@ -196,6 +201,7 @@ class ProfileCollector(NullCollector):
             memory=self.memory.to_dict(),
             threads=self.threads,
             service=dict(service) if service is not None else None,
+            refresh=dict(refresh) if refresh is not None else None,
             metadata=dict(metadata or {}),
         )
 

@@ -10,7 +10,7 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
 
     {
       "schema": "repro.obs.run_report",
-      "version": 5,
+      "version": 6,
       "method": str,              # display name, e.g. "GEBE^p"
       "dataset": str | null,
       "dimension": int | null,
@@ -30,10 +30,22 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
           "shed": int, "deadline_exceeded": int, "reloads": int,
           "queue_depth_max": int,
           "latency_ms": {"p50": float, "p95": float}},
+      "refresh": null | {         # incremental warm-refresh outcome
+          "mode": "warm" | "cold_fallback",
+          "reason": str,          # "ok" | "residual" | "incompatible" | ...
+          "residual": float | null,
+          "tolerance": float,
+          "warm_rank": int,
+          "warm_matvecs": int | null,   # matvecs the warm attempt consumed
+          "cold_matvecs": int | null},  # matvecs of a cold fit, when one ran
       "metadata": {...}           # free-form, JSON-serializable
     }
 
-Version history: v5 added ``ops.ann_probes`` / ``ops.ann_candidates``
+Version history: v6 added the nullable ``refresh`` section (warm/cold
+matvec counters and the residual-check outcome of an incremental refresh —
+see :mod:`repro.linalg.refresh`; ``null`` for non-refresh runs and
+backfilled when reading older documents).
+v5 added ``ops.ann_probes`` / ``ops.ann_candidates``
 (inverted-list cells probed and candidates exactly reranked by the IVF
 index of :mod:`repro.ann`; zero-backfilled when reading older documents).
 v4 added the nullable ``service`` section (request /
@@ -61,7 +73,7 @@ __all__ = [
 ]
 
 SCHEMA_NAME = "repro.obs.run_report"
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 _OPS_KEYS = (
     "sparse_matvecs",
@@ -89,6 +101,7 @@ _SERVICE_KEYS = (
     "reloads",
     "queue_depth_max",
 )
+_REFRESH_MODES = ("warm", "cold_fallback")
 
 
 def _fail(message: str) -> None:
@@ -178,6 +191,34 @@ def validate_report(payload: Any) -> Dict[str, Any]:
             value = latency.get(key)
             if not isinstance(value, (int, float)) or value < 0:
                 _fail(f"service.latency_ms.{key} must be a non-negative number")
+    if "refresh" not in payload:
+        _fail("refresh must be present (null for non-refresh runs)")
+    refresh = payload["refresh"]
+    if refresh is not None:
+        if not isinstance(refresh, dict):
+            _fail("refresh must be an object or null")
+        if refresh.get("mode") not in _REFRESH_MODES:
+            _fail(
+                f"refresh.mode must be one of {_REFRESH_MODES}, "
+                f"got {refresh.get('mode')!r}"
+            )
+        if not isinstance(refresh.get("reason"), str) or not refresh["reason"]:
+            _fail("refresh.reason must be a non-empty string")
+        residual = refresh.get("residual")
+        if residual is not None and not isinstance(residual, (int, float)):
+            _fail("refresh.residual must be a number or null")
+        tolerance = refresh.get("tolerance")
+        if not isinstance(tolerance, (int, float)) or tolerance < 0:
+            _fail("refresh.tolerance must be a non-negative number")
+        warm_rank = refresh.get("warm_rank")
+        if not isinstance(warm_rank, int) or isinstance(warm_rank, bool) or warm_rank < 0:
+            _fail("refresh.warm_rank must be a non-negative integer")
+        for key in ("warm_matvecs", "cold_matvecs"):
+            value = refresh.get(key)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool) or value < 0
+            ):
+                _fail(f"refresh.{key} must be a non-negative integer or null")
     if not isinstance(payload.get("metadata"), dict):
         _fail("metadata must be an object")
     return payload
@@ -189,7 +230,8 @@ def upgrade_report(payload: Any) -> Any:
     v3 -> v4 backfills ``service: null`` (the section did not exist before
     the serving tier).  v4 -> v5 backfills zero ``ops.ann_probes`` /
     ``ops.ann_candidates`` (no ANN index existed, so the counts really are
-    zero).  Unknown or newer versions are returned untouched —
+    zero).  v5 -> v6 backfills ``refresh: null`` (no incremental refresh
+    pipeline existed).  Unknown or newer versions are returned untouched —
     :func:`validate_report` rejects them with a pointed message.
     """
     if isinstance(payload, dict) and payload.get("schema") == SCHEMA_NAME:
@@ -202,6 +244,9 @@ def upgrade_report(payload: Any) -> Any:
             if isinstance(ops, dict):
                 ops.setdefault("ann_probes", 0)
                 ops.setdefault("ann_candidates", 0)
+        if payload.get("version") == 5:
+            payload["version"] = 6
+            payload.setdefault("refresh", None)
     return payload
 
 
@@ -219,6 +264,7 @@ class RunReport:
     seed: Optional[int] = None
     threads: int = 1
     service: Optional[Dict[str, Any]] = None
+    refresh: Optional[Dict[str, Any]] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -238,6 +284,7 @@ class RunReport:
             "ops": ops,
             "memory": memory,
             "service": self.service,
+            "refresh": self.refresh,
             "metadata": self.metadata,
         }
         return validate_report(payload)
@@ -257,6 +304,7 @@ class RunReport:
         """Rebuild a report from a decoded document (older versions upgraded)."""
         validate_report(upgrade_report(payload))
         service = payload.get("service")
+        refresh = payload.get("refresh")
         return cls(
             method=payload["method"],
             wall_seconds=float(payload["wall_seconds"]),
@@ -268,6 +316,7 @@ class RunReport:
             seed=payload.get("seed"),
             threads=int(payload.get("threads", 1)),
             service=dict(service) if service is not None else None,
+            refresh=dict(refresh) if refresh is not None else None,
             metadata=dict(payload.get("metadata", {})),
         )
 

@@ -18,22 +18,37 @@ version per publish::
         v0002/
           ...
 
-Two schema versions are readable:
+Three schema versions are readable:
 
-* **v2** (written by every publish since the quantized tier landed) stores
-  each embedding array as its own uncompressed ``.npy`` file, so
-  :meth:`ArtifactStore.load` memory-maps them (``np.load(mmap_mode="r")``).
-  N worker processes serving the same artifact share one page-cache copy,
-  and a verify-then-swap reload stops copying hundreds of megabytes — it
-  re-reads bytes only to checksum them.  ``publish(..., quantize="float16"
-  |"int8")`` stores per-column-quantized codes plus their scales
+* **v3** (written by every publish since the incremental-refresh pipeline
+  landed) extends v2 with *delta publishes*: ``publish(...,
+  base_version=N)`` compares each would-be file against the base version's
+  manifest and, when the checksums already match, records a
+  ``file_refs[filename] = N`` pointer instead of writing the bytes again.
+  A refresh that re-fits embeddings but keeps the graph (or vice versa —
+  an ingest that swaps the graph under unchanged embeddings) therefore
+  writes only the arrays that actually changed.  References chain
+  (v3 -> v2 -> v1); ``verify``/``load`` resolve the chain, checksum every
+  referenced file against *this* version's manifest, and raise a pointed
+  :class:`ArtifactError` naming the broken base version when a link is
+  missing or corrupt.  :meth:`ArtifactStore.delete` refuses to remove a
+  version that a newer delta manifest still references, and
+  :meth:`ArtifactStore.prune` keeps the newest ``keep`` versions plus the
+  transitive closure of their references.
+* **v2** stores each embedding array as its own uncompressed ``.npy``
+  file, so :meth:`ArtifactStore.load` memory-maps them
+  (``np.load(mmap_mode="r")``).  N worker processes serving the same
+  artifact share one page-cache copy, and a verify-then-swap reload stops
+  copying hundreds of megabytes — it re-reads bytes only to checksum
+  them.  ``publish(..., quantize="float16"|"int8")`` stores
+  per-column-quantized codes plus their scales
   (:mod:`repro.core.quantize`), cutting the stored and resident bytes 4-8x
   while the serving engine stays exact
   (:class:`~repro.tasks.topk.QuantizedTopKEngine`).
 * **v1** (the compressed ``embeddings.npz`` layout of earlier publishes)
   still resolves, verifies, and loads — eagerly, since compressed NPZ
   members cannot be memory-mapped.  The upgrade path is publish-time only:
-  republishing any model writes v2.
+  republishing any model writes v3.
 
 The manifest records a blake2b digest of every array (dtype + shape + raw
 bytes — the same content-fingerprint idiom as
@@ -43,6 +58,8 @@ hand-edited artifact before it ever reaches a kernel.  Publishes are
 crash-safe: the version directory is staged under a temporary name and
 renamed into place, so a reader never observes a half-written version and
 ``resolve`` (which picks the highest complete version) never serves one.
+Staging directories are torn down on publish failure, and any stale
+``.staging-*`` leftovers (from a hard crash) are swept on store init.
 """
 
 from __future__ import annotations
@@ -51,6 +68,7 @@ import hashlib
 import json
 import os
 import re
+import shutil
 import tempfile
 import time
 from dataclasses import dataclass
@@ -74,7 +92,10 @@ __all__ = [
 ]
 
 ARTIFACT_SCHEMA_NAME = "repro.serve.artifact"
-ARTIFACT_SCHEMA_VERSION = 2
+ARTIFACT_SCHEMA_VERSION = 3
+
+#: Prefix of in-flight publish staging directories (swept on store init).
+STAGING_PREFIX = ".staging-"
 
 MANIFEST_FILE = "manifest.json"
 #: The v1 embeddings bundle (compressed NPZ); read-only legacy.
@@ -172,6 +193,16 @@ class ArtifactRef:
         """The quantization codec (``None`` for exact float artifacts)."""
         return self.manifest.get("quantize")
 
+    @property
+    def base_version(self) -> Optional[int]:
+        """The delta publish's base version (``None`` for full publishes)."""
+        return self.manifest.get("base_version")
+
+    @property
+    def file_refs(self) -> Dict[str, int]:
+        """Files whose bytes live in an earlier version: filename -> version."""
+        return self.manifest.get("file_refs") or {}
+
 
 @dataclass(frozen=True)
 class LoadedArtifact:
@@ -200,9 +231,9 @@ def _validate_manifest(payload: Any, where: str) -> Dict[str, Any]:
         fail(f"top level must be an object, got {type(payload).__name__}")
     if payload.get("schema") != ARTIFACT_SCHEMA_NAME:
         fail(f"schema must be {ARTIFACT_SCHEMA_NAME!r}, got {payload.get('schema')!r}")
-    if payload.get("version") not in (1, ARTIFACT_SCHEMA_VERSION):
+    if payload.get("version") not in (1, 2, ARTIFACT_SCHEMA_VERSION):
         fail(
-            f"version must be 1 or {ARTIFACT_SCHEMA_VERSION}, "
+            f"version must be 1, 2, or {ARTIFACT_SCHEMA_VERSION}, "
             f"got {payload.get('version')!r}"
         )
     if not isinstance(payload.get("name"), str) or not payload["name"]:
@@ -263,6 +294,39 @@ def _validate_manifest(payload: Any, where: str) -> Dict[str, Any]:
                 )
     if not isinstance(payload.get("metadata"), dict):
         fail("metadata must be an object")
+    if payload["version"] >= ARTIFACT_SCHEMA_VERSION:
+        artifact_version = payload["artifact_version"]
+        base_version = payload.get("base_version")
+        if base_version is not None:
+            if (
+                not isinstance(base_version, int)
+                or isinstance(base_version, bool)
+                or not 0 < base_version < artifact_version
+            ):
+                fail(
+                    "base_version must be null or an integer in "
+                    f"[1, {artifact_version}), got {base_version!r}"
+                )
+        file_refs = payload.get("file_refs", {})
+        if not isinstance(file_refs, dict):
+            fail("file_refs must be an object")
+        for filename, ref_version in file_refs.items():
+            if filename not in files:
+                fail(
+                    f"file_refs names {filename!r} which is not in files "
+                    "(every referenced file still needs its checksum entry)"
+                )
+            if (
+                not isinstance(ref_version, int)
+                or isinstance(ref_version, bool)
+                or not 0 < ref_version < artifact_version
+            ):
+                fail(
+                    f"file_refs[{filename!r}] must be an integer in "
+                    f"[1, {artifact_version}), got {ref_version!r}"
+                )
+    elif payload.get("file_refs"):
+        fail(f"file_refs requires schema v{ARTIFACT_SCHEMA_VERSION}")
     return payload
 
 
@@ -306,6 +370,26 @@ class ArtifactStore:
     def __init__(self, root: PathLike):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_staging()
+
+    def _sweep_stale_staging(self) -> None:
+        """Remove staging directories orphaned by a crashed publish.
+
+        A publish that dies between ``mkdtemp`` and the atomic rename (hard
+        kill, OOM, power loss) leaves a ``.staging-*`` directory behind
+        that no reader ever resolves but that leaks disk forever.  Store
+        construction is the natural sweep point: a store is opened before
+        any publish, and the dot-prefixed staging names can never collide
+        with published ``vNNNN`` directories.  (The sweep assumes no
+        *other* process is mid-publish at init time; a concurrently swept
+        publisher fails its rename and reports the error.)
+        """
+        for entry in self.root.iterdir():
+            if not entry.is_dir():
+                continue
+            for stale in entry.iterdir():
+                if stale.is_dir() and stale.name.startswith(STAGING_PREFIX):
+                    shutil.rmtree(stale, ignore_errors=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ArtifactStore({str(self.root)!r})"
@@ -356,6 +440,7 @@ class ArtifactStore:
         dataset: Optional[str] = None,
         metadata: Optional[Dict[str, Any]] = None,
         quantize: Optional[str] = None,
+        base_version: Optional[int] = None,
     ) -> ArtifactRef:
         """Publish embeddings (and optionally their graph) as a new version.
 
@@ -369,8 +454,27 @@ class ArtifactStore:
         :mod:`repro.core.quantize` and the quantized engine's margin
         rerank).  Scales are checksummed in the manifest like every other
         array.
+
+        ``base_version`` makes this a *delta publish*: every file whose
+        array checksums are identical to that version's manifest entry is
+        recorded as a ``file_refs`` pointer instead of being written again
+        — the incremental-refresh pipeline's publish step, where a graph
+        ingest keeps the embeddings byte-identical (only ``graph.npz`` is
+        written) and the subsequent warm refresh keeps the graph
+        byte-identical (only the embedding arrays are written).  The new
+        manifest still carries full checksums for referenced files, so
+        ``verify`` checks the whole chain.
         """
         self._check_name(name)
+        base_ref: Optional[ArtifactRef] = None
+        if base_version is not None:
+            try:
+                base_ref = self.resolve(name, base_version)
+            except ArtifactError as exc:
+                raise ArtifactError(
+                    f"cannot delta-publish {name!r} against base "
+                    f"v{base_version}: {exc}"
+                ) from None
         if quantize is not None and quantize not in QUANT_DTYPES:
             raise ArtifactError(
                 f"quantize must be one of {QUANT_DTYPES}, got {quantize!r}"
@@ -411,8 +515,17 @@ class ArtifactStore:
             filename: _file_entry({Path(filename).stem: array})
             for filename, array in stored.items()
         }
+        file_refs: Dict[str, int] = {}
+        if base_ref is not None:
+            # Delta publish: any array file whose checksums match the base
+            # entry becomes a reference instead of bytes on disk.
+            base_files = base_ref.manifest["files"]
+            for filename in list(stored):
+                if base_files.get(filename) == files[filename]:
+                    file_refs[filename] = base_version
+                    del stored[filename]
         staging = Path(
-            tempfile.mkdtemp(prefix=f".staging-v{version:04d}-", dir=base)
+            tempfile.mkdtemp(prefix=f"{STAGING_PREFIX}v{version:04d}-", dir=base)
         )
         try:
             for filename, array in stored.items():
@@ -425,6 +538,15 @@ class ArtifactStore:
                 files[GRAPH_FILE] = _file_entry(
                     _npz_arrays(staging / GRAPH_FILE)
                 )
+                if (
+                    base_ref is not None
+                    and base_ref.manifest["files"].get(GRAPH_FILE)
+                    == files[GRAPH_FILE]
+                ):
+                    # The graph did not change relative to the base — drop
+                    # the staged copy and reference the base's bytes.
+                    (staging / GRAPH_FILE).unlink()
+                    file_refs[GRAPH_FILE] = base_version
             manifest = {
                 "schema": ARTIFACT_SCHEMA_NAME,
                 "version": ARTIFACT_SCHEMA_VERSION,
@@ -436,8 +558,10 @@ class ArtifactStore:
                 "dimension": int(u.shape[1]),
                 "num_u": int(u.shape[0]),
                 "num_v": int(v.shape[0]),
-                "dtype": str(stored[U_FILE].dtype),
+                "dtype": files[U_FILE][Path(U_FILE).stem]["dtype"],
                 "quantize": quantize,
+                "base_version": base_version,
+                "file_refs": file_refs,
                 "files": files,
                 "metadata": dict(metadata or {}),
             }
@@ -454,10 +578,13 @@ class ArtifactStore:
                 "concurrently; retry"
             ) from None
         finally:
-            if staging.exists():  # publish failed before the rename
-                for leftover in staging.iterdir():
-                    leftover.unlink()
-                staging.rmdir()
+            # Publish failed before the rename: tear the staging directory
+            # down unconditionally (rmtree, so a partially written tree or
+            # an unlink error cannot leave an orphan behind or mask the
+            # original exception).  Hard crashes that skip even this are
+            # caught by the init-time sweep.
+            if staging.exists():
+                shutil.rmtree(staging, ignore_errors=True)
         return ArtifactRef(name=name, version=version, path=final, manifest=manifest)
 
     def resolve(self, name: str, version: Optional[int] = None) -> ArtifactRef:
@@ -486,56 +613,108 @@ class ArtifactStore:
             )
         return ArtifactRef(name=name, version=version, path=path, manifest=manifest)
 
+    def _file_path(self, ref: ArtifactRef, filename: str) -> Path:
+        """On-disk location of ``filename`` for ``ref``, chasing delta refs.
+
+        A delta publish records ``file_refs[filename] = base`` instead of
+        bytes; the base may itself be a delta publish, so the pointer is
+        followed until a version that physically stores the file is found.
+        Every hop re-validates the intermediate manifest.
+
+        Raises
+        ------
+        ArtifactError
+            Naming the base version when a link of the chain is missing,
+            unresolvable, or malformed (the reference-chain analogue of a
+            truncated file).
+        """
+        current = ref
+        while filename in current.file_refs:
+            base_version = current.file_refs[filename]
+            if base_version >= current.version:
+                raise ArtifactError(
+                    f"{ref.tag}: {filename!r} reference chain does not "
+                    f"descend (v{current.version} -> v{base_version})"
+                )
+            try:
+                current = self.resolve(ref.name, base_version)
+            except ArtifactError as exc:
+                raise ArtifactError(
+                    f"{ref.tag}: {filename!r} is delta-referenced from base "
+                    f"version v{base_version}, which cannot be resolved: {exc}"
+                ) from None
+        return current.path / filename
+
     def verify(self, ref: ArtifactRef) -> None:
         """Recompute every array checksum and compare against the manifest.
 
         ``.npy`` members are checksummed straight off the memory map — the
         bytes are *read* (that is the point of verification) but never
-        copied into fresh arrays.
+        copied into fresh arrays.  Delta-referenced files are resolved
+        through the reference chain and checksummed against **this**
+        version's manifest, so a delta artifact is verified end to end —
+        base versions included.
 
         Raises
         ------
         ArtifactError
             Naming the first file/array whose digest, dtype, or shape does
-            not match — a corrupt, truncated, or hand-edited artifact.
+            not match — a corrupt, truncated, or hand-edited artifact — or
+            the base version of a broken reference chain.
         """
         for filename, expected_arrays in ref.manifest["files"].items():
-            path = ref.path / filename
-            if filename.endswith(".npy"):
-                arrays = {
-                    next(iter(expected_arrays)): _load_npy(path, mmap=True)
-                }
-            else:
-                try:
-                    arrays = _npz_arrays(path)
-                except (OSError, ValueError) as exc:
+            path = self._file_path(ref, filename)
+            try:
+                self._verify_file(path, expected_arrays)
+            except ArtifactError as exc:
+                if path.parent != ref.path:
+                    # The broken bytes live in a delta base — say which one.
                     raise ArtifactError(
-                        f"{path}: cannot read bundle: {exc}"
-                    ) from exc
-            for array_name, spec in expected_arrays.items():
-                if array_name not in arrays:
-                    raise ArtifactError(
-                        f"{path}: array {array_name!r} missing "
-                        "(present in manifest)"
-                    )
-                array = arrays[array_name]
-                if str(array.dtype) != spec["dtype"] or list(array.shape) != spec["shape"]:
-                    raise ArtifactError(
-                        f"{path}: array {array_name!r} is "
-                        f"{array.dtype}{array.shape}, manifest says "
-                        f"{spec['dtype']}{tuple(spec['shape'])}"
-                    )
-                digest = array_checksum(array)
-                if digest != spec["blake2b"]:
-                    raise ArtifactError(
-                        f"{path}: checksum mismatch on array {array_name!r} "
-                        f"({digest} != {spec['blake2b']})"
-                    )
-            extra = sorted(set(arrays) - set(expected_arrays))
-            if extra:
+                        f"{ref.tag}: delta-referenced {filename!r} failed "
+                        f"verification in base version "
+                        f"{path.parent.name}: {exc}"
+                    ) from None
+                raise
+
+    def _verify_file(
+        self, path: Path, expected_arrays: Dict[str, Any]
+    ) -> None:
+        """Checksum one manifest file entry against the bytes at ``path``."""
+        if path.name.endswith(".npy"):
+            arrays = {
+                next(iter(expected_arrays)): _load_npy(path, mmap=True)
+            }
+        else:
+            try:
+                arrays = _npz_arrays(path)
+            except (OSError, ValueError) as exc:
                 raise ArtifactError(
-                    f"{path}: unexpected arrays {extra} not in manifest"
+                    f"{path}: cannot read bundle: {exc}"
+                ) from exc
+        for array_name, spec in expected_arrays.items():
+            if array_name not in arrays:
+                raise ArtifactError(
+                    f"{path}: array {array_name!r} missing "
+                    "(present in manifest)"
                 )
+            array = arrays[array_name]
+            if str(array.dtype) != spec["dtype"] or list(array.shape) != spec["shape"]:
+                raise ArtifactError(
+                    f"{path}: array {array_name!r} is "
+                    f"{array.dtype}{array.shape}, manifest says "
+                    f"{spec['dtype']}{tuple(spec['shape'])}"
+                )
+            digest = array_checksum(array)
+            if digest != spec["blake2b"]:
+                raise ArtifactError(
+                    f"{path}: checksum mismatch on array {array_name!r} "
+                    f"({digest} != {spec['blake2b']})"
+                )
+        extra = sorted(set(arrays) - set(expected_arrays))
+        if extra:
+            raise ArtifactError(
+                f"{path}: unexpected arrays {extra} not in manifest"
+            )
 
     def load(
         self,
@@ -559,8 +738,8 @@ class ArtifactStore:
         if ref.manifest["version"] == 1:
             return self._load_v1(ref)
         quantize = ref.quantize
-        u = _load_npy(ref.path / U_FILE, mmap=mmap)
-        v = _load_npy(ref.path / V_FILE, mmap=mmap)
+        u = _load_npy(self._file_path(ref, U_FILE), mmap=mmap)
+        v = _load_npy(self._file_path(ref, V_FILE), mmap=mmap)
         expected = (
             ref.manifest["num_u"],
             ref.manifest["num_v"],
@@ -584,8 +763,8 @@ class ArtifactStore:
                     f"{ref.path}: codes are {u.dtype}/{v.dtype}, manifest "
                     f"says quantize={quantize!r}"
                 )
-            u_scales = _load_npy(ref.path / U_SCALES_FILE, mmap=mmap)
-            v_scales = _load_npy(ref.path / V_SCALES_FILE, mmap=mmap)
+            u_scales = _load_npy(self._file_path(ref, U_SCALES_FILE), mmap=mmap)
+            v_scales = _load_npy(self._file_path(ref, V_SCALES_FILE), mmap=mmap)
             k = ref.manifest["dimension"]
             if u_scales.shape != (k,) or v_scales.shape != (k,):
                 raise ArtifactError(
@@ -649,7 +828,7 @@ class ArtifactStore:
         if not ref.has_graph:
             return None
         try:
-            graph = load_npz(ref.path / GRAPH_FILE)
+            graph = load_npz(self._file_path(ref, GRAPH_FILE))
         except ValueError as exc:
             raise ArtifactError(str(exc)) from exc
         if graph.num_u != num_u or graph.num_v > num_v:
@@ -658,3 +837,84 @@ class ArtifactStore:
                 f"embeddings cover {num_u} users / {num_v} items"
             )
         return graph
+
+    # ------------------------------------------------------------------
+    # Retention (delta versions accumulate; gc keeps disk bounded)
+    # ------------------------------------------------------------------
+    def _referencing_versions(self, name: str, version: int) -> List[int]:
+        """Versions whose delta manifests directly reference ``version``."""
+        dependents = []
+        for other in self.versions(name):
+            if other == version:
+                continue
+            try:
+                other_ref = self.resolve(name, other)
+            except ArtifactError:
+                # An unreadable sibling cannot prove it needs this version,
+                # but deleting under uncertainty is worse: keep it pinned.
+                dependents.append(other)
+                continue
+            if version in set(other_ref.file_refs.values()):
+                dependents.append(other)
+        return sorted(dependents)
+
+    def delete(self, name: str, version: int) -> None:
+        """Delete one published version of ``name``.
+
+        Raises
+        ------
+        ArtifactError
+            When the version does not exist, or when another version's
+            delta manifest still references it — deleting it would break
+            that version's reference chain.  The error names the
+            referencing version(s); delete (or prune) those first.
+        """
+        self._check_name(name)
+        if version not in self.versions(name):
+            raise ArtifactError(
+                f"{name!r} has no version {version}; published: "
+                f"{self.versions(name)}"
+            )
+        dependents = self._referencing_versions(name, version)
+        if dependents:
+            tags = ", ".join(f"v{d:04d}" for d in dependents)
+            raise ArtifactError(
+                f"cannot delete {name}@v{version}: delta manifest(s) of "
+                f"{tags} reference its files; delete those versions first "
+                "or use prune()"
+            )
+        shutil.rmtree(self.root / name / f"v{version:04d}")
+
+    def prune(self, name: str, *, keep: int) -> Tuple[List[int], List[int]]:
+        """Delete old versions of ``name``, keeping the newest ``keep``.
+
+        Every version a kept version's delta chain references (transitively)
+        is retained as well, however old — pruning never breaks a
+        reference chain, so the survivors still ``verify``/``load``.
+
+        Returns
+        -------
+        (deleted, retained):
+            The version numbers removed and the ones still on disk,
+            both ascending.
+        """
+        self._check_name(name)
+        if keep < 1:
+            raise ArtifactError(f"keep must be >= 1, got {keep}")
+        published = self.versions(name)
+        retained = set(published[-keep:])
+        frontier = list(retained)
+        while frontier:
+            version = frontier.pop()
+            try:
+                ref = self.resolve(name, version)
+            except ArtifactError:
+                continue  # unreadable: keep it, but it pins nothing further
+            for base_version in set(ref.file_refs.values()):
+                if base_version in published and base_version not in retained:
+                    retained.add(base_version)
+                    frontier.append(base_version)
+        deleted = [version for version in published if version not in retained]
+        for version in deleted:
+            shutil.rmtree(self.root / name / f"v{version:04d}")
+        return deleted, sorted(retained)

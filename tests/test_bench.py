@@ -12,6 +12,7 @@ from repro.bench import (
     BenchConfig,
     compare_bench,
     load_bench,
+    refresh_violations,
     render_bench,
     render_compare,
     run_bench,
@@ -929,3 +930,185 @@ class TestQuantCompare:
         fresh["quant_runs"][-1]["lists_equal"] = False
         result = compare_bench(quant_payload, fresh)
         assert fresh["quant_runs"][-1] in result["invariant_violations"]
+
+
+@pytest.fixture(scope="module")
+def refresh_payload():
+    """A seconds-scale refresh-axis-only document (toy graph delta)."""
+    return run_bench(
+        BenchConfig(
+            datasets=("toy",),
+            methods=("GEBE^p",),
+            dimension=8,
+            repeats=1,
+            fit_grid=False,
+            topk=False,
+            refresh=True,
+        )
+    )
+
+
+def _refresh_row(**overrides):
+    row = {
+        "method": "GEBE^p", "dataset": "toy", "mode": "warm",
+        "refresh_mode": "warm", "delta_edges": 1, "delta_fraction": 0.01,
+        "wall_seconds": 0.01, "wall_seconds_all": [0.01], "matvecs": 40,
+        "qr_factorizations": 3, "publish_bytes": 2800,
+        "full_publish_bytes": 3700, "quality_ok": True,
+    }
+    row.update(overrides)
+    return row
+
+
+class TestRefreshAxis:
+    def test_document_validates(self, refresh_payload):
+        validate_bench(refresh_payload)
+        assert refresh_payload["refresh_runs"]
+        assert refresh_payload["runs"] == []
+
+    def test_cold_anchor_row_first(self, refresh_payload):
+        anchor = refresh_payload["refresh_runs"][0]
+        assert anchor["mode"] == "cold"
+        assert anchor["refresh_mode"] is None
+
+    def test_warm_refit_saves_matvecs_and_qr(self, refresh_payload):
+        rows = {row["mode"]: row for row in refresh_payload["refresh_runs"]}
+        assert rows["warm"]["refresh_mode"] == "warm"  # accepted, not fallback
+        assert rows["warm"]["matvecs"] < rows["cold"]["matvecs"]
+        assert (
+            rows["warm"]["qr_factorizations"]
+            < rows["cold"]["qr_factorizations"]
+        )
+
+    def test_delta_publish_smaller_than_full(self, refresh_payload):
+        warm = next(
+            row
+            for row in refresh_payload["refresh_runs"]
+            if row["mode"] == "warm"
+        )
+        assert 0 < warm["publish_bytes"] < warm["full_publish_bytes"]
+
+    def test_quality_gate_passes(self, refresh_payload):
+        assert all(
+            row["quality_ok"] for row in refresh_payload["refresh_runs"]
+        )
+
+    def test_delta_touches_requested_fraction(self, refresh_payload):
+        for row in refresh_payload["refresh_runs"]:
+            assert row["delta_edges"] >= 1
+            assert 0.0 <= row["delta_fraction"] <= 1.0
+
+    def test_render_mentions_refresh_rows(self, refresh_payload):
+        text = render_bench(refresh_payload)
+        assert "incremental refresh" in text
+        assert "cold" in text and "warm" in text
+
+    def test_json_round_trip(self, refresh_payload, tmp_path):
+        path = tmp_path / "refresh.json"
+        write_bench(refresh_payload, str(path))
+        assert load_bench(str(path))["refresh_runs"] == (
+            refresh_payload["refresh_runs"]
+        )
+
+
+class TestRefreshSchema:
+    def test_valid_refresh_rows_accepted(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["refresh_runs"] = [
+            _refresh_row(mode="cold", refresh_mode=None, matvecs=88),
+            _refresh_row(),
+            _refresh_row(refresh_mode="cold_fallback", matvecs=88),
+        ]
+        validate_bench(payload)
+
+    def test_refresh_axis_alone_suffices(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload.update(
+            runs=[], comparisons=[], topk_runs=[], topk_comparisons=[],
+            serve_runs=[], ann_runs=[], quant_runs=[],
+            refresh_runs=[_refresh_row()],
+        )
+        validate_bench(payload)
+
+    def test_rejects_bad_mode(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["refresh_runs"] = [_refresh_row(mode="lukewarm")]
+        with pytest.raises(ValueError, match="mode must be one of"):
+            validate_bench(payload)
+
+    def test_warm_row_needs_submode(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["refresh_runs"] = [_refresh_row(refresh_mode=None)]
+        with pytest.raises(ValueError, match="refresh_mode must be one of"):
+            validate_bench(payload)
+
+    def test_cold_row_must_have_null_submode(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["refresh_runs"] = [
+            _refresh_row(mode="cold", refresh_mode="warm")
+        ]
+        with pytest.raises(ValueError, match="must be null for cold rows"):
+            validate_bench(payload)
+
+    def test_rejects_out_of_range_fraction(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["refresh_runs"] = [_refresh_row(delta_fraction=1.5)]
+        with pytest.raises(ValueError, match="delta_fraction"):
+            validate_bench(payload)
+
+    def test_rejects_missing_key(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        row = _refresh_row()
+        del row["quality_ok"]
+        payload["refresh_runs"] = [row]
+        with pytest.raises(ValueError, match="quality_ok"):
+            validate_bench(payload)
+
+    def test_v6_document_upgrades_with_refresh_axis_absent(
+        self, smoke_payload
+    ):
+        payload = copy.deepcopy(smoke_payload)
+        payload["version"] = 6
+        del payload["refresh_runs"]
+        for key in ("refresh", "refresh_fraction", "refresh_n"):
+            del payload["config"][key]
+        upgraded = upgrade_bench(payload)
+        validate_bench(upgraded)
+        assert upgraded["version"] == BENCH_SCHEMA_VERSION
+        assert upgraded["refresh_runs"] == []
+        assert upgraded["config"]["refresh"] is False
+
+
+class TestRefreshCompare:
+    def test_no_violations_on_real_document(self, refresh_payload):
+        assert refresh_violations(refresh_payload["refresh_runs"]) == []
+
+    def test_flags_quality_failure(self):
+        rows = [
+            _refresh_row(mode="cold", refresh_mode=None, matvecs=88),
+            _refresh_row(quality_ok=False),
+        ]
+        assert refresh_violations(rows) == [rows[1]]
+
+    def test_flags_warm_without_matvec_savings(self):
+        rows = [
+            _refresh_row(mode="cold", refresh_mode=None, matvecs=88),
+            _refresh_row(matvecs=88),
+        ]
+        assert refresh_violations(rows) == [rows[1]]
+
+    def test_self_compare_includes_refresh_rows(self, refresh_payload):
+        result = compare_bench(refresh_payload, refresh_payload)
+        policies = {row["policy"] for row in result["rows"]}
+        assert "refresh:cold" in policies
+        assert "refresh:warm" in policies
+        assert result["invariant_violations"] == []
+
+    def test_violation_propagates_to_compare(self, refresh_payload):
+        broken = copy.deepcopy(refresh_payload)
+        warm = next(
+            row for row in broken["refresh_runs"] if row["mode"] == "warm"
+        )
+        warm["quality_ok"] = False
+        result = compare_bench(refresh_payload, broken)
+        assert warm in result["invariant_violations"]

@@ -393,3 +393,225 @@ class TestQuantizedCli:
         assert payload["quant_runs"]
         assert all(row["lists_equal"] for row in payload["quant_runs"])
         assert payload["runs"] == [] and payload["topk_runs"] == []
+
+
+class TestRefreshCli:
+    """The `repro refresh` verb: delta log in, delta-published refit out."""
+
+    @pytest.fixture
+    def published(self, edge_file, tmp_path):
+        """A store whose v1 artifact ships its training graph."""
+        emb = str(tmp_path / "emb.npz")
+        assert main(
+            ["embed", edge_file, emb, "--dimension", "8", "--seed", "0"]
+        ) == 0
+        store = str(tmp_path / "store")
+        assert main(
+            ["publish", emb, "--store", store, "--name", "toy",
+             "--graph", edge_file]
+        ) == 0
+        return store
+
+    @pytest.fixture
+    def delta_file(self, edge_file, tmp_path):
+        from repro.graph import DeltaLog, read_edge_list
+
+        graph = read_edge_list(edge_file)
+        log = DeltaLog.for_graph(graph)
+        coo = graph.w.tocoo()
+        for pos in range(5):
+            log.reweight(
+                int(coo.row[pos]), int(coo.col[pos]),
+                float(coo.data[pos]) * 1.25,
+            )
+        path = tmp_path / "deltas.jsonl"
+        log.save(path)
+        return str(path)
+
+    def test_warm_refresh_delta_publishes(self, published, delta_file, capsys):
+        code = main(
+            ["refresh", delta_file, "--store", published, "--name", "toy"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "toy@v1 -> toy@v2" in out
+        assert "5 reweight" in out
+        from repro.serve import ArtifactStore
+
+        ref = ArtifactStore(published).resolve("toy")
+        assert ref.version == 2
+        assert ref.base_version == 1
+        ArtifactStore(published).verify(ref)
+
+    def test_cold_flag_skips_warm_start(self, published, delta_file, capsys):
+        code = main(
+            ["refresh", delta_file, "--store", published, "--name", "toy",
+             "--cold"]
+        )
+        assert code == 0
+        assert "cold (--cold)" in capsys.readouterr().out
+
+    def test_profile_out_records_refresh_section(
+        self, published, delta_file, tmp_path, capsys
+    ):
+        report_path = str(tmp_path / "report.json")
+        code = main(
+            ["refresh", delta_file, "--store", published, "--name", "toy",
+             "--profile", "--profile-out", report_path]
+        )
+        assert code == 0
+        import json as json_mod
+
+        with open(report_path) as handle:
+            report = json_mod.load(handle)
+        refresh = report["refresh"]
+        assert refresh["mode"] in ("warm", "cold_fallback")
+        counter_key = (
+            "warm_matvecs" if refresh["mode"] == "warm" else "cold_matvecs"
+        )
+        assert refresh[counter_key] > 0
+
+    def test_errors_when_artifact_has_no_graph(
+        self, edge_file, tmp_path, delta_file, capsys
+    ):
+        emb = str(tmp_path / "emb.npz")
+        assert main(
+            ["embed", edge_file, emb, "--dimension", "8", "--seed", "0"]
+        ) == 0
+        store = str(tmp_path / "bare-store")
+        assert main(
+            ["publish", emb, "--store", store, "--name", "toy"]
+        ) == 0
+        code = main(
+            ["refresh", delta_file, "--store", store, "--name", "toy"]
+        )
+        assert code == 2
+        assert "training graph" in capsys.readouterr().err
+
+    def test_errors_on_missing_delta_file(self, published, tmp_path, capsys):
+        code = main(
+            ["refresh", str(tmp_path / "nope.jsonl"), "--store", published,
+             "--name", "toy"]
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_errors_on_fingerprint_mismatch(
+        self, published, tmp_path, capsys
+    ):
+        from repro.graph import BipartiteGraph, DeltaLog
+
+        other = BipartiteGraph.from_dense([[1.0, 2.0], [0.0, 1.0]])
+        log = DeltaLog.for_graph(other)
+        log.reweight(0, 0, 3.0)
+        path = tmp_path / "other.jsonl"
+        log.save(path)
+        code = main(
+            ["refresh", str(path), "--store", published, "--name", "toy"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "binds a" in err or "fingerprint" in err
+
+
+class TestArtifactsCli:
+    def test_gc_prunes_old_versions(self, edge_file, tmp_path, capsys):
+        emb = str(tmp_path / "emb.npz")
+        assert main(["embed", edge_file, emb, "--dimension", "8"]) == 0
+        store = str(tmp_path / "store")
+        for _ in range(3):
+            assert main(
+                ["publish", emb, "--store", store, "--name", "toy"]
+            ) == 0
+        capsys.readouterr()
+        code = main(
+            ["artifacts", "gc", "--store", store, "--name", "toy",
+             "--keep", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deleted v1, v2" in out and "retained v3" in out
+        from repro.serve import ArtifactStore
+
+        assert ArtifactStore(store).versions("toy") == [3]
+
+    def test_gc_retains_referenced_bases(
+        self, edge_file, tmp_path, capsys
+    ):
+        """A delta chain pins its bases: gc must not break it."""
+        emb = str(tmp_path / "emb.npz")
+        assert main(["embed", edge_file, emb, "--dimension", "8"]) == 0
+        store = str(tmp_path / "store")
+        assert main(["publish", emb, "--store", store, "--name", "toy"]) == 0
+        # v2 delta-publishes identical arrays: pure references to v1.
+        assert main(
+            ["publish", emb, "--store", store, "--name", "toy",
+             "--base-version", "1"]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["artifacts", "gc", "--store", store, "--name", "toy",
+             "--keep", "1"]
+        )
+        assert code == 0
+        assert "deleted none" in capsys.readouterr().out
+        from repro.serve import ArtifactStore
+
+        store_obj = ArtifactStore(store)
+        assert store_obj.versions("toy") == [1, 2]
+        store_obj.verify(store_obj.resolve("toy", 2))
+
+    def test_gc_validates_keep(self, tmp_path, capsys):
+        code = main(
+            ["artifacts", "gc", "--store", str(tmp_path / "s"),
+             "--name", "toy", "--keep", "0"]
+        )
+        assert code == 2
+        assert "--keep" in capsys.readouterr().err
+
+    def test_publish_base_version_reports_refs(
+        self, edge_file, tmp_path, capsys
+    ):
+        emb = str(tmp_path / "emb.npz")
+        assert main(["embed", edge_file, emb, "--dimension", "8"]) == 0
+        store = str(tmp_path / "store")
+        assert main(["publish", emb, "--store", store, "--name", "toy"]) == 0
+        capsys.readouterr()
+        code = main(
+            ["publish", emb, "--store", store, "--name", "toy",
+             "--base-version", "1"]
+        )
+        assert code == 0
+        assert "delta over v1" in capsys.readouterr().out
+
+
+class TestBenchRefreshCli:
+    def test_refresh_flags_conflict(self, capsys):
+        assert main(["bench", "--refresh-only", "--topk-only"]) == 2
+        assert "conflict" in capsys.readouterr().err
+
+    def test_refresh_fraction_validated(self, capsys):
+        assert main(
+            ["bench", "--smoke", "--refresh-only", "--refresh-fraction", "2"]
+        ) == 2
+        assert "--refresh-fraction" in capsys.readouterr().err
+
+    def test_bench_refresh_only_writes_rows(self, tmp_path, capsys):
+        out_path = str(tmp_path / "bench.json")
+        code = main(
+            ["bench", "--smoke", "--refresh-only", "--output", out_path]
+        )
+        assert code == 0
+        import json as json_mod
+
+        with open(out_path) as handle:
+            payload = json_mod.load(handle)
+        rows = payload["refresh_runs"]
+        assert rows and payload["runs"] == []
+        by_mode = {row["mode"]: row for row in rows}
+        assert by_mode["warm"]["matvecs"] < by_mode["cold"]["matvecs"]
+        assert (
+            by_mode["warm"]["publish_bytes"]
+            < by_mode["warm"]["full_publish_bytes"]
+        )
+        assert all(row["quality_ok"] for row in rows)

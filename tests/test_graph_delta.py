@@ -1,0 +1,271 @@
+"""Tests for the append-only edge-delta log (repro.graph.delta)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import erdos_renyi_bipartite
+from repro.graph import (
+    DELTA_SCHEMA,
+    DELTA_SCHEMA_VERSION,
+    BipartiteGraph,
+    DeltaError,
+    DeltaLog,
+    EdgeDelta,
+    apply_deltas,
+)
+
+
+@pytest.fixture
+def base_graph():
+    return BipartiteGraph.from_dense(
+        [
+            [1.0, 2.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 3.0],
+        ]
+    )
+
+
+class TestEdgeDelta:
+    def test_valid_ops_construct(self):
+        EdgeDelta("add", 0, 1, 2.0)
+        EdgeDelta("reweight", 3, 4, 0.5)
+        EdgeDelta("remove", 1, 1)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(DeltaError, match="unknown delta op"):
+            EdgeDelta("upsert", 0, 0, 1.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(DeltaError, match="negative edge index"):
+            EdgeDelta("add", -1, 0, 1.0)
+
+    def test_remove_must_not_carry_weight(self):
+        with pytest.raises(DeltaError, match="must not carry a weight"):
+            EdgeDelta("remove", 0, 0, 1.0)
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0, float("nan"), float("inf")])
+    def test_add_needs_positive_finite_weight(self, weight):
+        with pytest.raises(DeltaError):
+            EdgeDelta("add", 0, 0, weight)
+
+    def test_record_round_trip(self):
+        delta = EdgeDelta("reweight", 2, 5, 1.25)
+        assert EdgeDelta.from_record(delta.record(), "here") == delta
+
+    def test_from_record_rejects_extra_fields(self):
+        with pytest.raises(DeltaError, match="unexpected delta fields"):
+            EdgeDelta.from_record(
+                {"op": "add", "u": 0, "v": 0, "w": 1.0, "note": "hi"}, "here"
+            )
+
+
+class TestDeltaLog:
+    def test_for_graph_binds_fingerprint_and_shape(self, base_graph):
+        log = DeltaLog.for_graph(base_graph)
+        assert (log.num_u, log.num_v) == (base_graph.num_u, base_graph.num_v)
+        assert len(log) == 0
+
+    def test_append_out_of_range_rejected(self, base_graph):
+        log = DeltaLog.for_graph(base_graph)
+        with pytest.raises(DeltaError, match="out of range"):
+            log.add(3, 0, 1.0)
+        with pytest.raises(DeltaError, match="out of range"):
+            log.reweight(0, 3, 1.0)
+
+    def test_counts(self, base_graph):
+        log = DeltaLog.for_graph(base_graph)
+        log.add(1, 2, 1.0)
+        log.remove(0, 1)
+        log.reweight(0, 0, 4.0)
+        log.reweight(1, 1, 2.0)
+        assert log.counts() == {"add": 1, "remove": 1, "reweight": 2}
+
+    def test_checksum_covers_order_and_content(self, base_graph):
+        a = DeltaLog.for_graph(base_graph)
+        b = DeltaLog.for_graph(base_graph)
+        a.add(1, 2, 1.0)
+        a.remove(0, 1)
+        b.remove(0, 1)
+        b.add(1, 2, 1.0)
+        assert a.checksum != b.checksum  # order matters
+        c = DeltaLog.for_graph(base_graph)
+        c.add(1, 2, 1.0)
+        c.remove(0, 1)
+        assert a.checksum == c.checksum  # identical sequence, same checksum
+
+    def test_save_load_round_trip(self, base_graph, tmp_path):
+        log = DeltaLog.for_graph(base_graph)
+        log.add(1, 2, 1.5)
+        log.reweight(0, 0, 2.0)
+        log.remove(0, 1)
+        path = tmp_path / "deltas.jsonl"
+        log.save(path)
+        loaded = DeltaLog.load(path)
+        assert loaded.base_fingerprint == log.base_fingerprint
+        assert loaded.deltas == log.deltas
+        assert loaded.checksum == log.checksum
+
+    def test_load_is_append_friendly(self, base_graph, tmp_path):
+        log = DeltaLog.for_graph(base_graph)
+        log.add(1, 2, 1.5)
+        path = tmp_path / "deltas.jsonl"
+        log.save(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"op": "reweight", "u": 0, "v": 0, "w": 3.0}) + "\n"
+            )
+        loaded = DeltaLog.load(path)
+        assert len(loaded) == 2
+        assert loaded.deltas[-1] == EdgeDelta("reweight", 0, 0, 3.0)
+
+    def test_load_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DeltaError, match="missing header"):
+            DeltaLog.load(path)
+
+    def test_load_rejects_wrong_schema(self, base_graph, tmp_path):
+        log = DeltaLog.for_graph(base_graph)
+        path = tmp_path / "deltas.jsonl"
+        log.save(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema"] = "someone/else"
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(DeltaError, match="is not"):
+            DeltaLog.load(path)
+
+    def test_load_rejects_future_version(self, base_graph, tmp_path):
+        log = DeltaLog.for_graph(base_graph)
+        path = tmp_path / "deltas.jsonl"
+        log.save(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == DELTA_SCHEMA
+        header["version"] = DELTA_SCHEMA_VERSION + 1
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(DeltaError, match="unsupported delta log version"):
+            DeltaLog.load(path)
+
+    def test_load_points_at_malformed_line(self, base_graph, tmp_path):
+        log = DeltaLog.for_graph(base_graph)
+        log.add(1, 2, 1.0)
+        path = tmp_path / "deltas.jsonl"
+        log.save(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        with pytest.raises(DeltaError, match=r":3: malformed delta line"):
+            DeltaLog.load(path)
+
+
+class TestApplyDeltas:
+    def test_reweight_changes_only_that_edge(self, base_graph):
+        log = DeltaLog.for_graph(base_graph)
+        log.reweight(0, 1, 5.0)
+        out = apply_deltas(base_graph, log)
+        dense = out.w.toarray()
+        assert dense[0, 1] == 5.0
+        expected = base_graph.w.toarray()
+        expected[0, 1] = 5.0
+        np.testing.assert_array_equal(dense, expected)
+
+    def test_add_and_remove(self, base_graph):
+        log = DeltaLog.for_graph(base_graph)
+        log.add(1, 0, 2.5)
+        log.remove(2, 2)
+        out = apply_deltas(base_graph, log)
+        dense = out.w.toarray()
+        assert dense[1, 0] == 2.5
+        assert dense[2, 2] == 0.0
+        assert out.num_edges == base_graph.num_edges  # one in, one out
+
+    def test_base_graph_never_mutated(self, base_graph):
+        before = base_graph.w.toarray().copy()
+        log = DeltaLog.for_graph(base_graph)
+        log.reweight(0, 0, 9.0)
+        log.remove(0, 1)
+        apply_deltas(base_graph, log)
+        np.testing.assert_array_equal(base_graph.w.toarray(), before)
+
+    def test_replay_is_deterministic(self):
+        graph = erdos_renyi_bipartite(30, 20, 120, weighted=True, seed=11)
+        log = DeltaLog.for_graph(graph)
+        coo = graph.w.tocoo()
+        for pos in range(0, coo.nnz, 7):
+            log.reweight(int(coo.row[pos]), int(coo.col[pos]), float(coo.data[pos]) * 2)
+        log.add(0, graph.num_v - 1, 0.5) if graph.w[0, graph.num_v - 1] == 0 else None
+        a = apply_deltas(graph, log)
+        b = apply_deltas(graph, log)
+        assert a.w.indptr.tobytes() == b.w.indptr.tobytes()
+        assert a.w.indices.tobytes() == b.w.indices.tobytes()
+        assert a.w.data.tobytes() == b.w.data.tobytes()
+
+    def test_fingerprint_mismatch_refused(self, base_graph):
+        log = DeltaLog.for_graph(base_graph)
+        log.reweight(0, 0, 2.0)
+        other = BipartiteGraph.from_dense(
+            [
+                [1.0, 2.0, 0.0],
+                [0.0, 1.0, 0.5],
+                [0.0, 0.0, 3.0],
+            ]
+        )
+        with pytest.raises(DeltaError, match="fingerprint mismatch"):
+            apply_deltas(other, log)
+
+    def test_shape_mismatch_refused(self, base_graph):
+        log = DeltaLog.for_graph(base_graph)
+        bigger = BipartiteGraph.from_dense(np.ones((4, 3)))
+        with pytest.raises(DeltaError, match="binds a 3 x 3 base"):
+            apply_deltas(bigger, log)
+
+    def test_add_present_edge_refused(self, base_graph):
+        log = DeltaLog.for_graph(base_graph)
+        log.add(0, 0, 1.0)
+        with pytest.raises(DeltaError, match=r"add\(0, 0\) but the edge is already"):
+            apply_deltas(base_graph, log)
+
+    def test_remove_absent_edge_refused(self, base_graph):
+        log = DeltaLog.for_graph(base_graph)
+        log.remove(1, 0)
+        with pytest.raises(DeltaError, match=r"remove\(1, 0\) but the edge is absent"):
+            apply_deltas(base_graph, log)
+
+    def test_reweight_absent_edge_refused(self, base_graph):
+        log = DeltaLog.for_graph(base_graph)
+        log.reweight(1, 0, 2.0)
+        with pytest.raises(DeltaError, match="the edge is absent"):
+            apply_deltas(base_graph, log)
+
+    def test_running_state_add_then_remove(self, base_graph):
+        log = DeltaLog.for_graph(base_graph)
+        log.add(1, 0, 2.0)
+        log.reweight(1, 0, 3.0)
+        log.remove(1, 0)
+        out = apply_deltas(base_graph, log)
+        np.testing.assert_array_equal(out.w.toarray(), base_graph.w.toarray())
+
+    def test_double_add_refused(self, base_graph):
+        log = DeltaLog.for_graph(base_graph)
+        log.add(1, 0, 2.0)
+        log.add(1, 0, 2.0)
+        with pytest.raises(DeltaError, match="already present"):
+            apply_deltas(base_graph, log)
+
+    def test_saved_log_replays_identically(self, tmp_path):
+        graph = erdos_renyi_bipartite(25, 15, 90, weighted=True, seed=3)
+        log = DeltaLog.for_graph(graph)
+        coo = graph.w.tocoo()
+        log.reweight(int(coo.row[0]), int(coo.col[0]), float(coo.data[0]) + 1.0)
+        log.remove(int(coo.row[1]), int(coo.col[1]))
+        path = tmp_path / "log.jsonl"
+        log.save(path)
+        direct = apply_deltas(graph, log)
+        replayed = apply_deltas(graph, DeltaLog.load(path))
+        assert direct.w.data.tobytes() == replayed.w.data.tobytes()
+        assert direct.w.indices.tobytes() == replayed.w.indices.tobytes()

@@ -267,7 +267,7 @@ class TestRunReport:
         # Schema v2: effective thread count and the kernel workspace
         # watermark (summed over per-thread pools) are part of the report.
         payload = profiled_toy_report().to_dict()
-        assert payload["version"] == 5
+        assert payload["version"] == 6
         assert payload["threads"] >= 1
         assert payload["memory"]["workspace_bytes"] >= 0
 
@@ -331,26 +331,85 @@ class TestRunReport:
         with pytest.raises(ValueError, match=match):
             validate_report(payload)
 
-    def test_v3_documents_upgrade_to_v5(self):
+    def test_v3_documents_upgrade_to_current(self):
         payload = profiled_toy_report().to_dict()
         payload["version"] = 3
         del payload["service"]
+        del payload["refresh"]
         del payload["ops"]["ann_probes"]
         del payload["ops"]["ann_candidates"]
         restored = RunReport.from_dict(payload)
         assert restored.service is None
+        assert restored.refresh is None
         assert restored.ops["ann_probes"] == 0
-        assert restored.to_dict()["version"] == 5
+        assert restored.to_dict()["version"] == 6
 
-    def test_v4_documents_upgrade_to_v5(self):
+    def test_v4_documents_upgrade_to_current(self):
         payload = profiled_toy_report().to_dict()
         payload["version"] = 4
+        del payload["refresh"]
         del payload["ops"]["ann_probes"]
         del payload["ops"]["ann_candidates"]
         restored = RunReport.from_dict(payload)
         assert restored.ops["ann_probes"] == 0
         assert restored.ops["ann_candidates"] == 0
-        assert restored.to_dict()["version"] == 5
+        assert restored.to_dict()["version"] == 6
+
+    def test_v5_documents_upgrade_to_v6(self):
+        payload = profiled_toy_report().to_dict()
+        payload["version"] = 5
+        del payload["refresh"]
+        restored = RunReport.from_dict(payload)
+        assert restored.refresh is None
+        assert restored.to_dict()["version"] == 6
+
+    def test_v6_refresh_section_null_for_plain_fits(self):
+        payload = profiled_toy_report().to_dict()
+        assert payload["refresh"] is None
+        assert RunReport.from_dict(payload).refresh is None
+
+    def test_v6_refresh_section_round_trips(self):
+        refresh = {
+            "mode": "warm",
+            "reason": "ok",
+            "residual": 0.02,
+            "tolerance": 0.158,
+            "warm_rank": 16,
+            "warm_matvecs": 152,
+            "cold_matvecs": 448,
+        }
+        report = profiled_toy_report()
+        report.refresh = refresh
+        payload = report.to_dict()
+        assert payload["refresh"]["mode"] == "warm"
+        assert RunReport.from_dict(payload).refresh == refresh
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda p: p.pop("refresh"), "refresh"),
+            (lambda p: p["refresh"].update(mode="hot"), "mode"),
+            (lambda p: p["refresh"].update(reason=""), "reason"),
+            (lambda p: p["refresh"].update(tolerance=-0.1), "tolerance"),
+            (lambda p: p["refresh"].update(warm_rank=-1), "warm_rank"),
+            (lambda p: p["refresh"].update(warm_matvecs=1.5), "warm_matvecs"),
+        ],
+    )
+    def test_v6_refresh_violations_rejected(self, mutate, match):
+        report = profiled_toy_report()
+        report.refresh = {
+            "mode": "cold_fallback",
+            "reason": "residual",
+            "residual": 0.7,
+            "tolerance": 0.1,
+            "warm_rank": 8,
+            "warm_matvecs": None,
+            "cold_matvecs": 300,
+        }
+        payload = report.to_dict()
+        mutate(payload)
+        with pytest.raises(ValueError, match=match):
+            validate_report(payload)
 
     def test_v5_ann_ops_fields(self):
         # Schema v5: ANN coverage is part of the ops block (zero for a

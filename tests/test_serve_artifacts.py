@@ -17,8 +17,10 @@ from repro.serve import (
 )
 from repro.serve.artifacts import (
     ARTIFACT_SCHEMA_NAME,
+    ARTIFACT_SCHEMA_VERSION,
     EMBEDDINGS_FILE,
     MANIFEST_FILE,
+    STAGING_PREFIX,
 )
 
 
@@ -227,7 +229,7 @@ class TestMemoryMappedLoad:
         assert (ref.path / "u.npy").is_file()
         assert (ref.path / "v.npy").is_file()
         assert not (ref.path / EMBEDDINGS_FILE).exists()
-        assert ref.manifest["version"] == 2
+        assert ref.manifest["version"] == ARTIFACT_SCHEMA_VERSION
         assert ref.quantize is None
 
 
@@ -341,12 +343,12 @@ class TestV1LegacyArtifacts:
         with pytest.raises(ArtifactError, match="checksum mismatch"):
             store.load("legacy")
 
-    def test_republish_upgrades_to_v2(self, store, embeddings):
+    def test_republish_upgrades_schema(self, store, embeddings):
         u, v = embeddings
         self._publish_v1(store, u, v)
         ref = store.publish("legacy", u, v)
         assert ref.version == 2
-        assert ref.manifest["version"] == 2
+        assert ref.manifest["version"] == ARTIFACT_SCHEMA_VERSION
         assert isinstance(store.load("legacy").u, np.memmap)
 
 
@@ -471,3 +473,172 @@ class TestIndexProvenance:
         np.save(ref.path / "v.npy", tampered)
         with pytest.raises(ArtifactError, match="checksum"):
             EmbeddingService(store, "toy", ann=True, verify=False)
+
+
+def _dir_bytes(path):
+    return sum(p.stat().st_size for p in path.iterdir() if p.is_file())
+
+
+class TestDeltaPublish:
+    """Schema v3: ``publish(..., base_version=)`` records unchanged files
+    as ``file_refs`` pointers instead of rewriting the bytes."""
+
+    def test_unchanged_graph_becomes_a_reference(self, store, embeddings, graph):
+        u, v = embeddings
+        store.publish("toy", u, v, graph=graph)
+        ref = store.publish("toy", u * 2, v * 2, graph=graph, base_version=1)
+        assert ref.base_version == 1
+        assert ref.file_refs == {"graph.npz": 1}
+        assert not (ref.path / "graph.npz").exists()
+        assert (ref.path / "u.npy").is_file()
+
+    def test_unchanged_embeddings_become_references(self, store, embeddings, graph):
+        """The ingest step: new graph, byte-identical embeddings."""
+        u, v = embeddings
+        store.publish("toy", u, v, graph=graph)
+        ref = store.publish("toy", u, v, graph=graph, base_version=1)
+        # Graph is identical too, so everything is a reference.
+        assert set(ref.file_refs) == {"u.npy", "v.npy", "graph.npz"}
+        assert not (ref.path / "u.npy").exists()
+
+    def test_delta_publish_writes_fewer_bytes_than_full(
+        self, store, embeddings, graph
+    ):
+        u, v = embeddings
+        store.publish("toy", u, v, graph=graph)
+        delta_ref = store.publish(
+            "toy", u * 2, v * 2, graph=graph, base_version=1
+        )
+        full_ref = store.publish("toy", u * 2, v * 2, graph=graph)
+        assert _dir_bytes(delta_ref.path) < _dir_bytes(full_ref.path)
+
+    def test_chain_load_round_trips(self, store, embeddings, graph):
+        u, v = embeddings
+        store.publish("toy", u, v, graph=graph)
+        store.publish("toy", u * 2, v, graph=graph, base_version=1)
+        loaded = store.load("toy", 2)
+        np.testing.assert_array_equal(np.asarray(loaded.u), u * 2)
+        np.testing.assert_array_equal(np.asarray(loaded.v), v)
+        assert loaded.graph is not None
+        assert loaded.graph.num_edges == graph.num_edges
+
+    def test_transitive_chain_resolves(self, store, embeddings, graph):
+        """v3 references v2's graph which is itself a reference to v1."""
+        u, v = embeddings
+        store.publish("toy", u, v, graph=graph)
+        store.publish("toy", u * 2, v, graph=graph, base_version=1)
+        ref = store.publish("toy", u * 3, v, graph=graph, base_version=2)
+        assert ref.file_refs["graph.npz"] == 2
+        store.verify(ref)
+        loaded = store.load("toy", 3)
+        np.testing.assert_array_equal(np.asarray(loaded.u), u * 3)
+        assert loaded.graph is not None
+
+    def test_verify_names_base_version_on_tamper(self, store, embeddings, graph):
+        """Corruption in a referenced base must fail the *delta* version's
+        verification and say where the broken bytes live."""
+        u, v = embeddings
+        base = store.publish("toy", u, v, graph=graph)
+        store.publish("toy", u * 2, v, graph=graph, base_version=1)
+        arrays = dict(np.load(base.path / "graph.npz"))
+        arrays["data"] = arrays["data"].copy()
+        arrays["data"][0] += 1.0
+        np.savez_compressed(base.path / "graph.npz", **arrays)
+        with pytest.raises(ArtifactError, match="base version v0001"):
+            store.verify(store.resolve("toy", 2))
+
+    def test_missing_base_fails_pointedly(self, store, embeddings, graph):
+        u, v = embeddings
+        base = store.publish("toy", u, v, graph=graph)
+        store.publish("toy", u * 2, v, graph=graph, base_version=1)
+        # Simulate an out-of-band deletion that bypassed the delete() guard.
+        import shutil
+
+        shutil.rmtree(base.path)
+        with pytest.raises(ArtifactError, match="cannot be resolved"):
+            store.load("toy", 2)
+
+    def test_unknown_base_version_rejected(self, store, embeddings):
+        u, v = embeddings
+        store.publish("toy", u, v)
+        with pytest.raises(ArtifactError, match="cannot delta-publish"):
+            store.publish("toy", u, v, base_version=9)
+
+
+class TestRetention:
+    def test_delete_refuses_referenced_version(self, store, embeddings, graph):
+        u, v = embeddings
+        store.publish("toy", u, v, graph=graph)
+        store.publish("toy", u * 2, v, graph=graph, base_version=1)
+        with pytest.raises(ArtifactError, match="reference its files"):
+            store.delete("toy", 1)
+        # Deleting the referencing version first unblocks the base.
+        store.delete("toy", 2)
+        store.delete("toy", 1)
+        assert store.versions("toy") == []
+
+    def test_prune_keeps_newest_and_chain_closure(self, store, embeddings, graph):
+        u, v = embeddings
+        store.publish("toy", u, v, graph=graph)  # v1
+        store.publish("toy", u * 2, v, graph=graph, base_version=1)  # v2 -> v1
+        store.publish("toy", u * 3, v, graph=graph)  # v3 (full)
+        store.publish("toy", u * 4, v, graph=graph, base_version=3)  # v4 -> v3
+        deleted, retained = store.prune("toy", keep=1)
+        # v4 is kept, and it pins v3; v1/v2 go.
+        assert deleted == [1, 2]
+        assert retained == [3, 4]
+        # The survivor still verifies and loads through its chain.
+        store.verify(store.resolve("toy", 4))
+        assert store.load("toy", 4).graph is not None
+
+    def test_prune_transitive_pinning(self, store, embeddings, graph):
+        u, v = embeddings
+        store.publish("toy", u, v, graph=graph)  # v1
+        store.publish("toy", u * 2, v, graph=graph, base_version=1)  # v2
+        store.publish("toy", u * 3, v, graph=graph, base_version=2)  # v3
+        deleted, retained = store.prune("toy", keep=1)
+        # v3's graph ref chain is v3 -> v2 -> v1: nothing can go.
+        assert deleted == []
+        assert retained == [1, 2, 3]
+
+    def test_prune_validates_keep(self, store, embeddings):
+        u, v = embeddings
+        store.publish("toy", u, v)
+        with pytest.raises(ArtifactError, match="keep must be >= 1"):
+            store.prune("toy", keep=0)
+
+
+class TestStagingCleanup:
+    def test_failed_publish_leaves_no_staging_dir(
+        self, store, embeddings, graph, monkeypatch
+    ):
+        u, v = embeddings
+        store.publish("toy", u, v)
+
+        import repro.serve.artifacts as artifacts_module
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(artifacts_module, "save_npz", boom)
+        with pytest.raises(OSError, match="disk full"):
+            store.publish("toy", u, v, graph=graph)
+        leftovers = [
+            p
+            for p in (store.root / "toy").iterdir()
+            if p.name.startswith(STAGING_PREFIX)
+        ]
+        assert leftovers == []
+        # The failed attempt consumed no version number.
+        assert store.versions("toy") == [1]
+
+    def test_init_sweep_removes_stale_staging(self, tmp_path, embeddings):
+        u, v = embeddings
+        store = ArtifactStore(tmp_path / "store")
+        store.publish("toy", u, v)
+        stale = store.root / "toy" / f"{STAGING_PREFIX}v0002-crashed"
+        stale.mkdir()
+        (stale / "u.npy").write_bytes(b"partial")
+        reopened = ArtifactStore(tmp_path / "store")
+        assert not stale.exists()
+        assert reopened.versions("toy") == [1]

@@ -200,6 +200,53 @@ class TestEmbeddingService:
         assert service.artifact.tag == "toy@v1"
         assert service.top_items([1], 3)["items"].shape == (1, 3)
 
+    def test_reload_serves_delta_published_version(self, store, result, graph):
+        """The incremental pipeline's last hop: a warm refresh delta-publishes
+        (graph unchanged -> ``file_refs`` pointer to v1) and a live service
+        picks it up via reload, chain verification included."""
+        service = EmbeddingService(store, "toy")
+        ref = store.publish(
+            "toy",
+            result.u * 2.0,
+            result.v,
+            graph=graph,
+            method="random",
+            base_version=1,
+        )
+        assert ref.file_refs.get("graph.npz") == 1  # genuinely a delta
+        old, new = service.reload()
+        assert (old, new) == ("toy@v1", "toy@v2")
+        # Served results reflect the new embeddings with the referenced
+        # graph still masking training edges.
+        expected = TopKEngine(result.u * 2.0, result.v).top_items(
+            5, exclude=graph
+        )
+        np.testing.assert_array_equal(
+            service.top_items(range(result.u.shape[0]), 5)["items"], expected
+        )
+
+    def test_reload_rejects_broken_delta_chain(self, store, result, graph):
+        """A delta version whose referenced base file was corrupted must fail
+        chain verification at reload and leave the old model serving."""
+        service = EmbeddingService(store, "toy")
+        store.publish(
+            "toy",
+            result.u * 2.0,
+            result.v,
+            graph=graph,
+            method="random",
+            base_version=1,
+        )
+        base_graph_file = store.root / "toy" / "v0001" / "graph.npz"
+        arrays = dict(np.load(base_graph_file))
+        arrays["data"] = arrays["data"].copy()
+        arrays["data"][0] += 1.0
+        np.savez_compressed(base_graph_file, **arrays)
+        with pytest.raises(Exception):
+            service.reload()
+        assert service.artifact.tag == "toy@v1"
+        assert service.top_items([1], 3)["items"].shape == (1, 3)
+
     def test_worker_threads_get_private_engines(self, store):
         service = EmbeddingService(store, "toy")
         engines = {}
