@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-ann bench-quant bench-refresh bench-pytest examples quicktest profile-smoke serve-smoke clean
+.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-ann bench-quant bench-refresh bench-ooc bench-pytest lint-dense examples quicktest profile-smoke serve-smoke clean
 
 # Kernel-level suites that must hold under a parallel executor; `make test`
 # reruns them with REPRO_NUM_THREADS=4 after the default serial pass.  The
@@ -16,12 +16,15 @@ PYTHON ?= python
 # a list or a score bit off the exact engine over the dequantized arrays).
 # The delta-replay and warm-refresh suites ride along too: delta
 # application and the warm/cold refit split are bit-deterministic claims,
-# so they must hold at any executor width.
+# so they must hold at any executor width.  The out-of-core suite joins
+# for the same reason: a store-backed fit must stay bit-identical to the
+# resident anchor at every thread count and staging budget.
 THREADED_TESTS = tests/test_linalg_kernels.py tests/test_linalg_parallel.py \
   tests/test_kernels_fallback.py tests/test_topk.py \
   tests/test_serve_batcher.py tests/test_serve_server.py \
   tests/test_ann.py tests/test_serve_sharded.py tests/test_quant.py \
-  tests/test_serve_service.py tests/test_graph_delta.py tests/test_refresh.py
+  tests/test_serve_service.py tests/test_graph_delta.py tests/test_refresh.py \
+  tests/test_ooc_fit.py tests/test_graph_ingest.py
 
 install:
 	pip install -e . || { \
@@ -29,7 +32,7 @@ install:
 	  echo $(CURDIR)/src > $$($(PYTHON) -c 'import site; print(site.getsitepackages()[0])')/repro-editable.pth; \
 	}
 
-test: bench-smoke
+test: bench-smoke bench-ooc lint-dense
 	$(PYTHON) -m pytest tests/
 	REPRO_NUM_THREADS=4 $(PYTHON) -m pytest $(THREADED_TESTS) -q
 
@@ -47,10 +50,14 @@ profile-smoke:
 	  --profile --profile-out /tmp/gebe-profile.json
 
 # Full perf snapshot: GEBE + GEBE^p on the zoo stand-ins, workspace vs
-# legacy kernels A/B'd in the same run, written to BENCH_gebe.json at the
+# legacy kernels A/B'd in the same run, plus every serving/scale axis —
+# HTTP serving latency, the 1.2M-item ANN and quantized-artifact
+# stand-ins, the incremental-refresh pipeline, and the out-of-core axis
+# on the 1.2M-item ingest stand-in — written to BENCH_gebe.json at the
 # repo root.  See docs/BENCHMARKS.md.
 bench:
-	PYTHONPATH=src $(PYTHON) -m repro bench --output BENCH_gebe.json
+	PYTHONPATH=src $(PYTHON) -m repro bench --serve-smoke --ann --quant \
+	  --refresh --ooc --output BENCH_gebe.json
 
 # Seconds-scale harness exercise (toy graph) so the bench path can't rot;
 # part of the default `make test`.
@@ -93,6 +100,37 @@ bench-quant:
 bench-refresh:
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --refresh-only \
 	  --output /tmp/gebe-bench-refresh.json
+
+# The out-of-core axis alone: streaming-ingest a stand-in edge list to an
+# on-disk store, then fit memory-mapped under tight staging budgets against
+# the resident anchor — a seconds-scale check that every mmap row stays
+# bit-identical and matvec-equal with peak RSS inside budget+slack (the
+# run exits 1 on any violation).  The committed snapshot's ooc rows use
+# the full 1.2M-item stand-in (`make bench`-scale); see docs/SCALING.md
+# and docs/BENCHMARKS.md.
+bench-ooc:
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --ooc-only \
+	  --output /tmp/gebe-bench-ooc.json
+
+# Grep lint: dense materializations (`.toarray()`/`.todense()`) are only
+# allowed in the modules below — reference paths guarded by
+# ensure_dense_ok (bipartite.to_dense, the measures gram/MHP) and the
+# deliberately-dense small-scale paths (exact_svd, analysis bounds).
+# Anywhere else they defeat the out-of-core path; keep it sparse or stage
+# through the budgeted kernels.  Part of `make test`.
+DENSE_ALLOWLIST = src/repro/graph/bipartite\.py|src/repro/core/measures\.py|src/repro/linalg/randomized_svd\.py|src/repro/analysis/bounds\.py
+
+lint-dense:
+	@matches=$$(grep -rn --include='*.py' -E '\.to(array|dense)\(\)' src/repro \
+	  | grep -vE '^($(DENSE_ALLOWLIST)):' || true); \
+	if [ -n "$$matches" ]; then \
+	  echo "lint-dense: dense conversions outside the allowlist:"; \
+	  echo "$$matches"; \
+	  echo "route them through repro.graph.ensure_dense_ok in an allowlisted"; \
+	  echo "module, or keep the computation sparse (see docs/SCALING.md)."; \
+	  exit 1; \
+	fi; \
+	echo "lint-dense: OK (dense conversions confined to the allowlist)"
 
 # End-to-end serving round trip: fit the toy graph, publish to a throwaway
 # artifact store, answer concurrent HTTP top-k requests in-process, and

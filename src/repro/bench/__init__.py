@@ -1,6 +1,12 @@
 """Reproducible benchmark harness emitting ``BENCH_*.json`` perf snapshots."""
 
-from .compare import compare_bench, load_bench, refresh_violations, render_compare
+from .compare import (
+    compare_bench,
+    load_bench,
+    ooc_violations,
+    refresh_violations,
+    render_compare,
+)
 from .harness import BenchConfig, render_bench, run_bench, write_bench
 from .schema import (
     BENCH_SCHEMA_NAME,
@@ -20,6 +26,7 @@ __all__ = [
     "compare_bench",
     "render_compare",
     "refresh_violations",
+    "ooc_violations",
     "BENCH_SCHEMA_NAME",
     "BENCH_SCHEMA_VERSION",
 ]

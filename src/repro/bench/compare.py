@@ -29,6 +29,7 @@ __all__ = [
     "compare_bench",
     "render_compare",
     "refresh_violations",
+    "ooc_violations",
     "DEFAULT_NOISE",
     "DEFAULT_MIN_SECONDS",
 ]
@@ -164,6 +165,51 @@ def refresh_violations(runs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return violations
 
 
+def _ooc_as_run(row: Dict[str, Any]) -> Dict[str, Any]:
+    """An ooc row viewed as a regular run row for the diff machinery.
+
+    The ``policy`` slot encodes the storage mode and budget
+    (``ooc:resident`` / ``ooc:mmap/b8``) and the obs ``matvecs`` counter
+    carries straight through — the stand-in and the store build are both
+    seeded, so matvec drift between runs of the same config means the
+    out-of-core schedule itself changed.
+    """
+    label = "ooc:resident"
+    if row["mode"] == "mmap":
+        budget = "-" if row["budget_mb"] is None else f"{row['budget_mb']:g}"
+        label = f"ooc:mmap/b{budget}"
+    return {
+        "method": row["method"],
+        "dataset": row["dataset"],
+        "policy": label,
+        "threads": row["threads"],
+        "wall_seconds": row["wall_seconds"],
+        "matvecs": row["matvecs"],
+    }
+
+
+def ooc_violations(runs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The out-of-core axis's hard invariants, checked within one document.
+
+    Every mmap row must (1) reproduce the resident anchor's embeddings
+    bitwise (``bit_identical``), (2) perform the identical operation
+    schedule (``matvecs_equal``), and (3) keep its peak-RSS growth under
+    the anchor's growth plus the staging budget plus the documented slack
+    (``rss_within_budget``).  Any failure is the tentpole claim failing —
+    the mapped kernels drifting from the resident arithmetic or the
+    budget not actually bounding staging — not noise.
+    """
+    return [
+        row
+        for row in runs
+        if not (
+            row["bit_identical"]
+            and row["matvecs_equal"]
+            and row["rss_within_budget"]
+        )
+    ]
+
+
 def compare_bench(
     old: Dict[str, Any],
     new: Dict[str, Any],
@@ -187,8 +233,10 @@ def compare_bench(
       topk comparisons (batched retrieval diverging from per-user),
       full-probe ann rows whose lists diverge from the exact engine,
       quant rows whose lists diverge from the exact engine over the
-      dequantized arrays, and refresh rows that fail the warm-vs-cold
-      quality gate or whose warm refit did not save matvecs;
+      dequantized arrays, refresh rows that fail the warm-vs-cold
+      quality gate or whose warm refit did not save matvecs, and ooc
+      mmap rows that are not bit-identical/matvec-equal to the resident
+      anchor or that blow the peak-RSS budget;
     * ``missing`` / ``added`` — cell keys only in the old / new document;
     * ``noise`` — the threshold used.
     """
@@ -229,6 +277,14 @@ def compare_bench(
     new_runs.update(
         (_run_key(row), row)
         for row in map(_refresh_as_run, new.get("refresh_runs", []))
+    )
+    old_runs.update(
+        (_run_key(row), row)
+        for row in map(_ooc_as_run, old.get("ooc_runs", []))
+    )
+    new_runs.update(
+        (_run_key(row), row)
+        for row in map(_ooc_as_run, new.get("ooc_runs", []))
     )
     rows: List[Dict[str, Any]] = []
     for key in new_runs:
@@ -283,7 +339,8 @@ def compare_bench(
             for row in new.get("quant_runs", [])
             if not row["lists_equal"]
         ]
-        + refresh_violations(new.get("refresh_runs", [])),
+        + refresh_violations(new.get("refresh_runs", []))
+        + ooc_violations(new.get("ooc_runs", [])),
         "missing": sorted(key for key in old_runs if key not in new_runs),
         "added": sorted(key for key in new_runs if key not in old_runs),
         "noise": noise,

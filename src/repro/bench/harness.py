@@ -150,6 +150,23 @@ class BenchConfig:
         refreshes are ~1%).
     refresh_n:
         Recommendation list length for the refresh quality gate.
+    ooc:
+        Run the out-of-core axis: stream a seeded edge-list stand-in
+        through :func:`~repro.graph.ingest.build_graph_store` into an
+        on-disk :class:`~repro.graph.store.GraphStore`, fit the first
+        method once from the fully resident graph (the differential
+        anchor) and once per configured staging budget from the
+        memory-mapped store.  Every mmap row's embeddings must be
+        *bitwise* equal to the anchor's and its matvec counts identical
+        (``bit_identical`` / ``matvecs_equal`` — the compare machinery
+        treats either failing as an invariant violation), and its
+        peak-RSS growth must stay under the anchor's growth plus the
+        budget plus a documented slack (``rss_within_budget``).
+    ooc_items:
+        Stand-in item count for the OOC axis (users are ``items / 8``,
+        eight edges per user, so edges scale with the item count).
+    ooc_budgets_mb:
+        The staging budgets (MB) to sweep on the mmap rows.
     """
 
     datasets: Tuple[str, ...] = ("dblp", "mag")
@@ -181,6 +198,9 @@ class BenchConfig:
     refresh: bool = False
     refresh_fraction: float = 0.01
     refresh_n: int = 10
+    ooc: bool = False
+    ooc_items: int = 1_200_000
+    ooc_budgets_mb: Tuple[float, ...] = (8.0, 64.0)
 
     @classmethod
     def smoke(cls) -> "BenchConfig":
@@ -200,6 +220,8 @@ class BenchConfig:
             quant_items=5_000,
             quant_queries=16,
             quant_n=10,
+            ooc_items=2_000,
+            ooc_budgets_mb=(0.25, 4.0),
         )
 
     def policies(self) -> List[DtypePolicy]:
@@ -1099,6 +1121,196 @@ def _run_refresh_axis(
     return rows
 
 
+def _ooc_progress(row: Dict[str, Any]) -> None:
+    budget = "-" if row["budget_mb"] is None else f"{row['budget_mb']:g}MB"
+    print(
+        f"  ooc   {row['mode']:<9} {row['dataset']:<16} b={budget:<8} "
+        f"x{row['threads']} {row['wall_seconds']:8.3f}s "
+        f"rss+{row['peak_rss_bytes'] / 1e6:7.1f}MB "
+        f"copy={row['bytes_copied_in'] / 1e6:7.1f}MB "
+        f"bits={'ok' if row['bit_identical'] else 'MISMATCH'}",
+        file=sys.stderr,
+    )
+
+
+def _write_ooc_standin(path: str, num_items: int, seed: int) -> None:
+    """Write the seeded bipartite edge-list stand-in for the OOC axis.
+
+    ``num_items / 8`` users with eight random items each (duplicates sum
+    on ingest, unobserved items compact away — both deliberate: the axis
+    exercises the real streaming-ingest semantics, not a pre-cleaned
+    matrix).  Fully seeded, so reruns rebuild the identical store.
+    """
+    rng = np.random.default_rng(seed)
+    num_u = max(4, num_items // 8)
+    degree = 8
+    block = 65_536
+    with open(path, "w", encoding="utf-8") as handle:
+        for start in range(0, num_u, block):
+            stop = min(num_u, start + block)
+            items = rng.integers(0, num_items, size=(stop - start, degree))
+            weights = rng.uniform(0.5, 1.5, size=items.shape)
+            lines = []
+            for offset in range(stop - start):
+                user = start + offset
+                for j in range(degree):
+                    lines.append(
+                        f"u{user}\ti{items[offset, j]}\t"
+                        f"{float(weights[offset, j])!r}\n"
+                    )
+            handle.writelines(lines)
+
+
+def _run_ooc_axis(
+    config: BenchConfig, *, progress: bool = False
+) -> List[Dict[str, Any]]:
+    """The out-of-core axis: resident anchor vs budget-bounded mmap fits.
+
+    Streams the seeded stand-in edge list through
+    :func:`~repro.graph.ingest.build_graph_store` (bounded-memory ingest —
+    part of what the axis prices), then fits ``config.methods[0]``:
+
+    * ``resident`` — from :meth:`~repro.graph.store.GraphStore.resident_graph`
+      (the store materialized as an ordinary in-memory scipy graph).  This
+      row anchors every wall-overhead ratio, the matvec counts, and the
+      bitwise embedding reference.
+    * ``mmap`` — from the memory-mapped store, once per configured staging
+      budget (serial), plus one row at the widest configured thread count
+      at the largest budget.
+
+    Hard invariants, per mmap row: ``bit_identical`` (embeddings bitwise
+    equal to the anchor's), ``matvecs_equal`` (identical op schedule), and
+    ``rss_within_budget`` — peak RSS growth over the row's pre-fit RSS
+    must stay under the anchor's growth plus the staging budget plus a
+    slack of 64 MB + 25% of the anchor growth (allocator noise and page
+    cache attribution are real; a mapped fit re-paying the whole graph
+    resident is what the gate catches).  The compare machinery treats any
+    of the three failing as an invariant violation, same class as matvec
+    drift.
+    """
+    from ..graph.ingest import build_graph_store
+
+    num_items = int(config.ooc_items)
+    if num_items < 4:
+        raise ValueError(f"ooc_items must be >= 4, got {config.ooc_items}")
+    budgets = [float(b) for b in config.ooc_budgets_mb]
+    if not budgets or any(b <= 0 for b in budgets):
+        raise ValueError(
+            f"ooc_budgets_mb must be positive, got {config.ooc_budgets_mb}"
+        )
+    budgets = sorted(set(budgets))
+    name = config.methods[0]
+    dataset = f"standin_{num_items}"
+    rows: List[Dict[str, Any]] = []
+
+    def finish(row: Dict[str, Any]) -> Dict[str, Any]:
+        rows.append(row)
+        if progress:
+            _ooc_progress(row)
+        return row
+
+    def fit_rows(graph, policy, budget_mb):
+        """Fit ``repeats`` times; return walls + counters + embeddings."""
+        baseline = obs.current_rss_bytes() or 0
+        walls: List[float] = []
+        fitted = None
+        matvecs = 0
+        copied = 0
+        peak = 0
+        for _ in range(config.repeats):
+            method = _make_bench_method(name, config, policy)
+            with obs.collect() as collector:
+                started = time.perf_counter()
+                out = method.fit(graph)
+                walls.append(time.perf_counter() - started)
+                section = collector.ooc_section(budget_mb=budget_mb)
+            matvecs = int(collector.ops.sparse_matvecs)
+            copied = max(copied, int(section["bytes_copied_in"]))
+            peak = max(peak, int(section["peak_rss_bytes"]))
+            if fitted is None:
+                fitted = out
+        return fitted, walls, matvecs, copied, max(0, peak - baseline)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ooc-") as tmp:
+        edges_path = os.path.join(tmp, "standin.tsv")
+        _write_ooc_standin(edges_path, num_items, config.seed)
+        store, _stats = build_graph_store(
+            edges_path, os.path.join(tmp, "store"), weighted=True
+        )
+        base = {
+            "method": name,
+            "dataset": dataset,
+            "num_u": int(store.num_u),
+            "num_v": int(store.num_v),
+            "nnz": int(store.nnz),
+        }
+
+        anchor_fit, anchor_walls, anchor_matvecs, _, anchor_delta = fit_rows(
+            store.resident_graph(), DtypePolicy.default().with_threads(1), None
+        )
+        anchor_wall = min(anchor_walls)
+        finish(
+            {
+                **base,
+                "method": anchor_fit.method,
+                "mode": "resident",
+                "budget_mb": None,
+                "threads": 1,
+                "wall_seconds": anchor_wall,
+                "wall_seconds_all": anchor_walls,
+                "wall_overhead": 1.0,
+                "matvecs": anchor_matvecs,
+                "bytes_copied_in": 0,
+                "peak_rss_bytes": anchor_delta,
+                "rss_budget_bytes": None,
+                "rss_within_budget": True,
+                "matvecs_equal": True,
+                "bit_identical": True,
+            }
+        )
+        slack = 64 * 1024 * 1024 + anchor_delta // 4
+
+        def mmap_row(budget_mb: float, threads: int) -> Dict[str, Any]:
+            policy = (
+                DtypePolicy.default()
+                .with_threads(threads)
+                .with_ooc_budget(budget_mb)
+            )
+            fitted, walls, matvecs, copied, delta = fit_rows(
+                store.graph(), policy, budget_mb
+            )
+            rss_budget = anchor_delta + int(budget_mb * 1024 * 1024) + slack
+            return finish(
+                {
+                    **base,
+                    "method": fitted.method,
+                    "mode": "mmap",
+                    "budget_mb": float(budget_mb),
+                    "threads": threads,
+                    "wall_seconds": min(walls),
+                    "wall_seconds_all": walls,
+                    "wall_overhead": min(walls) / max(anchor_wall, 1e-12),
+                    "matvecs": matvecs,
+                    "bytes_copied_in": copied,
+                    "peak_rss_bytes": delta,
+                    "rss_budget_bytes": rss_budget,
+                    "rss_within_budget": delta <= rss_budget,
+                    "matvecs_equal": matvecs == anchor_matvecs,
+                    "bit_identical": bool(
+                        np.array_equal(fitted.u, anchor_fit.u)
+                        and np.array_equal(fitted.v, anchor_fit.v)
+                    ),
+                }
+            )
+
+        for budget in budgets:
+            mmap_row(budget, 1)
+        max_threads = max(config.thread_counts())
+        if max_threads > 1:
+            mmap_row(budgets[-1], max_threads)
+    return rows
+
+
 def _environment() -> Dict[str, Any]:
     return {
         "python": sys.version.split()[0],
@@ -1220,6 +1432,11 @@ def run_bench(
     if config.quant:
         # Like the ANN axis, once and dataset-independent.
         quant_runs = _run_quant_axis(config, progress=progress)
+    ooc_runs: List[Dict[str, Any]] = []
+    if config.ooc:
+        # Once and dataset-independent: the workload is the streamed
+        # stand-in store, sized past any zoo graph.
+        ooc_runs = _run_ooc_axis(config, progress=progress)
     payload = {
         "schema": BENCH_SCHEMA_NAME,
         "version": BENCH_SCHEMA_VERSION,
@@ -1229,7 +1446,8 @@ def run_bench(
                    "threads": list(config.threads),
                    "topk_block_rows": list(config.topk_block_rows),
                    "ann_nprobe": list(config.ann_nprobe),
-                   "quant_dtypes": list(config.quant_dtypes)},
+                   "quant_dtypes": list(config.quant_dtypes),
+                   "ooc_budgets_mb": list(config.ooc_budgets_mb)},
         "environment": _environment(),
         "runs": runs,
         "comparisons": _comparisons(runs),
@@ -1239,6 +1457,7 @@ def run_bench(
         "ann_runs": ann_runs,
         "quant_runs": quant_runs,
         "refresh_runs": refresh_runs,
+        "ooc_runs": ooc_runs,
     }
     return validate_bench(payload)
 
@@ -1377,5 +1596,31 @@ def render_bench(payload: Dict[str, Any]) -> str:
                 f"{run['matvecs']:>9}{run['qr_factorizations']:>5}"
                 f"{run['publish_bytes']:>11}{run['full_publish_bytes']:>9}"
                 f"{'ok' if run['quality_ok'] else 'BAD':>9}"
+            )
+    if payload.get("ooc_runs"):
+        lines.append(
+            "out-of-core fits (mmap rows must be bit-identical to the "
+            "resident anchor, matvec-equal, and inside the RSS budget)"
+        )
+        header = (
+            f"{'ooc mode':<10}{'dataset':<17}{'budget':>9}{'thr':>4}"
+            f"{'wall':>10}{'x wall':>8}{'rss MB':>9}{'copy MB':>9}"
+            f"{'rss':>5}{'mv':>4}{'bits':>6}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for run in payload["ooc_runs"]:
+            budget = (
+                "-" if run["budget_mb"] is None else f"{run['budget_mb']:g}"
+            )
+            lines.append(
+                f"{run['mode']:<10}{run['dataset']:<17}{budget:>9}"
+                f"{run['threads']:>4}{run['wall_seconds']:>9.3f}s"
+                f"{run['wall_overhead']:>8.2f}"
+                f"{run['peak_rss_bytes'] / 1e6:>9.1f}"
+                f"{run['bytes_copied_in'] / 1e6:>9.1f}"
+                f"{'ok' if run['rss_within_budget'] else 'BAD':>5}"
+                f"{'ok' if run['matvecs_equal'] else 'NO':>4}"
+                f"{'ok' if run['bit_identical'] else 'BAD':>6}"
             )
     return "\n".join(lines)

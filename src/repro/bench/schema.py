@@ -33,7 +33,8 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
       "serve_runs": [ServeRun, ...],
       "ann_runs": [AnnRun, ...],
       "quant_runs": [QuantRun, ...],
-      "refresh_runs": [RefreshRun, ...]
+      "refresh_runs": [RefreshRun, ...],
+      "ooc_runs": [OocRun, ...]
     }
 
     Run: {
@@ -141,7 +142,38 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
     }                             # the cold refit's (cold rows: trivially
                                   # true)
 
-Version history: v7 added the incremental-refresh axis (``refresh_runs``
+    OocRun: {                     # the out-of-core axis: the same fit from
+      "method": str, "dataset": str,      # a resident graph (the anchor)
+      "mode": str,                # "resident" | "mmap"
+      "budget_mb": float | null,  # staging budget (null: resident anchor,
+                                  # or an unbudgeted mmap row)
+      "threads": int,
+      "num_u": int, "num_v": int, "nnz": int,
+      "wall_seconds": float,      # min over repeats
+      "wall_seconds_all": [float, ...],
+      "wall_overhead": float,     # this row's wall / anchor wall (1.0 for
+                                  # the anchor itself)
+      "matvecs": int,             # obs sparse_matvecs of the fit
+      "bytes_copied_in": int,     # OOC staging traffic (0 for resident)
+      "peak_rss_bytes": int,      # peak RSS growth over the pre-fit RSS
+      "rss_budget_bytes": int | null,   # anchor growth + budget + slack
+                                  # (null when no gate applies to the row)
+      "rss_within_budget": bool,  # HARD invariant for budgeted mmap rows:
+                                  # peak_rss_bytes <= rss_budget_bytes
+      "matvecs_equal": bool,      # HARD invariant: op counts identical to
+                                  # the resident anchor
+      "bit_identical": bool       # HARD invariant: embeddings bitwise
+    }                             # equal to the resident anchor's
+
+Version history: v8 added the out-of-core axis (``ooc_runs`` and the
+``ooc``/``ooc_items``/``ooc_budgets_mb`` config switches): the first
+method fitted once from a resident graph (the differential anchor) and
+once per staging budget from a memory-mapped
+:class:`~repro.graph.store.GraphStore`, with every mmap row's embeddings
+pinned bitwise to the anchor, its matvec counts pinned equal, and its
+peak-RSS growth gated under the anchor's growth plus the budget plus a
+documented slack.  Older documents upgrade with the axis absent.
+v7 added the incremental-refresh axis (``refresh_runs``
 and the ``refresh``/``refresh_fraction``/``refresh_n`` config switches):
 cold-vs-warm refit rows after a seeded ~1% edge delta, with warm matvec
 counts, delta-publish bytes vs a full publish, and the warm rows'
@@ -185,7 +217,7 @@ __all__ = [
 ]
 
 BENCH_SCHEMA_NAME = "repro.bench.results"
-BENCH_SCHEMA_VERSION = 7
+BENCH_SCHEMA_VERSION = 8
 
 _CONFIG_KEYS = {
     "datasets": list,
@@ -217,6 +249,9 @@ _CONFIG_KEYS = {
     "refresh": bool,
     "refresh_fraction": (int, float),
     "refresh_n": int,
+    "ooc": bool,
+    "ooc_items": int,
+    "ooc_budgets_mb": list,
 }
 _ENVIRONMENT_KEYS = {
     "python": str,
@@ -350,6 +385,27 @@ _REFRESH_RUN_KEYS = {
 }
 _REFRESH_MODES = ("cold", "warm")
 _REFRESH_SUBMODES = ("warm", "cold_fallback")
+_OOC_RUN_KEYS = {
+    "method": str,
+    "dataset": str,
+    "mode": str,
+    "budget_mb": (int, float, type(None)),
+    "threads": int,
+    "num_u": int,
+    "num_v": int,
+    "nnz": int,
+    "wall_seconds": (int, float),
+    "wall_seconds_all": list,
+    "wall_overhead": (int, float),
+    "matvecs": int,
+    "bytes_copied_in": int,
+    "peak_rss_bytes": int,
+    "rss_budget_bytes": (int, type(None)),
+    "rss_within_budget": bool,
+    "matvecs_equal": bool,
+    "bit_identical": bool,
+}
+_OOC_MODES = ("resident", "mmap")
 
 
 def _fail(message: str) -> None:
@@ -382,10 +438,10 @@ def upgrade_bench(payload: Any) -> Any:
     predates the serving axis (``serve_smoke: false``, empty
     ``serve_runs``), v4 the ANN axis (``ann: false``, empty ``ann_runs``),
     v5 the quantized-artifact axis (``quant: false``, empty
-    ``quant_runs``), and v6 the incremental-refresh axis
-    (``refresh: false``, empty ``refresh_runs``).  Current-version
-    documents pass through untouched; unknown versions fail validation
-    downstream.
+    ``quant_runs``), v6 the incremental-refresh axis
+    (``refresh: false``, empty ``refresh_runs``), and v7 the out-of-core
+    axis (``ooc: false``, empty ``ooc_runs``).  Current-version documents
+    pass through untouched; unknown versions fail validation downstream.
     """
     if not isinstance(payload, dict):
         return payload
@@ -441,13 +497,21 @@ def upgrade_bench(payload: Any) -> Any:
             config.setdefault("quant_n", 100)
         payload.setdefault("quant_runs", [])
     if payload.get("version") == 6:
-        payload["version"] = BENCH_SCHEMA_VERSION
+        payload["version"] = 7
         config = payload.get("config")
         if isinstance(config, dict):
             config.setdefault("refresh", False)
             config.setdefault("refresh_fraction", 0.01)
             config.setdefault("refresh_n", 10)
         payload.setdefault("refresh_runs", [])
+    if payload.get("version") == 7:
+        payload["version"] = BENCH_SCHEMA_VERSION
+        config = payload.get("config")
+        if isinstance(config, dict):
+            config.setdefault("ooc", False)
+            config.setdefault("ooc_items", 0)
+            config.setdefault("ooc_budgets_mb", [])
+        payload.setdefault("ooc_runs", [])
     return payload
 
 
@@ -492,6 +556,9 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
     refresh_runs = payload.get("refresh_runs")
     if not isinstance(refresh_runs, list):
         _fail("refresh_runs must be a list")
+    ooc_runs = payload.get("ooc_runs")
+    if not isinstance(ooc_runs, list):
+        _fail("ooc_runs must be a list")
     if (
         not runs
         and not topk_runs
@@ -499,10 +566,11 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
         and not ann_runs
         and not quant_runs
         and not refresh_runs
+        and not ooc_runs
     ):
         _fail(
-            "runs, topk_runs, serve_runs, ann_runs, quant_runs, and "
-            "refresh_runs must not all be empty"
+            "runs, topk_runs, serve_runs, ann_runs, quant_runs, "
+            "refresh_runs, and ooc_runs must not all be empty"
         )
     for index, run in enumerate(runs):
         where = f"runs[{index}]"
@@ -643,6 +711,37 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
             "qr_factorizations",
             "publish_bytes",
             "full_publish_bytes",
+        ):
+            if run[key] < 0:
+                _fail(f"{where}.{key} must be non-negative")
+        if run["wall_seconds"] < 0:
+            _fail(f"{where}.wall_seconds must be non-negative")
+    for index, run in enumerate(ooc_runs):
+        where = f"ooc_runs[{index}]"
+        _check_object(run, _OOC_RUN_KEYS, where)
+        if run["mode"] not in _OOC_MODES:
+            _fail(f"{where}.mode must be one of {_OOC_MODES}")
+        if run["mode"] == "resident" and run["budget_mb"] is not None:
+            _fail(f"{where}.budget_mb must be null for resident rows")
+        if run["budget_mb"] is not None and run["budget_mb"] <= 0:
+            _fail(f"{where}.budget_mb must be positive")
+        if run["rss_budget_bytes"] is not None and run["rss_budget_bytes"] < 0:
+            _fail(f"{where}.rss_budget_bytes must be non-negative")
+        if run["threads"] < 1:
+            _fail(f"{where}.threads must be >= 1")
+        if run["wall_overhead"] <= 0:
+            _fail(f"{where}.wall_overhead must be positive")
+        if not run["wall_seconds_all"] or not all(
+            isinstance(t, (int, float)) and t >= 0 for t in run["wall_seconds_all"]
+        ):
+            _fail(f"{where}.wall_seconds_all must be non-empty non-negative numbers")
+        for key in (
+            "num_u",
+            "num_v",
+            "nnz",
+            "matvecs",
+            "bytes_copied_in",
+            "peak_rss_bytes",
         ):
             if run[key] < 0:
                 _fail(f"{where}.{key} must be non-negative")

@@ -2,7 +2,8 @@
 
 Subcommands::
 
-    python -m repro embed      # edge list or named dataset -> embeddings
+    python -m repro embed      # edge list, named dataset, or graph store -> embeddings
+    python -m repro ingest     # streaming edge-list ingest -> on-disk CSR graph store
     python -m repro recommend  # top-N items for one user
     python -m repro query      # batched top-N for many users from saved .npz
     python -m repro evaluate   # run the Table 4 / Table 5 protocol
@@ -86,6 +87,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=_cli_dataset_names(),
         help="embed a named dataset instead of an edge-list file",
     )
+    embed.add_argument(
+        "--graph-store",
+        metavar="DIR",
+        help="fit out-of-core from an on-disk CSR graph store (built by "
+        "`repro ingest`) instead of an edge-list file; the weight matrix "
+        "is memory-mapped and streamed under --ooc-budget-mb",
+    )
+    embed.add_argument(
+        "--ooc-budget-mb",
+        type=float,
+        metavar="MB",
+        help="resident staging budget for --graph-store fits (default: "
+        "256); never changes results, only memory traffic",
+    )
     embed.add_argument("--method", default="GEBE^p", type=_method_name)
     embed.add_argument("--dimension", type=int, default=128)
     embed.add_argument("--seed", type=int, default=0)
@@ -105,6 +120,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-out",
         metavar="PATH",
         help="write the profiling report JSON here (default: stdout)",
+    )
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="stream an edge list into an on-disk CSR graph store with "
+        "bounded memory",
+    )
+    ingest.add_argument("input", help="TSV edge list (u, v[, weight] per line)")
+    ingest.add_argument("output", help="graph store directory to create")
+    ingest.add_argument(
+        "--weighted",
+        choices=("auto", "yes", "no"),
+        default="auto",
+        help="weight-column handling (default: auto-detect from the first "
+        "data line, like read_edge_list)",
+    )
+    ingest.add_argument("--delimiter", default="\t", metavar="CHAR")
+    ingest.add_argument("--comment", default="#", metavar="CHAR")
+    ingest.add_argument(
+        "--chunk-edges",
+        type=int,
+        metavar="N",
+        help="edges parsed per in-memory chunk; bounds peak ingest memory "
+        "(default: 262144)",
+    )
+    ingest.add_argument(
+        "--force",
+        action="store_true",
+        help="replace an existing store at the output path",
+    )
+    ingest.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-read the published arrays and check manifest checksums",
     )
 
     recommend = commands.add_parser(
@@ -379,6 +428,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of base edges the seeded delta reweights "
         "(default: 0.01)",
     )
+    bench.add_argument(
+        "--ooc",
+        action="store_true",
+        help="also run the out-of-core axis: ingest a streamed edge-list "
+        "stand-in into an on-disk graph store, fit from the memory-mapped "
+        "store under each staging budget, and hard-assert each mmap fit is "
+        "bit-identical and matvec-equal to the resident anchor with peak "
+        "RSS inside the budget gate",
+    )
+    bench.add_argument(
+        "--ooc-only",
+        action="store_true",
+        help="run only the out-of-core axis (implies --ooc)",
+    )
+    bench.add_argument(
+        "--ooc-items",
+        type=int,
+        metavar="N",
+        help="stand-in item count for the ooc axis (default: 1200000)",
+    )
+    bench.add_argument(
+        "--ooc-budgets-mb",
+        nargs="+",
+        type=float,
+        metavar="MB",
+        help="staging budgets to sweep on the mmap rows (default: 8 64)",
+    )
 
     publish = commands.add_parser(
         "publish",
@@ -606,7 +682,42 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_embed(args: argparse.Namespace) -> int:
-    if args.dataset is not None:
+    if args.graph_store is not None and args.dataset is not None:
+        print(
+            "error: give either --graph-store or --dataset, not both",
+            file=sys.stderr,
+        )
+        return 2
+    if args.ooc_budget_mb is not None:
+        if args.graph_store is None:
+            print(
+                "error: --ooc-budget-mb requires --graph-store",
+                file=sys.stderr,
+            )
+            return 2
+        if args.ooc_budget_mb <= 0:
+            print("error: --ooc-budget-mb must be positive", file=sys.stderr)
+            return 2
+    if args.graph_store is not None:
+        if args.input is not None and args.output is None:
+            # `embed OUT --graph-store DIR` reads the positional as output.
+            args.output = args.input
+        elif args.input is not None:
+            print(
+                "error: give either an edge-list file or --graph-store, "
+                "not both",
+                file=sys.stderr,
+            )
+            return 2
+        from .graph.store import GraphStore, GraphStoreError
+
+        try:
+            graph = GraphStore.open(args.graph_store).graph()
+        except (OSError, GraphStoreError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        source = args.graph_store
+    elif args.dataset is not None:
         if args.input is not None and args.output is None:
             # `embed OUT --dataset NAME` reads the lone positional as output.
             args.output = args.input
@@ -622,36 +733,50 @@ def _cmd_embed(args: argparse.Namespace) -> int:
         graph = read_edge_list(args.input)
         source = args.input
     else:
-        print("error: need an edge-list file or --dataset", file=sys.stderr)
+        print(
+            "error: need an edge-list file, --dataset, or --graph-store",
+            file=sys.stderr,
+        )
         return 2
 
     extras = {}
-    if args.threads is not None:
-        if args.threads < 1:
+    if args.threads is not None or args.graph_store is not None:
+        if args.threads is not None and args.threads < 1:
             print("error: --threads must be >= 1", file=sys.stderr)
             return 2
         if args.method not in method_names("proposed"):
             print(
-                f"error: --threads only applies to proposed methods "
-                f"({method_names('proposed')}), not {args.method!r}",
+                f"error: --threads/--graph-store only apply to proposed "
+                f"methods ({method_names('proposed')}), not {args.method!r}",
                 file=sys.stderr,
             )
             return 2
         from .linalg import DtypePolicy
 
-        extras["dtype_policy"] = DtypePolicy().with_threads(args.threads)
+        policy = DtypePolicy()
+        if args.threads is not None:
+            policy = policy.with_threads(args.threads)
+        if args.ooc_budget_mb is not None:
+            policy = policy.with_ooc_budget(args.ooc_budget_mb)
+        extras["dtype_policy"] = policy
     method = make_method(
         args.method, dimension=args.dimension, seed=args.seed, **extras
     )
     if args.profile:
         with obs.collect() as collector:
             result = method.fit(graph)
+        ooc_section = (
+            collector.ooc_section(budget_mb=args.ooc_budget_mb)
+            if args.graph_store is not None
+            else None
+        )
         report = collector.report(
             method=result.method,
             dataset=source,
             dimension=args.dimension,
             seed=args.seed,
             wall_seconds=result.elapsed_seconds,
+            ooc=ooc_section,
             metadata={"num_u": graph.num_u, "num_v": graph.num_v,
                       "num_edges": graph.num_edges},
         )
@@ -674,6 +799,49 @@ def _cmd_embed(args: argparse.Namespace) -> int:
         f"{result.method}: embedded {graph.num_u}+{graph.num_v} nodes "
         f"(k={result.dimension}) in {result.elapsed_seconds:.2f}s{destination}",
         file=stream,
+    )
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .graph.ingest import build_graph_store
+    from .graph.store import GraphStoreError
+
+    if args.chunk_edges is not None and args.chunk_edges < 1:
+        print("error: --chunk-edges must be >= 1", file=sys.stderr)
+        return 2
+    weighted = {"auto": None, "yes": True, "no": False}[args.weighted]
+    kwargs = {}
+    if args.chunk_edges is not None:
+        kwargs["chunk_edges"] = args.chunk_edges
+    try:
+        store, stats = build_graph_store(
+            args.input,
+            args.output,
+            delimiter=args.delimiter,
+            comment=args.comment,
+            weighted=weighted,
+            force=args.force,
+            **kwargs,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    verified = ""
+    if args.verify:
+        try:
+            store.verify()
+        except GraphStoreError as exc:
+            print(f"error: verification failed: {exc}", file=sys.stderr)
+            return 1
+        verified = ", verified"
+    print(
+        f"ingested {stats.edges_read} edges -> {args.output}: "
+        f"|U|={stats.num_u} |V|={stats.num_v} nnz={stats.nnz} "
+        f"({stats.duplicates_merged} duplicates merged, "
+        f"{stats.zeros_dropped} zeros dropped, "
+        f"{stats.runs_spilled} runs spilled, "
+        f"{store.nbytes() / 1e6:.1f} MB on disk{verified})"
     )
     return 0
 
@@ -931,6 +1099,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         BenchConfig,
         compare_bench,
         load_bench,
+        ooc_violations,
         refresh_violations,
         render_bench,
         render_compare,
@@ -990,7 +1159,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["ann_nprobe"] = tuple(args.ann_nprobe)
     only_flags = [
         flag
-        for flag in ("topk_only", "ann_only", "quant_only", "refresh_only")
+        for flag in (
+            "topk_only",
+            "ann_only",
+            "quant_only",
+            "refresh_only",
+            "ooc_only",
+        )
         if getattr(args, flag)
     ]
     if len(only_flags) > 1:
@@ -1025,6 +1200,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["quant_items"] = args.quant_items
     if args.quant_dtypes is not None:
         overrides["quant_dtypes"] = tuple(dict.fromkeys(args.quant_dtypes))
+    if args.ooc or args.ooc_only:
+        overrides["ooc"] = True
+    if args.ooc_only:
+        overrides["fit_grid"] = False
+        overrides["topk"] = False
+    if args.ooc_items is not None:
+        if args.ooc_items < 4:
+            print("error: --ooc-items must be >= 4", file=sys.stderr)
+            return 2
+        overrides["ooc_items"] = args.ooc_items
+    if args.ooc_budgets_mb is not None:
+        if any(b <= 0 for b in args.ooc_budgets_mb):
+            print(
+                "error: --ooc-budgets-mb values must be positive",
+                file=sys.stderr,
+            )
+            return 2
+        overrides["ooc_budgets_mb"] = tuple(args.ooc_budgets_mb)
     config = replace(config, **overrides)
 
     baseline = None
@@ -1044,7 +1237,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{len(payload['serve_runs'])} serve runs + "
         f"{len(payload['ann_runs'])} ann runs + "
         f"{len(payload['quant_runs'])} quant runs + "
-        f"{len(payload['refresh_runs'])} refresh runs -> {args.output}"
+        f"{len(payload['refresh_runs'])} refresh runs + "
+        f"{len(payload['ooc_runs'])} ooc runs -> {args.output}"
     )
     status = 0
     mismatches = [
@@ -1120,6 +1314,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             "error: delta publish wrote no fewer bytes than a full publish "
             f"({len(delta_publish_bad)} rows)",
+            file=sys.stderr,
+        )
+        status = 1
+    ooc_bad = ooc_violations(payload["ooc_runs"])
+    if ooc_bad:
+        print(
+            "error: out-of-core invariants violated — mmap fits must be "
+            "bit-identical and matvec-equal to the resident anchor with "
+            f"peak RSS inside the budget gate ({len(ooc_bad)} rows)",
             file=sys.stderr,
         )
         status = 1
@@ -1539,6 +1742,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 _HANDLERS = {
     "embed": _cmd_embed,
+    "ingest": _cmd_ingest,
     "recommend": _cmd_recommend,
     "query": _cmd_query,
     "evaluate": _cmd_evaluate,

@@ -25,9 +25,10 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..graph import BipartiteGraph
-from ..linalg import DtypePolicy, SpectrumCache, randomized_svd, refresh_svd
+from ..linalg import DtypePolicy, SparseKernel, SpectrumCache, randomized_svd, refresh_svd
 from ..obs import active as _obs_active
 from .base import BipartiteEmbedder
 from .preprocess import normalize_weights
@@ -139,7 +140,11 @@ class GEBEPoisson(BipartiteEmbedder):
         k = min(self.dimension, graph.num_u, graph.num_v)
         with collector.stage("gebe_p"):
             with collector.stage("normalize"):
-                w = normalize_weights(graph, self.normalization)
+                w = normalize_weights(
+                    graph,
+                    self.normalization,
+                    ooc_budget_mb=self.dtype_policy.ooc_budget_mb,
+                )
             # Line 1: randomized SVD of W -> Phi'_k, Sigma'_k.  The SVD is
             # lambda-independent, so a shared cache serves every grid cell
             # of a lambda sweep from one factorization.
@@ -187,7 +192,14 @@ class GEBEPoisson(BipartiteEmbedder):
                 u = svd.u * np.sqrt(eigenvalues)[np.newaxis, :]
                 collector.count_spmv(w.nnz, u.shape[1])
                 collector.note_array(u.nbytes)
-                v = w.T @ u
+                if sp.issparse(w):
+                    v = w.T @ u
+                else:
+                    # Memory-mapped store: budget-bounded CSC scatter via
+                    # the kernel — bit-identical to `w.T @ u`.
+                    kernel = SparseKernel(w, self.dtype_policy)
+                    v = kernel.t_matmul(u)
+                    collector.count_ooc_copy(kernel.ooc_bytes_copied())
         if k < self.dimension:
             pad = self.dimension - k
             u = np.hstack([u, np.zeros((u.shape[0], pad))])

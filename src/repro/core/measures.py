@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from ..graph import BipartiteGraph
+from ..graph import BipartiteGraph, ensure_dense_ok
 from ..obs import active as _obs_active
 from .pmf import PathLengthPMF
 
@@ -35,15 +35,22 @@ __all__ = [
 ]
 
 
-def path_weight_matrix(graph: BipartiteGraph, ell: int) -> np.ndarray:
+def path_weight_matrix(
+    graph: BipartiteGraph, ell: int, *, force: bool = False
+) -> np.ndarray:
     """Dense ``q_{2l}`` matrix: total weight of length-``2l`` paths (Eq. 2).
 
     ``q_{2l}(u_i, u_l) = (W W^T)^l [i, l]``.  For ``l = 0`` this is the
     identity (the empty path has weight 1).
+
+    Guarded by :func:`~repro.graph.ensure_dense_ok` (the ``|U| x |U|``
+    gram matrix is dense); ``force=True`` overrides for callers that have
+    priced the memory.
     """
     if ell < 0:
         raise ValueError("ell must be non-negative")
     n = graph.num_u
+    ensure_dense_ok((n, n), what="the dense gram matrix W W^T", force=force)
     if ell == 0:
         return np.eye(n)
     gram = (graph.w @ graph.w.T).toarray()

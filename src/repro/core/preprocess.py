@@ -29,11 +29,22 @@ normalize ``W`` first.  Three modes:
 from __future__ import annotations
 
 import math
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..graph import BipartiteGraph
+from ..graph.store import (
+    DEFAULT_OOC_BUDGET_MB,
+    StoreBackedGraph,
+    StoreCSR,
+    release_mmap,
+    row_blocks,
+    write_npy_stream,
+)
 
 __all__ = ["normalize_weights", "NORMALIZATION_MODES", "SPECTRAL_TOP"]
 
@@ -43,24 +54,44 @@ NORMALIZATION_MODES = ("sym", "spectral", "max", "none")
 SPECTRAL_TOP = math.sqrt(5.0)
 
 
-def normalize_weights(graph: BipartiteGraph, mode: str = "sym") -> sp.csr_matrix:
+def normalize_weights(
+    graph: Union[BipartiteGraph, StoreBackedGraph],
+    mode: str = "sym",
+    *,
+    ooc_budget_mb: Optional[float] = None,
+) -> Union[sp.csr_matrix, StoreCSR]:
     """Return the normalized weight matrix of ``graph`` (never mutates it).
 
     Parameters
     ----------
     graph:
-        Input bipartite graph.
+        Input bipartite graph.  A memory-mapped
+        :class:`~repro.graph.store.StoreBackedGraph` routes to the
+        out-of-core variant: degrees are streamed in budget-bounded row
+        blocks with the exact reduction orders of the resident scipy path
+        (``np.add.reduceat`` row segments, ascending sequential column
+        scatter), the scaled data is written block-wise to a temporary
+        ``.npy`` through buffered IO, and the result is a
+        :class:`~repro.graph.store.StoreCSR` sharing the store's structure
+        arrays with the new memory-mapped data — bit-identical entries to
+        the resident path at O(block + |U| + |V|) resident memory.
     mode:
         One of :data:`NORMALIZATION_MODES`; see the module docstring.
+    ooc_budget_mb:
+        Streaming block budget for the out-of-core variant (``None`` uses
+        :data:`~repro.graph.store.DEFAULT_OOC_BUDGET_MB`); ignored for
+        resident graphs.
 
     Returns
     -------
-    scipy.sparse.csr_matrix
+    scipy.sparse.csr_matrix or StoreCSR
         The normalized ``|U| x |V|`` matrix, same sparsity pattern as ``W``.
     """
     if mode not in NORMALIZATION_MODES:
         raise ValueError(f"unknown normalization {mode!r}; choices: {NORMALIZATION_MODES}")
     w = graph.w
+    if not sp.issparse(w):
+        return _normalize_store(w, mode, ooc_budget_mb)
     if mode == "none" or w.nnz == 0:
         return w.copy()
     if mode == "max":
@@ -95,3 +126,103 @@ def normalize_weights(graph: BipartiteGraph, mode: str = "sym") -> sp.csr_matrix
         data *= SPECTRAL_TOP
     scaled.data = data
     return scaled
+
+
+# ---------------------------------------------------------------------------
+# Out-of-core variant
+# ---------------------------------------------------------------------------
+def _store_row_blocks(w: StoreCSR, budget_mb: Optional[float]):
+    """Budget-bounded row blocks over a mapped CSR (3 streamed arrays/pass)."""
+    budget = (
+        budget_mb if budget_mb is not None else DEFAULT_OOC_BUDGET_MB
+    ) * 1024 * 1024
+    max_nnz = max(1, int(budget) // 24)
+    return row_blocks(w.indptr, 0, w.shape[0], max_nnz)
+
+
+def _normalize_store(
+    w: StoreCSR, mode: str, budget_mb: Optional[float]
+) -> StoreCSR:
+    """The streamed normalize: bit-identical entries, bounded residency.
+
+    Every reduction replicates the resident path's exact floating-point
+    order: row degrees are per-row ``np.add.reduceat`` segment sums (what
+    scipy's ``w.sum(axis=1)`` computes), column degrees a sequential
+    ascending-row ``np.add.at`` scatter (scipy's ``w.sum(axis=0)``), and
+    the per-entry scaling is elementwise, so block boundaries cannot move a
+    single ulp.  The scaled data streams through buffered writes into a
+    temporary ``.npy`` that is handed back memory-mapped; the temporary
+    directory lives as long as the returned view does.
+    """
+    if mode == "none" or w.nnz == 0:
+        return w
+    m, n = w.shape
+    if mode == "max":
+        top = -np.inf
+        for r0, r1 in _store_row_blocks(w, budget_mb):
+            s, e = int(w.indptr[r0]), int(w.indptr[r1])
+            if e > s:
+                top = max(top, float(np.max(w.data[s:e])))
+            release_mmap(w.data)
+
+        def scaled_blocks():
+            for r0, r1 in _store_row_blocks(w, budget_mb):
+                s, e = int(w.indptr[r0]), int(w.indptr[r1])
+                block = w.data[s:e] / top
+                release_mmap(w.data)
+                yield block
+
+        return _with_temp_data(w, scaled_blocks())
+    # "sym"/"spectral" — see the resident branch for the numerical notes;
+    # the same larger-factor-first product runs here per block.
+    deg_u = np.zeros(m, dtype=np.float64)
+    deg_v = np.zeros(n, dtype=np.float64)
+    for r0, r1 in _store_row_blocks(w, budget_mb):
+        s, e = int(w.indptr[r0]), int(w.indptr[r1])
+        if e == s:
+            continue
+        data = np.asarray(w.data[s:e])
+        indices = np.asarray(w.indices[s:e])
+        local_indptr = np.asarray(w.indptr[r0 : r1 + 1]) - s
+        lengths = np.diff(local_indptr)
+        nz_rows = np.flatnonzero(lengths)
+        if nz_rows.size:
+            deg_u[r0 + nz_rows] = np.add.reduceat(data, local_indptr[:-1][nz_rows])
+        np.add.at(deg_v, indices, data)
+        release_mmap(w.indices, w.data)
+    inv_sqrt_u = np.zeros_like(deg_u)
+    inv_sqrt_v = np.zeros_like(deg_v)
+    np.divide(1.0, np.sqrt(deg_u), out=inv_sqrt_u, where=deg_u > 0)
+    np.divide(1.0, np.sqrt(deg_v), out=inv_sqrt_v, where=deg_v > 0)
+
+    def scaled_blocks():
+        for r0, r1 in _store_row_blocks(w, budget_mb):
+            s, e = int(w.indptr[r0]), int(w.indptr[r1])
+            if e == s:
+                continue
+            local_indptr = np.asarray(w.indptr[r0 : r1 + 1]) - s
+            rows = np.repeat(np.arange(r0, r1), np.diff(local_indptr))
+            factor_u = inv_sqrt_u[rows]
+            factor_v = inv_sqrt_v[np.asarray(w.indices[s:e])]
+            data = np.asarray(w.data[s:e]) * np.maximum(factor_u, factor_v)
+            data *= np.minimum(factor_u, factor_v)
+            if mode == "spectral":
+                data *= SPECTRAL_TOP
+            release_mmap(w.indices, w.data)
+            yield data
+
+    return _with_temp_data(w, scaled_blocks())
+
+
+def _with_temp_data(w: StoreCSR, blocks) -> StoreCSR:
+    """A StoreCSR sharing ``w``'s structure with freshly streamed data.
+
+    The data lands in a temporary directory whose lifetime is tied to the
+    returned view (POSIX keeps the mapping valid even after the path is
+    eventually removed).
+    """
+    tmp = tempfile.TemporaryDirectory(prefix="repro-normalized-")
+    path = Path(tmp.name) / "data.npy"
+    write_npy_stream(path, np.float64, w.nnz, blocks)
+    data = np.load(path, mmap_mode="r")
+    return w.with_data(data, owner=tmp)

@@ -1,6 +1,12 @@
-"""Bipartite graph substrate: data structure, IO, and k-core filtering."""
+"""Bipartite graph substrate: data structure, IO, streaming ingest, and
+k-core filtering."""
 
-from .bipartite import BipartiteGraph, Edge
+from .bipartite import (
+    DENSE_GUARD_ELEMENTS,
+    BipartiteGraph,
+    Edge,
+    ensure_dense_ok,
+)
 from .delta import (
     DELTA_SCHEMA,
     DELTA_SCHEMA_VERSION,
@@ -9,8 +15,16 @@ from .delta import (
     EdgeDelta,
     apply_deltas,
 )
+from .ingest import IngestStats, build_graph_store, iter_edge_chunks
 from .io import load_npz, read_edge_list, save_npz, write_edge_list
 from .kcore import k_core, k_core_indices
+from .store import (
+    DEFAULT_OOC_BUDGET_MB,
+    GraphStore,
+    GraphStoreError,
+    StoreBackedGraph,
+    StoreCSR,
+)
 from .stats import (
     DegreeSummary,
     connected_components,
@@ -24,6 +38,8 @@ from .stats import (
 __all__ = [
     "BipartiteGraph",
     "Edge",
+    "DENSE_GUARD_ELEMENTS",
+    "ensure_dense_ok",
     "DELTA_SCHEMA",
     "DELTA_SCHEMA_VERSION",
     "DeltaError",
@@ -34,6 +50,14 @@ __all__ = [
     "write_edge_list",
     "save_npz",
     "load_npz",
+    "IngestStats",
+    "build_graph_store",
+    "iter_edge_chunks",
+    "DEFAULT_OOC_BUDGET_MB",
+    "GraphStore",
+    "GraphStoreError",
+    "StoreBackedGraph",
+    "StoreCSR",
     "k_core",
     "k_core_indices",
     "DegreeSummary",

@@ -19,10 +19,54 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence,
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["BipartiteGraph", "Edge"]
+__all__ = ["BipartiteGraph", "Edge", "DENSE_GUARD_ELEMENTS", "ensure_dense_ok"]
 
 #: An edge as exposed by :meth:`BipartiteGraph.edges`: ``(u_index, v_index, weight)``.
 Edge = Tuple[int, int, float]
+
+#: Default dense-materialization guard: refuse to build dense arrays with
+#: more elements than this (~256 MB of float64) unless the caller forces
+#: it.  Dense conversions exist for small graphs and tests; at graph-store
+#: scale an accidental ``to_dense()`` is an OOM, not a slow path.
+DENSE_GUARD_ELEMENTS = 32_000_000
+
+
+def ensure_dense_ok(
+    shape: Sequence[int],
+    *,
+    what: str,
+    force: bool = False,
+    max_elements: Optional[int] = None,
+) -> None:
+    """Raise unless a dense array of ``shape`` is under the size guard.
+
+    Parameters
+    ----------
+    shape:
+        The dense array's dimensions.
+    what:
+        Human-readable description of what would be materialized (goes in
+        the error message).
+    force:
+        ``True`` skips the guard entirely — the caller has decided the
+        memory cost is acceptable.
+    max_elements:
+        Override the :data:`DENSE_GUARD_ELEMENTS` threshold.
+    """
+    if force:
+        return
+    limit = DENSE_GUARD_ELEMENTS if max_elements is None else int(max_elements)
+    elements = 1
+    for dim in shape:
+        elements *= int(dim)
+    if elements > limit:
+        size = " x ".join(str(int(dim)) for dim in shape)
+        raise ValueError(
+            f"refusing to materialize {what}: {size} is {elements} elements "
+            f"(~{elements * 8 / 1e9:.1f} GB of float64), over the dense "
+            f"guard of {limit}; pass force=True to override, or keep the "
+            "computation sparse/out-of-core"
+        )
 
 
 def _as_csr(matrix: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
@@ -309,8 +353,13 @@ class BipartiteGraph:
             coo.data.astype(np.float64),
         )
 
-    def to_dense(self) -> np.ndarray:
-        """Materialize ``W`` as a dense array (small graphs / tests only)."""
+    def to_dense(self, *, force: bool = False) -> np.ndarray:
+        """Materialize ``W`` as a dense array (small graphs / tests only).
+
+        Guarded by :func:`ensure_dense_ok`: raises on matrices over
+        :data:`DENSE_GUARD_ELEMENTS` elements unless ``force=True``.
+        """
+        ensure_dense_ok(self.w.shape, what="the dense weight matrix W", force=force)
         return self.w.toarray()
 
     def adjacency(self) -> sp.csr_matrix:

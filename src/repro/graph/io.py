@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Hashable, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -66,37 +66,52 @@ def read_edge_list(
         (``weighted=False``) against the caller's declaration, and on
         non-finite weights (``nan``/``inf`` would silently poison degree
         normalization downstream).
+
+    Notes
+    -----
+    Parsing runs through the streaming chunk parser of
+    :func:`repro.graph.ingest.iter_edge_chunks` — one validation code
+    path, one set of error messages — but this loader materializes the
+    whole edge set as typed numpy arrays (~24 bytes/edge, down from ~150
+    for the old tuple list) before building the resident matrix.  For
+    graphs that should never be fully resident, ingest to an on-disk
+    store with :func:`repro.graph.ingest.build_graph_store` instead.
     """
-    edges: List[Tuple[Hashable, Hashable, float]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_no, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line or line.startswith(comment):
-                continue
-            parts = line.split(delimiter)
-            if len(parts) < 2:
-                raise ValueError(f"{path}:{line_no}: expected at least 2 fields")
-            if len(parts) > 3:
-                raise ValueError(
-                    f"{path}:{line_no}: expected at most 3 fields, got {len(parts)}"
-                )
-            if weighted is True and len(parts) < 3:
-                raise ValueError(f"{path}:{line_no}: expected a weight column")
-            if weighted is False and len(parts) > 2:
-                raise ValueError(
-                    f"{path}:{line_no}: unexpected weight column "
-                    "(file has 3 fields but weighted=False was requested)"
-                )
-            if len(parts) == 2:
-                weight = 1.0
-            else:
-                weight = float(parts[2])
-                if not np.isfinite(weight):
-                    raise ValueError(
-                        f"{path}:{line_no}: non-finite weight {parts[2]!r}"
-                    )
-            edges.append((parts[0], parts[1], weight))
-    return BipartiteGraph.from_edges(edges)
+    from .ingest import iter_edge_chunks
+
+    u_index: Dict[str, int] = {}
+    v_index: Dict[str, int] = {}
+    rows: List[np.ndarray] = []
+    cols: List[np.ndarray] = []
+    vals: List[np.ndarray] = []
+    for chunk in iter_edge_chunks(
+        path,
+        delimiter=delimiter,
+        comment=comment,
+        weighted=weighted,
+        u_index=u_index,
+        v_index=v_index,
+    ):
+        rows.append(chunk.u)
+        cols.append(chunk.v)
+        vals.append(chunk.weight)
+    shape = (len(u_index), len(v_index))
+    coo = sp.coo_matrix(
+        (
+            np.concatenate(vals) if vals else np.empty(0, dtype=np.float64),
+            (
+                np.concatenate(rows) if rows else np.empty(0, dtype=np.int64),
+                np.concatenate(cols) if cols else np.empty(0, dtype=np.int64),
+            ),
+        ),
+        shape=shape,
+    )
+    # coo.tocsr() sums duplicates exactly like the old tuple-list loader
+    # did (both fed scipy the edges in input order), so existing fixtures
+    # load bit-identically.
+    return BipartiteGraph(
+        coo.tocsr(), u_labels=list(u_index), v_labels=list(v_index)
+    )
 
 
 def write_edge_list(

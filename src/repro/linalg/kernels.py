@@ -36,6 +36,20 @@ paths perform the same floating-point operations in the same order.
 Observability counters are likewise identical — every logical apply is
 counted exactly once, in the calling thread, never per shard; worker threads
 never touch the collector (it is not thread-safe).
+
+**Out-of-core applies.** Both kernels also accept a memory-mapped
+:class:`~repro.graph.store.StoreCSR` in place of a resident scipy matrix.
+Row shards (``W @ X``) and the CSC scatter (``W^T @ X``) then stream the
+CSR arrays in row blocks whose nnz slices fit the policy's
+``ooc_budget_mb``, block-copying each slice once into a reusable resident
+:class:`~repro.graph.store.OocWorkspace` and dropping the mapped pages
+afterwards, so the kernel's resident share of the graph is bounded by the
+budget instead of the file size.  The budget is split evenly across
+executor threads (each worker owns one workspace), and the blocked sweeps
+perform, per output element, exactly the serial resident path's operations
+in the same order — bit-identity holds at every thread count *and* budget.
+Out-of-core runs require the float64 compute policy (stores hold float64
+data; a converting copy would defeat the memory bound).
 """
 
 from __future__ import annotations
@@ -45,6 +59,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from ..graph.store import DEFAULT_OOC_BUDGET_MB, OocWorkspace, row_blocks
 from ..obs import active as _obs_active
 from .parallel import ParallelExecutor, column_shards, row_shards
 from .policy import DtypePolicy
@@ -100,7 +115,32 @@ class SparseKernel:
     ):
         self.policy = policy if policy is not None else DtypePolicy()
         self.dtype = self.policy.compute_dtype
-        self.w = sp.csr_matrix(w, dtype=self.dtype)
+        if sp.issparse(w):
+            self.w = sp.csr_matrix(w, dtype=self.dtype)
+            self._ooc = False
+        else:
+            # A StoreCSR (duck-typed: indptr/indices/data/shape/nnz) — the
+            # out-of-core path.  No conversion: a converting copy would
+            # materialize the whole matrix and defeat the memory bound.
+            if np.dtype(w.dtype) != self.dtype:
+                raise ValueError(
+                    "out-of-core kernels require the float64 compute policy "
+                    f"(store data is {w.dtype}, policy computes in "
+                    f"{self.dtype})"
+                )
+            self.w = w
+            self._ooc = True
+        budget_mb = (
+            self.policy.ooc_budget_mb
+            if self.policy.ooc_budget_mb is not None
+            else DEFAULT_OOC_BUDGET_MB
+        )
+        # Fixed per-workspace share: the aggregate staging of this kernel
+        # never exceeds the budget at any shard count the executor picks.
+        self._ooc_slot_budget = int(
+            budget_mb * 1024 * 1024 / max(1, self.policy.n_threads)
+        )
+        self._ooc_ws: List[OocWorkspace] = []
         self._flat: Dict[str, np.ndarray] = {}
         self._notify_obs = notify_obs
         self._exec = ParallelExecutor(self.policy.exec_policy)
@@ -126,7 +166,23 @@ class SparseKernel:
 
     def workspace_bytes(self) -> int:
         """Total bytes currently held in reusable buffers."""
-        return sum(flat.nbytes for flat in self._flat.values())
+        return sum(flat.nbytes for flat in self._flat.values()) + sum(
+            ws.workspace_bytes() for ws in self._ooc_ws
+        )
+
+    def _ooc_workspaces(self, count: int) -> List[OocWorkspace]:
+        """``count`` staging workspaces, allocated on the calling thread."""
+        while len(self._ooc_ws) < count:
+            self._ooc_ws.append(
+                OocWorkspace(
+                    self._ooc_slot_budget, self.w.indices.dtype, self.dtype
+                )
+            )
+        return self._ooc_ws[:count]
+
+    def ooc_bytes_copied(self) -> int:
+        """Total bytes staged from the mmap-backed CSR so far (0 resident)."""
+        return sum(ws.bytes_copied for ws in self._ooc_ws)
 
     def _as_input(self, block: np.ndarray, name: str) -> np.ndarray:
         """``block`` as a C-contiguous array of the compute dtype."""
@@ -153,6 +209,9 @@ class SparseKernel:
         w = self.w
         m, n = w.shape
         cols = x.shape[1]
+        if self._ooc:
+            self._csr_into_ooc(x, out)
+            return
         n_shards = self._exec.shards_for(w.nnz * cols, m)
         if n_shards == 1:
             _sparsetools.csr_matvecs(
@@ -177,6 +236,64 @@ class SparseKernel:
             for lo, hi in row_shards(w.indptr, n_shards)
         ]
         self._exec.run(tasks)
+
+    def _csr_into_ooc(self, x: np.ndarray, out: np.ndarray) -> None:
+        """The out-of-core ``out += W @ x``: budget-bounded row blocks.
+
+        Identical sharding decision to the resident path; within each shard
+        the rows stream through the workspace in budget-sized blocks.  The
+        rebased block indptr plus copied nnz slice feed ``csr_matvecs``
+        exactly the arrays the resident call sees for those rows, so every
+        output row is bit-identical at any block size.
+        """
+        w = self.w
+        m, n = w.shape
+        cols = x.shape[1]
+        n_shards = self._exec.shards_for(w.nnz * cols, m)
+        shards = row_shards(w.indptr, n_shards) if n_shards > 1 else [(0, m)]
+        workspaces = self._ooc_workspaces(len(shards))
+        xr = x.ravel()
+
+        def run_range(ws: OocWorkspace, lo: int, hi: int) -> None:
+            for r0, r1 in row_blocks(w.indptr, lo, hi, ws.max_nnz):
+                ipb, ixb, db = ws.stage(w, r0, r1)
+                _sparsetools.csr_matvecs(
+                    r1 - r0, n, cols, ipb, ixb, db, xr, out[r0:r1].ravel()
+                )
+
+        if len(shards) == 1:
+            run_range(workspaces[0], 0, m)
+            return
+        self.threads_used = max(self.threads_used, len(shards))
+        self._exec.run(
+            [
+                (lambda ws=ws, lo=lo, hi=hi: run_range(ws, lo, hi))
+                for ws, (lo, hi) in zip(workspaces, shards)
+            ]
+        )
+
+    def _csc_into(
+        self, x: np.ndarray, out: np.ndarray, ws: Optional[OocWorkspace] = None
+    ) -> None:
+        """``out += W.T @ x`` (CSC scatter) for pre-zeroed ``out``, serial.
+
+        The out-of-core variant sweeps row blocks in ascending order, which
+        is the exact accumulation order of the resident full-matrix scatter
+        — bit-identical at any budget.
+        """
+        w = self.w
+        m, n = w.shape
+        cols = x.shape[1]
+        if not self._ooc:
+            _sparsetools.csc_matvecs(
+                n, m, cols, w.indptr, w.indices, w.data, x.ravel(), out.ravel()
+            )
+            return
+        for r0, r1 in row_blocks(w.indptr, 0, m, ws.max_nnz):
+            ipb, ixb, db = ws.stage(w, r0, r1)
+            _sparsetools.csc_matvecs(
+                n, r1 - r0, cols, ipb, ixb, db, x[r0:r1].ravel(), out.ravel()
+            )
 
     def matmul(self, block: np.ndarray, *, reuse: bool = False) -> np.ndarray:
         """``W @ block`` for a dense ``|V| x c`` block."""
@@ -213,8 +330,8 @@ class SparseKernel:
         if n_shards == 1:
             x = self._as_input(block, "in_u")
             out.fill(0.0)
-            _sparsetools.csc_matvecs(
-                n, m, cols, w.indptr, w.indices, w.data, x.ravel(), out.ravel()
+            self._csc_into(
+                x, out, ws=self._ooc_workspaces(1)[0] if self._ooc else None
             )
             return out
         # Column shards: each worker owns a disjoint column slice of the
@@ -228,13 +345,14 @@ class SparseKernel:
             (self._buf(f"t_in_{i}", m, hi - lo), self._buf(f"t_out_{i}", n, hi - lo))
             for i, (lo, hi) in enumerate(shards)
         ]
+        workspaces = self._ooc_workspaces(len(shards)) if self._ooc else None
 
         def run_shard(i: int, lo: int, hi: int) -> None:
             xin, xout = staged[i]
             xin[...] = block[:, lo:hi]
             xout.fill(0.0)
-            _sparsetools.csc_matvecs(
-                n, m, hi - lo, w.indptr, w.indices, w.data, xin.ravel(), xout.ravel()
+            self._csc_into(
+                xin, xout, ws=workspaces[i] if workspaces is not None else None
             )
             out[:, lo:hi] = xout
 
@@ -279,6 +397,7 @@ class GramKernel:
         self._exec = ParallelExecutor(self.policy.exec_policy)
         self._slots: List[SparseKernel] = []
         self._threads_used = 1
+        self._ooc_reported = 0
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -295,13 +414,39 @@ class GramKernel:
             slot.workspace_bytes() for slot in self._slots
         )
 
+    def ooc_bytes_copied(self) -> int:
+        """Total bytes staged from a mmap-backed CSR across all slots."""
+        return self.kernel.ooc_bytes_copied() + sum(
+            slot.ooc_bytes_copied() for slot in self._slots
+        )
+
+    def _report_ooc(self, collector) -> None:
+        """Report staging traffic accrued since the last logical apply."""
+        if not self.kernel._ooc:
+            return
+        total = self.ooc_bytes_copied()
+        delta = total - self._ooc_reported
+        if delta:
+            collector.count_ooc_copy(delta)
+            self._ooc_reported = total
+
     def _slot_kernels(self, count: int) -> List[SparseKernel]:
         """``count`` serial kernels sharing W's storage, one per worker slot."""
         while len(self._slots) < count:
-            self._slots.append(
-                SparseKernel(
-                    self.kernel.w, self.policy.with_threads(1), notify_obs=False
+            slot_policy = self.policy.with_threads(1)
+            if self.kernel._ooc:
+                # Slot kernels run concurrently; each gets the same 1/n_threads
+                # share of the budget the owning kernel's own shards would.
+                total_mb = (
+                    self.policy.ooc_budget_mb
+                    if self.policy.ooc_budget_mb is not None
+                    else DEFAULT_OOC_BUDGET_MB
                 )
+                slot_policy = slot_policy.with_ooc_budget(
+                    total_mb / max(1, self.policy.n_threads)
+                )
+            self._slots.append(
+                SparseKernel(self.kernel.w, slot_policy, notify_obs=False)
             )
         return self._slots[:count]
 
@@ -375,6 +520,7 @@ class GramKernel:
             )
         collector.note_threads(self.threads_used)
         collector.note_workspace(self.workspace_bytes())
+        self._report_ooc(collector)
         return out[:, 0] if squeeze else out
 
     def _pmf_chunk(
@@ -449,4 +595,5 @@ class GramKernel:
             )
         collector.note_threads(self.threads_used)
         collector.note_workspace(self.workspace_bytes())
+        self._report_ooc(collector)
         return acc[:, 0] if squeeze else acc

@@ -114,7 +114,17 @@ class MatrixFreeOperator:
         policy: Optional[DtypePolicy] = None,
     ):
         self.policy = policy if policy is not None else DtypePolicy()
-        self.w = sp.csr_matrix(w, dtype=np.float64)
+        if sp.issparse(w):
+            self.w = sp.csr_matrix(w, dtype=np.float64)
+        else:
+            # A memory-mapped StoreCSR: keep the mapping (a converting copy
+            # would materialize the whole matrix).  Stores hold float64, so
+            # only the exact policy can run them.
+            if not self.policy.is_exact:
+                raise ValueError(
+                    "out-of-core operators require the float64 compute policy"
+                )
+            self.w = w
         self.weights = np.asarray(weights, dtype=np.float64)
         if self.weights.ndim != 1 or self.weights.size == 0:
             raise ValueError("weights must be a non-empty 1-D sequence")

@@ -28,6 +28,7 @@ randomized SVD via solver configuration — not per-call flags.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 import numpy as np
 
@@ -63,6 +64,17 @@ class DtypePolicy:
         changes results or operation counts, so it deliberately does not
         appear in :meth:`describe` — the same policy slug covers every
         thread count.
+    ooc_budget_mb:
+        Resident staging budget (MiB) for out-of-core applies against a
+        memory-mapped :class:`~repro.graph.store.StoreCSR`.  ``None``
+        (default) uses :data:`repro.graph.store.DEFAULT_OOC_BUDGET_MB`.
+        The budget bounds the kernels' *staging copies* — blocks of the
+        CSR arrays copied into reusable resident buffers — and is split
+        evenly across executor threads, so the aggregate staging held by
+        one kernel never exceeds it at any shard count.  Like threads, it
+        never changes results (bit-identity is budget-independent), so it
+        does not appear in :meth:`describe`.  Ignored for resident
+        matrices.
     """
 
     compute: str = "float64"
@@ -70,6 +82,7 @@ class DtypePolicy:
     workspace: bool = True
     block_cols: int = 256
     exec_policy: ExecPolicy = field(default_factory=ExecPolicy.from_env)
+    ooc_budget_mb: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.compute not in _COMPUTE_DTYPES:
@@ -83,6 +96,10 @@ class DtypePolicy:
             )
         if self.block_cols < 1:
             raise ValueError("block_cols must be positive")
+        if self.ooc_budget_mb is not None and not self.ooc_budget_mb > 0:
+            raise ValueError(
+                f"ooc_budget_mb must be positive, got {self.ooc_budget_mb!r}"
+            )
 
     @property
     def compute_dtype(self) -> np.dtype:
@@ -113,6 +130,10 @@ class DtypePolicy:
         return replace(
             self, exec_policy=replace(self.exec_policy, n_threads=n_threads)
         )
+
+    def with_ooc_budget(self, ooc_budget_mb: Optional[float]) -> "DtypePolicy":
+        """A copy of this policy with the out-of-core staging budget replaced."""
+        return replace(self, ooc_budget_mb=ooc_budget_mb)
 
     @classmethod
     def default(cls) -> "DtypePolicy":

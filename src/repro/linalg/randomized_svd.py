@@ -45,14 +45,25 @@ __all__ = [
 MatrixLike = Union[np.ndarray, sp.spmatrix]
 
 
+def _is_store(matrix: MatrixLike) -> bool:
+    """Whether ``matrix`` is a memory-mapped CSR view (StoreCSR or its
+    transpose) rather than a scipy matrix, ndarray, or matrix-free operator."""
+    if sp.issparse(matrix) or isinstance(matrix, np.ndarray):
+        return False
+    return hasattr(matrix, "indptr") or hasattr(
+        getattr(matrix, "T", None), "indptr"
+    )
+
+
 def _count_apply(matrix: MatrixLike, cols: int) -> None:
     """Record one ``matrix @ block`` (or transposed) against a ``cols``-wide block.
 
-    Sparse inputs count as ``cols`` sparse matvecs, dense inputs as one GEMM;
+    Sparse inputs — resident scipy matrices and memory-mapped store views
+    alike — count as ``cols`` sparse matvecs, dense inputs as one GEMM;
     matrix-free operators (e.g. the MHP :class:`~repro.linalg.ops.
     ProximityOperator`) count internally and are skipped here.
     """
-    if sp.issparse(matrix):
+    if sp.issparse(matrix) or _is_store(matrix):
         _obs_active().count_spmv(matrix.nnz, cols)
     elif isinstance(matrix, np.ndarray):
         _obs_active().count_gemm(matrix.shape[0], matrix.shape[1], cols)
@@ -70,18 +81,29 @@ def _make_appliers(
     :class:`~repro.linalg.kernels.SparseKernel` when the policy enables it
     (bit-identical to scipy's ``@`` in float64); dense arrays and
     matrix-free operators (e.g. :class:`~repro.linalg.ops.ProximityOperator`)
-    keep the generic ``matrix @ block`` path.  Both closures own the obs
-    accounting at the same per-apply granularity as before.
+    keep the generic ``matrix @ block`` path.  Memory-mapped
+    :class:`~repro.graph.store.StoreCSR` inputs take the same kernel route,
+    which stages budget-bounded row blocks instead of touching the whole
+    mapping; their staging traffic is delta-reported to the collector after
+    every apply.  Both closures own the obs accounting at the same
+    per-apply granularity as before.
     """
-    if sp.issparse(matrix) and policy.workspace:
+    store = _is_store(matrix)
+    if (sp.issparse(matrix) or store) and policy.workspace:
         kernel = SparseKernel(matrix, policy)
         matrix_t = matrix.T  # only consulted by _count_apply (for .nnz)
+        ooc_reported = [0]
 
         def _note_kernel() -> None:
             # Main-thread reporting of the sharded execution's footprint.
             collector = _obs_active()
             collector.note_threads(kernel.threads_used)
             collector.note_workspace(kernel.workspace_bytes())
+            if store:
+                total = kernel.ooc_bytes_copied()
+                if total > ooc_reported[0]:
+                    collector.count_ooc_copy(total - ooc_reported[0])
+                    ooc_reported[0] = total
 
         def apply(block: np.ndarray) -> np.ndarray:
             _count_apply(matrix, block.shape[1])
@@ -161,7 +183,12 @@ def krylov_iteration_count(n: int, epsilon: float, strategy: str = "block_krylov
 
 def exact_svd(matrix: MatrixLike, k: int) -> SVDResult:
     """Exact truncated SVD via dense LAPACK (reference for tests)."""
-    dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix, dtype=float)
+    if sp.issparse(matrix):
+        dense = matrix.toarray()
+    elif hasattr(matrix, "to_scipy"):
+        dense = matrix.to_scipy().toarray()
+    else:
+        dense = np.asarray(matrix, dtype=float)
     u, s, vt = np.linalg.svd(dense, full_matrices=False)
     return SVDResult(u=u[:, :k], s=s[:k], vt=vt[:k])
 
@@ -309,9 +336,14 @@ def randomized_svd(
         # Always against the original (float64) matrix — this is the
         # policy's float64-accumulation step.
         with collector.stage("rayleigh_ritz"):
-            _count_apply(matrix, basis.shape[1])
-            projected = basis.T @ matrix  # c x n, dense
-            projected = np.asarray(projected)
+            if _is_store(matrix):
+                # (W^T Q)^T == Q^T W entry-for-entry; routing through the
+                # transpose applier keeps the projection budget-bounded.
+                # apply_t owns the operation count for this apply.
+                projected = np.ascontiguousarray(apply_t(basis).T)
+            else:
+                _count_apply(matrix, basis.shape[1])
+                projected = np.asarray(basis.T @ matrix)  # c x n, dense
             collector.count_svd(projected.shape[0], projected.shape[1])
             u_small, s, vt = np.linalg.svd(projected, full_matrices=False)
             collector.count_gemm(basis.shape[0], basis.shape[1], u_small.shape[1])

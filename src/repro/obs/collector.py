@@ -87,6 +87,9 @@ class NullCollector:
     def count_ann_candidates(self, candidates: int) -> None:
         """Record exactly reranked ANN candidates (no-op)."""
 
+    def count_ooc_copy(self, nbytes: int) -> None:
+        """Record bytes block-copied from a mmap-backed CSR (no-op)."""
+
     def note_array(self, nbytes: int) -> None:
         """Record a dense block allocation (no-op)."""
 
@@ -116,6 +119,7 @@ class ProfileCollector(NullCollector):
         self.ops = OpCounter()
         self.memory = MemorySampler()
         self.threads = 1
+        self.ooc_bytes_copied = 0
         self.started = time.perf_counter()
         self.memory.sample()
 
@@ -149,6 +153,13 @@ class ProfileCollector(NullCollector):
     def count_ann_candidates(self, candidates: int) -> None:
         self.ops.count_ann_candidates(candidates)
 
+    def count_ooc_copy(self, nbytes: int) -> None:
+        # Staging traffic of the out-of-core kernels; reported once per
+        # logical apply from the calling thread (a resident RSS sample
+        # rides along so peak-RSS watermarks cover mid-solve applies).
+        self.ooc_bytes_copied += int(nbytes)
+        self.memory.sample()
+
     def note_array(self, nbytes: int) -> None:
         self.memory.note_array(nbytes)
 
@@ -172,6 +183,7 @@ class ProfileCollector(NullCollector):
         wall_seconds: Optional[float] = None,
         service: Optional[Dict[str, Any]] = None,
         refresh: Optional[Dict[str, Any]] = None,
+        ooc: Optional[Dict[str, Any]] = None,
         metadata: Optional[Dict[str, Any]] = None,
     ) -> RunReport:
         """Freeze the collected data into a :class:`RunReport`.
@@ -182,7 +194,9 @@ class ProfileCollector(NullCollector):
         warm-refresh section (the ``metadata["refresh"]`` dict a warm
         :class:`~repro.core.gebe_p.GEBEPoisson` fit records, optionally
         augmented with ``warm_matvecs`` / ``cold_matvecs`` counters); leave
-        it ``None`` for cold fits.
+        it ``None`` for cold fits.  ``ooc`` attaches the out-of-core fit
+        section (budget, staging traffic, peak RSS — see
+        :func:`ooc_section`); leave it ``None`` for resident fits.
         """
         self.memory.sample()
         elapsed = (
@@ -202,8 +216,25 @@ class ProfileCollector(NullCollector):
             threads=self.threads,
             service=dict(service) if service is not None else None,
             refresh=dict(refresh) if refresh is not None else None,
+            ooc=dict(ooc) if ooc is not None else None,
             metadata=dict(metadata or {}),
         )
+
+    def ooc_section(self, *, budget_mb: Optional[float]) -> Dict[str, Any]:
+        """The RunReport v7 ``ooc`` section for an out-of-core fit.
+
+        ``budget_mb`` is the configured staging budget (``None`` means the
+        module default was in effect); ``bytes_copied_in`` is the total
+        block-copy traffic from the mapped CSR into resident staging
+        buffers, and ``peak_rss_bytes`` the sampler's high-water mark over
+        the run.
+        """
+        self.memory.sample()
+        return {
+            "budget_mb": None if budget_mb is None else float(budget_mb),
+            "bytes_copied_in": int(self.ooc_bytes_copied),
+            "peak_rss_bytes": int(self.memory.peak_rss_bytes),
+        }
 
 
 #: The module-wide no-op collector (singleton; identity-tested in the suite).

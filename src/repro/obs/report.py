@@ -10,7 +10,7 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
 
     {
       "schema": "repro.obs.run_report",
-      "version": 6,
+      "version": 7,
       "method": str,              # display name, e.g. "GEBE^p"
       "dataset": str | null,
       "dimension": int | null,
@@ -38,10 +38,19 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
           "warm_rank": int,
           "warm_matvecs": int | null,   # matvecs the warm attempt consumed
           "cold_matvecs": int | null},  # matvecs of a cold fit, when one ran
+      "ooc": null | {             # out-of-core (mmap GraphStore) fit
+          "budget_mb": float | null,    # configured staging budget (null =
+                                        #   module default was in effect)
+          "bytes_copied_in": int, # CSR bytes block-copied into staging
+          "peak_rss_bytes": int}, # sampler high-water mark over the run
       "metadata": {...}           # free-form, JSON-serializable
     }
 
-Version history: v6 added the nullable ``refresh`` section (warm/cold
+Version history: v7 added the nullable ``ooc`` section (staging budget,
+block-copy traffic, and peak RSS of a fit against a memory-mapped
+:class:`~repro.graph.store.GraphStore`; ``null`` for resident fits and
+backfilled when reading older documents).
+v6 added the nullable ``refresh`` section (warm/cold
 matvec counters and the residual-check outcome of an incremental refresh —
 see :mod:`repro.linalg.refresh`; ``null`` for non-refresh runs and
 backfilled when reading older documents).
@@ -73,7 +82,7 @@ __all__ = [
 ]
 
 SCHEMA_NAME = "repro.obs.run_report"
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 _OPS_KEYS = (
     "sparse_matvecs",
@@ -219,6 +228,21 @@ def validate_report(payload: Any) -> Dict[str, Any]:
                 not isinstance(value, int) or isinstance(value, bool) or value < 0
             ):
                 _fail(f"refresh.{key} must be a non-negative integer or null")
+    if "ooc" not in payload:
+        _fail("ooc must be present (null for resident fits)")
+    ooc = payload["ooc"]
+    if ooc is not None:
+        if not isinstance(ooc, dict):
+            _fail("ooc must be an object or null")
+        budget = ooc.get("budget_mb")
+        if budget is not None and (
+            not isinstance(budget, (int, float)) or budget <= 0
+        ):
+            _fail("ooc.budget_mb must be a positive number or null")
+        for key in ("bytes_copied_in", "peak_rss_bytes"):
+            value = ooc.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                _fail(f"ooc.{key} must be a non-negative integer")
     if not isinstance(payload.get("metadata"), dict):
         _fail("metadata must be an object")
     return payload
@@ -231,7 +255,9 @@ def upgrade_report(payload: Any) -> Any:
     the serving tier).  v4 -> v5 backfills zero ``ops.ann_probes`` /
     ``ops.ann_candidates`` (no ANN index existed, so the counts really are
     zero).  v5 -> v6 backfills ``refresh: null`` (no incremental refresh
-    pipeline existed).  Unknown or newer versions are returned untouched —
+    pipeline existed).  v6 -> v7 backfills ``ooc: null`` (no out-of-core
+    fit path existed, so every older run was resident).
+    Unknown or newer versions are returned untouched —
     :func:`validate_report` rejects them with a pointed message.
     """
     if isinstance(payload, dict) and payload.get("schema") == SCHEMA_NAME:
@@ -247,6 +273,9 @@ def upgrade_report(payload: Any) -> Any:
         if payload.get("version") == 5:
             payload["version"] = 6
             payload.setdefault("refresh", None)
+        if payload.get("version") == 6:
+            payload["version"] = 7
+            payload.setdefault("ooc", None)
     return payload
 
 
@@ -265,6 +294,7 @@ class RunReport:
     threads: int = 1
     service: Optional[Dict[str, Any]] = None
     refresh: Optional[Dict[str, Any]] = None
+    ooc: Optional[Dict[str, Any]] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -285,6 +315,7 @@ class RunReport:
             "memory": memory,
             "service": self.service,
             "refresh": self.refresh,
+            "ooc": self.ooc,
             "metadata": self.metadata,
         }
         return validate_report(payload)
@@ -305,6 +336,7 @@ class RunReport:
         validate_report(upgrade_report(payload))
         service = payload.get("service")
         refresh = payload.get("refresh")
+        ooc = payload.get("ooc")
         return cls(
             method=payload["method"],
             wall_seconds=float(payload["wall_seconds"]),
@@ -317,6 +349,7 @@ class RunReport:
             threads=int(payload.get("threads", 1)),
             service=dict(service) if service is not None else None,
             refresh=dict(refresh) if refresh is not None else None,
+            ooc=dict(ooc) if ooc is not None else None,
             metadata=dict(payload.get("metadata", {})),
         )
 

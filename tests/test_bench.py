@@ -12,6 +12,7 @@ from repro.bench import (
     BenchConfig,
     compare_bench,
     load_bench,
+    ooc_violations,
     refresh_violations,
     render_bench,
     render_compare,
@@ -1112,3 +1113,188 @@ class TestRefreshCompare:
         warm["quality_ok"] = False
         result = compare_bench(refresh_payload, broken)
         assert warm in result["invariant_violations"]
+
+
+@pytest.fixture(scope="module")
+def ooc_payload():
+    """A seconds-scale ooc-axis-only document (tiny ingest stand-in)."""
+    return run_bench(
+        BenchConfig(
+            datasets=("toy",),
+            methods=("GEBE^p",),
+            dimension=8,
+            repeats=1,
+            fit_grid=False,
+            topk=False,
+            ooc=True,
+            ooc_items=2_000,
+            ooc_budgets_mb=(0.25, 4.0),
+        )
+    )
+
+
+def _ooc_row(**overrides):
+    row = {
+        "method": "GEBE^p", "dataset": "standin_2000", "mode": "mmap",
+        "budget_mb": 4.0, "threads": 1, "num_u": 250, "num_v": 2000,
+        "nnz": 2000, "wall_seconds": 0.05, "wall_seconds_all": [0.05],
+        "wall_overhead": 1.2, "matvecs": 88, "bytes_copied_in": 32000,
+        "peak_rss_bytes": 1 << 20, "rss_budget_bytes": 1 << 26,
+        "rss_within_budget": True, "matvecs_equal": True,
+        "bit_identical": True,
+    }
+    row.update(overrides)
+    return row
+
+
+class TestOocAxis:
+    def test_document_validates(self, ooc_payload):
+        validate_bench(ooc_payload)
+        assert ooc_payload["ooc_runs"]
+        assert ooc_payload["runs"] == []
+        assert ooc_payload["topk_runs"] == []
+
+    def test_resident_anchor_row_first(self, ooc_payload):
+        anchor = ooc_payload["ooc_runs"][0]
+        assert anchor["mode"] == "resident"
+        assert anchor["budget_mb"] is None
+        assert anchor["wall_overhead"] == 1.0
+        assert anchor["bytes_copied_in"] == 0
+
+    def test_one_serial_mmap_row_per_budget(self, ooc_payload):
+        serial = [
+            row["budget_mb"]
+            for row in ooc_payload["ooc_runs"]
+            if row["mode"] == "mmap" and row["threads"] == 1
+        ]
+        assert serial == [0.25, 4.0]
+
+    def test_threaded_row_rides_along_at_largest_budget(self, ooc_payload):
+        threaded = [
+            row
+            for row in ooc_payload["ooc_runs"]
+            if row["threads"] > 1
+        ]
+        assert len(threaded) == 1
+        assert threaded[0]["mode"] == "mmap"
+        assert threaded[0]["budget_mb"] == 4.0
+
+    def test_every_gate_passes(self, ooc_payload):
+        for row in ooc_payload["ooc_runs"]:
+            assert row["bit_identical"]
+            assert row["matvecs_equal"]
+            assert row["rss_within_budget"]
+
+    def test_mmap_rows_copy_the_stream_in(self, ooc_payload):
+        anchor = ooc_payload["ooc_runs"][0]
+        for row in ooc_payload["ooc_runs"][1:]:
+            assert row["matvecs"] == anchor["matvecs"]
+            assert row["bytes_copied_in"] > 0
+
+    def test_render_mentions_ooc_rows(self, ooc_payload):
+        text = render_bench(ooc_payload)
+        assert "out-of-core" in text
+        assert "resident" in text and "mmap" in text
+
+    def test_json_round_trip(self, ooc_payload, tmp_path):
+        path = tmp_path / "ooc.json"
+        write_bench(ooc_payload, str(path))
+        assert load_bench(str(path))["ooc_runs"] == ooc_payload["ooc_runs"]
+
+
+class TestOocSchema:
+    def test_valid_ooc_rows_accepted(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["ooc_runs"] = [
+            _ooc_row(mode="resident", budget_mb=None, wall_overhead=1.0,
+                     bytes_copied_in=0, rss_budget_bytes=None),
+            _ooc_row(),
+            _ooc_row(budget_mb=0.25, threads=4),
+        ]
+        validate_bench(payload)
+
+    def test_ooc_axis_alone_suffices(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload.update(
+            runs=[], comparisons=[], topk_runs=[], topk_comparisons=[],
+            serve_runs=[], ann_runs=[], quant_runs=[], refresh_runs=[],
+            ooc_runs=[_ooc_row()],
+        )
+        validate_bench(payload)
+
+    def test_rejects_bad_mode(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["ooc_runs"] = [_ooc_row(mode="paged")]
+        with pytest.raises(ValueError, match="mode must be one of"):
+            validate_bench(payload)
+
+    def test_resident_row_must_have_null_budget(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["ooc_runs"] = [_ooc_row(mode="resident")]
+        with pytest.raises(ValueError, match="must be null for resident"):
+            validate_bench(payload)
+
+    def test_rejects_non_positive_budget(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["ooc_runs"] = [_ooc_row(budget_mb=0.0)]
+        with pytest.raises(ValueError, match="budget_mb must be positive"):
+            validate_bench(payload)
+
+    def test_rejects_missing_key(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        row = _ooc_row()
+        del row["bit_identical"]
+        payload["ooc_runs"] = [row]
+        with pytest.raises(ValueError, match="bit_identical"):
+            validate_bench(payload)
+
+    def test_rejects_bool_gate_as_int(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["ooc_runs"] = [_ooc_row(rss_within_budget=1)]
+        with pytest.raises(ValueError, match="rss_within_budget"):
+            validate_bench(payload)
+
+    def test_v7_document_upgrades_with_ooc_axis_absent(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["version"] = 7
+        del payload["ooc_runs"]
+        for key in ("ooc", "ooc_items", "ooc_budgets_mb"):
+            del payload["config"][key]
+        upgraded = upgrade_bench(payload)
+        validate_bench(upgraded)
+        assert upgraded["version"] == BENCH_SCHEMA_VERSION
+        assert upgraded["ooc_runs"] == []
+        assert upgraded["config"]["ooc"] is False
+
+
+class TestOocCompare:
+    def test_no_violations_on_real_document(self, ooc_payload):
+        assert ooc_violations(ooc_payload["ooc_runs"]) == []
+
+    @pytest.mark.parametrize(
+        "gate", ["bit_identical", "matvecs_equal", "rss_within_budget"]
+    )
+    def test_flags_each_gate_failure(self, gate):
+        rows = [
+            _ooc_row(mode="resident", budget_mb=None, wall_overhead=1.0,
+                     bytes_copied_in=0, rss_budget_bytes=None),
+            _ooc_row(**{gate: False}),
+        ]
+        assert ooc_violations(rows) == [rows[1]]
+
+    def test_self_compare_includes_ooc_rows(self, ooc_payload):
+        result = compare_bench(ooc_payload, ooc_payload)
+        policies = {row["policy"] for row in result["rows"]}
+        assert "ooc:resident" in policies
+        assert "ooc:mmap/b0.25" in policies
+        assert "ooc:mmap/b4" in policies
+        assert result["invariant_violations"] == []
+
+    def test_violation_propagates_to_compare(self, ooc_payload):
+        broken = copy.deepcopy(ooc_payload)
+        row = next(
+            r for r in broken["ooc_runs"] if r["mode"] == "mmap"
+        )
+        row["bit_identical"] = False
+        result = compare_bench(ooc_payload, broken)
+        assert row in result["invariant_violations"]

@@ -615,3 +615,94 @@ class TestBenchRefreshCli:
             < by_mode["warm"]["full_publish_bytes"]
         )
         assert all(row["quality_ok"] for row in rows)
+
+
+class TestIngestCli:
+    def test_ingest_then_ooc_embed_matches_resident(
+        self, edge_file, tmp_path, capsys
+    ):
+        store_dir = str(tmp_path / "store")
+        assert main(["ingest", edge_file, store_dir, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out and "verified" in out
+        resident = str(tmp_path / "resident.npz")
+        mapped = str(tmp_path / "mapped.npz")
+        base = ["--dimension", "8", "--seed", "0"]
+        assert main(["embed", edge_file, resident, *base]) == 0
+        # The fit from the memory-mapped store under a tight budget must be
+        # bit-identical to the resident fit of the same edges.
+        assert main(
+            ["embed", mapped, "--graph-store", store_dir,
+             "--ooc-budget-mb", "0.5", *base]
+        ) == 0
+        a, b = np.load(resident), np.load(mapped)
+        assert np.array_equal(a["u"], b["u"])
+        assert np.array_equal(a["v"], b["v"])
+
+    def test_ingest_existing_dir_needs_force(
+        self, edge_file, tmp_path, capsys
+    ):
+        store_dir = str(tmp_path / "store")
+        assert main(["ingest", edge_file, store_dir]) == 0
+        capsys.readouterr()
+        assert main(["ingest", edge_file, store_dir]) == 2
+        assert "already exists" in capsys.readouterr().err
+        assert main(["ingest", edge_file, store_dir, "--force"]) == 0
+
+    def test_ingest_parse_error_is_pointed(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tsv"
+        bad.write_text("only_one_field\n")
+        assert main(["ingest", str(bad), str(tmp_path / "s")]) == 2
+        assert ": expected at least 2 fields" in capsys.readouterr().err
+        assert not (tmp_path / "s").exists()
+
+    def test_embed_rejects_edge_list_plus_store(
+        self, edge_file, tmp_path, capsys
+    ):
+        store_dir = str(tmp_path / "store")
+        assert main(["ingest", edge_file, store_dir]) == 0
+        capsys.readouterr()
+        out = str(tmp_path / "emb.npz")
+        code = main(["embed", edge_file, out, "--graph-store", store_dir])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_ooc_budget_requires_store(self, edge_file, tmp_path, capsys):
+        out = str(tmp_path / "emb.npz")
+        code = main(["embed", edge_file, out, "--ooc-budget-mb", "8"])
+        assert code == 2
+        assert "--ooc-budget-mb requires --graph-store" in (
+            capsys.readouterr().err
+        )
+
+    def test_embed_missing_store_is_pointed(self, tmp_path, capsys):
+        out = str(tmp_path / "emb.npz")
+        code = main(
+            ["embed", out, "--graph-store", str(tmp_path / "nope")]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestBenchOocCli:
+    def test_ooc_flags_conflict(self, capsys):
+        assert main(["bench", "--ooc-only", "--topk-only"]) == 2
+        assert "conflict" in capsys.readouterr().err
+
+    def test_bench_ooc_only_writes_gated_rows(self, tmp_path, capsys):
+        out_path = str(tmp_path / "bench.json")
+        code = main(["bench", "--smoke", "--ooc-only", "--output", out_path])
+        assert code == 0
+        import json as json_mod
+
+        with open(out_path) as handle:
+            payload = json_mod.load(handle)
+        rows = payload["ooc_runs"]
+        assert rows and payload["runs"] == []
+        assert rows[0]["mode"] == "resident"
+        assert all(
+            row["bit_identical"]
+            and row["matvecs_equal"]
+            and row["rss_within_budget"]
+            for row in rows
+        )

@@ -267,7 +267,7 @@ class TestRunReport:
         # Schema v2: effective thread count and the kernel workspace
         # watermark (summed over per-thread pools) are part of the report.
         payload = profiled_toy_report().to_dict()
-        assert payload["version"] == 6
+        assert payload["version"] == 7
         assert payload["threads"] >= 1
         assert payload["memory"]["workspace_bytes"] >= 0
 
@@ -342,7 +342,7 @@ class TestRunReport:
         assert restored.service is None
         assert restored.refresh is None
         assert restored.ops["ann_probes"] == 0
-        assert restored.to_dict()["version"] == 6
+        assert restored.to_dict()["version"] == 7
 
     def test_v4_documents_upgrade_to_current(self):
         payload = profiled_toy_report().to_dict()
@@ -353,20 +353,66 @@ class TestRunReport:
         restored = RunReport.from_dict(payload)
         assert restored.ops["ann_probes"] == 0
         assert restored.ops["ann_candidates"] == 0
-        assert restored.to_dict()["version"] == 6
+        assert restored.to_dict()["version"] == 7
 
-    def test_v5_documents_upgrade_to_v6(self):
+    def test_v5_documents_upgrade_to_current(self):
         payload = profiled_toy_report().to_dict()
         payload["version"] = 5
         del payload["refresh"]
         restored = RunReport.from_dict(payload)
         assert restored.refresh is None
-        assert restored.to_dict()["version"] == 6
+        assert restored.to_dict()["version"] == 7
 
     def test_v6_refresh_section_null_for_plain_fits(self):
         payload = profiled_toy_report().to_dict()
         assert payload["refresh"] is None
         assert RunReport.from_dict(payload).refresh is None
+
+    def test_v6_documents_upgrade_to_v7(self):
+        payload = profiled_toy_report().to_dict()
+        payload["version"] = 6
+        del payload["ooc"]
+        restored = RunReport.from_dict(payload)
+        assert restored.ooc is None
+        assert restored.to_dict()["version"] == 7
+
+    def test_v7_ooc_section_null_for_plain_fits(self):
+        payload = profiled_toy_report().to_dict()
+        assert payload["ooc"] is None
+        assert RunReport.from_dict(payload).ooc is None
+
+    def test_v7_ooc_section_round_trips(self):
+        report = profiled_toy_report()
+        report.ooc = {
+            "budget_mb": 64.0,
+            "bytes_copied_in": 1 << 20,
+            "peak_rss_bytes": 1 << 24,
+        }
+        payload = report.to_dict()
+        assert payload["ooc"]["budget_mb"] == 64.0
+        assert RunReport.from_dict(payload).ooc == report.ooc
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda p: p.pop("ooc"), "ooc"),
+            (lambda p: p.update(ooc=[]), "ooc"),
+            (lambda p: p["ooc"].update(budget_mb=-1.0), "budget_mb"),
+            (lambda p: p["ooc"].pop("bytes_copied_in"), "bytes_copied_in"),
+            (lambda p: p["ooc"].update(peak_rss_bytes=-5), "peak_rss_bytes"),
+        ],
+    )
+    def test_v7_ooc_violations_rejected(self, mutate, match):
+        report = profiled_toy_report()
+        report.ooc = {
+            "budget_mb": None,
+            "bytes_copied_in": 0,
+            "peak_rss_bytes": 0,
+        }
+        payload = report.to_dict()
+        mutate(payload)
+        with pytest.raises(ValueError, match=match):
+            validate_report(payload)
 
     def test_v6_refresh_section_round_trips(self):
         refresh = {
