@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-ann bench-quant bench-refresh bench-ooc bench-pytest lint-dense examples quicktest profile-smoke serve-smoke clean
+.PHONY: install test test-fast bench bench-smoke bench-compare bench-topk bench-ann bench-quant bench-refresh bench-ooc bench-similar bench-pytest lint-dense examples quicktest profile-smoke serve-smoke clean
 
 # Kernel-level suites that must hold under a parallel executor; `make test`
 # reruns them with REPRO_NUM_THREADS=4 after the default serial pass.  The
@@ -18,13 +18,16 @@ PYTHON ?= python
 # application and the warm/cold refit split are bit-deterministic claims,
 # so they must hold at any executor width.  The out-of-core suite joins
 # for the same reason: a store-backed fit must stay bit-identical to the
-# resident anchor at every thread count and staging budget.
+# resident anchor at every thread count and staging budget.  The
+# similarity differential suite closes the set: blocked matrix-free
+# MHS/MHP top-n lists are pinned element-identical to the dense measure
+# reference at every block size and thread count.
 THREADED_TESTS = tests/test_linalg_kernels.py tests/test_linalg_parallel.py \
   tests/test_kernels_fallback.py tests/test_topk.py \
   tests/test_serve_batcher.py tests/test_serve_server.py \
   tests/test_ann.py tests/test_serve_sharded.py tests/test_quant.py \
   tests/test_serve_service.py tests/test_graph_delta.py tests/test_refresh.py \
-  tests/test_ooc_fit.py tests/test_graph_ingest.py
+  tests/test_ooc_fit.py tests/test_graph_ingest.py tests/test_similarity.py
 
 install:
 	pip install -e . || { \
@@ -32,7 +35,7 @@ install:
 	  echo $(CURDIR)/src > $$($(PYTHON) -c 'import site; print(site.getsitepackages()[0])')/repro-editable.pth; \
 	}
 
-test: bench-smoke bench-ooc lint-dense
+test: bench-smoke bench-ooc bench-similar lint-dense
 	$(PYTHON) -m pytest tests/
 	REPRO_NUM_THREADS=4 $(PYTHON) -m pytest $(THREADED_TESTS) -q
 
@@ -57,7 +60,7 @@ profile-smoke:
 # repo root.  See docs/BENCHMARKS.md.
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro bench --serve-smoke --ann --quant \
-	  --refresh --ooc --output BENCH_gebe.json
+	  --refresh --ooc --similar --output BENCH_gebe.json
 
 # Seconds-scale harness exercise (toy graph) so the bench path can't rot;
 # part of the default `make test`.
@@ -112,6 +115,16 @@ bench-ooc:
 	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --ooc-only \
 	  --output /tmp/gebe-bench-ooc.json
 
+# The similarity axis alone: blocked matrix-free MHS/MHP queries on a
+# seeded stand-in graph — a seconds-scale check that per-query latency is
+# measured and every top-n list stays element-identical to the dense
+# measure reference at each block size and thread count (the run exits 1
+# on any lists_equal violation).  See docs/SERVING.md and
+# docs/BENCHMARKS.md.
+bench-similar:
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --similar-only \
+	  --output /tmp/gebe-bench-similar.json
+
 # Grep lint: dense materializations (`.toarray()`/`.todense()`) are only
 # allowed in the modules below — reference paths guarded by
 # ensure_dense_ok (bipartite.to_dense, the measures gram/MHP) and the
@@ -158,6 +171,7 @@ examples:
 	$(PYTHON) examples/link_prediction.py
 	$(PYTHON) examples/attributed_embedding.py
 	$(PYTHON) examples/scalability_study.py
+	$(PYTHON) examples/similarity_search.py
 
 clean:
 	rm -rf .pytest_cache .benchmarks src/repro.egg-info

@@ -6,6 +6,7 @@ from .compare import (
     ooc_violations,
     refresh_violations,
     render_compare,
+    similar_violations,
 )
 from .harness import BenchConfig, render_bench, run_bench, write_bench
 from .schema import (
@@ -27,6 +28,7 @@ __all__ = [
     "render_compare",
     "refresh_violations",
     "ooc_violations",
+    "similar_violations",
     "BENCH_SCHEMA_NAME",
     "BENCH_SCHEMA_VERSION",
 ]

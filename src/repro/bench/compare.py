@@ -30,6 +30,7 @@ __all__ = [
     "render_compare",
     "refresh_violations",
     "ooc_violations",
+    "similar_violations",
     "DEFAULT_NOISE",
     "DEFAULT_MIN_SECONDS",
 ]
@@ -210,6 +211,37 @@ def ooc_violations(runs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     ]
 
 
+def _similar_as_run(row: Dict[str, Any]) -> Dict[str, Any]:
+    """A similarity row viewed as a regular run row for the diff machinery.
+
+    The ``policy`` slot encodes the engine configuration
+    (``similar:b8/t1``), the ``method`` slot the query mode
+    (``similarity:mhs``), and the total obs matvec count (per-query cost
+    times query count) stands in for ``matvecs`` — the stand-in graph and
+    query sample are seeded, so matvec drift between runs of the same
+    config means the operator schedule itself changed.
+    """
+    return {
+        "method": f"{row['method']}:{row['mode']}",
+        "dataset": row["dataset"],
+        "policy": f"similar:b{row['block_sources']}/t{row['threads']}",
+        "threads": row["threads"],
+        "wall_seconds": row["wall_seconds"],
+        "matvecs": int(round(row["matvecs_per_query"] * row["num_queries"])),
+    }
+
+
+def similar_violations(runs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The similarity axis's hard invariant, checked within one document.
+
+    Every row's lists — the blocked multi-source sweep and each timed
+    single-source query — must be element-identical to ``select_topn``
+    over the dense measures (``lists_equal``).  A failure is the engine's
+    exactness claim failing, not noise.
+    """
+    return [row for row in runs if not row["lists_equal"]]
+
+
 def compare_bench(
     old: Dict[str, Any],
     new: Dict[str, Any],
@@ -234,9 +266,10 @@ def compare_bench(
       full-probe ann rows whose lists diverge from the exact engine,
       quant rows whose lists diverge from the exact engine over the
       dequantized arrays, refresh rows that fail the warm-vs-cold
-      quality gate or whose warm refit did not save matvecs, and ooc
+      quality gate or whose warm refit did not save matvecs, ooc
       mmap rows that are not bit-identical/matvec-equal to the resident
-      anchor or that blow the peak-RSS budget;
+      anchor or that blow the peak-RSS budget, and similarity rows whose
+      lists diverge from the dense measures reference;
     * ``missing`` / ``added`` — cell keys only in the old / new document;
     * ``noise`` — the threshold used.
     """
@@ -285,6 +318,14 @@ def compare_bench(
     new_runs.update(
         (_run_key(row), row)
         for row in map(_ooc_as_run, new.get("ooc_runs", []))
+    )
+    old_runs.update(
+        (_run_key(row), row)
+        for row in map(_similar_as_run, old.get("similar_runs", []))
+    )
+    new_runs.update(
+        (_run_key(row), row)
+        for row in map(_similar_as_run, new.get("similar_runs", []))
     )
     rows: List[Dict[str, Any]] = []
     for key in new_runs:
@@ -340,7 +381,8 @@ def compare_bench(
             if not row["lists_equal"]
         ]
         + refresh_violations(new.get("refresh_runs", []))
-        + ooc_violations(new.get("ooc_runs", [])),
+        + ooc_violations(new.get("ooc_runs", []))
+        + similar_violations(new.get("similar_runs", [])),
         "missing": sorted(key for key in old_runs if key not in new_runs),
         "added": sorted(key for key in new_runs if key not in old_runs),
         "noise": noise,

@@ -167,6 +167,31 @@ class BenchConfig:
         eight edges per user, so edges scale with the item count).
     ooc_budgets_mb:
         The staging budgets (MB) to sweep on the mmap rows.
+    similar:
+        Run the similarity axis: build a seeded Erdos-Renyi stand-in
+        graph, answer same-side (MHS) and opposite-side (MHP) top-``n``
+        queries through the blocked matrix-free
+        :class:`~repro.tasks.similarity.SimilarityEngine`, and record
+        per-query p50/p95 latency plus obs-measured matvecs per query.
+        Every row's lists — the blocked multi-source sweep *and* each
+        single-source query — must be element-identical to the dense
+        :mod:`repro.core.measures` reference ranked through
+        :func:`~repro.core.selection.select_topn` (``lists_equal``; the
+        compare machinery treats a mismatch as an invariant violation).
+    similar_users, similar_items:
+        Stand-in graph sides for the similarity axis (kept dense-checkable:
+        the reference materializes the ``|U| x |U|`` MHS matrix).
+    similar_queries:
+        Single-source queries timed per row.
+    similar_tau:
+        Series truncation for the similarity axis.
+    similar_n:
+        Neighbor-list length for the similarity axis.
+    similar_block_sources:
+        Engine one-hot block widths to sweep (serial), plus one row per
+        mode at the widest configured thread count at the largest block.
+    similar_seed:
+        Seed for the similarity stand-in graph and query sample.
     """
 
     datasets: Tuple[str, ...] = ("dblp", "mag")
@@ -201,6 +226,14 @@ class BenchConfig:
     ooc: bool = False
     ooc_items: int = 1_200_000
     ooc_budgets_mb: Tuple[float, ...] = (8.0, 64.0)
+    similar: bool = False
+    similar_users: int = 600
+    similar_items: int = 400
+    similar_queries: int = 64
+    similar_tau: int = 5
+    similar_n: int = 10
+    similar_block_sources: Tuple[int, ...] = (8, 64)
+    similar_seed: int = 7
 
     @classmethod
     def smoke(cls) -> "BenchConfig":
@@ -222,6 +255,12 @@ class BenchConfig:
             quant_n=10,
             ooc_items=2_000,
             ooc_budgets_mb=(0.25, 4.0),
+            similar_users=60,
+            similar_items=40,
+            similar_queries=12,
+            similar_tau=4,
+            similar_n=5,
+            similar_block_sources=(4, 16),
         )
 
     def policies(self) -> List[DtypePolicy]:
@@ -1311,6 +1350,144 @@ def _run_ooc_axis(
     return rows
 
 
+def _similar_progress(row: Dict[str, Any]) -> None:
+    print(
+        f"  simil {row['mode']:<5} {row['dataset']:<16} "
+        f"b={row['block_sources']:<4} x{row['threads']} "
+        f"p50={row['p50_ms']:7.2f}ms p95={row['p95_ms']:7.2f}ms "
+        f"mv/q={row['matvecs_per_query']:6.1f} "
+        f"lists={'ok' if row['lists_equal'] else 'MISMATCH'}",
+        file=sys.stderr,
+    )
+
+
+def _run_similar_axis(
+    config: BenchConfig, *, progress: bool = False
+) -> List[Dict[str, Any]]:
+    """The similarity axis: blocked matrix-free MHS/MHP vs the dense truth.
+
+    Builds a seeded Erdos-Renyi stand-in (weighted, eight edges per user on
+    average, sized so the dense ``|U| x |U|`` reference stays cheap) and,
+    per mode (``mhs`` same-side, ``mhp`` opposite-side), sweeps the engine's
+    one-hot block width serially plus one row at the widest configured
+    thread count at the largest block.  ``normalization="none"`` throughout:
+    the dense :func:`~repro.core.measures.mhs_matrix` /
+    :func:`~repro.core.measures.mhp_matrix` references implement the raw
+    Eq. 3-5 definitions.
+
+    Per row: one blocked multi-source sweep over all sampled sources, then
+    ``similar_queries`` single-source queries timed individually (the
+    serving shape) inside one obs window, so ``matvecs_per_query`` is the
+    *measured* operator cost, not a formula.  ``lists_equal`` is the axis's
+    hard invariant — blocked AND single-source lists element-identical to
+    ``select_topn`` over the dense rows (self masked to ``-inf`` for MHS,
+    exactly as the engine does).
+    """
+    from ..core import PoissonPMF
+    from ..core.measures import mhp_matrix, mhs_matrix
+    from ..core.selection import select_topn
+    from ..datasets import erdos_renyi_bipartite
+    from ..serve.service import percentile
+    from ..tasks import SimilarityEngine
+
+    num_u = int(config.similar_users)
+    num_v = int(config.similar_items)
+    if num_u < 2 or num_v < 2:
+        raise ValueError(
+            f"similar_users/similar_items must be >= 2, got "
+            f"{config.similar_users}/{config.similar_items}"
+        )
+    num_queries = max(1, int(config.similar_queries))
+    tau = int(config.similar_tau)
+    num_edges = min(num_u * num_v, num_u * 8)
+    graph = erdos_renyi_bipartite(
+        num_u, num_v, num_edges, weighted=True, seed=config.similar_seed
+    )
+    pmf = PoissonPMF(lam=1.5)
+    n = max(1, min(int(config.similar_n), num_u - 1, num_v))
+    rng = np.random.default_rng(config.similar_seed + 1)
+    sources = np.sort(rng.choice(num_u, size=min(num_queries, num_u), replace=False))
+    dataset = f"standin_{num_u}x{num_v}"
+    base = {
+        "method": "similarity",
+        "dataset": dataset,
+        "num_u": num_u,
+        "num_v": num_v,
+        "tau": tau,
+        "n": n,
+        "num_queries": int(sources.size),
+    }
+    rows: List[Dict[str, Any]] = []
+
+    # Dense references, ranked exactly like the engine ranks.
+    s_dense = mhs_matrix(graph, pmf, tau)
+    np.fill_diagonal(s_dense, -np.inf)
+    p_dense = mhp_matrix(graph, pmf, tau)
+    reference = {
+        "mhs": select_topn(s_dense[sources], n),
+        "mhp": select_topn(p_dense[sources], n),
+    }
+
+    def finish(row: Dict[str, Any]) -> Dict[str, Any]:
+        rows.append(row)
+        if progress:
+            _similar_progress(row)
+        return row
+
+    def similar_row(mode: str, block: int, threads: int) -> Dict[str, Any]:
+        engine = SimilarityEngine(
+            graph,
+            pmf,
+            tau,
+            normalization="none",
+            policy=DtypePolicy.default().with_threads(threads),
+            block_sources=block,
+        )
+        if mode == "mhs":
+            # The one-time diagonal is amortized serving state, not
+            # per-query cost — computed outside the obs window.
+            engine.h_diagonal(seed=config.similar_seed)
+        blocked, _ = engine.query(sources, n, mode=mode)
+        lists_equal = bool(np.array_equal(blocked, reference[mode]))
+        latencies: List[float] = []
+        with obs.collect() as collector:
+            for index, source in enumerate(sources):
+                started = time.perf_counter()
+                single, _ = engine.query([int(source)], n, mode=mode)
+                latencies.append(time.perf_counter() - started)
+                lists_equal = lists_equal and bool(
+                    np.array_equal(single[0], reference[mode][index])
+                )
+        return finish(
+            {
+                **base,
+                "mode": mode,
+                "block_sources": int(block),
+                "threads": int(threads),
+                "wall_seconds": sum(latencies),
+                "p50_ms": percentile(latencies, 50) * 1e3,
+                "p95_ms": percentile(latencies, 95) * 1e3,
+                "matvecs_per_query": int(collector.ops.sparse_matvecs)
+                / max(1, sources.size),
+                "lists_equal": lists_equal,
+            }
+        )
+
+    blocks = sorted(set(int(b) for b in config.similar_block_sources))
+    if not blocks or blocks[0] < 1:
+        raise ValueError(
+            f"similar_block_sources must be integers >= 1, got "
+            f"{config.similar_block_sources}"
+        )
+    max_threads = max(config.thread_counts())
+    for mode in ("mhs", "mhp"):
+        for block in blocks:
+            similar_row(mode, block, 1)
+        if max_threads > 1:
+            similar_row(mode, blocks[-1], max_threads)
+    return rows
+
+
 def _environment() -> Dict[str, Any]:
     return {
         "python": sys.version.split()[0],
@@ -1437,6 +1614,11 @@ def run_bench(
         # Once and dataset-independent: the workload is the streamed
         # stand-in store, sized past any zoo graph.
         ooc_runs = _run_ooc_axis(config, progress=progress)
+    similar_runs: List[Dict[str, Any]] = []
+    if config.similar:
+        # Once and dataset-independent: the workload is the seeded
+        # stand-in, sized so the dense reference stays checkable.
+        similar_runs = _run_similar_axis(config, progress=progress)
     payload = {
         "schema": BENCH_SCHEMA_NAME,
         "version": BENCH_SCHEMA_VERSION,
@@ -1447,7 +1629,8 @@ def run_bench(
                    "topk_block_rows": list(config.topk_block_rows),
                    "ann_nprobe": list(config.ann_nprobe),
                    "quant_dtypes": list(config.quant_dtypes),
-                   "ooc_budgets_mb": list(config.ooc_budgets_mb)},
+                   "ooc_budgets_mb": list(config.ooc_budgets_mb),
+                   "similar_block_sources": list(config.similar_block_sources)},
         "environment": _environment(),
         "runs": runs,
         "comparisons": _comparisons(runs),
@@ -1458,6 +1641,7 @@ def run_bench(
         "quant_runs": quant_runs,
         "refresh_runs": refresh_runs,
         "ooc_runs": ooc_runs,
+        "similar_runs": similar_runs,
     }
     return validate_bench(payload)
 
@@ -1622,5 +1806,26 @@ def render_bench(payload: Dict[str, Any]) -> str:
                 f"{'ok' if run['rss_within_budget'] else 'BAD':>5}"
                 f"{'ok' if run['matvecs_equal'] else 'NO':>4}"
                 f"{'ok' if run['bit_identical'] else 'BAD':>6}"
+            )
+    if payload.get("similar_runs"):
+        lines.append(
+            "similarity queries (blocked matrix-free MHS/MHP; lists "
+            "hard-checked against the dense reference)"
+        )
+        header = (
+            f"{'similar':<9}{'dataset':<17}{'block':>7}{'thr':>4}"
+            f"{'queries':>9}{'p50 ms':>9}{'p95 ms':>9}{'mv/query':>10}"
+            f"{'lists':>7}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for run in payload["similar_runs"]:
+            lines.append(
+                f"{run['mode']:<9}{run['dataset']:<17}"
+                f"{run['block_sources']:>7}{run['threads']:>4}"
+                f"{run['num_queries']:>9}"
+                f"{run['p50_ms']:>9.2f}{run['p95_ms']:>9.2f}"
+                f"{run['matvecs_per_query']:>10.1f}"
+                f"{'ok' if run['lists_equal'] else 'BAD':>7}"
             )
     return "\n".join(lines)

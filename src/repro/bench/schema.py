@@ -34,7 +34,8 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
       "ann_runs": [AnnRun, ...],
       "quant_runs": [QuantRun, ...],
       "refresh_runs": [RefreshRun, ...],
-      "ooc_runs": [OocRun, ...]
+      "ooc_runs": [OocRun, ...],
+      "similar_runs": [SimilarRun, ...]
     }
 
     Run: {
@@ -165,7 +166,30 @@ Schema (see ``docs/BENCHMARKS.md`` for the narrative version)::
       "bit_identical": bool       # HARD invariant: embeddings bitwise
     }                             # equal to the resident anchor's
 
-Version history: v8 added the out-of-core axis (``ooc_runs`` and the
+    SimilarRun: {                 # the similarity axis: blocked matrix-free
+      "method": str, "dataset": str,      # MHS/MHP queries on a seeded
+      "mode": str,                # "mhs" | "mhp"       # stand-in graph
+      "block_sources": int,       # one-hot block width of the engine
+      "threads": int,
+      "num_u": int, "num_v": int, "tau": int, "n": int,
+      "num_queries": int,         # single-source queries timed
+      "wall_seconds": float,      # whole single-source query loop
+      "p50_ms": float,            # per-query latency percentiles
+      "p95_ms": float,
+      "matvecs_per_query": float, # obs sparse_matvecs / num_queries
+      "lists_equal": bool         # HARD invariant: single-source AND
+    }                             # blocked multi-source lists element-
+                                  # identical to dense mhs/mhp + select_topn
+
+Version history: v9 added the similarity axis (``similar_runs`` and the
+``similar``/``similar_users``/``similar_items``/``similar_queries``/
+``similar_tau``/``similar_n``/``similar_block_sources``/``similar_seed``
+config switches): per-query latency and matvec cost of the blocked
+matrix-free MHS/MHP engine of :mod:`repro.tasks.similarity` over a seeded
+random stand-in, with every row's top-k lists hard-gated element-identical
+to the dense ``repro.core.measures`` reference.  Older documents upgrade
+with the axis absent.
+v8 added the out-of-core axis (``ooc_runs`` and the
 ``ooc``/``ooc_items``/``ooc_budgets_mb`` config switches): the first
 method fitted once from a resident graph (the differential anchor) and
 once per staging budget from a memory-mapped
@@ -217,7 +241,7 @@ __all__ = [
 ]
 
 BENCH_SCHEMA_NAME = "repro.bench.results"
-BENCH_SCHEMA_VERSION = 8
+BENCH_SCHEMA_VERSION = 9
 
 _CONFIG_KEYS = {
     "datasets": list,
@@ -252,6 +276,14 @@ _CONFIG_KEYS = {
     "ooc": bool,
     "ooc_items": int,
     "ooc_budgets_mb": list,
+    "similar": bool,
+    "similar_users": int,
+    "similar_items": int,
+    "similar_queries": int,
+    "similar_tau": int,
+    "similar_n": int,
+    "similar_block_sources": list,
+    "similar_seed": int,
 }
 _ENVIRONMENT_KEYS = {
     "python": str,
@@ -406,6 +438,24 @@ _OOC_RUN_KEYS = {
     "bit_identical": bool,
 }
 _OOC_MODES = ("resident", "mmap")
+_SIMILAR_RUN_KEYS = {
+    "method": str,
+    "dataset": str,
+    "mode": str,
+    "block_sources": int,
+    "threads": int,
+    "num_u": int,
+    "num_v": int,
+    "tau": int,
+    "n": int,
+    "num_queries": int,
+    "wall_seconds": (int, float),
+    "p50_ms": (int, float),
+    "p95_ms": (int, float),
+    "matvecs_per_query": (int, float),
+    "lists_equal": bool,
+}
+_SIMILAR_MODES = ("mhs", "mhp")
 
 
 def _fail(message: str) -> None:
@@ -439,8 +489,9 @@ def upgrade_bench(payload: Any) -> Any:
     ``serve_runs``), v4 the ANN axis (``ann: false``, empty ``ann_runs``),
     v5 the quantized-artifact axis (``quant: false``, empty
     ``quant_runs``), v6 the incremental-refresh axis
-    (``refresh: false``, empty ``refresh_runs``), and v7 the out-of-core
-    axis (``ooc: false``, empty ``ooc_runs``).  Current-version documents
+    (``refresh: false``, empty ``refresh_runs``), v7 the out-of-core
+    axis (``ooc: false``, empty ``ooc_runs``), and v8 the similarity axis
+    (``similar: false``, empty ``similar_runs``).  Current-version documents
     pass through untouched; unknown versions fail validation downstream.
     """
     if not isinstance(payload, dict):
@@ -505,13 +556,26 @@ def upgrade_bench(payload: Any) -> Any:
             config.setdefault("refresh_n", 10)
         payload.setdefault("refresh_runs", [])
     if payload.get("version") == 7:
-        payload["version"] = BENCH_SCHEMA_VERSION
+        payload["version"] = 8
         config = payload.get("config")
         if isinstance(config, dict):
             config.setdefault("ooc", False)
             config.setdefault("ooc_items", 0)
             config.setdefault("ooc_budgets_mb", [])
         payload.setdefault("ooc_runs", [])
+    if payload.get("version") == 8:
+        payload["version"] = BENCH_SCHEMA_VERSION
+        config = payload.get("config")
+        if isinstance(config, dict):
+            config.setdefault("similar", False)
+            config.setdefault("similar_users", 0)
+            config.setdefault("similar_items", 0)
+            config.setdefault("similar_queries", 0)
+            config.setdefault("similar_tau", 5)
+            config.setdefault("similar_n", 10)
+            config.setdefault("similar_block_sources", [])
+            config.setdefault("similar_seed", 7)
+        payload.setdefault("similar_runs", [])
     return payload
 
 
@@ -559,6 +623,9 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
     ooc_runs = payload.get("ooc_runs")
     if not isinstance(ooc_runs, list):
         _fail("ooc_runs must be a list")
+    similar_runs = payload.get("similar_runs")
+    if not isinstance(similar_runs, list):
+        _fail("similar_runs must be a list")
     if (
         not runs
         and not topk_runs
@@ -567,10 +634,11 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
         and not quant_runs
         and not refresh_runs
         and not ooc_runs
+        and not similar_runs
     ):
         _fail(
             "runs, topk_runs, serve_runs, ann_runs, quant_runs, "
-            "refresh_runs, and ooc_runs must not all be empty"
+            "refresh_runs, ooc_runs, and similar_runs must not all be empty"
         )
     for index, run in enumerate(runs):
         where = f"runs[{index}]"
@@ -747,4 +815,21 @@ def validate_bench(payload: Any) -> Dict[str, Any]:
                 _fail(f"{where}.{key} must be non-negative")
         if run["wall_seconds"] < 0:
             _fail(f"{where}.wall_seconds must be non-negative")
+    for index, run in enumerate(similar_runs):
+        where = f"similar_runs[{index}]"
+        _check_object(run, _SIMILAR_RUN_KEYS, where)
+        if run["mode"] not in _SIMILAR_MODES:
+            _fail(f"{where}.mode must be one of {_SIMILAR_MODES}")
+        if run["block_sources"] < 1:
+            _fail(f"{where}.block_sources must be >= 1")
+        if run["threads"] < 1:
+            _fail(f"{where}.threads must be >= 1")
+        if run["num_queries"] < 1:
+            _fail(f"{where}.num_queries must be >= 1")
+        for key in ("num_u", "num_v", "tau", "n"):
+            if run[key] < 0:
+                _fail(f"{where}.{key} must be non-negative")
+        for key in ("wall_seconds", "p50_ms", "p95_ms", "matvecs_per_query"):
+            if run[key] < 0:
+                _fail(f"{where}.{key} must be non-negative")
     return payload

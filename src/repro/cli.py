@@ -6,6 +6,7 @@ Subcommands::
     python -m repro ingest     # streaming edge-list ingest -> on-disk CSR graph store
     python -m repro recommend  # top-N items for one user
     python -m repro query      # batched top-N for many users from saved .npz
+    python -m repro similar    # matrix-free MHS/MHP similarity search on a graph
     python -m repro evaluate   # run the Table 4 / Table 5 protocol
     python -m repro datasets   # list or materialize the dataset zoo
     python -m repro bench      # perf benchmark -> BENCH_gebe.json
@@ -244,6 +245,113 @@ def build_parser() -> argparse.ArgumentParser:
         "--index",
     )
 
+    similar = commands.add_parser(
+        "similar",
+        help="matrix-free MHS/MHP similarity queries over a bipartite graph",
+    )
+    similar.add_argument(
+        "input", nargs="?", help="TSV edge list (u, v[, weight] per line)"
+    )
+    similar.add_argument(
+        "--dataset",
+        choices=_cli_dataset_names(),
+        help="query a named dataset instead of an edge-list file",
+    )
+    similar.add_argument(
+        "--graph-store",
+        metavar="DIR",
+        help="query an on-disk CSR graph store (built by `repro ingest`) "
+        "instead of an edge-list file; the weight matrix stays memory-mapped",
+    )
+    similar.add_argument(
+        "--sources",
+        nargs="+",
+        type=int,
+        required=True,
+        metavar="ROW",
+        help="source node indices on the query side",
+    )
+    similar.add_argument(
+        "--side",
+        choices=("u", "v"),
+        default="u",
+        help="side the sources live on; 'v' queries run over the "
+        "transposed graph (default: u)",
+    )
+    similar.add_argument(
+        "--mode",
+        choices=("mhs", "mhp"),
+        default="mhs",
+        help="mhs ranks same-side neighbors, mhp ranks opposite-side "
+        "proximity (default: mhs)",
+    )
+    similar.add_argument("-n", "--k", dest="n", type=int, default=10)
+    similar.add_argument(
+        "--tau", type=int, default=5, help="path-length horizon (default: 5)"
+    )
+    similar.add_argument(
+        "--pmf",
+        choices=("uniform", "geometric", "poisson"),
+        default="poisson",
+        help="path-length importance PMF (default: poisson)",
+    )
+    similar.add_argument(
+        "--lam",
+        type=float,
+        default=1.0,
+        metavar="L",
+        help="Poisson PMF rate (default: 1.0; only with --pmf poisson)",
+    )
+    similar.add_argument(
+        "--alpha",
+        type=float,
+        default=0.5,
+        metavar="A",
+        help="geometric PMF decay (default: 0.5; only with --pmf geometric)",
+    )
+    similar.add_argument(
+        "--normalization",
+        choices=("sym", "spectral", "max", "none"),
+        default="none",
+        help="edge-weight normalization before the hop recurrence "
+        "(default: none — the paper's raw Eq. 3-5 measures)",
+    )
+    similar.add_argument(
+        "--block-sources",
+        type=int,
+        metavar="B",
+        help="sources per one-hot block (default: engine default); never "
+        "changes results, only batching",
+    )
+    similar.add_argument(
+        "--threads",
+        type=int,
+        metavar="N",
+        help="kernel worker threads "
+        "(default: REPRO_NUM_THREADS or cpu count)",
+    )
+    similar.add_argument(
+        "--with-scores",
+        action="store_true",
+        help="include the similarity scores in the output",
+    )
+    similar.add_argument(
+        "--output",
+        metavar="OUT.npz",
+        help="write arrays sources, items[, scores] instead of printing JSON",
+    )
+    similar.add_argument("--seed", type=int, default=0)
+    similar.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect stage timings, matvec counts, and peak memory",
+    )
+    similar.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="write the profiling report JSON here (default: stdout)",
+    )
+
     evaluate = commands.add_parser(
         "evaluate", help="run the paper's recommendation or LP protocol"
     )
@@ -454,6 +562,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         metavar="MB",
         help="staging budgets to sweep on the mmap rows (default: 8 64)",
+    )
+    bench.add_argument(
+        "--similar",
+        action="store_true",
+        help="also run the similarity axis: blocked matrix-free MHS/MHP "
+        "queries on a seeded stand-in graph, per-query latency and matvec "
+        "cost per block size and thread count, hard-asserting every top-n "
+        "list element-identical to the dense measure reference",
+    )
+    bench.add_argument(
+        "--similar-only",
+        action="store_true",
+        help="run only the similarity axis (implies --similar)",
+    )
+    bench.add_argument(
+        "--similar-users",
+        type=int,
+        metavar="N",
+        help="stand-in user count for the similarity axis (default: 600)",
+    )
+    bench.add_argument(
+        "--similar-block-sources",
+        nargs="+",
+        type=int,
+        metavar="B",
+        help="source-block sizes to sweep (default: 8 64)",
     )
 
     publish = commands.add_parser(
@@ -1049,6 +1183,162 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_similar(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .core.pmf import make_pmf
+    from .tasks import DEFAULT_BLOCK_SOURCES, SimilarityEngine, transposed_graph
+
+    given = sum(
+        source is not None
+        for source in (args.input, args.dataset, args.graph_store)
+    )
+    if given != 1:
+        print(
+            "error: need exactly one of an edge-list file, --dataset, or "
+            "--graph-store",
+            file=sys.stderr,
+        )
+        return 2
+    if args.n < 1:
+        print("error: -n must be >= 1", file=sys.stderr)
+        return 2
+    if args.tau < 0:
+        print("error: --tau must be non-negative", file=sys.stderr)
+        return 2
+    if args.block_sources is not None and args.block_sources < 1:
+        print("error: --block-sources must be >= 1", file=sys.stderr)
+        return 2
+    policy = None
+    if args.threads is not None:
+        if args.threads < 1:
+            print("error: --threads must be >= 1", file=sys.stderr)
+            return 2
+        from .linalg import DtypePolicy
+
+        policy = DtypePolicy().with_threads(args.threads)
+
+    if args.graph_store is not None:
+        from .graph.store import GraphStore, GraphStoreError
+
+        try:
+            graph = GraphStore.open(args.graph_store).graph()
+        except (OSError, GraphStoreError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        source = args.graph_store
+    elif args.dataset is not None:
+        graph = _load_cli_dataset(args.dataset, args.seed)
+        source = args.dataset
+    else:
+        graph = read_edge_list(args.input)
+        source = args.input
+
+    bound = graph.num_u if args.side == "u" else graph.num_v
+    sources = np.asarray(args.sources, dtype=np.int64)
+    if sources.min() < 0 or sources.max() >= bound:
+        print(
+            f"error: --sources indices must be in [0, {bound}) "
+            f"for side {args.side!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    pmf = make_pmf(args.pmf, lam=args.lam, alpha=args.alpha, tau=args.tau)
+    block = (
+        args.block_sources
+        if args.block_sources is not None
+        else DEFAULT_BLOCK_SOURCES
+    )
+    try:
+        engine = SimilarityEngine(
+            transposed_graph(graph) if args.side == "v" else graph,
+            pmf,
+            args.tau,
+            normalization=args.normalization,
+            policy=policy,
+            block_sources=block,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    collector_cm = obs.collect() if args.profile else None
+    collector = collector_cm.__enter__() if collector_cm is not None else None
+    start = time.perf_counter()
+    try:
+        if args.mode == "mhs":
+            # The one-time exact-diagonal probe; seeded so the probe-block
+            # schedule is reproducible (the values never depend on it).
+            engine.h_diagonal(seed=args.seed)
+        items, scores = engine.query(
+            sources, args.n, mode=args.mode, with_scores=True
+        )
+    finally:
+        if collector_cm is not None:
+            collector_cm.__exit__(None, None, None)
+    elapsed = time.perf_counter() - start
+
+    report = None
+    if collector is not None:
+        section = collector.similarity_section(
+            mode=args.mode,
+            side=args.side,
+            tau=args.tau,
+            sources=sources.size,
+            block_sources=block,
+        )
+        report = collector.report(
+            method=f"similarity:{args.mode}",
+            dataset=source,
+            seed=args.seed,
+            wall_seconds=elapsed,
+            similarity=section,
+            metadata={
+                "num_u": graph.num_u,
+                "num_v": graph.num_v,
+                "num_edges": graph.num_edges,
+                "n": int(items.shape[1]),
+            },
+        )
+        if args.profile_out:
+            report.write(args.profile_out)
+            print(f"profile: {report.summary()} -> {args.profile_out}")
+            report = None
+
+    if args.output is not None:
+        arrays = {"sources": sources, "items": items}
+        if args.with_scores:
+            arrays["scores"] = scores
+        np.savez_compressed(args.output, **arrays)
+        if report is not None:
+            print(report.to_json())
+        stream = sys.stderr if report is not None else sys.stdout
+        print(
+            f"similar ({args.mode}, side={args.side}): top-{items.shape[1]} "
+            f"for {sources.size} sources in {elapsed:.2f}s -> {args.output}",
+            file=stream,
+        )
+        return 0
+    payload = {
+        "side": args.side,
+        "mode": args.mode,
+        "tau": args.tau,
+        "n": int(items.shape[1]),
+        "sources": [int(value) for value in sources],
+        "items": [[int(item) for item in row] for row in items],
+    }
+    if args.with_scores:
+        payload["scores"] = [[float(value) for value in row] for row in scores]
+    if report is not None:
+        # One jq-able document: fold the profiling report into the result
+        # instead of interleaving two JSON docs on stdout.
+        payload["profile"] = report.to_dict()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.input)
     if args.task == "recommendation":
@@ -1104,6 +1394,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         render_bench,
         render_compare,
         run_bench,
+        similar_violations,
         write_bench,
     )
 
@@ -1165,6 +1456,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "quant_only",
             "refresh_only",
             "ooc_only",
+            "similar_only",
         )
         if getattr(args, flag)
     ]
@@ -1218,6 +1510,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             return 2
         overrides["ooc_budgets_mb"] = tuple(args.ooc_budgets_mb)
+    if args.similar or args.similar_only:
+        overrides["similar"] = True
+    if args.similar_only:
+        overrides["fit_grid"] = False
+        overrides["topk"] = False
+    if args.similar_users is not None:
+        if args.similar_users < 2:
+            print("error: --similar-users must be >= 2", file=sys.stderr)
+            return 2
+        overrides["similar_users"] = args.similar_users
+    if args.similar_block_sources is not None:
+        if any(b < 1 for b in args.similar_block_sources):
+            print(
+                "error: --similar-block-sources values must be >= 1",
+                file=sys.stderr,
+            )
+            return 2
+        overrides["similar_block_sources"] = tuple(args.similar_block_sources)
     config = replace(config, **overrides)
 
     baseline = None
@@ -1238,7 +1548,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{len(payload['ann_runs'])} ann runs + "
         f"{len(payload['quant_runs'])} quant runs + "
         f"{len(payload['refresh_runs'])} refresh runs + "
-        f"{len(payload['ooc_runs'])} ooc runs -> {args.output}"
+        f"{len(payload['ooc_runs'])} ooc runs + "
+        f"{len(payload['similar_runs'])} similar runs -> {args.output}"
     )
     status = 0
     mismatches = [
@@ -1314,6 +1625,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             "error: delta publish wrote no fewer bytes than a full publish "
             f"({len(delta_publish_bad)} rows)",
+            file=sys.stderr,
+        )
+        status = 1
+    similar_bad = similar_violations(payload["similar_runs"])
+    if similar_bad:
+        print(
+            "error: similarity engine top-n lists diverge from the dense "
+            f"measure reference ({len(similar_bad)} rows)",
             file=sys.stderr,
         )
         status = 1
@@ -1579,12 +1898,23 @@ def _serve_smoke() -> int:
         ServerConfig,
     )
 
+    from .core.pmf import PoissonPMF
+    from .tasks import SimilarityEngine
+
     graph = toy_graph()
     method = make_method("GEBE^p", dimension=8, seed=0)
     result = method.fit(graph)
     n = min(10, graph.num_v)
     engine = TopKEngine.from_result(result)
     reference = engine.top_items(n, exclude=graph)
+    # Offline similarity reference with the service's engine defaults
+    # (PoissonPMF(lam=1.0), tau=5, "sym" normalization).
+    similar_n = min(5, graph.num_u - 1)
+    similar_engine = SimilarityEngine(graph, PoissonPMF(lam=1.0), 5,
+                                      normalization="sym")
+    similar_reference, _ = similar_engine.query(
+        list(range(graph.num_u)), similar_n, mode="mhs"
+    )
 
     with tempfile.TemporaryDirectory() as tmp:
         store = ArtifactStore(tmp)
@@ -1608,11 +1938,18 @@ def _serve_smoke() -> int:
 
             users = list(range(graph.num_u)) * 2
             answers: dict = {}
+            similar_answers: dict = {}
 
             def client(slots: range) -> None:
                 for index in slots:
                     answers[index] = post(
                         "/v1/topk", {"user": users[index], "n": n}
+                    )["items"][0]
+                    # Batched single-source similarity rides along so the
+                    # micro-batcher path gets concurrent coverage too.
+                    similar_answers[index] = post(
+                        "/v1/similar",
+                        {"source": users[index], "n": similar_n},
                     )["items"][0]
 
             workers = [
@@ -1628,6 +1965,18 @@ def _serve_smoke() -> int:
                 for index, items in answers.items()
                 if items != reference[users[index]].tolist()
             ]
+            similar_mismatched = [
+                index
+                for index, items in similar_answers.items()
+                if items != similar_reference[users[index]].tolist()
+            ]
+            # Direct multi-source path: one request covering every user.
+            direct = post(
+                "/v1/similar",
+                {"sources": list(range(graph.num_u)), "n": similar_n},
+            )
+            if direct["items"] != similar_reference.tolist():
+                similar_mismatched.append("direct")
             store.publish("toy", result.u, result.v, graph=graph,
                           method=result.method, dataset="toy")
             reload_payload = post("/admin/reload", {})
@@ -1637,7 +1986,8 @@ def _serve_smoke() -> int:
     print(
         f"serve smoke: {len(answers)} concurrent round-trips on {url} "
         f"({counters['batches']} batches, "
-        f"{counters['topk_candidates']} candidates scored), "
+        f"{counters['topk_candidates']} candidates scored, "
+        f"{counters['similar_queries']} similarity queries), "
         f"reload {reload_payload['previous']} -> {reload_payload['current']}"
     )
     if len(answers) != len(users) or mismatched:
@@ -1647,8 +1997,21 @@ def _serve_smoke() -> int:
             file=sys.stderr,
         )
         return 1
+    if len(similar_answers) != len(users) or similar_mismatched:
+        print(
+            f"error: {len(similar_mismatched)} /v1/similar responses diverge "
+            "from the offline similarity engine",
+            file=sys.stderr,
+        )
+        return 1
     if counters["topk_candidates"] <= 0:
         print("error: /metrics shows no scored candidates", file=sys.stderr)
+        return 1
+    if counters["similar_queries"] <= 0 or counters["similar_matvecs"] <= 0:
+        print(
+            "error: /metrics shows no similarity queries or matvecs",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -1729,7 +2092,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"serving {service.artifact.tag} on http://{host}:{port} "
         f"({service.num_users} users x {service.num_items} items{mode}; "
-        f"POST /v1/topk, GET /healthz, GET /metrics, POST /admin/reload)"
+        f"POST /v1/topk, POST /v1/similar, GET /healthz, GET /metrics, "
+        f"POST /admin/reload)"
     )
     try:
         server.serve_forever()
@@ -1745,6 +2109,7 @@ _HANDLERS = {
     "ingest": _cmd_ingest,
     "recommend": _cmd_recommend,
     "query": _cmd_query,
+    "similar": _cmd_similar,
     "evaluate": _cmd_evaluate,
     "datasets": _cmd_datasets,
     "bench": _cmd_bench,

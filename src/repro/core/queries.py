@@ -8,13 +8,18 @@ PMF-weighted operator to a one-hot vector:
 * ``H[u, :]  = H e_u``          (H is symmetric),
 * ``P[u, :]  = (H e_u)^T W``,
 * ``s(u, :)`` additionally needs the diagonal ``H[l, l]``; the diagonal is
-  estimated once via Hutchinson-style probing or computed exactly per
-  queried pair with a second one-hot application.
+  computed exactly once via blocked one-hot probing and cached.
 
 These queries answer "what is the exact multi-hop proximity from this user
 to every item" on graphs where the embeddings are approximations — useful
 for spot-checking embedding quality and for high-precision re-ranking of a
 candidate list.
+
+The heavy lifting lives in :class:`repro.tasks.similarity.SimilarityEngine`:
+every one-hot apply here routes through its blocked, workspace-reusing path
+(one set of hop buffers and one one-hot block buffer reused across calls
+instead of fresh allocations per query), with values bit-identical to the
+historical per-call implementation.
 """
 
 from __future__ import annotations
@@ -24,9 +29,7 @@ from typing import Optional
 import numpy as np
 
 from ..graph import BipartiteGraph
-from ..linalg import MatrixFreeOperator
 from .pmf import PathLengthPMF
-from .preprocess import normalize_weights
 
 __all__ = ["MeasureQueries"]
 
@@ -64,10 +67,15 @@ class MeasureQueries:
     ):
         if tau < 0:
             raise ValueError("tau must be non-negative")
+        # Imported here, not at module level: repro.tasks builds on
+        # repro.core, so the dependency must stay runtime-only.
+        from ..tasks.similarity import SimilarityEngine
+
         self.graph = graph
-        self._w = normalize_weights(graph, normalization)
-        self._operator = MatrixFreeOperator(self._w, pmf.weights(tau))
-        self._diag_cache: Optional[np.ndarray] = None
+        self._engine = SimilarityEngine(
+            graph, pmf, tau, normalization=normalization
+        )
+        self._w = self._engine._w
 
     # ------------------------------------------------------------------
     # Row queries
@@ -75,38 +83,28 @@ class MeasureQueries:
     def h_row(self, u_index: int) -> np.ndarray:
         """Exact row ``H[u, :]`` in ``O(tau |E|)`` time."""
         self._check_u(u_index)
-        one_hot = np.zeros((self.graph.num_u, 1))
-        one_hot[u_index, 0] = 1.0
-        return self._operator.matmat(one_hot).ravel()
+        return self._engine.h_rows([u_index])[0]
 
     def mhp_row(self, u_index: int) -> np.ndarray:
         """Exact MHP row ``P[u, :]`` — proximity from ``u`` to every V-node."""
-        return np.asarray(self._w.T @ self.h_row(u_index)).ravel()
+        self._check_u(u_index)
+        return self._engine.mhp_rows([u_index])[0]
 
     def mhs_row(self, u_index: int) -> np.ndarray:
         """Exact MHS row ``s(u, :)`` (uses the cached exact diagonal)."""
-        h_row = self.h_row(u_index)
-        diag = self.h_diagonal()
-        own = diag[u_index]
-        scale = np.zeros_like(diag)
-        positive = (diag > 0) & (own > 0)
-        scale[positive] = 1.0 / np.sqrt(diag[positive] * own)
-        row = h_row * scale
-        row[u_index] = 1.0  # Lemma 2.1(ii) pins the diagonal
-        return row
+        self._check_u(u_index)
+        return self._engine.mhs_rows([u_index])[0]
 
     # ------------------------------------------------------------------
     # Pair queries
     # ------------------------------------------------------------------
     def mhs(self, u_i: int, u_l: int) -> float:
-        """Exact MHS ``s(u_i, u_l)`` using two row applications."""
+        """Exact MHS ``s(u_i, u_l)`` using one row application."""
         self._check_u(u_l)
-        row = self.h_row(u_i)
-        diag = self.h_diagonal()
         if u_i == u_l:
+            self._check_u(u_i)
             return 1.0
-        denominator = np.sqrt(diag[u_i] * diag[u_l])
-        return float(row[u_l] / denominator) if denominator > 0 else 0.0
+        return float(self.mhs_row(u_i)[u_l])
 
     def mhp(self, u_index: int, v_index: int) -> float:
         """Exact MHP ``P[u, v]``."""
@@ -117,25 +115,18 @@ class MeasureQueries:
     # ------------------------------------------------------------------
     # Diagonal
     # ------------------------------------------------------------------
-    def h_diagonal(self, block_size: int = 64) -> np.ndarray:
+    def h_diagonal(
+        self, block_size: int = 64, *, seed: Optional[int] = None
+    ) -> np.ndarray:
         """Exact diagonal of ``H``, computed blockwise and cached.
 
         ``ceil(|U| / block_size)`` operator applications of width
         ``block_size`` — a one-time ``O(tau |E| |U| / block)`` cost
-        amortized across all subsequent MHS queries.
+        amortized across all subsequent MHS queries.  ``seed`` fixes the
+        probe-block schedule (a seeded permutation); entries are
+        bit-identical for every block size, schedule, and thread count.
         """
-        if self._diag_cache is None:
-            n = self.graph.num_u
-            diagonal = np.empty(n)
-            for start in range(0, n, block_size):
-                stop = min(start + block_size, n)
-                block = np.zeros((n, stop - start))
-                block[np.arange(start, stop), np.arange(stop - start)] = 1.0
-                result = self._operator.matmat(block)
-                diagonal[start:stop] = result[np.arange(start, stop),
-                                              np.arange(stop - start)]
-            self._diag_cache = diagonal
-        return self._diag_cache
+        return self._engine.h_diagonal(block_size, seed=seed)
 
     def _check_u(self, u_index: int) -> None:
         if not 0 <= u_index < self.graph.num_u:

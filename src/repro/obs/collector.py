@@ -184,6 +184,7 @@ class ProfileCollector(NullCollector):
         service: Optional[Dict[str, Any]] = None,
         refresh: Optional[Dict[str, Any]] = None,
         ooc: Optional[Dict[str, Any]] = None,
+        similarity: Optional[Dict[str, Any]] = None,
         metadata: Optional[Dict[str, Any]] = None,
     ) -> RunReport:
         """Freeze the collected data into a :class:`RunReport`.
@@ -197,6 +198,9 @@ class ProfileCollector(NullCollector):
         it ``None`` for cold fits.  ``ooc`` attaches the out-of-core fit
         section (budget, staging traffic, peak RSS — see
         :func:`ooc_section`); leave it ``None`` for resident fits.
+        ``similarity`` attaches the matrix-free MHS/MHP query section (see
+        :func:`similarity_section`); leave it ``None`` for runs that answer
+        no similarity queries.
         """
         self.memory.sample()
         elapsed = (
@@ -217,6 +221,7 @@ class ProfileCollector(NullCollector):
             service=dict(service) if service is not None else None,
             refresh=dict(refresh) if refresh is not None else None,
             ooc=dict(ooc) if ooc is not None else None,
+            similarity=dict(similarity) if similarity is not None else None,
             metadata=dict(metadata or {}),
         )
 
@@ -234,6 +239,25 @@ class ProfileCollector(NullCollector):
             "budget_mb": None if budget_mb is None else float(budget_mb),
             "bytes_copied_in": int(self.ooc_bytes_copied),
             "peak_rss_bytes": int(self.memory.peak_rss_bytes),
+        }
+
+    def similarity_section(
+        self, *, mode: str, side: str, tau: int, sources: int, block_sources: int
+    ) -> Dict[str, Any]:
+        """The RunReport v8 ``similarity`` section for an MHS/MHP query run.
+
+        ``matvecs`` is read off this collector's sparse-matvec counter, so
+        call it after the queries finish and with the collection window
+        scoped to the query workload (the CLI's ``repro similar --profile``
+        does exactly that).
+        """
+        return {
+            "mode": mode,
+            "side": side,
+            "tau": int(tau),
+            "sources": int(sources),
+            "block_sources": int(block_sources),
+            "matvecs": int(self.ops.sparse_matvecs),
         }
 
 

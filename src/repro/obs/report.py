@@ -10,7 +10,7 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
 
     {
       "schema": "repro.obs.run_report",
-      "version": 7,
+      "version": 8,
       "method": str,              # display name, e.g. "GEBE^p"
       "dataset": str | null,
       "dimension": int | null,
@@ -43,10 +43,22 @@ Schema (see ``docs/OBSERVABILITY.md`` for the narrative version)::
                                         #   module default was in effect)
           "bytes_copied_in": int, # CSR bytes block-copied into staging
           "peak_rss_bytes": int}, # sampler high-water mark over the run
+      "similarity": null | {      # matrix-free MHS/MHP query workload
+          "mode": "mhs" | "mhp",  # same-side vs opposite-side ranking
+          "side": "u" | "v",      # which side the sources live on
+          "tau": int,             # truncation of the H series
+          "sources": int,         # number of source nodes queried
+          "block_sources": int,   # one-hot block width used
+          "matvecs": int},        # sparse matvecs the queries consumed
       "metadata": {...}           # free-form, JSON-serializable
     }
 
-Version history: v7 added the nullable ``ooc`` section (staging budget,
+Version history: v8 added the nullable ``similarity`` section (the
+matrix-free MHS/MHP query workload of
+:class:`repro.tasks.similarity.SimilarityEngine` — mode, source side/count,
+block width, and the matvecs consumed; ``null`` for non-similarity runs and
+backfilled when reading older documents).
+v7 added the nullable ``ooc`` section (staging budget,
 block-copy traffic, and peak RSS of a fit against a memory-mapped
 :class:`~repro.graph.store.GraphStore`; ``null`` for resident fits and
 backfilled when reading older documents).
@@ -82,7 +94,7 @@ __all__ = [
 ]
 
 SCHEMA_NAME = "repro.obs.run_report"
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 _OPS_KEYS = (
     "sparse_matvecs",
@@ -111,6 +123,8 @@ _SERVICE_KEYS = (
     "queue_depth_max",
 )
 _REFRESH_MODES = ("warm", "cold_fallback")
+_SIMILARITY_MODES = ("mhs", "mhp")
+_SIMILARITY_SIDES = ("u", "v")
 
 
 def _fail(message: str) -> None:
@@ -243,6 +257,26 @@ def validate_report(payload: Any) -> Dict[str, Any]:
             value = ooc.get(key)
             if not isinstance(value, int) or isinstance(value, bool) or value < 0:
                 _fail(f"ooc.{key} must be a non-negative integer")
+    if "similarity" not in payload:
+        _fail("similarity must be present (null for non-similarity runs)")
+    similarity = payload["similarity"]
+    if similarity is not None:
+        if not isinstance(similarity, dict):
+            _fail("similarity must be an object or null")
+        if similarity.get("mode") not in _SIMILARITY_MODES:
+            _fail(
+                f"similarity.mode must be one of {_SIMILARITY_MODES}, "
+                f"got {similarity.get('mode')!r}"
+            )
+        if similarity.get("side") not in _SIMILARITY_SIDES:
+            _fail(
+                f"similarity.side must be one of {_SIMILARITY_SIDES}, "
+                f"got {similarity.get('side')!r}"
+            )
+        for key in ("tau", "sources", "block_sources", "matvecs"):
+            value = similarity.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                _fail(f"similarity.{key} must be a non-negative integer")
     if not isinstance(payload.get("metadata"), dict):
         _fail("metadata must be an object")
     return payload
@@ -256,7 +290,8 @@ def upgrade_report(payload: Any) -> Any:
     ``ops.ann_candidates`` (no ANN index existed, so the counts really are
     zero).  v5 -> v6 backfills ``refresh: null`` (no incremental refresh
     pipeline existed).  v6 -> v7 backfills ``ooc: null`` (no out-of-core
-    fit path existed, so every older run was resident).
+    fit path existed, so every older run was resident).  v7 -> v8 backfills
+    ``similarity: null`` (no similarity query subsystem existed).
     Unknown or newer versions are returned untouched —
     :func:`validate_report` rejects them with a pointed message.
     """
@@ -276,6 +311,9 @@ def upgrade_report(payload: Any) -> Any:
         if payload.get("version") == 6:
             payload["version"] = 7
             payload.setdefault("ooc", None)
+        if payload.get("version") == 7:
+            payload["version"] = 8
+            payload.setdefault("similarity", None)
     return payload
 
 
@@ -295,6 +333,7 @@ class RunReport:
     service: Optional[Dict[str, Any]] = None
     refresh: Optional[Dict[str, Any]] = None
     ooc: Optional[Dict[str, Any]] = None
+    similarity: Optional[Dict[str, Any]] = None
     metadata: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -316,6 +355,7 @@ class RunReport:
             "service": self.service,
             "refresh": self.refresh,
             "ooc": self.ooc,
+            "similarity": self.similarity,
             "metadata": self.metadata,
         }
         return validate_report(payload)
@@ -337,6 +377,7 @@ class RunReport:
         service = payload.get("service")
         refresh = payload.get("refresh")
         ooc = payload.get("ooc")
+        similarity = payload.get("similarity")
         return cls(
             method=payload["method"],
             wall_seconds=float(payload["wall_seconds"]),
@@ -350,6 +391,7 @@ class RunReport:
             service=dict(service) if service is not None else None,
             refresh=dict(refresh) if refresh is not None else None,
             ooc=dict(ooc) if ooc is not None else None,
+            similarity=dict(similarity) if similarity is not None else None,
             metadata=dict(payload.get("metadata", {})),
         )
 

@@ -8,9 +8,18 @@ JSON to :class:`~repro.serve.service.EmbeddingService`.  Endpoints::
                          "with_scores": true,
                          "exclude": true,
                          "deadline_ms": 50}              -> many users (direct)
+    POST /v1/similar    {"source": 3}                    -> one source (micro-batched)
+                        {"sources": [0, 1, 2], "n": 10,
+                         "side": "u", "mode": "mhs",
+                         "with_scores": true,
+                         "deadline_ms": 50}              -> many sources (direct)
     GET  /healthz       liveness + the served artifact tag
     GET  /metrics       ServiceMetrics snapshot + queue/batcher gauges
     POST /admin/reload  {"version": 2}  (omit for latest) -> hot swap
+
+Routes live in the declarative :data:`ROUTES` table — one
+:class:`Route` row per (HTTP verb, path, handler method), so a new verb
+registers by adding a row, not by editing the handler class.
 
 Load-shedding is explicit and layered:
 
@@ -27,6 +36,13 @@ clients coalesce into blocked GEMMs; multi-user requests already are
 batches and go straight to the service.  Either way the lists returned are
 element-identical to the offline ``TopKEngine`` path — pinned end-to-end by
 ``tests/test_serve_server.py``.
+
+``/v1/similar`` follows the same shape over the similarity tier:
+single-source requests coalesce through one lazily created micro-batcher
+per ``(side, mode)`` into a blocked matrix-free apply, multi-source
+requests go direct, and both are element-identical to the offline
+:class:`~repro.tasks.similarity.SimilarityEngine`.  Graph-less artifacts
+answer ``409`` with the republish hint.
 """
 
 from __future__ import annotations
@@ -42,15 +58,41 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from .artifacts import ArtifactError
 from .batcher import BatcherClosed, MicroBatcher, QueueFull
 from .service import EmbeddingService
 from .sharded import ShardFailure
 
-__all__ = ["ServerConfig", "EmbeddingServer"]
+__all__ = ["Route", "ROUTES", "ServerConfig", "EmbeddingServer"]
 
 #: Request bodies larger than this are rejected outright (a top-k request
 #: is a few hundred bytes; anything bigger is abuse or confusion).
 MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class Route:
+    """One HTTP route: verb + path -> an :class:`EmbeddingServer` method."""
+
+    verb: str
+    path: str
+    handler: str
+
+
+#: The server's routing table.  do_GET/do_POST dispatch through this —
+#: adding an endpoint means adding a row here plus its handler method on
+#: :class:`EmbeddingServer`; the handler class body never changes.
+ROUTES = (
+    Route("GET", "/healthz", "handle_healthz"),
+    Route("GET", "/metrics", "handle_metrics"),
+    Route("POST", "/v1/topk", "handle_topk"),
+    Route("POST", "/v1/similar", "handle_similar"),
+    Route("POST", "/admin/reload", "handle_reload"),
+)
+
+_ROUTING: Dict[str, Dict[str, str]] = {}
+for _route in ROUTES:
+    _ROUTING.setdefault(_route.verb, {})[_route.path] = _route.handler
 
 
 @dataclass(frozen=True)
@@ -109,10 +151,6 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server: "_ServeHTTPServer"
 
-    # Route tables keep do_GET/do_POST symmetric and 404s uniform.
-    _GET_ROUTES = {"/healthz": "handle_healthz", "/metrics": "handle_metrics"}
-    _POST_ROUTES = {"/v1/topk": "handle_topk", "/admin/reload": "handle_reload"}
-
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         """Per-request stderr logging off: /metrics is the observability path."""
 
@@ -157,10 +195,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
-        self._dispatch(self._GET_ROUTES)
+        self._dispatch(_ROUTING.get("GET", {}))
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
-        self._dispatch(self._POST_ROUTES)
+        self._dispatch(_ROUTING.get("POST", {}))
 
 
 class _ServeHTTPServer(ThreadingHTTPServer):
@@ -189,6 +227,13 @@ class EmbeddingServer:
                 max_wait_ms=self.config.max_wait_ms,
                 max_queue=self.config.max_queue,
             )
+        # Similarity micro-batchers, one per (side, mode), created on the
+        # first single-source request for that pair: each coalesces its
+        # requests into one blocked matrix-free apply, and side/mode are
+        # bound in the score closure because the batcher protocol only
+        # carries (sources, n).
+        self._similar_batchers: Dict[Tuple[str, str], MicroBatcher] = {}
+        self._similar_lock = threading.Lock()
         self._httpd = _ServeHTTPServer(
             (self.config.host, self.config.port), _Handler
         )
@@ -225,11 +270,15 @@ class EmbeddingServer:
         self._httpd.serve_forever()
 
     def stop(self) -> None:
-        """Shut down the listener, drain the batcher, release sockets."""
+        """Shut down the listener, drain the batchers, release sockets."""
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._batcher is not None:
             self._batcher.close()
+        with self._similar_lock:
+            batchers = list(self._similar_batchers.values())
+        for batcher in batchers:
+            batcher.close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
@@ -251,6 +300,39 @@ class EmbeddingServer:
         self.service.metrics.count("batched_requests", users.size)
         return response["items"], response["scores"]
 
+    def _similar_batcher(self, side: str, mode: str) -> Optional[MicroBatcher]:
+        """The lazily created micro-batcher for one (side, mode) pair."""
+        if not self.config.batch:
+            return None
+        key = (side, mode)
+        batcher = self._similar_batchers.get(key)
+        if batcher is not None:
+            return batcher
+        with self._similar_lock:
+            batcher = self._similar_batchers.get(key)
+            if batcher is None:
+
+                def score_fn(
+                    sources: np.ndarray, n: int
+                ) -> Tuple[np.ndarray, np.ndarray]:
+                    response = self.service.similar(
+                        sources, n, mode=mode, side=side, with_scores=True
+                    )
+                    self.service.metrics.count("batches")
+                    self.service.metrics.count(
+                        "batched_requests", sources.size
+                    )
+                    return response["items"], response["scores"]
+
+                batcher = MicroBatcher(
+                    score_fn,
+                    max_batch=self.config.max_batch,
+                    max_wait_ms=self.config.max_wait_ms,
+                    max_queue=self.config.max_queue,
+                )
+                self._similar_batchers[key] = batcher
+        return batcher
+
     # ------------------------------------------------------------------
     # Endpoints (return (status, payload); raise _HttpError to shed)
     # ------------------------------------------------------------------
@@ -267,6 +349,16 @@ class EmbeddingServer:
             snapshot["batcher"] = {
                 **self._batcher.stats.snapshot(),
                 "depth": self._batcher.depth,
+            }
+        with self._similar_lock:
+            similar_batchers = dict(self._similar_batchers)
+        if similar_batchers:
+            snapshot["similar_batchers"] = {
+                f"{side}/{mode}": {
+                    **batcher.stats.snapshot(),
+                    "depth": batcher.depth,
+                }
+                for (side, mode), batcher in similar_batchers.items()
             }
         return 200, snapshot
 
@@ -320,26 +412,144 @@ class EmbeddingServer:
             self.service.metrics.queue_left()
             self._admission.release()
 
-    def _parse_users(self, body: Dict[str, Any]) -> Tuple[np.ndarray, bool]:
-        if ("user" in body) == ("users" in body):
-            raise _HttpError(400, "give exactly one of 'user' or 'users'")
-        if "user" in body:
-            user = body["user"]
-            if not isinstance(user, int) or isinstance(user, bool):
-                raise _HttpError(400, "'user' must be an integer")
-            values, single = [user], True
-        else:
-            values, single = body["users"], False
-            if not isinstance(values, list) or not values or not all(
-                isinstance(u, int) and not isinstance(u, bool) for u in values
-            ):
-                raise _HttpError(400, "'users' must be a non-empty integer list")
-        users = np.asarray(values, dtype=np.int64)
-        if users.min() < 0 or users.max() >= self.service.num_users:
+    def _parse_indices(
+        self, body: Dict[str, Any], single_key: str, multi_key: str, bound: int
+    ) -> Tuple[np.ndarray, bool]:
+        """Exactly one of ``single_key`` / ``multi_key``, bounds-checked."""
+        if (single_key in body) == (multi_key in body):
             raise _HttpError(
-                400, f"user indices must be in [0, {self.service.num_users})"
+                400, f"give exactly one of '{single_key}' or '{multi_key}'"
             )
-        return users, single
+        if single_key in body:
+            value = body[single_key]
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise _HttpError(400, f"'{single_key}' must be an integer")
+            values, single = [value], True
+        else:
+            values, single = body[multi_key], False
+            if not isinstance(values, list) or not values or not all(
+                isinstance(v, int) and not isinstance(v, bool) for v in values
+            ):
+                raise _HttpError(
+                    400, f"'{multi_key}' must be a non-empty integer list"
+                )
+        indices = np.asarray(values, dtype=np.int64)
+        if indices.min() < 0 or indices.max() >= bound:
+            raise _HttpError(
+                400, f"{single_key} indices must be in [0, {bound})"
+            )
+        return indices, single
+
+    def _parse_users(self, body: Dict[str, Any]) -> Tuple[np.ndarray, bool]:
+        return self._parse_indices(
+            body, "user", "users", self.service.num_users
+        )
+
+    def handle_similar(self, read_json) -> Tuple[int, Dict[str, Any]]:
+        arrived = time.perf_counter()
+        body = read_json()
+        side = body.get("side", "u")
+        if side not in ("u", "v"):
+            raise _HttpError(400, "'side' must be 'u' or 'v'")
+        mode = body.get("mode", "mhs")
+        if mode not in ("mhs", "mhp"):
+            raise _HttpError(400, "'mode' must be 'mhs' or 'mhp'")
+        bound = self.service.num_users if side == "u" else self.service.num_items
+        sources, single = self._parse_indices(body, "source", "sources", bound)
+        n = body.get("n", self.config.default_n)
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            raise _HttpError(400, "'n' must be a non-negative integer")
+        with_scores = bool(body.get("with_scores", False))
+        deadline_ms = body.get("deadline_ms", self.config.deadline_ms)
+        if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+            raise _HttpError(400, "'deadline_ms' must be a positive number")
+        deadline = arrived + float(deadline_ms) / 1e3
+
+        # Admission: over capacity -> 429 before any scoring work.
+        if not self._admission.acquire(blocking=False):
+            self.service.metrics.count("shed")
+            raise _HttpError(
+                429,
+                f"admission queue full ({self.config.max_queue} in flight)",
+            )
+        self.service.metrics.queue_entered()
+        try:
+            payload = self._answer_similar(
+                sources, single, side, mode, n, with_scores, deadline
+            )
+            self.service.metrics.observe("request", time.perf_counter() - arrived)
+            return 200, payload
+        except ArtifactError as exc:
+            # The served artifact cannot answer similarity at all (no
+            # graph): a deployment mismatch, not a malformed request — and
+            # carrying the republish hint to the client.
+            raise _HttpError(409, str(exc)) from exc
+        finally:
+            self.service.metrics.queue_left()
+            self._admission.release()
+
+    def _answer_similar(
+        self,
+        sources: np.ndarray,
+        single: bool,
+        side: str,
+        mode: str,
+        n: int,
+        with_scores: bool,
+        deadline: float,
+    ) -> Dict[str, Any]:
+        self._check_deadline(deadline)
+        batcher = self._similar_batcher(side, mode) if single else None
+        if batcher is not None:
+            try:
+                future = batcher.submit(
+                    int(sources[0]), n, with_scores=with_scores
+                )
+            except QueueFull:
+                self.service.metrics.count("shed")
+                raise _HttpError(429, "batch queue full") from None
+            except BatcherClosed:
+                raise _HttpError(503, "server shutting down") from None
+            timeout = max(deadline - time.perf_counter(), 0.0)
+            try:
+                items, scores = future.result(timeout=timeout)
+            except FutureTimeoutError:
+                future.cancel()
+                self.service.metrics.count("deadline_exceeded")
+                raise _HttpError(503, "deadline exceeded") from None
+            except CancelledError:
+                self.service.metrics.count("deadline_exceeded")
+                raise _HttpError(503, "request cancelled") from None
+            payload: Dict[str, Any] = {
+                "model": self.service.artifact.tag,
+                "sources": [int(sources[0])],
+                "side": side,
+                "mode": mode,
+                "items": [[int(i) for i in items]],
+                "n": int(items.size),
+                "batched": True,
+            }
+            if with_scores:
+                payload["scores"] = [[float(s) for s in scores]]
+        else:
+            response = self.service.similar(
+                sources, n, mode=mode, side=side, with_scores=with_scores
+            )
+            payload = {
+                "model": response["model"],
+                "sources": [int(s) for s in response["sources"]],
+                "side": side,
+                "mode": mode,
+                "items": [[int(i) for i in row] for row in response["items"]],
+                "n": int(response["n"]),
+                "batched": False,
+            }
+            if with_scores:
+                payload["scores"] = [
+                    [float(s) for s in row] for row in response["scores"]
+                ]
+        self._check_deadline(deadline)
+        return payload
 
     def _check_deadline(self, deadline: float) -> None:
         if time.perf_counter() > deadline:

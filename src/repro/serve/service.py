@@ -12,7 +12,10 @@ see the engine's class notes), and answers:
   offline engine path;
 * :meth:`scores` — raw ``U[u] . V[v]`` scores for one user;
 * :meth:`similar_users` — nearest users by normalized cosine (the MHS
-  approximation of paper Eq. 12).
+  approximation of paper Eq. 12);
+* :meth:`similar` — *exact* matrix-free MHS/MHP neighbors through a
+  :class:`~repro.tasks.similarity.SimilarityEngine` over the artifact's
+  shipped training graph (graph-bearing artifacts only).
 
 Hot swap: :meth:`reload` resolves and loads the requested (or latest)
 artifact version off to the side, then atomically republishes the model
@@ -42,7 +45,9 @@ from ..ann import INDEX_FILE, IVFIndex
 from ..core.base import EmbeddingResult
 from ..core.selection import select_topn
 from ..graph import BipartiteGraph
+from ..core.pmf import PathLengthPMF, PoissonPMF
 from ..linalg.policy import DtypePolicy
+from ..tasks.similarity import SIMILARITY_MODES, SimilarityEngine, transposed_graph
 from ..tasks.topk import QuantizedTopKEngine, TopKEngine
 from .artifacts import ArtifactError, ArtifactRef, ArtifactStore, LoadedArtifact
 from .sharded import PoolClosedError, ShardConfig, ShardedTopK
@@ -93,6 +98,8 @@ class ServiceMetrics:
         "ann_candidates",
         "shard_failures",
         "degraded",
+        "similar_queries",
+        "similar_matvecs",
     )
 
     def __init__(self) -> None:
@@ -217,6 +224,10 @@ class _Model:
         self.ref = loaded.ref
         self.quantize: Optional[str] = loaded.quantize
         self.graph: Optional[BipartiteGraph] = loaded.graph
+        # Per-side similarity templates, built on the first /v1/similar
+        # (the diagonal probe is too expensive to pay on every load).
+        self._similarity: Dict[str, SimilarityEngine] = {}
+        self._similarity_lock = threading.Lock()
         if loaded.quantize is not None:
             if ann or shards is not None:
                 raise ArtifactError(
@@ -278,6 +289,46 @@ class _Model:
         they live in the shared page cache) plus the unit-U cache."""
         return self.template.resident_bytes() + self.unit_u.nbytes
 
+    def similarity_template(
+        self,
+        side: str,
+        *,
+        pmf: PathLengthPMF,
+        tau: int,
+        normalization: str,
+        policy: DtypePolicy,
+    ) -> SimilarityEngine:
+        """The per-side similarity engine template, built once and cached.
+
+        Building pays the one-time exact ``H`` diagonal (blocked one-hot
+        probing) up front, so every worker clone shares the cached diagonal
+        and per-query latency stays at the per-source matvec cost.  Only
+        graph-bearing artifacts qualify: the engine queries the *graph's*
+        multi-hop measures, which the embedding arrays alone cannot answer.
+        """
+        if self.graph is None:
+            raise ArtifactError(
+                f"{self.ref.tag} has no graph; exact MHS/MHP similarity "
+                "queries run over the training graph — republish the "
+                "artifact with graph=... to serve them"
+            )
+        with self._similarity_lock:
+            engine = self._similarity.get(side)
+            if engine is None:
+                graph = (
+                    transposed_graph(self.graph) if side == "v" else self.graph
+                )
+                engine = SimilarityEngine(
+                    graph,
+                    pmf,
+                    tau,
+                    normalization=normalization,
+                    policy=policy,
+                )
+                engine.h_diagonal()
+                self._similarity[side] = engine
+        return engine
+
 
 class EmbeddingService:
     """Loads one artifact and answers queries until told to reload.
@@ -312,6 +363,12 @@ class EmbeddingService:
         rejected with a pointed error otherwise, or when the index was
         built from a different version).  ``nprobe`` is the recall knob —
         ``None`` probes every cell, which is exact.
+    similar_pmf, similar_tau, similar_normalization:
+        The measure instantiation :meth:`similar` answers queries under
+        (``None`` pmf: Poisson with ``lam=1.0``; ``"sym"`` normalization —
+        the solvers' default preprocessing).  The engines are built lazily
+        on the first similarity query per side, since only graph-bearing
+        artifacts can answer them at all.
     """
 
     def __init__(
@@ -328,6 +385,9 @@ class EmbeddingService:
         shard_hook=None,
         ann: bool = False,
         nprobe: Optional[int] = None,
+        similar_pmf: Optional[PathLengthPMF] = None,
+        similar_tau: int = 5,
+        similar_normalization: str = "sym",
     ):
         if ann and shards is not None:
             raise ValueError(
@@ -346,6 +406,11 @@ class EmbeddingService:
         self._shard_hook = shard_hook
         self._ann = bool(ann)
         self._nprobe = nprobe
+        self._similar_pmf = (
+            similar_pmf if similar_pmf is not None else PoissonPMF(lam=1.0)
+        )
+        self._similar_tau = int(similar_tau)
+        self._similar_normalization = similar_normalization
         self._reload_lock = threading.Lock()
         self._local = threading.local()
         self.metrics = ServiceMetrics()
@@ -435,6 +500,30 @@ class EmbeddingService:
         """This thread's sharded clone (same swap discipline as `_engine`)."""
         _, model = self._engine()
         return self._local.sharded, model
+
+    def _similarity_engine(self, side: str) -> Tuple[SimilarityEngine, _Model]:
+        """This thread's similarity clone for ``side`` (re-cloned on swap).
+
+        The model-level template (shared exact diagonal, one build per
+        side) is cloned per worker thread because the engine's one-hot and
+        hop workspaces must never be shared across threads — the same
+        discipline as :meth:`_engine`.
+        """
+        _, model = self._engine()
+        if getattr(self._local, "similar_model", None) is not model:
+            self._local.similar = {}
+            self._local.similar_model = model
+        engine = self._local.similar.get(side)
+        if engine is None:
+            template = model.similarity_template(
+                side,
+                pmf=self._similar_pmf,
+                tau=self._similar_tau,
+                normalization=self._similar_normalization,
+                policy=self._policy,
+            )
+            engine = self._local.similar[side] = template.clone_for_worker()
+        return engine, model
 
     # ------------------------------------------------------------------
     # Queries
@@ -643,6 +732,63 @@ class EmbeddingService:
         self.metrics.count("requests")
         self.metrics.count("topk_candidates", row.size)
         return row[items_array]
+
+    def similar(
+        self,
+        sources: Sequence[int],
+        n: int,
+        *,
+        mode: str = "mhs",
+        side: str = "u",
+        with_scores: bool = False,
+    ) -> Dict[str, Any]:
+        """Exact matrix-free similarity lists over the artifact's graph.
+
+        ``mode="mhs"`` ranks same-side neighbors (self excluded),
+        ``mode="mhp"`` opposite-side neighbors; ``side="v"`` answers from
+        the item side via the transposed graph.  Lists are element-identical
+        to the offline :class:`~repro.tasks.similarity.SimilarityEngine`
+        (same engine, same :func:`~repro.core.selection.select_topn`
+        ordering).  Graph-bearing artifacts only — a pointed
+        :class:`~repro.serve.artifacts.ArtifactError` otherwise.
+
+        ``similar_matvecs`` counts the operator cost at the service tier
+        (``matvecs_per_source(mode) * len(sources)`` — the obs collector is
+        single-threaded by design and cannot sit on this hot path).
+        """
+        if mode not in SIMILARITY_MODES:
+            raise ValueError(
+                f"mode must be one of {SIMILARITY_MODES}, got {mode!r}"
+            )
+        if side not in ("u", "v"):
+            raise ValueError(f"side must be 'u' or 'v', got {side!r}")
+        engine, model = self._similarity_engine(side)
+        sources_array = np.asarray(sources, dtype=np.int64)
+        if sources_array.ndim != 1:
+            raise ValueError("sources must be a 1-D index sequence")
+        started = time.perf_counter()
+        items, scores = engine.query(
+            sources_array, n, mode=mode, with_scores=with_scores
+        )
+        elapsed = time.perf_counter() - started
+        self.metrics.count("requests")
+        self.metrics.count("similar_queries", sources_array.size)
+        self.metrics.count(
+            "similar_matvecs",
+            engine.matvecs_per_source(mode) * sources_array.size,
+        )
+        self.metrics.observe("similar", elapsed)
+        payload: Dict[str, Any] = {
+            "model": model.ref.tag,
+            "sources": sources_array,
+            "side": side,
+            "mode": mode,
+            "items": items,
+            "n": items.shape[1],
+        }
+        if with_scores:
+            payload["scores"] = scores
+        return payload
 
     def similar_users(self, user: int, n: int = 10) -> np.ndarray:
         """The ``n`` users nearest to ``user`` by normalized cosine."""

@@ -19,6 +19,12 @@ from .recommendation import (
     ground_truth_lists,
     recommend_top_n,
 )
+from .similarity import (
+    DEFAULT_BLOCK_SOURCES,
+    SIMILARITY_MODES,
+    SimilarityEngine,
+    transposed_graph,
+)
 from .topk import DEFAULT_BLOCK_ROWS, TopKEngine
 from .splits import (
     EdgeSplit,
@@ -46,6 +52,10 @@ __all__ = [
     "recommend_top_n",
     "TopKEngine",
     "DEFAULT_BLOCK_ROWS",
+    "SimilarityEngine",
+    "SIMILARITY_MODES",
+    "DEFAULT_BLOCK_SOURCES",
+    "transposed_graph",
     "LinkPredictionTask",
     "LinkPredictionReport",
     "evaluate_link_prediction",

@@ -17,6 +17,7 @@ from repro.bench import (
     render_bench,
     render_compare,
     run_bench,
+    similar_violations,
     upgrade_bench,
     validate_bench,
     write_bench,
@@ -1297,4 +1298,208 @@ class TestOocCompare:
         )
         row["bit_identical"] = False
         result = compare_bench(ooc_payload, broken)
+        assert row in result["invariant_violations"]
+
+
+@pytest.fixture(scope="module")
+def similar_payload():
+    """A seconds-scale similarity-axis-only document (tiny stand-in graph)."""
+    return run_bench(
+        BenchConfig(
+            datasets=("toy",),
+            methods=("GEBE^p",),
+            dimension=8,
+            repeats=1,
+            threads=(1, 2),
+            fit_grid=False,
+            topk=False,
+            similar=True,
+            similar_users=60,
+            similar_items=40,
+            similar_queries=12,
+            similar_tau=4,
+            similar_n=5,
+            similar_block_sources=(4, 16),
+        )
+    )
+
+
+def _similar_row(**overrides):
+    row = {
+        "method": "similarity", "dataset": "standin_600x400", "mode": "mhs",
+        "block_sources": 8, "threads": 1, "num_u": 600, "num_v": 400,
+        "tau": 5, "n": 10, "num_queries": 64, "wall_seconds": 0.05,
+        "p50_ms": 0.2, "p95_ms": 0.5, "matvecs_per_query": 10.0,
+        "lists_equal": True,
+    }
+    row.update(overrides)
+    return row
+
+
+class TestSimilarAxis:
+    def test_document_validates(self, similar_payload):
+        validate_bench(similar_payload)
+        assert similar_payload["similar_runs"]
+        assert similar_payload["runs"] == []
+        assert similar_payload["topk_runs"] == []
+
+    def test_one_serial_row_per_mode_and_block(self, similar_payload):
+        for mode in ("mhs", "mhp"):
+            serial = [
+                row["block_sources"]
+                for row in similar_payload["similar_runs"]
+                if row["mode"] == mode and row["threads"] == 1
+            ]
+            assert serial == [4, 16]
+
+    def test_threaded_row_rides_along_at_largest_block(self, similar_payload):
+        for mode in ("mhs", "mhp"):
+            threaded = [
+                row
+                for row in similar_payload["similar_runs"]
+                if row["mode"] == mode and row["threads"] > 1
+            ]
+            assert len(threaded) == 1
+            assert threaded[0]["block_sources"] == 16
+
+    def test_every_list_gate_passes(self, similar_payload):
+        assert similar_payload["similar_runs"]
+        for row in similar_payload["similar_runs"]:
+            assert row["lists_equal"] is True
+
+    def test_matvec_cost_matches_engine_formula(self, similar_payload):
+        # tau=4: 8 matvecs per MHS query, 9 per MHP query (the +1 is W^T).
+        for row in similar_payload["similar_runs"]:
+            expected = 8.0 if row["mode"] == "mhs" else 9.0
+            assert row["matvecs_per_query"] == expected
+
+    def test_latency_percentiles_ordered(self, similar_payload):
+        for row in similar_payload["similar_runs"]:
+            assert 0.0 <= row["p50_ms"] <= row["p95_ms"]
+
+    def test_render_mentions_similar_rows(self, similar_payload):
+        text = render_bench(similar_payload)
+        assert "similarity queries" in text
+        assert "mhs" in text and "mhp" in text
+
+    def test_json_round_trip(self, similar_payload, tmp_path):
+        path = tmp_path / "similar.json"
+        write_bench(similar_payload, str(path))
+        loaded = load_bench(str(path))
+        assert loaded["similar_runs"] == similar_payload["similar_runs"]
+
+
+class TestSimilarSchema:
+    def test_valid_similar_rows_accepted(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["similar_runs"] = [
+            _similar_row(),
+            _similar_row(mode="mhp", matvecs_per_query=11.0),
+            _similar_row(block_sources=64, threads=4),
+        ]
+        validate_bench(payload)
+
+    def test_similar_axis_alone_suffices(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload.update(
+            runs=[], comparisons=[], topk_runs=[], topk_comparisons=[],
+            serve_runs=[], ann_runs=[], quant_runs=[], refresh_runs=[],
+            ooc_runs=[], similar_runs=[_similar_row()],
+        )
+        validate_bench(payload)
+
+    def test_rejects_bad_mode(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["similar_runs"] = [_similar_row(mode="cosine")]
+        with pytest.raises(ValueError, match="mode must be one of"):
+            validate_bench(payload)
+
+    def test_rejects_non_positive_block(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["similar_runs"] = [_similar_row(block_sources=0)]
+        with pytest.raises(ValueError, match="block_sources must be >= 1"):
+            validate_bench(payload)
+
+    def test_rejects_missing_key(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        row = _similar_row()
+        del row["lists_equal"]
+        payload["similar_runs"] = [row]
+        with pytest.raises(ValueError, match="lists_equal"):
+            validate_bench(payload)
+
+    def test_rejects_bool_gate_as_int(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["similar_runs"] = [_similar_row(lists_equal=1)]
+        with pytest.raises(ValueError, match="lists_equal"):
+            validate_bench(payload)
+
+    def test_rejects_negative_latency(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["similar_runs"] = [_similar_row(p95_ms=-0.1)]
+        with pytest.raises(ValueError, match="p95_ms must be non-negative"):
+            validate_bench(payload)
+
+    def test_v8_document_upgrades_with_similar_axis_absent(
+        self, smoke_payload
+    ):
+        payload = copy.deepcopy(smoke_payload)
+        payload["version"] = 8
+        del payload["similar_runs"]
+        for key in (
+            "similar", "similar_users", "similar_items", "similar_queries",
+            "similar_tau", "similar_n", "similar_block_sources",
+            "similar_seed",
+        ):
+            del payload["config"][key]
+        upgraded = upgrade_bench(payload)
+        validate_bench(upgraded)
+        assert upgraded["version"] == BENCH_SCHEMA_VERSION
+        assert upgraded["similar_runs"] == []
+        assert upgraded["config"]["similar"] is False
+
+    def test_v7_document_upgrades_through_both_steps(self, smoke_payload):
+        # v7 -> v8 (ooc absent) -> v9 (similar absent) in one upgrade call.
+        payload = copy.deepcopy(smoke_payload)
+        payload["version"] = 7
+        del payload["ooc_runs"]
+        del payload["similar_runs"]
+        for key in ("ooc", "ooc_items", "ooc_budgets_mb"):
+            del payload["config"][key]
+        for key in (
+            "similar", "similar_users", "similar_items", "similar_queries",
+            "similar_tau", "similar_n", "similar_block_sources",
+            "similar_seed",
+        ):
+            del payload["config"][key]
+        upgraded = upgrade_bench(payload)
+        validate_bench(upgraded)
+        assert upgraded["version"] == BENCH_SCHEMA_VERSION
+        assert upgraded["ooc_runs"] == []
+        assert upgraded["similar_runs"] == []
+
+
+class TestSimilarCompare:
+    def test_no_violations_on_real_document(self, similar_payload):
+        assert similar_violations(similar_payload["similar_runs"]) == []
+
+    def test_flags_lists_mismatch(self):
+        rows = [_similar_row(), _similar_row(mode="mhp", lists_equal=False)]
+        assert similar_violations(rows) == [rows[1]]
+
+    def test_self_compare_includes_similar_rows(self, similar_payload):
+        result = compare_bench(similar_payload, similar_payload)
+        policies = {row["policy"] for row in result["rows"]}
+        assert "similar:b4/t1" in policies
+        assert "similar:b16/t1" in policies
+        assert "similar:b16/t2" in policies
+        methods = {row["method"] for row in result["rows"]}
+        assert "similarity:mhs" in methods and "similarity:mhp" in methods
+        assert result["invariant_violations"] == []
+
+    def test_violation_propagates_to_compare(self, similar_payload):
+        broken = copy.deepcopy(similar_payload)
+        row = broken["similar_runs"][0]
+        row["lists_equal"] = False
+        result = compare_bench(similar_payload, broken)
         assert row in result["invariant_violations"]

@@ -267,7 +267,7 @@ class TestRunReport:
         # Schema v2: effective thread count and the kernel workspace
         # watermark (summed over per-thread pools) are part of the report.
         payload = profiled_toy_report().to_dict()
-        assert payload["version"] == 7
+        assert payload["version"] == 8
         assert payload["threads"] >= 1
         assert payload["memory"]["workspace_bytes"] >= 0
 
@@ -342,7 +342,7 @@ class TestRunReport:
         assert restored.service is None
         assert restored.refresh is None
         assert restored.ops["ann_probes"] == 0
-        assert restored.to_dict()["version"] == 7
+        assert restored.to_dict()["version"] == 8
 
     def test_v4_documents_upgrade_to_current(self):
         payload = profiled_toy_report().to_dict()
@@ -353,7 +353,7 @@ class TestRunReport:
         restored = RunReport.from_dict(payload)
         assert restored.ops["ann_probes"] == 0
         assert restored.ops["ann_candidates"] == 0
-        assert restored.to_dict()["version"] == 7
+        assert restored.to_dict()["version"] == 8
 
     def test_v5_documents_upgrade_to_current(self):
         payload = profiled_toy_report().to_dict()
@@ -361,7 +361,7 @@ class TestRunReport:
         del payload["refresh"]
         restored = RunReport.from_dict(payload)
         assert restored.refresh is None
-        assert restored.to_dict()["version"] == 7
+        assert restored.to_dict()["version"] == 8
 
     def test_v6_refresh_section_null_for_plain_fits(self):
         payload = profiled_toy_report().to_dict()
@@ -374,12 +374,65 @@ class TestRunReport:
         del payload["ooc"]
         restored = RunReport.from_dict(payload)
         assert restored.ooc is None
-        assert restored.to_dict()["version"] == 7
+        assert restored.to_dict()["version"] == 8
 
     def test_v7_ooc_section_null_for_plain_fits(self):
         payload = profiled_toy_report().to_dict()
         assert payload["ooc"] is None
         assert RunReport.from_dict(payload).ooc is None
+
+    def test_v7_documents_upgrade_to_v8(self):
+        payload = profiled_toy_report().to_dict()
+        payload["version"] = 7
+        del payload["similarity"]
+        restored = RunReport.from_dict(payload)
+        assert restored.similarity is None
+        assert restored.to_dict()["version"] == 8
+
+    def test_v8_similarity_section_null_for_plain_fits(self):
+        payload = profiled_toy_report().to_dict()
+        assert payload["similarity"] is None
+        assert RunReport.from_dict(payload).similarity is None
+
+    def test_v8_similarity_section_round_trips(self):
+        report = profiled_toy_report()
+        report.similarity = {
+            "mode": "mhs",
+            "side": "u",
+            "tau": 5,
+            "sources": 16,
+            "block_sources": 8,
+            "matvecs": 160,
+        }
+        payload = report.to_dict()
+        assert payload["similarity"]["mode"] == "mhs"
+        assert RunReport.from_dict(payload).similarity == report.similarity
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda p: p.pop("similarity"), "similarity"),
+            (lambda p: p.update(similarity=[]), "similarity"),
+            (lambda p: p["similarity"].update(mode="cosine"), "mode"),
+            (lambda p: p["similarity"].update(side="w"), "side"),
+            (lambda p: p["similarity"].update(tau=-1), "tau"),
+            (lambda p: p["similarity"].pop("matvecs"), "matvecs"),
+        ],
+    )
+    def test_v8_similarity_violations_rejected(self, mutate, match):
+        report = profiled_toy_report()
+        report.similarity = {
+            "mode": "mhp",
+            "side": "v",
+            "tau": 3,
+            "sources": 4,
+            "block_sources": 4,
+            "matvecs": 28,
+        }
+        payload = report.to_dict()
+        mutate(payload)
+        with pytest.raises(ValueError, match=match):
+            validate_report(payload)
 
     def test_v7_ooc_section_round_trips(self):
         report = profiled_toy_report()

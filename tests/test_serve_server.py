@@ -427,3 +427,155 @@ class TestQuantizedServing:
         assert body["items"] == [
             expected[user].tolist() for user in (0, 7, 49)
         ]
+
+
+class TestRouteTable:
+    def test_routes_declare_every_endpoint(self):
+        from repro.serve.server import ROUTES, Route
+
+        table = {(route.verb, route.path) for route in ROUTES}
+        assert table == {
+            ("GET", "/healthz"),
+            ("GET", "/metrics"),
+            ("POST", "/v1/topk"),
+            ("POST", "/v1/similar"),
+            ("POST", "/admin/reload"),
+        }
+        for route in ROUTES:
+            assert isinstance(route, Route)
+            assert route.handler.startswith("handle_")
+
+    def test_handlers_exist_on_the_server(self, server):
+        from repro.serve.server import ROUTES
+
+        for route in ROUTES:
+            assert callable(getattr(server, route.handler))
+
+    def test_unknown_path_is_404(self, server):
+        status, body = _call(server, "/v1/nope", {"user": 1})
+        assert status == 404
+
+
+class TestSimilarEndpoint:
+    @pytest.fixture(scope="class")
+    def offline(self, graph):
+        """Offline engines mirroring the service's similarity defaults."""
+        from repro.core.pmf import PoissonPMF
+        from repro.tasks import SimilarityEngine, transposed_graph
+
+        u_engine = SimilarityEngine(
+            graph, PoissonPMF(lam=1.0), 5, normalization="sym"
+        )
+        v_engine = SimilarityEngine(
+            transposed_graph(graph), PoissonPMF(lam=1.0), 5,
+            normalization="sym",
+        )
+        return {"u": u_engine, "v": v_engine}
+
+    def test_single_source_rides_the_batcher(self, server, offline):
+        expected, _ = offline["u"].query([3], 5, mode="mhs")
+        status, body = _call(server, "/v1/similar", {"source": 3, "n": 5})
+        assert status == 200
+        assert body["batched"] is True
+        assert body["model"] == "toy@v1"
+        assert body["mode"] == "mhs" and body["side"] == "u"
+        assert body["items"] == expected.tolist()
+
+    def test_multi_source_goes_direct_with_scores(self, server, offline):
+        sources = [0, 7, 49]
+        expected, scores = offline["u"].query(
+            sources, 6, mode="mhs", with_scores=True
+        )
+        status, body = _call(
+            server,
+            "/v1/similar",
+            {"sources": sources, "n": 6, "with_scores": True},
+        )
+        assert status == 200
+        assert body["batched"] is False
+        assert body["items"] == expected.tolist()
+        np.testing.assert_allclose(body["scores"], scores, rtol=0, atol=0)
+
+    def test_mhp_mode(self, server, offline):
+        expected, _ = offline["u"].query([2, 11], 4, mode="mhp")
+        status, body = _call(
+            server, "/v1/similar", {"sources": [2, 11], "n": 4, "mode": "mhp"}
+        )
+        assert status == 200
+        assert body["mode"] == "mhp"
+        assert body["items"] == expected.tolist()
+
+    def test_v_side(self, server, offline):
+        expected, _ = offline["v"].query([0, 29], 5, mode="mhs")
+        status, body = _call(
+            server, "/v1/similar", {"sources": [0, 29], "n": 5, "side": "v"}
+        )
+        assert status == 200
+        assert body["side"] == "v"
+        assert body["items"] == expected.tolist()
+
+    def test_concurrent_batched_matches_offline(self, server, offline):
+        expected, _ = offline["u"].query(list(range(50)), 5, mode="mhs")
+        failures = []
+
+        def client(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            for _ in range(8):
+                source = int(rng.integers(50))
+                status, body = _call(
+                    server, "/v1/similar", {"source": source, "n": 5}
+                )
+                if status != 200:
+                    failures.append((source, status, body))
+                elif body["items"][0] != expected[source].tolist():
+                    failures.append((source, "mismatch", body["items"][0]))
+
+        threads = [
+            threading.Thread(target=client, args=(seed,)) for seed in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+
+    def test_metrics_count_similarity_work(self, server):
+        _call(server, "/v1/similar", {"sources": [0, 1], "n": 3})
+        _call(server, "/v1/similar", {"source": 5, "n": 3})
+        status, body = _call(server, "/metrics")
+        assert status == 200
+        assert body["counters"]["similar_queries"] >= 3
+        assert body["counters"]["similar_matvecs"] > 0
+        assert "u/mhs" in body["similar_batchers"]
+        assert body["similar_batchers"]["u/mhs"]["requests"] >= 1
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ({}, "exactly one of"),
+            ({"source": 1, "sources": [2]}, "exactly one of"),
+            ({"source": "alice"}, "'source' must be an integer"),
+            ({"source": True}, "'source' must be an integer"),
+            ({"sources": []}, "non-empty integer list"),
+            ({"source": 50}, "indices must be in"),
+            ({"source": 30, "side": "v"}, "indices must be in"),
+            ({"source": 0, "side": "w"}, "side"),
+            ({"source": 0, "mode": "cosine"}, "mode"),
+            ({"source": 0, "n": -1}, "'n'"),
+        ],
+    )
+    def test_rejects_bad_requests(self, server, payload, fragment):
+        status, body = _call(server, "/v1/similar", payload)
+        assert status == 400
+        assert fragment in body["error"]
+
+    def test_graphless_artifact_answers_409(self, tmp_path, result):
+        store = ArtifactStore(tmp_path / "nograph")
+        store.publish("toy", result.u, result.v, method="random")
+        service = EmbeddingService(store, "toy")
+        with EmbeddingServer(service, ServerConfig()) as srv:
+            status, body = _call(srv, "/v1/similar", {"source": 0, "n": 3})
+            topk_status, _ = _call(srv, "/v1/topk", {"user": 0, "n": 3})
+        assert status == 409
+        assert "republish" in body["error"]
+        assert topk_status == 200  # top-k keeps serving without the graph

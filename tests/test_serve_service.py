@@ -383,3 +383,90 @@ class TestQuantizedService:
         np.testing.assert_array_equal(
             service.top_items(range(result.u.shape[0]), 5)["items"], expected
         )
+
+
+class TestSimilarQueries:
+    @pytest.fixture
+    def service(self, store):
+        return EmbeddingService(store, "toy")
+
+    @pytest.fixture(scope="class")
+    def offline(self, graph):
+        from repro.core.pmf import PoissonPMF
+        from repro.tasks import SimilarityEngine, transposed_graph
+
+        build = lambda g: SimilarityEngine(
+            g, PoissonPMF(lam=1.0), 5, normalization="sym"
+        )
+        return {"u": build(graph), "v": build(transposed_graph(graph))}
+
+    @pytest.mark.parametrize("mode", ["mhs", "mhp"])
+    @pytest.mark.parametrize("side", ["u", "v"])
+    def test_matches_offline_engine(self, service, offline, mode, side):
+        sources = np.array([0, 5, 17], dtype=np.int64)
+        expected, scores = offline[side].query(
+            sources, 6, mode=mode, with_scores=True
+        )
+        response = service.similar(
+            sources, 6, mode=mode, side=side, with_scores=True
+        )
+        np.testing.assert_array_equal(response["items"], expected)
+        np.testing.assert_array_equal(response["scores"], scores)
+        assert response["model"] == "toy@v1"
+        assert response["mode"] == mode and response["side"] == side
+
+    def test_counts_queries_and_matvecs(self, service):
+        sources = np.array([1, 2, 3, 4], dtype=np.int64)
+        service.similar(sources, 5, mode="mhp")
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["similar_queries"] == 4
+        # PoissonPMF tau=5 MHP: 2*5 hops + 1 W^T apply per source.
+        assert counters["similar_matvecs"] == 11 * 4
+        assert counters["requests"] >= 1
+
+    def test_rejects_bad_arguments(self, service):
+        with pytest.raises(ValueError, match="mode"):
+            service.similar(np.array([0]), 5, mode="cosine")
+        with pytest.raises(ValueError, match="side"):
+            service.similar(np.array([0]), 5, side="w")
+
+    def test_graphless_artifact_raises_pointed_error(self, tmp_path, result):
+        from repro.serve import ArtifactError
+
+        store = ArtifactStore(tmp_path / "nograph")
+        store.publish("toy", result.u, result.v, method="random")
+        service = EmbeddingService(store, "toy")
+        with pytest.raises(ArtifactError, match="republish"):
+            service.similar(np.array([0]), 5)
+
+    def test_reload_swaps_the_similarity_engines(self, service, store, graph,
+                                                 result):
+        before = service.similar(np.array([0]), 5)
+        store.publish(
+            "toy", result.u, result.v, graph=graph, method="random"
+        )
+        assert service.reload() == ("toy@v1", "toy@v2")
+        after = service.similar(np.array([0]), 5)
+        assert after["model"] == "toy@v2"
+        np.testing.assert_array_equal(after["items"], before["items"])
+
+    def test_concurrent_threads_match_serial(self, service, offline):
+        expected, _ = offline["u"].query(np.arange(20), 5, mode="mhs")
+        failures = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(6):
+                source = int(rng.integers(20))
+                response = service.similar(np.array([source]), 5)
+                if response["items"][0].tolist() != expected[source].tolist():
+                    failures.append(source)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
